@@ -1,0 +1,73 @@
+// Figure 5: transaction log SPACE overhead of the logging extensions,
+// as a function of N (a full page image is logged every N modifications
+// of a page; "off" disables periodic images).
+//
+// Paper result: the additional logging does not hurt throughput but
+// increases log space, more so for small N.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace rewinddb {
+namespace bench {
+
+void Run() {
+  PrintHeader(
+      "Figure 5: transaction log space vs full-page-image period N",
+      "additional logging increases log space usage; smaller N = more");
+
+  struct Point {
+    const char* label;
+    uint32_t n;
+  };
+  const Point points[] = {{"off", 0}, {"256", 256}, {"64", 64},
+                          {"16", 16},  {"4", 4}};
+  const int kTxns = 1200;
+
+  printf("%-8s %16s %18s %10s\n", "N", "log bytes", "bytes/new-order",
+         "vs off");
+  double baseline = 0;
+  for (const Point& p : points) {
+    DatabaseOptions opts;
+    opts.fpi_period = p.n;
+    opts.buffer_pool_pages = 4096;
+    std::string dir = BenchDir(std::string("fig5_") + p.label);
+    auto db = Database::Create(dir, opts);
+    if (!db.ok()) {
+      printf("error: %s\n", db.status().ToString().c_str());
+      return;
+    }
+    TpccConfig tc;
+    tc.warehouses = 1;
+    tc.items = 200;
+    auto tpcc = TpccDatabase::CreateAndLoad(db->get(), tc);
+    if (!tpcc.ok()) {
+      printf("error: %s\n", tpcc.status().ToString().c_str());
+      return;
+    }
+    uint64_t log_before = (*db)->log()->LiveBytes();
+    Random rnd(5);
+    int committed = 0;
+    while (committed < kTxns) {
+      if ((*tpcc)->NewOrder(&rnd).ok()) committed++;
+    }
+    uint64_t log_bytes = (*db)->log()->LiveBytes() - log_before;
+    double per_txn = static_cast<double>(log_bytes) / kTxns;
+    if (baseline == 0) baseline = per_txn;
+    printf("%-8s %16llu %18.0f %9.2fx\n", p.label,
+           static_cast<unsigned long long>(log_bytes), per_txn,
+           per_txn / baseline);
+    db->reset();
+    std::filesystem::remove_all(dir);
+  }
+  printf("\nexpected shape: monotone growth as N shrinks "
+         "(full page images dominate at N=4)\n");
+}
+
+}  // namespace bench
+}  // namespace rewinddb
+
+int main() {
+  rewinddb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 6: TPC-C THROUGHPUT impact of the logging extensions, for the
+// same N sweep, under two checkpointing regimes (none, and periodic --
+// the paper used a 30 s recovery interval; scaled down here).
+//
+// Paper result: "the additional logging has little impact to the
+// transaction throughput" -- throughput is governed by the number of
+// log records, not their size.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace rewinddb {
+namespace bench {
+
+void Run() {
+  PrintHeader(
+      "Figure 6: TPC-C throughput vs full-page-image period N",
+      "throughput is nearly flat across N (log record count, not size, "
+      "is what matters)");
+
+  struct Point {
+    const char* label;
+    uint32_t n;
+  };
+  const Point points[] = {{"off", 0}, {"256", 256}, {"64", 64},
+                          {"16", 16},  {"4", 4}};
+  const struct {
+    const char* label;
+    uint64_t interval;
+  } regimes[] = {{"no checkpoints", 0},
+                 {"1s checkpoints", 1'000'000}};
+
+  for (const auto& regime : regimes) {
+    printf("\n--- %s ---\n", regime.label);
+    printf("%-8s %12s %10s\n", "N", "tpmC", "vs off");
+    double baseline = 0;
+    for (const Point& p : points) {
+      DatabaseOptions opts;
+      opts.fpi_period = p.n;
+      opts.buffer_pool_pages = 4096;
+      opts.checkpoint_interval_micros = regime.interval;
+      opts.lock_timeout_micros = 300'000;
+      std::string dir = BenchDir(std::string("fig6_") + p.label);
+      auto db = Database::Create(dir, opts);
+      if (!db.ok()) return;
+      TpccConfig tc;
+      tc.warehouses = 2;
+      tc.items = 200;
+      auto tpcc = TpccDatabase::CreateAndLoad(db->get(), tc);
+      if (!tpcc.ok()) return;
+      // Fixed-work probes with a median: timed multi-thread runs are
+      // hopelessly noisy on a small shared host; the paper's claim is
+      // about RELATIVE per-transaction logging overhead, which fixed
+      // work measures directly.
+      (void)RunFixedWork(tpcc->get(), 100, 7);  // warm-up
+      std::vector<double> runs;
+      for (int r = 0; r < 3; r++) {
+        runs.push_back(RunFixedWork(tpcc->get(), 600, 99 + r));
+      }
+      std::sort(runs.begin(), runs.end());
+      double tpmc = runs[1];
+      if (baseline == 0) baseline = tpmc;
+      printf("%-8s %12.0f %9.2fx\n", p.label, tpmc,
+             baseline > 0 ? tpmc / baseline : 0.0);
+      db->reset();
+      std::filesystem::remove_all(dir);
+    }
+  }
+  printf("\nexpected shape: ratios stay near 1.0 across the N sweep\n");
+}
+
+}  // namespace bench
+}  // namespace rewinddb
+
+int main() {
+  rewinddb::bench::Run();
+  return 0;
+}

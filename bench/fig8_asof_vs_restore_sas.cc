@@ -1,0 +1,13 @@
+// Figure 8: the figure-7 comparison on 10K RPM SAS media.
+//
+// Paper result (SAS): as-of query 34-300 s (random log reads stall much
+// harder on rotating media); restore ~44 min, flat. Same shape as
+// figure 7 with everything shifted up.
+#include "bench_common.h"
+
+int main() {
+  rewinddb::bench::RunAsofVsRestore(
+      rewinddb::MediaProfile::Sas(), "fig8",
+      "SAS: as-of 34-300 s (growing); restore ~44 min (flat)");
+  return 0;
+}

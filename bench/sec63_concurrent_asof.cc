@@ -1,0 +1,115 @@
+// Section 6.3: impact of concurrent as-of queries on the running TPC-C
+// workload.
+//
+// Paper result: running an as-of query loop (5 minutes back) alongside
+// the benchmark reduced throughput from 270k to 180k tpmC (~33%), while
+// snapshots were created in ~20 s and the as-of stock-level ran in
+// ~30 s on average. This is a real-time experiment: throughput numbers
+// are hardware-bound; the reproduction target is the relative drop and
+// that concurrent snapshots/queries keep succeeding.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rewinddb;
+  using namespace rewinddb::bench;
+
+  const std::string dir = BenchDir("sec63");
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 8192;
+  opts.lock_timeout_micros = 300'000;
+  auto db = Database::Create(dir, opts);
+  if (!db.ok()) {
+    printf("create failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  TpccConfig tc;
+  tc.warehouses = 2;
+  tc.items = 300;
+  auto tpcc = TpccDatabase::CreateAndLoad(db->get(), tc);
+  if (!tpcc.ok()) {
+    printf("load failed: %s\n", tpcc.status().ToString().c_str());
+    return 1;
+  }
+
+  PrintHeader("sec6.3: concurrent as-of queries vs TPC-C throughput",
+              "270k -> 180k tpmC (~0.67x); snapshot create ~20 s; as-of "
+              "stock-level ~30 s");
+
+  // Warm-up so "2 seconds back" exists, then the first baseline probe.
+  // A second baseline is measured AFTER the concurrent phase and the
+  // two averaged, cancelling the drift from tables growing over time.
+  (void)RunFixedWork(tpcc->get(), 500, 7);
+  double baseline1 = RunFixedWork(tpcc->get(), 8000, 11);
+
+  // Concurrent run: the workload continues while a loop creates as-of
+  // snapshots 2 seconds back and runs the stock-level query on them.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> snapshots_ok{0}, asof_queries_ok{0};
+  std::atomic<uint64_t> create_micros_total{0}, query_micros_total{0};
+  std::thread asof_loop([&] {
+    int n = 0;
+    while (!stop.load()) {
+      // Pace the loop like the paper's (one create+query cycle at a
+      // time, not a tight checkpoint storm).
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (stop.load()) break;
+      WallClock target = (*db)->clock()->NowMicros() - 2'000'000;
+      auto t0 = std::chrono::steady_clock::now();
+      auto snap = AsOfSnapshot::Create(db->get(),
+                                       "conc" + std::to_string(n++), target);
+      if (!snap.ok()) continue;
+      Status u = (*snap)->WaitForUndo();
+      auto t1 = std::chrono::steady_clock::now();
+      if (!u.ok()) continue;
+      snapshots_ok++;
+      create_micros_total += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+              .count());
+      auto q0 = std::chrono::steady_clock::now();
+      auto low = TpccDatabase::StockLevelAsOf(snap->get(), 1, 1, 60);
+      auto q1 = std::chrono::steady_clock::now();
+      if (low.ok()) {
+        asof_queries_ok++;
+        query_micros_total += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(q1 - q0)
+                .count());
+      }
+    }
+  });
+  double concurrent = RunFixedWork(tpcc->get(), 16000, 13);
+  stop = true;
+  asof_loop.join();
+  double baseline2 = RunFixedWork(tpcc->get(), 8000, 17);
+
+  double baseline_tpmc = (baseline1 + baseline2) / 2;
+  double ratio = baseline_tpmc > 0 ? concurrent / baseline_tpmc : 0;
+  printf("%-34s %12.0f tpmC (before: %.0f, after: %.0f)\n",
+         "baseline throughput", baseline_tpmc, baseline1, baseline2);
+  printf("%-34s %12.0f tpmC\n", "with concurrent as-of loop", concurrent);
+  printf("%-34s %12.2fx   (paper: ~0.67x)\n", "throughput ratio", ratio);
+  printf("%-34s %12llu\n", "snapshots created",
+         static_cast<unsigned long long>(snapshots_ok.load()));
+  printf("%-34s %12llu\n", "as-of stock-level queries",
+         static_cast<unsigned long long>(asof_queries_ok.load()));
+  if (snapshots_ok > 0) {
+    printf("%-34s %12.1f ms\n", "avg snapshot creation",
+           static_cast<double>(create_micros_total) / 1000.0 /
+               static_cast<double>(snapshots_ok));
+  }
+  if (asof_queries_ok > 0) {
+    printf("%-34s %12.1f ms\n", "avg as-of stock-level",
+           static_cast<double>(query_micros_total) / 1000.0 /
+               static_cast<double>(asof_queries_ok));
+  }
+  printf("\nexpected shape: throughput drops but stays within the same "
+         "order of magnitude while as-of queries run continuously\n");
+
+  tpcc->reset();
+  db->reset();
+  std::filesystem::remove_all(dir);
+  return 0;
+}

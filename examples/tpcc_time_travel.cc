@@ -1,0 +1,89 @@
+// Point-in-time analytics over a running OLTP workload: run the TPC-C
+// mix, then ask "what did district stock look like N minutes ago?" at
+// several points -- each answered by an as-of snapshot whose pages are
+// materialized lazily from the current state plus the log.
+#include <cstdio>
+#include <filesystem>
+
+#include "snapshot/asof_snapshot.h"
+#include "sql/session.h"
+#include "tpcc/tpcc.h"
+
+using namespace rewinddb;
+
+int main() {
+  const std::string dir = "/tmp/rewinddb_tpcc_demo";
+  std::filesystem::remove_all(dir);
+  SimClock clock(1'000'000);
+  DatabaseOptions opts;
+  opts.clock = &clock;
+  opts.fpi_period = 16;
+  auto db = Database::Create(dir, opts);
+  if (!db.ok()) {
+    fprintf(stderr, "create: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  SqlSession sql(db->get());
+  // The paper's retention knob, via its SQL surface.
+  auto msg = sql.Execute("ALTER DATABASE tpcc SET UNDO_INTERVAL = 24 HOURS");
+  if (!msg.ok()) return 1;
+  printf("%s\n", msg->c_str());
+
+  TpccConfig config;
+  config.warehouses = 1;
+  config.items = 200;
+  auto tpcc = TpccDatabase::CreateAndLoad(db->get(), config);
+  if (!tpcc.ok()) {
+    fprintf(stderr, "load: %s\n", tpcc.status().ToString().c_str());
+    return 1;
+  }
+  printf("TPC-C loaded (%d warehouse, %d items)\n", config.warehouses,
+         config.items);
+
+  // Generate 10 "minutes" of history, remembering the truth each minute.
+  Random rnd(2024);
+  std::vector<WallClock> marks;
+  std::vector<int> truth;
+  for (int minute = 1; minute <= 10; minute++) {
+    for (int i = 0; i < 30; i++) {
+      Status s = (*tpcc)->NewOrder(&rnd);
+      if (!s.ok() && !s.IsAborted()) {
+        fprintf(stderr, "new-order: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      clock.Advance(2'000'000);
+    }
+    auto low = (*tpcc)->StockLevel(1, 1, 60);
+    if (!low.ok()) return 1;
+    clock.Advance(1);
+    marks.push_back(clock.NowMicros());
+    truth.push_back(*low);
+  }
+  printf("generated 10 minutes of orders\n\n");
+
+  printf("%-14s %12s %12s %14s %10s\n", "minutes back", "live answer",
+         "as-of answer", "records undone", "undo IOs");
+  for (int back : {1, 4, 8}) {
+    size_t idx = marks.size() - static_cast<size_t>(back);
+    uint64_t miss0 = (*db)->stats()->log_read_misses.load();
+    auto snap = AsOfSnapshot::Create(db->get(),
+                                     "t" + std::to_string(back), marks[idx]);
+    if (!snap.ok()) {
+      fprintf(stderr, "snapshot: %s\n", snap.status().ToString().c_str());
+      return 1;
+    }
+    Status u = (*snap)->WaitForUndo();
+    if (!u.ok()) return 1;
+    auto low = TpccDatabase::StockLevelAsOf(snap->get(), 1, 1, 60);
+    if (!low.ok()) return 1;
+    printf("%-14d %12d %12d %14llu %10llu   %s\n", back, truth[idx], *low,
+           static_cast<unsigned long long>(
+               (*snap)->rewinder()->records_undone()),
+           static_cast<unsigned long long>(
+               (*db)->stats()->log_read_misses.load() - miss0),
+           *low == truth[idx] ? "MATCH" : "MISMATCH!");
+    if (*low != truth[idx]) return 1;
+  }
+  printf("\nall as-of answers match the recorded history -- done\n");
+  return 0;
+}

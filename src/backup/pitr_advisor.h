@@ -1,0 +1,71 @@
+// PITR advisor: the paper's section 6.4 "generalized version" that
+// chooses between rolling BACKWARD from the current state (as-of
+// snapshot + rewind) and rolling FORWARD from a base backup (restore +
+// log replay), picking the faster path to the data in the past.
+#ifndef REWINDDB_BACKUP_PITR_ADVISOR_H_
+#define REWINDDB_BACKUP_PITR_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/disk_model.h"
+
+namespace rewinddb {
+
+/// Workload description for the cost model.
+struct RecoveryEstimate {
+  /// Pages the recovery query will touch on the as-of replica.
+  uint64_t pages_accessed = 0;
+  /// Average log records to undo per touched page (grows with how far
+  /// back the target is and how hot the pages are).
+  double mods_per_page = 0;
+  /// Total pages of the database (restore must copy them all).
+  uint64_t db_pages = 0;
+  /// Bytes of log between the base backup and the target.
+  uint64_t replay_log_bytes = 0;
+  /// Bytes of retained log (restore "initializes" all of it).
+  uint64_t total_log_bytes = 0;
+  /// Fraction of per-page undo record fetches that miss the log cache.
+  double log_miss_ratio = 1.0;
+};
+
+enum class RecoveryStrategy { kRewind, kRestore };
+
+const char* RecoveryStrategyName(RecoveryStrategy s);
+
+/// Cost model over the media profiles.
+class PitrAdvisor {
+ public:
+  PitrAdvisor(MediaProfile data_media, MediaProfile log_media)
+      : data_(std::move(data_media)), log_(std::move(log_media)) {}
+
+  /// Estimated microseconds to reach the as-of data by rewinding: one
+  /// random data read per accessed page plus one random log read per
+  /// modification to undo.
+  uint64_t EstimateRewindMicros(const RecoveryEstimate& e) const;
+
+  /// Estimated microseconds for restore + replay: sequential copy of
+  /// the database (read + write) plus sequential log initialization and
+  /// replay.
+  uint64_t EstimateRestoreMicros(const RecoveryEstimate& e) const;
+
+  /// The faster strategy under the model.
+  RecoveryStrategy Choose(const RecoveryEstimate& e) const;
+
+  /// For an accessed-fraction sweep: smallest pages_accessed (all other
+  /// fields from `e`) at which restore becomes faster; returns
+  /// UINT64_MAX if rewind always wins up to db_pages.
+  uint64_t CrossoverPagesAccessed(RecoveryEstimate e) const;
+
+ private:
+  uint64_t SeqMicros(const MediaProfile& m, uint64_t bytes) const;
+  uint64_t RandomMicros(const MediaProfile& m, uint64_t ios,
+                        uint64_t bytes_per_io) const;
+
+  MediaProfile data_;
+  MediaProfile log_;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_BACKUP_PITR_ADVISOR_H_

@@ -1,0 +1,639 @@
+#include "btree/btree.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "page/slotted_page.h"
+
+namespace rewinddb {
+
+std::string EncodeChild(PageId child) {
+  std::string v;
+  PutFixed32(&v, child);
+  return v;
+}
+
+PageId DecodeChild(Slice value) {
+  return DecodeFixed32(value.data());
+}
+
+namespace {
+
+bool IsLeaf(const char* page) {
+  return Header(page)->type == PageType::kBtreeLeaf;
+}
+
+/// Internal-node routing: index of the child subtree covering `key`
+/// (the last entry whose key is <= `key`; slot 0 carries the implicit
+/// minus-infinity key "").
+uint16_t ChildIndexFor(const char* page, Slice key) {
+  bool found;
+  uint16_t idx = SlottedPage::LowerBound(page, key, &found);
+  if (found) return idx;
+  return static_cast<uint16_t>(idx - 1);
+}
+
+/// True if replacing slot's record with `new_size` bytes fits.
+bool CanReplace(const char* page, uint16_t slot, size_t new_size) {
+  size_t old = SlottedPage::Record(page, slot).size();
+  if (new_size <= old) return true;
+  return SlottedPage::FreeSpace(page) + Header(page)->frag_bytes + old >=
+         new_size;
+}
+
+}  // namespace
+
+Result<TreeId> BTree::Create(const TreeWriteContext& ctx, Transaction* txn) {
+  REWIND_ASSIGN_OR_RETURN(
+      PageId root,
+      ctx.allocator->AllocatePage(txn, PageType::kBtreeLeaf, 0,
+                                  kInvalidPageId));
+  // The allocator formatted the page with tree=kInvalidPageId; reformat
+  // is unnecessary -- patch the tree id via a cheap reformat would cost
+  // a record, so instead allocate with tree==its own id in two steps:
+  // the page id is only known after allocation, so fix it with a
+  // dedicated format record binding the tree identity.
+  REWIND_ASSIGN_OR_RETURN(PageGuard g,
+                          ctx.buffers->FetchPage(root, AccessMode::kWrite));
+  REWIND_RETURN_IF_ERROR(
+      ctx.ops->LogFormat(txn, g, root, PageType::kBtreeLeaf, 0, root));
+  return root;
+}
+
+Result<BTree::Descent> BTree::DescendToLeaf(BufferManager* buffers,
+                                            Slice key) const {
+  Descent d;
+  PageId pid = root_;
+  for (int depth = 0; depth < 64; depth++) {
+    d.path.push_back(pid);
+    REWIND_ASSIGN_OR_RETURN(PageGuard g,
+                            buffers->FetchPage(pid, AccessMode::kRead));
+    if (IsLeaf(g.data())) return d;
+    if (SlottedPage::SlotCount(g.data()) == 0) {
+      return Status::Corruption("internal node with no children");
+    }
+    uint16_t idx = ChildIndexFor(g.data(), key);
+    pid = DecodeChild(
+        SlottedPage::EntryValue(SlottedPage::Record(g.data(), idx)));
+  }
+  return Status::Corruption("btree deeper than 64 levels");
+}
+
+Status BTree::Insert(const TreeWriteContext& ctx, Transaction* txn, Slice key,
+                     Slice value) {
+  std::string entry = SlottedPage::MakeEntry(key, value);
+  if (entry.size() > kMaxEntrySize) {
+    return Status::InvalidArgument("entry exceeds max size");
+  }
+  for (int attempt = 0; attempt < 64; attempt++) {
+    REWIND_ASSIGN_OR_RETURN(Descent d, DescendToLeaf(ctx.buffers, key));
+    PageId leaf_id = d.path.back();
+    {
+      REWIND_ASSIGN_OR_RETURN(
+          PageGuard leaf, ctx.buffers->FetchPage(leaf_id, AccessMode::kWrite));
+      bool found;
+      uint16_t idx = SlottedPage::LowerBound(leaf.data(), key, &found);
+      if (found) return Status::AlreadyExists("key exists");
+      if (SlottedPage::HasRoomFor(leaf.data(), entry.size())) {
+        return ctx.ops->LogInsert(txn, leaf, idx, entry);
+      }
+    }
+    REWIND_RETURN_IF_ERROR(SplitLeaf(ctx, d, leaf_id));
+  }
+  return Status::Corruption("insert did not converge after splits");
+}
+
+Status BTree::Update(const TreeWriteContext& ctx, Transaction* txn, Slice key,
+                     Slice value) {
+  std::string entry = SlottedPage::MakeEntry(key, value);
+  if (entry.size() > kMaxEntrySize) {
+    return Status::InvalidArgument("entry exceeds max size");
+  }
+  REWIND_ASSIGN_OR_RETURN(Descent d, DescendToLeaf(ctx.buffers, key));
+  {
+    REWIND_ASSIGN_OR_RETURN(
+        PageGuard leaf,
+        ctx.buffers->FetchPage(d.path.back(), AccessMode::kWrite));
+    bool found;
+    uint16_t idx = SlottedPage::LowerBound(leaf.data(), key, &found);
+    if (!found) return Status::NotFound("key not found");
+    if (CanReplace(leaf.data(), idx, entry.size())) {
+      return ctx.ops->LogUpdate(txn, leaf, idx, entry);
+    }
+    // Grown beyond this page's capacity: delete + insert (two records
+    // in the user transaction; logical undo reverses both).
+    REWIND_RETURN_IF_ERROR(ctx.ops->LogDelete(txn, leaf, idx));
+  }
+  return Insert(ctx, txn, key, value);
+}
+
+Status BTree::Delete(const TreeWriteContext& ctx, Transaction* txn,
+                     Slice key) {
+  REWIND_ASSIGN_OR_RETURN(Descent d, DescendToLeaf(ctx.buffers, key));
+  PageId leaf_id = d.path.back();
+  bool now_empty = false;
+  {
+    REWIND_ASSIGN_OR_RETURN(PageGuard leaf,
+                            ctx.buffers->FetchPage(leaf_id, AccessMode::kWrite));
+    bool found;
+    uint16_t idx = SlottedPage::LowerBound(leaf.data(), key, &found);
+    if (!found) return Status::NotFound("key not found");
+    REWIND_RETURN_IF_ERROR(ctx.ops->LogDelete(txn, leaf, idx));
+    now_empty = SlottedPage::SlotCount(leaf.data()) == 0;
+  }
+  if (now_empty && leaf_id != root_ && d.path.size() >= 2) {
+    // Best effort: an empty leaf that cannot be unlinked cheaply stays.
+    Status s = MaybeDeallocateEmptyLeaf(ctx, d, leaf_id);
+    if (!s.ok() && !s.IsBusy()) return s;
+  }
+  return Status::OK();
+}
+
+Result<std::string> BTree::Get(BufferManager* buffers, Slice key) const {
+  REWIND_ASSIGN_OR_RETURN(Descent d, DescendToLeaf(buffers, key));
+  REWIND_ASSIGN_OR_RETURN(PageGuard leaf,
+                          buffers->FetchPage(d.path.back(), AccessMode::kRead));
+  bool found;
+  uint16_t idx = SlottedPage::LowerBound(leaf.data(), key, &found);
+  if (!found) return Status::NotFound("key not found");
+  return SlottedPage::EntryValue(SlottedPage::Record(leaf.data(), idx))
+      .ToString();
+}
+
+Result<ScanOutcome> BTree::Scan(
+    BufferManager* buffers, Slice lower, Slice upper,
+    const std::function<ScanAction(Slice, Slice)>& cb) const {
+  ScanOutcome out;
+  REWIND_ASSIGN_OR_RETURN(Descent d, DescendToLeaf(buffers, lower));
+  PageId pid = d.path.back();
+  bool first_page = true;
+  while (pid != kInvalidPageId) {
+    REWIND_ASSIGN_OR_RETURN(PageGuard leaf,
+                            buffers->FetchPage(pid, AccessMode::kRead));
+    uint16_t start = 0;
+    if (first_page) {
+      bool found;
+      start = SlottedPage::LowerBound(leaf.data(), lower, &found);
+      first_page = false;
+    }
+    uint16_t n = SlottedPage::SlotCount(leaf.data());
+    for (uint16_t i = start; i < n; i++) {
+      Slice entry = SlottedPage::Record(leaf.data(), i);
+      Slice key = SlottedPage::EntryKey(entry);
+      if (!upper.empty() && key.compare(upper) >= 0) return out;
+      ScanAction action = cb(key, SlottedPage::EntryValue(entry));
+      if (action == ScanAction::kStop) return out;
+      if (action == ScanAction::kYield) {
+        out.yielded = true;
+        out.yield_key = key.ToString();
+        return out;
+      }
+    }
+    pid = Header(leaf.data())->right_sibling;
+  }
+  return out;
+}
+
+Result<uint64_t> BTree::Count(BufferManager* buffers) const {
+  uint64_t n = 0;
+  REWIND_ASSIGN_OR_RETURN(
+      ScanOutcome out,
+      Scan(buffers, Slice(), Slice(), [&](Slice, Slice) {
+        n++;
+        return ScanAction::kContinue;
+      }));
+  (void)out;
+  return n;
+}
+
+Status BTree::SplitLeaf(const TreeWriteContext& ctx, const Descent& d,
+                        PageId leaf_id) {
+  Transaction* sys = ctx.txns->Begin(/*is_system=*/true);
+  Status s = [&]() -> Status {
+    if (leaf_id == root_) return SplitRoot(ctx, sys);
+
+    REWIND_ASSIGN_OR_RETURN(
+        PageId right_id,
+        ctx.allocator->AllocatePage(sys, PageType::kBtreeLeaf, 0, root_));
+    std::string sep;
+    {
+      REWIND_ASSIGN_OR_RETURN(
+          PageGuard leaf, ctx.buffers->FetchPage(leaf_id, AccessMode::kWrite));
+      REWIND_ASSIGN_OR_RETURN(
+          PageGuard right,
+          ctx.buffers->FetchPage(right_id, AccessMode::kWrite));
+      uint16_t n = SlottedPage::SlotCount(leaf.data());
+      if (n < 2) return Status::Corruption("split of underfull leaf");
+      uint16_t mid = static_cast<uint16_t>(n / 2);
+      sep = SlottedPage::EntryKey(SlottedPage::Record(leaf.data(), mid))
+                .ToString();
+      // Move upper half: insert into the new page, then delete from the
+      // old -- both halves fully logged with undo info (section 4.2(3)).
+      for (uint16_t i = mid; i < n; i++) {
+        REWIND_RETURN_IF_ERROR(ctx.ops->LogInsert(
+            sys, right, static_cast<uint16_t>(i - mid),
+            SlottedPage::Record(leaf.data(), i)));
+      }
+      for (uint16_t i = n; i-- > mid;) {
+        REWIND_RETURN_IF_ERROR(ctx.ops->LogDelete(sys, leaf, i));
+      }
+      REWIND_RETURN_IF_ERROR(ctx.ops->LogSetSibling(
+          sys, right, Header(leaf.data())->right_sibling));
+      REWIND_RETURN_IF_ERROR(ctx.ops->LogSetSibling(sys, leaf, right_id));
+    }
+    return InsertSeparator(ctx, sys, d, d.path.size() - 2, sep, right_id);
+  }();
+  if (!s.ok()) return s;
+  return ctx.txns->Commit(sys);
+}
+
+Status BTree::SplitRoot(const TreeWriteContext& ctx, Transaction* sys) {
+  REWIND_ASSIGN_OR_RETURN(PageGuard root,
+                          ctx.buffers->FetchPage(root_, AccessMode::kWrite));
+  const bool leaf_root = IsLeaf(root.data());
+  uint8_t child_level = Header(root.data())->level;
+  PageType child_type =
+      leaf_root ? PageType::kBtreeLeaf : PageType::kBtreeInternal;
+
+  REWIND_ASSIGN_OR_RETURN(
+      PageId left_id,
+      ctx.allocator->AllocatePage(sys, child_type, child_level, root_));
+  REWIND_ASSIGN_OR_RETURN(
+      PageId right_id,
+      ctx.allocator->AllocatePage(sys, child_type, child_level, root_));
+
+  REWIND_ASSIGN_OR_RETURN(PageGuard left,
+                          ctx.buffers->FetchPage(left_id, AccessMode::kWrite));
+  REWIND_ASSIGN_OR_RETURN(PageGuard right,
+                          ctx.buffers->FetchPage(right_id, AccessMode::kWrite));
+
+  uint16_t n = SlottedPage::SlotCount(root.data());
+  if (n < 2) return Status::Corruption("split of underfull root");
+  uint16_t mid = static_cast<uint16_t>(n / 2);
+  std::string sep =
+      SlottedPage::EntryKey(SlottedPage::Record(root.data(), mid)).ToString();
+
+  for (uint16_t i = 0; i < mid; i++) {
+    REWIND_RETURN_IF_ERROR(
+        ctx.ops->LogInsert(sys, left, i, SlottedPage::Record(root.data(), i)));
+  }
+  for (uint16_t i = mid; i < n; i++) {
+    Slice entry = SlottedPage::Record(root.data(), i);
+    if (!leaf_root && i == mid) {
+      // Internal split pushes the middle key up: the right child's
+      // first entry takes the implicit minus-infinity key.
+      std::string e0 = SlottedPage::MakeEntry(
+          Slice(), SlottedPage::EntryValue(entry));
+      REWIND_RETURN_IF_ERROR(ctx.ops->LogInsert(sys, right, 0, e0));
+    } else {
+      REWIND_RETURN_IF_ERROR(ctx.ops->LogInsert(
+          sys, right, static_cast<uint16_t>(i - mid), entry));
+    }
+  }
+  if (leaf_root) {
+    REWIND_RETURN_IF_ERROR(ctx.ops->LogSetSibling(sys, left, right_id));
+  }
+
+  // Re-format the root as an internal node behind a preformat record so
+  // the pre-split content stays reachable for page-oriented undo.
+  char image[kPageSize];
+  memcpy(image, root.data(), kPageSize);
+  REWIND_RETURN_IF_ERROR(ctx.ops->LogPreformat(sys, root, image));
+  REWIND_RETURN_IF_ERROR(ctx.ops->LogFormat(
+      sys, root, root_, PageType::kBtreeInternal,
+      static_cast<uint8_t>(child_level + 1), root_));
+  REWIND_RETURN_IF_ERROR(ctx.ops->LogInsert(
+      sys, root, 0, SlottedPage::MakeEntry(Slice(), EncodeChild(left_id))));
+  REWIND_RETURN_IF_ERROR(ctx.ops->LogInsert(
+      sys, root, 1, SlottedPage::MakeEntry(sep, EncodeChild(right_id))));
+  return Status::OK();
+}
+
+Status BTree::InsertSeparator(const TreeWriteContext& ctx, Transaction* sys,
+                              const Descent& d, size_t node_idx,
+                              const std::string& sep, PageId child) {
+  std::string entry = SlottedPage::MakeEntry(sep, EncodeChild(child));
+  for (int attempt = 0; attempt < 64; attempt++) {
+    PageId node_id = d.path[node_idx];
+    {
+      REWIND_ASSIGN_OR_RETURN(
+          PageGuard node, ctx.buffers->FetchPage(node_id, AccessMode::kWrite));
+      // The node may have been split (by us, one attempt ago): route to
+      // the half that now covers `sep` by re-descending from the root
+      // is handled below; here check the recorded node first.
+      if (Header(node.data())->type == PageType::kBtreeInternal) {
+        bool found;
+        uint16_t idx = SlottedPage::LowerBound(node.data(), sep, &found);
+        if (found) return Status::Corruption("duplicate separator");
+        if (SlottedPage::HasRoomFor(node.data(), entry.size())) {
+          return ctx.ops->LogInsert(sys, node, idx, entry);
+        }
+      }
+    }
+    // No room (or the recorded page is stale): split this node and
+    // retry through a fresh descent to the covering node.
+    REWIND_RETURN_IF_ERROR(SplitInternal(ctx, sys, d, node_idx));
+    // After splitting, re-locate the internal node that covers `sep` by
+    // descending from the root to the target level.
+    REWIND_ASSIGN_OR_RETURN(Descent fresh, DescendToLeaf(ctx.buffers, sep));
+    // The covering internal node sits at the same depth as node_idx
+    // counted from the root only if the tree did not grow; recompute
+    // from level instead: walk the fresh path and pick the node whose
+    // level matches the child's level + 1.
+    PageId target = kInvalidPageId;
+    for (PageId pid : fresh.path) {
+      REWIND_ASSIGN_OR_RETURN(PageGuard g,
+                              ctx.buffers->FetchPage(pid, AccessMode::kRead));
+      REWIND_ASSIGN_OR_RETURN(PageGuard c,
+                              ctx.buffers->FetchPage(child, AccessMode::kRead));
+      if (Header(g.data())->type == PageType::kBtreeInternal &&
+          Header(g.data())->level == Header(c.data())->level + 1) {
+        target = pid;
+        break;
+      }
+    }
+    if (target == kInvalidPageId) {
+      return Status::Corruption("separator target level not found");
+    }
+    REWIND_ASSIGN_OR_RETURN(
+        PageGuard node, ctx.buffers->FetchPage(target, AccessMode::kWrite));
+    bool found;
+    uint16_t idx = SlottedPage::LowerBound(node.data(), sep, &found);
+    if (found) return Status::Corruption("duplicate separator");
+    if (SlottedPage::HasRoomFor(node.data(), entry.size())) {
+      return ctx.ops->LogInsert(sys, node, idx, entry);
+    }
+    // Still no room (pathological); loop and split again.
+  }
+  return Status::Corruption("separator insert did not converge");
+}
+
+Status BTree::SplitInternal(const TreeWriteContext& ctx, Transaction* sys,
+                            const Descent& d, size_t node_idx) {
+  PageId node_id = d.path[node_idx];
+  if (node_id == root_) return SplitRoot(ctx, sys);
+
+  uint8_t level;
+  {
+    REWIND_ASSIGN_OR_RETURN(PageGuard node,
+                            ctx.buffers->FetchPage(node_id, AccessMode::kRead));
+    level = Header(node.data())->level;
+  }
+  REWIND_ASSIGN_OR_RETURN(
+      PageId right_id,
+      ctx.allocator->AllocatePage(sys, PageType::kBtreeInternal, level,
+                                  root_));
+  std::string sep;
+  {
+    REWIND_ASSIGN_OR_RETURN(PageGuard node,
+                            ctx.buffers->FetchPage(node_id, AccessMode::kWrite));
+    REWIND_ASSIGN_OR_RETURN(PageGuard right,
+                            ctx.buffers->FetchPage(right_id, AccessMode::kWrite));
+    uint16_t n = SlottedPage::SlotCount(node.data());
+    if (n < 2) return Status::Corruption("split of underfull internal node");
+    uint16_t mid = static_cast<uint16_t>(n / 2);
+    sep = SlottedPage::EntryKey(SlottedPage::Record(node.data(), mid))
+              .ToString();
+    for (uint16_t i = mid; i < n; i++) {
+      Slice entry = SlottedPage::Record(node.data(), i);
+      if (i == mid) {
+        std::string e0 =
+            SlottedPage::MakeEntry(Slice(), SlottedPage::EntryValue(entry));
+        REWIND_RETURN_IF_ERROR(ctx.ops->LogInsert(sys, right, 0, e0));
+      } else {
+        REWIND_RETURN_IF_ERROR(ctx.ops->LogInsert(
+            sys, right, static_cast<uint16_t>(i - mid), entry));
+      }
+    }
+    for (uint16_t i = n; i-- > mid;) {
+      REWIND_RETURN_IF_ERROR(ctx.ops->LogDelete(sys, node, i));
+    }
+  }
+  return InsertSeparator(ctx, sys, d, node_idx - 1, sep, right_id);
+}
+
+Status BTree::MaybeDeallocateEmptyLeaf(const TreeWriteContext& ctx,
+                                       const Descent& d, PageId leaf_id) {
+  Transaction* sys = ctx.txns->Begin(/*is_system=*/true);
+  Status s = [&]() -> Status {
+    PageId parent_id = d.path[d.path.size() - 2];
+    PageId left_id = kInvalidPageId;
+    PageId leaf_next;
+    {
+      REWIND_ASSIGN_OR_RETURN(
+          PageGuard parent,
+          ctx.buffers->FetchPage(parent_id, AccessMode::kWrite));
+      if (Header(parent.data())->type != PageType::kBtreeInternal) {
+        return Status::Busy("stale parent");
+      }
+      uint16_t n = SlottedPage::SlotCount(parent.data());
+      uint16_t pos = n;
+      for (uint16_t i = 0; i < n; i++) {
+        PageId child = DecodeChild(
+            SlottedPage::EntryValue(SlottedPage::Record(parent.data(), i)));
+        if (child == leaf_id) {
+          pos = i;
+          break;
+        }
+      }
+      // Leftmost children keep the subtree's lower fence; unlinking
+      // them would need cross-parent surgery -- leave them (lazy).
+      if (pos == n || pos == 0) return Status::Busy("not unlinkable");
+      left_id = DecodeChild(SlottedPage::EntryValue(
+          SlottedPage::Record(parent.data(), pos - 1)));
+      {
+        REWIND_ASSIGN_OR_RETURN(
+            PageGuard leaf, ctx.buffers->FetchPage(leaf_id, AccessMode::kRead));
+        if (SlottedPage::SlotCount(leaf.data()) != 0) {
+          return Status::Busy("leaf refilled");
+        }
+        leaf_next = Header(leaf.data())->right_sibling;
+      }
+      {
+        REWIND_ASSIGN_OR_RETURN(
+            PageGuard left, ctx.buffers->FetchPage(left_id, AccessMode::kWrite));
+        if (Header(left.data())->right_sibling != leaf_id) {
+          return Status::Busy("chain mismatch");
+        }
+        REWIND_RETURN_IF_ERROR(ctx.ops->LogSetSibling(sys, left, leaf_next));
+      }
+      REWIND_RETURN_IF_ERROR(ctx.ops->LogDelete(sys, parent, pos));
+    }
+    return ctx.allocator->DeallocatePage(sys, leaf_id);
+  }();
+  if (!s.ok()) {
+    // Nothing applied yet on the Busy paths; make the no-op txn vanish.
+    Status cs = ctx.txns->Commit(sys);
+    return s.IsBusy() ? s : (cs.ok() ? s : cs);
+  }
+  return ctx.txns->Commit(sys);
+}
+
+Status BTree::Drop(const TreeWriteContext& ctx, Transaction* txn) {
+  // Collect every page of the tree, then deallocate all non-root pages
+  // and clear the root. The alloc-map flips are logged in the user
+  // transaction so the drop is undone as a unit (logically on abort,
+  // physically for as-of queries).
+  std::vector<PageId> pages;
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    PageId pid = stack.back();
+    stack.pop_back();
+    pages.push_back(pid);
+    REWIND_ASSIGN_OR_RETURN(PageGuard g,
+                            ctx.buffers->FetchPage(pid, AccessMode::kRead));
+    if (!IsLeaf(g.data())) {
+      uint16_t n = SlottedPage::SlotCount(g.data());
+      for (uint16_t i = 0; i < n; i++) {
+        stack.push_back(DecodeChild(
+            SlottedPage::EntryValue(SlottedPage::Record(g.data(), i))));
+      }
+    }
+  }
+  for (PageId pid : pages) {
+    if (pid == root_) continue;
+    REWIND_RETURN_IF_ERROR(ctx.allocator->DeallocatePage(txn, pid));
+  }
+  return ctx.allocator->DeallocatePage(txn, root_);
+}
+
+Status BTree::ClrErase(const TreeWriteContext& ctx, Transaction* txn,
+                       Slice key, Lsn undo_next) {
+  REWIND_ASSIGN_OR_RETURN(Descent d, DescendToLeaf(ctx.buffers, key));
+  REWIND_ASSIGN_OR_RETURN(
+      PageGuard leaf, ctx.buffers->FetchPage(d.path.back(), AccessMode::kWrite));
+  bool found;
+  uint16_t idx = SlottedPage::LowerBound(leaf.data(), key, &found);
+  if (!found) {
+    return Status::Corruption("undo insert: key vanished");
+  }
+  return ctx.ops->LogClrDelete(txn, leaf, idx, undo_next);
+}
+
+Status BTree::ClrReinsert(const TreeWriteContext& ctx, Transaction* txn,
+                          Slice entry, Lsn undo_next) {
+  Slice key = SlottedPage::EntryKey(entry);
+  for (int attempt = 0; attempt < 64; attempt++) {
+    REWIND_ASSIGN_OR_RETURN(Descent d, DescendToLeaf(ctx.buffers, key));
+    PageId leaf_id = d.path.back();
+    {
+      REWIND_ASSIGN_OR_RETURN(
+          PageGuard leaf, ctx.buffers->FetchPage(leaf_id, AccessMode::kWrite));
+      bool found;
+      uint16_t idx = SlottedPage::LowerBound(leaf.data(), key, &found);
+      if (found) return Status::Corruption("undo delete: key reappeared");
+      if (SlottedPage::HasRoomFor(leaf.data(), entry.size())) {
+        return ctx.ops->LogClrInsert(txn, leaf, idx, entry, undo_next);
+      }
+    }
+    REWIND_RETURN_IF_ERROR(SplitLeaf(ctx, d, leaf_id));
+  }
+  return Status::Corruption("undo delete did not converge");
+}
+
+Status BTree::ClrRestore(const TreeWriteContext& ctx, Transaction* txn,
+                         Slice old_entry, Lsn undo_next) {
+  Slice key = SlottedPage::EntryKey(old_entry);
+  for (int attempt = 0; attempt < 64; attempt++) {
+    REWIND_ASSIGN_OR_RETURN(Descent d, DescendToLeaf(ctx.buffers, key));
+    PageId leaf_id = d.path.back();
+    {
+      REWIND_ASSIGN_OR_RETURN(
+          PageGuard leaf, ctx.buffers->FetchPage(leaf_id, AccessMode::kWrite));
+      bool found;
+      uint16_t idx = SlottedPage::LowerBound(leaf.data(), key, &found);
+      if (!found) return Status::Corruption("undo update: key vanished");
+      size_t old_len = SlottedPage::Record(leaf.data(), idx).size();
+      bool fits = old_entry.size() <= old_len ||
+                  SlottedPage::FreeSpace(leaf.data()) +
+                          Header(leaf.data())->frag_bytes + old_len >=
+                      old_entry.size();
+      if (fits) {
+        return ctx.ops->LogClrUpdate(txn, leaf, idx, old_entry, undo_next);
+      }
+    }
+    REWIND_RETURN_IF_ERROR(SplitLeaf(ctx, d, leaf_id));
+  }
+  return Status::Corruption("undo update did not converge");
+}
+
+Result<std::vector<PageId>> BTree::FindLeafPath(BufferManager* buffers,
+                                                Slice key) const {
+  REWIND_ASSIGN_OR_RETURN(Descent d, DescendToLeaf(buffers, key));
+  return d.path;
+}
+
+Status BTree::ValidateNode(BufferManager* buffers, PageId id,
+                           const std::string& lo, const std::string& hi,
+                           int expect_level,
+                           std::vector<PageId>* leaves) const {
+  REWIND_ASSIGN_OR_RETURN(PageGuard g, buffers->FetchPage(id, AccessMode::kRead));
+  const PageHeader* h = Header(g.data());
+  if (expect_level >= 0 && h->level != expect_level) {
+    return Status::Corruption("level mismatch at page " + std::to_string(id));
+  }
+  uint16_t n = SlottedPage::SlotCount(g.data());
+  std::string prev;
+  bool have_prev = false;
+  for (uint16_t i = 0; i < n; i++) {
+    std::string key =
+        SlottedPage::EntryKey(SlottedPage::Record(g.data(), i)).ToString();
+    if (have_prev && !(prev < key)) {
+      return Status::Corruption("keys out of order in page " +
+                                std::to_string(id));
+    }
+    if (!(i == 0 && h->type == PageType::kBtreeInternal)) {
+      if (key < lo || (!hi.empty() && key >= hi)) {
+        return Status::Corruption("key outside fence in page " +
+                                  std::to_string(id));
+      }
+    }
+    prev = key;
+    have_prev = true;
+  }
+  if (h->type == PageType::kBtreeLeaf) {
+    leaves->push_back(id);
+    return Status::OK();
+  }
+  if (n == 0) return Status::Corruption("empty internal node");
+  for (uint16_t i = 0; i < n; i++) {
+    Slice entry = SlottedPage::Record(g.data(), i);
+    std::string child_lo =
+        i == 0 ? lo : SlottedPage::EntryKey(entry).ToString();
+    std::string child_hi =
+        i + 1 < n
+            ? SlottedPage::EntryKey(SlottedPage::Record(g.data(), i + 1))
+                  .ToString()
+            : hi;
+    REWIND_RETURN_IF_ERROR(
+        ValidateNode(buffers, DecodeChild(SlottedPage::EntryValue(entry)),
+                     child_lo, child_hi, h->level - 1, leaves));
+  }
+  return Status::OK();
+}
+
+Status BTree::Validate(BufferManager* buffers) const {
+  std::vector<PageId> leaves;
+  REWIND_RETURN_IF_ERROR(
+      ValidateNode(buffers, root_, std::string(), std::string(), -1, &leaves));
+  // Leaf chain must visit exactly the leaves of the tree, in order.
+  // (Leftmost lazily-kept empty leaves are part of the chain too.)
+  if (leaves.empty()) return Status::OK();
+  PageId pid = leaves.front();
+  size_t i = 0;
+  while (pid != kInvalidPageId && i < leaves.size()) {
+    if (pid != leaves[i]) {
+      return Status::Corruption("leaf chain order mismatch");
+    }
+    REWIND_ASSIGN_OR_RETURN(PageGuard g,
+                            buffers->FetchPage(pid, AccessMode::kRead));
+    pid = Header(g.data())->right_sibling;
+    i++;
+  }
+  if (i != leaves.size()) {
+    return Status::Corruption("leaf chain shorter than tree leaves");
+  }
+  return Status::OK();
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,154 @@
+// B+-tree index manager.
+//
+// Properties chosen for the paper's mechanisms:
+//  * The root page id never changes (root splits redistribute into two
+//    fresh children), so the root id doubles as the stable TreeId that
+//    log records carry for logical undo.
+//  * Structure modifications run in short *system transactions* that
+//    commit within the operation; their row moves are logged as inserts
+//    plus deletes that carry the full deleted entry (section 4.2(3)),
+//    so page-oriented undo can rewind through splits.
+//  * When a root changes shape (leaf -> internal) it is re-formatted
+//    behind a PREFORMAT record, keeping its prevPageLSN chain intact.
+//  * Leaves that become empty are deallocated (when cheap to unlink),
+//    which is what later exercises the re-allocation/preformat path.
+//
+// Concurrency: writers must hold the tree's exclusive latch, readers
+// the shared latch (the engine's Table layer owns that latch). Methods
+// here only use page latches for frame stability.
+#ifndef REWINDDB_BTREE_BTREE_H_
+#define REWINDDB_BTREE_BTREE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "common/result.h"
+#include "engine/allocator.h"
+#include "engine/page_ops.h"
+#include "txn/transaction.h"
+
+namespace rewinddb {
+
+/// Everything a B-tree mutation needs.
+struct TreeWriteContext {
+  BufferManager* buffers;
+  PageOps* ops;
+  TransactionManager* txns;
+  PageAllocator* allocator;
+};
+
+/// Scan callback verdicts.
+enum class ScanAction {
+  kContinue,  // deliver next row
+  kStop,      // end the scan successfully
+  kYield,     // release latches and report the current key to the caller
+              // (used to wait on a row lock without holding latches)
+};
+
+/// Result of a scan: whether it yielded, and at which key.
+struct ScanOutcome {
+  bool yielded = false;
+  std::string yield_key;
+};
+
+class BTree {
+ public:
+  /// Entries larger than this are rejected (an entry must fit in a
+  /// fraction of a page for splits to terminate).
+  static constexpr size_t kMaxEntrySize = 1800;
+
+  explicit BTree(TreeId root) : root_(root) {}
+
+  TreeId root() const { return root_; }
+
+  /// Allocate and format the root of a new tree. Returns its TreeId.
+  static Result<TreeId> Create(const TreeWriteContext& ctx, Transaction* txn);
+
+  /// Insert (key, value); AlreadyExists if the key is present.
+  Status Insert(const TreeWriteContext& ctx, Transaction* txn, Slice key,
+                Slice value);
+
+  /// Replace the value of `key`; NotFound if absent.
+  Status Update(const TreeWriteContext& ctx, Transaction* txn, Slice key,
+                Slice value);
+
+  /// Delete `key`; NotFound if absent.
+  Status Delete(const TreeWriteContext& ctx, Transaction* txn, Slice key);
+
+  /// Point lookup (read-only).
+  Result<std::string> Get(BufferManager* buffers, Slice key) const;
+
+  /// Range scan over [lower, upper) in key order; empty `upper` means
+  /// unbounded. The callback may yield (see ScanAction).
+  Result<ScanOutcome> Scan(
+      BufferManager* buffers, Slice lower, Slice upper,
+      const std::function<ScanAction(Slice key, Slice value)>& cb) const;
+
+  /// Number of entries (test helper; O(n)).
+  Result<uint64_t> Count(BufferManager* buffers) const;
+
+  /// Deallocate every page of the tree except the root, then the root's
+  /// content is cleared. Used by DROP TABLE. Runs in system
+  /// transactions; `txn` is the user transaction that owns the drop.
+  Status Drop(const TreeWriteContext& ctx, Transaction* txn);
+
+  /// Structural invariant check (tests): in-page ordering, separator
+  /// bounds, leaf-chain consistency. Returns Corruption on violation.
+  Status Validate(BufferManager* buffers) const;
+
+  /// Page ids from the root to the leaf covering `key` (read-only
+  /// descent). Used by the snapshot's unlogged logical undo.
+  Result<std::vector<PageId>> FindLeafPath(BufferManager* buffers,
+                                           Slice key) const;
+
+  // --- logical undo with compensation logging (rollback path) ---
+
+  /// Undo an INSERT: erase `key`, logging a CLR(delete) whose
+  /// undo_next_lsn is `undo_next`.
+  Status ClrErase(const TreeWriteContext& ctx, Transaction* txn, Slice key,
+                  Lsn undo_next);
+
+  /// Undo a DELETE: re-insert the logged `entry`, logging CLR(insert).
+  Status ClrReinsert(const TreeWriteContext& ctx, Transaction* txn,
+                     Slice entry, Lsn undo_next);
+
+  /// Undo an UPDATE: restore `old_entry`, logging CLR(update).
+  Status ClrRestore(const TreeWriteContext& ctx, Transaction* txn,
+                    Slice old_entry, Lsn undo_next);
+
+ private:
+  struct Descent {
+    std::vector<PageId> path;  // root .. leaf
+  };
+
+  Result<Descent> DescendToLeaf(BufferManager* buffers, Slice key) const;
+
+  Status SplitLeaf(const TreeWriteContext& ctx, const Descent& d,
+                   PageId leaf_id);
+  Status SplitRoot(const TreeWriteContext& ctx, Transaction* sys);
+  /// Insert (sep -> child) into the node at path index `node_idx`,
+  /// splitting upward as needed.
+  Status InsertSeparator(const TreeWriteContext& ctx, Transaction* sys,
+                         const Descent& d, size_t node_idx,
+                         const std::string& sep, PageId child);
+  Status SplitInternal(const TreeWriteContext& ctx, Transaction* sys,
+                       const Descent& d, size_t node_idx);
+  Status MaybeDeallocateEmptyLeaf(const TreeWriteContext& ctx,
+                                  const Descent& d, PageId leaf_id);
+
+  Status ValidateNode(BufferManager* buffers, PageId id, const std::string& lo,
+                      const std::string& hi, int expect_level,
+                      std::vector<PageId>* leaves) const;
+
+  TreeId root_;
+};
+
+/// Child pointer codec for internal-node entries.
+std::string EncodeChild(PageId child);
+PageId DecodeChild(Slice value);
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_BTREE_BTREE_H_

@@ -1,0 +1,288 @@
+#include "buffer/buffer_manager.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "io/paged_file.h"
+
+namespace rewinddb {
+
+Status FilePageStore::ReadPage(PageId id, char* buf) {
+  return file_->ReadPage(id, buf);
+}
+
+Status FilePageStore::WritePage(PageId id, const char* buf) {
+  return file_->WritePage(id, buf);
+}
+
+// ----------------------------- PageGuard ------------------------------
+
+PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    bm_ = o.bm_;
+    frame_ = o.frame_;
+    mode_ = o.mode_;
+    o.bm_ = nullptr;
+    o.frame_ = nullptr;
+  }
+  return *this;
+}
+
+PageId PageGuard::page_id() const {
+  assert(valid());
+  return frame_->page_id;
+}
+
+const char* PageGuard::data() const {
+  assert(valid());
+  return frame_->data;
+}
+
+char* PageGuard::mutable_data() {
+  assert(valid() && mode_ == AccessMode::kWrite);
+  return frame_->data;
+}
+
+void PageGuard::MarkDirty(Lsn lsn) {
+  assert(valid() && mode_ == AccessMode::kWrite);
+  SetPageLsn(frame_->data, lsn);
+  if (!frame_->dirty) {
+    frame_->dirty = true;
+    frame_->rec_lsn = lsn;
+  }
+}
+
+void PageGuard::MarkDirtyUnlogged() {
+  assert(valid() && mode_ == AccessMode::kWrite);
+  frame_->dirty = true;
+}
+
+void PageGuard::Release() {
+  if (frame_ != nullptr) {
+    bm_->Unpin(frame_, mode_);
+    frame_ = nullptr;
+    bm_ = nullptr;
+  }
+}
+
+// --------------------------- BufferManager ----------------------------
+
+BufferManager::BufferManager(PageStore* store, LogManager* log,
+                             IoStats* stats, size_t pool_pages,
+                             bool verify_checksums)
+    : store_(store), log_(log), stats_(stats),
+      verify_checksums_(verify_checksums) {
+  frames_.reserve(pool_pages);
+  for (size_t i = 0; i < pool_pages; i++) frames_.push_back(new Frame());
+}
+
+BufferManager::~BufferManager() {
+  for (Frame* f : frames_) delete f;
+}
+
+void BufferManager::Unpin(Frame* frame, AccessMode mode) {
+  if (mode == AccessMode::kWrite) {
+    frame->latch.unlock();
+  } else {
+    frame->latch.unlock_shared();
+  }
+  std::lock_guard<std::mutex> g(table_mu_);
+  frame->pin_count--;
+  assert(frame->pin_count >= 0);
+}
+
+Status BufferManager::EvictVictimLocked() {
+  // Clock sweep: two full passes distinguish "everything referenced"
+  // from "everything pinned".
+  for (size_t step = 0; step < frames_.size() * 2; step++) {
+    Frame* f = frames_[clock_hand_];
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (f->page_id == kInvalidPageId) return Status::OK();  // free frame
+    if (f->pin_count > 0) continue;
+    if (f->ref) {
+      f->ref = false;
+      continue;
+    }
+    // Victim found: flush if dirty (WAL rule), then drop the mapping.
+    if (f->dirty) {
+      REWIND_RETURN_IF_ERROR(WriteFrameToStore(f));
+    }
+    table_.erase(f->page_id);
+    f->page_id = kInvalidPageId;
+    f->dirty = false;
+    f->rec_lsn = kInvalidLsn;
+    return Status::OK();
+  }
+  return Status::Busy("buffer pool exhausted: every frame is pinned");
+}
+
+Status BufferManager::WriteFrameToStore(Frame* frame) {
+  // WAL rule: the log must be durable up to the page's LSN before the
+  // page image can reach the store.
+  if (log_ != nullptr) {
+    Lsn lsn = PageLsn(frame->data);
+    if (lsn != kInvalidLsn) {
+      REWIND_RETURN_IF_ERROR(log_->FlushTo(lsn));
+    }
+  }
+  // Stamp the checksum on a copy so concurrent shared readers of the
+  // frame never observe the checksum field mutating.
+  char copy[kPageSize];
+  memcpy(copy, frame->data, kPageSize);
+  StampPageChecksum(copy);
+  REWIND_RETURN_IF_ERROR(store_->WritePage(frame->page_id, copy));
+  frame->dirty = false;
+  frame->rec_lsn = kInvalidLsn;
+  return Status::OK();
+}
+
+Result<Frame*> BufferManager::PinFrame(PageId id, bool read_on_miss,
+                                       bool* was_present) {
+  std::unique_lock<std::mutex> g(table_mu_);
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame* f = it->second;
+    f->pin_count++;
+    f->ref = true;
+    *was_present = true;
+    return f;
+  }
+  *was_present = false;
+  REWIND_RETURN_IF_ERROR(EvictVictimLocked());
+  // EvictVictimLocked leaves at least one free frame; find it near the
+  // clock hand.
+  Frame* target = nullptr;
+  for (size_t i = 0; i < frames_.size(); i++) {
+    Frame* f = frames_[(clock_hand_ + i) % frames_.size()];
+    if (f->page_id == kInvalidPageId && f->pin_count == 0) {
+      target = f;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    return Status::Busy("buffer pool exhausted");
+  }
+  target->page_id = id;
+  target->pin_count = 1;
+  target->ref = true;
+  target->dirty = false;
+  target->rec_lsn = kInvalidLsn;
+  table_[id] = target;
+  // Hold the frame exclusively during the miss IO so concurrent
+  // fetchers of the same page wait for the image to arrive.
+  target->latch.lock();
+  g.unlock();
+
+  Status io = Status::OK();
+  if (read_on_miss) {
+    io = store_->ReadPage(id, target->data);
+    if (io.ok() && verify_checksums_ && !VerifyPageChecksum(target->data)) {
+      io = Status::Corruption("page " + std::to_string(id) +
+                              " failed checksum verification");
+    }
+  } else {
+    memset(target->data, 0, kPageSize);
+    Header(target->data)->page_id = id;
+  }
+  target->latch.unlock();
+  if (!io.ok()) {
+    std::lock_guard<std::mutex> g2(table_mu_);
+    target->pin_count--;
+    if (target->pin_count == 0) {
+      table_.erase(id);
+      target->page_id = kInvalidPageId;
+    }
+    return io;
+  }
+  return target;
+}
+
+Result<PageGuard> BufferManager::FetchPage(PageId id, AccessMode mode) {
+  bool present;
+  REWIND_ASSIGN_OR_RETURN(Frame * frame, PinFrame(id, true, &present));
+  if (mode == AccessMode::kWrite) {
+    frame->latch.lock();
+  } else {
+    frame->latch.lock_shared();
+  }
+  return PageGuard(this, frame, mode);
+}
+
+Result<PageGuard> BufferManager::NewPage(PageId id) {
+  bool present;
+  REWIND_ASSIGN_OR_RETURN(Frame * frame, PinFrame(id, false, &present));
+  frame->latch.lock();
+  if (present) {
+    // Page re-allocated while its old frame is still resident: reuse
+    // the frame; the caller formats over it.
+    memset(frame->data, 0, kPageSize);
+    Header(frame->data)->page_id = id;
+    frame->dirty = false;
+    frame->rec_lsn = kInvalidLsn;
+  }
+  return PageGuard(this, frame, AccessMode::kWrite);
+}
+
+Status BufferManager::FlushPage(PageId id) {
+  std::unique_lock<std::mutex> g(table_mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) return Status::OK();
+  Frame* f = it->second;
+  f->pin_count++;
+  g.unlock();
+
+  f->latch.lock_shared();
+  Status s = f->dirty ? WriteFrameToStore(f) : Status::OK();
+  f->latch.unlock_shared();
+
+  std::lock_guard<std::mutex> g2(table_mu_);
+  f->pin_count--;
+  return s;
+}
+
+Status BufferManager::FlushAll() {
+  std::vector<PageId> dirty;
+  {
+    std::lock_guard<std::mutex> g(table_mu_);
+    for (const auto& [id, f] : table_) {
+      if (f->dirty) dirty.push_back(id);
+    }
+  }
+  for (PageId id : dirty) {
+    REWIND_RETURN_IF_ERROR(FlushPage(id));
+  }
+  return Status::OK();
+}
+
+Status BufferManager::FlushAndEvict(PageId id) {
+  REWIND_RETURN_IF_ERROR(FlushPage(id));
+  std::lock_guard<std::mutex> g(table_mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) return Status::OK();
+  Frame* f = it->second;
+  if (f->pin_count > 0) {
+    return Status::Busy("cannot evict pinned page " + std::to_string(id));
+  }
+  if (f->dirty) {
+    // Dirtied again between flush and evict; extremely unlikely in the
+    // deallocation path, but do not lose the write.
+    REWIND_RETURN_IF_ERROR(WriteFrameToStore(f));
+  }
+  table_.erase(it);
+  f->page_id = kInvalidPageId;
+  f->dirty = false;
+  f->rec_lsn = kInvalidLsn;
+  return Status::OK();
+}
+
+std::vector<DptEntry> BufferManager::DirtyPageTable() {
+  std::vector<DptEntry> dpt;
+  std::lock_guard<std::mutex> g(table_mu_);
+  for (const auto& [id, f] : table_) {
+    if (f->dirty) dpt.push_back({id, f->rec_lsn});
+  }
+  return dpt;
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,166 @@
+// Buffer pool with shared/exclusive page latches, clock eviction, dirty
+// tracking and the WAL rule.
+//
+// The pool reads and writes through the PageStore interface. The primary
+// database's store is the PagedFile; an as-of snapshot's store is the
+// SnapshotStore, which checks the sparse side file, falls back to the
+// primary file and rewinds the page on the way in (paper section 5.3).
+// Keeping that indirection *below* the buffer pool is what preserves the
+// paper's property that every component higher in the stack (B-tree,
+// catalog, queries) is oblivious to time travel (section 2.2).
+#ifndef REWINDDB_BUFFER_BUFFER_MANAGER_H_
+#define REWINDDB_BUFFER_BUFFER_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "io/io_stats.h"
+#include "log/log_manager.h"
+#include "log/log_record.h"
+#include "page/page.h"
+
+namespace rewinddb {
+
+/// Backing store for a buffer pool: where pages come from on a miss and
+/// go on eviction/flush.
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+  virtual Status ReadPage(PageId id, char* buf) = 0;
+  virtual Status WritePage(PageId id, const char* buf) = 0;
+};
+
+/// Adapter: PagedFile as a PageStore.
+class FilePageStore : public PageStore {
+ public:
+  explicit FilePageStore(class PagedFile* file) : file_(file) {}
+  Status ReadPage(PageId id, char* buf) override;
+  Status WritePage(PageId id, const char* buf) override;
+
+ private:
+  class PagedFile* file_;
+};
+
+enum class AccessMode { kRead, kWrite };
+
+/// One pool slot. Internal to the buffer manager; exposed in the header
+/// only so PageGuard can be a cheap inline handle.
+struct Frame {
+  alignas(8) char data[kPageSize];
+  PageId page_id = kInvalidPageId;
+  bool dirty = false;
+  Lsn rec_lsn = kInvalidLsn;  // first LSN that dirtied the page (DPT)
+  int pin_count = 0;          // guarded by BufferManager::table_mu_
+  bool ref = false;           // clock reference bit
+  std::shared_mutex latch;
+};
+
+class BufferManager;
+
+/// RAII handle to a pinned, latched page frame. Move-only; releases the
+/// latch and pin on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept;
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return frame_ != nullptr; }
+  PageId page_id() const;
+
+  const char* data() const;
+  /// Mutable page bytes; requires kWrite access.
+  char* mutable_data();
+
+  /// Record that this page was modified by the log record at `lsn`:
+  /// sets the page LSN, marks the frame dirty and seeds its recovery
+  /// LSN for the dirty page table.
+  void MarkDirty(Lsn lsn);
+
+  /// Mark dirty without an LSN (snapshot-side modifications, which are
+  /// not logged -- the side file is a cache, not a database of record).
+  void MarkDirtyUnlogged();
+
+  /// Explicitly release (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PageGuard(BufferManager* bm, struct Frame* frame, AccessMode mode)
+      : bm_(bm), frame_(frame), mode_(mode) {}
+
+  BufferManager* bm_ = nullptr;
+  struct Frame* frame_ = nullptr;
+  AccessMode mode_ = AccessMode::kRead;
+};
+
+/// A fixed-size pool of page frames.
+class BufferManager {
+ public:
+  /// \param store    backing page store (file or snapshot store)
+  /// \param log      WAL to honour before flushing dirty pages; nullptr
+  ///                 for snapshot pools (their writes are unlogged)
+  /// \param pool_pages number of frames
+  /// \param verify_checksums verify page checksums on every miss read
+  BufferManager(PageStore* store, LogManager* log, IoStats* stats,
+                size_t pool_pages, bool verify_checksums = true);
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Fetch an existing page (reads through the store on a miss).
+  Result<PageGuard> FetchPage(PageId id, AccessMode mode);
+
+  /// Materialize a page frame without reading the store (page
+  /// allocation: the caller formats the frame).
+  Result<PageGuard> NewPage(PageId id);
+
+  /// Write one page to the store if dirty (honours the WAL rule).
+  Status FlushPage(PageId id);
+
+  /// Flush every dirty page (checkpoint / snapshot creation).
+  Status FlushAll();
+
+  /// Flush (if dirty) and drop a page from the pool. Used at page
+  /// deallocation so the store holds the final pre-dealloc image that a
+  /// later preformat record must capture.
+  Status FlushAndEvict(PageId id);
+
+  /// Dirty page table for checkpoint end records.
+  std::vector<DptEntry> DirtyPageTable();
+
+  size_t pool_pages() const { return frames_.size(); }
+
+ private:
+  friend class PageGuard;
+
+  Result<Frame*> PinFrame(PageId id, bool expect_present, bool* was_present);
+  Status EvictVictimLocked();  // table_mu_ held
+  Status WriteFrameToStore(Frame* frame);
+  void Unpin(Frame* frame, AccessMode mode);
+
+  PageStore* store_;
+  LogManager* log_;
+  IoStats* stats_;
+  const bool verify_checksums_;
+
+  std::mutex table_mu_;
+  std::unordered_map<PageId, Frame*> table_;
+  std::vector<Frame*> frames_;
+  size_t clock_hand_ = 0;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_BUFFER_BUFFER_MANAGER_H_

@@ -1,0 +1,208 @@
+#include "catalog/catalog.h"
+
+#include "common/coding.h"
+
+namespace rewinddb {
+
+std::string EncodeTableInfo(const TableInfo& info) {
+  std::string v;
+  PutFixed32(&v, info.table_id);
+  PutFixed32(&v, info.root);
+  info.schema.EncodeTo(&v);
+  return v;
+}
+
+Result<TableInfo> DecodeTableInfo(const std::string& name, Slice payload) {
+  TableInfo info;
+  info.name = name;
+  Decoder dec(payload);
+  if (!dec.GetFixed32(&info.table_id)) {
+    return Status::Corruption("table row: id");
+  }
+  uint32_t root;
+  if (!dec.GetFixed32(&root)) return Status::Corruption("table row: root");
+  info.root = root;
+  Slice rest;
+  if (!dec.GetBytes(dec.remaining(), &rest)) {
+    return Status::Corruption("table row: schema");
+  }
+  REWIND_ASSIGN_OR_RETURN(info.schema, Schema::Decode(rest));
+  return info;
+}
+
+std::string EncodeIndexInfo(const IndexInfo& info) {
+  std::string v;
+  PutFixed32(&v, info.index_id);
+  PutFixed32(&v, info.table_id);
+  PutFixed32(&v, info.root);
+  PutFixed16(&v, static_cast<uint16_t>(info.key_columns.size()));
+  for (uint16_t c : info.key_columns) PutFixed16(&v, c);
+  return v;
+}
+
+Result<IndexInfo> DecodeIndexInfo(const std::string& name, Slice payload) {
+  IndexInfo info;
+  info.name = name;
+  Decoder dec(payload);
+  uint32_t root;
+  uint16_t n;
+  if (!dec.GetFixed32(&info.index_id) || !dec.GetFixed32(&info.table_id) ||
+      !dec.GetFixed32(&root) || !dec.GetFixed16(&n)) {
+    return Status::Corruption("index row: header");
+  }
+  info.root = root;
+  info.key_columns.resize(n);
+  for (uint16_t i = 0; i < n; i++) {
+    if (!dec.GetFixed16(&info.key_columns[i])) {
+      return Status::Corruption("index row: column");
+    }
+  }
+  return info;
+}
+
+Status Catalog::Bootstrap(const TreeWriteContext& ctx, Transaction* txn) {
+  REWIND_ASSIGN_OR_RETURN(
+      PageId t,
+      ctx.allocator->AllocatePage(txn, PageType::kBtreeLeaf, 0,
+                                  kSysTablesRoot));
+  if (t != kSysTablesRoot) {
+    return Status::Corruption("bootstrap: sys_tables root is page " +
+                              std::to_string(t));
+  }
+  REWIND_ASSIGN_OR_RETURN(
+      PageId i,
+      ctx.allocator->AllocatePage(txn, PageType::kBtreeLeaf, 0,
+                                  kSysIndexesRoot));
+  if (i != kSysIndexesRoot) {
+    return Status::Corruption("bootstrap: sys_indexes root is page " +
+                              std::to_string(i));
+  }
+  return Status::OK();
+}
+
+namespace {
+std::string NameKey(const std::string& name) {
+  return EncodeKey({name}, 1);
+}
+}  // namespace
+
+Result<TableInfo> Catalog::GetTable(const std::string& name) const {
+  BTree tree(kSysTablesRoot);
+  auto v = tree.Get(buffers_, NameKey(name));
+  if (!v.ok()) {
+    if (v.status().IsNotFound()) {
+      return Status::NotFound("table '" + name + "' does not exist");
+    }
+    return v.status();
+  }
+  return DecodeTableInfo(name, *v);
+}
+
+Result<std::vector<TableInfo>> Catalog::ListTables() const {
+  BTree tree(kSysTablesRoot);
+  std::vector<TableInfo> out;
+  Status decode_status;
+  REWIND_ASSIGN_OR_RETURN(
+      ScanOutcome so,
+      tree.Scan(buffers_, Slice(), Slice(), [&](Slice key, Slice value) {
+        auto name = DecodeKey({ColumnType::kString}, key);
+        if (!name.ok()) {
+          decode_status = name.status();
+          return ScanAction::kStop;
+        }
+        auto info = DecodeTableInfo((*name)[0].AsString(), value);
+        if (!info.ok()) {
+          decode_status = info.status();
+          return ScanAction::kStop;
+        }
+        out.push_back(std::move(*info));
+        return ScanAction::kContinue;
+      }));
+  (void)so;
+  REWIND_RETURN_IF_ERROR(decode_status);
+  return out;
+}
+
+Status Catalog::PutTable(const TreeWriteContext& ctx, Transaction* txn,
+                         const TableInfo& info) {
+  BTree tree(kSysTablesRoot);
+  return tree.Insert(ctx, txn, NameKey(info.name), EncodeTableInfo(info));
+}
+
+Status Catalog::EraseTable(const TreeWriteContext& ctx, Transaction* txn,
+                           const std::string& name) {
+  BTree tree(kSysTablesRoot);
+  return tree.Delete(ctx, txn, NameKey(name));
+}
+
+Result<IndexInfo> Catalog::GetIndex(const std::string& name) const {
+  BTree tree(kSysIndexesRoot);
+  auto v = tree.Get(buffers_, NameKey(name));
+  if (!v.ok()) {
+    if (v.status().IsNotFound()) {
+      return Status::NotFound("index '" + name + "' does not exist");
+    }
+    return v.status();
+  }
+  return DecodeIndexInfo(name, *v);
+}
+
+Result<std::vector<IndexInfo>> Catalog::ListIndexesOf(uint32_t table_id) const {
+  BTree tree(kSysIndexesRoot);
+  std::vector<IndexInfo> out;
+  Status decode_status;
+  REWIND_ASSIGN_OR_RETURN(
+      ScanOutcome so,
+      tree.Scan(buffers_, Slice(), Slice(), [&](Slice key, Slice value) {
+        auto name = DecodeKey({ColumnType::kString}, key);
+        if (!name.ok()) {
+          decode_status = name.status();
+          return ScanAction::kStop;
+        }
+        auto info = DecodeIndexInfo((*name)[0].AsString(), value);
+        if (!info.ok()) {
+          decode_status = info.status();
+          return ScanAction::kStop;
+        }
+        if (info->table_id == table_id) out.push_back(std::move(*info));
+        return ScanAction::kContinue;
+      }));
+  (void)so;
+  REWIND_RETURN_IF_ERROR(decode_status);
+  return out;
+}
+
+Status Catalog::PutIndex(const TreeWriteContext& ctx, Transaction* txn,
+                         const IndexInfo& info) {
+  BTree tree(kSysIndexesRoot);
+  return tree.Insert(ctx, txn, NameKey(info.name), EncodeIndexInfo(info));
+}
+
+Status Catalog::EraseIndex(const TreeWriteContext& ctx, Transaction* txn,
+                           const std::string& name) {
+  BTree tree(kSysIndexesRoot);
+  return tree.Delete(ctx, txn, NameKey(name));
+}
+
+Result<uint32_t> Catalog::MaxObjectId() const {
+  uint32_t max_id = 0;
+  REWIND_ASSIGN_OR_RETURN(std::vector<TableInfo> tables, ListTables());
+  for (const TableInfo& t : tables) {
+    if (t.table_id > max_id) max_id = t.table_id;
+  }
+  BTree tree(kSysIndexesRoot);
+  Status decode_status;
+  REWIND_ASSIGN_OR_RETURN(
+      ScanOutcome so,
+      tree.Scan(buffers_, Slice(), Slice(), [&](Slice key, Slice value) {
+        auto name = DecodeKey({ColumnType::kString}, key);
+        if (!name.ok()) return ScanAction::kStop;
+        auto info = DecodeIndexInfo((*name)[0].AsString(), value);
+        if (info.ok() && info->index_id > max_id) max_id = info->index_id;
+        return ScanAction::kContinue;
+      }));
+  (void)so;
+  return max_id;
+}
+
+}  // namespace rewinddb

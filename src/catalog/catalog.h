@@ -1,0 +1,84 @@
+// Metadata catalog: system tables stored relationally in ordinary
+// B-trees at fixed roots.
+//
+// This mirrors the paper's design point (section 3): "Logical metadata
+// ... is stored in relational format and updates to it are logged
+// similar to updates to data", so an as-of snapshot rewinds the catalog
+// pages with the very same PreparePageAsOf mechanism as data pages --
+// which is what makes a dropped table reappear, schema and all, when
+// queried as of a time before the DROP.
+#ifndef REWINDDB_CATALOG_CATALOG_H_
+#define REWINDDB_CATALOG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace rewinddb {
+
+/// Descriptor of a user table.
+struct TableInfo {
+  uint32_t table_id = 0;
+  std::string name;
+  TreeId root = kInvalidPageId;  // clustered B-tree
+  Schema schema;
+};
+
+/// Descriptor of a secondary index.
+struct IndexInfo {
+  uint32_t index_id = 0;
+  std::string name;
+  uint32_t table_id = 0;
+  TreeId root = kInvalidPageId;
+  /// Positions (into the table's column list) of the indexed columns.
+  std::vector<uint16_t> key_columns;
+};
+
+/// Reads and writes the system tables. A Catalog is bound to a
+/// BufferManager -- the primary's, or an as-of snapshot's, in which case
+/// every lookup transparently sees metadata as of the SplitLSN.
+class Catalog {
+ public:
+  static constexpr PageId kSysTablesRoot = 2;
+  static constexpr PageId kSysIndexesRoot = 3;
+
+  explicit Catalog(BufferManager* buffers) : buffers_(buffers) {}
+
+  /// Format the system-table roots (database bootstrap; the allocator
+  /// must hand out exactly pages 2 and 3).
+  static Status Bootstrap(const TreeWriteContext& ctx, Transaction* txn);
+
+  Result<TableInfo> GetTable(const std::string& name) const;
+  Result<std::vector<TableInfo>> ListTables() const;
+  Status PutTable(const TreeWriteContext& ctx, Transaction* txn,
+                  const TableInfo& info);
+  Status EraseTable(const TreeWriteContext& ctx, Transaction* txn,
+                    const std::string& name);
+
+  Result<IndexInfo> GetIndex(const std::string& name) const;
+  /// All indexes declared on `table_id`.
+  Result<std::vector<IndexInfo>> ListIndexesOf(uint32_t table_id) const;
+  Status PutIndex(const TreeWriteContext& ctx, Transaction* txn,
+                  const IndexInfo& info);
+  Status EraseIndex(const TreeWriteContext& ctx, Transaction* txn,
+                    const std::string& name);
+
+  /// Largest table/index id in use (id allocation after recovery).
+  Result<uint32_t> MaxObjectId() const;
+
+ private:
+  BufferManager* buffers_;
+};
+
+/// Catalog row codecs (exposed for tests).
+std::string EncodeTableInfo(const TableInfo& info);
+Result<TableInfo> DecodeTableInfo(const std::string& name, Slice payload);
+std::string EncodeIndexInfo(const IndexInfo& info);
+Result<IndexInfo> DecodeIndexInfo(const std::string& name, Slice payload);
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_CATALOG_CATALOG_H_

@@ -1,0 +1,89 @@
+#include "catalog/schema.h"
+
+#include "common/coding.h"
+
+namespace rewinddb {
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<ColumnType> Schema::types() const {
+  std::vector<ColumnType> t;
+  t.reserve(columns_.size());
+  for (const Column& c : columns_) t.push_back(c.type);
+  return t;
+}
+
+std::vector<ColumnType> Schema::key_types() const {
+  std::vector<ColumnType> t;
+  t.reserve(num_key_columns_);
+  for (size_t i = 0; i < num_key_columns_; i++) t.push_back(columns_[i].type);
+  return t;
+}
+
+Status Schema::CheckRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); i++) {
+    if (row[i].type() != columns_[i].type) {
+      return Status::InvalidArgument("column '" + columns_[i].name +
+                                     "' type mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::KeyOf(const Row& row) const {
+  return EncodeKey(row, num_key_columns_);
+}
+
+void Schema::EncodeTo(std::string* dst) const {
+  PutFixed16(dst, static_cast<uint16_t>(columns_.size()));
+  PutFixed16(dst, static_cast<uint16_t>(num_key_columns_));
+  for (const Column& c : columns_) {
+    PutLengthPrefixed(dst, c.name);
+    dst->push_back(static_cast<char>(c.type));
+  }
+}
+
+Result<Schema> Schema::Decode(Slice data) {
+  Decoder dec(data);
+  uint16_t n, k;
+  if (!dec.GetFixed16(&n) || !dec.GetFixed16(&k)) {
+    return Status::Corruption("schema: short header");
+  }
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint16_t i = 0; i < n; i++) {
+    Slice name, type_byte;
+    if (!dec.GetLengthPrefixed(&name) || !dec.GetBytes(1, &type_byte)) {
+      return Status::Corruption("schema: short column");
+    }
+    cols.push_back({name.ToString(), static_cast<ColumnType>(type_byte[0])});
+  }
+  if (k > n) return Status::Corruption("schema: key wider than row");
+  return Schema(std::move(cols), k);
+}
+
+bool Schema::operator==(const Schema& o) const {
+  if (num_key_columns_ != o.num_key_columns_ ||
+      columns_.size() != o.columns_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (columns_[i].name != o.columns_[i].name ||
+        columns_[i].type != o.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,57 @@
+// Table schemas: typed columns with a key prefix.
+#ifndef REWINDDB_CATALOG_SCHEMA_H_
+#define REWINDDB_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace rewinddb {
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// Column list plus the length of the primary-key prefix. Rows are
+/// stored in the table's clustered B-tree keyed by the memcomparable
+/// encoding of the first `num_key_columns` values.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<Column> columns, size_t num_key_columns)
+      : columns_(std::move(columns)), num_key_columns_(num_key_columns) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_key_columns() const { return num_key_columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of the named column; -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Column types in declaration order.
+  std::vector<ColumnType> types() const;
+  /// Types of the key prefix.
+  std::vector<ColumnType> key_types() const;
+
+  /// Check that `row` matches the schema (arity and types).
+  Status CheckRow(const Row& row) const;
+
+  /// Encode the key of `row` (first num_key_columns values).
+  std::string KeyOf(const Row& row) const;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<Schema> Decode(Slice data);
+
+  bool operator==(const Schema& o) const;
+
+ private:
+  std::vector<Column> columns_;
+  size_t num_key_columns_ = 0;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_CATALOG_SCHEMA_H_

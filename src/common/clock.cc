@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace rewinddb {
+
+RealClock* RealClock::Default() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace rewinddb

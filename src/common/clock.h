@@ -1,0 +1,75 @@
+// Clock abstraction: real wall-clock for production/tests, simulated
+// clock for the media-latency experiments (figures 7-11).
+#ifndef REWINDDB_COMMON_CLOCK_H_
+#define REWINDDB_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace rewinddb {
+
+/// Source of wall-clock time for commit/checkpoint log records and sink
+/// for simulated IO latency charged by the DiskModel.
+///
+/// Figures 7-11 of the paper compare media (SSD vs 10K SAS) whose costs
+/// are IO-dominated. Rather than sleeping for every simulated IO (a
+/// 44-minute restore!), RewindDB charges per-IO latency to a SimClock,
+/// and the latency benchmarks report simulated elapsed time. Throughput
+/// experiments (figures 5-6) use the RealClock and real execution.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since the epoch (or since simulation
+  /// start for SimClock).
+  virtual WallClock NowMicros() = 0;
+
+  /// Charge `micros` of IO latency. Advances a SimClock; no-op on the
+  /// RealClock (the real device already took the time).
+  virtual void AdvanceIo(uint64_t micros) = 0;
+};
+
+/// System clock. AdvanceIo is a no-op.
+class RealClock : public Clock {
+ public:
+  WallClock NowMicros() override {
+    return static_cast<WallClock>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }
+  void AdvanceIo(uint64_t /*micros*/) override {}
+
+  /// Process-wide shared instance.
+  static RealClock* Default();
+};
+
+/// Deterministic virtual clock for single-threaded latency experiments.
+/// Time only moves when advanced explicitly or by charged IO.
+class SimClock : public Clock {
+ public:
+  /// \param start_micros initial simulated time (non-zero so that
+  ///        timestamps are never confused with kInvalidLsn-like zeros).
+  explicit SimClock(WallClock start_micros = 1'000'000)
+      : now_(start_micros) {}
+
+  WallClock NowMicros() override { return now_.load(std::memory_order_relaxed); }
+
+  void AdvanceIo(uint64_t micros) override {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  /// Advance simulated time by `micros` (e.g. to model the passage of
+  /// minutes between a mistake and its recovery).
+  void Advance(uint64_t micros) { now_.fetch_add(micros, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<WallClock> now_;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_COMMON_CLOCK_H_

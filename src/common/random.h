@@ -1,0 +1,61 @@
+// Small fast RNG used by tests, property checks and the TPC-C driver.
+#ifndef REWINDDB_COMMON_RANDOM_H_
+#define REWINDDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rewinddb {
+
+/// xorshift128+ generator: deterministic given a seed, cheap enough for
+/// hot workload-generation loops.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    s0_ = seed ^ 0x2545F4914F6CDD1DULL;
+    s1_ = seed * 0x9E3779B97F4A7C15ULL + 1;
+    // Warm up so poor seeds decorrelate.
+    for (int i = 0; i < 8; i++) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive (TPC-C's rand() convention).
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability `percent`/100.
+  bool Percent(uint32_t percent) { return Uniform(100) < percent; }
+
+  /// TPC-C non-uniform random (clause 2.1.6).
+  int64_t NonUniform(int64_t a, int64_t x, int64_t y) {
+    return (((UniformRange(0, a) | UniformRange(x, y)) + 42) % (y - x + 1)) + x;
+  }
+
+  /// Random lower-case alphabetic string of length in [min_len, max_len].
+  std::string AlphaString(size_t min_len, size_t max_len) {
+    size_t n = min_len + Uniform(max_len - min_len + 1);
+    std::string s(n, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+    return s;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_COMMON_RANDOM_H_

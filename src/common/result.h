@@ -1,0 +1,63 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+#ifndef REWINDDB_COMMON_RESULT_H_
+#define REWINDDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rewinddb {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return 42;`
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound();`
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assign the value of a Result expression or propagate its error.
+#define REWIND_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto REWIND_CONCAT_(_res_, __LINE__) = (expr);                  \
+  if (!REWIND_CONCAT_(_res_, __LINE__).ok())                      \
+    return REWIND_CONCAT_(_res_, __LINE__).status();              \
+  lhs = std::move(REWIND_CONCAT_(_res_, __LINE__)).value()
+
+#define REWIND_CONCAT_IMPL_(a, b) a##b
+#define REWIND_CONCAT_(a, b) REWIND_CONCAT_IMPL_(a, b)
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_COMMON_RESULT_H_

@@ -1,0 +1,69 @@
+// Slice: cheap non-owning view over bytes (RocksDB idiom).
+#ifndef REWINDDB_COMMON_SLICE_H_
+#define REWINDDB_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace rewinddb {
+
+/// Non-owning pointer+length view over a byte range. The referenced
+/// memory must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}               // NOLINT
+  Slice(std::string_view sv) : data_(sv.data()), size_(sv.size()) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  void remove_prefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  /// Memcmp-style three-way compare. RewindDB keys are encoded so that
+  /// this byte order equals logical key order (see key_codec.h).
+  int compare(const Slice& b) const {
+    const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+    int r = memcmp(data_, b.data_, min_len);
+    if (r == 0) {
+      if (size_ < b.size_) r = -1;
+      else if (size_ > b.size_) r = +1;
+    }
+    return r;
+  }
+
+  bool operator==(const Slice& b) const {
+    return size_ == b.size_ && memcmp(data_, b.data_, size_) == 0;
+  }
+  bool operator!=(const Slice& b) const { return !(*this == b); }
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_COMMON_SLICE_H_

@@ -1,0 +1,91 @@
+// Status: exception-free error propagation, RocksDB/Arrow style.
+#ifndef REWINDDB_COMMON_STATUS_H_
+#define REWINDDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace rewinddb {
+
+/// Outcome of an operation that can fail. All fallible RewindDB APIs
+/// return Status (or Result<T>); the library never throws.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kIoError,
+    kAborted,         // transaction aborted (deadlock / lock timeout)
+    kBusy,            // resource temporarily unavailable
+    kNotSupported,
+    kOutOfRange,      // e.g. as-of time outside the retention period
+    kAlreadyExists,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg = "") {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "CODE: message" string for logging and tests.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define REWIND_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::rewinddb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_COMMON_STATUS_H_

@@ -1,0 +1,48 @@
+// Core scalar types shared by every RewindDB module.
+#ifndef REWINDDB_COMMON_TYPES_H_
+#define REWINDDB_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace rewinddb {
+
+/// Log sequence number. RewindDB assigns each log record the byte offset
+/// of the record within the (conceptually infinite) log stream, so
+/// `GetLogRecord(lsn)` is a single positioned read -- which makes the
+/// paper's observation that "each log IO is a potential stall" (VLDB'12
+/// section 6.2) literal in this implementation.
+using Lsn = uint64_t;
+
+/// LSN value meaning "no record" (start of every chain).
+inline constexpr Lsn kInvalidLsn = 0;
+
+/// Page number within the single data file of a database.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Transaction identifier. Ids below kFirstUserTxnId are reserved for
+/// system transactions (B-tree structure modifications, allocation).
+using TxnId = uint64_t;
+
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// Wall-clock timestamp, microseconds since the Unix epoch (or since the
+/// start of a simulation when a SimClock is in use). Checkpoint and
+/// commit log records carry these so that as-of snapshot creation can
+/// translate a user-supplied wall-clock time into a SplitLSN.
+using WallClock = uint64_t;
+
+/// Identifier of a B-tree. RewindDB B-tree roots never move (root splits
+/// redistribute into fresh children), so the root page id doubles as the
+/// stable tree id carried in log records for logical undo.
+using TreeId = PageId;
+
+/// Size of every data page, log-block unit and side-file slot.
+inline constexpr size_t kPageSize = 8192;
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_COMMON_TYPES_H_

@@ -1,0 +1,249 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace rewinddb {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt32: return "INT32";
+    case ColumnType::kInt64: return "INT64";
+    case ColumnType::kDouble: return "DOUBLE";
+    case ColumnType::kString: return "STRING";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ColumnType::kInt32: return std::to_string(AsInt32());
+    case ColumnType::kInt64: return std::to_string(AsInt64());
+    case ColumnType::kDouble: return std::to_string(AsDouble());
+    case ColumnType::kString: return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); i++) {
+    if (i) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+void EncodeRow(const std::vector<ColumnType>& types, const Row& row,
+               std::string* dst) {
+  for (size_t i = 0; i < types.size(); i++) {
+    const Value& v = row[i];
+    switch (types[i]) {
+      case ColumnType::kInt32:
+        PutFixed32(dst, static_cast<uint32_t>(v.AsInt32()));
+        break;
+      case ColumnType::kInt64:
+        PutFixed64(dst, static_cast<uint64_t>(v.AsInt64()));
+        break;
+      case ColumnType::kDouble: {
+        uint64_t bits;
+        double d = v.AsDouble();
+        memcpy(&bits, &d, 8);
+        PutFixed64(dst, bits);
+        break;
+      }
+      case ColumnType::kString:
+        PutLengthPrefixed(dst, v.AsString());
+        break;
+    }
+  }
+}
+
+Result<Row> DecodeRow(const std::vector<ColumnType>& types, Slice payload) {
+  Row row;
+  row.reserve(types.size());
+  Decoder dec(payload);
+  for (ColumnType t : types) {
+    switch (t) {
+      case ColumnType::kInt32: {
+        uint32_t v;
+        if (!dec.GetFixed32(&v)) return Status::Corruption("row: short int32");
+        row.emplace_back(static_cast<int32_t>(v));
+        break;
+      }
+      case ColumnType::kInt64: {
+        uint64_t v;
+        if (!dec.GetFixed64(&v)) return Status::Corruption("row: short int64");
+        row.emplace_back(static_cast<int64_t>(v));
+        break;
+      }
+      case ColumnType::kDouble: {
+        uint64_t bits;
+        if (!dec.GetFixed64(&bits)) return Status::Corruption("row: short dbl");
+        double d;
+        memcpy(&d, &bits, 8);
+        row.emplace_back(d);
+        break;
+      }
+      case ColumnType::kString: {
+        Slice s;
+        if (!dec.GetLengthPrefixed(&s)) return Status::Corruption("row: short str");
+        row.emplace_back(s.ToString());
+        break;
+      }
+    }
+  }
+  if (!dec.empty()) return Status::Corruption("row: trailing bytes");
+  return row;
+}
+
+namespace {
+
+// Big-endian with the sign bit flipped: preserves signed integer order.
+void PutOrderedU32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v >> 24);
+  buf[1] = static_cast<char>(v >> 16);
+  buf[2] = static_cast<char>(v >> 8);
+  buf[3] = static_cast<char>(v);
+  dst->append(buf, 4);
+}
+
+void PutOrderedU64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; i++) buf[i] = static_cast<char>(v >> (56 - 8 * i));
+  dst->append(buf, 8);
+}
+
+uint32_t GetOrderedU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; i++) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+uint64_t GetOrderedU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; i++) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+// IEEE-754 total-order trick: positive doubles flip only the sign bit,
+// negative doubles flip all bits.
+uint64_t DoubleToOrdered(double d) {
+  uint64_t bits;
+  memcpy(&bits, &d, 8);
+  if (bits & (1ULL << 63)) return ~bits;
+  return bits | (1ULL << 63);
+}
+
+double OrderedToDouble(uint64_t enc) {
+  uint64_t bits;
+  if (enc & (1ULL << 63)) bits = enc & ~(1ULL << 63);
+  else bits = ~enc;
+  double d;
+  memcpy(&d, &bits, 8);
+  return d;
+}
+
+// Strings: escape 0x00 as 0x00 0xFF, terminate with 0x00 0x00 so that
+// prefixes order before extensions and embedded NULs survive.
+void PutOrderedString(std::string* dst, const std::string& s) {
+  for (char c : s) {
+    dst->push_back(c);
+    if (c == '\0') dst->push_back('\xFF');
+  }
+  dst->push_back('\0');
+  dst->push_back('\0');
+}
+
+bool GetOrderedString(Slice* in, std::string* out) {
+  out->clear();
+  while (in->size() >= 2) {
+    char c = (*in)[0];
+    if (c == '\0') {
+      char next = (*in)[1];
+      in->remove_prefix(2);
+      if (next == '\0') return true;       // terminator
+      if (next == '\xFF') {
+        out->push_back('\0');              // escaped NUL
+        continue;
+      }
+      return false;                        // malformed
+    }
+    out->push_back(c);
+    in->remove_prefix(1);
+  }
+  return false;
+}
+
+}  // namespace
+
+void EncodeKeyValue(const Value& v, std::string* dst) {
+  switch (v.type()) {
+    case ColumnType::kInt32:
+      PutOrderedU32(dst, static_cast<uint32_t>(v.AsInt32()) ^ 0x80000000u);
+      break;
+    case ColumnType::kInt64:
+      PutOrderedU64(dst,
+                    static_cast<uint64_t>(v.AsInt64()) ^ (1ULL << 63));
+      break;
+    case ColumnType::kDouble:
+      PutOrderedU64(dst, DoubleToOrdered(v.AsDouble()));
+      break;
+    case ColumnType::kString:
+      PutOrderedString(dst, v.AsString());
+      break;
+  }
+}
+
+std::string EncodeKey(const Row& row, size_t num_cols) {
+  std::string key;
+  for (size_t i = 0; i < num_cols && i < row.size(); i++) {
+    EncodeKeyValue(row[i], &key);
+  }
+  return key;
+}
+
+Result<Row> DecodeKey(const std::vector<ColumnType>& key_types, Slice key) {
+  Row row;
+  row.reserve(key_types.size());
+  for (ColumnType t : key_types) {
+    switch (t) {
+      case ColumnType::kInt32: {
+        if (key.size() < 4) return Status::Corruption("key: short int32");
+        uint32_t enc = GetOrderedU32(key.data());
+        key.remove_prefix(4);
+        row.emplace_back(static_cast<int32_t>(enc ^ 0x80000000u));
+        break;
+      }
+      case ColumnType::kInt64: {
+        if (key.size() < 8) return Status::Corruption("key: short int64");
+        uint64_t enc = GetOrderedU64(key.data());
+        key.remove_prefix(8);
+        row.emplace_back(static_cast<int64_t>(enc ^ (1ULL << 63)));
+        break;
+      }
+      case ColumnType::kDouble: {
+        if (key.size() < 8) return Status::Corruption("key: short double");
+        uint64_t enc = GetOrderedU64(key.data());
+        key.remove_prefix(8);
+        row.emplace_back(OrderedToDouble(enc));
+        break;
+      }
+      case ColumnType::kString: {
+        std::string s;
+        if (!GetOrderedString(&key, &s))
+          return Status::Corruption("key: bad string");
+        row.emplace_back(std::move(s));
+        break;
+      }
+    }
+  }
+  if (!key.empty()) return Status::Corruption("key: trailing bytes");
+  return row;
+}
+
+}  // namespace rewinddb

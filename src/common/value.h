@@ -1,0 +1,94 @@
+// Typed column values, row payload codec, and the order-preserving
+// (memcomparable) key encoding used by every B-tree in RewindDB.
+#ifndef REWINDDB_COMMON_VALUE_H_
+#define REWINDDB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace rewinddb {
+
+/// Column types supported by the row codec.
+enum class ColumnType : uint8_t {
+  kInt32 = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+const char* ColumnTypeName(ColumnType t);
+
+/// A single column value. The variant order matches ColumnType.
+class Value {
+ public:
+  Value() : v_(int32_t{0}) {}
+  Value(int32_t v) : v_(v) {}              // NOLINT(runtime/explicit)
+  Value(int64_t v) : v_(v) {}              // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}               // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ColumnType type() const {
+    switch (v_.index()) {
+      case 0: return ColumnType::kInt32;
+      case 1: return ColumnType::kInt64;
+      case 2: return ColumnType::kDouble;
+      default: return ColumnType::kString;
+    }
+  }
+
+  int32_t AsInt32() const { return std::get<int32_t>(v_); }
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+  bool operator!=(const Value& o) const { return v_ != o.v_; }
+
+  /// Debug rendering, e.g. for example programs and test failures.
+  std::string ToString() const;
+
+ private:
+  std::variant<int32_t, int64_t, double, std::string> v_;
+};
+
+/// A row is an ordered tuple of values matching a table's column list.
+using Row = std::vector<Value>;
+
+std::string RowToString(const Row& row);
+
+// ---------------------------------------------------------------------
+// Row payload codec (non-ordered storage format for B-tree leaf values).
+// ---------------------------------------------------------------------
+
+/// Serialize `row` (which must match `types`) into `dst`.
+void EncodeRow(const std::vector<ColumnType>& types, const Row& row,
+               std::string* dst);
+
+/// Decode a payload previously produced by EncodeRow.
+Result<Row> DecodeRow(const std::vector<ColumnType>& types, Slice payload);
+
+// ---------------------------------------------------------------------
+// Memcomparable key codec: byte order == logical order, so B-trees can
+// compare keys with memcmp regardless of schema.
+// ---------------------------------------------------------------------
+
+/// Append the order-preserving encoding of `v` to `dst`.
+void EncodeKeyValue(const Value& v, std::string* dst);
+
+/// Encode the first `num_cols` values of `row` as a composite key.
+std::string EncodeKey(const Row& row, size_t num_cols);
+
+/// Decode a composite key produced by EncodeKey given the key column
+/// types. Used by examples and debugging; the engine itself treats keys
+/// as opaque bytes.
+Result<Row> DecodeKey(const std::vector<ColumnType>& key_types, Slice key);
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_COMMON_VALUE_H_

@@ -1,0 +1,143 @@
+#include "engine/allocator.h"
+
+#include <cstring>
+#include <functional>
+
+#include "page/alloc_page.h"
+
+namespace rewinddb {
+
+void SuperBlock::WriteTo(char* page) const {
+  memset(page, 0, kPageSize);
+  PageHeader* h = Header(page);
+  h->page_id = 0;
+  h->type = PageType::kSuper;
+  char* p = page + kPageHeaderSize;
+  memcpy(p, &magic, 8);
+  memcpy(p + 8, &master_checkpoint_lsn, 8);
+  memcpy(p + 16, &num_alloc_maps, 4);
+  memcpy(p + 20, &next_table_id, 4);
+  memcpy(p + 24, &undo_interval_micros, 8);
+  memcpy(p + 32, &next_txn_id, 8);
+}
+
+SuperBlock SuperBlock::ReadFrom(const char* page) {
+  SuperBlock sb;
+  const char* p = page + kPageHeaderSize;
+  memcpy(&sb.magic, p, 8);
+  memcpy(&sb.master_checkpoint_lsn, p + 8, 8);
+  memcpy(&sb.num_alloc_maps, p + 16, 4);
+  memcpy(&sb.next_table_id, p + 20, 4);
+  memcpy(&sb.undo_interval_micros, p + 24, 8);
+  memcpy(&sb.next_txn_id, p + 32, 8);
+  return sb;
+}
+
+Status PageAllocator::CreateFirstAllocMap(Transaction* txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  REWIND_ASSIGN_OR_RETURN(PageGuard map, buffers_->NewPage(1));
+  REWIND_RETURN_IF_ERROR(
+      ops_->LogFormat(txn, map, 1, PageType::kAllocMap, 0, kInvalidPageId));
+  num_alloc_maps_ = 1;
+  if (on_new_map_) on_new_map_(num_alloc_maps_);
+  return Status::OK();
+}
+
+Result<PageId> PageAllocator::TryAllocateInMap(Transaction* txn, PageId map_id,
+                                               PageType type, uint8_t level,
+                                               TreeId tree) {
+  uint32_t bit;
+  bool ever;
+  {
+    REWIND_ASSIGN_OR_RETURN(PageGuard map,
+                            buffers_->FetchPage(map_id, AccessMode::kWrite));
+    bit = AllocPage::FindFree(map.data(), 1);
+    if (bit == AllocPage::kNoFreeBit) {
+      return Status::NotFound("alloc map full");
+    }
+    ever = AllocPage::EverAllocated(map.data(), bit);
+    REWIND_RETURN_IF_ERROR(ops_->LogAllocBits(txn, map, bit, true, true));
+  }
+  PageId page_id = PageForAllocBit(map_id, bit);
+
+  if (ever) {
+    // Re-allocation: capture the previous incarnation's final image in
+    // a preformat record before formatting over it (section 4.2(1)).
+    char image[kPageSize];
+    {
+      REWIND_ASSIGN_OR_RETURN(PageGuard old,
+                              buffers_->FetchPage(page_id, AccessMode::kRead));
+      memcpy(image, old.data(), kPageSize);
+    }
+    REWIND_ASSIGN_OR_RETURN(PageGuard fresh, buffers_->NewPage(page_id));
+    // NewPage wiped the frame; restore the image so LogPreformat reads
+    // consistent chain anchors and LogFormat links behind it.
+    memcpy(fresh.mutable_data(), image, kPageSize);
+    REWIND_RETURN_IF_ERROR(ops_->LogPreformat(txn, fresh, image));
+    REWIND_RETURN_IF_ERROR(
+        ops_->LogFormat(txn, fresh, page_id, type, level, tree));
+  } else {
+    // First allocation: no useful prior content, no preformat logging.
+    REWIND_ASSIGN_OR_RETURN(PageGuard fresh, buffers_->NewPage(page_id));
+    REWIND_RETURN_IF_ERROR(
+        ops_->LogFormat(txn, fresh, page_id, type, level, tree));
+  }
+  return page_id;
+}
+
+Result<PageId> PageAllocator::AllocatePage(Transaction* txn, PageType type,
+                                           uint8_t level, TreeId tree) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (uint32_t i = 0; i < num_alloc_maps_; i++) {
+    PageId map_id = 1 + i * kPagesPerAllocMap;
+    auto r = TryAllocateInMap(txn, map_id, type, level, tree);
+    if (r.ok()) return r;
+    if (!r.status().IsNotFound()) return r.status();
+  }
+  // Every interval is full: materialize a new allocation map page.
+  PageId new_map = 1 + num_alloc_maps_ * kPagesPerAllocMap;
+  {
+    REWIND_ASSIGN_OR_RETURN(PageGuard map, buffers_->NewPage(new_map));
+    REWIND_RETURN_IF_ERROR(ops_->LogFormat(txn, map, new_map,
+                                           PageType::kAllocMap, 0,
+                                           kInvalidPageId));
+  }
+  num_alloc_maps_++;
+  if (on_new_map_) on_new_map_(num_alloc_maps_);
+  return TryAllocateInMap(txn, new_map, type, level, tree);
+}
+
+Status PageAllocator::DeallocatePage(Transaction* txn, PageId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  // Flush the final image so the store holds exactly what a future
+  // preformat record must capture, then drop the frame.
+  REWIND_RETURN_IF_ERROR(buffers_->FlushAndEvict(id));
+  PageId map_id = AllocMapPageFor(id);
+  uint32_t bit = AllocBitFor(id);
+  REWIND_ASSIGN_OR_RETURN(PageGuard map,
+                          buffers_->FetchPage(map_id, AccessMode::kWrite));
+  if (!AllocPage::IsAllocated(map.data(), bit)) {
+    return Status::Corruption("double free of page " + std::to_string(id));
+  }
+  return ops_->LogAllocBits(txn, map, bit, false, true);
+}
+
+Result<bool> PageAllocator::IsAllocated(PageId id) {
+  PageId map_id = AllocMapPageFor(id);
+  REWIND_ASSIGN_OR_RETURN(PageGuard map,
+                          buffers_->FetchPage(map_id, AccessMode::kRead));
+  return AllocPage::IsAllocated(map.data(), AllocBitFor(id));
+}
+
+Result<uint64_t> PageAllocator::CountAllocatedPages() {
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < num_alloc_maps_; i++) {
+    PageId map_id = 1 + i * kPagesPerAllocMap;
+    REWIND_ASSIGN_OR_RETURN(PageGuard map,
+                            buffers_->FetchPage(map_id, AccessMode::kRead));
+    total += AllocPage::CountAllocated(map.data());
+  }
+  return total;
+}
+
+}  // namespace rewinddb

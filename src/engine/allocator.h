@@ -1,0 +1,89 @@
+// Page allocator over the allocation-map pages.
+//
+// Implements the paper's re-allocation protocol (section 4.2(1)):
+//  * first allocation of a page -> plain FORMAT record (no preformat:
+//    "a data page does not contain useful information if it has never
+//    been allocated before", so initial load stays cheap);
+//  * re-allocation -> read the page's final pre-deallocation image from
+//    the store, log a PREFORMAT record carrying that image (splicing
+//    the old and new prevPageLSN chains), then FORMAT.
+//
+// Deallocation logs only the allocation-map bit flip; the page's bytes
+// are left untouched on disk, exactly as the paper prescribes ("instead
+// of logging pro-actively during de-allocation... the cost is paid at
+// re-allocation").
+#ifndef REWINDDB_ENGINE_ALLOCATOR_H_
+#define REWINDDB_ENGINE_ALLOCATOR_H_
+
+#include <functional>
+#include <mutex>
+
+#include "buffer/buffer_manager.h"
+#include "common/result.h"
+#include "engine/page_ops.h"
+#include "txn/transaction.h"
+
+namespace rewinddb {
+
+/// Superblock (page 0) accessor: boot metadata updated outside logging,
+/// like SQL Server's boot page.
+struct SuperBlock {
+  uint64_t magic;
+  Lsn master_checkpoint_lsn;   // analysis starts here after a crash
+  uint32_t num_alloc_maps;     // allocation intervals materialized
+  uint32_t next_table_id;
+  uint64_t undo_interval_micros;  // retention period (section 4.3)
+  uint64_t next_txn_id;
+
+  void WriteTo(char* page) const;
+  static SuperBlock ReadFrom(const char* page);
+  static constexpr uint64_t kMagic = 0x5257444256313031ULL;  // "RWDBV101"
+};
+
+class PageAllocator {
+ public:
+  PageAllocator(BufferManager* buffers, PageOps* ops)
+      : buffers_(buffers), ops_(ops) {}
+
+  /// Bootstrap: create the first allocation map page (page 1). Called
+  /// once at database creation, inside the bootstrap transaction.
+  Status CreateFirstAllocMap(Transaction* txn);
+
+  /// Allocate a page and format it as `type`. Returns the page id; the
+  /// caller re-fetches it for its own latching discipline.
+  Result<PageId> AllocatePage(Transaction* txn, PageType type, uint8_t level,
+                              TreeId tree);
+
+  /// Free a page: flushes its final image (so a later re-allocation can
+  /// capture it in a preformat record) and clears its allocated bit.
+  Status DeallocatePage(Transaction* txn, PageId id);
+
+  /// True if `id` is currently allocated (tests / consistency checks).
+  Result<bool> IsAllocated(PageId id);
+
+  /// Number of allocated pages across all map pages (space accounting).
+  Result<uint64_t> CountAllocatedPages();
+
+  void set_num_alloc_maps(uint32_t n) { num_alloc_maps_ = n; }
+  uint32_t num_alloc_maps() const { return num_alloc_maps_; }
+
+  /// Hook invoked when a new allocation map page is materialized so the
+  /// database can persist num_alloc_maps in the superblock.
+  void set_on_new_map(std::function<void(uint32_t)> cb) {
+    on_new_map_ = std::move(cb);
+  }
+
+ private:
+  Result<PageId> TryAllocateInMap(Transaction* txn, PageId map_id,
+                                  PageType type, uint8_t level, TreeId tree);
+
+  BufferManager* buffers_;
+  PageOps* ops_;
+  std::mutex mu_;  // serializes allocation decisions
+  uint32_t num_alloc_maps_ = 0;
+  std::function<void(uint32_t)> on_new_map_;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_ENGINE_ALLOCATOR_H_

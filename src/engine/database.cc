@@ -1,0 +1,583 @@
+#include "engine/database.h"
+
+#include <chrono>
+#include <filesystem>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "engine/redo_undo.h"
+#include "engine/table.h"
+#include "page/slotted_page.h"
+
+namespace rewinddb {
+
+// ------------------------- undo appliers ------------------------------
+
+Status PhysicalUndoApplier::UndoRecord(Transaction* txn, Lsn /*lsn*/,
+                                       const LogRecord& rec) {
+  REWIND_ASSIGN_OR_RETURN(
+      PageGuard page, buffers_->FetchPage(rec.page_id, AccessMode::kWrite));
+  Lsn undo_next = rec.prev_lsn;
+  switch (rec.type) {
+    case LogType::kInsert:
+      return ops_->LogClrDelete(txn, page, rec.slot, undo_next);
+    case LogType::kDelete:
+      return ops_->LogClrInsert(txn, page, rec.slot, rec.image, undo_next);
+    case LogType::kUpdate:
+      return ops_->LogClrUpdate(txn, page, rec.slot, rec.image, undo_next);
+    case LogType::kAllocBits:
+      return ops_->LogClrAllocBits(txn, page, rec.alloc_bit, rec.alloc_old,
+                                   rec.ever_old, undo_next);
+    case LogType::kSetSibling:
+      return ops_->LogClrSetSibling(txn, page, rec.sibling_old, undo_next);
+    case LogType::kFormat:
+    case LogType::kPreformat:
+      // The page content unwinds through the chain itself; compensate
+      // with a no-op so repeated recoveries skip this record.
+      return ops_->LogClrNoop(txn, page, rec.type, undo_next);
+    default:
+      return Status::Corruption("physical undo: unexpected record type " +
+                                std::string(LogTypeName(rec.type)));
+  }
+}
+
+Status LogicalUndoApplier::UndoRecord(Transaction* txn, Lsn lsn,
+                                      const LogRecord& rec) {
+  switch (rec.type) {
+    case LogType::kInsert: {
+      BTree tree(rec.tree_id);
+      return tree.ClrErase(ctx_, txn, SlottedPage::EntryKey(rec.image),
+                           rec.prev_lsn);
+    }
+    case LogType::kDelete: {
+      BTree tree(rec.tree_id);
+      return tree.ClrReinsert(ctx_, txn, rec.image, rec.prev_lsn);
+    }
+    case LogType::kUpdate: {
+      BTree tree(rec.tree_id);
+      return tree.ClrRestore(ctx_, txn, rec.image, rec.prev_lsn);
+    }
+    default:
+      // Allocation bits, siblings, formats: position-independent.
+      return physical_.UndoRecord(txn, lsn, rec);
+  }
+}
+
+// ----------------------------- lifecycle ------------------------------
+
+Database::Database(std::string dir, DatabaseOptions opts)
+    : dir_(std::move(dir)),
+      opts_(opts),
+      clock_(opts.clock != nullptr ? opts.clock : RealClock::Default()),
+      data_disk_(opts.data_media, clock_, &stats_),
+      log_disk_(opts.log_media, clock_, &stats_),
+      locks_(opts.lock_timeout_micros),
+      undo_interval_micros_(opts.undo_interval_micros) {}
+
+Database::~Database() {
+  Status s = Close();
+  (void)s;
+}
+
+Status Database::InitStorage(bool create) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  const std::string data_path = dir_ + "/data.rwdb";
+  const std::string log_path = dir_ + "/log.rwdb";
+  if (create) {
+    REWIND_ASSIGN_OR_RETURN(
+        data_file_, PagedFile::Create(data_path, &data_disk_, &stats_));
+    LogManagerOptions lo;
+    lo.cache_blocks = opts_.log_cache_blocks;
+    REWIND_ASSIGN_OR_RETURN(log_,
+                            LogManager::Create(log_path, &log_disk_, &stats_,
+                                               lo));
+  } else {
+    REWIND_ASSIGN_OR_RETURN(data_file_,
+                            PagedFile::Open(data_path, &data_disk_, &stats_));
+    LogManagerOptions lo;
+    lo.cache_blocks = opts_.log_cache_blocks;
+    REWIND_ASSIGN_OR_RETURN(
+        log_, LogManager::Open(log_path, &log_disk_, &stats_, lo));
+  }
+  store_ = std::make_unique<FilePageStore>(data_file_.get());
+  buffers_ = std::make_unique<BufferManager>(store_.get(), log_.get(),
+                                             &stats_, opts_.buffer_pool_pages,
+                                             opts_.verify_checksums);
+  txns_ = std::make_unique<TransactionManager>(log_.get(), &locks_, clock_);
+  ops_ = std::make_unique<PageOps>(log_.get(), txns_.get(), opts_.fpi_period);
+  allocator_ = std::make_unique<PageAllocator>(buffers_.get(), ops_.get());
+  allocator_->set_on_new_map([this](uint32_t) {
+    Status s = WriteSuperBlock();
+    (void)s;  // best effort; rebuilt by recovery redo otherwise
+  });
+  catalog_ = std::make_unique<Catalog>(buffers_.get());
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> Database::Create(const std::string& dir,
+                                                   DatabaseOptions opts) {
+  if (std::filesystem::exists(dir + "/data.rwdb")) {
+    return Status::AlreadyExists("database exists at " + dir);
+  }
+  std::unique_ptr<Database> db(new Database(dir, opts));
+  REWIND_RETURN_IF_ERROR(db->InitStorage(/*create=*/true));
+  REWIND_RETURN_IF_ERROR(db->Bootstrap());
+  db->StartCheckpointer();
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
+                                                 DatabaseOptions opts) {
+  std::unique_ptr<Database> db(new Database(dir, opts));
+  REWIND_RETURN_IF_ERROR(db->InitStorage(/*create=*/false));
+  REWIND_RETURN_IF_ERROR(db->LoadSuperBlock());
+  REWIND_RETURN_IF_ERROR(db->RunRecovery());
+  // Object ids continue above everything the catalog knows.
+  REWIND_ASSIGN_OR_RETURN(uint32_t max_id, db->catalog_->MaxObjectId());
+  db->next_object_id_ = max_id + 1;
+  db->StartCheckpointer();
+  return db;
+}
+
+Status Database::Bootstrap() {
+  // Superblock first so a crash during bootstrap is detectable.
+  REWIND_RETURN_IF_ERROR(WriteSuperBlock());
+  Transaction* txn = txns_->Begin();
+  LogRecord begin;
+  begin.type = LogType::kBegin;
+  begin.txn_id = txn->id;
+  txns_->OnAppended(txn, log_->Append(begin));
+  REWIND_RETURN_IF_ERROR(allocator_->CreateFirstAllocMap(txn));
+  REWIND_RETURN_IF_ERROR(Catalog::Bootstrap(write_ctx(), txn));
+  REWIND_RETURN_IF_ERROR(txns_->Commit(txn));
+  return Checkpoint();
+}
+
+Status Database::LoadSuperBlock() {
+  char page[kPageSize];
+  REWIND_RETURN_IF_ERROR(data_file_->ReadPage(0, page));
+  SuperBlock sb = SuperBlock::ReadFrom(page);
+  if (sb.magic != SuperBlock::kMagic) {
+    return Status::Corruption("superblock magic mismatch");
+  }
+  master_checkpoint_lsn_ = sb.master_checkpoint_lsn;
+  allocator_->set_num_alloc_maps(sb.num_alloc_maps);
+  next_object_id_ = sb.next_table_id;
+  undo_interval_micros_ = sb.undo_interval_micros;
+  txns_->BumpTxnId(sb.next_txn_id);
+  return Status::OK();
+}
+
+Status Database::WriteSuperBlock() {
+  SuperBlock sb;
+  sb.magic = SuperBlock::kMagic;
+  sb.master_checkpoint_lsn = master_checkpoint_lsn_.load();
+  sb.num_alloc_maps = allocator_->num_alloc_maps();
+  sb.next_table_id = next_object_id_.load();
+  sb.undo_interval_micros = undo_interval_micros_.load();
+  sb.next_txn_id = txns_ != nullptr ? txns_->NextTxnIdHint() : 1;
+  char page[kPageSize];
+  sb.WriteTo(page);
+  StampPageChecksum(page);
+  REWIND_RETURN_IF_ERROR(data_file_->WritePage(0, page));
+  return data_file_->Sync();
+}
+
+void Database::SimulateCrash() {
+  StopCheckpointer();
+  closed_ = true;
+}
+
+Status Database::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  StopCheckpointer();
+  REWIND_RETURN_IF_ERROR(Checkpoint());
+  return Status::OK();
+}
+
+// ----------------------------- recovery -------------------------------
+
+Status Database::RunRecovery() {
+  // --- Analysis: from the master checkpoint to the end of the log. ---
+  Lsn analysis_start = master_checkpoint_lsn_.load();
+  if (analysis_start == kInvalidLsn ||
+      analysis_start < log_->start_lsn()) {
+    analysis_start = log_->start_lsn();
+  }
+  std::unordered_map<TxnId, Lsn> att;          // loser candidates
+  std::unordered_map<PageId, Lsn> dpt;         // page -> recLSN
+  Lsn end_lsn = log_->next_lsn();
+  REWIND_RETURN_IF_ERROR(log_->Scan(
+      analysis_start, end_lsn, [&](Lsn lsn, const LogRecord& rec) {
+        if (rec.type == LogType::kCheckpointEnd) {
+          for (const AttEntry& e : rec.att) {
+            if (att.find(e.txn_id) == att.end()) att[e.txn_id] = e.last_lsn;
+          }
+          for (const DptEntry& e : rec.dpt) {
+            if (dpt.find(e.page_id) == dpt.end()) dpt[e.page_id] = e.rec_lsn;
+          }
+          return true;
+        }
+        if (rec.txn_id != kInvalidTxnId) {
+          if (rec.type == LogType::kCommit || rec.type == LogType::kAbort) {
+            att.erase(rec.txn_id);
+          } else {
+            att[rec.txn_id] = lsn;
+          }
+        }
+        if (rec.IsPageRecord() && dpt.find(rec.page_id) == dpt.end()) {
+          dpt[rec.page_id] = lsn;
+        }
+        return true;
+      }));
+
+  const bool clean = att.empty() && dpt.empty();
+  recovered_from_crash_ = !clean;
+  if (clean) return Status::OK();
+
+  // --- Redo: repeat history from the oldest recLSN. ---
+  Lsn redo_start = end_lsn;
+  for (const auto& [pid, rec_lsn] : dpt) {
+    if (rec_lsn < redo_start) redo_start = rec_lsn;
+  }
+  if (redo_start < log_->start_lsn()) redo_start = log_->start_lsn();
+  REWIND_RETURN_IF_ERROR(log_->Scan(
+      redo_start, end_lsn, [&](Lsn lsn, const LogRecord& rec) {
+        if (!rec.IsPageRecord()) return true;
+        auto it = dpt.find(rec.page_id);
+        if (it == dpt.end() || lsn < it->second) return true;
+        auto fetched = buffers_->FetchPage(rec.page_id, AccessMode::kWrite);
+        if (!fetched.ok()) {
+          // Never flushed before the crash: materialize an empty frame;
+          // the first record to redo formats it.
+          fetched = buffers_->NewPage(rec.page_id);
+          if (!fetched.ok()) return false;
+        }
+        PageGuard page = std::move(*fetched);
+        if (PageLsn(page.data()) >= lsn) return true;  // already applied
+        Status s = ApplyRedo(page.mutable_data(), rec, lsn);
+        if (!s.ok()) return false;
+        page.MarkDirty(lsn);
+        return true;
+      }));
+
+  // --- Undo: roll back losers in reverse LSN order with CLRs. ---
+  // System-transaction records (SMOs, allocation) are undone physically
+  // at their recorded page/slot: their pages cannot have been touched
+  // by anyone else in between. User records are undone logically, by
+  // key, because committed structure modifications may have moved the
+  // rows since (paper section 4.1's argument for why transaction
+  // rollback is logical).
+  PhysicalUndoApplier physical_applier(buffers_.get(), ops_.get());
+  LogicalUndoApplier logical_applier(write_ctx());
+  std::unordered_map<TxnId, Transaction*> losers;
+  for (const auto& [id, last] : att) {
+    losers[id] = txns_->AdoptForRecovery(id, last);
+  }
+  std::unordered_map<TxnId, Lsn> cursor(att.begin(), att.end());
+  while (!cursor.empty()) {
+    // Pick the loser with the largest next-LSN-to-undo.
+    TxnId victim = 0;
+    Lsn max_lsn = 0;
+    for (const auto& [id, lsn] : cursor) {
+      if (lsn >= max_lsn) {
+        max_lsn = lsn;
+        victim = id;
+      }
+    }
+    if (max_lsn == kInvalidLsn) break;
+    REWIND_ASSIGN_OR_RETURN(LogRecord rec, log_->ReadRecord(max_lsn));
+    Transaction* txn = losers[victim];
+    if (rec.type == LogType::kClr) {
+      cursor[victim] = rec.undo_next_lsn;
+    } else if (rec.type == LogType::kBegin) {
+      cursor[victim] = kInvalidLsn;
+    } else {
+      UndoApplier* applier =
+          rec.is_system ? static_cast<UndoApplier*>(&physical_applier)
+                        : static_cast<UndoApplier*>(&logical_applier);
+      REWIND_RETURN_IF_ERROR(applier->UndoRecord(txn, max_lsn, rec));
+      cursor[victim] = rec.prev_lsn;
+    }
+    if (cursor[victim] == kInvalidLsn) {
+      LogRecord abort;
+      abort.type = LogType::kAbort;
+      abort.txn_id = victim;
+      abort.prev_lsn = txn->last_lsn;
+      log_->Append(abort);
+      txns_->Forget(txn);
+      cursor.erase(victim);
+    }
+  }
+  REWIND_RETURN_IF_ERROR(log_->FlushAll());
+  return Checkpoint();
+}
+
+// --------------------------- transactions -----------------------------
+
+Transaction* Database::Begin() {
+  Transaction* txn = txns_->Begin();
+  LogRecord rec;
+  rec.type = LogType::kBegin;
+  rec.txn_id = txn->id;
+  txns_->OnAppended(txn, log_->Append(rec));
+  return txn;
+}
+
+Status Database::Commit(Transaction* txn) {
+  TxnId id = txn->id;
+  REWIND_RETURN_IF_ERROR(txns_->Commit(txn));
+  // Execute deferred drops (page deallocation) outside the user
+  // transaction so an abort never races re-allocation.
+  std::vector<DeferredDrop> drops;
+  {
+    std::lock_guard<std::mutex> g(deferred_mu_);
+    auto it = deferred_drops_.find(id);
+    if (it != deferred_drops_.end()) {
+      drops = std::move(it->second);
+      deferred_drops_.erase(it);
+    }
+  }
+  for (const DeferredDrop& d : drops) {
+    Transaction* sys = txns_->Begin(/*is_system=*/true);
+    BTree tree(d.tree);
+    std::unique_lock<std::shared_mutex> tl(*TreeLatch(d.tree));
+    Status s = tree.Drop(write_ctx(), sys);
+    if (!s.ok()) return s;
+    REWIND_RETURN_IF_ERROR(txns_->Commit(sys));
+  }
+  return Status::OK();
+}
+
+Status Database::Abort(Transaction* txn) {
+  {
+    std::lock_guard<std::mutex> g(deferred_mu_);
+    deferred_drops_.erase(txn->id);
+  }
+  LogicalUndoApplier applier(write_ctx());
+  return txns_->Abort(txn, &applier);
+}
+
+std::shared_mutex* Database::TreeLatch(TreeId tree) {
+  std::lock_guard<std::mutex> g(tree_latches_mu_);
+  auto& slot = tree_latches_[tree];
+  if (slot == nullptr) slot = std::make_unique<std::shared_mutex>();
+  return slot.get();
+}
+
+// ------------------------------- DDL ----------------------------------
+
+Status Database::CreateTable(Transaction* txn, const std::string& name,
+                             const Schema& schema) {
+  if (schema.num_key_columns() == 0 ||
+      schema.num_key_columns() > schema.num_columns()) {
+    return Status::InvalidArgument("schema needs a key prefix");
+  }
+  std::lock_guard<std::mutex> g(ddl_mu_);
+  if (catalog_->GetTable(name).ok()) {
+    return Status::AlreadyExists("table '" + name + "' exists");
+  }
+  REWIND_ASSIGN_OR_RETURN(TreeId root, BTree::Create(write_ctx(), txn));
+  TableInfo info;
+  info.table_id = AllocateObjectId();
+  info.name = name;
+  info.root = root;
+  info.schema = schema;
+  return catalog_->PutTable(write_ctx(), txn, info);
+}
+
+Status Database::DropTable(Transaction* txn, const std::string& name) {
+  std::lock_guard<std::mutex> g(ddl_mu_);
+  REWIND_ASSIGN_OR_RETURN(TableInfo info, catalog_->GetTable(name));
+  REWIND_ASSIGN_OR_RETURN(std::vector<IndexInfo> indexes,
+                          catalog_->ListIndexesOf(info.table_id));
+  // Exclusive schema locks: no transaction may have in-flight changes
+  // on the table when its pages are eventually deallocated.
+  REWIND_RETURN_IF_ERROR(locks_.Acquire(txn->id, SchemaLockKey(info.root),
+                                        LockMode::kExclusive));
+  for (const IndexInfo& idx : indexes) {
+    REWIND_RETURN_IF_ERROR(locks_.Acquire(txn->id, SchemaLockKey(idx.root),
+                                          LockMode::kExclusive));
+  }
+  // Erase catalog rows inside the user transaction (undoable, and what
+  // as-of metadata queries rewind through); defer page deallocation.
+  REWIND_RETURN_IF_ERROR(catalog_->EraseTable(write_ctx(), txn, name));
+  std::lock_guard<std::mutex> dg(deferred_mu_);
+  auto& drops = deferred_drops_[txn->id];
+  for (const IndexInfo& idx : indexes) {
+    REWIND_RETURN_IF_ERROR(catalog_->EraseIndex(write_ctx(), txn, idx.name));
+    drops.push_back({idx.root});
+  }
+  drops.push_back({info.root});
+  return Status::OK();
+}
+
+Status Database::CreateIndex(Transaction* txn, const std::string& index_name,
+                             const std::string& table_name,
+                             const std::vector<std::string>& columns) {
+  std::lock_guard<std::mutex> g(ddl_mu_);
+  if (catalog_->GetIndex(index_name).ok()) {
+    return Status::AlreadyExists("index '" + index_name + "' exists");
+  }
+  REWIND_ASSIGN_OR_RETURN(TableInfo tinfo, catalog_->GetTable(table_name));
+  IndexInfo info;
+  info.index_id = AllocateObjectId();
+  info.name = index_name;
+  info.table_id = tinfo.table_id;
+  for (const std::string& col : columns) {
+    int idx = tinfo.schema.ColumnIndex(col);
+    if (idx < 0) {
+      return Status::InvalidArgument("no column '" + col + "' in table '" +
+                                     table_name + "'");
+    }
+    info.key_columns.push_back(static_cast<uint16_t>(idx));
+  }
+  REWIND_ASSIGN_OR_RETURN(info.root, BTree::Create(write_ctx(), txn));
+  REWIND_RETURN_IF_ERROR(catalog_->PutIndex(write_ctx(), txn, info));
+
+  // Backfill from existing rows.
+  BTree table_tree(tinfo.root);
+  BTree index_tree(info.root);
+  std::vector<ColumnType> types = tinfo.schema.types();
+  Status backfill;
+  REWIND_ASSIGN_OR_RETURN(
+      ScanOutcome so,
+      table_tree.Scan(buffers_.get(), Slice(), Slice(),
+                      [&](Slice pk, Slice value) {
+                        auto row = DecodeRow(types, value);
+                        if (!row.ok()) {
+                          backfill = row.status();
+                          return ScanAction::kStop;
+                        }
+                        std::string ikey;
+                        for (uint16_t c : info.key_columns) {
+                          EncodeKeyValue((*row)[c], &ikey);
+                        }
+                        ikey.append(pk.data(), pk.size());
+                        backfill = index_tree.Insert(write_ctx(), txn, ikey,
+                                                     pk);
+                        return backfill.ok() ? ScanAction::kContinue
+                                             : ScanAction::kStop;
+                      }));
+  (void)so;
+  return backfill;
+}
+
+Status Database::DropIndex(Transaction* txn, const std::string& index_name) {
+  std::lock_guard<std::mutex> g(ddl_mu_);
+  REWIND_ASSIGN_OR_RETURN(IndexInfo info, catalog_->GetIndex(index_name));
+  REWIND_RETURN_IF_ERROR(catalog_->EraseIndex(write_ctx(), txn, index_name));
+  std::lock_guard<std::mutex> dg(deferred_mu_);
+  deferred_drops_[txn->id].push_back({info.root});
+  return Status::OK();
+}
+
+// --------------------------- maintenance ------------------------------
+
+Status Database::Checkpoint() {
+  LogRecord begin;
+  begin.type = LogType::kCheckpointBegin;
+  begin.wall_clock = clock_->NowMicros();
+  Lsn begin_lsn = log_->Append(begin);
+
+  LogRecord end;
+  end.type = LogType::kCheckpointEnd;
+  end.wall_clock = begin.wall_clock;
+  end.att = txns_->ActiveTransactions();
+  // Flush every dirty page: snapshot recovery's redo pass then needs no
+  // page reads (section 5.2), and crash redo starts no earlier than the
+  // checkpoint.
+  REWIND_RETURN_IF_ERROR(buffers_->FlushAll());
+  end.dpt = buffers_->DirtyPageTable();
+  log_->Append(end);
+  REWIND_RETURN_IF_ERROR(log_->FlushAll());
+
+  master_checkpoint_lsn_ = begin_lsn;
+  return WriteSuperBlock();
+}
+
+Status Database::SetUndoInterval(uint64_t micros) {
+  undo_interval_micros_ = micros;
+  return WriteSuperBlock();
+}
+
+void Database::RegisterSnapshotAnchor(Lsn anchor) {
+  std::lock_guard<std::mutex> g(anchors_mu_);
+  snapshot_anchors_.insert(anchor);
+}
+
+void Database::UnregisterSnapshotAnchor(Lsn anchor) {
+  std::lock_guard<std::mutex> g(anchors_mu_);
+  auto it = snapshot_anchors_.find(anchor);
+  if (it != snapshot_anchors_.end()) snapshot_anchors_.erase(it);
+}
+
+Status Database::EnforceRetention() {
+  WallClock now = clock_->NowMicros();
+  uint64_t retention = undo_interval_micros_.load();
+  if (now < retention) return Status::OK();
+  WallClock cutoff = now - retention;
+
+  // Newest checkpoint at or before the cutoff: everything older than it
+  // is outside the retention window.
+  Lsn candidate = kInvalidLsn;
+  for (const CheckpointRef& c : log_->checkpoints()) {
+    if (c.wall_clock <= cutoff) candidate = c.begin_lsn;
+  }
+  if (candidate == kInvalidLsn) return Status::OK();
+
+  // Never truncate what crash recovery or an active transaction needs.
+  Lsn floor = master_checkpoint_lsn_.load();
+  Lsn oldest_active = txns_->OldestActiveFirstLsn();
+  if (oldest_active != kInvalidLsn && oldest_active < floor) {
+    floor = oldest_active;
+  }
+  {
+    std::lock_guard<std::mutex> g(anchors_mu_);
+    if (!snapshot_anchors_.empty() && *snapshot_anchors_.begin() < floor) {
+      floor = *snapshot_anchors_.begin();
+    }
+  }
+  Lsn target = candidate < floor ? candidate : floor;
+  if (target <= log_->start_lsn()) return Status::OK();
+  return log_->TruncateBefore(target);
+}
+
+void Database::StartCheckpointer() {
+  if (opts_.checkpoint_interval_micros == 0) return;
+  checkpointer_ = std::thread([this] {
+    std::unique_lock<std::mutex> g(ckpt_mu_);
+    while (!stop_checkpointer_) {
+      ckpt_cv_.wait_for(
+          g, std::chrono::microseconds(opts_.checkpoint_interval_micros));
+      if (stop_checkpointer_) break;
+      g.unlock();
+      Status s = Checkpoint();
+      (void)s;
+      s = EnforceRetention();
+      (void)s;
+      g.lock();
+    }
+  });
+}
+
+void Database::StopCheckpointer() {
+  if (!checkpointer_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> g(ckpt_mu_);
+    stop_checkpointer_ = true;
+  }
+  ckpt_cv_.notify_all();
+  checkpointer_.join();
+}
+
+Result<Table> Database::OpenTable(const std::string& name) {
+  REWIND_ASSIGN_OR_RETURN(TableInfo info, catalog_->GetTable(name));
+  REWIND_ASSIGN_OR_RETURN(std::vector<IndexInfo> indexes,
+                          catalog_->ListIndexesOf(info.table_id));
+  return Table(this, std::move(info), std::move(indexes));
+}
+
+}  // namespace rewinddb

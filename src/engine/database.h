@@ -1,0 +1,245 @@
+// Database: the engine facade tying together file, buffer pool, log,
+// locks, transactions, allocator, catalog and recovery.
+//
+// The architecture mirrors the SQL Server slice described in the
+// paper's section 2: index manager (btree/), lock manager (txn/),
+// buffer manager (buffer/), transaction manager (txn/), log manager
+// (log/) and recovery manager (this file), over slotted pages with
+// ARIES-style logging.
+#ifndef REWINDDB_ENGINE_DATABASE_H_
+#define REWINDDB_ENGINE_DATABASE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <set>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "btree/btree.h"
+#include "buffer/buffer_manager.h"
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "engine/allocator.h"
+#include "engine/page_ops.h"
+#include "io/disk_model.h"
+#include "io/paged_file.h"
+#include "log/log_manager.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace rewinddb {
+
+class Table;
+
+struct DatabaseOptions {
+  /// Buffer pool size in pages.
+  size_t buffer_pool_pages = 2048;
+  /// Emit a full page image every N modifications of a page (paper
+  /// section 6.1); 0 disables periodic images.
+  uint32_t fpi_period = 0;
+  /// Retention period for as-of queries (ALTER DATABASE SET
+  /// UNDO_INTERVAL, section 4.3). Default: 24 hours.
+  uint64_t undo_interval_micros = 24ULL * 3600 * 1'000'000;
+  /// Media model for the data file and the log device.
+  MediaProfile data_media = MediaProfile::None();
+  MediaProfile log_media = MediaProfile::None();
+  /// Clock; nullptr selects the process-wide RealClock.
+  Clock* clock = nullptr;
+  /// Log block cache capacity (32 KiB blocks).
+  size_t log_cache_blocks = 256;
+  bool verify_checksums = true;
+  uint64_t lock_timeout_micros = 1'000'000;
+  /// Background checkpoint cadence; 0 = manual checkpoints only.
+  uint64_t checkpoint_interval_micros = 0;
+};
+
+/// Physical undo applier: compensates records at their recorded page
+/// and slot. Valid whenever records are undone in reverse-LSN order
+/// (crash recovery) or belong to a system transaction whose pages no
+/// one else touched (runtime SMO failure).
+class PhysicalUndoApplier : public UndoApplier {
+ public:
+  PhysicalUndoApplier(BufferManager* buffers, PageOps* ops)
+      : buffers_(buffers), ops_(ops) {}
+  Status UndoRecord(Transaction* txn, Lsn lsn, const LogRecord& rec) override;
+
+ private:
+  BufferManager* buffers_;
+  PageOps* ops_;
+};
+
+/// Logical undo applier: row operations re-traverse the B-tree by key
+/// (rows may have moved since); everything else is position-independent
+/// and compensated physically.
+class LogicalUndoApplier : public UndoApplier {
+ public:
+  explicit LogicalUndoApplier(const TreeWriteContext& ctx)
+      : ctx_(ctx), physical_(ctx.buffers, ctx.ops) {}
+  Status UndoRecord(Transaction* txn, Lsn lsn, const LogRecord& rec) override;
+
+ private:
+  TreeWriteContext ctx_;
+  PhysicalUndoApplier physical_;
+};
+
+class Database {
+ public:
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Create a fresh database in directory `dir` (created if needed):
+  /// data file `dir`/data.rwdb, log `dir`/log.rwdb.
+  static Result<std::unique_ptr<Database>> Create(const std::string& dir,
+                                                  DatabaseOptions opts = {});
+
+  /// Open an existing database; runs ARIES crash recovery
+  /// (analysis / redo / undo) if the shutdown was not clean.
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                DatabaseOptions opts = {});
+
+  /// Flush everything and stop background work. Called by the
+  /// destructor if not called explicitly.
+  Status Close();
+
+  // ------------------------- transactions ----------------------------
+  Transaction* Begin();
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+
+  // ----------------------------- DDL ---------------------------------
+  Status CreateTable(Transaction* txn, const std::string& name,
+                     const Schema& schema);
+  /// Drops the table and its indexes. Page deallocation is deferred to
+  /// commit (so aborting the transaction cannot race re-allocations).
+  Status DropTable(Transaction* txn, const std::string& name);
+  Result<Table> OpenTable(const std::string& name);
+  Status CreateIndex(Transaction* txn, const std::string& index_name,
+                     const std::string& table_name,
+                     const std::vector<std::string>& columns);
+  Status DropIndex(Transaction* txn, const std::string& index_name);
+
+  // ------------------------- maintenance -----------------------------
+  /// Fuzzy checkpoint: wall-clock-stamped begin/end records, dirty page
+  /// flush, master record update. Bounds both crash recovery and as-of
+  /// snapshot recovery (section 5.1's "recovery starts from the
+  /// checkpoint nearest to the SplitLSN").
+  Status Checkpoint();
+
+  /// ALTER DATABASE SET UNDO_INTERVAL.
+  Status SetUndoInterval(uint64_t micros);
+  uint64_t undo_interval_micros() const { return undo_interval_micros_; }
+
+  /// Truncate log older than the retention period (keeping everything
+  /// crash recovery or active transactions still need).
+  Status EnforceRetention();
+
+  // ------------------------ engine internals -------------------------
+  // Exposed for the snapshot, backup and benchmark layers.
+  LogManager* log() { return log_.get(); }
+  BufferManager* buffers() { return buffers_.get(); }
+  LockManager* locks() { return &locks_; }
+  TransactionManager* txns() { return txns_.get(); }
+  PageAllocator* allocator() { return allocator_.get(); }
+  Catalog* catalog() { return catalog_.get(); }
+  Clock* clock() { return clock_; }
+  IoStats* stats() { return &stats_; }
+  PagedFile* data_file() { return data_file_.get(); }
+  DiskModel* data_disk() { return &data_disk_; }
+  DiskModel* log_disk() { return &log_disk_; }
+  const std::string& dir() const { return dir_; }
+  const DatabaseOptions& options() const { return opts_; }
+
+  TreeWriteContext write_ctx() {
+    return {buffers_.get(), ops_.get(), txns_.get(), allocator_.get()};
+  }
+
+  /// Per-tree reader/writer latch (writers of a tree are serialized;
+  /// readers exclude structure changes).
+  std::shared_mutex* TreeLatch(TreeId tree);
+
+  /// Master-record LSN of the last completed checkpoint.
+  Lsn master_checkpoint_lsn() const { return master_checkpoint_lsn_; }
+
+  /// True if the last Open had to run crash recovery (tests).
+  bool recovered_from_crash() const { return recovered_from_crash_; }
+
+  /// Test/benchmark hook: abandon all in-memory state as a real crash
+  /// would -- no checkpoint, no page flush, unflushed log lost. The
+  /// object may only be destroyed afterwards; reopen with Open() to
+  /// exercise recovery.
+  void SimulateCrash();
+
+  uint32_t AllocateObjectId() { return next_object_id_++; }
+
+  /// Open as-of snapshots pin the log they depend on: retention
+  /// enforcement never truncates past the oldest registered anchor.
+  void RegisterSnapshotAnchor(Lsn anchor);
+  void UnregisterSnapshotAnchor(Lsn anchor);
+
+ private:
+  friend class Table;
+
+  explicit Database(std::string dir, DatabaseOptions opts);
+
+  Status InitStorage(bool create);
+  Status Bootstrap();
+  Status LoadSuperBlock();
+  Status WriteSuperBlock();
+  Status RunRecovery();
+  void StartCheckpointer();
+  void StopCheckpointer();
+
+  /// Deferred DROP TABLE work executed at commit.
+  struct DeferredDrop {
+    TreeId tree;
+  };
+
+  std::string dir_;
+  DatabaseOptions opts_;
+  Clock* clock_;
+  IoStats stats_;
+  DiskModel data_disk_;
+  DiskModel log_disk_;
+
+  std::unique_ptr<PagedFile> data_file_;
+  std::unique_ptr<FilePageStore> store_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<BufferManager> buffers_;
+  LockManager locks_;
+  std::unique_ptr<TransactionManager> txns_;
+  std::unique_ptr<PageOps> ops_;
+  std::unique_ptr<PageAllocator> allocator_;
+  std::unique_ptr<Catalog> catalog_;
+
+  std::atomic<uint64_t> undo_interval_micros_;
+  std::atomic<uint32_t> next_object_id_{1};
+  std::atomic<Lsn> master_checkpoint_lsn_{kInvalidLsn};
+  bool recovered_from_crash_ = false;
+  bool closed_ = false;
+
+  std::mutex tree_latches_mu_;
+  std::map<TreeId, std::unique_ptr<std::shared_mutex>> tree_latches_;
+
+  std::mutex deferred_mu_;
+  std::map<TxnId, std::vector<DeferredDrop>> deferred_drops_;
+
+  std::mutex anchors_mu_;
+  std::multiset<Lsn> snapshot_anchors_;
+
+  std::thread checkpointer_;
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool stop_checkpointer_ = false;
+
+  std::mutex ddl_mu_;  // serializes DDL statements
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_ENGINE_DATABASE_H_

@@ -1,0 +1,93 @@
+// PageOps: the apply-and-log primitives every mutation goes through.
+//
+// Each operation (a) appends a log record whose prev_page_lsn /
+// prev_fpi_lsn come from the target page's header -- maintaining the
+// backward chains PreparePageAsOf walks -- (b) applies the change to the
+// latched frame, (c) stamps the new LSN into the page and the
+// transaction chain, and (d) optionally emits a full-page-image
+// (preformat) record after every Nth modification of the page
+// (section 6.1), resetting the page's modification counter.
+#ifndef REWINDDB_ENGINE_PAGE_OPS_H_
+#define REWINDDB_ENGINE_PAGE_OPS_H_
+
+#include <string>
+
+#include "buffer/buffer_manager.h"
+#include "common/status.h"
+#include "log/log_manager.h"
+#include "txn/transaction.h"
+
+namespace rewinddb {
+
+class PageOps {
+ public:
+  /// \param fpi_period_n emit a full page image after every N
+  ///        modifications of a page; 0 disables periodic images (the
+  ///        paper's baseline configuration).
+  PageOps(LogManager* log, TransactionManager* txns, uint32_t fpi_period_n)
+      : log_(log), txns_(txns), fpi_period_(fpi_period_n) {}
+
+  uint32_t fpi_period() const { return fpi_period_; }
+  LogManager* log() const { return log_; }
+
+  /// Insert `entry` at `slot` of the guarded page.
+  Status LogInsert(Transaction* txn, PageGuard& page, uint16_t slot,
+                   Slice entry);
+
+  /// Delete the record at `slot`; the record bytes are captured in the
+  /// log record as undo information (always, including SMO moves --
+  /// paper section 4.2(3)).
+  Status LogDelete(Transaction* txn, PageGuard& page, uint16_t slot);
+
+  /// Replace the record at `slot` with `entry` (old bytes logged).
+  Status LogUpdate(Transaction* txn, PageGuard& page, uint16_t slot,
+                   Slice entry);
+
+  /// Format the guarded frame as a fresh page.
+  Status LogFormat(Transaction* txn, PageGuard& page, PageId id,
+                   PageType type, uint8_t level, TreeId tree);
+
+  /// Log a preformat record carrying `image` (the page's prior content)
+  /// and chain it so the old incarnation's records stay reachable
+  /// (paper section 4.2(1)). Must be immediately followed by LogFormat.
+  Status LogPreformat(Transaction* txn, PageGuard& page, const char* image);
+
+  /// Set a leaf's right-sibling pointer.
+  Status LogSetSibling(Transaction* txn, PageGuard& page,
+                       PageId new_sibling);
+
+  /// Flip allocation bits on an allocation map page.
+  Status LogAllocBits(Transaction* txn, PageGuard& map_page, uint32_t bit,
+                      bool allocated, bool ever);
+
+  // CLR variants: identical page effects, logged as compensation
+  // records that carry full undo information (paper section 4.2(2)).
+  Status LogClrInsert(Transaction* txn, PageGuard& page, uint16_t slot,
+                      Slice entry, Lsn undo_next);
+  Status LogClrDelete(Transaction* txn, PageGuard& page, uint16_t slot,
+                      Lsn undo_next);
+  Status LogClrUpdate(Transaction* txn, PageGuard& page, uint16_t slot,
+                      Slice entry, Lsn undo_next);
+  Status LogClrAllocBits(Transaction* txn, PageGuard& map_page, uint32_t bit,
+                         bool allocated, bool ever, Lsn undo_next);
+  Status LogClrSetSibling(Transaction* txn, PageGuard& page,
+                          PageId new_sibling, Lsn undo_next);
+  /// No-op compensation for FORMAT/PREFORMAT records (the page effect
+  /// of undoing them is realized by the chain itself when rewinding).
+  Status LogClrNoop(Transaction* txn, PageGuard& page, LogType compensated,
+                    Lsn undo_next);
+
+ private:
+  /// Fill chain fields from the page header and transaction, append,
+  /// apply bookkeeping, and maybe emit a periodic FPI.
+  Lsn AppendChained(Transaction* txn, PageGuard& page, LogRecord* rec);
+  void MaybeEmitFpi(Transaction* txn, PageGuard& page);
+
+  LogManager* log_;
+  TransactionManager* txns_;
+  uint32_t fpi_period_;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_ENGINE_PAGE_OPS_H_

@@ -1,0 +1,173 @@
+#include "engine/redo_undo.h"
+
+#include <cstring>
+
+#include "page/alloc_page.h"
+#include "page/slotted_page.h"
+
+namespace rewinddb {
+
+namespace {
+
+Status RedoRowOp(char* page, LogType op, const LogRecord& rec) {
+  switch (op) {
+    case LogType::kInsert:
+      return SlottedPage::InsertAt(page, rec.slot, rec.image);
+    case LogType::kDelete:
+      return SlottedPage::RemoveAt(page, rec.slot);
+    case LogType::kUpdate:
+      return SlottedPage::ReplaceAt(page, rec.slot, rec.image2);
+    default:
+      return Status::Corruption("redo: unexpected row op");
+  }
+}
+
+Status UndoRowOp(char* page, LogType op, const LogRecord& rec) {
+  switch (op) {
+    case LogType::kInsert:
+      return SlottedPage::RemoveAt(page, rec.slot);
+    case LogType::kDelete:
+      // The delete record always carries the deleted entry -- including
+      // SMO move deletes (paper section 4.2(3)).
+      return SlottedPage::InsertAt(page, rec.slot, rec.image);
+    case LogType::kUpdate:
+      return SlottedPage::ReplaceAt(page, rec.slot, rec.image);
+    default:
+      return Status::Corruption("undo: unexpected row op");
+  }
+}
+
+void RedoAllocBits(char* page, const LogRecord& rec) {
+  bool pa, pe;
+  AllocPage::SetBits(page, rec.alloc_bit, rec.alloc_new, rec.ever_new, &pa,
+                     &pe);
+}
+
+void UndoAllocBits(char* page, const LogRecord& rec) {
+  bool pa, pe;
+  AllocPage::SetBits(page, rec.alloc_bit, rec.alloc_old, rec.ever_old, &pa,
+                     &pe);
+}
+
+}  // namespace
+
+Status ApplyRedo(char* page, const LogRecord& rec, Lsn rec_lsn) {
+  switch (rec.type) {
+    case LogType::kInsert:
+    case LogType::kDelete:
+    case LogType::kUpdate:
+      REWIND_RETURN_IF_ERROR(RedoRowOp(page, rec.type, rec));
+      break;
+    case LogType::kClr:
+      switch (rec.clr_op) {
+        case LogType::kInsert:
+        case LogType::kDelete:
+        case LogType::kUpdate:
+          REWIND_RETURN_IF_ERROR(RedoRowOp(page, rec.clr_op, rec));
+          break;
+        case LogType::kAllocBits:
+          RedoAllocBits(page, rec);
+          break;
+        case LogType::kSetSibling:
+          Header(page)->right_sibling = rec.sibling_new;
+          break;
+        case LogType::kFormat:
+        case LogType::kPreformat:
+          break;  // no-op compensations
+        default:
+          return Status::Corruption("redo: unknown CLR op");
+      }
+      break;
+    case LogType::kFormat: {
+      Lsn keep_fpi = rec.prev_fpi_lsn;
+      if (static_cast<PageType>(rec.fmt_type) == PageType::kAllocMap) {
+        AllocPage::Init(page, rec.page_id);
+      } else {
+        SlottedPage::Init(page, rec.page_id,
+                          static_cast<PageType>(rec.fmt_type), rec.fmt_level,
+                          rec.tree_id);
+      }
+      Header(page)->last_fpi_lsn = keep_fpi;
+      break;
+    }
+    case LogType::kPreformat:
+      // "The page content at this LSN is exactly `image`."
+      memcpy(page, rec.image.data(), kPageSize);
+      Header(page)->last_fpi_lsn = rec.prev_fpi_lsn;
+      break;
+    case LogType::kAllocBits:
+      RedoAllocBits(page, rec);
+      break;
+    case LogType::kSetSibling:
+      Header(page)->right_sibling = rec.sibling_new;
+      break;
+    default:
+      return Status::Corruption("redo: not a page record");
+  }
+  SetPageLsn(page, rec_lsn);
+  if (rec.type == LogType::kPreformat) {
+    Header(page)->last_fpi_lsn = rec_lsn;
+  }
+  return Status::OK();
+}
+
+Status ApplyUndo(char* page, const LogRecord& rec) {
+  switch (rec.type) {
+    case LogType::kInsert:
+    case LogType::kDelete:
+    case LogType::kUpdate:
+      REWIND_RETURN_IF_ERROR(UndoRowOp(page, rec.type, rec));
+      break;
+    case LogType::kClr:
+      // CLRs carry undo information precisely so this arm exists
+      // (paper section 4.2(2)): rewinding through a rollback.
+      switch (rec.clr_op) {
+        case LogType::kInsert:
+        case LogType::kDelete:
+        case LogType::kUpdate:
+          REWIND_RETURN_IF_ERROR(UndoRowOp(page, rec.clr_op, rec));
+          break;
+        case LogType::kAllocBits:
+          UndoAllocBits(page, rec);
+          break;
+        case LogType::kSetSibling:
+          Header(page)->right_sibling = rec.sibling_old;
+          break;
+        case LogType::kFormat:
+        case LogType::kPreformat:
+          break;  // no-op compensations undo to no-ops
+        default:
+          return Status::Corruption("undo: unknown CLR op");
+      }
+      break;
+    case LogType::kFormat:
+      // The preceding PREFORMAT record (reached via prev_page_lsn)
+      // restores the old content; the format itself unwinds to an
+      // empty frame.
+      memset(page + kPageHeaderSize, 0, kPageSize - kPageHeaderSize);
+      Header(page)->type = PageType::kFree;
+      Header(page)->slot_count = 0;
+      Header(page)->heap_top = static_cast<uint16_t>(kPageHeaderSize);
+      Header(page)->frag_bytes = 0;
+      break;
+    case LogType::kPreformat:
+      // Both uses (re-allocation splice and periodic image) mean "the
+      // content at this LSN is `image`"; stepping backwards over the
+      // record restores that image, from which older records unwind.
+      memcpy(page, rec.image.data(), kPageSize);
+      break;
+    case LogType::kAllocBits:
+      UndoAllocBits(page, rec);
+      break;
+    case LogType::kSetSibling:
+      Header(page)->right_sibling = rec.sibling_old;
+      break;
+    default:
+      return Status::Corruption("undo: not a page record");
+  }
+  SetPageLsn(page, rec.prev_page_lsn);
+  Header(page)->last_fpi_lsn = rec.prev_fpi_lsn;
+  return Status::OK();
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,30 @@
+// Physical application of log records to page images, in both
+// directions.
+//
+// ApplyRedo repeats history (ARIES redo, backup roll-forward).
+// ApplyUndo reverses one record on a page image -- the step primitive of
+// PreparePageAsOf (paper figure 3's UndoLogRec) and of recovery's
+// physical undo. Both operate on raw page bytes so they work equally on
+// buffer frames of the primary and on side-file images of a snapshot.
+#ifndef REWINDDB_ENGINE_REDO_UNDO_H_
+#define REWINDDB_ENGINE_REDO_UNDO_H_
+
+#include "common/status.h"
+#include "log/log_record.h"
+#include "page/page.h"
+
+namespace rewinddb {
+
+/// Apply the forward (redo) effect of `rec` to `page` and stamp
+/// `rec_lsn` as the page LSN. The caller has checked pageLSN < rec_lsn.
+Status ApplyRedo(char* page, const LogRecord& rec, Lsn rec_lsn);
+
+/// Apply the inverse (undo) effect of `rec` to `page` and wind the page
+/// LSN back to rec.prev_page_lsn. Valid when the page's current state
+/// is exactly the state just after `rec` was applied -- guaranteed when
+/// records are undone in reverse prevPageLSN order.
+Status ApplyUndo(char* page, const LogRecord& rec);
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_ENGINE_REDO_UNDO_H_

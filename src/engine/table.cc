@@ -1,0 +1,246 @@
+#include "engine/table.h"
+
+#include <shared_mutex>
+
+#include "btree/btree.h"
+#include "engine/database.h"
+
+namespace rewinddb {
+
+Table::Table(Database* db, TableInfo info, std::vector<IndexInfo> indexes)
+    : db_(db),
+      info_(std::move(info)),
+      indexes_(std::move(indexes)),
+      types_(info_.schema.types()) {}
+
+std::string Table::IndexKeyFor(const IndexInfo& idx, const Row& row,
+                               const std::string& pk) const {
+  std::string ikey;
+  for (uint16_t c : idx.key_columns) EncodeKeyValue(row[c], &ikey);
+  ikey += pk;  // primary key suffix makes secondary entries unique
+  return ikey;
+}
+
+Status Table::MaintainIndexesOnInsert(Transaction* txn, const Row& row,
+                                      const std::string& pk) {
+  for (const IndexInfo& idx : indexes_) {
+    BTree tree(idx.root);
+    std::unique_lock<std::shared_mutex> tl(*db_->TreeLatch(idx.root));
+    REWIND_RETURN_IF_ERROR(
+        tree.Insert(db_->write_ctx(), txn, IndexKeyFor(idx, row, pk), pk));
+  }
+  return Status::OK();
+}
+
+Status Table::MaintainIndexesOnDelete(Transaction* txn, const Row& old_row,
+                                      const std::string& pk) {
+  for (const IndexInfo& idx : indexes_) {
+    BTree tree(idx.root);
+    std::unique_lock<std::shared_mutex> tl(*db_->TreeLatch(idx.root));
+    REWIND_RETURN_IF_ERROR(
+        tree.Delete(db_->write_ctx(), txn, IndexKeyFor(idx, old_row, pk)));
+  }
+  return Status::OK();
+}
+
+Status Table::Insert(Transaction* txn, const Row& row) {
+  REWIND_RETURN_IF_ERROR(info_.schema.CheckRow(row));
+  REWIND_RETURN_IF_ERROR(db_->locks()->Acquire(
+      txn->id, SchemaLockKey(info_.root), LockMode::kShared));
+  std::string pk = info_.schema.KeyOf(row);
+  REWIND_RETURN_IF_ERROR(db_->locks()->Acquire(
+      txn->id, RowLockKey(info_.root, pk), LockMode::kExclusive));
+  std::string value;
+  EncodeRow(types_, row, &value);
+  {
+    BTree tree(info_.root);
+    std::unique_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
+    REWIND_RETURN_IF_ERROR(tree.Insert(db_->write_ctx(), txn, pk, value));
+  }
+  return MaintainIndexesOnInsert(txn, row, pk);
+}
+
+Status Table::Update(Transaction* txn, const Row& row) {
+  REWIND_RETURN_IF_ERROR(info_.schema.CheckRow(row));
+  REWIND_RETURN_IF_ERROR(db_->locks()->Acquire(
+      txn->id, SchemaLockKey(info_.root), LockMode::kShared));
+  std::string pk = info_.schema.KeyOf(row);
+  REWIND_RETURN_IF_ERROR(db_->locks()->Acquire(
+      txn->id, RowLockKey(info_.root, pk), LockMode::kExclusive));
+  // Fetch the old row for index maintenance.
+  Row old_row;
+  {
+    BTree tree(info_.root);
+    std::shared_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
+    auto old = tree.Get(db_->buffers(), pk);
+    if (!old.ok()) return old.status();
+    REWIND_ASSIGN_OR_RETURN(old_row, DecodeRow(types_, *old));
+  }
+  std::string value;
+  EncodeRow(types_, row, &value);
+  {
+    BTree tree(info_.root);
+    std::unique_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
+    REWIND_RETURN_IF_ERROR(tree.Update(db_->write_ctx(), txn, pk, value));
+  }
+  // Refresh index entries whose key columns changed.
+  for (const IndexInfo& idx : indexes_) {
+    std::string old_ikey = IndexKeyFor(idx, old_row, pk);
+    std::string new_ikey = IndexKeyFor(idx, row, pk);
+    if (old_ikey == new_ikey) continue;
+    BTree tree(idx.root);
+    std::unique_lock<std::shared_mutex> tl(*db_->TreeLatch(idx.root));
+    REWIND_RETURN_IF_ERROR(tree.Delete(db_->write_ctx(), txn, old_ikey));
+    REWIND_RETURN_IF_ERROR(tree.Insert(db_->write_ctx(), txn, new_ikey, pk));
+  }
+  return Status::OK();
+}
+
+Status Table::Delete(Transaction* txn, const Row& key_values) {
+  REWIND_RETURN_IF_ERROR(db_->locks()->Acquire(
+      txn->id, SchemaLockKey(info_.root), LockMode::kShared));
+  std::string pk = EncodeKey(key_values, info_.schema.num_key_columns());
+  REWIND_RETURN_IF_ERROR(db_->locks()->Acquire(
+      txn->id, RowLockKey(info_.root, pk), LockMode::kExclusive));
+  Row old_row;
+  {
+    BTree tree(info_.root);
+    std::shared_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
+    auto old = tree.Get(db_->buffers(), pk);
+    if (!old.ok()) return old.status();
+    REWIND_ASSIGN_OR_RETURN(old_row, DecodeRow(types_, *old));
+  }
+  {
+    BTree tree(info_.root);
+    std::unique_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
+    REWIND_RETURN_IF_ERROR(tree.Delete(db_->write_ctx(), txn, pk));
+  }
+  return MaintainIndexesOnDelete(txn, old_row, pk);
+}
+
+Result<Row> Table::Get(Transaction* txn, const Row& key_values) {
+  std::string pk = EncodeKey(key_values, info_.schema.num_key_columns());
+  if (txn != nullptr) {
+    REWIND_RETURN_IF_ERROR(db_->locks()->Acquire(
+        txn->id, RowLockKey(info_.root, pk), LockMode::kShared));
+  }
+  BTree tree(info_.root);
+  std::shared_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
+  REWIND_ASSIGN_OR_RETURN(std::string value, tree.Get(db_->buffers(), pk));
+  return DecodeRow(types_, value);
+}
+
+Status Table::Scan(Transaction* txn, const std::optional<Row>& lower,
+                   const std::optional<Row>& upper,
+                   const std::function<bool(const Row&)>& cb) {
+  std::string lo =
+      lower ? EncodeKey(*lower, lower->size()) : std::string();
+  std::string hi = upper ? EncodeKey(*upper, upper->size()) : std::string();
+
+  BTree tree(info_.root);
+  std::string cursor = lo;
+  bool done = false;
+  Status inner;
+  while (!done) {
+    ScanOutcome out;
+    {
+      std::shared_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
+      auto r = tree.Scan(
+          db_->buffers(), cursor, hi, [&](Slice key, Slice value) {
+            if (txn != nullptr) {
+              Status ls = db_->locks()->TryAcquire(
+                  txn->id, RowLockKey(info_.root, key.ToString()),
+                  LockMode::kShared);
+              if (ls.IsBusy()) return ScanAction::kYield;
+              if (!ls.ok()) {
+                inner = ls;
+                return ScanAction::kStop;
+              }
+            }
+            auto row = DecodeRow(types_, value);
+            if (!row.ok()) {
+              inner = row.status();
+              return ScanAction::kStop;
+            }
+            if (!cb(*row)) {
+              done = true;
+              return ScanAction::kStop;
+            }
+            return ScanAction::kContinue;
+          });
+      if (!r.ok()) return r.status();
+      out = std::move(*r);
+    }
+    REWIND_RETURN_IF_ERROR(inner);
+    if (!out.yielded) break;
+    // Wait for the blocking writer with no latches held, then resume at
+    // the yielded key (inclusive: the row has not been delivered yet).
+    REWIND_RETURN_IF_ERROR(db_->locks()->Acquire(
+        txn->id, RowLockKey(info_.root, out.yield_key), LockMode::kShared));
+    cursor = out.yield_key;
+  }
+  return Status::OK();
+}
+
+Status Table::IndexScan(Transaction* txn, const std::string& index_name,
+                        const Row& prefix_values,
+                        const std::function<bool(const Row&)>& cb) {
+  const IndexInfo* idx = nullptr;
+  for (const IndexInfo& i : indexes_) {
+    if (i.name == index_name) {
+      idx = &i;
+      break;
+    }
+  }
+  if (idx == nullptr) {
+    return Status::NotFound("index '" + index_name + "' not on this table");
+  }
+  if (prefix_values.size() > idx->key_columns.size()) {
+    return Status::InvalidArgument("prefix longer than index key");
+  }
+  std::string prefix;
+  for (const Value& v : prefix_values) EncodeKeyValue(v, &prefix);
+
+  BTree itree(idx->root);
+  std::vector<std::string> pks;
+  {
+    std::shared_lock<std::shared_mutex> tl(*db_->TreeLatch(idx->root));
+    REWIND_ASSIGN_OR_RETURN(
+        ScanOutcome out,
+        itree.Scan(db_->buffers(), prefix, Slice(), [&](Slice key,
+                                                        Slice value) {
+          if (!key.starts_with(prefix)) return ScanAction::kStop;
+          pks.push_back(value.ToString());
+          return ScanAction::kContinue;
+        }));
+    (void)out;
+  }
+  // Fetch base rows outside the index latch; row locks make each fetch
+  // safe, and a row deleted in between simply no longer qualifies.
+  BTree btree(info_.root);
+  for (const std::string& pk : pks) {
+    if (txn != nullptr) {
+      REWIND_RETURN_IF_ERROR(db_->locks()->Acquire(
+          txn->id, RowLockKey(info_.root, pk), LockMode::kShared));
+    }
+    std::string value;
+    {
+      std::shared_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
+      auto v = btree.Get(db_->buffers(), pk);
+      if (v.status().IsNotFound()) continue;
+      if (!v.ok()) return v.status();
+      value = std::move(*v);
+    }
+    REWIND_ASSIGN_OR_RETURN(Row row, DecodeRow(types_, value));
+    if (!cb(row)) break;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Table::Count() {
+  BTree tree(info_.root);
+  std::shared_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
+  return tree.Count(db_->buffers());
+}
+
+}  // namespace rewinddb

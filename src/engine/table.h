@@ -1,0 +1,82 @@
+// Table: typed row operations over a clustered B-tree, with row
+// locking, secondary index maintenance and lock-safe scans.
+#ifndef REWINDDB_ENGINE_TABLE_H_
+#define REWINDDB_ENGINE_TABLE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "txn/transaction.h"
+
+namespace rewinddb {
+
+class Database;
+
+/// Handle to one table of the primary database. Cheap to copy-construct
+/// via Database::OpenTable; holds no resources beyond descriptors.
+///
+/// Locking protocol (strict two-phase, row granularity):
+///  * writers X-lock the primary key BEFORE taking any latch;
+///  * point reads S-lock the key first, then read;
+///  * scans use try-lock + yield: if a row's lock is busy, the scan
+///    releases every latch, waits for the lock, and resumes at that
+///    key. A scan therefore never waits on a lock while holding a
+///    latch, which is what makes the lock/latch order deadlock-free.
+class Table {
+ public:
+  Table(Database* db, TableInfo info, std::vector<IndexInfo> indexes);
+
+  const Schema& schema() const { return info_.schema; }
+  const TableInfo& info() const { return info_; }
+  const std::vector<IndexInfo>& indexes() const { return indexes_; }
+
+  /// Insert a full row. AlreadyExists if the key is taken.
+  Status Insert(Transaction* txn, const Row& row);
+
+  /// Replace the row with the same primary key. NotFound if absent.
+  Status Update(Transaction* txn, const Row& row);
+
+  /// Delete by key values (a Row containing just the key columns, or a
+  /// full row -- only the key prefix is used).
+  Status Delete(Transaction* txn, const Row& key_values);
+
+  /// Point lookup by key values. S-locks the row when `txn` != nullptr.
+  Result<Row> Get(Transaction* txn, const Row& key_values);
+
+  /// Scan rows with key in [lower, upper) in key order; nullopt bounds
+  /// are open. The callback returns false to stop early.
+  Status Scan(Transaction* txn, const std::optional<Row>& lower,
+              const std::optional<Row>& upper,
+              const std::function<bool(const Row&)>& cb);
+
+  /// Equality lookup through a secondary index: `prefix_values` are
+  /// values for (a prefix of) the index's key columns.
+  Status IndexScan(Transaction* txn, const std::string& index_name,
+                   const Row& prefix_values,
+                   const std::function<bool(const Row&)>& cb);
+
+  /// Row count (O(n); tests and examples).
+  Result<uint64_t> Count();
+
+ private:
+  Status MaintainIndexesOnInsert(Transaction* txn, const Row& row,
+                                 const std::string& pk);
+  Status MaintainIndexesOnDelete(Transaction* txn, const Row& old_row,
+                                 const std::string& pk);
+  std::string IndexKeyFor(const IndexInfo& idx, const Row& row,
+                          const std::string& pk) const;
+
+  Database* db_;
+  TableInfo info_;
+  std::vector<IndexInfo> indexes_;
+  std::vector<ColumnType> types_;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_ENGINE_TABLE_H_

@@ -1,0 +1,17 @@
+#include "io/io_stats.h"
+
+namespace rewinddb {
+
+std::string IoStats::ToString() const {
+  std::string s;
+  s += "data_reads=" + std::to_string(data_reads.load());
+  s += " data_writes=" + std::to_string(data_writes.load());
+  s += " log_writes=" + std::to_string(log_writes.load());
+  s += " log_bytes=" + std::to_string(log_bytes_written.load());
+  s += " log_hits=" + std::to_string(log_read_hits.load());
+  s += " log_misses=" + std::to_string(log_read_misses.load());
+  s += " sim_io_ms=" + std::to_string(sim_io_micros.load() / 1000);
+  return s;
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,61 @@
+// Counters for the IO behaviour the paper's evaluation reasons about:
+// data page reads/writes, log reads that miss the cache ("each log IO is
+// a potential stall", section 6.2) and total simulated IO time.
+#ifndef REWINDDB_IO_IO_STATS_H_
+#define REWINDDB_IO_IO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rewinddb {
+
+/// Thread-safe IO counters. One instance per database; snapshots share
+/// the primary's instance so experiments see end-to-end cost.
+class IoStats {
+ public:
+  std::atomic<uint64_t> data_reads{0};
+  std::atomic<uint64_t> data_writes{0};
+  std::atomic<uint64_t> log_writes{0};
+  std::atomic<uint64_t> log_bytes_written{0};
+  /// Log record fetches served from the log block cache.
+  std::atomic<uint64_t> log_read_hits{0};
+  /// Log record fetches that had to touch the device (the undo IOs of
+  /// figure 11).
+  std::atomic<uint64_t> log_read_misses{0};
+  /// Microseconds of device latency charged to the clock.
+  std::atomic<uint64_t> sim_io_micros{0};
+
+  void Reset() {
+    data_reads = 0;
+    data_writes = 0;
+    log_writes = 0;
+    log_bytes_written = 0;
+    log_read_hits = 0;
+    log_read_misses = 0;
+    sim_io_micros = 0;
+  }
+
+  struct Snapshot {
+    uint64_t data_reads;
+    uint64_t data_writes;
+    uint64_t log_writes;
+    uint64_t log_bytes_written;
+    uint64_t log_read_hits;
+    uint64_t log_read_misses;
+    uint64_t sim_io_micros;
+  };
+
+  Snapshot Capture() const {
+    return Snapshot{data_reads.load(),       data_writes.load(),
+                    log_writes.load(),       log_bytes_written.load(),
+                    log_read_hits.load(),    log_read_misses.load(),
+                    sim_io_micros.load()};
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_IO_IO_STATS_H_

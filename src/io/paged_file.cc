@@ -1,0 +1,97 @@
+#include "io/paged_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rewinddb {
+
+PagedFile::PagedFile(std::string path, int fd, PageId num_pages,
+                     DiskModel* disk, IoStats* stats)
+    : path_(std::move(path)),
+      fd_(fd),
+      num_pages_(num_pages),
+      disk_(disk),
+      stats_(stats) {}
+
+PagedFile::~PagedFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<PagedFile>> PagedFile::Create(const std::string& path,
+                                                     DiskModel* disk,
+                                                     IoStats* stats,
+                                                     bool truncate) {
+  int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : O_EXCL);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IoError("create " + path + ": " + strerror(errno));
+  }
+  return std::unique_ptr<PagedFile>(new PagedFile(path, fd, 0, disk, stats));
+}
+
+Result<std::unique_ptr<PagedFile>> PagedFile::Open(const std::string& path,
+                                                   DiskModel* disk,
+                                                   IoStats* stats) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("stat " + path + ": " + strerror(errno));
+  }
+  PageId pages = static_cast<PageId>(st.st_size / kPageSize);
+  return std::unique_ptr<PagedFile>(
+      new PagedFile(path, fd, pages, disk, stats));
+}
+
+Status PagedFile::ReadPage(PageId id, char* buf) {
+  if (id >= num_pages_.load()) {
+    return Status::InvalidArgument("read past EOF: page " +
+                                   std::to_string(id));
+  }
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  {
+    std::lock_guard<std::mutex> g(LockFor(id));
+    ssize_t n = ::pread(fd_, buf, kPageSize, offset);
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IoError("short read page " + std::to_string(id));
+    }
+  }
+  if (disk_ != nullptr) disk_->Access(offset, kPageSize);
+  if (stats_ != nullptr) stats_->data_reads++;
+  return Status::OK();
+}
+
+Status PagedFile::WritePage(PageId id, const char* buf) {
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  if (id >= num_pages_.load()) {
+    // Serialize extension so num_pages_ tracks the high-water mark.
+    std::lock_guard<std::mutex> g(extend_mu_);
+    if (id >= num_pages_.load()) num_pages_.store(id + 1);
+  }
+  {
+    std::lock_guard<std::mutex> g(LockFor(id));
+    ssize_t n = ::pwrite(fd_, buf, kPageSize, offset);
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return Status::IoError("short write page " + std::to_string(id));
+    }
+  }
+  if (disk_ != nullptr) disk_->Access(offset, kPageSize);
+  if (stats_ != nullptr) stats_->data_writes++;
+  return Status::OK();
+}
+
+Status PagedFile::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError("fdatasync " + path_ + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace rewinddb

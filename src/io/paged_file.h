@@ -1,0 +1,73 @@
+// Page-granular file: the persistent store behind the primary database
+// and backups. Reads and writes are whole pages; per-page striped locks
+// guarantee snapshot readers never observe a torn page while the
+// primary's buffer manager is flushing it.
+#ifndef REWINDDB_IO_PAGED_FILE_H_
+#define REWINDDB_IO_PAGED_FILE_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "io/disk_model.h"
+
+namespace rewinddb {
+
+/// A file addressed in kPageSize units. Thread-safe.
+class PagedFile {
+ public:
+  ~PagedFile();
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  /// Create a new file (error if it exists unless `truncate`).
+  static Result<std::unique_ptr<PagedFile>> Create(const std::string& path,
+                                                   DiskModel* disk,
+                                                   IoStats* stats,
+                                                   bool truncate = false);
+
+  /// Open an existing file.
+  static Result<std::unique_ptr<PagedFile>> Open(const std::string& path,
+                                                 DiskModel* disk,
+                                                 IoStats* stats);
+
+  /// Read page `id` into `buf` (kPageSize bytes).
+  Status ReadPage(PageId id, char* buf);
+
+  /// Write page `id` from `buf` (kPageSize bytes), extending the file
+  /// if needed.
+  Status WritePage(PageId id, const char* buf);
+
+  /// Flush OS buffers to stable storage.
+  Status Sync();
+
+  /// Number of pages currently in the file.
+  PageId NumPages() const { return num_pages_.load(); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  PagedFile(std::string path, int fd, PageId num_pages, DiskModel* disk,
+            IoStats* stats);
+
+  std::mutex& LockFor(PageId id) { return stripes_[id % kStripes]; }
+
+  static constexpr size_t kStripes = 64;
+
+  std::string path_;
+  int fd_;
+  std::atomic<PageId> num_pages_;
+  DiskModel* disk_;
+  IoStats* stats_;
+  std::array<std::mutex, kStripes> stripes_;
+  std::mutex extend_mu_;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_IO_PAGED_FILE_H_

@@ -1,0 +1,94 @@
+#include "io/sparse_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace rewinddb {
+
+SparseFile::SparseFile(std::string path, int fd, DiskModel* disk,
+                       IoStats* stats)
+    : path_(std::move(path)), fd_(fd), disk_(disk), stats_(stats) {}
+
+SparseFile::~SparseFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<SparseFile>> SparseFile::Create(const std::string& path,
+                                                       DiskModel* disk,
+                                                       IoStats* stats) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("create sparse " + path + ": " + strerror(errno));
+  }
+  return std::unique_ptr<SparseFile>(new SparseFile(path, fd, disk, stats));
+}
+
+bool SparseFile::Contains(PageId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return slot_of_.count(id) > 0;
+}
+
+Status SparseFile::ReadPage(PageId id, char* buf) {
+  uint64_t slot;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = slot_of_.find(id);
+    if (it == slot_of_.end()) {
+      return Status::NotFound("sparse: page " + std::to_string(id));
+    }
+    slot = it->second;
+  }
+  const off_t offset = static_cast<off_t>(slot) * kPageSize;
+  ssize_t n = ::pread(fd_, buf, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("sparse short read page " + std::to_string(id));
+  }
+  if (disk_ != nullptr) disk_->Access(offset, kPageSize);
+  if (stats_ != nullptr) stats_->data_reads++;
+  return Status::OK();
+}
+
+Status SparseFile::WritePage(PageId id, const char* buf) {
+  uint64_t slot;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = slot_of_.find(id);
+    if (it != slot_of_.end()) {
+      slot = it->second;
+    } else {
+      slot = next_slot_++;
+      slot_of_.emplace(id, slot);
+    }
+  }
+  const off_t offset = static_cast<off_t>(slot) * kPageSize;
+  ssize_t n = ::pwrite(fd_, buf, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("sparse short write page " + std::to_string(id));
+  }
+  if (disk_ != nullptr) disk_->Access(offset, kPageSize);
+  if (stats_ != nullptr) stats_->data_writes++;
+  return Status::OK();
+}
+
+size_t SparseFile::PageCount() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return slot_of_.size();
+}
+
+Status SparseFile::Destroy() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (::unlink(path_.c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError("unlink " + path_ + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,350 @@
+#include "log/log_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace rewinddb {
+
+namespace {
+constexpr uint64_t kLogMagic = 0x52574C4F47763101ULL;  // "RWLOGv1" + 0x01
+}
+
+LogManager::LogManager(std::string path, int fd, DiskModel* disk,
+                       IoStats* stats, Options opts)
+    : path_(std::move(path)), fd_(fd), disk_(disk), stats_(stats),
+      opts_(opts) {}
+
+LogManager::~LogManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status LogManager::WriteHeader() {
+  char hdr[kFirstLsn];
+  memset(hdr, 0, sizeof(hdr));
+  uint64_t magic = kLogMagic;
+  memcpy(hdr, &magic, 8);
+  Lsn start = start_lsn_.load();
+  memcpy(hdr + 8, &start, 8);
+  if (::pwrite(fd_, hdr, sizeof(hdr), 0) != static_cast<ssize_t>(sizeof(hdr))) {
+    return Status::IoError("log header write: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<LogManager>> LogManager::Create(const std::string& path,
+                                                       DiskModel* disk,
+                                                       IoStats* stats,
+                                                       Options opts) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("create log " + path + ": " + strerror(errno));
+  }
+  auto lm = std::unique_ptr<LogManager>(
+      new LogManager(path, fd, disk, stats, opts));
+  REWIND_RETURN_IF_ERROR(lm->WriteHeader());
+  return lm;
+}
+
+Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& path,
+                                                     DiskModel* disk,
+                                                     IoStats* stats,
+                                                     Options opts) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IoError("open log " + path + ": " + strerror(errno));
+  }
+  char hdr[kFirstLsn];
+  if (::pread(fd, hdr, sizeof(hdr), 0) != static_cast<ssize_t>(sizeof(hdr))) {
+    ::close(fd);
+    return Status::Corruption("log header unreadable");
+  }
+  uint64_t magic;
+  memcpy(&magic, hdr, 8);
+  if (magic != kLogMagic) {
+    ::close(fd);
+    return Status::Corruption("log magic mismatch");
+  }
+  Lsn start;
+  memcpy(&start, hdr + 8, 8);
+
+  auto lm = std::unique_ptr<LogManager>(
+      new LogManager(path, fd, disk, stats, opts));
+  lm->start_lsn_.store(start < kFirstLsn ? kFirstLsn : start);
+
+  // Scan forward from the start to find the durable end of the log and
+  // rebuild the checkpoint directory. Stops at the first record whose
+  // length or checksum is invalid (torn tail after a crash).
+  Lsn cursor = lm->start_lsn_.load();
+  while (true) {
+    auto rec = lm->ReadFromFile(cursor);
+    if (!rec.ok()) break;
+    if (rec->type == LogType::kCheckpointBegin) {
+      lm->checkpoints_.push_back({cursor, rec->wall_clock});
+    }
+    std::string tmp;
+    rec->EncodeTo(&tmp);
+    cursor += tmp.size();
+  }
+  lm->next_lsn_ = cursor;
+  lm->tail_start_ = cursor;
+  lm->flushed_lsn_.store(cursor);
+  return lm;
+}
+
+Lsn LogManager::Append(const LogRecord& rec) {
+  Lsn lsn;
+  bool need_flush = false;
+  {
+    std::lock_guard<std::mutex> g(append_mu_);
+    lsn = next_lsn_;
+    rec.EncodeTo(&tail_);
+    next_lsn_ = tail_start_ + tail_.size();
+    if (stats_ != nullptr) stats_->log_writes++;
+    need_flush = tail_.size() >= opts_.max_tail_bytes;
+  }
+  if (rec.type == LogType::kCheckpointBegin) {
+    std::lock_guard<std::mutex> g(ckpt_mu_);
+    checkpoints_.push_back({lsn, rec.wall_clock});
+  }
+  if (need_flush) FlushTo(lsn);  // backpressure; error surfaces on commit
+  return lsn;
+}
+
+Status LogManager::FlushTo(Lsn lsn) {
+  if (flushed_lsn_.load(std::memory_order_acquire) > lsn) return Status::OK();
+  std::lock_guard<std::mutex> fg(flush_mu_);
+  return FlushLocked(lsn);
+}
+
+Status LogManager::FlushAll() {
+  std::lock_guard<std::mutex> fg(flush_mu_);
+  Lsn target;
+  {
+    std::lock_guard<std::mutex> g(append_mu_);
+    target = next_lsn_;
+  }
+  return FlushLocked(target == kFirstLsn ? kFirstLsn : target - 1);
+}
+
+Status LogManager::FlushLocked(Lsn target) {
+  // flush_mu_ held. Steal the current tail (group commit: one write and
+  // one sync cover every record appended so far).
+  if (flushed_lsn_.load(std::memory_order_acquire) > target) {
+    return Status::OK();
+  }
+  std::string batch;
+  Lsn batch_start;
+  {
+    std::lock_guard<std::mutex> g(append_mu_);
+    batch.swap(tail_);
+    batch_start = tail_start_;
+    tail_start_ += batch.size();
+  }
+  if (!batch.empty()) {
+    ssize_t n = ::pwrite(fd_, batch.data(), batch.size(),
+                         static_cast<off_t>(batch_start));
+    if (n != static_cast<ssize_t>(batch.size())) {
+      return Status::IoError("log write failed: " +
+                             std::string(strerror(errno)));
+    }
+    if (::fdatasync(fd_) != 0) {
+      return Status::IoError("log sync failed: " +
+                             std::string(strerror(errno)));
+    }
+    if (disk_ != nullptr) disk_->Access(batch_start, batch.size());
+    if (stats_ != nullptr) stats_->log_bytes_written += batch.size();
+    // Invalidate cached blocks the write touched: the previously-last
+    // block may have been cached short and would shadow new records.
+    if (opts_.cache_blocks > 0) {
+      std::lock_guard<std::mutex> cg(cache_mu_);
+      uint64_t first = batch_start / kBlockSize;
+      uint64_t last = (batch_start + batch.size() - 1) / kBlockSize;
+      for (uint64_t i = first; i <= last; i++) {
+        auto it = cache_.find(i);
+        if (it != cache_.end()) {
+          lru_.erase(it->second.lru_it);
+          cache_.erase(it);
+        }
+      }
+    }
+    flushed_lsn_.store(batch_start + batch.size(), std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+Lsn LogManager::flushed_lsn() const { return flushed_lsn_.load(); }
+
+Lsn LogManager::next_lsn() const {
+  std::lock_guard<std::mutex> g(append_mu_);
+  return next_lsn_;
+}
+
+Lsn LogManager::start_lsn() const { return start_lsn_.load(); }
+
+uint64_t LogManager::LiveBytes() const {
+  std::lock_guard<std::mutex> g(append_mu_);
+  return next_lsn_ - start_lsn_.load();
+}
+
+Result<LogRecord> LogManager::ReadRecord(Lsn lsn) {
+  if (lsn < start_lsn_.load()) {
+    return Status::OutOfRange(
+        "log record " + std::to_string(lsn) +
+        " is older than the retention period (truncated)");
+  }
+  {
+    std::lock_guard<std::mutex> g(append_mu_);
+    if (lsn >= next_lsn_) {
+      return Status::InvalidArgument("read past log end");
+    }
+    if (lsn >= tail_start_) {
+      // Still in the unflushed tail: serve from memory, no IO.
+      size_t off = lsn - tail_start_;
+      return ParseAt(tail_.data() + off, tail_.size() - off);
+    }
+  }
+  return ReadFromFile(lsn);
+}
+
+Result<LogRecord> LogManager::ParseAt(const char* data, size_t avail) const {
+  size_t consumed;
+  return LogRecord::Decode(Slice(data, avail), &consumed);
+}
+
+Result<std::shared_ptr<std::string>> LogManager::FetchBlock(uint64_t idx) {
+  if (opts_.cache_blocks > 0) {
+    std::lock_guard<std::mutex> g(cache_mu_);
+    auto it = cache_.find(idx);
+    if (it != cache_.end()) {
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(idx);
+      it->second.lru_it = lru_.begin();
+      if (stats_ != nullptr) stats_->log_read_hits++;
+      return it->second.block;
+    }
+  }
+  // Miss: read from the device.
+  auto block = std::make_shared<std::string>();
+  block->resize(kBlockSize);
+  off_t offset = static_cast<off_t>(idx) * kBlockSize;
+  ssize_t n = ::pread(fd_, block->data(), kBlockSize, offset);
+  if (n < 0) {
+    return Status::IoError("log block read: " + std::string(strerror(errno)));
+  }
+  block->resize(static_cast<size_t>(n));
+  if (disk_ != nullptr) disk_->Access(static_cast<uint64_t>(offset),
+                                      static_cast<uint64_t>(n));
+  if (stats_ != nullptr) stats_->log_read_misses++;
+  if (opts_.cache_blocks > 0) {
+    std::lock_guard<std::mutex> g(cache_mu_);
+    if (cache_.find(idx) == cache_.end()) {
+      lru_.push_front(idx);
+      cache_[idx] = {block, lru_.begin()};
+      while (cache_.size() > opts_.cache_blocks) {
+        uint64_t victim = lru_.back();
+        lru_.pop_back();
+        cache_.erase(victim);
+      }
+    }
+  }
+  return block;
+}
+
+Result<LogRecord> LogManager::ReadFromFile(Lsn lsn) {
+  // Assemble the record (which may straddle block boundaries): first get
+  // enough bytes for the length prefix, then the rest.
+  std::string buf;
+  uint64_t idx = lsn / kBlockSize;
+  size_t in_block = lsn % kBlockSize;
+  REWIND_ASSIGN_OR_RETURN(std::shared_ptr<std::string> block,
+                          FetchBlock(idx));
+  if (block->size() <= in_block) {
+    return Status::Corruption("log read past end of file");
+  }
+  buf.append(block->data() + in_block, block->size() - in_block);
+  uint32_t len = LogRecord::PeekLength(Slice(buf));
+  if (len == 0 && buf.size() < kLogLengthPrefix) {
+    // Length prefix itself straddles: pull the next block.
+    REWIND_ASSIGN_OR_RETURN(std::shared_ptr<std::string> nb,
+                            FetchBlock(idx + 1));
+    buf.append(*nb);
+    len = LogRecord::PeekLength(Slice(buf));
+    idx++;
+  }
+  if (len == 0 || len > (64 << 20)) {
+    return Status::Corruption("log record: implausible length");
+  }
+  while (buf.size() < len) {
+    idx++;
+    auto nb = FetchBlock(idx);
+    if (!nb.ok()) return nb.status();
+    if ((*nb)->empty()) {
+      return Status::Corruption("log record truncated");
+    }
+    buf.append(**nb);
+  }
+  size_t consumed;
+  return LogRecord::Decode(Slice(buf.data(), len), &consumed);
+}
+
+Status LogManager::Scan(Lsn from, Lsn to,
+                        const std::function<bool(Lsn, const LogRecord&)>& cb) {
+  if (from < start_lsn_.load()) {
+    return Status::OutOfRange("scan start below retention window");
+  }
+  Lsn cursor = from;
+  while (cursor < to) {
+    {
+      std::lock_guard<std::mutex> g(append_mu_);
+      if (cursor >= next_lsn_) break;
+    }
+    auto rec = ReadRecord(cursor);
+    if (!rec.ok()) {
+      // A torn tail ends the scan benignly; anything else propagates.
+      if (rec.status().IsCorruption()) break;
+      return rec.status();
+    }
+    std::string tmp;
+    rec->EncodeTo(&tmp);
+    if (!cb(cursor, *rec)) break;
+    cursor += tmp.size();
+  }
+  return Status::OK();
+}
+
+std::vector<CheckpointRef> LogManager::checkpoints() const {
+  std::lock_guard<std::mutex> g(ckpt_mu_);
+  return checkpoints_;
+}
+
+Status LogManager::TruncateBefore(Lsn lsn) {
+  Lsn cur = start_lsn_.load();
+  if (lsn <= cur) return Status::OK();
+  {
+    std::lock_guard<std::mutex> g(append_mu_);
+    if (lsn > next_lsn_) {
+      return Status::InvalidArgument("truncate beyond log end");
+    }
+  }
+  start_lsn_.store(lsn);
+  {
+    std::lock_guard<std::mutex> g(ckpt_mu_);
+    while (!checkpoints_.empty() && checkpoints_.front().begin_lsn < lsn) {
+      checkpoints_.erase(checkpoints_.begin());
+    }
+  }
+  return WriteHeader();
+}
+
+void LogManager::DropCache() {
+  std::lock_guard<std::mutex> g(cache_mu_);
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,146 @@
+// Append-only transaction log with ARIES-style LSNs.
+//
+// LSNs are byte offsets into the log file, so fetching a record during
+// page rewind is one positioned read; a log-block cache absorbs
+// re-reads, and every cache miss is charged to the disk model -- the
+// paper's "each log IO is a potential stall" (section 6.2) and the
+// quantity figure 11 estimates.
+#ifndef REWINDDB_LOG_LOG_MANAGER_H_
+#define REWINDDB_LOG_LOG_MANAGER_H_
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "io/disk_model.h"
+#include "log/log_record.h"
+
+namespace rewinddb {
+
+/// Reference to a checkpoint, kept in memory to narrow the SplitLSN
+/// search (section 5.1) and to pick log truncation points.
+struct CheckpointRef {
+  Lsn begin_lsn;
+  WallClock wall_clock;
+};
+
+/// Thread-safe log manager: appends, group-commit flushes, random and
+/// sequential reads, retention-driven truncation.
+/// Tuning knobs for the log manager.
+struct LogManagerOptions {
+  /// Log-block cache capacity in 32 KiB blocks (0 disables caching --
+  /// useful to magnify stalls in experiments).
+  size_t cache_blocks = 256;
+  /// Auto-flush threshold for the in-memory tail.
+  size_t max_tail_bytes = 4 << 20;
+};
+
+class LogManager {
+ public:
+  using Options = LogManagerOptions;
+
+  ~LogManager();
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  /// Create a fresh log at `path`.
+  static Result<std::unique_ptr<LogManager>> Create(const std::string& path,
+                                                    DiskModel* disk,
+                                                    IoStats* stats,
+                                                    Options opts = Options());
+
+  /// Open an existing log: scans to the end to find next_lsn and
+  /// rebuilds the checkpoint directory.
+  static Result<std::unique_ptr<LogManager>> Open(const std::string& path,
+                                                  DiskModel* disk,
+                                                  IoStats* stats,
+                                                  Options opts = Options());
+
+  /// Append `rec`; returns its LSN. Does not flush.
+  Lsn Append(const LogRecord& rec);
+
+  /// Ensure all records up to and including `lsn` are durable.
+  Status FlushTo(Lsn lsn);
+
+  /// Flush everything appended so far.
+  Status FlushAll();
+
+  Lsn flushed_lsn() const;
+  /// LSN the next appended record will receive.
+  Lsn next_lsn() const;
+  /// Oldest available LSN (records below were truncated away).
+  Lsn start_lsn() const;
+
+  /// Random-access read of the record at `lsn` (chain walks).
+  Result<LogRecord> ReadRecord(Lsn lsn);
+
+  /// Sequential scan of [from, to): invokes `cb(lsn, record)`; the
+  /// callback returns false to stop early.
+  Status Scan(Lsn from, Lsn to,
+              const std::function<bool(Lsn, const LogRecord&)>& cb);
+
+  /// Checkpoint directory (ascending LSN).
+  std::vector<CheckpointRef> checkpoints() const;
+
+  /// Drop records below `lsn` (they become unavailable; reads fail with
+  /// OutOfRange). Used by the retention policy (section 4.3).
+  Status TruncateBefore(Lsn lsn);
+
+  /// Bytes of live log (next_lsn - start_lsn): the space metric of
+  /// figure 5.
+  uint64_t LiveBytes() const;
+
+  /// Drop all cached blocks (failure-injection in tests/benchmarks).
+  void DropCache();
+
+ private:
+  LogManager(std::string path, int fd, DiskModel* disk, IoStats* stats,
+             Options opts);
+
+  Status WriteHeader();
+  Status FlushLocked(Lsn target);
+  /// Fetch the 32 KiB block with index `idx` through the cache.
+  Result<std::shared_ptr<std::string>> FetchBlock(uint64_t idx);
+  Result<LogRecord> ReadFromFile(Lsn lsn);
+  Result<LogRecord> ParseAt(const char* data, size_t avail) const;
+
+  static constexpr size_t kBlockSize = 32 * 1024;
+  static constexpr Lsn kFirstLsn = 64;  // log header occupies [0, 64)
+
+  const std::string path_;
+  int fd_;
+  DiskModel* disk_;
+  IoStats* stats_;
+  const Options opts_;
+
+  mutable std::mutex append_mu_;
+  std::string tail_;          // unflushed bytes
+  Lsn tail_start_ = kFirstLsn;
+  Lsn next_lsn_ = kFirstLsn;
+
+  std::mutex flush_mu_;       // serializes file writes
+  std::atomic<Lsn> flushed_lsn_{kFirstLsn};
+  std::atomic<Lsn> start_lsn_{kFirstLsn};
+
+  mutable std::mutex cache_mu_;
+  std::list<uint64_t> lru_;   // most recent at front
+  struct CacheEntry {
+    std::shared_ptr<std::string> block;
+    std::list<uint64_t>::iterator lru_it;
+  };
+  std::unordered_map<uint64_t, CacheEntry> cache_;
+
+  mutable std::mutex ckpt_mu_;
+  std::vector<CheckpointRef> checkpoints_;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_LOG_LOG_MANAGER_H_

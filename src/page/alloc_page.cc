@@ -1,0 +1,80 @@
+#include "page/alloc_page.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace rewinddb {
+
+namespace {
+
+// Layout after the header: allocated bitmap, then ever-allocated bitmap.
+constexpr size_t kBitmapBytes = kPagesPerAllocMap / 8;
+static_assert(kPageHeaderSize + 2 * kBitmapBytes <= kPageSize,
+              "alloc bitmaps must fit in one page");
+
+char* AllocBits(char* page) { return page + kPageHeaderSize; }
+const char* AllocBits(const char* page) { return page + kPageHeaderSize; }
+char* EverBits(char* page) { return page + kPageHeaderSize + kBitmapBytes; }
+const char* EverBits(const char* page) {
+  return page + kPageHeaderSize + kBitmapBytes;
+}
+
+bool GetBit(const char* bits, uint32_t i) {
+  return (bits[i / 8] >> (i % 8)) & 1;
+}
+
+void PutBit(char* bits, uint32_t i, bool v) {
+  if (v) bits[i / 8] = static_cast<char>(bits[i / 8] | (1 << (i % 8)));
+  else bits[i / 8] = static_cast<char>(bits[i / 8] & ~(1 << (i % 8)));
+}
+
+}  // namespace
+
+void AllocPage::Init(char* page, PageId id) {
+  memset(page, 0, kPageSize);
+  PageHeader* h = Header(page);
+  h->page_id = id;
+  h->type = PageType::kAllocMap;
+  h->right_sibling = kInvalidPageId;
+  // Bit 0 is the map page itself: permanently allocated.
+  PutBit(AllocBits(page), 0, true);
+  PutBit(EverBits(page), 0, true);
+}
+
+bool AllocPage::IsAllocated(const char* page, uint32_t bit) {
+  assert(bit < kPagesPerAllocMap);
+  return GetBit(AllocBits(page), bit);
+}
+
+bool AllocPage::EverAllocated(const char* page, uint32_t bit) {
+  assert(bit < kPagesPerAllocMap);
+  return GetBit(EverBits(page), bit);
+}
+
+void AllocPage::SetBits(char* page, uint32_t bit, bool allocated, bool ever,
+                        bool* prev_allocated, bool* prev_ever) {
+  assert(bit < kPagesPerAllocMap);
+  *prev_allocated = GetBit(AllocBits(page), bit);
+  *prev_ever = GetBit(EverBits(page), bit);
+  PutBit(AllocBits(page), bit, allocated);
+  PutBit(EverBits(page), bit, ever);
+}
+
+uint32_t AllocPage::FindFree(const char* page, uint32_t from) {
+  const char* bits = AllocBits(page);
+  for (uint32_t i = from; i < kPagesPerAllocMap; i++) {
+    if (!GetBit(bits, i)) return i;
+  }
+  return kNoFreeBit;
+}
+
+uint32_t AllocPage::CountAllocated(const char* page) {
+  const char* bits = AllocBits(page);
+  uint32_t n = 0;
+  for (uint32_t i = 0; i < kPagesPerAllocMap; i++) {
+    if (GetBit(bits, i)) n++;
+  }
+  return n;
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,74 @@
+// Allocation map pages.
+//
+// Each map page covers an interval of kPagesPerAllocMap pages and holds
+// two bits per covered page:
+//   * allocated      -- the page is currently in use;
+//   * ever_allocated -- the page has been allocated at least once.
+//
+// The ever-allocated bit is the metadata the paper introduces in
+// section 4.2(1): it lets the allocator distinguish the *first*
+// allocation of a page (no preformat logging needed -- the page holds
+// nothing of interest) from a *re*-allocation, where a preformat log
+// record must capture the previous content and link the old and new
+// prevPageLSN chains.
+//
+// Allocation map updates are logged like any other page modification
+// (kAllocBits records), so as-of snapshots rewind allocation state with
+// the same physical-undo mechanism as data (paper section 3).
+#ifndef REWINDDB_PAGE_ALLOC_PAGE_H_
+#define REWINDDB_PAGE_ALLOC_PAGE_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "page/page.h"
+
+namespace rewinddb {
+
+/// Pages covered by one allocation map page (including the map page
+/// itself, which occupies bit 0 of its interval).
+inline constexpr PageId kPagesPerAllocMap = 8192;
+
+/// Page 0 is the superblock; allocation intervals start at page 1.
+/// Interval i covers pages [1 + i*K, 1 + (i+1)*K) and its first page is
+/// the map page itself.
+inline PageId AllocMapPageFor(PageId page) {
+  PageId interval = (page - 1) / kPagesPerAllocMap;
+  return 1 + interval * kPagesPerAllocMap;
+}
+
+/// Bit index of `page` within its map page.
+inline uint32_t AllocBitFor(PageId page) {
+  return (page - 1) % kPagesPerAllocMap;
+}
+
+/// Page id covered by `bit` of map page `map_page`.
+inline PageId PageForAllocBit(PageId map_page, uint32_t bit) {
+  return map_page + bit;
+}
+
+/// Static helpers over a kPageSize buffer formatted as an alloc map.
+class AllocPage {
+ public:
+  static void Init(char* page, PageId id);
+
+  static bool IsAllocated(const char* page, uint32_t bit);
+  static bool EverAllocated(const char* page, uint32_t bit);
+
+  /// Set both bits; returns previous values through the out params so
+  /// the caller can build the undo payload of the kAllocBits record.
+  static void SetBits(char* page, uint32_t bit, bool allocated, bool ever,
+                      bool* prev_allocated, bool* prev_ever);
+
+  /// First bit >= `from` that is not allocated; kNoFreeBit if none.
+  static uint32_t FindFree(const char* page, uint32_t from);
+
+  static constexpr uint32_t kNoFreeBit = 0xFFFFFFFFu;
+
+  /// Number of allocated bits (space accounting).
+  static uint32_t CountAllocated(const char* page);
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_PAGE_ALLOC_PAGE_H_

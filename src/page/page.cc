@@ -1,0 +1,28 @@
+#include "page/page.h"
+
+#include <cstddef>
+
+#include "common/coding.h"
+
+namespace rewinddb {
+
+uint32_t ComputePageChecksum(const char* page) {
+  // Hash the page with the checksum field zeroed: hash the bytes before
+  // and after the field.
+  constexpr size_t kOff = offsetof(PageHeader, checksum);
+  uint32_t h = Checksum32(page, kOff);
+  uint32_t h2 = Checksum32(page + kOff + 4, kPageSize - kOff - 4);
+  return h ^ (h2 * 16777619u) ^ 0x5bd1e995u;
+}
+
+void StampPageChecksum(char* page) {
+  Header(page)->checksum = ComputePageChecksum(page);
+}
+
+bool VerifyPageChecksum(const char* page) {
+  uint32_t stored = Header(page)->checksum;
+  if (stored == 0) return true;  // never stamped
+  return stored == ComputePageChecksum(page);
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,211 @@
+#include "page/slotted_page.h"
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace rewinddb {
+
+namespace {
+
+// Each slot directory entry: record offset (2) + record length (2).
+constexpr size_t kSlotEntrySize = 4;
+
+uint16_t SlotOffset(const char* page, uint16_t slot) {
+  const char* entry =
+      page + kPageSize - kSlotEntrySize * (static_cast<size_t>(slot) + 1);
+  return DecodeFixed16(entry);
+}
+
+uint16_t SlotLen(const char* page, uint16_t slot) {
+  const char* entry =
+      page + kPageSize - kSlotEntrySize * (static_cast<size_t>(slot) + 1);
+  return DecodeFixed16(entry + 2);
+}
+
+void WriteSlot(char* page, uint16_t slot, uint16_t offset, uint16_t len) {
+  char* entry =
+      page + kPageSize - kSlotEntrySize * (static_cast<size_t>(slot) + 1);
+  memcpy(entry, &offset, 2);
+  memcpy(entry + 2, &len, 2);
+}
+
+size_t SlotDirStart(const char* page) {
+  return kPageSize - kSlotEntrySize * Header(page)->slot_count;
+}
+
+}  // namespace
+
+void SlottedPage::Init(char* page, PageId id, PageType type, uint8_t level,
+                       TreeId tree_id) {
+  memset(page, 0, kPageSize);
+  PageHeader* h = Header(page);
+  h->page_lsn = kInvalidLsn;
+  h->last_fpi_lsn = kInvalidLsn;
+  h->page_id = id;
+  h->type = type;
+  h->level = level;
+  h->slot_count = 0;
+  h->heap_top = static_cast<uint16_t>(kPageHeaderSize);
+  h->frag_bytes = 0;
+  h->right_sibling = kInvalidPageId;
+  h->tree_id = tree_id;
+  h->checksum = 0;
+}
+
+size_t SlottedPage::FreeSpace(const char* page) {
+  const PageHeader* h = Header(page);
+  size_t dir_start = SlotDirStart(page);
+  assert(dir_start >= h->heap_top);
+  return dir_start - h->heap_top;
+}
+
+bool SlottedPage::HasRoomFor(const char* page, size_t len) {
+  // Space needed: record bytes + one slot entry; frag bytes count
+  // because Compact() can reclaim them.
+  return FreeSpace(page) + Header(page)->frag_bytes >= len + kSlotEntrySize;
+}
+
+Slice SlottedPage::Record(const char* page, uint16_t slot) {
+  assert(slot < Header(page)->slot_count);
+  return Slice(page + SlotOffset(page, slot), SlotLen(page, slot));
+}
+
+void SlottedPage::Compact(char* page) {
+  PageHeader* h = Header(page);
+  std::string heap;
+  heap.reserve(h->heap_top);
+  std::vector<std::pair<uint16_t, uint16_t>> slots(h->slot_count);
+  for (uint16_t i = 0; i < h->slot_count; i++) {
+    uint16_t off = SlotOffset(page, i);
+    uint16_t len = SlotLen(page, i);
+    uint16_t new_off = static_cast<uint16_t>(kPageHeaderSize + heap.size());
+    heap.append(page + off, len);
+    slots[i] = {new_off, len};
+  }
+  memcpy(page + kPageHeaderSize, heap.data(), heap.size());
+  for (uint16_t i = 0; i < h->slot_count; i++) {
+    WriteSlot(page, i, slots[i].first, slots[i].second);
+  }
+  h->heap_top = static_cast<uint16_t>(kPageHeaderSize + heap.size());
+  h->frag_bytes = 0;
+}
+
+Status SlottedPage::InsertAt(char* page, uint16_t slot, Slice data) {
+  PageHeader* h = Header(page);
+  if (slot > h->slot_count) {
+    return Status::Corruption("slot insert out of range");
+  }
+  if (!HasRoomFor(page, data.size())) {
+    return Status::Corruption("slotted page full");
+  }
+  if (FreeSpace(page) < data.size() + kSlotEntrySize) {
+    Compact(page);
+  }
+  // Shift slot entries for [slot, count) one position "later" (toward
+  // lower addresses, since the directory grows down).
+  char* dir_start = page + SlotDirStart(page);
+  size_t shifted = (h->slot_count - slot) * kSlotEntrySize;
+  memmove(dir_start - kSlotEntrySize, dir_start, shifted);
+  h->slot_count++;
+  // Place record bytes at the heap top.
+  memcpy(page + h->heap_top, data.data(), data.size());
+  WriteSlot(page, slot, h->heap_top, static_cast<uint16_t>(data.size()));
+  h->heap_top = static_cast<uint16_t>(h->heap_top + data.size());
+  return Status::OK();
+}
+
+Status SlottedPage::RemoveAt(char* page, uint16_t slot) {
+  PageHeader* h = Header(page);
+  if (slot >= h->slot_count) {
+    return Status::Corruption("slot remove out of range");
+  }
+  uint16_t len = SlotLen(page, slot);
+  uint16_t off = SlotOffset(page, slot);
+  if (static_cast<size_t>(off) + len == h->heap_top) {
+    h->heap_top = off;  // record was at the heap top: reclaim directly
+  } else {
+    h->frag_bytes = static_cast<uint16_t>(h->frag_bytes + len);
+  }
+  // Shift slot entries for (slot, count) one position "earlier".
+  char* dir_start = page + SlotDirStart(page);
+  size_t shifted = (h->slot_count - slot - 1) * kSlotEntrySize;
+  memmove(dir_start + kSlotEntrySize, dir_start, shifted);
+  h->slot_count--;
+  return Status::OK();
+}
+
+Status SlottedPage::ReplaceAt(char* page, uint16_t slot, Slice data) {
+  PageHeader* h = Header(page);
+  if (slot >= h->slot_count) {
+    return Status::Corruption("slot replace out of range");
+  }
+  uint16_t old_len = SlotLen(page, slot);
+  uint16_t off = SlotOffset(page, slot);
+  if (data.size() <= old_len) {
+    memcpy(page + off, data.data(), data.size());
+    h->frag_bytes = static_cast<uint16_t>(h->frag_bytes +
+                                          (old_len - data.size()));
+    WriteSlot(page, slot, off, static_cast<uint16_t>(data.size()));
+    return Status::OK();
+  }
+  // Grow: free the old bytes, then place at heap top (compact if needed).
+  if (FreeSpace(page) + h->frag_bytes + old_len < data.size()) {
+    return Status::Corruption("slotted page full on replace");
+  }
+  h->frag_bytes = static_cast<uint16_t>(h->frag_bytes + old_len);
+  WriteSlot(page, slot, 0, 0);
+  if (FreeSpace(page) < data.size()) Compact(page);
+  memcpy(page + h->heap_top, data.data(), data.size());
+  WriteSlot(page, slot, h->heap_top, static_cast<uint16_t>(data.size()));
+  h->heap_top = static_cast<uint16_t>(h->heap_top + data.size());
+  return Status::OK();
+}
+
+Slice SlottedPage::EntryKey(Slice entry) {
+  Decoder dec(entry);
+  Slice key;
+  bool ok = dec.GetLengthPrefixed(&key);
+  assert(ok);
+  (void)ok;
+  return key;
+}
+
+Slice SlottedPage::EntryValue(Slice entry) {
+  Decoder dec(entry);
+  Slice key;
+  bool ok = dec.GetLengthPrefixed(&key);
+  assert(ok);
+  (void)ok;
+  return Slice(entry.data() + 4 + key.size(), entry.size() - 4 - key.size());
+}
+
+std::string SlottedPage::MakeEntry(Slice key, Slice value) {
+  std::string e;
+  PutLengthPrefixed(&e, key);
+  e.append(value.data(), value.size());
+  return e;
+}
+
+uint16_t SlottedPage::LowerBound(const char* page, Slice key, bool* found) {
+  *found = false;
+  uint16_t lo = 0;
+  uint16_t hi = SlotCount(page);
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    Slice mid_key = EntryKey(Record(page, mid));
+    int c = mid_key.compare(key);
+    if (c < 0) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      if (c == 0) *found = true;
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,69 @@
+// Slotted page: ordered variable-length records with a slot directory.
+//
+// Records live in a heap growing up from the header; the slot directory
+// grows down from the end of the page. Slot indexes are the positions
+// log records refer to, which is what makes physical (page-oriented)
+// undo slot-exact: undoing records in reverse prevPageLSN order always
+// finds slots exactly where the inverse operation expects them.
+#ifndef REWINDDB_PAGE_SLOTTED_PAGE_H_
+#define REWINDDB_PAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "page/page.h"
+
+namespace rewinddb {
+
+/// Static helpers operating on a kPageSize buffer. The caller owns
+/// latching; these functions assume exclusive access for mutators.
+class SlottedPage {
+ public:
+  /// Format `page` as an empty slotted page.
+  static void Init(char* page, PageId id, PageType type, uint8_t level,
+                   TreeId tree_id);
+
+  static uint16_t SlotCount(const char* page) {
+    return Header(page)->slot_count;
+  }
+
+  /// Bytes available for a new record including its slot entry.
+  static size_t FreeSpace(const char* page);
+
+  /// True if a record of `len` bytes fits (possibly after compaction).
+  static bool HasRoomFor(const char* page, size_t len);
+
+  /// Record bytes at `slot` (undefined if slot >= SlotCount).
+  static Slice Record(const char* page, uint16_t slot);
+
+  /// Insert `data` at slot index `slot`, shifting later slots up by one.
+  /// Fails with Corruption if there is no room (callers check first).
+  static Status InsertAt(char* page, uint16_t slot, Slice data);
+
+  /// Remove the record at `slot`, shifting later slots down by one.
+  static Status RemoveAt(char* page, uint16_t slot);
+
+  /// Replace the record at `slot` with `data`.
+  static Status ReplaceAt(char* page, uint16_t slot, Slice data);
+
+  /// Binary search for the first slot whose record's leading
+  /// length-prefixed key is >= `key`. Records must be stored in key
+  /// order with a 4-byte key-length prefix (B-tree entry format, see
+  /// btree.h). Sets *found if an exact match exists.
+  static uint16_t LowerBound(const char* page, Slice key, bool* found);
+
+  /// Extract the key portion of a B-tree entry (length-prefixed).
+  static Slice EntryKey(Slice entry);
+  /// Extract the value portion of a B-tree entry.
+  static Slice EntryValue(Slice entry);
+  /// Build an entry from key and value.
+  static std::string MakeEntry(Slice key, Slice value);
+
+ private:
+  static void Compact(char* page);
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_PAGE_SLOTTED_PAGE_H_

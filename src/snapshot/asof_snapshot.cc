@@ -1,0 +1,571 @@
+#include "snapshot/asof_snapshot.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "btree/btree.h"
+#include "engine/redo_undo.h"
+#include "page/slotted_page.h"
+
+namespace rewinddb {
+
+// ---------------------------- SnapshotStore ---------------------------
+
+Status SnapshotStore::ReadPage(PageId id, char* buf) {
+  // Section 5.3 protocol: (a) side file, (b) primary + rewind, (c)
+  // cache the prepared page in the side file.
+  Status s = side_->ReadPage(id, buf);
+  if (s.ok()) return s;
+  if (!s.IsNotFound()) return s;
+  REWIND_RETURN_IF_ERROR(primary_->ReadPage(id, buf));
+  REWIND_RETURN_IF_ERROR(rewinder_->PreparePageAsOf(buf, split_lsn_));
+  StampPageChecksum(buf);
+  return side_->WritePage(id, buf);
+}
+
+Status SnapshotStore::WritePage(PageId id, const char* buf) {
+  return side_->WritePage(id, buf);
+}
+
+// ---------------------------- SnapshotTable ---------------------------
+
+SnapshotTable::SnapshotTable(AsOfSnapshot* snap, TableInfo info,
+                             std::vector<IndexInfo> indexes)
+    : snap_(snap),
+      info_(std::move(info)),
+      indexes_(std::move(indexes)),
+      types_(info_.schema.types()) {}
+
+Result<Row> SnapshotTable::Get(const Row& key_values) {
+  std::string pk = EncodeKey(key_values, info_.schema.num_key_columns());
+  REWIND_RETURN_IF_ERROR(snap_->WaitRowVisible(info_.root, pk));
+  BTree tree(info_.root);
+  std::shared_lock<std::shared_mutex> tl(*snap_->TreeLatch(info_.root));
+  REWIND_ASSIGN_OR_RETURN(std::string value,
+                          tree.Get(snap_->buffers(), pk));
+  return DecodeRow(types_, value);
+}
+
+Status SnapshotTable::Scan(const std::optional<Row>& lower,
+                           const std::optional<Row>& upper,
+                           const std::function<bool(const Row&)>& cb) {
+  std::string lo = lower ? EncodeKey(*lower, lower->size()) : std::string();
+  std::string hi = upper ? EncodeKey(*upper, upper->size()) : std::string();
+  BTree tree(info_.root);
+  std::string cursor = lo;
+  bool done = false;
+  Status inner;
+  while (!done) {
+    ScanOutcome out;
+    {
+      std::shared_lock<std::shared_mutex> tl(*snap_->TreeLatch(info_.root));
+      auto r = tree.Scan(
+          snap_->buffers(), cursor, hi, [&](Slice key, Slice value) {
+            if (!snap_->undo_complete() &&
+                snap_->RowBusy(info_.root, key.ToString())) {
+              return ScanAction::kYield;
+            }
+            auto row = DecodeRow(types_, value);
+            if (!row.ok()) {
+              inner = row.status();
+              return ScanAction::kStop;
+            }
+            if (!cb(*row)) {
+              done = true;
+              return ScanAction::kStop;
+            }
+            return ScanAction::kContinue;
+          });
+      if (!r.ok()) return r.status();
+      out = std::move(*r);
+    }
+    REWIND_RETURN_IF_ERROR(inner);
+    if (!out.yielded) break;
+    // Wait (latch-free) for the background undo to clear the row, then
+    // resume at the same key: if undo removed it, the scan simply moves
+    // past it.
+    REWIND_RETURN_IF_ERROR(
+        snap_->WaitRowVisible(info_.root, out.yield_key));
+    cursor = out.yield_key;
+  }
+  return Status::OK();
+}
+
+Status SnapshotTable::IndexScan(const std::string& index_name,
+                                const Row& prefix_values,
+                                const std::function<bool(const Row&)>& cb) {
+  const IndexInfo* idx = nullptr;
+  for (const IndexInfo& i : indexes_) {
+    if (i.name == index_name) {
+      idx = &i;
+      break;
+    }
+  }
+  if (idx == nullptr) {
+    return Status::NotFound("index '" + index_name + "' not on this table");
+  }
+  std::string prefix;
+  for (const Value& v : prefix_values) EncodeKeyValue(v, &prefix);
+
+  BTree itree(idx->root);
+  std::vector<std::string> pks;
+  {
+    std::shared_lock<std::shared_mutex> tl(*snap_->TreeLatch(idx->root));
+    REWIND_ASSIGN_OR_RETURN(
+        ScanOutcome out,
+        itree.Scan(snap_->buffers(), prefix, Slice(),
+                   [&](Slice key, Slice value) {
+                     if (!key.starts_with(prefix)) return ScanAction::kStop;
+                     pks.push_back(value.ToString());
+                     return ScanAction::kContinue;
+                   }));
+    (void)out;
+  }
+  BTree btree(info_.root);
+  for (const std::string& pk : pks) {
+    REWIND_RETURN_IF_ERROR(snap_->WaitRowVisible(info_.root, pk));
+    std::string value;
+    {
+      std::shared_lock<std::shared_mutex> tl(*snap_->TreeLatch(info_.root));
+      auto v = btree.Get(snap_->buffers(), pk);
+      // An in-flight insert's phantom index entry: the base row has
+      // been undone away by the time the lock cleared.
+      if (v.status().IsNotFound()) continue;
+      if (!v.ok()) return v.status();
+      value = std::move(*v);
+    }
+    REWIND_ASSIGN_OR_RETURN(Row row, DecodeRow(types_, value));
+    if (!cb(row)) break;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> SnapshotTable::Count() {
+  uint64_t n = 0;
+  REWIND_RETURN_IF_ERROR(Scan(std::nullopt, std::nullopt, [&](const Row&) {
+    n++;
+    return true;
+  }));
+  return n;
+}
+
+// ----------------------------- AsOfSnapshot ---------------------------
+
+AsOfSnapshot::AsOfSnapshot(Database* primary, std::string name,
+                           SplitPoint split)
+    : primary_(primary),
+      name_(std::move(name)),
+      split_(split),
+      rewinder_(primary->log()),
+      locks_(/*timeout_micros=*/30'000'000) {}
+
+Result<std::unique_ptr<AsOfSnapshot>> AsOfSnapshot::Create(
+    Database* primary, const std::string& name, WallClock as_of) {
+  Clock* clock = primary->clock();
+  WallClock t0 = clock->NowMicros();
+
+  // Creation checkpoint (section 5.1): every page with LSN <= SplitLSN
+  // becomes durable in the primary file, so (a) snapshot reads of the
+  // primary never miss pre-split changes and (b) the redo pass needs no
+  // page IO at all.
+  REWIND_RETURN_IF_ERROR(primary->Checkpoint());
+
+  REWIND_ASSIGN_OR_RETURN(
+      SplitPoint split,
+      FindSplitPoint(primary->log(), as_of, clock->NowMicros()));
+
+  std::unique_ptr<AsOfSnapshot> snap(
+      new AsOfSnapshot(primary, name, split));
+  REWIND_RETURN_IF_ERROR(snap->Recover());
+  primary->RegisterSnapshotAnchor(snap->split_.checkpoint_lsn);
+  snap->stats_.create_micros = clock->NowMicros() - t0;
+
+  // Open for queries now; undo the in-flight transactions' effects in
+  // the background (section 5.2).
+  snap->undo_thread_ = std::thread([s = snap.get()] { s->BackgroundUndo(); });
+  return snap;
+}
+
+Status AsOfSnapshot::Recover() {
+  LogManager* log = primary_->log();
+
+  // Side file + store + buffer pool + catalog.
+  REWIND_ASSIGN_OR_RETURN(
+      side_, SparseFile::Create(primary_->dir() + "/" + name_ + ".side",
+                                primary_->data_disk(), primary_->stats()));
+  store_ = std::make_unique<SnapshotStore>(primary_->data_file(), side_.get(),
+                                           &rewinder_, split_.split_lsn);
+  buffers_ = std::make_unique<BufferManager>(
+      store_.get(), /*log=*/nullptr, primary_->stats(),
+      primary_->options().buffer_pool_pages, /*verify_checksums=*/false);
+  catalog_ = std::make_unique<Catalog>(buffers_.get());
+
+  // Analysis (section 5.2): find transactions in flight at the
+  // SplitLSN. Start one checkpoint earlier than the one preceding the
+  // split so a split landing inside a checkpoint window still sees the
+  // full active-transaction table.
+  Lsn analysis_start = log->start_lsn();
+  {
+    std::vector<CheckpointRef> ckpts = log->checkpoints();
+    int newest = -1;
+    for (size_t i = 0; i < ckpts.size(); i++) {
+      if (ckpts[i].begin_lsn <= split_.split_lsn) {
+        newest = static_cast<int>(i);
+      }
+    }
+    if (newest > 0) analysis_start = ckpts[newest - 1].begin_lsn;
+  }
+
+  std::unordered_map<TxnId, Lsn> att;
+  REWIND_RETURN_IF_ERROR(log->Scan(
+      analysis_start, split_.split_lsn + 1,
+      [&](Lsn lsn, const LogRecord& rec) {
+        if (lsn > split_.split_lsn) return false;
+        if (rec.type == LogType::kCheckpointEnd) {
+          for (const AttEntry& e : rec.att) {
+            if (att.find(e.txn_id) == att.end()) att[e.txn_id] = e.last_lsn;
+          }
+          return true;
+        }
+        if (rec.txn_id != kInvalidTxnId) {
+          if (rec.type == LogType::kCommit || rec.type == LogType::kAbort) {
+            att.erase(rec.txn_id);
+          } else {
+            att[rec.txn_id] = lsn;
+          }
+        }
+        return true;
+      }));
+
+  // Lock re-acquisition: walk each loser's chain and take X locks on
+  // every row it touched, so queries cannot observe uncommitted
+  // effects before the background undo erases them.
+  for (const auto& [txn_id, last_lsn] : att) {
+    losers_.push_back({txn_id, last_lsn});
+    Lsn cursor = last_lsn;
+    while (cursor != kInvalidLsn) {
+      auto rec = log->ReadRecord(cursor);
+      if (!rec.ok()) return rec.status();
+      LogType op = rec->type == LogType::kClr ? rec->clr_op : rec->type;
+      if ((op == LogType::kInsert || op == LogType::kDelete ||
+           op == LogType::kUpdate) &&
+          !rec->image.empty()) {
+        std::string key = SlottedPage::EntryKey(rec->image).ToString();
+        locks_.GrantForRecovery(txn_id, RowLockKey(rec->tree_id, key),
+                                LockMode::kExclusive);
+        stats_.locks_reacquired++;
+      }
+      if (rec->type == LogType::kBegin) break;
+      cursor = rec->type == LogType::kClr ? rec->undo_next_lsn
+                                          : rec->prev_lsn;
+    }
+  }
+  stats_.split_lsn = split_.split_lsn;
+  stats_.boundary_time = split_.boundary_time;
+  stats_.checkpoint_lsn = split_.checkpoint_lsn;
+  stats_.loser_transactions = losers_.size();
+  return Status::OK();
+}
+
+void AsOfSnapshot::BackgroundUndo() {
+  LogManager* log = primary_->log();
+  std::unordered_map<TxnId, Lsn> cursor;
+  for (const AttEntry& e : losers_) cursor[e.txn_id] = e.last_lsn;
+
+  Status status;
+  while (!cursor.empty() && status.ok()) {
+    TxnId victim = 0;
+    Lsn max_lsn = 0;
+    for (const auto& [id, lsn] : cursor) {
+      if (lsn >= max_lsn) {
+        max_lsn = lsn;
+        victim = id;
+      }
+    }
+    if (max_lsn == kInvalidLsn) break;
+    auto rec = log->ReadRecord(max_lsn);
+    if (!rec.ok()) {
+      status = rec.status();
+      break;
+    }
+    if (rec->type == LogType::kClr) {
+      cursor[victim] = rec->undo_next_lsn;
+    } else if (rec->type == LogType::kBegin) {
+      cursor[victim] = kInvalidLsn;
+    } else if (rec->IsPageRecord()) {
+      // Undo on the snapshot's copy of the page: fetched through the
+      // rewind path, modified in place, persisted to the side file --
+      // never logged (the snapshot is not a database of record).
+      const bool row_op = rec->type == LogType::kInsert ||
+                          rec->type == LogType::kDelete ||
+                          rec->type == LogType::kUpdate;
+      if (row_op && !rec->is_system) {
+        // User rows may have moved under committed SMOs: undo by key.
+        status = UndoUserRowUnlogged(*rec);
+      } else {
+        // System-transaction records: nothing else touched their pages
+        // between the record and the split, so slot-exact undo is safe.
+        std::unique_lock<std::shared_mutex> tl(*TreeLatch(rec->tree_id));
+        auto page = buffers_->FetchPage(rec->page_id, AccessMode::kWrite);
+        if (!page.ok()) {
+          status = page.status();
+          break;
+        }
+        status = ApplyUndo(page->mutable_data(), *rec);
+        if (status.ok()) page->MarkDirtyUnlogged();
+      }
+      if (!status.ok()) break;
+      cursor[victim] = rec->prev_lsn;
+    } else {
+      cursor[victim] = rec->prev_lsn;
+    }
+    if (cursor[victim] == kInvalidLsn) {
+      locks_.ReleaseAll(victim);
+      cursor.erase(victim);
+    }
+  }
+  // Persist undone pages so later side-file reads see them even after
+  // buffer-pool eviction.
+  if (status.ok()) status = buffers_->FlushAll();
+  undo_status_ = status;
+  // Release any remaining locks (error path) so queries do not hang.
+  for (const AttEntry& e : losers_) locks_.ReleaseAll(e.txn_id);
+  undo_complete_.store(true);
+}
+
+Status AsOfSnapshot::UndoUserRowUnlogged(const LogRecord& rec) {
+  Slice entry = rec.image;  // kUpdate: the OLD entry to restore
+  Slice key = SlottedPage::EntryKey(entry);
+  BTree tree(rec.tree_id);
+  std::unique_lock<std::shared_mutex> tl(*TreeLatch(rec.tree_id));
+  for (int attempt = 0; attempt < 64; attempt++) {
+    REWIND_ASSIGN_OR_RETURN(std::vector<PageId> path,
+                            tree.FindLeafPath(buffers_.get(), key));
+    REWIND_ASSIGN_OR_RETURN(
+        PageGuard leaf, buffers_->FetchPage(path.back(), AccessMode::kWrite));
+    bool found;
+    uint16_t idx = SlottedPage::LowerBound(leaf.data(), key, &found);
+    switch (rec.type) {
+      case LogType::kInsert:
+        if (!found) {
+          return Status::Corruption("snapshot undo: inserted key missing");
+        }
+        REWIND_RETURN_IF_ERROR(SlottedPage::RemoveAt(leaf.mutable_data(),
+                                                     idx));
+        leaf.MarkDirtyUnlogged();
+        return Status::OK();
+      case LogType::kDelete:
+        if (found) {
+          return Status::Corruption("snapshot undo: deleted key present");
+        }
+        if (SlottedPage::HasRoomFor(leaf.data(), entry.size())) {
+          REWIND_RETURN_IF_ERROR(
+              SlottedPage::InsertAt(leaf.mutable_data(), idx, entry));
+          leaf.MarkDirtyUnlogged();
+          return Status::OK();
+        }
+        break;  // split below
+      case LogType::kUpdate: {
+        if (!found) {
+          return Status::Corruption("snapshot undo: updated key missing");
+        }
+        size_t old_len = SlottedPage::Record(leaf.data(), idx).size();
+        bool fits = entry.size() <= old_len ||
+                    SlottedPage::FreeSpace(leaf.data()) +
+                            Header(leaf.data())->frag_bytes + old_len >=
+                        entry.size();
+        if (fits) {
+          REWIND_RETURN_IF_ERROR(
+              SlottedPage::ReplaceAt(leaf.mutable_data(), idx, entry));
+          leaf.MarkDirtyUnlogged();
+          return Status::OK();
+        }
+        break;  // split below
+      }
+      default:
+        return Status::Corruption("snapshot undo: unexpected row op");
+    }
+    leaf.Release();
+    REWIND_RETURN_IF_ERROR(UnloggedSplit(rec.tree_id, path));
+  }
+  return Status::Corruption("snapshot undo did not converge");
+}
+
+Status AsOfSnapshot::UnloggedSplit(TreeId tree,
+                                   const std::vector<PageId>& path) {
+  // Splits a snapshot page into a snapshot-private (virtual) sibling.
+  // All changes are unlogged: the snapshot is not a database of record
+  // and these pages live only in the side file.
+  PageId node_id = path.back();
+  REWIND_ASSIGN_OR_RETURN(PageGuard node,
+                          buffers_->FetchPage(node_id, AccessMode::kWrite));
+  PageHeader* nh = Header(node.mutable_data());
+  const bool is_leaf = nh->type == PageType::kBtreeLeaf;
+  uint16_t n = SlottedPage::SlotCount(node.data());
+  if (n < 2) return Status::Corruption("unlogged split of underfull page");
+  uint16_t mid = static_cast<uint16_t>(n / 2);
+  std::string sep =
+      SlottedPage::EntryKey(SlottedPage::Record(node.data(), mid)).ToString();
+
+  if (node_id == tree) {
+    // Root: redistribute into two virtual children; root page id stays.
+    PageId left_id = virtual_next_page_++;
+    PageId right_id = virtual_next_page_++;
+    REWIND_ASSIGN_OR_RETURN(PageGuard left, buffers_->NewPage(left_id));
+    REWIND_ASSIGN_OR_RETURN(PageGuard right, buffers_->NewPage(right_id));
+    SlottedPage::Init(left.mutable_data(), left_id, nh->type, nh->level,
+                      tree);
+    SlottedPage::Init(right.mutable_data(), right_id, nh->type, nh->level,
+                      tree);
+    for (uint16_t i = 0; i < mid; i++) {
+      REWIND_RETURN_IF_ERROR(SlottedPage::InsertAt(
+          left.mutable_data(), i, SlottedPage::Record(node.data(), i)));
+    }
+    for (uint16_t i = mid; i < n; i++) {
+      Slice e = SlottedPage::Record(node.data(), i);
+      if (!is_leaf && i == mid) {
+        std::string e0 =
+            SlottedPage::MakeEntry(Slice(), SlottedPage::EntryValue(e));
+        REWIND_RETURN_IF_ERROR(
+            SlottedPage::InsertAt(right.mutable_data(), 0, e0));
+      } else {
+        REWIND_RETURN_IF_ERROR(SlottedPage::InsertAt(
+            right.mutable_data(), static_cast<uint16_t>(i - mid), e));
+      }
+    }
+    if (is_leaf) {
+      Header(right.mutable_data())->right_sibling = nh->right_sibling;
+      Header(left.mutable_data())->right_sibling = right_id;
+    }
+    uint8_t child_level = nh->level;
+    SlottedPage::Init(node.mutable_data(), node_id, PageType::kBtreeInternal,
+                      static_cast<uint8_t>(child_level + 1), tree);
+    REWIND_RETURN_IF_ERROR(SlottedPage::InsertAt(
+        node.mutable_data(), 0,
+        SlottedPage::MakeEntry(Slice(), EncodeChild(left_id))));
+    REWIND_RETURN_IF_ERROR(SlottedPage::InsertAt(
+        node.mutable_data(), 1, SlottedPage::MakeEntry(sep,
+                                                       EncodeChild(right_id))));
+    left.MarkDirtyUnlogged();
+    right.MarkDirtyUnlogged();
+    node.MarkDirtyUnlogged();
+    return Status::OK();
+  }
+
+  PageId right_id = virtual_next_page_++;
+  REWIND_ASSIGN_OR_RETURN(PageGuard right, buffers_->NewPage(right_id));
+  SlottedPage::Init(right.mutable_data(), right_id, nh->type, nh->level,
+                    tree);
+  for (uint16_t i = mid; i < n; i++) {
+    Slice e = SlottedPage::Record(node.data(), i);
+    if (!is_leaf && i == mid) {
+      std::string e0 =
+          SlottedPage::MakeEntry(Slice(), SlottedPage::EntryValue(e));
+      REWIND_RETURN_IF_ERROR(
+          SlottedPage::InsertAt(right.mutable_data(), 0, e0));
+    } else {
+      REWIND_RETURN_IF_ERROR(SlottedPage::InsertAt(
+          right.mutable_data(), static_cast<uint16_t>(i - mid), e));
+    }
+  }
+  for (uint16_t i = n; i-- > mid;) {
+    REWIND_RETURN_IF_ERROR(SlottedPage::RemoveAt(node.mutable_data(), i));
+  }
+  if (is_leaf) {
+    Header(right.mutable_data())->right_sibling = nh->right_sibling;
+    nh->right_sibling = right_id;
+  }
+  right.MarkDirtyUnlogged();
+  node.MarkDirtyUnlogged();
+  right.Release();
+  node.Release();
+
+  // Insert the separator into the parent, splitting upward as needed.
+  std::string entry = SlottedPage::MakeEntry(sep, EncodeChild(right_id));
+  for (int attempt = 0; attempt < 64; attempt++) {
+    REWIND_ASSIGN_OR_RETURN(
+        std::vector<PageId> fresh,
+        BTree(tree).FindLeafPath(buffers_.get(), sep));
+    // Parent = the node at one level above this split's node.
+    PageId parent_id = kInvalidPageId;
+    for (size_t i = 0; i + 1 < fresh.size(); i++) {
+      if (fresh[i + 1] == node_id || fresh[i + 1] == right_id) {
+        parent_id = fresh[i];
+        break;
+      }
+    }
+    if (parent_id == kInvalidPageId) {
+      // Not found on the descent (already routed right); use the
+      // recorded path's parent.
+      parent_id = path[path.size() - 2];
+    }
+    REWIND_ASSIGN_OR_RETURN(
+        PageGuard parent, buffers_->FetchPage(parent_id, AccessMode::kWrite));
+    bool found;
+    uint16_t idx = SlottedPage::LowerBound(parent.data(), sep, &found);
+    if (found) return Status::Corruption("unlogged split: duplicate sep");
+    if (SlottedPage::HasRoomFor(parent.data(), entry.size())) {
+      REWIND_RETURN_IF_ERROR(
+          SlottedPage::InsertAt(parent.mutable_data(), idx, entry));
+      parent.MarkDirtyUnlogged();
+      return Status::OK();
+    }
+    parent.Release();
+    std::vector<PageId> parent_path(path.begin(), path.end() - 1);
+    REWIND_RETURN_IF_ERROR(UnloggedSplit(tree, parent_path));
+  }
+  return Status::Corruption("unlogged split did not converge");
+}
+
+Status AsOfSnapshot::WaitForUndo() {
+  if (undo_thread_.joinable()) undo_thread_.join();
+  return undo_status_;
+}
+
+std::shared_mutex* AsOfSnapshot::TreeLatch(TreeId tree) {
+  std::lock_guard<std::mutex> g(tree_latches_mu_);
+  auto& slot = tree_latches_[tree];
+  if (slot == nullptr) slot = std::make_unique<std::shared_mutex>();
+  return slot.get();
+}
+
+bool AsOfSnapshot::RowBusy(TreeId tree, const std::string& key) {
+  return locks_.IsHeldExclusive(RowLockKey(tree, key));
+}
+
+Status AsOfSnapshot::WaitRowVisible(TreeId tree, const std::string& key) {
+  if (undo_complete_.load()) return Status::OK();
+  TxnId qid = query_ids_++;
+  Status s = locks_.Acquire(qid, RowLockKey(tree, key), LockMode::kShared);
+  locks_.ReleaseAll(qid);
+  if (s.IsAborted()) {
+    return Status::Busy("snapshot background undo is still running");
+  }
+  return s;
+}
+
+Result<SnapshotTable> AsOfSnapshot::OpenTable(const std::string& name) {
+  REWIND_ASSIGN_OR_RETURN(TableInfo info, catalog_->GetTable(name));
+  REWIND_ASSIGN_OR_RETURN(std::vector<IndexInfo> indexes,
+                          catalog_->ListIndexesOf(info.table_id));
+  return SnapshotTable(this, std::move(info), std::move(indexes));
+}
+
+Result<std::vector<TableInfo>> AsOfSnapshot::ListTables() {
+  return catalog_->ListTables();
+}
+
+Status AsOfSnapshot::Drop() {
+  if (side_ != nullptr) return side_->Destroy();
+  return Status::OK();
+}
+
+AsOfSnapshot::~AsOfSnapshot() {
+  Status s = WaitForUndo();
+  (void)s;
+  primary_->UnregisterSnapshotAnchor(split_.checkpoint_lsn);
+  s = Drop();
+  (void)s;
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,191 @@
+// As-of database snapshots (paper section 5).
+//
+// An AsOfSnapshot presents a transactionally consistent, read-only view
+// of the primary database as of an arbitrary wall-clock time within the
+// retention period. It is built from three pieces:
+//
+//  * SnapshotStore -- a PageStore whose read path implements the
+//    section 5.3 protocol: side file hit -> return; miss -> read the
+//    page from the PRIMARY's data file, PreparePageAsOf(page, SplitLSN),
+//    cache the rewound page in the sparse side file. Keeping this below
+//    the snapshot's buffer pool leaves the B-tree, catalog and queries
+//    entirely oblivious to time travel.
+//
+//  * Snapshot recovery (section 5.2) -- analysis scans the log between
+//    the checkpoint preceding the SplitLSN and the SplitLSN to find
+//    transactions in flight at that point; their row locks are
+//    re-acquired (redo itself needs no page reads because snapshot
+//    creation checkpoints the primary first); then a BACKGROUND thread
+//    undoes the in-flight transactions' effects on snapshot pages while
+//    queries are already allowed.
+//
+//  * SnapshotTable -- read-only typed access mirroring Table, with the
+//    lock coordination that makes pre-undo-completion queries correct:
+//    a row held by an in-flight transaction blocks readers until the
+//    background undo has erased it.
+#ifndef REWINDDB_SNAPSHOT_ASOF_SNAPSHOT_H_
+#define REWINDDB_SNAPSHOT_ASOF_SNAPSHOT_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "catalog/catalog.h"
+#include "engine/database.h"
+#include "io/sparse_file.h"
+#include "snapshot/page_rewinder.h"
+#include "snapshot/split_lsn.h"
+
+namespace rewinddb {
+
+class AsOfSnapshot;
+
+/// PageStore implementing the as-of read protocol of section 5.3.
+class SnapshotStore : public PageStore {
+ public:
+  SnapshotStore(PagedFile* primary, SparseFile* side, PageRewinder* rewinder,
+                Lsn split_lsn)
+      : primary_(primary), side_(side), rewinder_(rewinder),
+        split_lsn_(split_lsn) {}
+
+  Status ReadPage(PageId id, char* buf) override;
+  /// Writes (from the snapshot's buffer pool: background-undo results,
+  /// eviction of rewound pages) always land in the side file.
+  Status WritePage(PageId id, const char* buf) override;
+
+ private:
+  PagedFile* primary_;
+  SparseFile* side_;
+  PageRewinder* rewinder_;
+  Lsn split_lsn_;
+};
+
+/// Read-only table handle over a snapshot.
+class SnapshotTable {
+ public:
+  SnapshotTable(AsOfSnapshot* snap, TableInfo info,
+                std::vector<IndexInfo> indexes);
+
+  const Schema& schema() const { return info_.schema; }
+  const TableInfo& info() const { return info_; }
+
+  /// Point lookup as of the snapshot time.
+  Result<Row> Get(const Row& key_values);
+  /// Range scan; nullopt bounds are open.
+  Status Scan(const std::optional<Row>& lower, const std::optional<Row>& upper,
+              const std::function<bool(const Row&)>& cb);
+  /// Secondary-index equality scan.
+  Status IndexScan(const std::string& index_name, const Row& prefix_values,
+                   const std::function<bool(const Row&)>& cb);
+  Result<uint64_t> Count();
+
+ private:
+  AsOfSnapshot* snap_;
+  TableInfo info_;
+  std::vector<IndexInfo> indexes_;
+  std::vector<ColumnType> types_;
+};
+
+/// A queryable as-of replica of a primary database.
+class AsOfSnapshot {
+ public:
+  struct CreationStats {
+    Lsn split_lsn = kInvalidLsn;
+    WallClock boundary_time = 0;
+    Lsn checkpoint_lsn = kInvalidLsn;
+    /// In-flight transactions at the SplitLSN (undone in background).
+    size_t loser_transactions = 0;
+    /// Row locks re-acquired during the redo pass.
+    size_t locks_reacquired = 0;
+    /// Simulated+real microseconds spent creating the snapshot
+    /// (checkpoint + SplitLSN search + analysis).
+    uint64_t create_micros = 0;
+  };
+
+  ~AsOfSnapshot();
+  AsOfSnapshot(const AsOfSnapshot&) = delete;
+  AsOfSnapshot& operator=(const AsOfSnapshot&) = delete;
+
+  /// CREATE DATABASE <name> AS SNAPSHOT OF <primary> AS OF <as_of>.
+  /// Opens for queries as soon as analysis/redo complete; the undo of
+  /// in-flight transactions proceeds in the background.
+  static Result<std::unique_ptr<AsOfSnapshot>> Create(Database* primary,
+                                                      const std::string& name,
+                                                      WallClock as_of);
+
+  /// Query-surface: tables and metadata resolve through the snapshot's
+  /// own (rewound) catalog pages.
+  Result<SnapshotTable> OpenTable(const std::string& name);
+  Result<std::vector<TableInfo>> ListTables();
+
+  /// Block until the background undo pass finishes.
+  Status WaitForUndo();
+  bool undo_complete() const { return undo_complete_.load(); }
+
+  const CreationStats& creation_stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+  Lsn split_lsn() const { return split_.split_lsn; }
+  BufferManager* buffers() { return buffers_.get(); }
+  PageRewinder* rewinder() { return &rewinder_; }
+  SparseFile* side_file() { return side_.get(); }
+  Database* primary() { return primary_; }
+
+  /// Delete the side file (done automatically on destruction).
+  Status Drop();
+
+ private:
+  friend class SnapshotTable;
+
+  AsOfSnapshot(Database* primary, std::string name, SplitPoint split);
+
+  Status Recover();
+  void BackgroundUndo();
+  /// Unlogged logical undo of a user row record on the snapshot's
+  /// pages: locate the row by key (it may have moved under committed
+  /// structure modifications before the split) and apply the inverse
+  /// directly. May split snapshot leaves into snapshot-private virtual
+  /// pages when a re-inserted row no longer fits.
+  Status UndoUserRowUnlogged(const LogRecord& rec);
+  Status UnloggedSplit(TreeId tree, const std::vector<PageId>& path);
+  std::shared_mutex* TreeLatch(TreeId tree);
+  /// Wait until the row is free of in-flight-transaction locks (no-op
+  /// once undo completed).
+  Status WaitRowVisible(TreeId tree, const std::string& key);
+  bool RowBusy(TreeId tree, const std::string& key);
+
+  Database* primary_;
+  std::string name_;
+  SplitPoint split_;
+  PageRewinder rewinder_;
+
+  std::unique_ptr<SparseFile> side_;
+  std::unique_ptr<SnapshotStore> store_;
+  std::unique_ptr<BufferManager> buffers_;
+  std::unique_ptr<Catalog> catalog_;
+  LockManager locks_;  // loser locks + query coordination
+
+  /// Losers: txn id -> last LSN at the split point.
+  std::vector<AttEntry> losers_;
+
+  std::thread undo_thread_;
+  std::atomic<bool> undo_complete_{false};
+  Status undo_status_;
+  std::atomic<uint64_t> query_ids_{1ULL << 62};
+  /// Page ids for snapshot-private pages created by unlogged splits;
+  /// they live only in the side file, far above any primary page id.
+  std::atomic<PageId> virtual_next_page_{3'000'000'000u};
+
+  std::mutex tree_latches_mu_;
+  std::map<TreeId, std::unique_ptr<std::shared_mutex>> tree_latches_;
+
+  CreationStats stats_;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_SNAPSHOT_ASOF_SNAPSHOT_H_

@@ -1,0 +1,51 @@
+#include "snapshot/page_rewinder.h"
+
+#include <cstring>
+
+#include "engine/redo_undo.h"
+
+namespace rewinddb {
+
+Status PageRewinder::PreparePageAsOf(char* page, Lsn as_of_lsn) {
+  Lsn curr = PageLsn(page);
+  if (curr > as_of_lsn) pages_rewound_++;
+  // A generous bound: a page cannot have more live chain entries than
+  // bytes of log; this guards against chain corruption loops.
+  for (uint64_t steps = 0; curr > as_of_lsn; steps++) {
+    if (steps > (1ULL << 32)) {
+      return Status::Corruption("page chain walk did not terminate");
+    }
+    REWIND_ASSIGN_OR_RETURN(LogRecord rec, log_->ReadRecord(curr));
+    if (rec.page_id != Header(page)->page_id &&
+        Header(page)->page_id != kInvalidPageId) {
+      return Status::Corruption("page chain crossed pages: expected " +
+                                std::to_string(Header(page)->page_id) +
+                                " found " + std::to_string(rec.page_id));
+    }
+    // Skip optimization (section 6.1): if this record knows of a full
+    // page image at or after the target, apply the image directly and
+    // continue from before it -- every modification between the image
+    // and `curr` is skipped in one step.
+    if (rec.prev_fpi_lsn != kInvalidLsn && rec.prev_fpi_lsn >= as_of_lsn &&
+        rec.prev_fpi_lsn < curr) {
+      REWIND_ASSIGN_OR_RETURN(LogRecord fpi,
+                              log_->ReadRecord(rec.prev_fpi_lsn));
+      if (fpi.type != LogType::kPreformat ||
+          fpi.image.size() != kPageSize) {
+        return Status::Corruption("fpi chain does not point at an image");
+      }
+      memcpy(page, fpi.image.data(), kPageSize);
+      SetPageLsn(page, fpi.prev_page_lsn);
+      Header(page)->last_fpi_lsn = fpi.prev_fpi_lsn;
+      curr = fpi.prev_page_lsn;
+      fpi_jumps_++;
+      continue;
+    }
+    REWIND_RETURN_IF_ERROR(ApplyUndo(page, rec));
+    curr = rec.prev_page_lsn;
+    records_undone_++;
+  }
+  return Status::OK();
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,56 @@
+// PreparePageAsOf: the paper's core primitive (section 4, figure 3).
+//
+// Given the current image of a page, walk its backward prevPageLSN
+// chain, undoing one modification per step, until the page LSN is at or
+// before the requested point in time. Every step is one log-record
+// fetch -- a potential IO stall (section 6.2) -- unless the optional
+// full-page-image chain lets the walk jump over a region of the log
+// (section 6.1): if a record points at an FPI at-or-after the target
+// LSN, applying that image replaces every individual undo between the
+// FPI and the current position.
+#ifndef REWINDDB_SNAPSHOT_PAGE_REWINDER_H_
+#define REWINDDB_SNAPSHOT_PAGE_REWINDER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+#include "log/log_manager.h"
+#include "page/page.h"
+
+namespace rewinddb {
+
+/// Rewinds page images using the transaction log. Stateless apart from
+/// counters; safe for concurrent use.
+class PageRewinder {
+ public:
+  explicit PageRewinder(LogManager* log) : log_(log) {}
+
+  /// Undo modifications to `page` (a kPageSize buffer) until its page
+  /// LSN is <= `as_of_lsn`. Returns OutOfRange if the chain walks past
+  /// the retention window (truncated log).
+  Status PreparePageAsOf(char* page, Lsn as_of_lsn);
+
+  /// Records undone one-by-one across all calls.
+  uint64_t records_undone() const { return records_undone_.load(); }
+  /// Chain-walk steps replaced by applying a full page image.
+  uint64_t fpi_jumps() const { return fpi_jumps_.load(); }
+  /// Pages that needed at least one undo step.
+  uint64_t pages_rewound() const { return pages_rewound_.load(); }
+
+  void ResetCounters() {
+    records_undone_ = 0;
+    fpi_jumps_ = 0;
+    pages_rewound_ = 0;
+  }
+
+ private:
+  LogManager* log_;
+  std::atomic<uint64_t> records_undone_{0};
+  std::atomic<uint64_t> fpi_jumps_{0};
+  std::atomic<uint64_t> pages_rewound_{0};
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_SNAPSHOT_PAGE_REWINDER_H_

@@ -1,0 +1,80 @@
+#include "snapshot/split_lsn.h"
+
+namespace rewinddb {
+
+Result<SplitPoint> FindSplitPoint(LogManager* log, WallClock target,
+                                  WallClock now) {
+  if (target > now) {
+    return Status::InvalidArgument("as-of time lies in the future");
+  }
+
+  // Narrow with the checkpoint directory: scan from the newest
+  // checkpoint at or before the target time (checkpoints carry
+  // wall-clock stamps precisely for this).
+  const std::vector<CheckpointRef> ckpts = log->checkpoints();
+  Lsn scan_start = log->start_lsn();
+  Lsn ckpt_before = kInvalidLsn;
+  bool target_before_all_ckpts = !ckpts.empty();
+  for (const CheckpointRef& c : ckpts) {
+    if (c.wall_clock <= target) {
+      scan_start = c.begin_lsn;
+      ckpt_before = c.begin_lsn;
+      target_before_all_ckpts = false;
+    } else {
+      break;
+    }
+  }
+  // Bound the forward scan by the first checkpoint after the target
+  // (plus one more region in case a qualifying commit raced the
+  // checkpoint) -- here simply scan to the next checkpoint boundary.
+  Lsn scan_end = log->next_lsn();
+  for (const CheckpointRef& c : ckpts) {
+    if (c.wall_clock > target) {
+      scan_end = c.begin_lsn;
+      break;
+    }
+  }
+
+  Lsn split = kInvalidLsn;
+  WallClock boundary = 0;
+  std::vector<Lsn> ckpts_in_scan;
+  REWIND_RETURN_IF_ERROR(log->Scan(
+      scan_start, scan_end, [&](Lsn lsn, const LogRecord& rec) {
+        if (rec.type == LogType::kCommit) {
+          if (rec.wall_clock <= target) {
+            split = lsn;
+            boundary = rec.wall_clock;
+          } else {
+            return false;  // commits are (near-)monotonic: stop
+          }
+        } else if (rec.type == LogType::kCheckpointBegin) {
+          ckpts_in_scan.push_back(lsn);
+        }
+        return true;
+      }));
+  Lsn last_ckpt_seen = ckpt_before;
+  for (Lsn c : ckpts_in_scan) {
+    if (split != kInvalidLsn && c <= split) last_ckpt_seen = c;
+  }
+
+  if (split == kInvalidLsn) {
+    if (target_before_all_ckpts || ckpt_before == kInvalidLsn) {
+      return Status::OutOfRange(
+          "as-of time precedes the retained log (outside the undo "
+          "interval)");
+    }
+    // No commit in (checkpoint, target]: the checkpoint itself is a
+    // consistent boundary.
+    split = ckpt_before;
+    boundary = target;
+  }
+
+  SplitPoint out;
+  out.split_lsn = split;
+  out.boundary_time = boundary;
+  out.checkpoint_lsn =
+      last_ckpt_seen != kInvalidLsn ? last_ckpt_seen : log->start_lsn();
+  return out;
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,36 @@
+// SplitLSN search: translate a user-supplied wall-clock time into the
+// LSN the as-of snapshot is recovered to (paper section 5.1).
+//
+// The search first narrows the log region using checkpoint records
+// (which carry wall-clock stamps), then scans commit records within the
+// region to find the last commit at or before the requested time --
+// the same technique point-in-time restore uses.
+#ifndef REWINDDB_SNAPSHOT_SPLIT_LSN_H_
+#define REWINDDB_SNAPSHOT_SPLIT_LSN_H_
+
+#include "common/result.h"
+#include "common/types.h"
+#include "log/log_manager.h"
+
+namespace rewinddb {
+
+struct SplitPoint {
+  /// The snapshot boundary: every record with LSN <= split_lsn is part
+  /// of the snapshot's history (commits after it are invisible).
+  Lsn split_lsn;
+  /// Wall-clock of the commit chosen as the boundary.
+  WallClock boundary_time;
+  /// Begin-LSN of the most recent checkpoint at or before split_lsn;
+  /// snapshot recovery's analysis pass starts here.
+  Lsn checkpoint_lsn;
+};
+
+/// Find the split point for `target` wall-clock time.
+/// Errors: OutOfRange if `target` precedes the retained log,
+/// InvalidArgument if it lies in the future (`now`).
+Result<SplitPoint> FindSplitPoint(LogManager* log, WallClock target,
+                                  WallClock now);
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_SNAPSHOT_SPLIT_LSN_H_

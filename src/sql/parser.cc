@@ -1,0 +1,339 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <ctime>
+#include <vector>
+
+namespace rewinddb {
+
+namespace {
+
+struct Token {
+  enum class Type { kWord, kNumber, kString, kPunct, kEnd };
+  Type type;
+  std::string text;  // words upper-cased; strings without quotes
+  std::string raw;   // original spelling
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& in) : in_(in) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < in_.size()) {
+      char c = in_[i];
+      if (isspace(static_cast<unsigned char>(c))) {
+        i++;
+        continue;
+      }
+      if (c == '\'') {
+        size_t j = i + 1;
+        std::string s;
+        while (j < in_.size() && in_[j] != '\'') s += in_[j++];
+        if (j >= in_.size()) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        out.push_back({Token::Type::kString, s, s});
+        i = j + 1;
+        continue;
+      }
+      if (isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i;
+        while (j < in_.size() &&
+               isdigit(static_cast<unsigned char>(in_[j]))) {
+          j++;
+        }
+        std::string n = in_.substr(i, j - i);
+        out.push_back({Token::Type::kNumber, n, n});
+        i = j;
+        continue;
+      }
+      if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < in_.size() &&
+               (isalnum(static_cast<unsigned char>(in_[j])) ||
+                in_[j] == '_')) {
+          j++;
+        }
+        std::string raw = in_.substr(i, j - i);
+        std::string up = raw;
+        for (char& ch : up) ch = static_cast<char>(toupper(ch));
+        out.push_back({Token::Type::kWord, up, raw});
+        i = j;
+        continue;
+      }
+      if (c == '(' || c == ')' || c == ',' || c == '=' || c == ';') {
+        out.push_back({Token::Type::kPunct, std::string(1, c),
+                       std::string(1, c)});
+        i++;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "'");
+    }
+    out.push_back({Token::Type::kEnd, "", ""});
+    return out;
+  }
+
+ private:
+  const std::string& in_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlCommand> Parse() {
+    if (Accept("CREATE")) {
+      if (Accept("DATABASE")) return CreateSnapshot();
+      if (Accept("TABLE")) return CreateTable();
+      return Status::InvalidArgument("expected DATABASE or TABLE");
+    }
+    if (Accept("ALTER")) return AlterDatabase();
+    if (Accept("DROP")) {
+      if (Accept("DATABASE")) return DropNamed(SqlCommand::Kind::kDropDatabase);
+      if (Accept("TABLE")) return DropNamed(SqlCommand::Kind::kDropTable);
+      return Status::InvalidArgument("expected DATABASE or TABLE");
+    }
+    return Status::InvalidArgument("unrecognized statement");
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+
+  bool Accept(const std::string& word) {
+    if (Cur().type == Token::Type::kWord && Cur().text == word) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptPunct(char c) {
+    if (Cur().type == Token::Type::kPunct && Cur().text[0] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(const std::string& word) {
+    if (!Accept(word)) {
+      return Status::InvalidArgument("expected " + word + " near '" +
+                                     Cur().raw + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> Identifier() {
+    if (Cur().type != Token::Type::kWord) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Cur().raw + "'");
+    }
+    std::string id = Cur().raw;
+    pos_++;
+    return id;
+  }
+
+  Result<SqlCommand> CreateSnapshot() {
+    SqlCommand cmd;
+    cmd.kind = SqlCommand::Kind::kCreateSnapshot;
+    REWIND_ASSIGN_OR_RETURN(cmd.name, Identifier());
+    REWIND_RETURN_IF_ERROR(Expect("AS"));
+    REWIND_RETURN_IF_ERROR(Expect("SNAPSHOT"));
+    REWIND_RETURN_IF_ERROR(Expect("OF"));
+    REWIND_ASSIGN_OR_RETURN(cmd.source, Identifier());
+    REWIND_RETURN_IF_ERROR(Expect("AS"));
+    REWIND_RETURN_IF_ERROR(Expect("OF"));
+    if (Cur().type == Token::Type::kString) {
+      REWIND_ASSIGN_OR_RETURN(cmd.as_of, ParseTimestamp(Cur().text));
+      pos_++;
+    } else if (Cur().type == Token::Type::kNumber) {
+      cmd.as_of = static_cast<WallClock>(std::stoull(Cur().text));
+      pos_++;
+    } else {
+      return Status::InvalidArgument("expected timestamp after AS OF");
+    }
+    return cmd;
+  }
+
+  Result<SqlCommand> AlterDatabase() {
+    SqlCommand cmd;
+    cmd.kind = SqlCommand::Kind::kAlterUndoInterval;
+    REWIND_RETURN_IF_ERROR(Expect("DATABASE"));
+    REWIND_ASSIGN_OR_RETURN(cmd.name, Identifier());
+    REWIND_RETURN_IF_ERROR(Expect("SET"));
+    REWIND_RETURN_IF_ERROR(Expect("UNDO_INTERVAL"));
+    if (!AcceptPunct('=')) {
+      return Status::InvalidArgument("expected = after UNDO_INTERVAL");
+    }
+    if (Cur().type != Token::Type::kNumber) {
+      return Status::InvalidArgument("expected a number");
+    }
+    uint64_t n = std::stoull(Cur().text);
+    pos_++;
+    uint64_t unit;
+    if (Accept("HOURS") || Accept("HOUR")) {
+      unit = 3600ULL * 1'000'000;
+    } else if (Accept("MINUTES") || Accept("MINUTE")) {
+      unit = 60ULL * 1'000'000;
+    } else if (Accept("SECONDS") || Accept("SECOND")) {
+      unit = 1'000'000;
+    } else {
+      return Status::InvalidArgument("expected HOURS, MINUTES or SECONDS");
+    }
+    cmd.undo_interval_micros = n * unit;
+    return cmd;
+  }
+
+  Result<SqlCommand> DropNamed(SqlCommand::Kind kind) {
+    SqlCommand cmd;
+    cmd.kind = kind;
+    REWIND_ASSIGN_OR_RETURN(cmd.name, Identifier());
+    return cmd;
+  }
+
+  Result<ColumnType> TypeName() {
+    if (Accept("INT") || Accept("INT32") || Accept("INTEGER")) {
+      return ColumnType::kInt32;
+    }
+    if (Accept("BIGINT") || Accept("INT64")) return ColumnType::kInt64;
+    if (Accept("DOUBLE") || Accept("FLOAT") || Accept("REAL") ||
+        Accept("DECIMAL")) {
+      return ColumnType::kDouble;
+    }
+    if (Accept("TEXT") || Accept("STRING") || Accept("VARCHAR") ||
+        Accept("CHAR")) {
+      // Optional (n) length, ignored.
+      if (AcceptPunct('(')) {
+        if (Cur().type == Token::Type::kNumber) pos_++;
+        if (!AcceptPunct(')')) {
+          return Status::InvalidArgument("expected ) after length");
+        }
+      }
+      return ColumnType::kString;
+    }
+    return Status::InvalidArgument("unknown type '" + Cur().raw + "'");
+  }
+
+  Result<SqlCommand> CreateTable() {
+    SqlCommand cmd;
+    cmd.kind = SqlCommand::Kind::kCreateTable;
+    REWIND_ASSIGN_OR_RETURN(cmd.name, Identifier());
+    if (!AcceptPunct('(')) {
+      return Status::InvalidArgument("expected ( after table name");
+    }
+    std::vector<Column> cols;
+    std::vector<std::string> key_cols;
+    while (true) {
+      if (Accept("PRIMARY")) {
+        REWIND_RETURN_IF_ERROR(Expect("KEY"));
+        if (!AcceptPunct('(')) {
+          return Status::InvalidArgument("expected ( after PRIMARY KEY");
+        }
+        while (true) {
+          REWIND_ASSIGN_OR_RETURN(std::string k, Identifier());
+          key_cols.push_back(k);
+          if (AcceptPunct(',')) continue;
+          break;
+        }
+        if (!AcceptPunct(')')) {
+          return Status::InvalidArgument("expected ) after key columns");
+        }
+      } else {
+        REWIND_ASSIGN_OR_RETURN(std::string col, Identifier());
+        REWIND_ASSIGN_OR_RETURN(ColumnType type, TypeName());
+        cols.push_back({col, type});
+      }
+      if (AcceptPunct(',')) continue;
+      break;
+    }
+    if (!AcceptPunct(')')) {
+      return Status::InvalidArgument("expected ) to close column list");
+    }
+    if (key_cols.empty()) {
+      return Status::InvalidArgument("PRIMARY KEY clause is required");
+    }
+    // Reorder so the key columns form the prefix, in declared key order.
+    std::vector<Column> ordered;
+    for (const std::string& k : key_cols) {
+      bool found = false;
+      for (const Column& c : cols) {
+        if (c.name == k) {
+          ordered.push_back(c);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("key column '" + k + "' not declared");
+      }
+    }
+    for (const Column& c : cols) {
+      bool is_key = false;
+      for (const std::string& k : key_cols) {
+        if (c.name == k) is_key = true;
+      }
+      if (!is_key) ordered.push_back(c);
+    }
+    cmd.schema = Schema(std::move(ordered), key_cols.size());
+    return cmd;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlCommand> ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  REWIND_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<WallClock> ParseTimestamp(const std::string& text) {
+  int year, month, day, hour, minute, second;
+  unsigned long frac = 0;
+  char frac_buf[16] = {0};
+  int matched = sscanf(text.c_str(), "%d-%d-%d %d:%d:%d.%15s", &year, &month,
+                       &day, &hour, &minute, &second, frac_buf);
+  if (matched < 6) {
+    return Status::InvalidArgument("bad timestamp '" + text +
+                                   "' (want YYYY-MM-DD HH:MM:SS[.ffffff])");
+  }
+  if (matched == 7) {
+    std::string digits(frac_buf);
+    while (digits.size() < 6) digits += '0';
+    digits = digits.substr(0, 6);
+    frac = std::stoul(digits);
+  }
+  struct tm tm_utc = {};
+  tm_utc.tm_year = year - 1900;
+  tm_utc.tm_mon = month - 1;
+  tm_utc.tm_mday = day;
+  tm_utc.tm_hour = hour;
+  tm_utc.tm_min = minute;
+  tm_utc.tm_sec = second;
+  time_t secs = timegm(&tm_utc);
+  if (secs < 0) return Status::InvalidArgument("timestamp out of range");
+  return static_cast<WallClock>(secs) * 1'000'000 + frac;
+}
+
+std::string FormatTimestamp(WallClock micros) {
+  time_t secs = static_cast<time_t>(micros / 1'000'000);
+  struct tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char buf[40];
+  snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%06llu",
+           tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+           tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+           static_cast<unsigned long long>(micros % 1'000'000));
+  return buf;
+}
+
+}  // namespace rewinddb

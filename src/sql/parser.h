@@ -1,0 +1,59 @@
+// Mini SQL parser for the paper's surface syntax:
+//
+//   CREATE DATABASE <snap> AS SNAPSHOT OF <db> AS OF '<timestamp>'
+//   ALTER DATABASE <db> SET UNDO_INTERVAL = <n> HOURS|MINUTES|SECONDS
+//   DROP DATABASE <snap>
+//
+// plus convenience DDL so examples read naturally:
+//
+//   CREATE TABLE <name> (<col> <type> [, ...] , PRIMARY KEY (<cols>))
+//   DROP TABLE <name>
+//
+// Timestamps accept 'YYYY-MM-DD HH:MM:SS[.ffffff]' (UTC) or a bare
+// integer of microseconds (handy with the simulated clock).
+#ifndef REWINDDB_SQL_PARSER_H_
+#define REWINDDB_SQL_PARSER_H_
+
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/types.h"
+
+namespace rewinddb {
+
+struct SqlCommand {
+  enum class Kind {
+    kCreateSnapshot,
+    kAlterUndoInterval,
+    kDropDatabase,
+    kCreateTable,
+    kDropTable,
+  };
+
+  Kind kind;
+  /// Object being created/dropped (snapshot or table name).
+  std::string name;
+  /// CREATE ... AS SNAPSHOT OF <source>.
+  std::string source;
+  /// AS OF time, microseconds.
+  WallClock as_of = 0;
+  /// SET UNDO_INTERVAL value, microseconds.
+  uint64_t undo_interval_micros = 0;
+  /// CREATE TABLE schema.
+  Schema schema;
+};
+
+/// Parse one statement. Keywords are case-insensitive; identifiers keep
+/// their case.
+Result<SqlCommand> ParseSql(const std::string& sql);
+
+/// Parse 'YYYY-MM-DD HH:MM:SS[.ffffff]' (UTC) into epoch microseconds.
+Result<WallClock> ParseTimestamp(const std::string& text);
+
+/// Render epoch microseconds as 'YYYY-MM-DD HH:MM:SS.ffffff'.
+std::string FormatTimestamp(WallClock micros);
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_SQL_PARSER_H_

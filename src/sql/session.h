@@ -1,0 +1,37 @@
+// SqlSession: executes the parsed snapshot/retention DDL against a
+// Database and manages the named as-of snapshots it creates -- the
+// surface the paper's walk-throughs use.
+#ifndef REWINDDB_SQL_SESSION_H_
+#define REWINDDB_SQL_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/database.h"
+#include "snapshot/asof_snapshot.h"
+#include "sql/parser.h"
+
+namespace rewinddb {
+
+class SqlSession {
+ public:
+  explicit SqlSession(Database* db) : db_(db) {}
+
+  /// Parse and execute one statement; returns a human-readable result
+  /// line (examples print it).
+  Result<std::string> Execute(const std::string& sql);
+
+  /// Look up a snapshot created by CREATE DATABASE ... AS SNAPSHOT.
+  Result<AsOfSnapshot*> GetSnapshot(const std::string& name);
+
+  Database* db() { return db_; }
+
+ private:
+  Database* db_;
+  std::map<std::string, std::unique_ptr<AsOfSnapshot>> snapshots_;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_SQL_SESSION_H_

@@ -1,0 +1,111 @@
+// Scaled-down TPC-C-like workload (paper section 6).
+//
+// The paper drives its evaluation with an internal scaled-down TPC-C
+// (800 warehouses, 10 districts each, 8 clients x 25 users). RewindDB
+// ships a configurable equivalent: the five standard transactions over
+// the nine standard tables, with the STOCK-LEVEL transaction doubling
+// as the as-of query of sections 6.2/6.3 (it reads the most recent 20
+// orders of a district and counts under-threshold stock).
+#ifndef REWINDDB_TPCC_TPCC_H_
+#define REWINDDB_TPCC_TPCC_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "engine/table.h"
+#include "snapshot/asof_snapshot.h"
+
+namespace rewinddb {
+
+struct TpccConfig {
+  int warehouses = 2;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 30;
+  int items = 200;
+  int min_order_lines = 5;
+  int max_order_lines = 15;
+  /// Initial orders pre-loaded per district.
+  int initial_orders_per_district = 10;
+  /// Fraction (percent) of new-order transactions that roll back
+  /// (TPC-C's 1% invalid item clause) -- exercises undo machinery.
+  int new_order_rollback_percent = 1;
+  uint64_t seed = 12345;
+};
+
+/// Handle over a Database loaded with the TPC-C schema and data.
+class TpccDatabase {
+ public:
+  /// Create tables + secondary index and bulk-load initial data.
+  static Result<std::unique_ptr<TpccDatabase>> CreateAndLoad(
+      Database* db, const TpccConfig& config);
+
+  /// Attach to an already-loaded database.
+  static Result<std::unique_ptr<TpccDatabase>> Attach(
+      Database* db, const TpccConfig& config);
+
+  // --- the five transactions; each runs one engine transaction ---
+  // Aborted (deadlock victim) and intentional-rollback outcomes return
+  // Status::Aborted; the driver retries/counts accordingly.
+  /// `forced_warehouse` pins the order to one warehouse (0 = random);
+  /// benchmarks use it to control how hot the queried warehouse is.
+  Status NewOrder(Random* rnd, int forced_warehouse = 0);
+  Status Payment(Random* rnd);
+  Status OrderStatus(Random* rnd);
+  Status Delivery(Random* rnd);
+  /// The stock-level query (also the paper's as-of query): counts
+  /// distinct items in the district's last 20 orders with stock
+  /// quantity below `threshold`.
+  Result<int> StockLevel(int w_id, int d_id, int threshold);
+
+  /// Stock-level against an as-of snapshot: identical logic reading the
+  /// past (section 6.2's experiment).
+  static Result<int> StockLevelAsOf(AsOfSnapshot* snap, int w_id, int d_id,
+                                    int threshold);
+
+  /// Cross-table invariants (tests): district next-order ids match the
+  /// orders table; warehouse YTD equals the sum of its districts' YTD.
+  Status CheckConsistency();
+
+  Database* db() { return db_; }
+  const TpccConfig& config() const { return config_; }
+
+ private:
+  TpccDatabase(Database* db, TpccConfig config)
+      : db_(db), config_(std::move(config)) {}
+
+  Status OpenTables();
+
+  Database* db_;
+  TpccConfig config_;
+  std::unique_ptr<Table> warehouse_, district_, customer_, item_, stock_,
+      orders_, new_order_, order_line_, history_;
+  std::atomic<int64_t> history_seq_{0};
+};
+
+/// Multi-threaded workload driver producing the paper's throughput
+/// metric (committed new-orders per minute, "tpmC").
+class TpccDriver {
+ public:
+  struct RunStats {
+    uint64_t new_orders = 0;
+    uint64_t payments = 0;
+    uint64_t order_statuses = 0;
+    uint64_t deliveries = 0;
+    uint64_t stock_levels = 0;
+    uint64_t rollbacks = 0;
+    uint64_t duration_micros = 0;
+    double tpmc = 0;
+  };
+
+  /// Run the standard mix for `duration_micros` of real time across
+  /// `threads` worker threads.
+  static RunStats Run(TpccDatabase* tpcc, int threads,
+                      uint64_t duration_micros, uint64_t seed = 99);
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_TPCC_TPCC_H_

@@ -1,0 +1,74 @@
+// Multi-threaded TPC-C driver with the standard transaction mix.
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "tpcc/tpcc.h"
+
+namespace rewinddb {
+
+TpccDriver::RunStats TpccDriver::Run(TpccDatabase* tpcc, int threads,
+                                     uint64_t duration_micros,
+                                     uint64_t seed) {
+  std::atomic<uint64_t> new_orders{0}, payments{0}, order_statuses{0},
+      deliveries{0}, stock_levels{0}, rollbacks{0};
+  std::atomic<bool> stop{false};
+
+  auto worker = [&](int id) {
+    Random rnd(seed + static_cast<uint64_t>(id) * 7919);
+    const TpccConfig& c = tpcc->config();
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Standard mix: 45% new-order, 43% payment, 4% each of the rest.
+      uint64_t pick = rnd.Uniform(100);
+      Status s;
+      if (pick < 45) {
+        s = tpcc->NewOrder(&rnd);
+        if (s.ok()) new_orders++;
+      } else if (pick < 88) {
+        s = tpcc->Payment(&rnd);
+        if (s.ok()) payments++;
+      } else if (pick < 92) {
+        s = tpcc->OrderStatus(&rnd);
+        if (s.ok()) order_statuses++;
+      } else if (pick < 96) {
+        s = tpcc->Delivery(&rnd);
+        if (s.ok()) deliveries++;
+      } else {
+        int w = static_cast<int>(rnd.UniformRange(1, c.warehouses));
+        int d = static_cast<int>(
+            rnd.UniformRange(1, c.districts_per_warehouse));
+        auto r = tpcc->StockLevel(w, d, 50);
+        if (r.ok()) stock_levels++;
+        s = r.ok() ? Status::OK() : r.status();
+      }
+      if (s.IsAborted()) rollbacks++;
+    }
+  };
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int i = 0; i < threads; i++) pool.emplace_back(worker, i);
+  std::this_thread::sleep_for(std::chrono::microseconds(duration_micros));
+  stop = true;
+  for (std::thread& t : pool) t.join();
+  auto t1 = std::chrono::steady_clock::now();
+
+  RunStats out;
+  out.new_orders = new_orders;
+  out.payments = payments;
+  out.order_statuses = order_statuses;
+  out.deliveries = deliveries;
+  out.stock_levels = stock_levels;
+  out.rollbacks = rollbacks;
+  out.duration_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+          .count());
+  out.tpmc = out.duration_micros == 0
+                 ? 0
+                 : static_cast<double>(out.new_orders) * 60'000'000.0 /
+                       static_cast<double>(out.duration_micros);
+  return out;
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,244 @@
+// TPC-C schema definition and initial load.
+#include <string>
+
+#include "tpcc/tpcc.h"
+
+namespace rewinddb {
+
+namespace {
+
+Schema WarehouseSchema() {
+  return Schema({{"w_id", ColumnType::kInt32},
+                 {"w_name", ColumnType::kString},
+                 {"w_ytd", ColumnType::kDouble}},
+                1);
+}
+
+Schema DistrictSchema() {
+  return Schema({{"d_w_id", ColumnType::kInt32},
+                 {"d_id", ColumnType::kInt32},
+                 {"d_name", ColumnType::kString},
+                 {"d_ytd", ColumnType::kDouble},
+                 {"d_next_o_id", ColumnType::kInt32}},
+                2);
+}
+
+Schema CustomerSchema() {
+  return Schema({{"c_w_id", ColumnType::kInt32},
+                 {"c_d_id", ColumnType::kInt32},
+                 {"c_id", ColumnType::kInt32},
+                 {"c_last", ColumnType::kString},
+                 {"c_balance", ColumnType::kDouble},
+                 {"c_ytd_payment", ColumnType::kDouble},
+                 {"c_payment_cnt", ColumnType::kInt32}},
+                3);
+}
+
+Schema ItemSchema() {
+  return Schema({{"i_id", ColumnType::kInt32},
+                 {"i_name", ColumnType::kString},
+                 {"i_price", ColumnType::kDouble}},
+                1);
+}
+
+Schema StockSchema() {
+  return Schema({{"s_w_id", ColumnType::kInt32},
+                 {"s_i_id", ColumnType::kInt32},
+                 {"s_quantity", ColumnType::kInt32},
+                 {"s_ytd", ColumnType::kDouble},
+                 {"s_order_cnt", ColumnType::kInt32}},
+                2);
+}
+
+Schema OrdersSchema() {
+  return Schema({{"o_w_id", ColumnType::kInt32},
+                 {"o_d_id", ColumnType::kInt32},
+                 {"o_id", ColumnType::kInt32},
+                 {"o_c_id", ColumnType::kInt32},
+                 {"o_ol_cnt", ColumnType::kInt32},
+                 {"o_carrier_id", ColumnType::kInt32},
+                 {"o_entry_d", ColumnType::kInt64}},
+                3);
+}
+
+Schema NewOrderSchema() {
+  return Schema({{"no_w_id", ColumnType::kInt32},
+                 {"no_d_id", ColumnType::kInt32},
+                 {"no_o_id", ColumnType::kInt32}},
+                3);
+}
+
+Schema OrderLineSchema() {
+  return Schema({{"ol_w_id", ColumnType::kInt32},
+                 {"ol_d_id", ColumnType::kInt32},
+                 {"ol_o_id", ColumnType::kInt32},
+                 {"ol_number", ColumnType::kInt32},
+                 {"ol_i_id", ColumnType::kInt32},
+                 {"ol_quantity", ColumnType::kInt32},
+                 {"ol_amount", ColumnType::kDouble}},
+                4);
+}
+
+Schema HistorySchema() {
+  return Schema({{"h_w_id", ColumnType::kInt32},
+                 {"h_d_id", ColumnType::kInt32},
+                 {"h_c_id", ColumnType::kInt32},
+                 {"h_seq", ColumnType::kInt64},
+                 {"h_amount", ColumnType::kDouble}},
+                4);
+}
+
+const char* kLastNames[] = {"BAR",   "OUGHT", "ABLE",  "PRI",   "PRES",
+                            "ESE",   "ANTI",  "CALLY", "ATION", "EING"};
+
+std::string LastName(int num) {
+  return std::string(kLastNames[(num / 100) % 10]) +
+         kLastNames[(num / 10) % 10] + kLastNames[num % 10];
+}
+
+}  // namespace
+
+Status TpccDatabase::OpenTables() {
+  auto open = [&](const char* name,
+                  std::unique_ptr<Table>* out) -> Status {
+    REWIND_ASSIGN_OR_RETURN(Table t, db_->OpenTable(name));
+    *out = std::make_unique<Table>(std::move(t));
+    return Status::OK();
+  };
+  REWIND_RETURN_IF_ERROR(open("warehouse", &warehouse_));
+  REWIND_RETURN_IF_ERROR(open("district", &district_));
+  REWIND_RETURN_IF_ERROR(open("customer", &customer_));
+  REWIND_RETURN_IF_ERROR(open("item", &item_));
+  REWIND_RETURN_IF_ERROR(open("stock", &stock_));
+  REWIND_RETURN_IF_ERROR(open("orders", &orders_));
+  REWIND_RETURN_IF_ERROR(open("new_order", &new_order_));
+  REWIND_RETURN_IF_ERROR(open("order_line", &order_line_));
+  REWIND_RETURN_IF_ERROR(open("history", &history_));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TpccDatabase>> TpccDatabase::Attach(
+    Database* db, const TpccConfig& config) {
+  std::unique_ptr<TpccDatabase> tpcc(new TpccDatabase(db, config));
+  REWIND_RETURN_IF_ERROR(tpcc->OpenTables());
+  return tpcc;
+}
+
+Result<std::unique_ptr<TpccDatabase>> TpccDatabase::CreateAndLoad(
+    Database* db, const TpccConfig& config) {
+  {
+    Transaction* ddl = db->Begin();
+    REWIND_RETURN_IF_ERROR(db->CreateTable(ddl, "warehouse",
+                                           WarehouseSchema()));
+    REWIND_RETURN_IF_ERROR(db->CreateTable(ddl, "district",
+                                           DistrictSchema()));
+    REWIND_RETURN_IF_ERROR(db->CreateTable(ddl, "customer",
+                                           CustomerSchema()));
+    REWIND_RETURN_IF_ERROR(db->CreateTable(ddl, "item", ItemSchema()));
+    REWIND_RETURN_IF_ERROR(db->CreateTable(ddl, "stock", StockSchema()));
+    REWIND_RETURN_IF_ERROR(db->CreateTable(ddl, "orders", OrdersSchema()));
+    REWIND_RETURN_IF_ERROR(db->CreateTable(ddl, "new_order",
+                                           NewOrderSchema()));
+    REWIND_RETURN_IF_ERROR(db->CreateTable(ddl, "order_line",
+                                           OrderLineSchema()));
+    REWIND_RETURN_IF_ERROR(db->CreateTable(ddl, "history", HistorySchema()));
+    REWIND_RETURN_IF_ERROR(db->CreateIndex(
+        ddl, "customer_by_last", "customer", {"c_w_id", "c_d_id", "c_last"}));
+    REWIND_RETURN_IF_ERROR(db->Commit(ddl));
+  }
+  std::unique_ptr<TpccDatabase> tpcc(new TpccDatabase(db, config));
+  REWIND_RETURN_IF_ERROR(tpcc->OpenTables());
+
+  Random rnd(config.seed);
+  const TpccConfig& c = config;
+
+  // Items (shared across warehouses).
+  {
+    Transaction* txn = db->Begin();
+    for (int i = 1; i <= c.items; i++) {
+      REWIND_RETURN_IF_ERROR(tpcc->item_->Insert(
+          txn, {i, "item-" + std::to_string(i),
+                1.0 + static_cast<double>(rnd.Uniform(9900)) / 100.0}));
+    }
+    REWIND_RETURN_IF_ERROR(db->Commit(txn));
+  }
+
+  for (int w = 1; w <= c.warehouses; w++) {
+    Transaction* txn = db->Begin();
+    REWIND_RETURN_IF_ERROR(tpcc->warehouse_->Insert(
+        txn, {w, "warehouse-" + std::to_string(w), 0.0}));
+    for (int i = 1; i <= c.items; i++) {
+      REWIND_RETURN_IF_ERROR(tpcc->stock_->Insert(
+          txn, {w, i, static_cast<int32_t>(10 + rnd.Uniform(91)), 0.0, 0}));
+    }
+    REWIND_RETURN_IF_ERROR(db->Commit(txn));
+
+    for (int d = 1; d <= c.districts_per_warehouse; d++) {
+      Transaction* dtxn = db->Begin();
+      int next_o_id = c.initial_orders_per_district + 1;
+      REWIND_RETURN_IF_ERROR(tpcc->district_->Insert(
+          dtxn, {w, d, "district-" + std::to_string(d), 0.0, next_o_id}));
+      for (int cu = 1; cu <= c.customers_per_district; cu++) {
+        int name_num =
+            cu <= 999 ? cu : static_cast<int>(rnd.NonUniform(255, 0, 999));
+        REWIND_RETURN_IF_ERROR(tpcc->customer_->Insert(
+            dtxn, {w, d, cu, LastName(name_num % 1000), -10.0, 10.0, 1}));
+      }
+      // Seed a few orders so stock-level has something to look at.
+      for (int o = 1; o <= c.initial_orders_per_district; o++) {
+        int ol_cnt = static_cast<int>(
+            rnd.UniformRange(c.min_order_lines, c.max_order_lines));
+        int cust = static_cast<int>(
+            rnd.UniformRange(1, c.customers_per_district));
+        REWIND_RETURN_IF_ERROR(tpcc->orders_->Insert(
+            dtxn, {w, d, o, cust, ol_cnt, 0,
+                   static_cast<int64_t>(db->clock()->NowMicros())}));
+        for (int l = 1; l <= ol_cnt; l++) {
+          int item = static_cast<int>(rnd.UniformRange(1, c.items));
+          REWIND_RETURN_IF_ERROR(tpcc->order_line_->Insert(
+              dtxn, {w, d, o, l, item,
+                     static_cast<int32_t>(rnd.UniformRange(1, 10)),
+                     static_cast<double>(rnd.Uniform(10000)) / 100.0}));
+        }
+      }
+      REWIND_RETURN_IF_ERROR(db->Commit(dtxn));
+    }
+  }
+  REWIND_RETURN_IF_ERROR(db->Checkpoint());
+  return tpcc;
+}
+
+Status TpccDatabase::CheckConsistency() {
+  const TpccConfig& c = config_;
+  for (int w = 1; w <= c.warehouses; w++) {
+    double district_ytd_sum = 0;
+    for (int d = 1; d <= c.districts_per_warehouse; d++) {
+      REWIND_ASSIGN_OR_RETURN(Row drow, district_->Get(nullptr, {w, d}));
+      int next_o_id = drow[4].AsInt32();
+      district_ytd_sum += drow[3].AsDouble();
+      // max(o_id) over orders of this district must be next_o_id - 1.
+      int max_o = 0;
+      REWIND_RETURN_IF_ERROR(orders_->Scan(
+          nullptr, std::optional<Row>(Row{w, d, 0}),
+          std::optional<Row>(Row{w, d + 1, 0}), [&](const Row& row) {
+            if (row[2].AsInt32() > max_o) max_o = row[2].AsInt32();
+            return true;
+          }));
+      if (max_o != next_o_id - 1) {
+        return Status::Corruption(
+            "district (" + std::to_string(w) + "," + std::to_string(d) +
+            "): next_o_id " + std::to_string(next_o_id) + " but max o_id " +
+            std::to_string(max_o));
+      }
+    }
+    REWIND_ASSIGN_OR_RETURN(Row wrow, warehouse_->Get(nullptr, {w}));
+    double w_ytd = wrow[2].AsDouble();
+    if (w_ytd < district_ytd_sum - 0.01 || w_ytd > district_ytd_sum + 0.01) {
+      return Status::Corruption("warehouse " + std::to_string(w) +
+                                " ytd mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rewinddb

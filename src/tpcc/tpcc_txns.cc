@@ -1,0 +1,281 @@
+// The five TPC-C transactions plus the as-of stock-level variant.
+#include <set>
+
+#include "tpcc/tpcc.h"
+
+namespace rewinddb {
+
+namespace {
+/// Abort the engine transaction, preferring the original error.
+Status AbortWith(Database* db, Transaction* txn, Status cause) {
+  Status a = db->Abort(txn);
+  return cause.ok() ? a : cause;
+}
+}  // namespace
+
+Status TpccDatabase::NewOrder(Random* rnd, int forced_warehouse) {
+  const TpccConfig& c = config_;
+  int w = forced_warehouse > 0
+              ? forced_warehouse
+              : static_cast<int>(rnd->UniformRange(1, c.warehouses));
+  int d = static_cast<int>(rnd->UniformRange(1, c.districts_per_warehouse));
+  int cust = static_cast<int>(rnd->NonUniform(1023, 1,
+                                              c.customers_per_district));
+  int ol_cnt =
+      static_cast<int>(rnd->UniformRange(c.min_order_lines,
+                                         c.max_order_lines));
+  bool rollback = rnd->Percent(c.new_order_rollback_percent);
+
+  Transaction* txn = db_->Begin();
+
+  // District: read and bump the next order id.
+  auto drow = district_->Get(txn, {w, d});
+  if (!drow.ok()) return AbortWith(db_, txn, drow.status());
+  int o_id = (*drow)[4].AsInt32();
+  Row updated_d = *drow;
+  updated_d[4] = o_id + 1;
+  Status s = district_->Update(txn, updated_d);
+  if (!s.ok()) return AbortWith(db_, txn, s);
+
+  s = orders_->Insert(txn, {w, d, o_id, cust, ol_cnt, 0,
+                            static_cast<int64_t>(db_->clock()->NowMicros())});
+  if (!s.ok()) return AbortWith(db_, txn, s);
+  s = new_order_->Insert(txn, {w, d, o_id});
+  if (!s.ok()) return AbortWith(db_, txn, s);
+
+  for (int l = 1; l <= ol_cnt; l++) {
+    if (rollback && l == ol_cnt) {
+      // TPC-C clause 2.4.1.4: ~1% of new-orders hit an invalid item and
+      // the whole transaction rolls back.
+      return AbortWith(db_, txn,
+                       Status::Aborted("new-order: invalid item"));
+    }
+    int item = static_cast<int>(rnd->NonUniform(8191, 1, c.items));
+    auto irow = item_->Get(txn, {item});
+    if (!irow.ok()) return AbortWith(db_, txn, irow.status());
+    double price = (*irow)[2].AsDouble();
+    int qty = static_cast<int>(rnd->UniformRange(1, 10));
+
+    auto srow = stock_->Get(txn, {w, item});
+    if (!srow.ok()) return AbortWith(db_, txn, srow.status());
+    Row stock_row = *srow;
+    int s_qty = stock_row[2].AsInt32();
+    s_qty = s_qty >= qty + 10 ? s_qty - qty : s_qty - qty + 91;
+    stock_row[2] = s_qty;
+    stock_row[3] = stock_row[3].AsDouble() + qty;
+    stock_row[4] = stock_row[4].AsInt32() + 1;
+    s = stock_->Update(txn, stock_row);
+    if (!s.ok()) return AbortWith(db_, txn, s);
+
+    s = order_line_->Insert(txn, {w, d, o_id, l, item, qty, price * qty});
+    if (!s.ok()) return AbortWith(db_, txn, s);
+  }
+  return db_->Commit(txn);
+}
+
+Status TpccDatabase::Payment(Random* rnd) {
+  const TpccConfig& c = config_;
+  int w = static_cast<int>(rnd->UniformRange(1, c.warehouses));
+  int d = static_cast<int>(rnd->UniformRange(1, c.districts_per_warehouse));
+  double amount = 1.0 + static_cast<double>(rnd->Uniform(499900)) / 100.0;
+
+  Transaction* txn = db_->Begin();
+
+  auto wrow = warehouse_->Get(txn, {w});
+  if (!wrow.ok()) return AbortWith(db_, txn, wrow.status());
+  Row wh = *wrow;
+  wh[2] = wh[2].AsDouble() + amount;
+  Status s = warehouse_->Update(txn, wh);
+  if (!s.ok()) return AbortWith(db_, txn, s);
+
+  auto drow = district_->Get(txn, {w, d});
+  if (!drow.ok()) return AbortWith(db_, txn, drow.status());
+  Row dist = *drow;
+  dist[3] = dist[3].AsDouble() + amount;
+  s = district_->Update(txn, dist);
+  if (!s.ok()) return AbortWith(db_, txn, s);
+
+  // 60% of payments select the customer by last name via the secondary
+  // index (TPC-C clause 2.5.2.2); the rest by id.
+  Row cust_row;
+  if (rnd->Percent(60)) {
+    int name_num = static_cast<int>(rnd->NonUniform(255, 0, 999));
+    const char* kLastNames[] = {"BAR",   "OUGHT", "ABLE",  "PRI",   "PRES",
+                                "ESE",   "ANTI",  "CALLY", "ATION", "EING"};
+    std::string last = std::string(kLastNames[(name_num / 100) % 10]) +
+                       kLastNames[(name_num / 10) % 10] +
+                       kLastNames[name_num % 10];
+    std::vector<Row> matches;
+    s = customer_->IndexScan(txn, "customer_by_last", {w, d, last},
+                             [&](const Row& row) {
+                               matches.push_back(row);
+                               return true;
+                             });
+    if (!s.ok()) return AbortWith(db_, txn, s);
+    if (matches.empty()) {
+      // Fall back to a customer by id (sparse scaled-down name space).
+      auto crow = customer_->Get(
+          txn, {w, d,
+                static_cast<int>(
+                    rnd->UniformRange(1, c.customers_per_district))});
+      if (!crow.ok()) return AbortWith(db_, txn, crow.status());
+      cust_row = *crow;
+    } else {
+      cust_row = matches[matches.size() / 2];  // the median match
+    }
+  } else {
+    auto crow = customer_->Get(
+        txn,
+        {w, d,
+         static_cast<int>(rnd->NonUniform(1023, 1,
+                                          c.customers_per_district))});
+    if (!crow.ok()) return AbortWith(db_, txn, crow.status());
+    cust_row = *crow;
+  }
+  cust_row[4] = cust_row[4].AsDouble() - amount;
+  cust_row[5] = cust_row[5].AsDouble() + amount;
+  cust_row[6] = cust_row[6].AsInt32() + 1;
+  s = customer_->Update(txn, cust_row);
+  if (!s.ok()) return AbortWith(db_, txn, s);
+
+  s = history_->Insert(txn, {w, d, cust_row[2].AsInt32(),
+                             history_seq_.fetch_add(1), amount});
+  if (!s.ok()) return AbortWith(db_, txn, s);
+  return db_->Commit(txn);
+}
+
+Status TpccDatabase::OrderStatus(Random* rnd) {
+  const TpccConfig& c = config_;
+  int w = static_cast<int>(rnd->UniformRange(1, c.warehouses));
+  int d = static_cast<int>(rnd->UniformRange(1, c.districts_per_warehouse));
+  int cust = static_cast<int>(rnd->NonUniform(1023, 1,
+                                              c.customers_per_district));
+
+  Transaction* txn = db_->Begin();
+  // Most recent order of the customer.
+  int last_o_id = -1;
+  Status s = orders_->Scan(txn, std::optional<Row>(Row{w, d, 0}),
+                           std::optional<Row>(Row{w, d + 1, 0}),
+                           [&](const Row& row) {
+                             if (row[3].AsInt32() == cust) {
+                               last_o_id = row[2].AsInt32();
+                             }
+                             return true;
+                           });
+  if (!s.ok()) return AbortWith(db_, txn, s);
+  if (last_o_id >= 0) {
+    s = order_line_->Scan(txn, std::optional<Row>(Row{w, d, last_o_id, 0}),
+                          std::optional<Row>(Row{w, d, last_o_id + 1, 0}),
+                          [&](const Row&) { return true; });
+    if (!s.ok()) return AbortWith(db_, txn, s);
+  }
+  return db_->Commit(txn);
+}
+
+Status TpccDatabase::Delivery(Random* rnd) {
+  const TpccConfig& c = config_;
+  int w = static_cast<int>(rnd->UniformRange(1, c.warehouses));
+  int carrier = static_cast<int>(rnd->UniformRange(1, 10));
+
+  Transaction* txn = db_->Begin();
+  for (int d = 1; d <= c.districts_per_warehouse; d++) {
+    // Oldest undelivered order.
+    int oldest = -1;
+    Status s = new_order_->Scan(txn, std::optional<Row>(Row{w, d, 0}),
+                                std::optional<Row>(Row{w, d + 1, 0}),
+                                [&](const Row& row) {
+                                  oldest = row[2].AsInt32();
+                                  return false;  // first = oldest
+                                });
+    if (!s.ok()) return AbortWith(db_, txn, s);
+    if (oldest < 0) continue;
+
+    s = new_order_->Delete(txn, {w, d, oldest});
+    if (s.IsNotFound()) continue;  // another delivery raced us
+    if (!s.ok()) return AbortWith(db_, txn, s);
+
+    auto orow = orders_->Get(txn, {w, d, oldest});
+    if (!orow.ok()) return AbortWith(db_, txn, orow.status());
+    Row order = *orow;
+    order[5] = carrier;
+    s = orders_->Update(txn, order);
+    if (!s.ok()) return AbortWith(db_, txn, s);
+
+    double total = 0;
+    s = order_line_->Scan(txn, std::optional<Row>(Row{w, d, oldest, 0}),
+                          std::optional<Row>(Row{w, d, oldest + 1, 0}),
+                          [&](const Row& row) {
+                            total += row[6].AsDouble();
+                            return true;
+                          });
+    if (!s.ok()) return AbortWith(db_, txn, s);
+
+    auto crow = customer_->Get(txn, {w, d, order[3].AsInt32()});
+    if (!crow.ok()) return AbortWith(db_, txn, crow.status());
+    Row cust = *crow;
+    cust[4] = cust[4].AsDouble() + total;
+    s = customer_->Update(txn, cust);
+    if (!s.ok()) return AbortWith(db_, txn, s);
+  }
+  return db_->Commit(txn);
+}
+
+Result<int> TpccDatabase::StockLevel(int w_id, int d_id, int threshold) {
+  Transaction* txn = db_->Begin();
+  auto drow = district_->Get(txn, {w_id, d_id});
+  if (!drow.ok()) return AbortWith(db_, txn, drow.status());
+  int next_o_id = (*drow)[4].AsInt32();
+  int low_o = next_o_id - 20 < 1 ? 1 : next_o_id - 20;
+
+  std::set<int> items;
+  Status s = order_line_->Scan(
+      txn, std::optional<Row>(Row{w_id, d_id, low_o, 0}),
+      std::optional<Row>(Row{w_id, d_id, next_o_id, 0}),
+      [&](const Row& row) {
+        items.insert(row[4].AsInt32());
+        return true;
+      });
+  if (!s.ok()) return AbortWith(db_, txn, s);
+
+  int low_stock = 0;
+  for (int item : items) {
+    auto srow = stock_->Get(txn, {w_id, item});
+    if (!srow.ok()) return AbortWith(db_, txn, srow.status());
+    if ((*srow)[2].AsInt32() < threshold) low_stock++;
+  }
+  REWIND_RETURN_IF_ERROR(db_->Commit(txn));
+  return low_stock;
+}
+
+Result<int> TpccDatabase::StockLevelAsOf(AsOfSnapshot* snap, int w_id,
+                                         int d_id, int threshold) {
+  // Same query, running against the past: every table resolves through
+  // the snapshot's rewound catalog and pages.
+  REWIND_ASSIGN_OR_RETURN(SnapshotTable district,
+                          snap->OpenTable("district"));
+  REWIND_ASSIGN_OR_RETURN(SnapshotTable order_line,
+                          snap->OpenTable("order_line"));
+  REWIND_ASSIGN_OR_RETURN(SnapshotTable stock, snap->OpenTable("stock"));
+
+  REWIND_ASSIGN_OR_RETURN(Row drow, district.Get({w_id, d_id}));
+  int next_o_id = drow[4].AsInt32();
+  int low_o = next_o_id - 20 < 1 ? 1 : next_o_id - 20;
+
+  std::set<int> items;
+  REWIND_RETURN_IF_ERROR(order_line.Scan(
+      std::optional<Row>(Row{w_id, d_id, low_o, 0}),
+      std::optional<Row>(Row{w_id, d_id, next_o_id, 0}),
+      [&](const Row& row) {
+        items.insert(row[4].AsInt32());
+        return true;
+      }));
+
+  int low_stock = 0;
+  for (int item : items) {
+    REWIND_ASSIGN_OR_RETURN(Row srow, stock.Get({w_id, item}));
+    if (srow[2].AsInt32() < threshold) low_stock++;
+  }
+  return low_stock;
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,127 @@
+#include "txn/transaction.h"
+
+namespace rewinddb {
+
+Transaction* TransactionManager::Begin(bool is_system) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto txn = std::make_unique<Transaction>();
+  txn->id = next_id_++;
+  txn->is_system = is_system;
+  Transaction* raw = txn.get();
+  active_[raw->id] = std::move(txn);
+  return raw;
+}
+
+void TransactionManager::OnAppended(Transaction* txn, Lsn lsn) {
+  if (txn->first_lsn == kInvalidLsn) txn->first_lsn = lsn;
+  txn->last_lsn = lsn;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  LogRecord rec;
+  rec.type = LogType::kCommit;
+  rec.txn_id = txn->id;
+  rec.prev_lsn = txn->last_lsn;
+  rec.wall_clock = clock_->NowMicros();
+  Lsn lsn = log_->Append(rec);
+  OnAppended(txn, lsn);
+  // Durability: user commits force the log (group commit); system
+  // transactions piggyback on the next user flush, which is safe
+  // because their effects only matter once referencing user records
+  // are durable.
+  if (!txn->is_system) {
+    REWIND_RETURN_IF_ERROR(log_->FlushTo(lsn));
+  }
+  txn->state = TxnState::kCommitted;
+  locks_->ReleaseAll(txn->id);
+  Forget(txn);
+  return Status::OK();
+}
+
+Status RollbackChain(LogManager* log, Transaction* txn, Lsn from_lsn,
+                     UndoApplier* applier) {
+  Lsn cursor = from_lsn;
+  while (cursor != kInvalidLsn) {
+    REWIND_ASSIGN_OR_RETURN(LogRecord rec, log->ReadRecord(cursor));
+    switch (rec.type) {
+      case LogType::kClr:
+        // Already-compensated region: skip to what remains.
+        cursor = rec.undo_next_lsn;
+        break;
+      case LogType::kBegin:
+        return Status::OK();
+      case LogType::kCommit:
+      case LogType::kAbort:
+        return Status::Corruption("rollback hit a completion record");
+      default:
+        REWIND_RETURN_IF_ERROR(applier->UndoRecord(txn, cursor, rec));
+        cursor = rec.prev_lsn;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn, UndoApplier* applier) {
+  REWIND_RETURN_IF_ERROR(RollbackChain(log_, txn, txn->last_lsn, applier));
+  LogRecord rec;
+  rec.type = LogType::kAbort;
+  rec.txn_id = txn->id;
+  rec.prev_lsn = txn->last_lsn;
+  Lsn lsn = log_->Append(rec);
+  OnAppended(txn, lsn);
+  txn->state = TxnState::kAborted;
+  locks_->ReleaseAll(txn->id);
+  Forget(txn);
+  return Status::OK();
+}
+
+std::vector<AttEntry> TransactionManager::ActiveTransactions() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<AttEntry> att;
+  att.reserve(active_.size());
+  for (const auto& [id, txn] : active_) {
+    if (txn->last_lsn != kInvalidLsn) att.push_back({id, txn->last_lsn});
+  }
+  return att;
+}
+
+Lsn TransactionManager::OldestActiveFirstLsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Lsn oldest = kInvalidLsn;
+  for (const auto& [id, txn] : active_) {
+    if (txn->first_lsn == kInvalidLsn) continue;
+    if (oldest == kInvalidLsn || txn->first_lsn < oldest) {
+      oldest = txn->first_lsn;
+    }
+  }
+  return oldest;
+}
+
+void TransactionManager::Forget(Transaction* txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  active_.erase(txn->id);  // destroys the descriptor
+}
+
+Transaction* TransactionManager::AdoptForRecovery(TxnId id, Lsn last_lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto txn = std::make_unique<Transaction>();
+  txn->id = id;
+  txn->last_lsn = last_lsn;
+  Transaction* raw = txn.get();
+  active_[id] = std::move(txn);
+  if (id >= next_id_) next_id_ = id + 1;
+  return raw;
+}
+
+TxnId TransactionManager::NextTxnIdHint() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return next_id_;
+}
+
+void TransactionManager::BumpTxnId(TxnId floor) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (floor > next_id_) next_id_ = floor;
+}
+
+}  // namespace rewinddb

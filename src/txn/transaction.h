@@ -1,0 +1,107 @@
+// Transaction descriptor and the transaction manager.
+#ifndef REWINDDB_TXN_TRANSACTION_H_
+#define REWINDDB_TXN_TRANSACTION_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "log/log_manager.h"
+#include "txn/lock_manager.h"
+
+namespace rewinddb {
+
+enum class TxnState { kActive, kCommitted, kAborted };
+
+/// A running transaction. The engine threads one of these through every
+/// DML call; the transaction manager owns the storage.
+struct Transaction {
+  TxnId id = kInvalidTxnId;
+  TxnState state = TxnState::kActive;
+  /// LSN of the BEGIN record (log-retention floor for active txns).
+  Lsn first_lsn = kInvalidLsn;
+  /// LSN of the most recent record (head of the prevLSN chain).
+  Lsn last_lsn = kInvalidLsn;
+  /// System transactions wrap B-tree structure modifications and page
+  /// (de)allocations: short, committed within the operation, and undone
+  /// *physically* during recovery (their pages cannot have been touched
+  /// by anyone else in between).
+  bool is_system = false;
+};
+
+/// Logical-undo callback implemented by the engine layer: applies the
+/// inverse of `rec` and logs a CLR whose undo_next_lsn is
+/// `rec.prev_lsn`.
+class UndoApplier {
+ public:
+  virtual ~UndoApplier() = default;
+  virtual Status UndoRecord(Transaction* txn, Lsn lsn,
+                            const LogRecord& rec) = 0;
+};
+
+/// Creates transactions, logs their begin/commit/abort, drives
+/// rollback, and tracks the active transaction table (ATT).
+class TransactionManager {
+ public:
+  TransactionManager(LogManager* log, LockManager* locks, Clock* clock)
+      : log_(log), locks_(locks), clock_(clock) {}
+
+  /// Start a transaction (logs BEGIN lazily with its first update; the
+  /// descriptor is registered in the ATT immediately).
+  Transaction* Begin(bool is_system = false);
+
+  /// Commit: append COMMIT (with wall-clock for SplitLSN search), group
+  /// flush for user transactions, release locks.
+  Status Commit(Transaction* txn);
+
+  /// Roll back every change of `txn` via logical undo + CLRs, then log
+  /// ABORT and release locks.
+  Status Abort(Transaction* txn, UndoApplier* applier);
+
+  /// Called by the engine after appending a record for `txn` so the
+  /// prevLSN chain and ATT stay current.
+  void OnAppended(Transaction* txn, Lsn lsn);
+
+  /// Snapshot of the ATT for checkpoint-end records.
+  std::vector<AttEntry> ActiveTransactions() const;
+
+  /// Log-retention floor: the oldest first_lsn among active
+  /// transactions, or kInvalidLsn if none are active.
+  Lsn OldestActiveFirstLsn() const;
+
+  /// Forget a finished transaction's descriptor.
+  void Forget(Transaction* txn);
+
+  /// Register a descriptor reconstructed by crash recovery.
+  Transaction* AdoptForRecovery(TxnId id, Lsn last_lsn);
+
+  /// Highest transaction id issued (persisted via checkpoints so ids
+  /// stay unique across restarts).
+  TxnId NextTxnIdHint() const;
+  void BumpTxnId(TxnId floor);
+
+ private:
+  LogManager* log_;
+  LockManager* locks_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  TxnId next_id_ = 1;
+  std::map<TxnId, std::unique_ptr<Transaction>> active_;
+};
+
+/// Drive the rollback of one transaction chain: walks prevLSN from
+/// `from_lsn`, calling `applier` for undoable records and honouring CLR
+/// undo_next jumps. Shared by runtime abort, crash-recovery undo and
+/// snapshot background undo (which is what makes the paper's "single
+/// mechanism" point concrete).
+Status RollbackChain(LogManager* log, Transaction* txn, Lsn from_lsn,
+                     UndoApplier* applier);
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_TXN_TRANSACTION_H_

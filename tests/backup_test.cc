@@ -1,0 +1,241 @@
+// Backup/restore baseline and PITR advisor tests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <optional>
+
+#include "backup/backup_manager.h"
+#include "backup/pitr_advisor.h"
+#include "engine/database.h"
+#include "engine/table.h"
+#include "snapshot/asof_snapshot.h"
+
+namespace rewinddb {
+namespace {
+
+constexpr uint64_t kSecond = 1'000'000;
+
+Schema KvSchema() {
+  return Schema({{"id", ColumnType::kInt32}, {"val", ColumnType::kString}},
+                1);
+}
+
+class BackupTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "rewinddb_backup" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name())
+               .string();
+    std::filesystem::remove_all(dir_);
+    clock_ = std::make_unique<SimClock>(10 * kSecond);
+    DatabaseOptions opts;
+    opts.clock = clock_.get();
+    auto db = Database::Create(dir_ + "/primary", opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+    Transaction* txn = db_->Begin();
+    ASSERT_TRUE(db_->CreateTable(txn, "t", KvSchema()).ok());
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void PutRows(int lo, int hi, const std::string& val) {
+    auto table = db_->OpenTable("t");
+    ASSERT_TRUE(table.ok());
+    Transaction* txn = db_->Begin();
+    for (int i = lo; i < hi; i++) {
+      ASSERT_TRUE(table->Insert(txn, {i, val}).ok());
+    }
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+
+  std::map<int, std::string> Contents(Database* db) {
+    auto table = db->OpenTable("t");
+    EXPECT_TRUE(table.ok());
+    std::map<int, std::string> out;
+    Status s = table->Scan(nullptr, std::nullopt, std::nullopt,
+                           [&](const Row& row) {
+                             out[row[0].AsInt32()] = row[1].AsString();
+                             return true;
+                           });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return out;
+  }
+
+  std::string dir_;
+  std::unique_ptr<SimClock> clock_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(BackupTest, BackupCapturesCheckpointState) {
+  PutRows(0, 100, "v");
+  auto info = BackupManager::BackupFull(db_.get(), dir_ + "/full.bak");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_GT(info->num_pages, 3u);
+  EXPECT_EQ(info->backup_lsn, db_->master_checkpoint_lsn());
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/full.bak"));
+}
+
+TEST_F(BackupTest, RestoreToPastPointInTime) {
+  PutRows(0, 100, "epoch1");
+  auto backup = BackupManager::BackupFull(db_.get(), dir_ + "/full.bak");
+  ASSERT_TRUE(backup.ok());
+
+  clock_->Advance(10 * kSecond);
+  PutRows(100, 200, "epoch2");
+  clock_->Advance(kSecond);
+  WallClock t_epoch2 = clock_->NowMicros();
+  clock_->Advance(10 * kSecond);
+  PutRows(200, 300, "epoch3");
+
+  DatabaseOptions ropts;
+  ropts.clock = clock_.get();
+  auto restored = BackupManager::RestoreToTime(db_.get(), *backup,
+                                               dir_ + "/restored", t_epoch2,
+                                               ropts);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto contents = Contents(restored->database.get());
+  EXPECT_EQ(contents.size(), 200u);  // epochs 1+2, not 3
+  EXPECT_EQ(contents[50], "epoch1");
+  EXPECT_EQ(contents[150], "epoch2");
+  EXPECT_EQ(contents.count(250), 0u);
+  EXPECT_GT(restored->data_bytes_copied, 0u);
+  EXPECT_GT(restored->log_bytes_copied, 0u);
+}
+
+TEST_F(BackupTest, RestoreRollsBackInFlightTransactions) {
+  PutRows(0, 50, "committed");
+  auto backup = BackupManager::BackupFull(db_.get(), dir_ + "/full.bak");
+  ASSERT_TRUE(backup.ok());
+
+  auto table = db_->OpenTable("t");
+  ASSERT_TRUE(table.ok());
+  clock_->Advance(10 * kSecond);
+  // Start a transaction that is still in flight at the target time.
+  Transaction* in_flight = db_->Begin();
+  ASSERT_TRUE(table->Insert(in_flight, {777, std::string("phantom")}).ok());
+  clock_->Advance(kSecond);
+  PutRows(50, 60, "bump");  // pushes the split past the in-flight records
+  WallClock target = clock_->NowMicros();
+  ASSERT_TRUE(db_->log()->FlushAll().ok());
+
+  DatabaseOptions ropts;
+  ropts.clock = clock_.get();
+  auto restored = BackupManager::RestoreToTime(db_.get(), *backup,
+                                               dir_ + "/restored", target,
+                                               ropts);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto contents = Contents(restored->database.get());
+  EXPECT_EQ(contents.count(777), 0u) << "in-flight txn must be rolled back";
+  EXPECT_EQ(contents.size(), 60u);
+  ASSERT_TRUE(db_->Commit(in_flight).ok());
+}
+
+TEST_F(BackupTest, RestoreMatchesAsOfSnapshotAtSameInstant) {
+  PutRows(0, 120, "base");
+  auto backup = BackupManager::BackupFull(db_.get(), dir_ + "/full.bak");
+  ASSERT_TRUE(backup.ok());
+  clock_->Advance(5 * kSecond);
+  PutRows(120, 180, "mid");
+  clock_->Advance(kSecond);
+  WallClock t = clock_->NowMicros();
+  clock_->Advance(5 * kSecond);
+  {
+    auto table = db_->OpenTable("t");
+    Transaction* txn = db_->Begin();
+    for (int i = 0; i < 60; i++) {
+      ASSERT_TRUE(table->Delete(txn, Row{i}).ok());
+    }
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+
+  // Rewind path.
+  auto snap = AsOfSnapshot::Create(db_.get(), "cmp", t);
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE((*snap)->WaitForUndo().ok());
+  auto st = (*snap)->OpenTable("t");
+  ASSERT_TRUE(st.ok());
+  std::map<int, std::string> via_snapshot;
+  ASSERT_TRUE(st->Scan(std::nullopt, std::nullopt, [&](const Row& row) {
+                  via_snapshot[row[0].AsInt32()] = row[1].AsString();
+                  return true;
+                })
+                  .ok());
+
+  // Restore path.
+  DatabaseOptions ropts;
+  ropts.clock = clock_.get();
+  auto restored = BackupManager::RestoreToTime(db_.get(), *backup,
+                                               dir_ + "/restored", t, ropts);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto via_restore = Contents(restored->database.get());
+
+  EXPECT_EQ(via_snapshot, via_restore)
+      << "both roads to the past must agree";
+  EXPECT_EQ(via_snapshot.size(), 180u);
+}
+
+// ----------------------------- advisor --------------------------------
+
+TEST(PitrAdvisorTest, RewindWinsForSmallAccess) {
+  PitrAdvisor advisor(MediaProfile::Ssd(), MediaProfile::Ssd());
+  RecoveryEstimate e;
+  e.pages_accessed = 10;
+  e.mods_per_page = 20;
+  e.db_pages = 1'000'000;  // ~8 GB database
+  e.replay_log_bytes = 1 << 30;
+  e.total_log_bytes = 2ULL << 30;
+  EXPECT_EQ(advisor.Choose(e), RecoveryStrategy::kRewind);
+}
+
+TEST(PitrAdvisorTest, RestoreWinsWhenTouchingEverything) {
+  PitrAdvisor advisor(MediaProfile::Sas(), MediaProfile::Sas());
+  RecoveryEstimate e;
+  e.pages_accessed = 1'000'000;
+  e.mods_per_page = 50;
+  e.db_pages = 1'000'000;
+  e.replay_log_bytes = 1 << 30;
+  e.total_log_bytes = 2ULL << 30;
+  EXPECT_EQ(advisor.Choose(e), RecoveryStrategy::kRestore);
+}
+
+TEST(PitrAdvisorTest, CrossoverIsMonotonic) {
+  PitrAdvisor advisor(MediaProfile::Sas(), MediaProfile::Sas());
+  RecoveryEstimate e;
+  e.mods_per_page = 30;
+  e.db_pages = 500'000;
+  e.replay_log_bytes = 512 << 20;
+  e.total_log_bytes = 1ULL << 30;
+  uint64_t crossover = advisor.CrossoverPagesAccessed(e);
+  ASSERT_NE(crossover, UINT64_MAX);
+  e.pages_accessed = crossover > 0 ? crossover - 1 : 0;
+  EXPECT_EQ(advisor.Choose(e), RecoveryStrategy::kRewind);
+  e.pages_accessed = crossover;
+  EXPECT_EQ(advisor.Choose(e), RecoveryStrategy::kRestore);
+}
+
+TEST(PitrAdvisorTest, MoreModsPerPageLowersCrossover) {
+  PitrAdvisor advisor(MediaProfile::Ssd(), MediaProfile::Ssd());
+  RecoveryEstimate e;
+  e.db_pages = 500'000;
+  e.replay_log_bytes = 512 << 20;
+  e.total_log_bytes = 1ULL << 30;
+  e.mods_per_page = 5;
+  uint64_t light = advisor.CrossoverPagesAccessed(e);
+  e.mods_per_page = 200;
+  uint64_t heavy = advisor.CrossoverPagesAccessed(e);
+  EXPECT_LT(heavy, light)
+      << "heavily modified pages make restore attractive sooner";
+}
+
+TEST(PitrAdvisorTest, StrategyNames) {
+  EXPECT_STREQ(RecoveryStrategyName(RecoveryStrategy::kRewind), "rewind");
+  EXPECT_STREQ(RecoveryStrategyName(RecoveryStrategy::kRestore), "restore");
+}
+
+}  // namespace
+}  // namespace rewinddb

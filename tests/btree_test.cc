@@ -1,0 +1,324 @@
+// B-tree tests: CRUD, splits (leaf, internal, root), SMO logging with
+// undo info, empty-leaf deallocation, and a randomized property test
+// against std::map.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "engine/database.h"
+#include "page/slotted_page.h"
+
+namespace rewinddb {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "rewinddb_btree" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name())
+               .string();
+    std::filesystem::remove_all(dir_);
+    DatabaseOptions opts;
+    opts.buffer_pool_pages = 256;
+    auto db = Database::Create(dir_, opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  TreeId NewTree() {
+    Transaction* txn = db_->Begin();
+    auto root = BTree::Create(db_->write_ctx(), txn);
+    EXPECT_TRUE(root.ok()) << root.status().ToString();
+    EXPECT_TRUE(db_->Commit(txn).ok());
+    return *root;
+  }
+
+  std::string dir_;
+  std::unique_ptr<Database> db_;
+};
+
+std::string K(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "key%06d", i);
+  return buf;
+}
+
+TEST_F(BTreeTest, InsertGetSingle) {
+  BTree tree(NewTree());
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(tree.Insert(db_->write_ctx(), txn, "alpha", "1").ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  auto v = tree.Get(db_->buffers(), "alpha");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "1");
+  EXPECT_TRUE(tree.Get(db_->buffers(), "beta").status().IsNotFound());
+}
+
+TEST_F(BTreeTest, DuplicateInsertRejected) {
+  BTree tree(NewTree());
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(tree.Insert(db_->write_ctx(), txn, "k", "1").ok());
+  EXPECT_TRUE(tree.Insert(db_->write_ctx(), txn, "k", "2").IsAlreadyExists());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+}
+
+TEST_F(BTreeTest, UpdateInPlaceAndGrowing) {
+  BTree tree(NewTree());
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(tree.Insert(db_->write_ctx(), txn, "k", "small").ok());
+  ASSERT_TRUE(tree.Update(db_->write_ctx(), txn, "k", "tiny").ok());
+  EXPECT_EQ(*tree.Get(db_->buffers(), "k"), "tiny");
+  std::string big(500, 'x');
+  ASSERT_TRUE(tree.Update(db_->write_ctx(), txn, "k", big).ok());
+  EXPECT_EQ(*tree.Get(db_->buffers(), "k"), big);
+  EXPECT_TRUE(
+      tree.Update(db_->write_ctx(), txn, "missing", "v").IsNotFound());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+}
+
+TEST_F(BTreeTest, DeleteAndNotFound) {
+  BTree tree(NewTree());
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(tree.Insert(db_->write_ctx(), txn, "k", "v").ok());
+  ASSERT_TRUE(tree.Delete(db_->write_ctx(), txn, "k").ok());
+  EXPECT_TRUE(tree.Get(db_->buffers(), "k").status().IsNotFound());
+  EXPECT_TRUE(tree.Delete(db_->write_ctx(), txn, "k").IsNotFound());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+}
+
+TEST_F(BTreeTest, ManyInsertsForceRootAndInternalSplits) {
+  BTree tree(NewTree());
+  const int n = 5000;
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(
+        tree.Insert(db_->write_ctx(), txn, K(i), "value" + std::to_string(i))
+            .ok())
+        << i;
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  ASSERT_TRUE(tree.Validate(db_->buffers()).ok());
+  EXPECT_EQ(*tree.Count(db_->buffers()), static_cast<uint64_t>(n));
+  // Spot checks across the range.
+  for (int i = 0; i < n; i += 97) {
+    auto v = tree.Get(db_->buffers(), K(i));
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(*v, "value" + std::to_string(i));
+  }
+}
+
+TEST_F(BTreeTest, ReverseOrderInsertsSplitLeftEdge) {
+  BTree tree(NewTree());
+  Transaction* txn = db_->Begin();
+  for (int i = 3000; i-- > 0;) {
+    ASSERT_TRUE(tree.Insert(db_->write_ctx(), txn, K(i), "v").ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  ASSERT_TRUE(tree.Validate(db_->buffers()).ok());
+  EXPECT_EQ(*tree.Count(db_->buffers()), 3000u);
+}
+
+TEST_F(BTreeTest, ScanRangeInOrder) {
+  BTree tree(NewTree());
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(tree.Insert(db_->write_ctx(), txn, K(i), "v").ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  std::vector<std::string> seen;
+  auto out = tree.Scan(db_->buffers(), K(100), K(110),
+                       [&](Slice key, Slice) {
+                         seen.push_back(key.ToString());
+                         return ScanAction::kContinue;
+                       });
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; i++) EXPECT_EQ(seen[i], K(100 + i));
+}
+
+TEST_F(BTreeTest, ScanYieldReportsKey) {
+  BTree tree(NewTree());
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(tree.Insert(db_->write_ctx(), txn, K(i), "v").ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  int delivered = 0;
+  auto out = tree.Scan(db_->buffers(), Slice(), Slice(),
+                       [&](Slice, Slice) {
+                         if (++delivered == 4) return ScanAction::kYield;
+                         return ScanAction::kContinue;
+                       });
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->yielded);
+  EXPECT_EQ(out->yield_key, K(3));
+}
+
+TEST_F(BTreeTest, DeleteToEmptyDeallocatesLeaves) {
+  BTree tree(NewTree());
+  Transaction* txn = db_->Begin();
+  const int n = 4000;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(tree.Insert(db_->write_ctx(), txn, K(i), std::string(40, 'v'))
+                    .ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  auto allocated_before = db_->allocator()->CountAllocatedPages();
+  ASSERT_TRUE(allocated_before.ok());
+
+  Transaction* txn2 = db_->Begin();
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(tree.Delete(db_->write_ctx(), txn2, K(i)).ok()) << i;
+  }
+  ASSERT_TRUE(db_->Commit(txn2).ok());
+  ASSERT_TRUE(tree.Validate(db_->buffers()).ok());
+  EXPECT_EQ(*tree.Count(db_->buffers()), 0u);
+
+  auto allocated_after = db_->allocator()->CountAllocatedPages();
+  ASSERT_TRUE(allocated_after.ok());
+  // Most leaves should have been unlinked and freed.
+  EXPECT_LT(*allocated_after, *allocated_before - 5);
+}
+
+TEST_F(BTreeTest, ReallocationEmitsPreformat) {
+  BTree tree(NewTree());
+  // Fill, empty (deallocating leaves), then refill so freed pages are
+  // re-allocated and must be preformat-logged.
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(
+        tree.Insert(db_->write_ctx(), txn, K(i), std::string(40, 'v')).ok());
+  }
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(tree.Delete(db_->write_ctx(), txn, K(i)).ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+
+  // Count preformat records so far.
+  auto count_preformats = [&]() {
+    uint64_t n = 0;
+    Status s = db_->log()->Scan(db_->log()->start_lsn(),
+                                db_->log()->next_lsn(),
+                                [&](Lsn, const LogRecord& rec) {
+                                  if (rec.type == LogType::kPreformat) n++;
+                                  return true;
+                                });
+    EXPECT_TRUE(s.ok());
+    return n;
+  };
+  uint64_t before = count_preformats();
+
+  Transaction* txn2 = db_->Begin();
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(
+        tree.Insert(db_->write_ctx(), txn2, K(i), std::string(40, 'v')).ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn2).ok());
+  uint64_t after = count_preformats();
+  EXPECT_GT(after, before) << "re-allocations must log preformat records";
+  ASSERT_TRUE(tree.Validate(db_->buffers()).ok());
+}
+
+TEST_F(BTreeTest, SmoDeletesCarryUndoInfo) {
+  BTree tree(NewTree());
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(tree.Insert(db_->write_ctx(), txn, K(i), "v").ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  // Every DELETE record in the log -- including SMO move deletes from
+  // system transactions -- must carry the deleted entry image.
+  bool saw_system_delete = false;
+  Status s = db_->log()->Scan(
+      db_->log()->start_lsn(), db_->log()->next_lsn(),
+      [&](Lsn, const LogRecord& rec) {
+        if (rec.type == LogType::kDelete) {
+          EXPECT_FALSE(rec.image.empty()) << "delete without undo info";
+          saw_system_delete = true;
+        }
+        return true;
+      });
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(saw_system_delete) << "expected SMO move deletes from splits";
+}
+
+// Randomized property test: B-tree behaves exactly like std::map.
+class BTreeRandomTest : public BTreeTest,
+                        public ::testing::WithParamInterface<int> {};
+
+TEST_P(BTreeRandomTest, MatchesStdMap) {
+  BTree tree(NewTree());
+  Random rnd(GetParam());
+  std::map<std::string, std::string> shadow;
+  Transaction* txn = db_->Begin();
+  int batch = 0;
+  for (int op = 0; op < 6000; op++) {
+    int action = static_cast<int>(rnd.Uniform(10));
+    std::string key = "k" + std::to_string(rnd.Uniform(2500));
+    if (action < 5) {
+      std::string value = rnd.AlphaString(1, 120);
+      Status s = tree.Insert(db_->write_ctx(), txn, key, value);
+      if (shadow.count(key)) {
+        EXPECT_TRUE(s.IsAlreadyExists());
+      } else {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        shadow[key] = value;
+      }
+    } else if (action < 7) {
+      std::string value = rnd.AlphaString(1, 200);
+      Status s = tree.Update(db_->write_ctx(), txn, key, value);
+      if (shadow.count(key)) {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        shadow[key] = value;
+      } else {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    } else if (action < 9) {
+      Status s = tree.Delete(db_->write_ctx(), txn, key);
+      if (shadow.count(key)) {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        shadow.erase(key);
+      } else {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    } else {
+      auto v = tree.Get(db_->buffers(), key);
+      if (shadow.count(key)) {
+        ASSERT_TRUE(v.ok());
+        EXPECT_EQ(*v, shadow[key]);
+      } else {
+        EXPECT_TRUE(v.status().IsNotFound());
+      }
+    }
+    if (++batch == 500) {
+      ASSERT_TRUE(db_->Commit(txn).ok());
+      txn = db_->Begin();
+      batch = 0;
+    }
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  ASSERT_TRUE(tree.Validate(db_->buffers()).ok());
+  // Full scan equals the shadow map.
+  std::map<std::string, std::string> scanned;
+  auto out = tree.Scan(db_->buffers(), Slice(), Slice(),
+                       [&](Slice key, Slice value) {
+                         scanned[key.ToString()] = value.ToString();
+                         return ScanAction::kContinue;
+                       });
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(scanned, shadow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace rewinddb

@@ -1,0 +1,293 @@
+// Unit tests for common/: Status, Result, Slice, coding, Value/Row
+// codec, memcomparable key encoding, Clock and Random.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace rewinddb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCodesRoundTrip) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  EXPECT_EQ(Status::NotFound("missing row").ToString(),
+            "NotFound: missing row");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return Status::IoError("disk"); };
+  auto wrapper = [&]() -> Status {
+    REWIND_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIoError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = [](bool good) -> Result<std::string> {
+    if (good) return std::string("hello");
+    return Status::Corruption("bad");
+  };
+  auto consume = [&](bool good) -> Status {
+    REWIND_ASSIGN_OR_RETURN(std::string v, produce(good));
+    EXPECT_EQ(v, "hello");
+    return Status::OK();
+  };
+  EXPECT_TRUE(consume(true).ok());
+  EXPECT_TRUE(consume(false).IsCorruption());
+}
+
+TEST(SliceTest, CompareOrdersLikeMemcmp) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);  // prefix sorts first
+}
+
+TEST(SliceTest, StartsWith) {
+  EXPECT_TRUE(Slice("hello world").starts_with("hello"));
+  EXPECT_FALSE(Slice("hello").starts_with("hello world"));
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  Decoder dec((Slice(buf)));
+  uint16_t a;
+  uint32_t b;
+  uint64_t c;
+  ASSERT_TRUE(dec.GetFixed16(&a));
+  ASSERT_TRUE(dec.GetFixed32(&b));
+  ASSERT_TRUE(dec.GetFixed64(&c));
+  EXPECT_EQ(a, 0xBEEF);
+  EXPECT_EQ(b, 0xDEADBEEFu);
+  EXPECT_EQ(c, 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "payload");
+  PutLengthPrefixed(&buf, "");
+  Decoder dec((Slice(buf)));
+  Slice a, b;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&a));
+  ASSERT_TRUE(dec.GetLengthPrefixed(&b));
+  EXPECT_EQ(a.ToString(), "payload");
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(CodingTest, DecoderRejectsShortInput) {
+  Decoder dec(Slice("ab"));
+  uint32_t v;
+  EXPECT_FALSE(dec.GetFixed32(&v));
+  Slice s;
+  EXPECT_FALSE(dec.GetLengthPrefixed(&s));
+}
+
+TEST(CodingTest, ChecksumDiffersOnCorruption) {
+  std::string data = "the quick brown fox";
+  uint32_t sum = Checksum32(data.data(), data.size());
+  data[3] ^= 1;
+  EXPECT_NE(sum, Checksum32(data.data(), data.size()));
+}
+
+TEST(ValueTest, TypeTagging) {
+  EXPECT_EQ(Value(int32_t{1}).type(), ColumnType::kInt32);
+  EXPECT_EQ(Value(int64_t{1}).type(), ColumnType::kInt64);
+  EXPECT_EQ(Value(1.5).type(), ColumnType::kDouble);
+  EXPECT_EQ(Value("x").type(), ColumnType::kString);
+}
+
+TEST(ValueTest, RowCodecRoundTrip) {
+  std::vector<ColumnType> types = {ColumnType::kInt32, ColumnType::kInt64,
+                                   ColumnType::kDouble, ColumnType::kString};
+  Row row = {int32_t{-5}, int64_t{1} << 40, 3.25, std::string("hello\0x", 7)};
+  std::string buf;
+  EncodeRow(types, row, &buf);
+  auto back = DecodeRow(types, buf);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, row);
+}
+
+TEST(ValueTest, RowCodecDetectsTrailingGarbage) {
+  std::vector<ColumnType> types = {ColumnType::kInt32};
+  std::string buf;
+  EncodeRow(types, {int32_t{1}}, &buf);
+  buf += "junk";
+  EXPECT_TRUE(DecodeRow(types, buf).status().IsCorruption());
+}
+
+TEST(ValueTest, RowCodecDetectsShortInput) {
+  std::vector<ColumnType> types = {ColumnType::kInt64};
+  EXPECT_TRUE(DecodeRow(types, Slice("abc")).status().IsCorruption());
+}
+
+// Property: key encoding preserves order for every column type.
+TEST(KeyCodecTest, Int32OrderPreserved) {
+  std::vector<int32_t> vals = {INT32_MIN, -100, -1, 0, 1, 42, INT32_MAX};
+  for (size_t i = 0; i + 1 < vals.size(); i++) {
+    std::string a = EncodeKey({vals[i]}, 1);
+    std::string b = EncodeKey({vals[i + 1]}, 1);
+    EXPECT_LT(Slice(a).compare(Slice(b)), 0)
+        << vals[i] << " !< " << vals[i + 1];
+  }
+}
+
+TEST(KeyCodecTest, Int64OrderPreserved) {
+  std::vector<int64_t> vals = {INT64_MIN, -(1LL << 40), -1, 0, 1, 1LL << 40,
+                               INT64_MAX};
+  for (size_t i = 0; i + 1 < vals.size(); i++) {
+    std::string a = EncodeKey({vals[i]}, 1);
+    std::string b = EncodeKey({vals[i + 1]}, 1);
+    EXPECT_LT(Slice(a).compare(Slice(b)), 0);
+  }
+}
+
+TEST(KeyCodecTest, DoubleOrderPreserved) {
+  std::vector<double> vals = {-1e300, -2.5, -0.0, 0.5, 3.14, 1e300};
+  for (size_t i = 0; i + 1 < vals.size(); i++) {
+    std::string a = EncodeKey({vals[i]}, 1);
+    std::string b = EncodeKey({vals[i + 1]}, 1);
+    EXPECT_LT(Slice(a).compare(Slice(b)), 0) << vals[i];
+  }
+}
+
+TEST(KeyCodecTest, StringOrderPreservedIncludingEmbeddedNul) {
+  std::vector<std::string> vals = {"", std::string("\0", 1), "a",
+                                   std::string("a\0b", 3), "ab", "b"};
+  for (size_t i = 0; i + 1 < vals.size(); i++) {
+    std::string a = EncodeKey({vals[i]}, 1);
+    std::string b = EncodeKey({vals[i + 1]}, 1);
+    EXPECT_LT(Slice(a).compare(Slice(b)), 0) << i;
+  }
+}
+
+TEST(KeyCodecTest, CompositeKeyOrdersLexicographically) {
+  Row a = {int32_t{1}, std::string("zz")};
+  Row b = {int32_t{2}, std::string("aa")};
+  EXPECT_LT(Slice(EncodeKey(a, 2)).compare(Slice(EncodeKey(b, 2))), 0);
+}
+
+TEST(KeyCodecTest, DecodeKeyRoundTrip) {
+  Row key = {int32_t{7}, int64_t{-9}, std::string("w\0h", 3), 2.5};
+  std::vector<ColumnType> kt = {ColumnType::kInt32, ColumnType::kInt64,
+                                ColumnType::kString, ColumnType::kDouble};
+  auto back = DecodeKey(kt, EncodeKey(key, 4));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, key);
+}
+
+// Randomized property: encoded order == logical order for random pairs.
+TEST(KeyCodecTest, RandomizedOrderProperty) {
+  Random rnd(42);
+  for (int iter = 0; iter < 2000; iter++) {
+    int64_t x = static_cast<int64_t>(rnd.Next());
+    int64_t y = static_cast<int64_t>(rnd.Next());
+    std::string ex = EncodeKey({x}, 1);
+    std::string ey = EncodeKey({y}, 1);
+    int logical = x < y ? -1 : (x > y ? 1 : 0);
+    int encoded = Slice(ex).compare(Slice(ey));
+    encoded = encoded < 0 ? -1 : (encoded > 0 ? 1 : 0);
+    EXPECT_EQ(logical, encoded) << x << " vs " << y;
+  }
+}
+
+TEST(ClockTest, SimClockAdvances) {
+  SimClock clock(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000u);
+  clock.AdvanceIo(500);
+  EXPECT_EQ(clock.NowMicros(), 1500u);
+  clock.Advance(10'000);
+  EXPECT_EQ(clock.NowMicros(), 11'500u);
+}
+
+TEST(ClockTest, RealClockMonotonicEnough) {
+  RealClock* c = RealClock::Default();
+  WallClock a = c->NowMicros();
+  WallClock b = c->NowMicros();
+  EXPECT_GE(b, a);
+  c->AdvanceIo(1'000'000);  // must be a no-op
+  EXPECT_LT(c->NowMicros() - b, 1'000'000u);
+}
+
+TEST(RandomTest, DeterministicBySeed) {
+  Random a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  // Different seeds virtually never collide on the first draw.
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformRangeStaysInBounds) {
+  Random rnd(1);
+  for (int i = 0; i < 1000; i++) {
+    int64_t v = rnd.UniformRange(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, NonUniformStaysInBounds) {
+  Random rnd(2);
+  for (int i = 0; i < 1000; i++) {
+    int64_t v = rnd.NonUniform(255, 1, 3000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3000);
+  }
+}
+
+TEST(RandomTest, AlphaStringLengthBounds) {
+  Random rnd(3);
+  for (int i = 0; i < 200; i++) {
+    std::string s = rnd.AlphaString(4, 9);
+    EXPECT_GE(s.size(), 4u);
+    EXPECT_LE(s.size(), 9u);
+    for (char ch : s) {
+      EXPECT_GE(ch, 'a');
+      EXPECT_LE(ch, 'z');
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rewinddb

@@ -1,0 +1,547 @@
+// Tests for the log record codec and the log manager: round-trips for
+// every record type, append/flush/read, reopen after crash, truncation
+// (retention), checkpoint directory, block cache accounting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "io/disk_model.h"
+#include "io/io_stats.h"
+#include "log/log_manager.h"
+#include "log/log_record.h"
+#include "page/page.h"
+
+namespace rewinddb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  auto dir = std::filesystem::temp_directory_path() / "rewinddb_log_test";
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
+}
+
+LogRecord MakeInsert(TxnId txn, PageId page, uint16_t slot,
+                     const std::string& entry) {
+  LogRecord r;
+  r.type = LogType::kInsert;
+  r.txn_id = txn;
+  r.page_id = page;
+  r.tree_id = 42;
+  r.slot = slot;
+  r.image = entry;
+  return r;
+}
+
+// ------------------------- record codec -------------------------------
+
+TEST(LogRecordTest, PeekLengthMatchesEncodedSize) {
+  LogRecord r = MakeInsert(1, 2, 3, "entry");
+  std::string buf;
+  r.EncodeTo(&buf);
+  EXPECT_EQ(LogRecord::PeekLength(buf), buf.size());
+  EXPECT_EQ(r.EncodedSize(), buf.size());
+}
+
+struct CodecCase {
+  const char* name;
+  LogRecord rec;
+};
+
+class LogRecordCodecTest : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(LogRecordCodecTest, RoundTrip) {
+  const LogRecord& in = GetParam().rec;
+  std::string buf;
+  in.EncodeTo(&buf);
+  size_t consumed = 0;
+  auto out = LogRecord::Decode(buf, &consumed);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(consumed, buf.size());
+  EXPECT_EQ(out->type, in.type);
+  EXPECT_EQ(out->clr_op, in.clr_op);
+  EXPECT_EQ(out->is_system, in.is_system);
+  EXPECT_EQ(out->txn_id, in.txn_id);
+  EXPECT_EQ(out->prev_lsn, in.prev_lsn);
+  EXPECT_EQ(out->prev_page_lsn, in.prev_page_lsn);
+  EXPECT_EQ(out->prev_fpi_lsn, in.prev_fpi_lsn);
+  EXPECT_EQ(out->page_id, in.page_id);
+  EXPECT_EQ(out->tree_id, in.tree_id);
+  EXPECT_EQ(out->slot, in.slot);
+  EXPECT_EQ(out->image, in.image);
+  EXPECT_EQ(out->image2, in.image2);
+  EXPECT_EQ(out->wall_clock, in.wall_clock);
+  EXPECT_EQ(out->undo_next_lsn, in.undo_next_lsn);
+  EXPECT_EQ(out->fmt_type, in.fmt_type);
+  EXPECT_EQ(out->fmt_level, in.fmt_level);
+  EXPECT_EQ(out->alloc_bit, in.alloc_bit);
+  EXPECT_EQ(out->alloc_new, in.alloc_new);
+  EXPECT_EQ(out->ever_new, in.ever_new);
+  EXPECT_EQ(out->alloc_old, in.alloc_old);
+  EXPECT_EQ(out->ever_old, in.ever_old);
+  EXPECT_EQ(out->sibling_new, in.sibling_new);
+  EXPECT_EQ(out->sibling_old, in.sibling_old);
+  ASSERT_EQ(out->att.size(), in.att.size());
+  for (size_t i = 0; i < in.att.size(); i++) {
+    EXPECT_EQ(out->att[i].txn_id, in.att[i].txn_id);
+    EXPECT_EQ(out->att[i].last_lsn, in.att[i].last_lsn);
+  }
+  ASSERT_EQ(out->dpt.size(), in.dpt.size());
+  for (size_t i = 0; i < in.dpt.size(); i++) {
+    EXPECT_EQ(out->dpt[i].page_id, in.dpt[i].page_id);
+    EXPECT_EQ(out->dpt[i].rec_lsn, in.dpt[i].rec_lsn);
+  }
+}
+
+std::vector<CodecCase> CodecCases() {
+  std::vector<CodecCase> cases;
+  {
+    LogRecord r;
+    r.type = LogType::kBegin;
+    r.txn_id = 9;
+    cases.push_back({"begin", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kCommit;
+    r.txn_id = 9;
+    r.prev_lsn = 100;
+    r.wall_clock = 123456789;
+    cases.push_back({"commit", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kAbort;
+    r.txn_id = 9;
+    r.prev_lsn = 200;
+    cases.push_back({"abort", r});
+  }
+  cases.push_back({"insert", MakeInsert(5, 77, 3, "row bytes")});
+  {
+    LogRecord r = MakeInsert(5, 77, 3, "deleted row image");
+    r.type = LogType::kDelete;
+    r.prev_page_lsn = 500;
+    r.prev_fpi_lsn = 450;
+    cases.push_back({"delete_with_undo_info", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kUpdate;
+    r.txn_id = 5;
+    r.page_id = 77;
+    r.slot = 1;
+    r.tree_id = 42;
+    r.image = "old entry";
+    r.image2 = "new entry";
+    cases.push_back({"update", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kClr;
+    r.clr_op = LogType::kDelete;
+    r.txn_id = 5;
+    r.page_id = 77;
+    r.slot = 2;
+    r.tree_id = 42;
+    r.image = "undo info carried by the CLR";
+    r.undo_next_lsn = 321;
+    cases.push_back({"clr_delete", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kClr;
+    r.clr_op = LogType::kUpdate;
+    r.txn_id = 5;
+    r.page_id = 77;
+    r.slot = 2;
+    r.image = "restored";
+    r.image2 = "undone";
+    r.undo_next_lsn = 321;
+    cases.push_back({"clr_update", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kFormat;
+    r.txn_id = 2;
+    r.page_id = 88;
+    r.fmt_type = static_cast<uint8_t>(PageType::kBtreeLeaf);
+    r.fmt_level = 0;
+    cases.push_back({"format", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kPreformat;
+    r.txn_id = 2;
+    r.page_id = 88;
+    r.prev_page_lsn = 444;
+    r.image = std::string(kPageSize, '\x5A');
+    cases.push_back({"preformat_full_page", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kAllocBits;
+    r.txn_id = 2;
+    r.page_id = 1;
+    r.alloc_bit = 17;
+    r.alloc_new = true;
+    r.ever_new = true;
+    r.alloc_old = false;
+    r.ever_old = true;
+    cases.push_back({"alloc_bits", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kSetSibling;
+    r.txn_id = 2;
+    r.page_id = 6;
+    r.is_system = true;
+    r.sibling_new = 9;
+    r.sibling_old = kInvalidPageId;
+    cases.push_back({"set_sibling", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kClr;
+    r.clr_op = LogType::kSetSibling;
+    r.txn_id = 2;
+    r.page_id = 6;
+    r.is_system = true;
+    r.sibling_new = kInvalidPageId;
+    r.sibling_old = 9;
+    r.undo_next_lsn = 77;
+    cases.push_back({"clr_set_sibling", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kClr;
+    r.clr_op = LogType::kFormat;
+    r.txn_id = 2;
+    r.page_id = 6;
+    r.is_system = true;
+    r.undo_next_lsn = 55;
+    cases.push_back({"clr_noop_format", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kCheckpointBegin;
+    r.wall_clock = 111222333;
+    cases.push_back({"ckpt_begin", r});
+  }
+  {
+    LogRecord r;
+    r.type = LogType::kCheckpointEnd;
+    r.wall_clock = 111222444;
+    r.att = {{3, 900}, {4, 950}};
+    r.dpt = {{10, 800}, {11, 810}, {12, 820}};
+    cases.push_back({"ckpt_end", r});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, LogRecordCodecTest,
+                         ::testing::ValuesIn(CodecCases()),
+                         [](const ::testing::TestParamInfo<CodecCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(LogRecordTest, DecodeRejectsCorruptedBytes) {
+  LogRecord r = MakeInsert(1, 2, 3, "entry");
+  std::string buf;
+  r.EncodeTo(&buf);
+  buf[20] ^= 0x01;
+  size_t consumed;
+  EXPECT_TRUE(LogRecord::Decode(buf, &consumed).status().IsCorruption());
+}
+
+TEST(LogRecordTest, DecodeRejectsShortBuffer) {
+  LogRecord r = MakeInsert(1, 2, 3, "entry");
+  std::string buf;
+  r.EncodeTo(&buf);
+  size_t consumed;
+  EXPECT_TRUE(LogRecord::Decode(Slice(buf.data(), 10), &consumed)
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(LogRecord::Decode(Slice(buf.data(), buf.size() - 1), &consumed)
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(LogRecordTest, IsPageRecordClassification) {
+  EXPECT_TRUE(MakeInsert(1, 2, 3, "x").IsPageRecord());
+  LogRecord commit;
+  commit.type = LogType::kCommit;
+  EXPECT_FALSE(commit.IsPageRecord());
+  LogRecord begin;
+  begin.type = LogType::kBegin;
+  EXPECT_FALSE(begin.IsPageRecord());
+}
+
+// ------------------------- log manager --------------------------------
+
+class LogManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath(
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+  IoStats stats_;
+};
+
+TEST_F(LogManagerTest, AppendAssignsMonotonicLsns) {
+  auto lm = LogManager::Create(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "a"));
+  Lsn b = (*lm)->Append(MakeInsert(1, 2, 1, "b"));
+  EXPECT_GT(b, a);
+  EXPECT_GT((*lm)->next_lsn(), b);
+}
+
+TEST_F(LogManagerTest, ReadFromUnflushedTail) {
+  auto lm = LogManager::Create(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "payload"));
+  auto rec = (*lm)->ReadRecord(a);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->image, "payload");
+  // No device IO was needed.
+  EXPECT_EQ(stats_.log_read_misses.load(), 0u);
+}
+
+TEST_F(LogManagerTest, ReadAfterFlushGoesThroughCache) {
+  auto lm = LogManager::Create(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "payload"));
+  ASSERT_TRUE((*lm)->FlushAll().ok());
+  auto rec = (*lm)->ReadRecord(a);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(stats_.log_read_misses.load(), 1u);
+  // Second read hits the block cache.
+  ASSERT_TRUE((*lm)->ReadRecord(a).ok());
+  EXPECT_EQ(stats_.log_read_misses.load(), 1u);
+  EXPECT_GE(stats_.log_read_hits.load(), 1u);
+}
+
+TEST_F(LogManagerTest, CacheDisabledAlwaysMisses) {
+  LogManagerOptions opts;
+  opts.cache_blocks = 0;
+  auto lm = LogManager::Create(path_, nullptr, &stats_, opts);
+  ASSERT_TRUE(lm.ok());
+  Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "payload"));
+  ASSERT_TRUE((*lm)->FlushAll().ok());
+  ASSERT_TRUE((*lm)->ReadRecord(a).ok());
+  ASSERT_TRUE((*lm)->ReadRecord(a).ok());
+  EXPECT_EQ(stats_.log_read_misses.load(), 2u);
+}
+
+TEST_F(LogManagerTest, FlushToMakesRecordDurable) {
+  auto lm = LogManager::Create(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "abc"));
+  EXPECT_LE((*lm)->flushed_lsn(), a);
+  ASSERT_TRUE((*lm)->FlushTo(a).ok());
+  EXPECT_GT((*lm)->flushed_lsn(), a);
+}
+
+TEST_F(LogManagerTest, ReopenFindsEndAndServesRecords) {
+  Lsn a, b;
+  {
+    auto lm = LogManager::Create(path_, nullptr, &stats_);
+    ASSERT_TRUE(lm.ok());
+    a = (*lm)->Append(MakeInsert(1, 2, 0, "first"));
+    b = (*lm)->Append(MakeInsert(1, 2, 1, "second"));
+    ASSERT_TRUE((*lm)->FlushAll().ok());
+  }
+  auto lm = LogManager::Open(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok()) << lm.status().ToString();
+  auto ra = (*lm)->ReadRecord(a);
+  auto rb = (*lm)->ReadRecord(b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->image, "first");
+  EXPECT_EQ(rb->image, "second");
+  // New appends continue after the old end.
+  Lsn c = (*lm)->Append(MakeInsert(2, 3, 0, "third"));
+  EXPECT_GT(c, b);
+}
+
+TEST_F(LogManagerTest, ReopenIgnoresTornTail) {
+  Lsn a;
+  {
+    auto lm = LogManager::Create(path_, nullptr, &stats_);
+    ASSERT_TRUE(lm.ok());
+    a = (*lm)->Append(MakeInsert(1, 2, 0, "good"));
+    ASSERT_TRUE((*lm)->FlushAll().ok());
+  }
+  {
+    // Simulate a torn write: append garbage bytes to the file.
+    FILE* f = fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "\x40\x00\x00\x00 torn half-record ...";
+    fwrite(garbage, 1, sizeof(garbage), f);
+    fclose(f);
+  }
+  auto lm = LogManager::Open(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  auto ra = (*lm)->ReadRecord(a);
+  ASSERT_TRUE(ra.ok());
+  EXPECT_EQ(ra->image, "good");
+}
+
+TEST_F(LogManagerTest, ScanVisitsRecordsInOrder) {
+  auto lm = LogManager::Create(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  std::vector<Lsn> lsns;
+  for (int i = 0; i < 20; i++) {
+    lsns.push_back((*lm)->Append(MakeInsert(1, 2, static_cast<uint16_t>(i),
+                                            "rec" + std::to_string(i))));
+  }
+  ASSERT_TRUE((*lm)->FlushAll().ok());
+  std::vector<Lsn> seen;
+  ASSERT_TRUE((*lm)
+                  ->Scan((*lm)->start_lsn(), (*lm)->next_lsn(),
+                         [&](Lsn lsn, const LogRecord& rec) {
+                           EXPECT_EQ(rec.type, LogType::kInsert);
+                           seen.push_back(lsn);
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(seen, lsns);
+}
+
+TEST_F(LogManagerTest, ScanStopsWhenCallbackReturnsFalse) {
+  auto lm = LogManager::Create(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  for (int i = 0; i < 10; i++) {
+    (*lm)->Append(MakeInsert(1, 2, 0, "x"));
+  }
+  int count = 0;
+  ASSERT_TRUE((*lm)
+                  ->Scan((*lm)->start_lsn(), (*lm)->next_lsn(),
+                         [&](Lsn, const LogRecord&) { return ++count < 3; })
+                  .ok());
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(LogManagerTest, CheckpointDirectoryTracksAppends) {
+  auto lm = LogManager::Create(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  LogRecord ckpt;
+  ckpt.type = LogType::kCheckpointBegin;
+  ckpt.wall_clock = 1000;
+  Lsn c1 = (*lm)->Append(ckpt);
+  (*lm)->Append(MakeInsert(1, 2, 0, "x"));
+  ckpt.wall_clock = 2000;
+  Lsn c2 = (*lm)->Append(ckpt);
+  auto dir = (*lm)->checkpoints();
+  ASSERT_EQ(dir.size(), 2u);
+  EXPECT_EQ(dir[0].begin_lsn, c1);
+  EXPECT_EQ(dir[0].wall_clock, 1000u);
+  EXPECT_EQ(dir[1].begin_lsn, c2);
+  EXPECT_EQ(dir[1].wall_clock, 2000u);
+}
+
+TEST_F(LogManagerTest, CheckpointDirectorySurvivesReopen) {
+  Lsn c1;
+  {
+    auto lm = LogManager::Create(path_, nullptr, &stats_);
+    ASSERT_TRUE(lm.ok());
+    LogRecord ckpt;
+    ckpt.type = LogType::kCheckpointBegin;
+    ckpt.wall_clock = 777;
+    c1 = (*lm)->Append(ckpt);
+    ASSERT_TRUE((*lm)->FlushAll().ok());
+  }
+  auto lm = LogManager::Open(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  auto dir = (*lm)->checkpoints();
+  ASSERT_EQ(dir.size(), 1u);
+  EXPECT_EQ(dir[0].begin_lsn, c1);
+  EXPECT_EQ(dir[0].wall_clock, 777u);
+}
+
+TEST_F(LogManagerTest, TruncateEnforcesRetention) {
+  auto lm = LogManager::Create(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "old"));
+  Lsn b = (*lm)->Append(MakeInsert(1, 2, 1, "new"));
+  ASSERT_TRUE((*lm)->FlushAll().ok());
+  ASSERT_TRUE((*lm)->TruncateBefore(b).ok());
+  // The old record is gone -- reads report OutOfRange so the as-of
+  // machinery can surface "outside retention period" to the user.
+  EXPECT_TRUE((*lm)->ReadRecord(a).status().IsOutOfRange());
+  EXPECT_TRUE((*lm)->ReadRecord(b).ok());
+  EXPECT_EQ((*lm)->start_lsn(), b);
+}
+
+TEST_F(LogManagerTest, TruncatePersistsAcrossReopen) {
+  Lsn a, b;
+  {
+    auto lm = LogManager::Create(path_, nullptr, &stats_);
+    ASSERT_TRUE(lm.ok());
+    a = (*lm)->Append(MakeInsert(1, 2, 0, "old"));
+    b = (*lm)->Append(MakeInsert(1, 2, 1, "new"));
+    ASSERT_TRUE((*lm)->FlushAll().ok());
+    ASSERT_TRUE((*lm)->TruncateBefore(b).ok());
+  }
+  auto lm = LogManager::Open(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  EXPECT_EQ((*lm)->start_lsn(), b);
+  EXPECT_TRUE((*lm)->ReadRecord(a).status().IsOutOfRange());
+  EXPECT_TRUE((*lm)->ReadRecord(b).ok());
+}
+
+TEST_F(LogManagerTest, LiveBytesShrinksOnTruncate) {
+  auto lm = LogManager::Create(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  (*lm)->Append(MakeInsert(1, 2, 0, std::string(1000, 'x')));
+  Lsn b = (*lm)->Append(MakeInsert(1, 2, 1, "y"));
+  ASSERT_TRUE((*lm)->FlushAll().ok());
+  uint64_t before = (*lm)->LiveBytes();
+  ASSERT_TRUE((*lm)->TruncateBefore(b).ok());
+  EXPECT_LT((*lm)->LiveBytes(), before);
+}
+
+TEST_F(LogManagerTest, LargeRecordSpanningBlocksRoundTrips) {
+  auto lm = LogManager::Create(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  // Fill close to a block boundary, then write a full-page preformat
+  // record that must straddle it.
+  for (int i = 0; i < 100; i++) {
+    (*lm)->Append(MakeInsert(1, 2, 0, std::string(300, 'a')));
+  }
+  LogRecord fpi;
+  fpi.type = LogType::kPreformat;
+  fpi.page_id = 9;
+  fpi.image = std::string(kPageSize, '\x77');
+  Lsn f = (*lm)->Append(fpi);
+  ASSERT_TRUE((*lm)->FlushAll().ok());
+  (*lm)->DropCache();
+  auto rec = (*lm)->ReadRecord(f);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->image.size(), kPageSize);
+  EXPECT_EQ(rec->image[0], '\x77');
+}
+
+TEST_F(LogManagerTest, SimulatedLatencyChargedOnMisses) {
+  SimClock clock;
+  DiskModel disk(MediaProfile::Sas(), &clock, &stats_);
+  auto lm = LogManager::Create(path_, &disk, &stats_);
+  ASSERT_TRUE(lm.ok());
+  Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "x"));
+  ASSERT_TRUE((*lm)->FlushAll().ok());
+  (*lm)->DropCache();
+  WallClock before = clock.NowMicros();
+  ASSERT_TRUE((*lm)->ReadRecord(a).ok());
+  // A SAS random read costs ~6.5ms of simulated time.
+  EXPECT_GE(clock.NowMicros() - before, 6000u);
+}
+
+}  // namespace
+}  // namespace rewinddb

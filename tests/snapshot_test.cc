@@ -1,0 +1,498 @@
+// Tests for the paper's core: PreparePageAsOf, SplitLSN search, and
+// as-of snapshots (creation, recovery with background undo, query
+// equivalence against recorded history, dropped-table recovery,
+// retention errors, FPI skip optimization).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <optional>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "engine/table.h"
+#include "snapshot/asof_snapshot.h"
+#include "snapshot/split_lsn.h"
+
+namespace rewinddb {
+namespace {
+
+Schema KvSchema() {
+  return Schema({{"id", ColumnType::kInt32}, {"val", ColumnType::kString}},
+                1);
+}
+
+constexpr uint64_t kSecond = 1'000'000;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "rewinddb_snap" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name())
+               .string();
+    std::filesystem::remove_all(dir_);
+    clock_ = std::make_unique<SimClock>(10 * kSecond);
+    DatabaseOptions opts;
+    opts.clock = clock_.get();
+    Recreate(opts);
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void Recreate(DatabaseOptions opts) {
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+    auto db = Database::Create(dir_, opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  void MakeKvTable(const std::string& name = "t") {
+    Transaction* txn = db_->Begin();
+    ASSERT_TRUE(db_->CreateTable(txn, name, KvSchema()).ok());
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+
+  void PutRows(Table* table, int lo, int hi, const std::string& val) {
+    Transaction* txn = db_->Begin();
+    for (int i = lo; i < hi; i++) {
+      ASSERT_TRUE(table->Insert(txn, {i, val}).ok()) << i;
+    }
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+
+  std::map<int, std::string> SnapshotContents(SnapshotTable* table) {
+    std::map<int, std::string> out;
+    Status s = table->Scan(std::nullopt, std::nullopt, [&](const Row& row) {
+      out[row[0].AsInt32()] = row[1].AsString();
+      return true;
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return out;
+  }
+
+  std::string dir_;
+  std::unique_ptr<SimClock> clock_;
+  std::unique_ptr<Database> db_;
+};
+
+// ------------------------- SplitLSN search ----------------------------
+
+TEST_F(SnapshotTest, SplitPointPicksLastCommitBeforeTarget) {
+  MakeKvTable();
+  auto table = db_->OpenTable("t");
+  clock_->Advance(10 * kSecond);
+  PutRows(&*table, 0, 1, "a");  // commit at t=20s
+  WallClock t_mid = clock_->NowMicros() + 5 * kSecond;
+  clock_->Advance(10 * kSecond);
+  PutRows(&*table, 1, 2, "b");  // commit at t=30s
+
+  auto split = FindSplitPoint(db_->log(), t_mid, clock_->NowMicros());
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  // The boundary commit is the t=20s one.
+  EXPECT_LE(split->boundary_time, t_mid);
+  EXPECT_GE(split->boundary_time, 20 * kSecond);
+}
+
+TEST_F(SnapshotTest, SplitPointRejectsFuture) {
+  auto split = FindSplitPoint(db_->log(), clock_->NowMicros() + kSecond,
+                              clock_->NowMicros());
+  EXPECT_TRUE(split.status().IsInvalidArgument());
+}
+
+TEST_F(SnapshotTest, SplitPointUsesCheckpointNarrowing) {
+  MakeKvTable();
+  auto table = db_->OpenTable("t");
+  // Several checkpoint epochs.
+  for (int epoch = 0; epoch < 5; epoch++) {
+    clock_->Advance(10 * kSecond);
+    PutRows(&*table, epoch * 10, epoch * 10 + 10,
+            "epoch" + std::to_string(epoch));
+    ASSERT_TRUE(db_->Checkpoint().ok());
+  }
+  // Target inside epoch 2.
+  WallClock target = 10 * kSecond + 10 * kSecond * 3 + kSecond;
+  auto split = FindSplitPoint(db_->log(), target, clock_->NowMicros());
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_LE(split->boundary_time, target);
+  EXPECT_NE(split->checkpoint_lsn, kInvalidLsn);
+  EXPECT_LE(split->checkpoint_lsn, split->split_lsn);
+}
+
+// ----------------------- basic as-of behaviour ------------------------
+
+TEST_F(SnapshotTest, SeesPastStateAfterUpdatesAndDeletes) {
+  MakeKvTable();
+  auto table = db_->OpenTable("t");
+  clock_->Advance(10 * kSecond);
+  PutRows(&*table, 0, 100, "original");
+  clock_->Advance(kSecond);
+  WallClock before_mistake = clock_->NowMicros();
+  clock_->Advance(10 * kSecond);
+
+  // The "mistake": delete some rows, clobber others.
+  Transaction* oops = db_->Begin();
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(table->Delete(oops, Row{i}).ok());
+  }
+  for (int i = 50; i < 100; i++) {
+    ASSERT_TRUE(table->Update(oops, {i, std::string("clobbered")}).ok());
+  }
+  ASSERT_TRUE(db_->Commit(oops).ok());
+
+  auto snap = AsOfSnapshot::Create(db_.get(), "before_mistake",
+                                   before_mistake);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  ASSERT_TRUE((*snap)->WaitForUndo().ok());
+
+  auto stable = (*snap)->OpenTable("t");
+  ASSERT_TRUE(stable.ok());
+  auto contents = SnapshotContents(&*stable);
+  ASSERT_EQ(contents.size(), 100u);
+  for (const auto& [k, v] : contents) EXPECT_EQ(v, "original") << k;
+
+  // The primary still shows the post-mistake state.
+  EXPECT_EQ(*table->Count(), 50u);
+  auto cur = table->Get(nullptr, {70});
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ((*cur)[1].AsString(), "clobbered");
+}
+
+TEST_F(SnapshotTest, SnapshotIsStableWhilePrimaryAdvances) {
+  MakeKvTable();
+  auto table = db_->OpenTable("t");
+  clock_->Advance(10 * kSecond);
+  PutRows(&*table, 0, 50, "v1");
+  clock_->Advance(kSecond);
+  WallClock t1 = clock_->NowMicros();
+  clock_->Advance(kSecond);
+
+  auto snap = AsOfSnapshot::Create(db_.get(), "stable", t1);
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE((*snap)->WaitForUndo().ok());
+  auto stable = (*snap)->OpenTable("t");
+  ASSERT_TRUE(stable.ok());
+  EXPECT_EQ(*stable->Count(), 50u);
+
+  // Keep mutating the primary; the snapshot must not move.
+  for (int round = 0; round < 5; round++) {
+    clock_->Advance(kSecond);
+    PutRows(&*table, 100 + round * 10, 110 + round * 10, "later");
+    EXPECT_EQ(*stable->Count(), 50u) << "round " << round;
+  }
+  auto row = stable->Get({10});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsString(), "v1");
+}
+
+TEST_F(SnapshotTest, PointLookupsAndRangeScansOnSnapshot) {
+  MakeKvTable();
+  auto table = db_->OpenTable("t");
+  clock_->Advance(10 * kSecond);
+  PutRows(&*table, 0, 200, "x");
+  clock_->Advance(kSecond);
+  WallClock t1 = clock_->NowMicros();
+  clock_->Advance(kSecond);
+  PutRows(&*table, 200, 400, "y");
+
+  auto snap = AsOfSnapshot::Create(db_.get(), "lookups", t1);
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE((*snap)->WaitForUndo().ok());
+  auto st = (*snap)->OpenTable("t");
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->Get({5}).ok());
+  EXPECT_TRUE(st->Get({300}).status().IsNotFound());  // inserted after t1
+  int n = 0;
+  ASSERT_TRUE(st->Scan(std::optional<Row>(Row{50}),
+                       std::optional<Row>(Row{60}),
+                       [&](const Row&) {
+                         n++;
+                         return true;
+                       })
+                  .ok());
+  EXPECT_EQ(n, 10);
+}
+
+TEST_F(SnapshotTest, MetadataRewindsTooTableCreatedLaterInvisible) {
+  MakeKvTable("early");
+  clock_->Advance(kSecond);
+  WallClock t1 = clock_->NowMicros();
+  clock_->Advance(kSecond);
+  MakeKvTable("late");
+
+  auto snap = AsOfSnapshot::Create(db_.get(), "meta", t1);
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE((*snap)->WaitForUndo().ok());
+  auto tables = (*snap)->ListTables();
+  ASSERT_TRUE(tables.ok());
+  std::vector<std::string> names;
+  for (const TableInfo& t : *tables) names.push_back(t.name);
+  EXPECT_EQ(names, std::vector<std::string>{"early"});
+  EXPECT_TRUE((*snap)->OpenTable("late").status().IsNotFound());
+}
+
+// The paper's introductory scenario: recover a dropped table.
+TEST_F(SnapshotTest, DroppedTableRecoveryEndToEnd) {
+  MakeKvTable("invoices");
+  auto table = db_->OpenTable("invoices");
+  clock_->Advance(10 * kSecond);
+  PutRows(&*table, 0, 500, "invoice-data");
+  clock_->Advance(kSecond);
+  WallClock before_drop = clock_->NowMicros();
+  clock_->Advance(10 * kSecond);
+
+  Transaction* drop = db_->Begin();
+  ASSERT_TRUE(db_->DropTable(drop, "invoices").ok());
+  ASSERT_TRUE(db_->Commit(drop).ok());
+  EXPECT_TRUE(db_->OpenTable("invoices").status().IsNotFound());
+  clock_->Advance(10 * kSecond);
+  // More work reuses the freed pages (the preformat path must keep the
+  // old content reachable).
+  MakeKvTable("noise");
+  auto noise = db_->OpenTable("noise");
+  PutRows(&*noise, 0, 500, std::string(64, 'n'));
+
+  // Mount a snapshot as of a time when the table existed, read its
+  // schema from the snapshot catalog, and reconcile.
+  auto snap = AsOfSnapshot::Create(db_.get(), "undrop", before_drop);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  ASSERT_TRUE((*snap)->WaitForUndo().ok());
+  auto old_table = (*snap)->OpenTable("invoices");
+  ASSERT_TRUE(old_table.ok()) << old_table.status().ToString();
+  EXPECT_EQ(old_table->schema().num_columns(), 2u);
+
+  // "CREATE TABLE ... ; INSERT ... SELECT" reconcile into the primary.
+  Transaction* restore = db_->Begin();
+  ASSERT_TRUE(
+      db_->CreateTable(restore, "invoices", old_table->schema()).ok());
+  ASSERT_TRUE(db_->Commit(restore).ok());
+  auto new_table = db_->OpenTable("invoices");
+  ASSERT_TRUE(new_table.ok());
+  Transaction* copy = db_->Begin();
+  int copied = 0;
+  ASSERT_TRUE(old_table
+                  ->Scan(std::nullopt, std::nullopt,
+                         [&](const Row& row) {
+                           EXPECT_TRUE(new_table->Insert(copy, row).ok());
+                           copied++;
+                           return true;
+                         })
+                  .ok());
+  ASSERT_TRUE(db_->Commit(copy).ok());
+  EXPECT_EQ(copied, 500);
+  EXPECT_EQ(*new_table->Count(), 500u);
+  auto row = new_table->Get(nullptr, {123});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsString(), "invoice-data");
+}
+
+TEST_F(SnapshotTest, InFlightTransactionInvisibleAfterUndo) {
+  MakeKvTable();
+  auto table = db_->OpenTable("t");
+  clock_->Advance(10 * kSecond);
+  PutRows(&*table, 0, 20, "committed");
+  clock_->Advance(kSecond);
+
+  // An in-flight transaction dirties rows but never commits before the
+  // split point.
+  Transaction* in_flight = db_->Begin();
+  ASSERT_TRUE(table->Update(in_flight, {5, std::string("uncommitted")}).ok());
+  ASSERT_TRUE(table->Insert(in_flight, {999, std::string("phantom")}).ok());
+  // A later commit pushes the split past the in-flight records.
+  clock_->Advance(kSecond);
+  PutRows(&*table, 20, 21, "bump");
+  WallClock t = clock_->NowMicros();
+
+  auto snap = AsOfSnapshot::Create(db_.get(), "inflight", t);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_GE((*snap)->creation_stats().loser_transactions, 1u);
+  auto st = (*snap)->OpenTable("t");
+  ASSERT_TRUE(st.ok());
+  // Queries must not see the uncommitted effects (they may need to wait
+  // for the background undo).
+  auto r5 = st->Get({5});
+  ASSERT_TRUE(r5.ok()) << r5.status().ToString();
+  EXPECT_EQ((*r5)[1].AsString(), "committed");
+  EXPECT_TRUE(st->Get({999}).status().IsNotFound());
+  ASSERT_TRUE((*snap)->WaitForUndo().ok());
+
+  // Clean up the primary transaction.
+  ASSERT_TRUE(db_->Commit(in_flight).ok());
+}
+
+TEST_F(SnapshotTest, AsOfBeyondRetentionFails) {
+  MakeKvTable();
+  auto table = db_->OpenTable("t");
+  WallClock ancient = clock_->NowMicros() - 9 * kSecond;
+  clock_->Advance(100 * kSecond);
+  PutRows(&*table, 0, 10, "x");
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  // Shrink retention to 10 seconds and truncate.
+  ASSERT_TRUE(db_->SetUndoInterval(10 * kSecond).ok());
+  clock_->Advance(100 * kSecond);
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  ASSERT_TRUE(db_->EnforceRetention().ok());
+
+  auto snap = AsOfSnapshot::Create(db_.get(), "too_old", ancient);
+  EXPECT_TRUE(snap.status().IsOutOfRange()) << snap.status().ToString();
+}
+
+TEST_F(SnapshotTest, SideFileCachesRewoundPages) {
+  MakeKvTable();
+  auto table = db_->OpenTable("t");
+  clock_->Advance(10 * kSecond);
+  PutRows(&*table, 0, 300, "v1");
+  clock_->Advance(kSecond);
+  WallClock t1 = clock_->NowMicros();
+  clock_->Advance(kSecond);
+  Transaction* touch = db_->Begin();
+  for (int i = 0; i < 300; i++) {
+    ASSERT_TRUE(table->Update(touch, {i, std::string("v2")}).ok());
+  }
+  ASSERT_TRUE(db_->Commit(touch).ok());
+
+  auto snap = AsOfSnapshot::Create(db_.get(), "cache", t1);
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE((*snap)->WaitForUndo().ok());
+  auto st = (*snap)->OpenTable("t");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(*st->Count(), 300u);
+  uint64_t undone_after_first = (*snap)->rewinder()->records_undone();
+  EXPECT_GT(undone_after_first, 0u);
+  EXPECT_GT((*snap)->side_file()->PageCount(), 0u);
+  // A second full scan is served from the side file / buffer pool: no
+  // further undo work.
+  EXPECT_EQ(*st->Count(), 300u);
+  EXPECT_EQ((*snap)->rewinder()->records_undone(), undone_after_first);
+}
+
+TEST_F(SnapshotTest, FpiPeriodSkipsLogRegions) {
+  // Two databases, identical workload; one logs a full page image every
+  // 8 modifications. Rewinding far back must undo far fewer individual
+  // records when images are available (section 6.1).
+  uint64_t undone[2];
+  for (int variant = 0; variant < 2; variant++) {
+    db_.reset();  // release the old clock before replacing it
+    clock_ = std::make_unique<SimClock>(10 * kSecond);
+    DatabaseOptions opts;
+    opts.clock = clock_.get();
+    opts.fpi_period = variant == 0 ? 0 : 8;
+    Recreate(opts);
+    MakeKvTable();
+    auto table = db_->OpenTable("t");
+    clock_->Advance(10 * kSecond);
+    PutRows(&*table, 0, 20, "v0");
+    clock_->Advance(kSecond);
+    WallClock t1 = clock_->NowMicros();
+    clock_->Advance(kSecond);
+    // 200 updates to the same handful of pages.
+    for (int round = 0; round < 10; round++) {
+      Transaction* txn = db_->Begin();
+      for (int i = 0; i < 20; i++) {
+        ASSERT_TRUE(
+            table->Update(txn, {i, "r" + std::to_string(round)}).ok());
+      }
+      ASSERT_TRUE(db_->Commit(txn).ok());
+      clock_->Advance(kSecond);
+    }
+    {
+      auto snap = AsOfSnapshot::Create(db_.get(), "fpi", t1);
+      ASSERT_TRUE(snap.ok());
+      ASSERT_TRUE((*snap)->WaitForUndo().ok());
+      auto st = (*snap)->OpenTable("t");
+      ASSERT_TRUE(st.ok());
+      auto contents = SnapshotContents(&*st);
+      ASSERT_EQ(contents.size(), 20u);
+      for (const auto& [k, v] : contents) EXPECT_EQ(v, "v0");
+      undone[variant] = (*snap)->rewinder()->records_undone();
+      if (variant == 1) EXPECT_GT((*snap)->rewinder()->fpi_jumps(), 0u);
+    }
+    db_.reset();
+  }
+  EXPECT_LT(undone[1], undone[0] / 2)
+      << "full page images should replace most individual undos";
+}
+
+TEST_F(SnapshotTest, MultipleSnapshotsAtDifferentTimes) {
+  MakeKvTable();
+  auto table = db_->OpenTable("t");
+  std::vector<WallClock> times;
+  for (int phase = 0; phase < 4; phase++) {
+    clock_->Advance(10 * kSecond);
+    PutRows(&*table, phase * 10, phase * 10 + 10, "p" + std::to_string(phase));
+    clock_->Advance(kSecond);
+    times.push_back(clock_->NowMicros());
+  }
+  for (int phase = 0; phase < 4; phase++) {
+    auto snap = AsOfSnapshot::Create(
+        db_.get(), "multi" + std::to_string(phase), times[phase]);
+    ASSERT_TRUE(snap.ok());
+    ASSERT_TRUE((*snap)->WaitForUndo().ok());
+    auto st = (*snap)->OpenTable("t");
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(*st->Count(), static_cast<uint64_t>((phase + 1) * 10));
+  }
+}
+
+// Randomized equivalence: snapshot contents at time T == recorded shadow
+// state at time T, for random histories and random T.
+class SnapshotEquivalenceTest : public SnapshotTest,
+                                public ::testing::WithParamInterface<int> {};
+
+TEST_P(SnapshotEquivalenceTest, MatchesRecordedHistory) {
+  Random rnd(GetParam());
+  MakeKvTable();
+  auto table = db_->OpenTable("t");
+
+  std::map<int, std::string> state;
+  std::vector<std::pair<WallClock, std::map<int, std::string>>> history;
+  for (int phase = 0; phase < 15; phase++) {
+    clock_->Advance(kSecond + rnd.Uniform(5 * kSecond));
+    Transaction* txn = db_->Begin();
+    int ops = 5 + static_cast<int>(rnd.Uniform(30));
+    for (int i = 0; i < ops; i++) {
+      int key = static_cast<int>(rnd.Uniform(150));
+      int action = static_cast<int>(rnd.Uniform(3));
+      if (action == 0 || !state.count(key)) {
+        if (state.count(key)) continue;
+        std::string val = rnd.AlphaString(1, 100);
+        ASSERT_TRUE(table->Insert(txn, {key, val}).ok());
+        state[key] = val;
+      } else if (action == 1) {
+        std::string val = rnd.AlphaString(1, 100);
+        ASSERT_TRUE(table->Update(txn, {key, val}).ok());
+        state[key] = val;
+      } else {
+        ASSERT_TRUE(table->Delete(txn, Row{key}).ok());
+        state.erase(key);
+      }
+    }
+    ASSERT_TRUE(db_->Commit(txn).ok());
+    clock_->Advance(1);  // place the observation just after the commit
+    history.push_back({clock_->NowMicros(), state});
+    if (rnd.Percent(25)) ASSERT_TRUE(db_->Checkpoint().ok());
+  }
+
+  // Probe a few random historical points plus the oldest and newest.
+  std::vector<size_t> probes = {0, history.size() - 1};
+  for (int i = 0; i < 4; i++) probes.push_back(rnd.Uniform(history.size()));
+  int n = 0;
+  for (size_t p : probes) {
+    auto snap = AsOfSnapshot::Create(db_.get(), "eq" + std::to_string(n++),
+                                     history[p].first);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    ASSERT_TRUE((*snap)->WaitForUndo().ok());
+    auto st = (*snap)->OpenTable("t");
+    ASSERT_TRUE(st.ok());
+    auto contents = SnapshotContents(&*st);
+    EXPECT_EQ(contents, history[p].second) << "probe at phase " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotEquivalenceTest,
+                         ::testing::Values(7, 21, 99));
+
+}  // namespace
+}  // namespace rewinddb

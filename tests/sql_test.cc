@@ -1,0 +1,209 @@
+// Tests for the SQL shim: parser and session execution.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "engine/database.h"
+#include "engine/table.h"
+#include "sql/parser.h"
+#include "sql/session.h"
+
+namespace rewinddb {
+namespace {
+
+constexpr uint64_t kSecond = 1'000'000;
+
+TEST(SqlParserTest, CreateSnapshotWithTimestamp) {
+  auto cmd = ParseSql(
+      "CREATE DATABASE SampleDBAsOfSnap AS SNAPSHOT OF SampleDB "
+      "AS OF '2012-03-22 17:26:25.473'");
+  ASSERT_TRUE(cmd.ok()) << cmd.status().ToString();
+  EXPECT_EQ(cmd->kind, SqlCommand::Kind::kCreateSnapshot);
+  EXPECT_EQ(cmd->name, "SampleDBAsOfSnap");
+  EXPECT_EQ(cmd->source, "SampleDB");
+  // 2012-03-22 17:26:25.473 UTC.
+  auto expected = ParseTimestamp("2012-03-22 17:26:25.473");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(cmd->as_of, *expected);
+  EXPECT_EQ(*expected % 1'000'000, 473'000u);
+}
+
+TEST(SqlParserTest, CreateSnapshotWithMicrosecondLiteral) {
+  auto cmd = ParseSql("create database s1 as snapshot of db as of 123456789");
+  ASSERT_TRUE(cmd.ok()) << cmd.status().ToString();
+  EXPECT_EQ(cmd->as_of, 123456789u);
+  EXPECT_EQ(cmd->name, "s1");
+}
+
+TEST(SqlParserTest, AlterUndoIntervalUnits) {
+  auto hours =
+      ParseSql("ALTER DATABASE SampleDB SET UNDO_INTERVAL = 24 HOURS");
+  ASSERT_TRUE(hours.ok()) << hours.status().ToString();
+  EXPECT_EQ(hours->kind, SqlCommand::Kind::kAlterUndoInterval);
+  EXPECT_EQ(hours->undo_interval_micros, 24ULL * 3600 * 1'000'000);
+
+  auto minutes = ParseSql("alter database d set undo_interval = 90 minutes");
+  ASSERT_TRUE(minutes.ok());
+  EXPECT_EQ(minutes->undo_interval_micros, 90ULL * 60 * 1'000'000);
+
+  auto seconds = ParseSql("ALTER DATABASE d SET UNDO_INTERVAL = 5 SECONDS");
+  ASSERT_TRUE(seconds.ok());
+  EXPECT_EQ(seconds->undo_interval_micros, 5ULL * 1'000'000);
+}
+
+TEST(SqlParserTest, DropStatements) {
+  auto snap = ParseSql("DROP DATABASE snap1");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->kind, SqlCommand::Kind::kDropDatabase);
+  EXPECT_EQ(snap->name, "snap1");
+
+  auto table = ParseSql("DROP TABLE orders");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->kind, SqlCommand::Kind::kDropTable);
+  EXPECT_EQ(table->name, "orders");
+}
+
+TEST(SqlParserTest, CreateTableReordersKeyPrefix) {
+  auto cmd = ParseSql(
+      "CREATE TABLE orders (note TEXT, o_id INT, total DOUBLE, "
+      "w_id INT, PRIMARY KEY (w_id, o_id))");
+  ASSERT_TRUE(cmd.ok()) << cmd.status().ToString();
+  const Schema& s = cmd->schema;
+  ASSERT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.num_key_columns(), 2u);
+  EXPECT_EQ(s.columns()[0].name, "w_id");
+  EXPECT_EQ(s.columns()[1].name, "o_id");
+  EXPECT_EQ(s.columns()[0].type, ColumnType::kInt32);
+  // Non-key columns follow in declaration order.
+  EXPECT_EQ(s.columns()[2].name, "note");
+  EXPECT_EQ(s.columns()[3].name, "total");
+}
+
+TEST(SqlParserTest, VarcharLengthIgnored) {
+  auto cmd = ParseSql(
+      "CREATE TABLE t (id INT, name VARCHAR(255), PRIMARY KEY (id))");
+  ASSERT_TRUE(cmd.ok()) << cmd.status().ToString();
+  EXPECT_EQ(cmd->schema.columns()[1].type, ColumnType::kString);
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_TRUE(ParseSql("SELECT 1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("CREATE VIEW v").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("CREATE DATABASE s AS SNAPSHOT OF").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("CREATE TABLE t (id INT)").status()
+                  .IsInvalidArgument());  // no primary key
+  EXPECT_TRUE(
+      ParseSql("ALTER DATABASE d SET UNDO_INTERVAL = 5 FORTNIGHTS").status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("CREATE DATABASE s AS SNAPSHOT OF d AS OF 'nope'")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("DROP TABLE 'unterminated").status()
+                  .IsInvalidArgument());
+}
+
+TEST(SqlParserTest, TimestampRoundTrip) {
+  auto t = ParseTimestamp("2012-03-22 17:26:25.473000");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(FormatTimestamp(*t), "2012-03-22 17:26:25.473000");
+  auto no_frac = ParseTimestamp("2026-06-10 00:00:00");
+  ASSERT_TRUE(no_frac.ok());
+  EXPECT_EQ(*no_frac % 1'000'000, 0u);
+}
+
+class SqlSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "rewinddb_sql" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name())
+               .string();
+    std::filesystem::remove_all(dir_);
+    clock_ = std::make_unique<SimClock>(10 * kSecond);
+    DatabaseOptions opts;
+    opts.clock = clock_.get();
+    auto db = Database::Create(dir_, opts);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    session_ = std::make_unique<SqlSession>(db_.get());
+  }
+  void TearDown() override {
+    session_.reset();
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<SimClock> clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<SqlSession> session_;
+};
+
+TEST_F(SqlSessionTest, EndToEndSnapshotWorkflow) {
+  ASSERT_TRUE(session_
+                  ->Execute("CREATE TABLE accounts (id INT, balance DOUBLE, "
+                            "PRIMARY KEY (id))")
+                  .ok());
+  auto table = db_->OpenTable("accounts");
+  ASSERT_TRUE(table.ok());
+  clock_->Advance(10 * kSecond);
+  Transaction* txn = db_->Begin();
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(table->Insert(txn, {i, 100.0 * i}).ok());
+  }
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  clock_->Advance(kSecond);
+  WallClock before = clock_->NowMicros();
+  clock_->Advance(10 * kSecond);
+
+  Transaction* oops = db_->Begin();
+  ASSERT_TRUE(db_->DropTable(oops, "accounts").ok());
+  ASSERT_TRUE(db_->Commit(oops).ok());
+
+  auto msg = session_->Execute(
+      "CREATE DATABASE recovery AS SNAPSHOT OF primary AS OF " +
+      std::to_string(before));
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+  auto snap = session_->GetSnapshot("recovery");
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE((*snap)->WaitForUndo().ok());
+  auto old_table = (*snap)->OpenTable("accounts");
+  ASSERT_TRUE(old_table.ok());
+  EXPECT_EQ(*old_table->Count(), 10u);
+
+  ASSERT_TRUE(session_->Execute("DROP DATABASE recovery").ok());
+  EXPECT_TRUE(session_->GetSnapshot("recovery").status().IsNotFound());
+}
+
+TEST_F(SqlSessionTest, AlterUndoIntervalApplies) {
+  ASSERT_TRUE(
+      session_->Execute("ALTER DATABASE primary SET UNDO_INTERVAL = 2 HOURS")
+          .ok());
+  EXPECT_EQ(db_->undo_interval_micros(), 2ULL * 3600 * 1'000'000);
+}
+
+TEST_F(SqlSessionTest, DuplicateSnapshotNameRejected) {
+  clock_->Advance(kSecond);
+  WallClock t = clock_->NowMicros();
+  clock_->Advance(kSecond);
+  ASSERT_TRUE(session_
+                  ->Execute("CREATE DATABASE s AS SNAPSHOT OF p AS OF " +
+                            std::to_string(t))
+                  .ok());
+  EXPECT_TRUE(session_
+                  ->Execute("CREATE DATABASE s AS SNAPSHOT OF p AS OF " +
+                            std::to_string(t))
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(SqlSessionTest, DropTableViaSql) {
+  ASSERT_TRUE(
+      session_->Execute("CREATE TABLE temp (id INT, PRIMARY KEY (id))").ok());
+  ASSERT_TRUE(db_->OpenTable("temp").ok());
+  ASSERT_TRUE(session_->Execute("DROP TABLE temp").ok());
+  EXPECT_TRUE(db_->OpenTable("temp").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace rewinddb

@@ -1,0 +1,183 @@
+// TPC-C workload tests: load, per-transaction behaviour, consistency
+// invariants under the multi-threaded driver, and the as-of stock-level
+// query matching history.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "snapshot/asof_snapshot.h"
+#include "tpcc/tpcc.h"
+
+namespace rewinddb {
+namespace {
+
+constexpr uint64_t kSecond = 1'000'000;
+
+class TpccTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "rewinddb_tpcc" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name())
+               .string();
+    std::filesystem::remove_all(dir_);
+    DatabaseOptions opts;
+    opts.buffer_pool_pages = 4096;
+    opts.lock_timeout_micros = 2'000'000;
+    auto db = Database::Create(dir_, opts);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    config_.warehouses = 2;
+    config_.customers_per_district = 20;
+    config_.items = 100;
+    config_.initial_orders_per_district = 5;
+    auto tpcc = TpccDatabase::CreateAndLoad(db_.get(), config_);
+    ASSERT_TRUE(tpcc.ok()) << tpcc.status().ToString();
+    tpcc_ = std::move(*tpcc);
+  }
+  void TearDown() override {
+    tpcc_.reset();
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+  TpccConfig config_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TpccDatabase> tpcc_;
+};
+
+TEST_F(TpccTest, LoadPopulatesAllTables) {
+  auto count = [&](const char* name) -> uint64_t {
+    auto t = db_->OpenTable(name);
+    EXPECT_TRUE(t.ok()) << name;
+    auto c = t->Count();
+    EXPECT_TRUE(c.ok());
+    return *c;
+  };
+  EXPECT_EQ(count("warehouse"), 2u);
+  EXPECT_EQ(count("district"), 20u);
+  EXPECT_EQ(count("customer"), 2u * 10 * 20);
+  EXPECT_EQ(count("item"), 100u);
+  EXPECT_EQ(count("stock"), 200u);
+  EXPECT_EQ(count("orders"), 2u * 10 * 5);
+  EXPECT_GT(count("order_line"), 2u * 10 * 5 * 4);
+}
+
+TEST_F(TpccTest, ConsistentAfterLoad) {
+  EXPECT_TRUE(tpcc_->CheckConsistency().ok());
+}
+
+TEST_F(TpccTest, NewOrderAdvancesDistrictAndInsertsLines) {
+  Random rnd(7);
+  auto district = db_->OpenTable("district");
+  auto before = district->Get(nullptr, {1, 1});
+  int attempts = 0;
+  Status s;
+  do {
+    s = tpcc_->NewOrder(&rnd);
+  } while (s.IsAborted() && ++attempts < 50);  // skip intentional rollbacks
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(tpcc_->CheckConsistency().ok());
+}
+
+TEST_F(TpccTest, PaymentUpdatesBalancesConsistently) {
+  Random rnd(8);
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(tpcc_->Payment(&rnd).ok());
+  }
+  EXPECT_TRUE(tpcc_->CheckConsistency().ok());
+  auto history = db_->OpenTable("history");
+  EXPECT_EQ(*history->Count(), 10u);
+}
+
+TEST_F(TpccTest, OrderStatusAndDeliveryRun) {
+  Random rnd(9);
+  ASSERT_TRUE(tpcc_->OrderStatus(&rnd).ok());
+  // Seed undelivered orders via new-order, then deliver.
+  int committed = 0;
+  for (int i = 0; i < 20 && committed < 5; i++) {
+    if (tpcc_->NewOrder(&rnd).ok()) committed++;
+  }
+  ASSERT_GT(committed, 0);
+  ASSERT_TRUE(tpcc_->Delivery(&rnd).ok());
+  EXPECT_TRUE(tpcc_->CheckConsistency().ok());
+}
+
+TEST_F(TpccTest, StockLevelCountsUnderThreshold) {
+  auto low_all = tpcc_->StockLevel(1, 1, 1000);  // everything qualifies
+  ASSERT_TRUE(low_all.ok()) << low_all.status().ToString();
+  auto low_none = tpcc_->StockLevel(1, 1, 0);  // nothing qualifies
+  ASSERT_TRUE(low_none.ok());
+  EXPECT_GT(*low_all, 0);
+  EXPECT_EQ(*low_none, 0);
+  EXPECT_GE(*low_all, *low_none);
+}
+
+TEST_F(TpccTest, DriverRunsMixAndStaysConsistent) {
+  TpccDriver::RunStats stats =
+      TpccDriver::Run(tpcc_.get(), /*threads=*/2,
+                      /*duration_micros=*/700'000);
+  EXPECT_GT(stats.new_orders + stats.payments, 10u)
+      << "driver should make progress";
+  EXPECT_GT(stats.tpmc, 0.0);
+  EXPECT_TRUE(tpcc_->CheckConsistency().ok());
+}
+
+TEST_F(TpccTest, AttachReusesLoadedData) {
+  auto again = TpccDatabase::Attach(db_.get(), config_);
+  ASSERT_TRUE(again.ok());
+  auto r = (*again)->StockLevel(1, 1, 1000);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(TpccAsOfTest, StockLevelAsOfMatchesHistoricalValue) {
+  auto dir = (std::filesystem::temp_directory_path() / "rewinddb_tpcc" /
+              "asof_stock")
+                 .string();
+  std::filesystem::remove_all(dir);
+  SimClock clock(10 * kSecond);
+  DatabaseOptions opts;
+  opts.clock = &clock;
+  opts.buffer_pool_pages = 4096;
+  auto db = Database::Create(dir, opts);
+  ASSERT_TRUE(db.ok());
+  TpccConfig config;
+  config.warehouses = 1;
+  config.customers_per_district = 20;
+  config.items = 100;
+  auto tpcc = TpccDatabase::CreateAndLoad(db->get(), config);
+  ASSERT_TRUE(tpcc.ok());
+
+  Random rnd(11);
+  // Some activity, then record the historical truth.
+  for (int i = 0; i < 20; i++) {
+    Status s = (*tpcc)->NewOrder(&rnd);
+    EXPECT_TRUE(s.ok() || s.IsAborted());
+  }
+  clock.Advance(kSecond);
+  auto truth = (*tpcc)->StockLevel(1, 1, 60);
+  ASSERT_TRUE(truth.ok());
+  clock.Advance(1);
+  WallClock t = clock.NowMicros();
+  clock.Advance(10 * kSecond);
+  // Heavy later activity that the snapshot must not see.
+  for (int i = 0; i < 60; i++) {
+    Status s = (*tpcc)->NewOrder(&rnd);
+    EXPECT_TRUE(s.ok() || s.IsAborted());
+  }
+
+  auto snap = AsOfSnapshot::Create(db->get(), "stock_asof", t);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  ASSERT_TRUE((*snap)->WaitForUndo().ok());
+  auto as_of = TpccDatabase::StockLevelAsOf(snap->get(), 1, 1, 60);
+  ASSERT_TRUE(as_of.ok()) << as_of.status().ToString();
+  EXPECT_EQ(*as_of, *truth);
+
+  snap->reset();
+  tpcc->reset();
+  db->reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rewinddb
