@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "api/read_view.h"
 #include "backup/backup_manager.h"
 #include "common/random.h"
 #include "engine/database.h"
@@ -188,8 +189,9 @@ inline Result<AsOfCost> MeasureAsOf(History* h, int minutes_back,
   uint64_t miss0 = h->db->stats()->log_read_misses.load();
   uint64_t undone0 = snap->rewinder()->records_undone();
   uint64_t jumps0 = snap->rewinder()->fpi_jumps();
+  std::unique_ptr<ReadView> view = WrapSnapshot(snap.get());
   REWIND_ASSIGN_OR_RETURN(out.result,
-                          TpccDatabase::StockLevelAsOf(snap.get(), 1, 1, 60));
+                          TpccDatabase::StockLevelOn(view.get(), 1, 1, 60));
   WallClock t2 = h->clock->NowMicros();
 
   out.create_seconds = static_cast<double>(t1 - t0) / kSecond;

@@ -70,7 +70,8 @@ int main() {
           std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
               .count());
       auto q0 = std::chrono::steady_clock::now();
-      auto low = TpccDatabase::StockLevelAsOf(snap->get(), 1, 1, 60);
+      auto view = WrapSnapshot(snap->get());
+      auto low = TpccDatabase::StockLevelOn(view.get(), 1, 1, 60);
       auto q1 = std::chrono::steady_clock::now();
       if (low.ok()) {
         asof_queries_ok++;

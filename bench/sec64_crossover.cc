@@ -58,8 +58,9 @@ int main() {
     if (!u.ok()) return 1;
     uint64_t pages0 = (*snap)->rewinder()->pages_rewound();
     uint64_t undone0 = (*snap)->rewinder()->records_undone();
+    auto view = WrapSnapshot(snap->get());
     for (int d = 1; d <= k; d++) {
-      auto low = TpccDatabase::StockLevelAsOf(snap->get(), 1, d, 60);
+      auto low = TpccDatabase::StockLevelOn(view.get(), 1, d, 60);
       if (!low.ok()) {
         printf("as-of failed: %s\n", low.status().ToString().c_str());
         return 1;
@@ -68,12 +69,12 @@ int main() {
     // k == kDistricts additionally sweeps every table (the "large
     // amount of data" end of the paper's spectrum).
     if (k >= kDistricts) {
-      auto tables = (*snap)->ListTables();
+      auto tables = view->ListTables();
       if (tables.ok()) {
         for (const TableInfo& t : *tables) {
-          auto st = (*snap)->OpenTable(t.name);
+          auto st = view->OpenTable(t.name);
           if (st.ok()) {
-            auto c = st->Count();
+            auto c = (*st)->Count();
             (void)c;
           }
         }

@@ -4,15 +4,12 @@
 // error without losing changes made to data unaffected by the error."
 //
 // Backup-restore cannot do this without manual diffing; with an as-of
-// snapshot we reconcile exactly the damaged rows and keep everything
-// else.
+// ReadView we reconcile exactly the damaged rows and keep everything
+// else. Everything below runs through the api/ surface.
 #include <cstdio>
 #include <filesystem>
-#include <set>
 
-#include "engine/database.h"
-#include "engine/table.h"
-#include "snapshot/asof_snapshot.h"
+#include "api/connection.h"
 
 using namespace rewinddb;
 
@@ -32,25 +29,24 @@ int main() {
   SimClock clock(1'000'000);
   DatabaseOptions opts;
   opts.clock = &clock;
-  auto db = Database::Create(dir, opts);
-  if (!db.ok()) return 1;
+  auto conn = Connection::Create(dir, opts);
+  if (!conn.ok()) return 1;
 
   Schema payroll({{"emp_id", ColumnType::kInt32},
                   {"name", ColumnType::kString},
                   {"salary", ColumnType::kDouble}},
                  1);
-  Transaction* ddl = (*db)->Begin();
-  CHECK_OK((*db)->CreateTable(ddl, "payroll", payroll));
-  CHECK_OK((*db)->Commit(ddl));
-  auto table = (*db)->OpenTable("payroll");
-  CHECK_OK(table.status());
+  CHECK_OK((*conn)->CreateTable("payroll", payroll));
 
-  Transaction* load = (*db)->Begin();
-  for (int i = 1; i <= 200; i++) {
-    CHECK_OK(table->Insert(
-        load, {i, "employee-" + std::to_string(i), 50'000.0 + 100 * i}));
+  {
+    Txn load = (*conn)->Begin();
+    for (int i = 1; i <= 200; i++) {
+      CHECK_OK((*conn)->Insert(
+          load, "payroll",
+          {i, "employee-" + std::to_string(i), 50'000.0 + 100 * i}));
+    }
+    CHECK_OK(load.Commit());
   }
-  CHECK_OK((*db)->Commit(load));
   printf("payroll loaded: 200 employees\n");
 
   clock.Advance(60'000'000);
@@ -58,45 +54,55 @@ int main() {
   clock.Advance(60'000'000);
 
   // The buggy batch job: zeroes the salary of employees 50..99.
-  Transaction* bug = (*db)->Begin();
-  for (int i = 50; i < 100; i++) {
-    CHECK_OK(table->Update(bug, {i, "employee-" + std::to_string(i), 0.0}));
+  {
+    Txn bug = (*conn)->Begin();
+    for (int i = 50; i < 100; i++) {
+      CHECK_OK((*conn)->Update(bug, "payroll",
+                               {i, "employee-" + std::to_string(i), 0.0}));
+    }
+    CHECK_OK(bug.Commit());
   }
-  CHECK_OK((*db)->Commit(bug));
   printf("buggy job zeroed salaries of employees 50..99\n");
 
   // Meanwhile, legitimate changes happen elsewhere (raises for 1..10).
   clock.Advance(60'000'000);
-  Transaction* raises = (*db)->Begin();
-  for (int i = 1; i <= 10; i++) {
-    CHECK_OK(table->Update(
-        raises, {i, "employee-" + std::to_string(i), 90'000.0}));
+  {
+    Txn raises = (*conn)->Begin();
+    for (int i = 1; i <= 10; i++) {
+      CHECK_OK((*conn)->Update(
+          raises, "payroll", {i, "employee-" + std::to_string(i), 90'000.0}));
+    }
+    CHECK_OK(raises.Commit());
   }
-  CHECK_OK((*db)->Commit(raises));
   printf("legitimate raises applied to employees 1..10 AFTER the bug\n");
 
-  // Recovery: snapshot before the bug, restore only the damaged rows.
-  auto snap = AsOfSnapshot::Create(db->get(), "payroll_fix", before_bug);
-  CHECK_OK(snap.status());
-  CHECK_OK((*snap)->WaitForUndo());
-  auto old_table = (*snap)->OpenTable("payroll");
+  // Recovery: as-of view before the bug, restore only the damaged rows.
+  auto past = (*conn)->AsOf(before_bug);
+  CHECK_OK(past.status());
+  CHECK_OK((*past)->WaitReady());
+  auto old_table = (*past)->OpenTable("payroll");
   CHECK_OK(old_table.status());
 
-  Transaction* fix = (*db)->Begin();
-  int repaired = 0;
-  for (int i = 50; i < 100; i++) {
-    auto old_row = old_table->Get({i});
-    CHECK_OK(old_row.status());
-    CHECK_OK(table->Update(fix, *old_row));
-    repaired++;
+  {
+    Txn fix = (*conn)->Begin();
+    int repaired = 0;
+    for (int i = 50; i < 100; i++) {
+      auto old_row = (*old_table)->Get({i});
+      CHECK_OK(old_row.status());
+      CHECK_OK((*conn)->Update(fix, "payroll", *old_row));
+      repaired++;
+    }
+    CHECK_OK(fix.Commit());
+    printf("repaired %d damaged rows from the as-of view\n", repaired);
   }
-  CHECK_OK((*db)->Commit(fix));
-  printf("repaired %d damaged rows from the snapshot\n", repaired);
 
   // Verify: damaged rows restored, later legitimate changes intact.
-  auto damaged = table->Get(nullptr, {75});
+  auto live = (*conn)->Live();
+  auto table = live->OpenTable("payroll");
+  CHECK_OK(table.status());
+  auto damaged = (*table)->Get({75});
   CHECK_OK(damaged.status());
-  auto raised = table->Get(nullptr, {5});
+  auto raised = (*table)->Get({5});
   CHECK_OK(raised.status());
   printf("employee 75 salary: %.0f (restored; was 0)\n",
          (*damaged)[2].AsDouble());

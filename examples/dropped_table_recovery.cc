@@ -9,11 +9,13 @@
 //
 // The iteration is cheap because only the prior versions of METADATA
 // pages are generated for the probe -- independent of database size.
+// This example drives the probe loop through the SQL surface
+// (SqlSession is a thin parser shim over Connection) and reconciles
+// through the api/ surface.
 #include <cstdio>
 #include <filesystem>
 
-#include "engine/database.h"
-#include "engine/table.h"
+#include "api/connection.h"
 #include "sql/session.h"
 
 using namespace rewinddb;
@@ -34,23 +36,21 @@ int main() {
   SimClock clock(1'000'000);
   DatabaseOptions opts;
   opts.clock = &clock;
-  auto db = Database::Create(dir, opts);
-  if (!db.ok()) return 1;
-  SqlSession sql(db->get());
+  auto conn = Connection::Create(dir, opts);
+  if (!conn.ok()) return 1;
+  SqlSession sql(conn->get());
 
   // Build the "invoices" table and fill it.
   CHECK_OK(sql.Execute("CREATE TABLE invoices (id INT, customer TEXT, "
                        "amount DOUBLE, PRIMARY KEY (id))")
                .status());
   {
-    auto invoices = (*db)->OpenTable("invoices");
-    CHECK_OK(invoices.status());
-    Transaction* txn = (*db)->Begin();
+    Txn txn = (*conn)->Begin();
     for (int i = 1; i <= 1000; i++) {
-      CHECK_OK(invoices->Insert(
-          txn, {i, "cust" + std::to_string(i % 37), 9.99 * i}));
+      CHECK_OK((*conn)->Insert(
+          txn, "invoices", {i, "cust" + std::to_string(i % 37), 9.99 * i}));
     }
-    CHECK_OK((*db)->Commit(txn));
+    CHECK_OK(txn.Commit());
   }
   printf("invoices loaded: 1000 rows\n");
 
@@ -63,7 +63,7 @@ int main() {
   clock.Advance(35ULL * 60 * 1'000'000);  // +35 min of oblivious work
 
   // --- Step 1: probe backwards for a point where the table exists. ---
-  // Start too late (after the drop) and walk back in 15-minute hops,
+  // Start too late (after the drop) and walk back in 12-minute hops,
   // exactly as the paper describes; each probe only rewinds catalog
   // pages, so iterating is cheap.
   WallClock probe = clock.NowMicros() - 5ULL * 60 * 1'000'000;
@@ -104,26 +104,27 @@ int main() {
   CHECK_OK(old_table.status());
 
   // Schema comes from the snapshot's (rewound) catalog.
-  Transaction* ddl = (*db)->Begin();
-  CHECK_OK((*db)->CreateTable(ddl, "invoices", old_table->schema()));
-  CHECK_OK((*db)->Commit(ddl));
+  CHECK_OK((*conn)->CreateTable("invoices", (*old_table)->schema()));
 
-  auto new_table = (*db)->OpenTable("invoices");
+  {
+    Txn copy = (*conn)->Begin();
+    int rows = 0;
+    CHECK_OK((*old_table)
+                 ->Scan(std::nullopt, std::nullopt, [&](const Row& row) {
+                   if (!(*conn)->Insert(copy, "invoices", row).ok()) {
+                     return false;
+                   }
+                   rows++;
+                   return true;
+                 }));
+    CHECK_OK(copy.Commit());
+    printf("reconciled %d rows back into the live database\n", rows);
+  }
+
+  auto live = (*conn)->Live();
+  auto new_table = live->OpenTable("invoices");
   CHECK_OK(new_table.status());
-  Transaction* copy = (*db)->Begin();
-  int rows = 0;
-  CHECK_OK(old_table->Scan(std::nullopt, std::nullopt,
-                           [&](const Row& row) {
-                             if (!new_table->Insert(copy, row).ok()) {
-                               return false;
-                             }
-                             rows++;
-                             return true;
-                           }));
-  CHECK_OK((*db)->Commit(copy));
-  printf("reconciled %d rows back into the live database\n", rows);
-
-  auto sample = new_table->Get(nullptr, {500});
+  auto sample = (*new_table)->Get({500});
   CHECK_OK(sample.status());
   printf("invoice 500: customer=%s amount=%.2f\n",
          (*sample)[1].AsString().c_str(), (*sample)[2].AsDouble());

@@ -1,16 +1,18 @@
-// Quickstart: create a database, make a mistake, and query the past.
+// Quickstart: create a database, make a mistake, and query the past --
+// entirely through the unified api/ surface.
 //
 //   cmake --build build && ./build/examples/quickstart
 //
-// Uses a simulated clock so "minutes" pass instantly; swap in the real
-// clock (the default) for wall-time behaviour.
+// The tour: Connection is the one front door (DDL, DML under an RAII
+// Txn, retention); the past is just another ReadView, obtained with
+// Connection::AsOf -- the same Get/Scan/IndexScan/Count calls work on
+// the live view and the as-of view. Uses a simulated clock so "minutes"
+// pass instantly; swap in the real clock (the default) for wall-time
+// behaviour.
 #include <cstdio>
 #include <filesystem>
 
-#include "engine/database.h"
-#include "engine/table.h"
-#include "snapshot/asof_snapshot.h"
-#include "sql/session.h"
+#include "api/connection.h"
 
 using namespace rewinddb;
 
@@ -33,25 +35,26 @@ int main() {
   DatabaseOptions opts;
   opts.clock = &clock;
 
-  auto db = Database::Create(dir, opts);
-  if (!db.ok()) {
-    fprintf(stderr, "create: %s\n", db.status().ToString().c_str());
+  auto conn = Connection::Create(dir, opts);
+  if (!conn.ok()) {
+    fprintf(stderr, "create: %s\n", conn.status().ToString().c_str());
     return 1;
   }
-  SqlSession sql(db->get());
 
   // 1. Create a table and some data.
-  CHECK_OK(sql.Execute("CREATE TABLE accounts (id INT, owner TEXT, "
-                       "balance DOUBLE, PRIMARY KEY (id))")
-               .status());
-  auto accounts = (*db)->OpenTable("accounts");
-  CHECK_OK(accounts.status());
-  Transaction* txn = (*db)->Begin();
-  for (int i = 1; i <= 5; i++) {
-    CHECK_OK(accounts->Insert(
-        txn, {i, "customer-" + std::to_string(i), 100.0 * i}));
+  Schema accounts_schema({{"id", ColumnType::kInt32},
+                          {"owner", ColumnType::kString},
+                          {"balance", ColumnType::kDouble}},
+                         /*num_key_columns=*/1);
+  CHECK_OK((*conn)->CreateTable("accounts", accounts_schema));
+  {
+    Txn txn = (*conn)->Begin();
+    for (int i = 1; i <= 5; i++) {
+      CHECK_OK((*conn)->Insert(
+          txn, "accounts", {i, "customer-" + std::to_string(i), 100.0 * i}));
+    }
+    CHECK_OK(txn.Commit());
   }
-  CHECK_OK((*db)->Commit(txn));
   printf("loaded 5 accounts\n");
 
   clock.Advance(60'000'000);  // one minute passes
@@ -59,43 +62,45 @@ int main() {
   clock.Advance(60'000'000);  // another minute
 
   // 2. The mistake: an UPDATE without a WHERE clause.
-  txn = (*db)->Begin();
-  for (int i = 1; i <= 5; i++) {
-    CHECK_OK(accounts->Update(txn, {i, std::string("OOPS"), 0.0}));
+  {
+    Txn txn = (*conn)->Begin();
+    for (int i = 1; i <= 5; i++) {
+      CHECK_OK((*conn)->Update(txn, "accounts", {i, std::string("OOPS"), 0.0}));
+    }
+    CHECK_OK(txn.Commit());
   }
-  CHECK_OK((*db)->Commit(txn));
   printf("mistake committed: every balance zeroed\n");
 
-  // 3. Rewind: mount a snapshot as of one minute before the mistake.
-  auto msg = sql.Execute(
-      "CREATE DATABASE before_mistake AS SNAPSHOT OF quickstart AS OF " +
-      std::to_string(before_mistake));
-  CHECK_OK(msg.status());
-  printf("%s\n", msg->c_str());
-
-  auto snap = sql.GetSnapshot("before_mistake");
-  CHECK_OK(snap.status());
-  auto old_accounts = (*snap)->OpenTable("accounts");
+  // 3. Rewind: mount an as-of view one minute before the mistake. The
+  // past is just another ReadView.
+  auto past = (*conn)->AsOf(before_mistake);
+  CHECK_OK(past.status());
+  auto old_accounts = (*past)->OpenTable("accounts");
   CHECK_OK(old_accounts.status());
+  printf("mounted as-of view of %llu\n",
+         static_cast<unsigned long long>((*past)->as_of()));
 
   // 4. Reconcile: put the historical balances back.
-  txn = (*db)->Begin();
-  int restored = 0;
-  CHECK_OK(old_accounts->Scan(std::nullopt, std::nullopt,
-                              [&](const Row& row) {
-                                Status s = accounts->Update(txn, row);
-                                if (s.ok()) restored++;
-                                return s.ok();
-                              }));
-  CHECK_OK((*db)->Commit(txn));
-  printf("restored %d rows from the past\n", restored);
+  {
+    Txn txn = (*conn)->Begin();
+    int restored = 0;
+    CHECK_OK((*old_accounts)
+                 ->Scan(std::nullopt, std::nullopt, [&](const Row& row) {
+                   Status s = (*conn)->Update(txn, "accounts", row);
+                   if (s.ok()) restored++;
+                   return s.ok();
+                 }));
+    CHECK_OK(txn.Commit());
+    printf("restored %d rows from the past\n", restored);
+  }
 
-  auto check = accounts->Get(nullptr, {3});
+  auto live = (*conn)->Live();
+  auto accounts = live->OpenTable("accounts");
+  CHECK_OK(accounts.status());
+  auto check = (*accounts)->Get({3});
   CHECK_OK(check.status());
   printf("account 3 after recovery: owner=%s balance=%.2f\n",
          (*check)[1].AsString().c_str(), (*check)[2].AsDouble());
-
-  CHECK_OK(sql.Execute("DROP DATABASE before_mistake").status());
   printf("done\n");
   return 0;
 }

@@ -1,11 +1,12 @@
 // Point-in-time analytics over a running OLTP workload: run the TPC-C
 // mix, then ask "what did district stock look like N minutes ago?" at
-// several points -- each answered by an as-of snapshot whose pages are
-// materialized lazily from the current state plus the log.
+// several points -- each answered by Connection::AsOf, whose pages are
+// materialized lazily from the current state plus the log. The same
+// StockLevelOn query runs against the live view and every as-of view.
 #include <cstdio>
 #include <filesystem>
 
-#include "snapshot/asof_snapshot.h"
+#include "api/connection.h"
 #include "sql/session.h"
 #include "tpcc/tpcc.h"
 
@@ -18,12 +19,12 @@ int main() {
   DatabaseOptions opts;
   opts.clock = &clock;
   opts.fpi_period = 16;
-  auto db = Database::Create(dir, opts);
-  if (!db.ok()) {
-    fprintf(stderr, "create: %s\n", db.status().ToString().c_str());
+  auto conn = Connection::Create(dir, opts);
+  if (!conn.ok()) {
+    fprintf(stderr, "create: %s\n", conn.status().ToString().c_str());
     return 1;
   }
-  SqlSession sql(db->get());
+  SqlSession sql(conn->get());
   // The paper's retention knob, via its SQL surface.
   auto msg = sql.Execute("ALTER DATABASE tpcc SET UNDO_INTERVAL = 24 HOURS");
   if (!msg.ok()) return 1;
@@ -32,7 +33,7 @@ int main() {
   TpccConfig config;
   config.warehouses = 1;
   config.items = 200;
-  auto tpcc = TpccDatabase::CreateAndLoad(db->get(), config);
+  auto tpcc = TpccDatabase::CreateAndLoad((*conn)->engine(), config);
   if (!tpcc.ok()) {
     fprintf(stderr, "load: %s\n", tpcc.status().ToString().c_str());
     return 1;
@@ -53,7 +54,10 @@ int main() {
       }
       clock.Advance(2'000'000);
     }
-    auto low = (*tpcc)->StockLevel(1, 1, 60);
+    // The truth is recorded with the SAME query that later runs against
+    // the as-of views, just on the live view.
+    auto live = (*conn)->Live();
+    auto low = TpccDatabase::StockLevelOn(live.get(), 1, 1, 60);
     if (!low.ok()) return 1;
     clock.Advance(1);
     marks.push_back(clock.NowMicros());
@@ -61,26 +65,23 @@ int main() {
   }
   printf("generated 10 minutes of orders\n\n");
 
-  printf("%-14s %12s %12s %14s %10s\n", "minutes back", "live answer",
-         "as-of answer", "records undone", "undo IOs");
+  printf("%-14s %12s %12s %10s\n", "minutes back", "live answer",
+         "as-of answer", "undo IOs");
   for (int back : {1, 4, 8}) {
     size_t idx = marks.size() - static_cast<size_t>(back);
-    uint64_t miss0 = (*db)->stats()->log_read_misses.load();
-    auto snap = AsOfSnapshot::Create(db->get(),
-                                     "t" + std::to_string(back), marks[idx]);
-    if (!snap.ok()) {
-      fprintf(stderr, "snapshot: %s\n", snap.status().ToString().c_str());
+    uint64_t miss0 = (*conn)->engine()->stats()->log_read_misses.load();
+    auto past = (*conn)->AsOf(marks[idx]);
+    if (!past.ok()) {
+      fprintf(stderr, "as-of: %s\n", past.status().ToString().c_str());
       return 1;
     }
-    Status u = (*snap)->WaitForUndo();
+    Status u = (*past)->WaitReady();
     if (!u.ok()) return 1;
-    auto low = TpccDatabase::StockLevelAsOf(snap->get(), 1, 1, 60);
+    auto low = TpccDatabase::StockLevelOn(past->get(), 1, 1, 60);
     if (!low.ok()) return 1;
-    printf("%-14d %12d %12d %14llu %10llu   %s\n", back, truth[idx], *low,
+    printf("%-14d %12d %12d %10llu   %s\n", back, truth[idx], *low,
            static_cast<unsigned long long>(
-               (*snap)->rewinder()->records_undone()),
-           static_cast<unsigned long long>(
-               (*db)->stats()->log_read_misses.load() - miss0),
+               (*conn)->engine()->stats()->log_read_misses.load() - miss0),
            *low == truth[idx] ? "MATCH" : "MISMATCH!");
     if (*low != truth[idx]) return 1;
   }

@@ -1,0 +1,185 @@
+#include "api/read_view.h"
+
+#include "engine/database.h"
+#include "engine/table.h"
+#include "snapshot/asof_snapshot.h"
+
+namespace rewinddb {
+
+namespace {
+
+// ------------------------------ live ---------------------------------
+
+class LiveTableView : public TableView {
+ public:
+  LiveTableView(Table table, Transaction* txn)
+      : table_(std::move(table)), txn_(txn) {}
+
+  const Schema& schema() const override { return table_.schema(); }
+  const TableInfo& info() const override { return table_.info(); }
+  const std::vector<IndexInfo>& indexes() const override {
+    return table_.indexes();
+  }
+
+  Result<Row> Get(const Row& key_values) override {
+    return table_.Get(txn_, key_values);
+  }
+  Status Scan(const std::optional<Row>& lower, const std::optional<Row>& upper,
+              const RowCallback& cb) override {
+    return table_.Scan(txn_, lower, upper, cb);
+  }
+  Status IndexScan(const std::string& index_name, const Row& prefix_values,
+                   const RowCallback& cb) override {
+    return table_.IndexScan(txn_, index_name, prefix_values, cb);
+  }
+  Result<uint64_t> Count() override { return table_.Count(); }
+
+ private:
+  Table table_;
+  Transaction* txn_;
+};
+
+class LiveReadView : public ReadView {
+ public:
+  LiveReadView(Database* db, Transaction* txn) : db_(db), txn_(txn) {}
+
+  Result<std::unique_ptr<TableView>> OpenTable(
+      const std::string& name) override {
+    REWIND_ASSIGN_OR_RETURN(Table table, db_->OpenTable(name));
+    return std::unique_ptr<TableView>(
+        new LiveTableView(std::move(table), txn_));
+  }
+  Result<std::vector<TableInfo>> ListTables() override {
+    return db_->catalog()->ListTables();
+  }
+  bool is_snapshot() const override { return false; }
+
+ private:
+  Database* db_;
+  Transaction* txn_;
+};
+
+// ---------------------------- snapshot -------------------------------
+
+using api_internal::SnapshotState;
+
+Status SnapshotGone() {
+  return Status::Aborted("snapshot has been dropped");
+}
+
+class SnapshotTableView : public TableView {
+ public:
+  SnapshotTableView(std::shared_ptr<SnapshotState> state, SnapshotTable table)
+      : state_(std::move(state)), table_(std::move(table)) {}
+
+  // Descriptors were resolved at OpenTable time and stay valid after a
+  // drop; only page-touching operations need the snapshot alive.
+  const Schema& schema() const override { return table_.schema(); }
+  const TableInfo& info() const override { return table_.info(); }
+  const std::vector<IndexInfo>& indexes() const override {
+    return table_.indexes();
+  }
+
+  Result<Row> Get(const Row& key_values) override {
+    std::shared_lock<std::shared_mutex> l(state_->mu);
+    if (state_->snap == nullptr) return SnapshotGone();
+    return table_.Get(key_values);
+  }
+  Status Scan(const std::optional<Row>& lower, const std::optional<Row>& upper,
+              const RowCallback& cb) override {
+    std::shared_lock<std::shared_mutex> l(state_->mu);
+    if (state_->snap == nullptr) return SnapshotGone();
+    return table_.Scan(lower, upper, cb);
+  }
+  Status IndexScan(const std::string& index_name, const Row& prefix_values,
+                   const RowCallback& cb) override {
+    std::shared_lock<std::shared_mutex> l(state_->mu);
+    if (state_->snap == nullptr) return SnapshotGone();
+    return table_.IndexScan(index_name, prefix_values, cb);
+  }
+  Result<uint64_t> Count() override {
+    std::shared_lock<std::shared_mutex> l(state_->mu);
+    if (state_->snap == nullptr) return SnapshotGone();
+    return table_.Count();
+  }
+
+ private:
+  std::shared_ptr<SnapshotState> state_;
+  SnapshotTable table_;
+};
+
+class SnapshotReadView : public ReadView {
+ public:
+  explicit SnapshotReadView(std::shared_ptr<SnapshotState> state)
+      : state_(std::move(state)) {}
+
+  Result<std::unique_ptr<TableView>> OpenTable(
+      const std::string& name) override {
+    std::shared_lock<std::shared_mutex> l(state_->mu);
+    if (state_->snap == nullptr) return SnapshotGone();
+    REWIND_ASSIGN_OR_RETURN(SnapshotTable table,
+                            state_->snap->OpenTable(name));
+    return std::unique_ptr<TableView>(
+        new SnapshotTableView(state_, std::move(table)));
+  }
+  Result<std::vector<TableInfo>> ListTables() override {
+    std::shared_lock<std::shared_mutex> l(state_->mu);
+    if (state_->snap == nullptr) return SnapshotGone();
+    return state_->snap->ListTables();
+  }
+  bool is_snapshot() const override { return true; }
+  WallClock as_of() const override {
+    std::shared_lock<std::shared_mutex> l(state_->mu);
+    if (state_->snap == nullptr) return 0;
+    return state_->snap->creation_stats().boundary_time;
+  }
+  Status WaitReady() override {
+    std::shared_lock<std::shared_mutex> l(state_->mu);
+    if (state_->snap == nullptr) return SnapshotGone();
+    return state_->snap->WaitForUndo();
+  }
+
+ private:
+  std::shared_ptr<SnapshotState> state_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReadView> WrapLive(Database* db, Transaction* txn) {
+  return std::make_unique<LiveReadView>(db, txn);
+}
+
+std::unique_ptr<ReadView> WrapSnapshot(AsOfSnapshot* snap) {
+  auto state = std::make_shared<SnapshotState>();
+  state->snap = snap;
+  return std::make_unique<SnapshotReadView>(std::move(state));
+}
+
+namespace api_internal {
+
+SnapshotState::SnapshotState() = default;
+SnapshotState::~SnapshotState() = default;
+
+std::shared_ptr<SnapshotState> AdoptSnapshot(
+    std::unique_ptr<AsOfSnapshot> snap) {
+  auto state = std::make_shared<SnapshotState>();
+  state->snap = snap.get();
+  state->owned = std::move(snap);
+  return state;
+}
+
+std::shared_ptr<ReadView> ViewOf(std::shared_ptr<SnapshotState> state) {
+  return std::make_shared<SnapshotReadView>(std::move(state));
+}
+
+Status ReleaseSnapshot(SnapshotState* state) {
+  std::unique_lock<std::shared_mutex> l(state->mu);
+  state->snap = nullptr;
+  // ~AsOfSnapshot joins the background undo and deletes the side file.
+  state->owned.reset();
+  return Status::OK();
+}
+
+}  // namespace api_internal
+
+}  // namespace rewinddb

@@ -1,0 +1,54 @@
+#include "api/txn.h"
+
+#include "engine/database.h"
+
+namespace rewinddb {
+
+Txn::Txn(Database* db, Transaction* txn)
+    : db_(db), txn_(txn), id_(txn != nullptr ? txn->id : kInvalidTxnId) {}
+
+Txn::~Txn() {
+  if (txn_ != nullptr) {
+    Status s = db_->Abort(txn_);
+    (void)s;  // destructor: nowhere to report; locks are released anyway
+  }
+}
+
+Txn::Txn(Txn&& other) noexcept
+    : db_(other.db_), txn_(other.txn_), id_(other.id_) {
+  other.txn_ = nullptr;
+}
+
+Txn& Txn::operator=(Txn&& other) noexcept {
+  if (this != &other) {
+    if (txn_ != nullptr) {
+      Status s = db_->Abort(txn_);
+      (void)s;
+    }
+    db_ = other.db_;
+    txn_ = other.txn_;
+    id_ = other.id_;
+    other.txn_ = nullptr;
+  }
+  return *this;
+}
+
+Status Txn::Commit() {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  Transaction* t = txn_;
+  txn_ = nullptr;
+  return db_->Commit(t);
+}
+
+Status Txn::Abort() {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  Transaction* t = txn_;
+  txn_ = nullptr;
+  return db_->Abort(t);
+}
+
+}  // namespace rewinddb

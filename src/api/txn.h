@@ -1,0 +1,60 @@
+// RAII transaction handle: the public write-side unit of the API.
+//
+// A Txn is obtained from Connection::Begin(). It must be explicitly
+// Commit()ed; a Txn that goes out of scope while still active is
+// aborted, so an early return or an exception can never leak a
+// half-done transaction holding row locks.
+#ifndef REWINDDB_API_TXN_H_
+#define REWINDDB_API_TXN_H_
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rewinddb {
+
+class Database;
+struct Transaction;
+
+class Txn {
+ public:
+  /// Empty handle; active() is false.
+  Txn() = default;
+  /// Wraps a running engine transaction. Normally called by
+  /// Connection::Begin(), but available for engine-level interop.
+  Txn(Database* db, Transaction* txn);
+
+  /// Auto-abort: rolls the transaction back if still active.
+  ~Txn();
+
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+  Txn(Txn&& other) noexcept;
+  Txn& operator=(Txn&& other) noexcept;
+
+  /// Commit. The handle becomes inactive whatever the outcome.
+  Status Commit();
+
+  /// Explicit rollback (the destructor does this implicitly).
+  Status Abort();
+
+  bool active() const { return txn_ != nullptr; }
+
+  /// Engine transaction id; survives Commit() so the caller can later
+  /// hand it to Connection::Flashback().
+  TxnId id() const { return id_; }
+
+  /// Borrow the engine descriptor (nullptr once finished). For interop
+  /// with engine-level surfaces such as Table.
+  Transaction* raw() const { return txn_; }
+
+ private:
+  void Release();
+
+  Database* db_ = nullptr;
+  Transaction* txn_ = nullptr;
+  TxnId id_ = kInvalidTxnId;
+};
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_API_TXN_H_

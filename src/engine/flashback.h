@@ -28,6 +28,10 @@ struct FlashbackResult {
 /// atomic: on any conflict or error the compensating transaction is
 /// rolled back and the database is unchanged.
 ///
+/// DEPRECATED as an application surface: call Connection::Flashback
+/// (or the SQL statement FLASHBACK TRANSACTION <id>) instead; this free
+/// function remains the engine-level implementation underneath both.
+///
 /// Errors: NotFound if no trace of `victim` is in the retained log,
 /// InvalidArgument if `victim` did not commit (aborted or still
 /// active), Aborted on a write-write conflict with a later transaction.

@@ -22,7 +22,7 @@ Lsn PageOps::AppendChained(Transaction* txn, PageGuard& page,
   return lsn;
 }
 
-void PageOps::MaybeEmitFpi(Transaction* txn, PageGuard& page) {
+void PageOps::MaybeEmitFpi(Transaction* /*txn*/, PageGuard& page) {
   PageHeader* h = Header(page.mutable_data());
   h->mod_count++;
   if (fpi_period_ == 0 || h->mod_count < fpi_period_) return;

@@ -1,0 +1,95 @@
+// Shared read-path plumbing behind every table surface.
+//
+// The live Table and the snapshot's as-of table used to carry two
+// near-identical copies of the Get/Scan/IndexScan/Count loops, differing
+// only in how a row's visibility is decided: live transactional reads
+// S-lock rows (try-lock + yield during scans, so a scan never waits on a
+// lock while holding a latch), while as-of reads wait for the snapshot's
+// background undo to erase in-flight transactions' effects. This file
+// implements those loops once, parameterized by a RowGate that supplies
+// the buffer pool, the per-tree latches and the visibility decisions.
+#ifndef REWINDDB_ENGINE_READ_CORE_H_
+#define REWINDDB_ENGINE_READ_CORE_H_
+
+#include <functional>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace rewinddb {
+
+class BufferManager;
+
+/// Visibility and locking hooks distinguishing one read surface from
+/// another. Implementations must be callable from multiple threads.
+class RowGate {
+ public:
+  enum class Check { kVisible, kYield };
+
+  virtual ~RowGate() = default;
+
+  /// Buffer pool the table's trees resolve through (the primary's, or a
+  /// snapshot's side-file-backed pool).
+  virtual BufferManager* buffers() = 0;
+
+  /// Reader/writer latch for `tree`.
+  virtual std::shared_mutex* TreeLatch(TreeId tree) = 0;
+
+  /// Called before a point read of primary key `pk`: S-lock it (live
+  /// transactional read), wait until background undo made it visible
+  /// (snapshot), or do nothing (untracked live read).
+  virtual Status BeforePointRead(TreeId tree, const std::string& pk) = 0;
+
+  /// Cheap per-row pre-test: false means every row is visible and
+  /// CheckScanRow will not be called, sparing the scan the key
+  /// materialization (untracked live reads; snapshots once background
+  /// undo completed). May flip true->false mid-scan, never the other
+  /// way.
+  virtual bool ScanNeedsRowCheck() = 0;
+
+  /// Called under the tree latch for each row a scan is about to
+  /// deliver (only while ScanNeedsRowCheck() is true). kYield means:
+  /// release every latch, AwaitRow(key), then resume the scan at `key`
+  /// (inclusive -- the row has not been delivered yet).
+  virtual Result<Check> CheckScanRow(TreeId tree, const std::string& key) = 0;
+
+  /// Latch-free wait after a yield; returns once `key` may be re-read.
+  virtual Status AwaitRow(TreeId tree, const std::string& key) = 0;
+
+  /// True while rows may exist in the tree that this surface must not
+  /// count (snapshot background undo still running); forces Count() to
+  /// take the visibility-checked scan path instead of the raw tree
+  /// count.
+  virtual bool CountNeedsVisibilityScan() = 0;
+};
+
+/// The four read operations every table surface exposes, implemented
+/// once over a (descriptor, gate) pair.
+Result<Row> ReadCoreGet(RowGate* gate, const TableInfo& info,
+                        const std::vector<ColumnType>& types,
+                        const Row& key_values);
+
+Status ReadCoreScan(RowGate* gate, const TableInfo& info,
+                    const std::vector<ColumnType>& types,
+                    const std::optional<Row>& lower,
+                    const std::optional<Row>& upper,
+                    const std::function<bool(const Row&)>& cb);
+
+Status ReadCoreIndexScan(RowGate* gate, const TableInfo& info,
+                         const std::vector<IndexInfo>& indexes,
+                         const std::vector<ColumnType>& types,
+                         const std::string& index_name,
+                         const Row& prefix_values,
+                         const std::function<bool(const Row&)>& cb);
+
+Result<uint64_t> ReadCoreCount(RowGate* gate, const TableInfo& info,
+                               const std::vector<ColumnType>& types);
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_ENGINE_READ_CORE_H_

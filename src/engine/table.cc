@@ -4,8 +4,49 @@
 
 #include "btree/btree.h"
 #include "engine/database.h"
+#include "engine/read_core.h"
 
 namespace rewinddb {
+
+namespace {
+
+/// Live-read gate: rows are visible once their lock can be shared.
+/// With no transaction the gate is a pass-through (untracked read).
+class LiveRowGate : public RowGate {
+ public:
+  LiveRowGate(Database* db, Transaction* txn) : db_(db), txn_(txn) {}
+
+  BufferManager* buffers() override { return db_->buffers(); }
+  std::shared_mutex* TreeLatch(TreeId tree) override {
+    return db_->TreeLatch(tree);
+  }
+  Status BeforePointRead(TreeId tree, const std::string& pk) override {
+    if (txn_ == nullptr) return Status::OK();
+    return db_->locks()->Acquire(txn_->id, RowLockKey(tree, pk),
+                                 LockMode::kShared);
+  }
+  bool ScanNeedsRowCheck() override { return txn_ != nullptr; }
+  Result<Check> CheckScanRow(TreeId tree, const std::string& key) override {
+    if (txn_ == nullptr) return Check::kVisible;
+    Status s = db_->locks()->TryAcquire(txn_->id, RowLockKey(tree, key),
+                                        LockMode::kShared);
+    if (s.IsBusy()) return Check::kYield;
+    if (!s.ok()) return s;
+    return Check::kVisible;
+  }
+  Status AwaitRow(TreeId tree, const std::string& key) override {
+    if (txn_ == nullptr) return Status::OK();
+    return db_->locks()->Acquire(txn_->id, RowLockKey(tree, key),
+                                 LockMode::kShared);
+  }
+  bool CountNeedsVisibilityScan() override { return false; }
+
+ private:
+  Database* db_;
+  Transaction* txn_;
+};
+
+}  // namespace
 
 Table::Table(Database* db, TableInfo info, std::vector<IndexInfo> indexes)
     : db_(db),
@@ -119,128 +160,28 @@ Status Table::Delete(Transaction* txn, const Row& key_values) {
 }
 
 Result<Row> Table::Get(Transaction* txn, const Row& key_values) {
-  std::string pk = EncodeKey(key_values, info_.schema.num_key_columns());
-  if (txn != nullptr) {
-    REWIND_RETURN_IF_ERROR(db_->locks()->Acquire(
-        txn->id, RowLockKey(info_.root, pk), LockMode::kShared));
-  }
-  BTree tree(info_.root);
-  std::shared_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
-  REWIND_ASSIGN_OR_RETURN(std::string value, tree.Get(db_->buffers(), pk));
-  return DecodeRow(types_, value);
+  LiveRowGate gate(db_, txn);
+  return ReadCoreGet(&gate, info_, types_, key_values);
 }
 
 Status Table::Scan(Transaction* txn, const std::optional<Row>& lower,
                    const std::optional<Row>& upper,
                    const std::function<bool(const Row&)>& cb) {
-  std::string lo =
-      lower ? EncodeKey(*lower, lower->size()) : std::string();
-  std::string hi = upper ? EncodeKey(*upper, upper->size()) : std::string();
-
-  BTree tree(info_.root);
-  std::string cursor = lo;
-  bool done = false;
-  Status inner;
-  while (!done) {
-    ScanOutcome out;
-    {
-      std::shared_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
-      auto r = tree.Scan(
-          db_->buffers(), cursor, hi, [&](Slice key, Slice value) {
-            if (txn != nullptr) {
-              Status ls = db_->locks()->TryAcquire(
-                  txn->id, RowLockKey(info_.root, key.ToString()),
-                  LockMode::kShared);
-              if (ls.IsBusy()) return ScanAction::kYield;
-              if (!ls.ok()) {
-                inner = ls;
-                return ScanAction::kStop;
-              }
-            }
-            auto row = DecodeRow(types_, value);
-            if (!row.ok()) {
-              inner = row.status();
-              return ScanAction::kStop;
-            }
-            if (!cb(*row)) {
-              done = true;
-              return ScanAction::kStop;
-            }
-            return ScanAction::kContinue;
-          });
-      if (!r.ok()) return r.status();
-      out = std::move(*r);
-    }
-    REWIND_RETURN_IF_ERROR(inner);
-    if (!out.yielded) break;
-    // Wait for the blocking writer with no latches held, then resume at
-    // the yielded key (inclusive: the row has not been delivered yet).
-    REWIND_RETURN_IF_ERROR(db_->locks()->Acquire(
-        txn->id, RowLockKey(info_.root, out.yield_key), LockMode::kShared));
-    cursor = out.yield_key;
-  }
-  return Status::OK();
+  LiveRowGate gate(db_, txn);
+  return ReadCoreScan(&gate, info_, types_, lower, upper, cb);
 }
 
 Status Table::IndexScan(Transaction* txn, const std::string& index_name,
                         const Row& prefix_values,
                         const std::function<bool(const Row&)>& cb) {
-  const IndexInfo* idx = nullptr;
-  for (const IndexInfo& i : indexes_) {
-    if (i.name == index_name) {
-      idx = &i;
-      break;
-    }
-  }
-  if (idx == nullptr) {
-    return Status::NotFound("index '" + index_name + "' not on this table");
-  }
-  if (prefix_values.size() > idx->key_columns.size()) {
-    return Status::InvalidArgument("prefix longer than index key");
-  }
-  std::string prefix;
-  for (const Value& v : prefix_values) EncodeKeyValue(v, &prefix);
-
-  BTree itree(idx->root);
-  std::vector<std::string> pks;
-  {
-    std::shared_lock<std::shared_mutex> tl(*db_->TreeLatch(idx->root));
-    REWIND_ASSIGN_OR_RETURN(
-        ScanOutcome out,
-        itree.Scan(db_->buffers(), prefix, Slice(), [&](Slice key,
-                                                        Slice value) {
-          if (!key.starts_with(prefix)) return ScanAction::kStop;
-          pks.push_back(value.ToString());
-          return ScanAction::kContinue;
-        }));
-    (void)out;
-  }
-  // Fetch base rows outside the index latch; row locks make each fetch
-  // safe, and a row deleted in between simply no longer qualifies.
-  BTree btree(info_.root);
-  for (const std::string& pk : pks) {
-    if (txn != nullptr) {
-      REWIND_RETURN_IF_ERROR(db_->locks()->Acquire(
-          txn->id, RowLockKey(info_.root, pk), LockMode::kShared));
-    }
-    std::string value;
-    {
-      std::shared_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
-      auto v = btree.Get(db_->buffers(), pk);
-      if (v.status().IsNotFound()) continue;
-      if (!v.ok()) return v.status();
-      value = std::move(*v);
-    }
-    REWIND_ASSIGN_OR_RETURN(Row row, DecodeRow(types_, value));
-    if (!cb(row)) break;
-  }
-  return Status::OK();
+  LiveRowGate gate(db_, txn);
+  return ReadCoreIndexScan(&gate, info_, indexes_, types_, index_name,
+                           prefix_values, cb);
 }
 
 Result<uint64_t> Table::Count() {
-  BTree tree(info_.root);
-  std::shared_lock<std::shared_mutex> tl(*db_->TreeLatch(info_.root));
-  return tree.Count(db_->buffers());
+  LiveRowGate gate(db_, nullptr);
+  return ReadCoreCount(&gate, info_, types_);
 }
 
 }  // namespace rewinddb

@@ -1,5 +1,11 @@
 // Table: typed row operations over a clustered B-tree, with row
 // locking, secondary index maintenance and lock-safe scans.
+//
+// DEPRECATED as an application surface: applications should use the
+// api/ layer (Connection routes DML, Connection::Live()/AsOf() hand out
+// the unified ReadView/TableView read surface). Table remains the
+// engine-level write path underneath api/ and for engine-internal code;
+// its read methods delegate to engine/read_core.h.
 #ifndef REWINDDB_ENGINE_TABLE_H_
 #define REWINDDB_ENGINE_TABLE_H_
 

@@ -4,10 +4,46 @@
 #include <unordered_map>
 
 #include "btree/btree.h"
+#include "engine/read_core.h"
 #include "engine/redo_undo.h"
 #include "page/slotted_page.h"
 
 namespace rewinddb {
+
+namespace {
+
+/// As-of read gate: a row held by a transaction that was in flight at
+/// the SplitLSN is invisible until the background undo erases it.
+class SnapshotRowGate : public RowGate {
+ public:
+  explicit SnapshotRowGate(AsOfSnapshot* snap) : snap_(snap) {}
+
+  BufferManager* buffers() override { return snap_->buffers(); }
+  std::shared_mutex* TreeLatch(TreeId tree) override {
+    return snap_->TreeLatch(tree);
+  }
+  Status BeforePointRead(TreeId tree, const std::string& pk) override {
+    return snap_->WaitRowVisible(tree, pk);
+  }
+  bool ScanNeedsRowCheck() override { return !snap_->undo_complete(); }
+  Result<Check> CheckScanRow(TreeId tree, const std::string& key) override {
+    if (!snap_->undo_complete() && snap_->RowBusy(tree, key)) {
+      return Check::kYield;
+    }
+    return Check::kVisible;
+  }
+  Status AwaitRow(TreeId tree, const std::string& key) override {
+    return snap_->WaitRowVisible(tree, key);
+  }
+  bool CountNeedsVisibilityScan() override {
+    return !snap_->undo_complete();
+  }
+
+ private:
+  AsOfSnapshot* snap_;
+};
+
+}  // namespace
 
 // ---------------------------- SnapshotStore ---------------------------
 
@@ -37,116 +73,28 @@ SnapshotTable::SnapshotTable(AsOfSnapshot* snap, TableInfo info,
       types_(info_.schema.types()) {}
 
 Result<Row> SnapshotTable::Get(const Row& key_values) {
-  std::string pk = EncodeKey(key_values, info_.schema.num_key_columns());
-  REWIND_RETURN_IF_ERROR(snap_->WaitRowVisible(info_.root, pk));
-  BTree tree(info_.root);
-  std::shared_lock<std::shared_mutex> tl(*snap_->TreeLatch(info_.root));
-  REWIND_ASSIGN_OR_RETURN(std::string value,
-                          tree.Get(snap_->buffers(), pk));
-  return DecodeRow(types_, value);
+  SnapshotRowGate gate(snap_);
+  return ReadCoreGet(&gate, info_, types_, key_values);
 }
 
 Status SnapshotTable::Scan(const std::optional<Row>& lower,
                            const std::optional<Row>& upper,
                            const std::function<bool(const Row&)>& cb) {
-  std::string lo = lower ? EncodeKey(*lower, lower->size()) : std::string();
-  std::string hi = upper ? EncodeKey(*upper, upper->size()) : std::string();
-  BTree tree(info_.root);
-  std::string cursor = lo;
-  bool done = false;
-  Status inner;
-  while (!done) {
-    ScanOutcome out;
-    {
-      std::shared_lock<std::shared_mutex> tl(*snap_->TreeLatch(info_.root));
-      auto r = tree.Scan(
-          snap_->buffers(), cursor, hi, [&](Slice key, Slice value) {
-            if (!snap_->undo_complete() &&
-                snap_->RowBusy(info_.root, key.ToString())) {
-              return ScanAction::kYield;
-            }
-            auto row = DecodeRow(types_, value);
-            if (!row.ok()) {
-              inner = row.status();
-              return ScanAction::kStop;
-            }
-            if (!cb(*row)) {
-              done = true;
-              return ScanAction::kStop;
-            }
-            return ScanAction::kContinue;
-          });
-      if (!r.ok()) return r.status();
-      out = std::move(*r);
-    }
-    REWIND_RETURN_IF_ERROR(inner);
-    if (!out.yielded) break;
-    // Wait (latch-free) for the background undo to clear the row, then
-    // resume at the same key: if undo removed it, the scan simply moves
-    // past it.
-    REWIND_RETURN_IF_ERROR(
-        snap_->WaitRowVisible(info_.root, out.yield_key));
-    cursor = out.yield_key;
-  }
-  return Status::OK();
+  SnapshotRowGate gate(snap_);
+  return ReadCoreScan(&gate, info_, types_, lower, upper, cb);
 }
 
 Status SnapshotTable::IndexScan(const std::string& index_name,
                                 const Row& prefix_values,
                                 const std::function<bool(const Row&)>& cb) {
-  const IndexInfo* idx = nullptr;
-  for (const IndexInfo& i : indexes_) {
-    if (i.name == index_name) {
-      idx = &i;
-      break;
-    }
-  }
-  if (idx == nullptr) {
-    return Status::NotFound("index '" + index_name + "' not on this table");
-  }
-  std::string prefix;
-  for (const Value& v : prefix_values) EncodeKeyValue(v, &prefix);
-
-  BTree itree(idx->root);
-  std::vector<std::string> pks;
-  {
-    std::shared_lock<std::shared_mutex> tl(*snap_->TreeLatch(idx->root));
-    REWIND_ASSIGN_OR_RETURN(
-        ScanOutcome out,
-        itree.Scan(snap_->buffers(), prefix, Slice(),
-                   [&](Slice key, Slice value) {
-                     if (!key.starts_with(prefix)) return ScanAction::kStop;
-                     pks.push_back(value.ToString());
-                     return ScanAction::kContinue;
-                   }));
-    (void)out;
-  }
-  BTree btree(info_.root);
-  for (const std::string& pk : pks) {
-    REWIND_RETURN_IF_ERROR(snap_->WaitRowVisible(info_.root, pk));
-    std::string value;
-    {
-      std::shared_lock<std::shared_mutex> tl(*snap_->TreeLatch(info_.root));
-      auto v = btree.Get(snap_->buffers(), pk);
-      // An in-flight insert's phantom index entry: the base row has
-      // been undone away by the time the lock cleared.
-      if (v.status().IsNotFound()) continue;
-      if (!v.ok()) return v.status();
-      value = std::move(*v);
-    }
-    REWIND_ASSIGN_OR_RETURN(Row row, DecodeRow(types_, value));
-    if (!cb(row)) break;
-  }
-  return Status::OK();
+  SnapshotRowGate gate(snap_);
+  return ReadCoreIndexScan(&gate, info_, indexes_, types_, index_name,
+                           prefix_values, cb);
 }
 
 Result<uint64_t> SnapshotTable::Count() {
-  uint64_t n = 0;
-  REWIND_RETURN_IF_ERROR(Scan(std::nullopt, std::nullopt, [&](const Row&) {
-    n++;
-    return true;
-  }));
-  return n;
+  SnapshotRowGate gate(snap_);
+  return ReadCoreCount(&gate, info_, types_);
 }
 
 // ----------------------------- AsOfSnapshot ---------------------------
@@ -518,6 +466,7 @@ Status AsOfSnapshot::UnloggedSplit(TreeId tree,
 }
 
 Status AsOfSnapshot::WaitForUndo() {
+  std::lock_guard<std::mutex> g(undo_join_mu_);
   if (undo_thread_.joinable()) undo_thread_.join();
   return undo_status_;
 }

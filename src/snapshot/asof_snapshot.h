@@ -23,6 +23,13 @@
 //    lock coordination that makes pre-undo-completion queries correct:
 //    a row held by an in-flight transaction blocks readers until the
 //    background undo has erased it.
+//
+// DEPRECATED as an application surface: applications should reach the
+// past through Connection::AsOf / Connection::Snapshot, which return
+// the unified ReadView handle (same TableView query interface as live
+// reads, plus a deterministic drop story). This header remains the
+// engine-level snapshot machinery underneath api/; SnapshotTable's read
+// methods delegate to engine/read_core.h.
 #ifndef REWINDDB_SNAPSHOT_ASOF_SNAPSHOT_H_
 #define REWINDDB_SNAPSHOT_ASOF_SNAPSHOT_H_
 
@@ -73,6 +80,7 @@ class SnapshotTable {
 
   const Schema& schema() const { return info_.schema; }
   const TableInfo& info() const { return info_; }
+  const std::vector<IndexInfo>& indexes() const { return indexes_; }
 
   /// Point lookup as of the snapshot time.
   Result<Row> Get(const Row& key_values);
@@ -123,9 +131,17 @@ class AsOfSnapshot {
   Result<SnapshotTable> OpenTable(const std::string& name);
   Result<std::vector<TableInfo>> ListTables();
 
-  /// Block until the background undo pass finishes.
+  /// Block until the background undo pass finishes. Safe to call from
+  /// several ReadView handles concurrently.
   Status WaitForUndo();
   bool undo_complete() const { return undo_complete_.load(); }
+
+  /// Per-tree reader/writer latch (mirrors Database::TreeLatch).
+  std::shared_mutex* TreeLatch(TreeId tree);
+  /// Wait until the row is free of in-flight-transaction locks (no-op
+  /// once undo completed).
+  Status WaitRowVisible(TreeId tree, const std::string& key);
+  bool RowBusy(TreeId tree, const std::string& key);
 
   const CreationStats& creation_stats() const { return stats_; }
   const std::string& name() const { return name_; }
@@ -139,8 +155,6 @@ class AsOfSnapshot {
   Status Drop();
 
  private:
-  friend class SnapshotTable;
-
   AsOfSnapshot(Database* primary, std::string name, SplitPoint split);
 
   Status Recover();
@@ -152,11 +166,6 @@ class AsOfSnapshot {
   /// pages when a re-inserted row no longer fits.
   Status UndoUserRowUnlogged(const LogRecord& rec);
   Status UnloggedSplit(TreeId tree, const std::vector<PageId>& path);
-  std::shared_mutex* TreeLatch(TreeId tree);
-  /// Wait until the row is free of in-flight-transaction locks (no-op
-  /// once undo completed).
-  Status WaitRowVisible(TreeId tree, const std::string& key);
-  bool RowBusy(TreeId tree, const std::string& key);
 
   Database* primary_;
   std::string name_;
@@ -173,6 +182,7 @@ class AsOfSnapshot {
   std::vector<AttEntry> losers_;
 
   std::thread undo_thread_;
+  std::mutex undo_join_mu_;
   std::atomic<bool> undo_complete_{false};
   Status undo_status_;
   std::atomic<uint64_t> query_ids_{1ULL << 62};

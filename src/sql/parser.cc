@@ -1,6 +1,7 @@
 #include "sql/parser.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <ctime>
 #include <vector>
@@ -8,6 +9,18 @@
 namespace rewinddb {
 
 namespace {
+
+/// Exception-free digit-string parse; the lexer admits arbitrarily
+/// long numbers, so overflow must become InvalidArgument, not a throw.
+Result<uint64_t> ParseU64(const std::string& text) {
+  uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("number '" + text + "' out of range");
+  }
+  return value;
+}
 
 struct Token {
   enum class Type { kWord, kNumber, kString, kPunct, kEnd };
@@ -93,6 +106,7 @@ class Parser {
       return Status::InvalidArgument("expected DATABASE or TABLE");
     }
     if (Accept("ALTER")) return AlterDatabase();
+    if (Accept("FLASHBACK")) return Flashback();
     if (Accept("DROP")) {
       if (Accept("DATABASE")) return DropNamed(SqlCommand::Kind::kDropDatabase);
       if (Accept("TABLE")) return DropNamed(SqlCommand::Kind::kDropTable);
@@ -152,7 +166,7 @@ class Parser {
       REWIND_ASSIGN_OR_RETURN(cmd.as_of, ParseTimestamp(Cur().text));
       pos_++;
     } else if (Cur().type == Token::Type::kNumber) {
-      cmd.as_of = static_cast<WallClock>(std::stoull(Cur().text));
+      REWIND_ASSIGN_OR_RETURN(cmd.as_of, ParseU64(Cur().text));
       pos_++;
     } else {
       return Status::InvalidArgument("expected timestamp after AS OF");
@@ -173,7 +187,7 @@ class Parser {
     if (Cur().type != Token::Type::kNumber) {
       return Status::InvalidArgument("expected a number");
     }
-    uint64_t n = std::stoull(Cur().text);
+    REWIND_ASSIGN_OR_RETURN(uint64_t n, ParseU64(Cur().text));
     pos_++;
     uint64_t unit;
     if (Accept("HOURS") || Accept("HOUR")) {
@@ -185,7 +199,22 @@ class Parser {
     } else {
       return Status::InvalidArgument("expected HOURS, MINUTES or SECONDS");
     }
+    if (n > UINT64_MAX / unit) {
+      return Status::InvalidArgument("undo interval out of range");
+    }
     cmd.undo_interval_micros = n * unit;
+    return cmd;
+  }
+
+  Result<SqlCommand> Flashback() {
+    SqlCommand cmd;
+    cmd.kind = SqlCommand::Kind::kFlashback;
+    REWIND_RETURN_IF_ERROR(Expect("TRANSACTION"));
+    if (Cur().type != Token::Type::kNumber) {
+      return Status::InvalidArgument("expected a transaction id");
+    }
+    REWIND_ASSIGN_OR_RETURN(cmd.txn_id, ParseU64(Cur().text));
+    pos_++;
     return cmd;
   }
 
@@ -328,7 +357,7 @@ std::string FormatTimestamp(WallClock micros) {
   time_t secs = static_cast<time_t>(micros / 1'000'000);
   struct tm tm_utc;
   gmtime_r(&secs, &tm_utc);
-  char buf[40];
+  char buf[64];
   snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%06llu",
            tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
            tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,

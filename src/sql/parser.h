@@ -3,6 +3,7 @@
 //   CREATE DATABASE <snap> AS SNAPSHOT OF <db> AS OF '<timestamp>'
 //   ALTER DATABASE <db> SET UNDO_INTERVAL = <n> HOURS|MINUTES|SECONDS
 //   DROP DATABASE <snap>
+//   FLASHBACK TRANSACTION <txn-id>
 //
 // plus convenience DDL so examples read naturally:
 //
@@ -29,6 +30,7 @@ struct SqlCommand {
     kDropDatabase,
     kCreateTable,
     kDropTable,
+    kFlashback,
   };
 
   Kind kind;
@@ -40,6 +42,8 @@ struct SqlCommand {
   WallClock as_of = 0;
   /// SET UNDO_INTERVAL value, microseconds.
   uint64_t undo_interval_micros = 0;
+  /// FLASHBACK TRANSACTION victim id.
+  TxnId txn_id = kInvalidTxnId;
   /// CREATE TABLE schema.
   Schema schema;
 };

@@ -6,65 +6,45 @@ Result<std::string> SqlSession::Execute(const std::string& sql) {
   REWIND_ASSIGN_OR_RETURN(SqlCommand cmd, ParseSql(sql));
   switch (cmd.kind) {
     case SqlCommand::Kind::kCreateSnapshot: {
-      if (snapshots_.count(cmd.name)) {
-        return Status::AlreadyExists("snapshot '" + cmd.name + "' exists");
-      }
-      REWIND_ASSIGN_OR_RETURN(
-          std::unique_ptr<AsOfSnapshot> snap,
-          AsOfSnapshot::Create(db_, cmd.name, cmd.as_of));
-      std::string msg = "Created snapshot " + cmd.name + " as of " +
-                        FormatTimestamp(snap->creation_stats().boundary_time) +
-                        " (SplitLSN " +
-                        std::to_string(snap->split_lsn()) + ")";
-      snapshots_[cmd.name] = std::move(snap);
-      return msg;
+      REWIND_RETURN_IF_ERROR(conn_->CreateSnapshot(cmd.name, cmd.as_of));
+      REWIND_ASSIGN_OR_RETURN(std::shared_ptr<ReadView> view,
+                              conn_->Snapshot(cmd.name));
+      return "Created snapshot " + cmd.name + " as of " +
+             FormatTimestamp(view->as_of());
     }
     case SqlCommand::Kind::kAlterUndoInterval: {
-      REWIND_RETURN_IF_ERROR(db_->SetUndoInterval(cmd.undo_interval_micros));
+      REWIND_RETURN_IF_ERROR(conn_->SetRetention(cmd.undo_interval_micros));
       return std::string("Undo interval set to ") +
              std::to_string(cmd.undo_interval_micros / 1'000'000) +
              " seconds";
     }
     case SqlCommand::Kind::kDropDatabase: {
-      auto it = snapshots_.find(cmd.name);
-      if (it == snapshots_.end()) {
-        return Status::NotFound("snapshot '" + cmd.name + "' not found");
-      }
-      snapshots_.erase(it);  // destructor drops the side file
+      REWIND_RETURN_IF_ERROR(conn_->DropSnapshot(cmd.name));
       return "Dropped snapshot " + cmd.name;
     }
+    case SqlCommand::Kind::kFlashback: {
+      REWIND_ASSIGN_OR_RETURN(FlashbackResult r,
+                              conn_->Flashback(cmd.txn_id));
+      return "Flashback of transaction " + std::to_string(cmd.txn_id) +
+             " undid " + std::to_string(r.operations_undone) +
+             " operations (compensating transaction " +
+             std::to_string(r.compensating_txn) + ")";
+    }
     case SqlCommand::Kind::kCreateTable: {
-      Transaction* txn = db_->Begin();
-      Status s = db_->CreateTable(txn, cmd.name, cmd.schema);
-      if (!s.ok()) {
-        Status a = db_->Abort(txn);
-        (void)a;
-        return s;
-      }
-      REWIND_RETURN_IF_ERROR(db_->Commit(txn));
+      REWIND_RETURN_IF_ERROR(conn_->CreateTable(cmd.name, cmd.schema));
       return "Created table " + cmd.name;
     }
     case SqlCommand::Kind::kDropTable: {
-      Transaction* txn = db_->Begin();
-      Status s = db_->DropTable(txn, cmd.name);
-      if (!s.ok()) {
-        Status a = db_->Abort(txn);
-        (void)a;
-        return s;
-      }
-      REWIND_RETURN_IF_ERROR(db_->Commit(txn));
+      REWIND_RETURN_IF_ERROR(conn_->DropTable(cmd.name));
       return "Dropped table " + cmd.name;
     }
   }
   return Status::InvalidArgument("unhandled statement");
 }
 
-Result<AsOfSnapshot*> SqlSession::GetSnapshot(const std::string& name) {
-  auto it = snapshots_.find(name);
-  if (it == snapshots_.end()) {
-    return Status::NotFound("snapshot '" + name + "' not found");
-  }
-  return it->second.get();
+Result<std::shared_ptr<ReadView>> SqlSession::GetSnapshot(
+    const std::string& name) {
+  return conn_->Snapshot(name);
 }
 
 }  // namespace rewinddb

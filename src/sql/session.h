@@ -1,35 +1,48 @@
-// SqlSession: executes the parsed snapshot/retention DDL against a
-// Database and manages the named as-of snapshots it creates -- the
-// surface the paper's walk-throughs use.
+// SqlSession: the paper's SQL surface as a thin parser shim over
+// Connection. Every statement parses into a SqlCommand and dispatches
+// to exactly one Connection call:
+//
+//   CREATE DATABASE s AS SNAPSHOT OF db AS OF t  -> CreateSnapshot
+//   DROP DATABASE s                              -> DropSnapshot
+//   ALTER DATABASE db SET UNDO_INTERVAL = n U    -> SetRetention
+//   FLASHBACK TRANSACTION n                      -> Flashback
+//   CREATE TABLE / DROP TABLE                    -> CreateTable/DropTable
 #ifndef REWINDDB_SQL_SESSION_H_
 #define REWINDDB_SQL_SESSION_H_
 
-#include <map>
 #include <memory>
 #include <string>
 
-#include "engine/database.h"
-#include "snapshot/asof_snapshot.h"
+#include "api/connection.h"
 #include "sql/parser.h"
 
 namespace rewinddb {
 
 class SqlSession {
  public:
-  explicit SqlSession(Database* db) : db_(db) {}
+  /// Shim over a caller-owned Connection.
+  explicit SqlSession(Connection* conn) : conn_(conn) {}
+
+  /// Legacy entry point: wraps the engine handle in an attached
+  /// Connection owned by the session.
+  explicit SqlSession(Database* db)
+      : owned_(Connection::Attach(db)), conn_(owned_.get()) {}
 
   /// Parse and execute one statement; returns a human-readable result
   /// line (examples print it).
   Result<std::string> Execute(const std::string& sql);
 
-  /// Look up a snapshot created by CREATE DATABASE ... AS SNAPSHOT.
-  Result<AsOfSnapshot*> GetSnapshot(const std::string& name);
+  /// Stable handle to a snapshot created by CREATE DATABASE ... AS
+  /// SNAPSHOT. Safe to hold across DROP DATABASE: operations on a
+  /// dropped snapshot fail with Status::Aborted instead of dangling.
+  Result<std::shared_ptr<ReadView>> GetSnapshot(const std::string& name);
 
-  Database* db() { return db_; }
+  Connection* connection() { return conn_; }
+  Database* db() { return conn_->engine(); }
 
  private:
-  Database* db_;
-  std::map<std::string, std::unique_ptr<AsOfSnapshot>> snapshots_;
+  std::unique_ptr<Connection> owned_;  // only for the legacy constructor
+  Connection* conn_;
 };
 
 }  // namespace rewinddb

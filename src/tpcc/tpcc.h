@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "api/read_view.h"
 #include "common/random.h"
 #include "engine/database.h"
 #include "engine/table.h"
@@ -57,11 +58,18 @@ class TpccDatabase {
   Status Delivery(Random* rnd);
   /// The stock-level query (also the paper's as-of query): counts
   /// distinct items in the district's last 20 orders with stock
-  /// quantity below `threshold`.
+  /// quantity below `threshold`. Runs in its own transaction and routes
+  /// through StockLevelOn with a lock-coupled live view.
   Result<int> StockLevel(int w_id, int d_id, int threshold);
 
-  /// Stock-level against an as-of snapshot: identical logic reading the
-  /// past (section 6.2's experiment).
+  /// The same query text against ANY ReadView -- live, live-in-txn, or
+  /// an as-of snapshot. This is the paper's point made concrete: the
+  /// point-in-time query is the ordinary query, only the view differs.
+  static Result<int> StockLevelOn(ReadView* view, int w_id, int d_id,
+                                  int threshold);
+
+  /// DEPRECATED shim: stock-level against an as-of snapshot; forwards
+  /// to StockLevelOn over WrapSnapshot(snap).
   static Result<int> StockLevelAsOf(AsOfSnapshot* snap, int w_id, int d_id,
                                     int threshold);
 

@@ -222,47 +222,31 @@ Status TpccDatabase::Delivery(Random* rnd) {
 
 Result<int> TpccDatabase::StockLevel(int w_id, int d_id, int threshold) {
   Transaction* txn = db_->Begin();
-  auto drow = district_->Get(txn, {w_id, d_id});
-  if (!drow.ok()) return AbortWith(db_, txn, drow.status());
-  int next_o_id = (*drow)[4].AsInt32();
-  int low_o = next_o_id - 20 < 1 ? 1 : next_o_id - 20;
-
-  std::set<int> items;
-  Status s = order_line_->Scan(
-      txn, std::optional<Row>(Row{w_id, d_id, low_o, 0}),
-      std::optional<Row>(Row{w_id, d_id, next_o_id, 0}),
-      [&](const Row& row) {
-        items.insert(row[4].AsInt32());
-        return true;
-      });
-  if (!s.ok()) return AbortWith(db_, txn, s);
-
-  int low_stock = 0;
-  for (int item : items) {
-    auto srow = stock_->Get(txn, {w_id, item});
-    if (!srow.ok()) return AbortWith(db_, txn, srow.status());
-    if ((*srow)[2].AsInt32() < threshold) low_stock++;
-  }
+  std::unique_ptr<ReadView> view = WrapLive(db_, txn);
+  auto low = StockLevelOn(view.get(), w_id, d_id, threshold);
+  if (!low.ok()) return AbortWith(db_, txn, low.status());
   REWIND_RETURN_IF_ERROR(db_->Commit(txn));
-  return low_stock;
+  return *low;
 }
 
-Result<int> TpccDatabase::StockLevelAsOf(AsOfSnapshot* snap, int w_id,
-                                         int d_id, int threshold) {
-  // Same query, running against the past: every table resolves through
-  // the snapshot's rewound catalog and pages.
-  REWIND_ASSIGN_OR_RETURN(SnapshotTable district,
-                          snap->OpenTable("district"));
-  REWIND_ASSIGN_OR_RETURN(SnapshotTable order_line,
-                          snap->OpenTable("order_line"));
-  REWIND_ASSIGN_OR_RETURN(SnapshotTable stock, snap->OpenTable("stock"));
+Result<int> TpccDatabase::StockLevelOn(ReadView* view, int w_id, int d_id,
+                                       int threshold) {
+  // One query text for present and past: tables and metadata resolve
+  // through whatever catalog the view carries (the live one, or the
+  // snapshot's rewound pages).
+  REWIND_ASSIGN_OR_RETURN(std::unique_ptr<TableView> district,
+                          view->OpenTable("district"));
+  REWIND_ASSIGN_OR_RETURN(std::unique_ptr<TableView> order_line,
+                          view->OpenTable("order_line"));
+  REWIND_ASSIGN_OR_RETURN(std::unique_ptr<TableView> stock,
+                          view->OpenTable("stock"));
 
-  REWIND_ASSIGN_OR_RETURN(Row drow, district.Get({w_id, d_id}));
+  REWIND_ASSIGN_OR_RETURN(Row drow, district->Get({w_id, d_id}));
   int next_o_id = drow[4].AsInt32();
   int low_o = next_o_id - 20 < 1 ? 1 : next_o_id - 20;
 
   std::set<int> items;
-  REWIND_RETURN_IF_ERROR(order_line.Scan(
+  REWIND_RETURN_IF_ERROR(order_line->Scan(
       std::optional<Row>(Row{w_id, d_id, low_o, 0}),
       std::optional<Row>(Row{w_id, d_id, next_o_id, 0}),
       [&](const Row& row) {
@@ -272,10 +256,16 @@ Result<int> TpccDatabase::StockLevelAsOf(AsOfSnapshot* snap, int w_id,
 
   int low_stock = 0;
   for (int item : items) {
-    REWIND_ASSIGN_OR_RETURN(Row srow, stock.Get({w_id, item}));
+    REWIND_ASSIGN_OR_RETURN(Row srow, stock->Get({w_id, item}));
     if (srow[2].AsInt32() < threshold) low_stock++;
   }
   return low_stock;
+}
+
+Result<int> TpccDatabase::StockLevelAsOf(AsOfSnapshot* snap, int w_id,
+                                         int d_id, int threshold) {
+  std::unique_ptr<ReadView> view = WrapSnapshot(snap);
+  return StockLevelOn(view.get(), w_id, d_id, threshold);
 }
 
 }  // namespace rewinddb

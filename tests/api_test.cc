@@ -1,0 +1,399 @@
+// Tests for the unified api/ surface: live/snapshot parity through the
+// single TableView interface, RAII Txn semantics, and the snapshot
+// handle lifetime contract.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <vector>
+
+#include "api/connection.h"
+
+namespace rewinddb {
+namespace {
+
+constexpr uint64_t kSecond = 1'000'000;
+
+std::string TestDir() {
+  return (std::filesystem::temp_directory_path() / "rewinddb_api" /
+          ::testing::UnitTest::GetInstance()->current_test_info()->name())
+      .string();
+}
+
+Schema ItemsSchema() {
+  return Schema({{"id", ColumnType::kInt32},
+                 {"category", ColumnType::kString},
+                 {"score", ColumnType::kDouble}},
+                /*num_key_columns=*/1);
+}
+
+std::string CategoryOf(int i) { return "cat" + std::to_string(i % 5); }
+
+// ------------------------ live/snapshot parity ------------------------
+//
+// Both parameterizations must observe the identical 50-row dataset
+// through the identical ReadView/TableView calls. The live case reads
+// the dataset directly; the as-of case first buries it under updates,
+// deletes and later inserts, then reads it back through AsOf(T).
+
+enum class ViewKind { kLive, kAsOf };
+
+class ReadViewParityTest : public ::testing::TestWithParam<ViewKind> {
+ protected:
+  void SetUp() override {
+    dir_ = TestDir();
+    std::filesystem::remove_all(dir_);
+    clock_ = std::make_unique<SimClock>(10 * kSecond);
+    DatabaseOptions opts;
+    opts.clock = clock_.get();
+    auto conn = Connection::Create(dir_, opts);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    conn_ = std::move(*conn);
+
+    ASSERT_TRUE(conn_->CreateTable("items", ItemsSchema()).ok());
+    ASSERT_TRUE(
+        conn_->CreateIndex("items_by_category", "items", {"category"}).ok());
+    {
+      Txn txn = conn_->Begin();
+      for (int i = 0; i < 50; i++) {
+        ASSERT_TRUE(
+            conn_->Insert(txn, "items", {i, CategoryOf(i), 1.5 * i}).ok());
+      }
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+    clock_->Advance(kSecond);
+    WallClock dataset_time = clock_->NowMicros();
+    clock_->Advance(kSecond);
+
+    if (GetParam() == ViewKind::kAsOf) {
+      // Bury the dataset: overwrite every row, delete a third of them,
+      // append rows past the original range.
+      Txn txn = conn_->Begin();
+      for (int i = 0; i < 50; i++) {
+        ASSERT_TRUE(conn_->Update(txn, "items",
+                                  {i, std::string("trashed"), -1.0})
+                        .ok());
+      }
+      for (int i = 0; i < 50; i += 3) {
+        ASSERT_TRUE(conn_->Delete(txn, "items", {i}).ok());
+      }
+      for (int i = 100; i < 120; i++) {
+        ASSERT_TRUE(
+            conn_->Insert(txn, "items", {i, std::string("new"), 0.0}).ok());
+      }
+      ASSERT_TRUE(txn.Commit().ok());
+
+      auto view = conn_->AsOf(dataset_time);
+      ASSERT_TRUE(view.ok()) << view.status().ToString();
+      ASSERT_TRUE((*view)->WaitReady().ok());
+      view_ = *view;
+    } else {
+      view_ = conn_->Live();
+    }
+  }
+
+  void TearDown() override {
+    view_.reset();
+    conn_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<SimClock> clock_;
+  std::unique_ptr<Connection> conn_;
+  std::shared_ptr<ReadView> view_;
+};
+
+TEST_P(ReadViewParityTest, ListTablesAndSchema) {
+  auto tables = view_->ListTables();
+  ASSERT_TRUE(tables.ok());
+  bool found = false;
+  for (const TableInfo& t : *tables) found |= t.name == "items";
+  EXPECT_TRUE(found);
+
+  auto table = view_->OpenTable("items");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->schema().num_columns(), 3u);
+  EXPECT_EQ((*table)->schema().num_key_columns(), 1u);
+  ASSERT_EQ((*table)->indexes().size(), 1u);
+  EXPECT_EQ((*table)->indexes()[0].name, "items_by_category");
+  EXPECT_TRUE(view_->OpenTable("nope").status().IsNotFound());
+}
+
+TEST_P(ReadViewParityTest, GetScanIndexScanCount) {
+  auto table = view_->OpenTable("items");
+  ASSERT_TRUE(table.ok());
+  TableView& items = **table;
+
+  // Count: exactly the original dataset.
+  auto count = items.Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 50u);
+
+  // Get: point lookups see original values; misses are NotFound.
+  auto row = items.Get({7});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsString(), CategoryOf(7));
+  EXPECT_DOUBLE_EQ((*row)[2].AsDouble(), 1.5 * 7);
+  EXPECT_TRUE(items.Get({777}).status().IsNotFound());
+
+  // Scan: [10, 20) in key order with original contents.
+  std::vector<int> ids;
+  ASSERT_TRUE(items
+                  .Scan(std::optional<Row>(Row{10}),
+                        std::optional<Row>(Row{20}),
+                        [&](const Row& r) {
+                          ids.push_back(r[0].AsInt32());
+                          EXPECT_EQ(r[1].AsString(),
+                                    CategoryOf(r[0].AsInt32()));
+                          return true;
+                        })
+                  .ok());
+  ASSERT_EQ(ids.size(), 10u);
+  for (int i = 0; i < 10; i++) EXPECT_EQ(ids[static_cast<size_t>(i)], 10 + i);
+
+  // Early stop.
+  int delivered = 0;
+  ASSERT_TRUE(items
+                  .Scan(std::nullopt, std::nullopt,
+                        [&](const Row&) { return ++delivered < 5; })
+                  .ok());
+  EXPECT_EQ(delivered, 5);
+
+  // IndexScan: equality through the secondary index.
+  std::set<int> cat3;
+  ASSERT_TRUE(items
+                  .IndexScan("items_by_category", {std::string("cat3")},
+                             [&](const Row& r) {
+                               cat3.insert(r[0].AsInt32());
+                               return true;
+                             })
+                  .ok());
+  EXPECT_EQ(cat3.size(), 10u);
+  for (int id : cat3) EXPECT_EQ(id % 5, 3);
+  EXPECT_TRUE(items.IndexScan("no_such_index", {std::string("x")},
+                              [](const Row&) { return true; })
+                  .IsNotFound());
+}
+
+TEST_P(ReadViewParityTest, ViewKindIsReported) {
+  EXPECT_EQ(view_->is_snapshot(), GetParam() == ViewKind::kAsOf);
+  if (GetParam() == ViewKind::kAsOf) {
+    EXPECT_GT(view_->as_of(), 0u);
+  } else {
+    EXPECT_EQ(view_->as_of(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LiveAndAsOf, ReadViewParityTest,
+                         ::testing::Values(ViewKind::kLive, ViewKind::kAsOf),
+                         [](const auto& info) {
+                           return info.param == ViewKind::kLive ? "Live"
+                                                                : "AsOf";
+                         });
+
+// ----------------------------- RAII Txn -------------------------------
+
+class ApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = TestDir();
+    std::filesystem::remove_all(dir_);
+    clock_ = std::make_unique<SimClock>(10 * kSecond);
+    DatabaseOptions opts;
+    opts.clock = clock_.get();
+    auto conn = Connection::Create(dir_, opts);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    conn_ = std::move(*conn);
+    ASSERT_TRUE(conn_->CreateTable("items", ItemsSchema()).ok());
+  }
+  void TearDown() override {
+    conn_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  uint64_t LiveCount() {
+    auto view = conn_->Live();
+    auto table = view->OpenTable("items");
+    EXPECT_TRUE(table.ok());
+    auto count = (*table)->Count();
+    EXPECT_TRUE(count.ok());
+    return *count;
+  }
+
+  std::string dir_;
+  std::unique_ptr<SimClock> clock_;
+  std::unique_ptr<Connection> conn_;
+};
+
+TEST_F(ApiTest, TxnAutoAbortsOnDestruction) {
+  {
+    Txn txn = conn_->Begin();
+    ASSERT_TRUE(conn_->Insert(txn, "items", {1, std::string("a"), 1.0}).ok());
+    ASSERT_TRUE(conn_->Insert(txn, "items", {2, std::string("b"), 2.0}).ok());
+    EXPECT_TRUE(txn.active());
+    // No Commit(): destructor must roll both inserts back.
+  }
+  EXPECT_EQ(LiveCount(), 0u);
+
+  {
+    Txn txn = conn_->Begin();
+    ASSERT_TRUE(conn_->Insert(txn, "items", {3, std::string("c"), 3.0}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+    EXPECT_FALSE(txn.active());
+    // Double-finish is an error, not a crash.
+    EXPECT_TRUE(txn.Commit().IsInvalidArgument());
+  }
+  EXPECT_EQ(LiveCount(), 1u);
+}
+
+TEST_F(ApiTest, TxnMoveTransfersOwnership) {
+  Txn outer;
+  EXPECT_FALSE(outer.active());
+  {
+    Txn txn = conn_->Begin();
+    ASSERT_TRUE(conn_->Insert(txn, "items", {1, std::string("a"), 1.0}).ok());
+    outer = std::move(txn);
+    EXPECT_FALSE(txn.active());  // NOLINT(bugprone-use-after-move)
+  }
+  // The moved-to handle kept the transaction alive across the scope.
+  EXPECT_TRUE(outer.active());
+  ASSERT_TRUE(outer.Commit().ok());
+  EXPECT_EQ(LiveCount(), 1u);
+}
+
+TEST_F(ApiTest, TxnReadsItsOwnWritesThroughLiveView) {
+  Txn txn = conn_->Begin();
+  ASSERT_TRUE(conn_->Insert(txn, "items", {1, std::string("a"), 1.0}).ok());
+  auto view = conn_->Live(txn);
+  auto table = view->OpenTable("items");
+  ASSERT_TRUE(table.ok());
+  auto row = (*table)->Get({1});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsString(), "a");
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+TEST_F(ApiTest, FlashbackUndoesOneCommittedTransaction) {
+  Txn keep = conn_->Begin();
+  ASSERT_TRUE(conn_->Insert(keep, "items", {1, std::string("keep"), 1.0}).ok());
+  ASSERT_TRUE(keep.Commit().ok());
+
+  Txn bad = conn_->Begin();
+  TxnId victim = bad.id();
+  ASSERT_TRUE(conn_->Insert(bad, "items", {2, std::string("bad"), 2.0}).ok());
+  ASSERT_TRUE(conn_->Insert(bad, "items", {3, std::string("bad"), 3.0}).ok());
+  ASSERT_TRUE(bad.Commit().ok());
+
+  auto r = conn_->Flashback(victim);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->operations_undone, 2u);
+  EXPECT_EQ(LiveCount(), 1u);
+}
+
+// ---------------------- snapshot handle lifetime ----------------------
+
+TEST_F(ApiTest, DropSnapshotIsDeterministicAndHandlesSurvive) {
+  {
+    Txn txn = conn_->Begin();
+    for (int i = 0; i < 20; i++) {
+      ASSERT_TRUE(
+          conn_->Insert(txn, "items", {i, CategoryOf(i), 1.0 * i}).ok());
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  clock_->Advance(kSecond);
+  WallClock t = clock_->NowMicros();
+  clock_->Advance(kSecond);
+
+  ASSERT_TRUE(conn_->CreateSnapshot("keeper", t).ok());
+  EXPECT_TRUE(conn_->CreateSnapshot("keeper", t).IsAlreadyExists());
+  const std::string side_file = dir_ + "/keeper.side";
+  EXPECT_TRUE(std::filesystem::exists(side_file));
+
+  auto view = conn_->Snapshot("keeper");
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE((*view)->WaitReady().ok());
+  auto table = (*view)->OpenTable("items");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(*(*table)->Count(), 20u);
+
+  // Drop with handles still out: the side file must disappear NOW, and
+  // the surviving handles must fail cleanly instead of dangling.
+  ASSERT_TRUE(conn_->DropSnapshot("keeper").ok());
+  EXPECT_FALSE(std::filesystem::exists(side_file));
+  EXPECT_TRUE(conn_->Snapshot("keeper").status().IsNotFound());
+  EXPECT_TRUE(conn_->DropSnapshot("keeper").IsNotFound());
+  EXPECT_TRUE((*view)->OpenTable("items").status().IsAborted());
+  EXPECT_TRUE((*table)->Count().status().IsAborted());
+  EXPECT_TRUE((*table)->Get({1}).status().IsAborted());
+}
+
+TEST_F(ApiTest, AnonymousViewOutlivingConnectionFailsCleanly) {
+  {
+    Txn txn = conn_->Begin();
+    ASSERT_TRUE(conn_->Insert(txn, "items", {1, std::string("a"), 1.0}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  clock_->Advance(kSecond);
+  WallClock t = clock_->NowMicros();
+  clock_->Advance(kSecond);
+
+  auto view = conn_->AsOf(t);
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE((*view)->WaitReady().ok());
+  auto table = (*view)->OpenTable("items");
+  ASSERT_TRUE(table.ok());
+
+  // Destroying the Connection destroys the engine it owns; the
+  // surviving handles must error, not dereference a dead Database.
+  conn_.reset();
+  EXPECT_TRUE((*view)->OpenTable("items").status().IsAborted());
+  EXPECT_TRUE((*table)->Count().status().IsAborted());
+}
+
+TEST_F(ApiTest, ReservedSnapshotPrefixRejected) {
+  clock_->Advance(kSecond);
+  EXPECT_TRUE(conn_->CreateSnapshot("__asof7", clock_->NowMicros() - 1)
+                  .IsInvalidArgument());
+}
+
+TEST_F(ApiTest, AnonymousAsOfViewReleasesSnapshotWithLastHandle) {
+  {
+    Txn txn = conn_->Begin();
+    ASSERT_TRUE(conn_->Insert(txn, "items", {1, std::string("a"), 1.0}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  clock_->Advance(kSecond);
+  WallClock t = clock_->NowMicros();
+  clock_->Advance(kSecond);
+
+  auto view = conn_->AsOf(t);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  ASSERT_TRUE((*view)->WaitReady().ok());
+  auto table = (*view)->OpenTable("items");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(*(*table)->Count(), 1u);
+
+  // One .side file exists while any handle is live...
+  size_t sides = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    if (e.path().extension() == ".side") sides++;
+  }
+  EXPECT_EQ(sides, 1u);
+
+  // ...and the TableView alone keeps the snapshot alive after the
+  // ReadView goes away.
+  view->reset();
+  EXPECT_EQ(*(*table)->Count(), 1u);
+  table->reset();
+
+  sides = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    if (e.path().extension() == ".side") sides++;
+  }
+  EXPECT_EQ(sides, 0u);
+}
+
+}  // namespace
+}  // namespace rewinddb

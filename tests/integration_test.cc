@@ -183,11 +183,13 @@ TEST_F(IntegrationTest, SqlSurfaceDrivesFullRecoveryFlow) {
           .ok());
   auto snap = sql.GetSnapshot("back");
   ASSERT_TRUE(snap.ok());
-  ASSERT_TRUE((*snap)->WaitForUndo().ok());
+  ASSERT_TRUE((*snap)->WaitReady().ok());
   auto old_table = (*snap)->OpenTable("logs");
   ASSERT_TRUE(old_table.ok());
-  EXPECT_EQ(*old_table->Count(), 40u);
+  EXPECT_EQ(*(*old_table)->Count(), 40u);
   ASSERT_TRUE(sql.Execute("DROP DATABASE back").ok());
+  // The handle survives the drop but refuses page access.
+  EXPECT_TRUE((*snap)->OpenTable("logs").status().IsAborted());
 }
 
 TEST_F(IntegrationTest, BackupRestoreAndSnapshotAgreeOnTpccState) {

@@ -103,6 +103,36 @@ TEST(SqlParserTest, Errors) {
                   .IsInvalidArgument());
 }
 
+TEST(SqlParserTest, FlashbackTransaction) {
+  auto cmd = ParseSql("FLASHBACK TRANSACTION 42");
+  ASSERT_TRUE(cmd.ok()) << cmd.status().ToString();
+  EXPECT_EQ(cmd->kind, SqlCommand::Kind::kFlashback);
+  EXPECT_EQ(cmd->txn_id, 42u);
+  EXPECT_TRUE(ParseSql("FLASHBACK").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseSql("FLASHBACK TRANSACTION oops").status().IsInvalidArgument());
+}
+
+TEST(SqlParserTest, OversizedNumbersAreErrorsNotAborts) {
+  // The lexer admits arbitrarily long digit strings; overflow must
+  // surface as InvalidArgument, never as a thrown std::out_of_range.
+  const std::string big = "99999999999999999999999999999";
+  EXPECT_TRUE(
+      ParseSql("FLASHBACK TRANSACTION " + big).status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("CREATE DATABASE s AS SNAPSHOT OF d AS OF " + big)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseSql("ALTER DATABASE d SET UNDO_INTERVAL = " + big + " HOURS")
+          .status()
+          .IsInvalidArgument());
+  // Unit multiplication overflow with an in-range count.
+  EXPECT_TRUE(ParseSql("ALTER DATABASE d SET UNDO_INTERVAL = "
+                       "18446744073709551615 HOURS")
+                  .status()
+                  .IsInvalidArgument());
+}
+
 TEST(SqlParserTest, TimestampRoundTrip) {
   auto t = ParseTimestamp("2012-03-22 17:26:25.473000");
   ASSERT_TRUE(t.ok());
@@ -166,13 +196,16 @@ TEST_F(SqlSessionTest, EndToEndSnapshotWorkflow) {
   ASSERT_TRUE(msg.ok()) << msg.status().ToString();
   auto snap = session_->GetSnapshot("recovery");
   ASSERT_TRUE(snap.ok());
-  ASSERT_TRUE((*snap)->WaitForUndo().ok());
+  ASSERT_TRUE((*snap)->WaitReady().ok());
   auto old_table = (*snap)->OpenTable("accounts");
   ASSERT_TRUE(old_table.ok());
-  EXPECT_EQ(*old_table->Count(), 10u);
+  EXPECT_EQ(*(*old_table)->Count(), 10u);
 
   ASSERT_TRUE(session_->Execute("DROP DATABASE recovery").ok());
   EXPECT_TRUE(session_->GetSnapshot("recovery").status().IsNotFound());
+  // The stable handles survive the drop; page access fails cleanly.
+  EXPECT_TRUE((*snap)->OpenTable("accounts").status().IsAborted());
+  EXPECT_TRUE((*old_table)->Count().status().IsAborted());
 }
 
 TEST_F(SqlSessionTest, AlterUndoIntervalApplies) {
@@ -195,6 +228,34 @@ TEST_F(SqlSessionTest, DuplicateSnapshotNameRejected) {
                             std::to_string(t))
                   .status()
                   .IsAlreadyExists());
+}
+
+TEST_F(SqlSessionTest, FlashbackViaSql) {
+  ASSERT_TRUE(session_
+                  ->Execute("CREATE TABLE audit (id INT, note TEXT, "
+                            "PRIMARY KEY (id))")
+                  .ok());
+  Connection* conn = session_->connection();
+  Txn good = conn->Begin();
+  ASSERT_TRUE(conn->Insert(good, "audit", {1, std::string("keep")}).ok());
+  ASSERT_TRUE(good.Commit().ok());
+
+  Txn bad = conn->Begin();
+  TxnId victim = bad.id();
+  ASSERT_TRUE(conn->Insert(bad, "audit", {2, std::string("oops")}).ok());
+  ASSERT_TRUE(conn->Insert(bad, "audit", {3, std::string("oops")}).ok());
+  ASSERT_TRUE(bad.Commit().ok());
+
+  auto msg = session_->Execute("FLASHBACK TRANSACTION " +
+                               std::to_string(victim));
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+
+  auto live = conn->Live();
+  auto table = live->OpenTable("audit");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(*(*table)->Count(), 1u);
+  EXPECT_TRUE((*table)->Get({1}).ok());
+  EXPECT_TRUE((*table)->Get({2}).status().IsNotFound());
 }
 
 TEST_F(SqlSessionTest, DropTableViaSql) {
