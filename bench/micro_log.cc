@@ -1,14 +1,16 @@
-// Microbenchmarks for the log layer: record encode/decode and append
-// throughput (the paper's observation that record COUNT, not size,
-// limits throughput hinges on the per-append synchronization this
-// measures).
+// Microbenchmarks for the log layer: record encode/decode, append
+// throughput through the wal surface (the paper's observation that
+// record COUNT, not size, limits throughput hinges on the per-append
+// synchronization this measures), random cursor reads, and sequential
+// cursor scans.
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
 
-#include "log/log_manager.h"
 #include "log/log_record.h"
 #include "page/page.h"
+#include "wal/wal.h"
+#include "wal/wal_writer.h"
 
 namespace rewinddb {
 namespace {
@@ -54,12 +56,12 @@ void BM_LogRecordDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_LogRecordDecode)->Arg(64)->Arg(512)->Arg(4096);
 
-void BM_LogAppend(benchmark::State& state) {
+void BM_WalAppend(benchmark::State& state) {
   auto dir = std::filesystem::temp_directory_path() / "rewinddb_microbench";
   std::filesystem::create_directories(dir);
   auto path = (dir / "append.log").string();
   std::filesystem::remove(path);
-  auto lm = LogManager::Create(path, nullptr, nullptr);
+  auto lm = wal::Wal::Create(path, nullptr, nullptr);
   if (!lm.ok()) {
     state.SkipWithError("log create failed");
     return;
@@ -74,16 +76,41 @@ void BM_LogAppend(benchmark::State& state) {
   lm->reset();
   std::filesystem::remove(path);
 }
-BENCHMARK(BM_LogAppend)->Arg(64)->Arg(512);
+BENCHMARK(BM_WalAppend)->Arg(64)->Arg(512);
 
-void BM_LogRandomRead(benchmark::State& state) {
+void BM_WriterStagedAppend(benchmark::State& state) {
+  // The wal::Writer path: encode outside the append lock, publish with
+  // a staged BEGIN riding along on the first record.
+  auto dir = std::filesystem::temp_directory_path() / "rewinddb_microbench";
+  std::filesystem::create_directories(dir);
+  auto path = (dir / "writer_append.log").string();
+  std::filesystem::remove(path);
+  auto lm = wal::Wal::Create(path, nullptr, nullptr);
+  if (!lm.ok()) {
+    state.SkipWithError("log create failed");
+    return;
+  }
+  LogRecord rec = SampleRecord(static_cast<size_t>(state.range(0)));
+  wal::Writer writer = (*lm)->MakeWriter();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer.Append(rec));
+  }
+  Status s = (*lm)->FlushAll();
+  if (!s.ok()) state.SkipWithError("flush failed");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  lm->reset();
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_WriterStagedAppend)->Arg(64)->Arg(512);
+
+void BM_CursorRandomRead(benchmark::State& state) {
   auto dir = std::filesystem::temp_directory_path() / "rewinddb_microbench";
   std::filesystem::create_directories(dir);
   auto path = (dir / "read.log").string();
   std::filesystem::remove(path);
-  LogManagerOptions opts;
+  wal::WalOptions opts;
   opts.cache_blocks = static_cast<size_t>(state.range(1));
-  auto lm = LogManager::Create(path, nullptr, nullptr, opts);
+  auto lm = wal::Wal::Create(path, nullptr, nullptr, opts);
   if (!lm.ok()) {
     state.SkipWithError("log create failed");
     return;
@@ -97,19 +124,53 @@ void BM_LogRandomRead(benchmark::State& state) {
     return;
   }
   uint64_t x = 88172645463325252ULL;
+  wal::Cursor cur = (*lm)->OpenCursor();
   for (auto _ : state) {
     x ^= x << 13;
     x ^= x >> 7;
     x ^= x << 17;
-    auto r = (*lm)->ReadRecord(lsns[x % lsns.size()]);
-    benchmark::DoNotOptimize(r.ok());
+    s = cur.SeekTo(lsns[x % lsns.size()]);
+    benchmark::DoNotOptimize(s.ok() && cur.Valid());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
   lm->reset();
   std::filesystem::remove(path);
 }
 // Second arg: cache blocks (0 = every read is a device read).
-BENCHMARK(BM_LogRandomRead)->Args({0, 0})->Args({0, 256});
+BENCHMARK(BM_CursorRandomRead)->Args({0, 0})->Args({0, 256});
+
+void BM_CursorSequentialScan(benchmark::State& state) {
+  auto dir = std::filesystem::temp_directory_path() / "rewinddb_microbench";
+  std::filesystem::create_directories(dir);
+  auto path = (dir / "scan.log").string();
+  std::filesystem::remove(path);
+  auto lm = wal::Wal::Create(path, nullptr, nullptr);
+  if (!lm.ok()) {
+    state.SkipWithError("log create failed");
+    return;
+  }
+  LogRecord rec = SampleRecord(256);
+  for (int i = 0; i < 4000; i++) (*lm)->Append(rec);
+  Status s = (*lm)->FlushAll();
+  if (!s.ok()) {
+    state.SkipWithError("flush failed");
+    return;
+  }
+  for (auto _ : state) {
+    wal::Cursor cur = (*lm)->OpenCursor();
+    s = cur.SeekTo((*lm)->start_lsn());
+    int64_t n = 0;
+    while (s.ok() && cur.Valid()) {
+      n++;
+      s = cur.Next();
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4000);
+  lm->reset();
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_CursorSequentialScan);
 
 }  // namespace
 }  // namespace rewinddb

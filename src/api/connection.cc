@@ -4,7 +4,8 @@
 
 namespace rewinddb {
 
-Connection::Connection(Database* db) : db_(db) {}
+Connection::Connection(Database* db)
+    : db_(db), commit_mode_(db->options().default_commit_mode) {}
 
 Connection::~Connection() {
   // Every snapshot this Connection minted -- named or anonymous -- is
@@ -53,10 +54,24 @@ std::unique_ptr<Connection> Connection::Attach(Database* db) {
   return std::unique_ptr<Connection>(new Connection(db));
 }
 
-Txn Connection::Begin() { return Txn(db_, db_->Begin()); }
+Txn Connection::Begin() {
+  Transaction* txn = db_->Begin();
+  txn->commit_mode = commit_mode_.load(std::memory_order_relaxed);
+  return Txn(db_, txn);
+}
+
+void Connection::SetDefaultCommitMode(CommitMode mode) {
+  commit_mode_.store(mode, std::memory_order_relaxed);
+}
+
+CommitMode Connection::default_commit_mode() const {
+  return commit_mode_.load(std::memory_order_relaxed);
+}
 
 Status Connection::RunDdl(const std::function<Status(Transaction*)>& body) {
   Transaction* txn = db_->Begin();
+  // DDL honours the session's durability level too (SET COMMIT_MODE).
+  txn->commit_mode = commit_mode_.load(std::memory_order_relaxed);
   Status s = body(txn);
   if (!s.ok()) {
     Status a = db_->Abort(txn);

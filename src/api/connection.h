@@ -21,6 +21,7 @@
 #ifndef REWINDDB_API_CONNECTION_H_
 #define REWINDDB_API_CONNECTION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,6 +57,13 @@ class Connection {
 
   // ------------------------- transactions ----------------------------
   Txn Begin();
+
+  /// Session default durability for commits begun on this Connection
+  /// (initially the engine's DatabaseOptions::default_commit_mode).
+  /// The SQL statement SET COMMIT_MODE binds here; Txn::Commit(mode)
+  /// overrides per transaction.
+  void SetDefaultCommitMode(CommitMode mode);
+  CommitMode default_commit_mode() const;
 
   // ------------------------------ DDL --------------------------------
   // Each statement runs in its own transaction, committed on success.
@@ -125,6 +133,7 @@ class Connection {
 
   std::unique_ptr<Database> owned_;
   Database* db_;
+  std::atomic<CommitMode> commit_mode_;
 
   mutable std::mutex mu_;  // guards the four members below
   std::map<std::string, std::shared_ptr<api_internal::SnapshotState>>

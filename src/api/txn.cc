@@ -42,6 +42,15 @@ Status Txn::Commit() {
   return db_->Commit(t);
 }
 
+Status Txn::Commit(CommitMode mode) {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  Transaction* t = txn_;
+  txn_ = nullptr;
+  return db_->Commit(t, mode);
+}
+
 Status Txn::Abort() {
   if (txn_ == nullptr) {
     return Status::InvalidArgument("transaction already finished");

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "wal/commit_mode.h"
 
 namespace rewinddb {
 
@@ -31,8 +32,15 @@ class Txn {
   Txn(Txn&& other) noexcept;
   Txn& operator=(Txn&& other) noexcept;
 
-  /// Commit. The handle becomes inactive whatever the outcome.
+  /// Commit at the session's default durability level (the engine
+  /// default, or what Connection::SetDefaultCommitMode chose). The
+  /// handle becomes inactive whatever the outcome.
   Status Commit();
+
+  /// Commit at an explicit durability level: kSync fsyncs in this
+  /// thread, kGroup (default) parks on the group-commit pipeline,
+  /// kAsync/kNone return before the commit record is durable.
+  Status Commit(CommitMode mode);
 
   /// Explicit rollback (the destructor does this implicitly).
   Status Abort();

@@ -126,12 +126,13 @@ Result<RestoreResult> BackupManager::RestoreToTime(Database* source,
   //    (the unused tail is "initialized", as in the paper's baseline),
   //    then cut at the stop point so recovery replays exactly to it.
   {
-    // Record length of the boundary record so the cut lands after it.
-    REWIND_ASSIGN_OR_RETURN(LogRecord boundary,
-                            source->log()->ReadRecord(split.split_lsn));
-    std::string tmp;
-    boundary.EncodeTo(&tmp);
-    Lsn cut = split.split_lsn + tmp.size();
+    // Position on the boundary record so the cut lands after it.
+    wal::Cursor boundary = source->log()->OpenCursor();
+    REWIND_RETURN_IF_ERROR(boundary.SeekTo(split.split_lsn));
+    if (!boundary.Valid()) {
+      return Status::Corruption("split point not found in the source log");
+    }
+    Lsn cut = boundary.end_lsn();
 
     int src = ::open((source->dir() + "/log.rwdb").c_str(), O_RDONLY);
     if (src < 0) return Status::IoError("open source log");

@@ -68,7 +68,7 @@ void PageGuard::Release() {
 
 // --------------------------- BufferManager ----------------------------
 
-BufferManager::BufferManager(PageStore* store, LogManager* log,
+BufferManager::BufferManager(PageStore* store, wal::Wal* log,
                              IoStats* stats, size_t pool_pages,
                              bool verify_checksums)
     : store_(store), log_(log), stats_(stats),

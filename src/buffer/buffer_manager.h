@@ -21,9 +21,9 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "io/io_stats.h"
-#include "log/log_manager.h"
 #include "log/log_record.h"
 #include "page/page.h"
+#include "wal/wal.h"
 
 namespace rewinddb {
 
@@ -112,7 +112,7 @@ class BufferManager {
   ///                 for snapshot pools (their writes are unlogged)
   /// \param pool_pages number of frames
   /// \param verify_checksums verify page checksums on every miss read
-  BufferManager(PageStore* store, LogManager* log, IoStats* stats,
+  BufferManager(PageStore* store, wal::Wal* log, IoStats* stats,
                 size_t pool_pages, bool verify_checksums = true);
   ~BufferManager();
 
@@ -151,7 +151,7 @@ class BufferManager {
   void Unpin(Frame* frame, AccessMode mode);
 
   PageStore* store_;
-  LogManager* log_;
+  wal::Wal* log_;
   IoStats* stats_;
   const bool verify_checksums_;
 

@@ -84,28 +84,27 @@ Status Database::InitStorage(bool create) {
   std::filesystem::create_directories(dir_, ec);
   const std::string data_path = dir_ + "/data.rwdb";
   const std::string log_path = dir_ + "/log.rwdb";
+  wal::WalOptions wo;
+  wo.cache_blocks = opts_.log_cache_blocks;
+  wo.flush_interval_micros = opts_.wal_flush_interval_micros;
   if (create) {
     REWIND_ASSIGN_OR_RETURN(
         data_file_, PagedFile::Create(data_path, &data_disk_, &stats_));
-    LogManagerOptions lo;
-    lo.cache_blocks = opts_.log_cache_blocks;
-    REWIND_ASSIGN_OR_RETURN(log_,
-                            LogManager::Create(log_path, &log_disk_, &stats_,
-                                               lo));
+    REWIND_ASSIGN_OR_RETURN(
+        wal_, wal::Wal::Create(log_path, &log_disk_, &stats_, wo));
   } else {
     REWIND_ASSIGN_OR_RETURN(data_file_,
                             PagedFile::Open(data_path, &data_disk_, &stats_));
-    LogManagerOptions lo;
-    lo.cache_blocks = opts_.log_cache_blocks;
     REWIND_ASSIGN_OR_RETURN(
-        log_, LogManager::Open(log_path, &log_disk_, &stats_, lo));
+        wal_, wal::Wal::Open(log_path, &log_disk_, &stats_, wo));
   }
   store_ = std::make_unique<FilePageStore>(data_file_.get());
-  buffers_ = std::make_unique<BufferManager>(store_.get(), log_.get(),
+  buffers_ = std::make_unique<BufferManager>(store_.get(), wal_.get(),
                                              &stats_, opts_.buffer_pool_pages,
                                              opts_.verify_checksums);
-  txns_ = std::make_unique<TransactionManager>(log_.get(), &locks_, clock_);
-  ops_ = std::make_unique<PageOps>(log_.get(), txns_.get(), opts_.fpi_period);
+  txns_ = std::make_unique<TransactionManager>(wal_.get(), &locks_, clock_,
+                                               opts_.default_commit_mode);
+  ops_ = std::make_unique<PageOps>(wal_.get(), txns_.get(), opts_.fpi_period);
   allocator_ = std::make_unique<PageAllocator>(buffers_.get(), ops_.get());
   allocator_->set_on_new_map([this](uint32_t) {
     Status s = WriteSuperBlock();
@@ -144,10 +143,6 @@ Status Database::Bootstrap() {
   // Superblock first so a crash during bootstrap is detectable.
   REWIND_RETURN_IF_ERROR(WriteSuperBlock());
   Transaction* txn = txns_->Begin();
-  LogRecord begin;
-  begin.type = LogType::kBegin;
-  begin.txn_id = txn->id;
-  txns_->OnAppended(txn, log_->Append(begin));
   REWIND_RETURN_IF_ERROR(allocator_->CreateFirstAllocMap(txn));
   REWIND_RETURN_IF_ERROR(Catalog::Bootstrap(write_ctx(), txn));
   REWIND_RETURN_IF_ERROR(txns_->Commit(txn));
@@ -186,6 +181,9 @@ Status Database::WriteSuperBlock() {
 
 void Database::SimulateCrash() {
   StopCheckpointer();
+  // Stop the WAL flusher without a final flush: whatever sits in the
+  // unflushed tail is lost, exactly as in a real crash.
+  wal_->SimulateCrash();
   closed_ = true;
 }
 
@@ -203,35 +201,37 @@ Status Database::RunRecovery() {
   // --- Analysis: from the master checkpoint to the end of the log. ---
   Lsn analysis_start = master_checkpoint_lsn_.load();
   if (analysis_start == kInvalidLsn ||
-      analysis_start < log_->start_lsn()) {
-    analysis_start = log_->start_lsn();
+      analysis_start < wal_->start_lsn()) {
+    analysis_start = wal_->start_lsn();
   }
   std::unordered_map<TxnId, Lsn> att;          // loser candidates
   std::unordered_map<PageId, Lsn> dpt;         // page -> recLSN
-  Lsn end_lsn = log_->next_lsn();
-  REWIND_RETURN_IF_ERROR(log_->Scan(
-      analysis_start, end_lsn, [&](Lsn lsn, const LogRecord& rec) {
-        if (rec.type == LogType::kCheckpointEnd) {
-          for (const AttEntry& e : rec.att) {
-            if (att.find(e.txn_id) == att.end()) att[e.txn_id] = e.last_lsn;
-          }
-          for (const DptEntry& e : rec.dpt) {
-            if (dpt.find(e.page_id) == dpt.end()) dpt[e.page_id] = e.rec_lsn;
-          }
-          return true;
+  Lsn end_lsn = wal_->next_lsn();
+  wal::Cursor cur = wal_->OpenCursor();
+  REWIND_RETURN_IF_ERROR(cur.SeekTo(analysis_start));
+  while (cur.Valid() && cur.lsn() < end_lsn) {
+    const LogRecord& rec = cur.record();
+    if (rec.type == LogType::kCheckpointEnd) {
+      for (const AttEntry& e : rec.att) {
+        if (att.find(e.txn_id) == att.end()) att[e.txn_id] = e.last_lsn;
+      }
+      for (const DptEntry& e : rec.dpt) {
+        if (dpt.find(e.page_id) == dpt.end()) dpt[e.page_id] = e.rec_lsn;
+      }
+    } else {
+      if (rec.txn_id != kInvalidTxnId) {
+        if (rec.type == LogType::kCommit || rec.type == LogType::kAbort) {
+          att.erase(rec.txn_id);
+        } else {
+          att[rec.txn_id] = cur.lsn();
         }
-        if (rec.txn_id != kInvalidTxnId) {
-          if (rec.type == LogType::kCommit || rec.type == LogType::kAbort) {
-            att.erase(rec.txn_id);
-          } else {
-            att[rec.txn_id] = lsn;
-          }
-        }
-        if (rec.IsPageRecord() && dpt.find(rec.page_id) == dpt.end()) {
-          dpt[rec.page_id] = lsn;
-        }
-        return true;
-      }));
+      }
+      if (rec.IsPageRecord() && dpt.find(rec.page_id) == dpt.end()) {
+        dpt[rec.page_id] = cur.lsn();
+      }
+    }
+    REWIND_RETURN_IF_ERROR(cur.Next());
+  }
 
   const bool clean = att.empty() && dpt.empty();
   recovered_from_crash_ = !clean;
@@ -242,26 +242,28 @@ Status Database::RunRecovery() {
   for (const auto& [pid, rec_lsn] : dpt) {
     if (rec_lsn < redo_start) redo_start = rec_lsn;
   }
-  if (redo_start < log_->start_lsn()) redo_start = log_->start_lsn();
-  REWIND_RETURN_IF_ERROR(log_->Scan(
-      redo_start, end_lsn, [&](Lsn lsn, const LogRecord& rec) {
-        if (!rec.IsPageRecord()) return true;
-        auto it = dpt.find(rec.page_id);
-        if (it == dpt.end() || lsn < it->second) return true;
-        auto fetched = buffers_->FetchPage(rec.page_id, AccessMode::kWrite);
-        if (!fetched.ok()) {
-          // Never flushed before the crash: materialize an empty frame;
-          // the first record to redo formats it.
-          fetched = buffers_->NewPage(rec.page_id);
-          if (!fetched.ok()) return false;
-        }
-        PageGuard page = std::move(*fetched);
-        if (PageLsn(page.data()) >= lsn) return true;  // already applied
-        Status s = ApplyRedo(page.mutable_data(), rec, lsn);
-        if (!s.ok()) return false;
+  if (redo_start < wal_->start_lsn()) redo_start = wal_->start_lsn();
+  REWIND_RETURN_IF_ERROR(cur.SeekTo(redo_start));
+  while (cur.Valid() && cur.lsn() < end_lsn) {
+    const Lsn lsn = cur.lsn();
+    const LogRecord& rec = cur.record();
+    auto it = rec.IsPageRecord() ? dpt.find(rec.page_id) : dpt.end();
+    if (it != dpt.end() && lsn >= it->second) {
+      auto fetched = buffers_->FetchPage(rec.page_id, AccessMode::kWrite);
+      if (!fetched.ok()) {
+        // Never flushed before the crash: materialize an empty frame;
+        // the first record to redo formats it.
+        fetched = buffers_->NewPage(rec.page_id);
+        if (!fetched.ok()) return fetched.status();
+      }
+      PageGuard page = std::move(*fetched);
+      if (PageLsn(page.data()) < lsn) {  // not yet applied
+        REWIND_RETURN_IF_ERROR(ApplyRedo(page.mutable_data(), rec, lsn));
         page.MarkDirty(lsn);
-        return true;
-      }));
+      }
+    }
+    REWIND_RETURN_IF_ERROR(cur.Next());
+  }
 
   // --- Undo: roll back losers in reverse LSN order with CLRs. ---
   // System-transaction records (SMOs, allocation) are undone physically
@@ -288,7 +290,8 @@ Status Database::RunRecovery() {
       }
     }
     if (max_lsn == kInvalidLsn) break;
-    REWIND_ASSIGN_OR_RETURN(LogRecord rec, log_->ReadRecord(max_lsn));
+    REWIND_RETURN_IF_ERROR(cur.SeekToChain(max_lsn));
+    const LogRecord& rec = cur.record();
     Transaction* txn = losers[victim];
     if (rec.type == LogType::kClr) {
       cursor[victim] = rec.undo_next_lsn;
@@ -306,24 +309,26 @@ Status Database::RunRecovery() {
       abort.type = LogType::kAbort;
       abort.txn_id = victim;
       abort.prev_lsn = txn->last_lsn;
-      log_->Append(abort);
+      wal_->Append(abort);
       txns_->Forget(txn);
       cursor.erase(victim);
     }
   }
-  REWIND_RETURN_IF_ERROR(log_->FlushAll());
+  REWIND_RETURN_IF_ERROR(wal_->FlushAll());
   return Checkpoint();
 }
 
 // --------------------------- transactions -----------------------------
 
 Transaction* Database::Begin() {
-  Transaction* txn = txns_->Begin();
-  LogRecord rec;
-  rec.type = LogType::kBegin;
-  rec.txn_id = txn->id;
-  txns_->OnAppended(txn, log_->Append(rec));
-  return txn;
+  // The BEGIN record is staged in the transaction's wal::Writer and
+  // published together with the first update.
+  return txns_->Begin();
+}
+
+Status Database::Commit(Transaction* txn, CommitMode mode) {
+  txn->commit_mode = mode;
+  return Commit(txn);
 }
 
 Status Database::Commit(Transaction* txn) {
@@ -480,7 +485,7 @@ Status Database::Checkpoint() {
   LogRecord begin;
   begin.type = LogType::kCheckpointBegin;
   begin.wall_clock = clock_->NowMicros();
-  Lsn begin_lsn = log_->Append(begin);
+  Lsn begin_lsn = wal_->Append(begin);
 
   LogRecord end;
   end.type = LogType::kCheckpointEnd;
@@ -491,8 +496,8 @@ Status Database::Checkpoint() {
   // checkpoint.
   REWIND_RETURN_IF_ERROR(buffers_->FlushAll());
   end.dpt = buffers_->DirtyPageTable();
-  log_->Append(end);
-  REWIND_RETURN_IF_ERROR(log_->FlushAll());
+  wal_->Append(end);
+  REWIND_RETURN_IF_ERROR(wal_->FlushAll());
 
   master_checkpoint_lsn_ = begin_lsn;
   return WriteSuperBlock();
@@ -523,7 +528,7 @@ Status Database::EnforceRetention() {
   // Newest checkpoint at or before the cutoff: everything older than it
   // is outside the retention window.
   Lsn candidate = kInvalidLsn;
-  for (const CheckpointRef& c : log_->checkpoints()) {
+  for (const CheckpointRef& c : wal_->checkpoints()) {
     if (c.wall_clock <= cutoff) candidate = c.begin_lsn;
   }
   if (candidate == kInvalidLsn) return Status::OK();
@@ -541,8 +546,8 @@ Status Database::EnforceRetention() {
     }
   }
   Lsn target = candidate < floor ? candidate : floor;
-  if (target <= log_->start_lsn()) return Status::OK();
-  return log_->TruncateBefore(target);
+  if (target <= wal_->start_lsn()) return Status::OK();
+  return wal_->TruncateBefore(target);
 }
 
 void Database::StartCheckpointer() {

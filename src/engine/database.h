@@ -28,9 +28,10 @@
 #include "engine/page_ops.h"
 #include "io/disk_model.h"
 #include "io/paged_file.h"
-#include "log/log_manager.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
+#include "wal/commit_mode.h"
+#include "wal/wal.h"
 
 namespace rewinddb {
 
@@ -52,6 +53,12 @@ struct DatabaseOptions {
   Clock* clock = nullptr;
   /// Log block cache capacity (32 KiB blocks).
   size_t log_cache_blocks = 256;
+  /// Default durability level for Commit (Txn::Commit(mode) and
+  /// Connection::SetDefaultCommitMode override per call / session).
+  CommitMode default_commit_mode = CommitMode::kGroup;
+  /// Background WAL flusher cadence for kAsync/kNone stragglers;
+  /// 0 flushes only on demand (deterministic for crash tests).
+  uint64_t wal_flush_interval_micros = 2'000;
   bool verify_checksums = true;
   uint64_t lock_timeout_micros = 1'000'000;
   /// Background checkpoint cadence; 0 = manual checkpoints only.
@@ -109,7 +116,11 @@ class Database {
 
   // ------------------------- transactions ----------------------------
   Transaction* Begin();
+  /// Commit with the transaction's stamped CommitMode (the engine
+  /// default unless overridden).
   Status Commit(Transaction* txn);
+  /// Commit with an explicit durability level for this transaction.
+  Status Commit(Transaction* txn, CommitMode mode);
   Status Abort(Transaction* txn);
 
   // ----------------------------- DDL ---------------------------------
@@ -141,7 +152,7 @@ class Database {
 
   // ------------------------ engine internals -------------------------
   // Exposed for the snapshot, backup and benchmark layers.
-  LogManager* log() { return log_.get(); }
+  wal::Wal* log() { return wal_.get(); }
   BufferManager* buffers() { return buffers_.get(); }
   LockManager* locks() { return &locks_; }
   TransactionManager* txns() { return txns_.get(); }
@@ -209,7 +220,7 @@ class Database {
 
   std::unique_ptr<PagedFile> data_file_;
   std::unique_ptr<FilePageStore> store_;
-  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<wal::Wal> wal_;
   std::unique_ptr<BufferManager> buffers_;
   LockManager locks_;
   std::unique_ptr<TransactionManager> txns_;

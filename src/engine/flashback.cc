@@ -22,27 +22,33 @@ struct VictimOp {
 }  // namespace
 
 Result<FlashbackResult> FlashbackTransaction(Database* db, TxnId victim) {
-  LogManager* log = db->log();
+  wal::Wal* log = db->log();
 
-  // Locate the victim's commit record and its chain head. A forward
-  // scan is the general mechanism (the ATT only knows active
-  // transactions); bounded by the retained log.
-  Lsn last_lsn = kInvalidLsn;
+  // Locate the victim's commit record with one forward cursor pass (the
+  // ATT only knows active transactions); bounded by the retained log.
+  // The commit record's prev_lsn is the chain head to undo from.
+  Lsn commit_prev = kInvalidLsn;
   bool committed = false;
   bool aborted = false;
-  REWIND_RETURN_IF_ERROR(log->Scan(
-      log->start_lsn(), log->next_lsn(), [&](Lsn, const LogRecord& rec) {
-        if (rec.txn_id != victim) return true;
+  {
+    wal::Cursor cur = log->OpenCursor();
+    REWIND_RETURN_IF_ERROR(cur.SeekTo(log->start_lsn()));
+    while (cur.Valid()) {
+      const LogRecord& rec = cur.record();
+      if (rec.txn_id == victim) {
         if (rec.type == LogType::kCommit) {
           committed = true;
-          return false;
+          commit_prev = rec.prev_lsn;
+          break;
         }
         if (rec.type == LogType::kAbort) {
           aborted = true;
-          return false;
+          break;
         }
-        return true;
-      }));
+      }
+      REWIND_RETURN_IF_ERROR(cur.Next());
+    }
+  }
   if (aborted) {
     return Status::InvalidArgument("transaction " + std::to_string(victim) +
                                    " was rolled back; nothing to undo");
@@ -59,23 +65,12 @@ Result<FlashbackResult> FlashbackTransaction(Database* db, TxnId victim) {
   // rollback it performed while running).
   std::vector<VictimOp> reversed;  // in reverse-execution order
   {
-    // Find the commit record's prev_lsn: scan again for it (cheap: the
-    // checkpoint directory bounds are already in cache from the first
-    // scan).
-    Lsn commit_prev = kInvalidLsn;
-    REWIND_RETURN_IF_ERROR(log->Scan(
-        log->start_lsn(), log->next_lsn(), [&](Lsn, const LogRecord& rec) {
-          if (rec.txn_id == victim && rec.type == LogType::kCommit) {
-            commit_prev = rec.prev_lsn;
-            return false;
-          }
-          return true;
-        }));
-    Lsn cursor = commit_prev;
-    while (cursor != kInvalidLsn) {
-      REWIND_ASSIGN_OR_RETURN(LogRecord rec, log->ReadRecord(cursor));
+    wal::Cursor cur = log->OpenCursor();
+    REWIND_RETURN_IF_ERROR(cur.SeekToChain(commit_prev));
+    while (cur.Valid()) {
+      const LogRecord& rec = cur.record();
       if (rec.type == LogType::kClr) {
-        cursor = rec.undo_next_lsn;
+        REWIND_RETURN_IF_ERROR(cur.FollowUndoNext());
         continue;
       }
       if (rec.type == LogType::kBegin) break;
@@ -84,10 +79,8 @@ Result<FlashbackResult> FlashbackTransaction(Database* db, TxnId victim) {
            rec.type == LogType::kUpdate)) {
         reversed.push_back({rec.type, rec.tree_id, rec.image, rec.image2});
       }
-      cursor = rec.prev_lsn;
+      REWIND_RETURN_IF_ERROR(cur.FollowPrev());
     }
-    last_lsn = commit_prev;
-    (void)last_lsn;
   }
 
   // Apply the inverses in a fresh transaction, with conflict checks.

@@ -7,6 +7,16 @@
 
 namespace rewinddb {
 
+Lsn PageOps::Publish(Transaction* txn, const LogRecord& rec) {
+  if (txn != nullptr) {
+    Lsn base = kInvalidLsn;
+    Lsn lsn = txn->writer.Append(rec, &base);
+    txns_->OnAppended(txn, lsn, base);
+    return lsn;
+  }
+  return wal_->Append(rec);
+}
+
 Lsn PageOps::AppendChained(Transaction* txn, PageGuard& page,
                            LogRecord* rec) {
   PageHeader* h = Header(page.mutable_data());
@@ -17,9 +27,7 @@ Lsn PageOps::AppendChained(Transaction* txn, PageGuard& page,
   rec->prev_fpi_lsn = h->last_fpi_lsn;
   rec->page_id = h->page_id;
   if (rec->tree_id == kInvalidPageId) rec->tree_id = h->tree_id;
-  Lsn lsn = log_->Append(*rec);
-  if (txn != nullptr) txns_->OnAppended(txn, lsn);
-  return lsn;
+  return Publish(txn, *rec);
 }
 
 void PageOps::MaybeEmitFpi(Transaction* /*txn*/, PageGuard& page) {
@@ -37,7 +45,7 @@ void PageOps::MaybeEmitFpi(Transaction* /*txn*/, PageGuard& page) {
   fpi.prev_page_lsn = h->page_lsn;
   fpi.prev_fpi_lsn = h->last_fpi_lsn;
   fpi.image.assign(page.data(), kPageSize);
-  Lsn lsn = log_->Append(fpi);
+  Lsn lsn = wal_->Append(fpi);
   h->last_fpi_lsn = lsn;
   h->mod_count = 0;
   page.MarkDirty(lsn);
@@ -110,8 +118,7 @@ Status PageOps::LogFormat(Transaction* txn, PageGuard& page, PageId id,
   rec.is_system = txn != nullptr && txn->is_system;
   rec.prev_page_lsn = prev_page;
   rec.prev_fpi_lsn = prev_fpi;
-  Lsn lsn = log_->Append(rec);
-  if (txn != nullptr) txns_->OnAppended(txn, lsn);
+  Lsn lsn = Publish(txn, rec);
 
   if (type == PageType::kAllocMap) {
     AllocPage::Init(page.mutable_data(), id);
@@ -138,8 +145,7 @@ Status PageOps::LogPreformat(Transaction* txn, PageGuard& page,
   rec.prev_page_lsn = ih->page_lsn;
   rec.prev_fpi_lsn = ih->last_fpi_lsn;
   rec.image.assign(image, kPageSize);
-  Lsn lsn = log_->Append(rec);
-  if (txn != nullptr) txns_->OnAppended(txn, lsn);
+  Lsn lsn = Publish(txn, rec);
 
   // The frame now carries the preformat LSN in both chain anchors so
   // the following LogFormat links to it.

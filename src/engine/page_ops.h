@@ -14,8 +14,8 @@
 
 #include "buffer/buffer_manager.h"
 #include "common/status.h"
-#include "log/log_manager.h"
 #include "txn/transaction.h"
+#include "wal/wal.h"
 
 namespace rewinddb {
 
@@ -24,11 +24,11 @@ class PageOps {
   /// \param fpi_period_n emit a full page image after every N
   ///        modifications of a page; 0 disables periodic images (the
   ///        paper's baseline configuration).
-  PageOps(LogManager* log, TransactionManager* txns, uint32_t fpi_period_n)
-      : log_(log), txns_(txns), fpi_period_(fpi_period_n) {}
+  PageOps(wal::Wal* wal, TransactionManager* txns, uint32_t fpi_period_n)
+      : wal_(wal), txns_(txns), fpi_period_(fpi_period_n) {}
 
   uint32_t fpi_period() const { return fpi_period_; }
-  LogManager* log() const { return log_; }
+  wal::Wal* log() const { return wal_; }
 
   /// Insert `entry` at `slot` of the guarded page.
   Status LogInsert(Transaction* txn, PageGuard& page, uint16_t slot,
@@ -78,12 +78,16 @@ class PageOps {
                     Lsn undo_next);
 
  private:
-  /// Fill chain fields from the page header and transaction, append,
-  /// apply bookkeeping, and maybe emit a periodic FPI.
+  /// Publish one record: through `txn`'s wal::Writer (staged BEGIN
+  /// rides along, prevLSN chain updated) or straight to the wal for
+  /// txn-less records.
+  Lsn Publish(Transaction* txn, const LogRecord& rec);
+  /// Fill chain fields from the page header and transaction, Publish,
+  /// and return the record's LSN.
   Lsn AppendChained(Transaction* txn, PageGuard& page, LogRecord* rec);
   void MaybeEmitFpi(Transaction* txn, PageGuard& page);
 
-  LogManager* log_;
+  wal::Wal* wal_;
   TransactionManager* txns_;
   uint32_t fpi_period_;
 };

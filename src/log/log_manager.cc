@@ -81,38 +81,57 @@ Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& path,
   // length or checksum is invalid (torn tail after a crash).
   Lsn cursor = lm->start_lsn_.load();
   while (true) {
-    auto rec = lm->ReadFromFile(cursor);
+    size_t size = 0;
+    auto rec = lm->ReadFromFile(cursor, &size);
     if (!rec.ok()) break;
     if (rec->type == LogType::kCheckpointBegin) {
       lm->checkpoints_.push_back({cursor, rec->wall_clock});
     }
-    std::string tmp;
-    rec->EncodeTo(&tmp);
-    cursor += tmp.size();
+    cursor += size;
   }
   lm->next_lsn_ = cursor;
   lm->tail_start_ = cursor;
+  lm->flushing_start_ = cursor;
   lm->flushed_lsn_.store(cursor);
   return lm;
 }
 
-Lsn LogManager::Append(const LogRecord& rec) {
+void LogManager::NoteCheckpoint(const LogRecord& rec, Lsn lsn) {
+  if (rec.type != LogType::kCheckpointBegin) return;
+  std::lock_guard<std::mutex> g(ckpt_mu_);
+  checkpoints_.push_back({lsn, rec.wall_clock});
+}
+
+Lsn LogManager::Append(const LogRecord& rec, bool* need_flush) {
   Lsn lsn;
-  bool need_flush = false;
   {
     std::lock_guard<std::mutex> g(append_mu_);
     lsn = next_lsn_;
     rec.EncodeTo(&tail_);
     next_lsn_ = tail_start_ + tail_.size();
     if (stats_ != nullptr) stats_->log_writes++;
-    need_flush = tail_.size() >= opts_.max_tail_bytes;
+    if (need_flush != nullptr) {
+      *need_flush = tail_.size() >= opts_.max_tail_bytes;
+    }
   }
-  if (rec.type == LogType::kCheckpointBegin) {
-    std::lock_guard<std::mutex> g(ckpt_mu_);
-    checkpoints_.push_back({lsn, rec.wall_clock});
-  }
-  if (need_flush) FlushTo(lsn);  // backpressure; error surfaces on commit
+  NoteCheckpoint(rec, lsn);
   return lsn;
+}
+
+Lsn LogManager::AppendEncoded(Slice encoded, size_t records,
+                              bool* need_flush) {
+  Lsn base;
+  {
+    std::lock_guard<std::mutex> g(append_mu_);
+    base = next_lsn_;
+    tail_.append(encoded.data(), encoded.size());
+    next_lsn_ = tail_start_ + tail_.size();
+    if (stats_ != nullptr) stats_->log_writes += records;
+    if (need_flush != nullptr) {
+      *need_flush = tail_.size() >= opts_.max_tail_bytes;
+    }
+  }
+  return base;
 }
 
 Status LogManager::FlushTo(Lsn lsn) {
@@ -133,37 +152,63 @@ Status LogManager::FlushAll() {
 
 Status LogManager::FlushLocked(Lsn target) {
   // flush_mu_ held. Steal the current tail (group commit: one write and
-  // one sync cover every record appended so far).
+  // one sync cover every record appended so far). The stolen batch
+  // stays readable from memory (flushing_) until it is on disk, so
+  // concurrent cursor reads never observe a half-written file region.
   if (flushed_lsn_.load(std::memory_order_acquire) > target) {
     return Status::OK();
   }
-  std::string batch;
   Lsn batch_start;
   {
     std::lock_guard<std::mutex> g(append_mu_);
-    batch.swap(tail_);
+    flushing_.swap(tail_);  // flushing_ is empty outside a flush
     batch_start = tail_start_;
-    tail_start_ += batch.size();
+    flushing_start_ = batch_start;
+    tail_start_ += flushing_.size();
   }
-  if (!batch.empty()) {
-    ssize_t n = ::pwrite(fd_, batch.data(), batch.size(),
+  if (!flushing_.empty()) {
+    Status io;
+    ssize_t n = ::pwrite(fd_, flushing_.data(), flushing_.size(),
                          static_cast<off_t>(batch_start));
-    if (n != static_cast<ssize_t>(batch.size())) {
-      return Status::IoError("log write failed: " +
-                             std::string(strerror(errno)));
+    if (n != static_cast<ssize_t>(flushing_.size())) {
+      io = Status::IoError("log write failed: " +
+                           std::string(strerror(errno)));
+    } else if (::fdatasync(fd_) != 0) {
+      io = Status::IoError("log sync failed: " +
+                           std::string(strerror(errno)));
     }
-    if (::fdatasync(fd_) != 0) {
-      return Status::IoError("log sync failed: " +
-                             std::string(strerror(errno)));
+    if (!io.ok()) {
+      // Give the stolen batch back to the front of the tail so the
+      // LSN-to-byte mapping stays exact (records appended meanwhile
+      // follow it contiguously); a later flush retries from
+      // batch_start, and flushed_lsn never moved.
+      std::lock_guard<std::mutex> g(append_mu_);
+      tail_.insert(0, flushing_);
+      tail_start_ -= flushing_.size();
+      flushing_.clear();
+      flushing_start_ = tail_start_;
+      return io;
     }
-    if (disk_ != nullptr) disk_->Access(batch_start, batch.size());
-    if (stats_ != nullptr) stats_->log_bytes_written += batch.size();
+    const size_t batch_bytes = flushing_.size();
+    // Close the short-block caching window: readers that overlap
+    // [write, invalidate) must not insert a pre-flush copy of the
+    // last block (odd flush_gen_ = flush in progress).
+    flush_gen_.fetch_add(1, std::memory_order_acq_rel);
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    flush_batch_bytes_.fetch_add(batch_bytes, std::memory_order_relaxed);
+    uint64_t prev_max = max_batch_bytes_.load(std::memory_order_relaxed);
+    while (prev_max < batch_bytes &&
+           !max_batch_bytes_.compare_exchange_weak(
+               prev_max, batch_bytes, std::memory_order_relaxed)) {
+    }
+    if (disk_ != nullptr) disk_->Access(batch_start, batch_bytes);
+    if (stats_ != nullptr) stats_->log_bytes_written += batch_bytes;
     // Invalidate cached blocks the write touched: the previously-last
     // block may have been cached short and would shadow new records.
     if (opts_.cache_blocks > 0) {
       std::lock_guard<std::mutex> cg(cache_mu_);
       uint64_t first = batch_start / kBlockSize;
-      uint64_t last = (batch_start + batch.size() - 1) / kBlockSize;
+      uint64_t last = (batch_start + batch_bytes - 1) / kBlockSize;
       for (uint64_t i = first; i <= last; i++) {
         auto it = cache_.find(i);
         if (it != cache_.end()) {
@@ -172,7 +217,14 @@ Status LogManager::FlushLocked(Lsn target) {
         }
       }
     }
-    flushed_lsn_.store(batch_start + batch.size(), std::memory_order_release);
+    flush_gen_.fetch_add(1, std::memory_order_acq_rel);
+    flushed_lsn_.store(batch_start + batch_bytes, std::memory_order_release);
+    {
+      // The bytes are durable; retire the in-memory copy.
+      std::lock_guard<std::mutex> g(append_mu_);
+      flushing_.clear();
+      flushing_start_ = tail_start_;
+    }
   }
   return Status::OK();
 }
@@ -186,12 +238,25 @@ Lsn LogManager::next_lsn() const {
 
 Lsn LogManager::start_lsn() const { return start_lsn_.load(); }
 
+size_t LogManager::tail_bytes() const {
+  std::lock_guard<std::mutex> g(append_mu_);
+  return tail_.size();
+}
+
 uint64_t LogManager::LiveBytes() const {
   std::lock_guard<std::mutex> g(append_mu_);
   return next_lsn_ - start_lsn_.load();
 }
 
-Result<LogRecord> LogManager::ReadRecord(Lsn lsn) {
+LogFlushStats LogManager::flush_stats() const {
+  LogFlushStats out;
+  out.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  out.batch_bytes = flush_batch_bytes_.load(std::memory_order_relaxed);
+  out.max_batch_bytes = max_batch_bytes_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Result<LogRecord> LogManager::ReadRecord(Lsn lsn, size_t* encoded_size) {
   if (lsn < start_lsn_.load()) {
     return Status::OutOfRange(
         "log record " + std::to_string(lsn) +
@@ -205,15 +270,24 @@ Result<LogRecord> LogManager::ReadRecord(Lsn lsn) {
     if (lsn >= tail_start_) {
       // Still in the unflushed tail: serve from memory, no IO.
       size_t off = lsn - tail_start_;
-      return ParseAt(tail_.data() + off, tail_.size() - off);
+      return ParseAt(tail_.data() + off, tail_.size() - off, encoded_size);
+    }
+    if (!flushing_.empty() && lsn >= flushing_start_) {
+      // In the batch a flusher stole but has not finished writing.
+      size_t off = lsn - flushing_start_;
+      return ParseAt(flushing_.data() + off, flushing_.size() - off,
+                     encoded_size);
     }
   }
-  return ReadFromFile(lsn);
+  return ReadFromFile(lsn, encoded_size);
 }
 
-Result<LogRecord> LogManager::ParseAt(const char* data, size_t avail) const {
-  size_t consumed;
-  return LogRecord::Decode(Slice(data, avail), &consumed);
+Result<LogRecord> LogManager::ParseAt(const char* data, size_t avail,
+                                      size_t* encoded_size) const {
+  size_t consumed = 0;
+  auto rec = LogRecord::Decode(Slice(data, avail), &consumed);
+  if (rec.ok() && encoded_size != nullptr) *encoded_size = consumed;
+  return rec;
 }
 
 Result<std::shared_ptr<std::string>> LogManager::FetchBlock(uint64_t idx) {
@@ -228,7 +302,9 @@ Result<std::shared_ptr<std::string>> LogManager::FetchBlock(uint64_t idx) {
       return it->second.block;
     }
   }
-  // Miss: read from the device.
+  // Miss: read from the device. With the cache disabled this is the
+  // whole story -- straight to the file, nothing retained.
+  uint64_t gen_before = flush_gen_.load(std::memory_order_acquire);
   auto block = std::make_shared<std::string>();
   block->resize(kBlockSize);
   off_t offset = static_cast<off_t>(idx) * kBlockSize;
@@ -240,9 +316,22 @@ Result<std::shared_ptr<std::string>> LogManager::FetchBlock(uint64_t idx) {
   if (disk_ != nullptr) disk_->Access(static_cast<uint64_t>(offset),
                                       static_cast<uint64_t>(n));
   if (stats_ != nullptr) stats_->log_read_misses++;
+  // A COMPLETE block of an append-only log is immutable, always safe
+  // to cache. A SHORT (last) block may be extended by a concurrent
+  // flush whose cache-invalidation pass ran before our insert, which
+  // would leave a stale copy shadowing the new records -- so a short
+  // block is inserted only if, under cache_mu_, no flush has started
+  // since before our pread (flush_gen_ even and unchanged; the
+  // invalidation pass runs strictly inside an odd-gen window, so an
+  // unchanged even gen proves it has not run yet and any later flush
+  // will invalidate what we insert).
   if (opts_.cache_blocks > 0) {
     std::lock_guard<std::mutex> g(cache_mu_);
-    if (cache_.find(idx) == cache_.end()) {
+    const bool short_block_safe =
+        gen_before % 2 == 0 &&
+        flush_gen_.load(std::memory_order_acquire) == gen_before;
+    if ((block->size() == kBlockSize || short_block_safe) &&
+        cache_.find(idx) == cache_.end()) {
       lru_.push_front(idx);
       cache_[idx] = {block, lru_.begin()};
       while (cache_.size() > opts_.cache_blocks) {
@@ -255,7 +344,14 @@ Result<std::shared_ptr<std::string>> LogManager::FetchBlock(uint64_t idx) {
   return block;
 }
 
-Result<LogRecord> LogManager::ReadFromFile(Lsn lsn) {
+void LogManager::PrefetchBlock(Lsn lsn) {
+  if (opts_.cache_blocks == 0) return;  // nothing to warm
+  if (lsn >= flushed_lsn_.load(std::memory_order_acquire)) return;
+  auto block = FetchBlock(lsn / kBlockSize);
+  (void)block;
+}
+
+Result<LogRecord> LogManager::ReadFromFile(Lsn lsn, size_t* encoded_size) {
   // Assemble the record (which may straddle block boundaries): first get
   // enough bytes for the length prefix, then the rest.
   std::string buf;
@@ -288,33 +384,9 @@ Result<LogRecord> LogManager::ReadFromFile(Lsn lsn) {
     }
     buf.append(**nb);
   }
+  if (encoded_size != nullptr) *encoded_size = len;
   size_t consumed;
   return LogRecord::Decode(Slice(buf.data(), len), &consumed);
-}
-
-Status LogManager::Scan(Lsn from, Lsn to,
-                        const std::function<bool(Lsn, const LogRecord&)>& cb) {
-  if (from < start_lsn_.load()) {
-    return Status::OutOfRange("scan start below retention window");
-  }
-  Lsn cursor = from;
-  while (cursor < to) {
-    {
-      std::lock_guard<std::mutex> g(append_mu_);
-      if (cursor >= next_lsn_) break;
-    }
-    auto rec = ReadRecord(cursor);
-    if (!rec.ok()) {
-      // A torn tail ends the scan benignly; anything else propagates.
-      if (rec.status().IsCorruption()) break;
-      return rec.status();
-    }
-    std::string tmp;
-    rec->EncodeTo(&tmp);
-    if (!cb(cursor, *rec)) break;
-    cursor += tmp.size();
-  }
-  return Status::OK();
 }
 
 std::vector<CheckpointRef> LogManager::checkpoints() const {

@@ -1,14 +1,20 @@
-// Append-only transaction log with ARIES-style LSNs.
+// Log block/file/cache core underneath the wal:: surface.
 //
 // LSNs are byte offsets into the log file, so fetching a record during
 // page rewind is one positioned read; a log-block cache absorbs
 // re-reads, and every cache miss is charged to the disk model -- the
 // paper's "each log IO is a potential stall" (section 6.2) and the
 // quantity figure 11 estimates.
+//
+// This class is NOT an application surface. Writers publish through
+// wal::Writer / wal::Wal (which owns the group-commit pipeline) and
+// readers iterate with wal::Cursor; record-level reads are private and
+// friended to the wal layer so no consumer can grow a bespoke
+// chain-walk or scan loop against the core again.
 #ifndef REWINDDB_LOG_LOG_MANAGER_H_
 #define REWINDDB_LOG_LOG_MANAGER_H_
 
-#include <functional>
+#include <atomic>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -24,6 +30,11 @@
 
 namespace rewinddb {
 
+namespace wal {
+class Cursor;
+class Wal;
+}  // namespace wal
+
 /// Reference to a checkpoint, kept in memory to narrow the SplitLSN
 /// search (section 5.1) and to pick log truncation points.
 struct CheckpointRef {
@@ -31,15 +42,25 @@ struct CheckpointRef {
   WallClock wall_clock;
 };
 
-/// Thread-safe log manager: appends, group-commit flushes, random and
-/// sequential reads, retention-driven truncation.
-/// Tuning knobs for the log manager.
+/// Tuning knobs for the log core.
 struct LogManagerOptions {
   /// Log-block cache capacity in 32 KiB blocks (0 disables caching --
-  /// useful to magnify stalls in experiments).
+  /// useful to magnify stalls in experiments). With the cache disabled
+  /// every read goes straight to the file and nothing is retained.
   size_t cache_blocks = 256;
-  /// Auto-flush threshold for the in-memory tail.
+  /// Tail size at which appends ask for a flush (backpressure).
   size_t max_tail_bytes = 4 << 20;
+};
+
+/// Counters for the flush pipeline (evidence for the fig6 bench JSON).
+struct LogFlushStats {
+  /// Flush batches written -- one pwrite + one fdatasync pair each, so
+  /// this is also the fsync count.
+  uint64_t fsyncs = 0;
+  /// Total bytes across all batches.
+  uint64_t batch_bytes = 0;
+  /// Largest single batch.
+  uint64_t max_batch_bytes = 0;
 };
 
 class LogManager {
@@ -63,8 +84,16 @@ class LogManager {
                                                   IoStats* stats,
                                                   Options opts = Options());
 
-  /// Append `rec`; returns its LSN. Does not flush.
-  Lsn Append(const LogRecord& rec);
+  /// Append `rec`; returns its LSN. Does not flush; `*need_flush` (if
+  /// non-null) is set when the tail has crossed the backpressure
+  /// threshold and the owner should schedule a flush.
+  Lsn Append(const LogRecord& rec, bool* need_flush = nullptr);
+
+  /// Splice `records` pre-encoded record bytes (no checkpoint records)
+  /// onto the tail in one step; returns the LSN of the first byte.
+  /// This is the wal::Writer publish path: encoding happened outside
+  /// the append lock.
+  Lsn AppendEncoded(Slice encoded, size_t records, bool* need_flush);
 
   /// Ensure all records up to and including `lsn` are durable.
   Status FlushTo(Lsn lsn);
@@ -77,14 +106,8 @@ class LogManager {
   Lsn next_lsn() const;
   /// Oldest available LSN (records below were truncated away).
   Lsn start_lsn() const;
-
-  /// Random-access read of the record at `lsn` (chain walks).
-  Result<LogRecord> ReadRecord(Lsn lsn);
-
-  /// Sequential scan of [from, to): invokes `cb(lsn, record)`; the
-  /// callback returns false to stop early.
-  Status Scan(Lsn from, Lsn to,
-              const std::function<bool(Lsn, const LogRecord&)>& cb);
+  /// Bytes currently staged in the unflushed tail.
+  size_t tail_bytes() const;
 
   /// Checkpoint directory (ascending LSN).
   std::vector<CheckpointRef> checkpoints() const;
@@ -98,18 +121,35 @@ class LogManager {
   uint64_t LiveBytes() const;
 
   /// Drop all cached blocks (failure-injection in tests/benchmarks).
+  /// Safe no-op when the cache is disabled (cache_blocks == 0).
   void DropCache();
 
+  LogFlushStats flush_stats() const;
+
  private:
+  friend class wal::Cursor;
+  friend class wal::Wal;
+
   LogManager(std::string path, int fd, DiskModel* disk, IoStats* stats,
              Options opts);
+
+  /// Random-access read of the record at `lsn`. Sets `*encoded_size`
+  /// (if non-null) to the record's on-log length so iteration can
+  /// advance without re-encoding. wal::Cursor is the only consumer.
+  Result<LogRecord> ReadRecord(Lsn lsn, size_t* encoded_size = nullptr);
+
+  /// Warm the cache with the 32 KiB block holding `lsn` (sequential
+  /// scan prefetch). No-op when the cache is disabled.
+  void PrefetchBlock(Lsn lsn);
 
   Status WriteHeader();
   Status FlushLocked(Lsn target);
   /// Fetch the 32 KiB block with index `idx` through the cache.
   Result<std::shared_ptr<std::string>> FetchBlock(uint64_t idx);
-  Result<LogRecord> ReadFromFile(Lsn lsn);
-  Result<LogRecord> ParseAt(const char* data, size_t avail) const;
+  Result<LogRecord> ReadFromFile(Lsn lsn, size_t* encoded_size);
+  Result<LogRecord> ParseAt(const char* data, size_t avail,
+                            size_t* encoded_size) const;
+  void NoteCheckpoint(const LogRecord& rec, Lsn lsn);
 
   static constexpr size_t kBlockSize = 32 * 1024;
   static constexpr Lsn kFirstLsn = 64;  // log header occupies [0, 64)
@@ -124,10 +164,23 @@ class LogManager {
   std::string tail_;          // unflushed bytes
   Lsn tail_start_ = kFirstLsn;
   Lsn next_lsn_ = kFirstLsn;
+  /// Batch currently being written by a flusher: stolen from the tail
+  /// but possibly not yet on disk, so reads of [flushing_start_,
+  /// tail_start_) are served from here instead of the file.
+  std::string flushing_;
+  Lsn flushing_start_ = kFirstLsn;
 
   std::mutex flush_mu_;       // serializes file writes
+  /// Bumped to odd when a flush starts writing the file and back to
+  /// even once its cache invalidation completed; FetchBlock uses it to
+  /// refuse caching a short block whose read overlapped a flush.
+  std::atomic<uint64_t> flush_gen_{0};
   std::atomic<Lsn> flushed_lsn_{kFirstLsn};
   std::atomic<Lsn> start_lsn_{kFirstLsn};
+
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> flush_batch_bytes_{0};
+  std::atomic<uint64_t> max_batch_bytes_{0};
 
   mutable std::mutex cache_mu_;
   std::list<uint64_t> lru_;   // most recent at front

@@ -135,7 +135,7 @@ Result<std::unique_ptr<AsOfSnapshot>> AsOfSnapshot::Create(
 }
 
 Status AsOfSnapshot::Recover() {
-  LogManager* log = primary_->log();
+  wal::Wal* log = primary_->log();
 
   // Side file + store + buffer pool + catalog.
   REWIND_ASSIGN_OR_RETURN(
@@ -165,47 +165,50 @@ Status AsOfSnapshot::Recover() {
   }
 
   std::unordered_map<TxnId, Lsn> att;
-  REWIND_RETURN_IF_ERROR(log->Scan(
-      analysis_start, split_.split_lsn + 1,
-      [&](Lsn lsn, const LogRecord& rec) {
-        if (lsn > split_.split_lsn) return false;
-        if (rec.type == LogType::kCheckpointEnd) {
-          for (const AttEntry& e : rec.att) {
-            if (att.find(e.txn_id) == att.end()) att[e.txn_id] = e.last_lsn;
-          }
-          return true;
+  {
+    wal::Cursor cur = log->OpenCursor();
+    REWIND_RETURN_IF_ERROR(cur.SeekTo(analysis_start));
+    while (cur.Valid() && cur.lsn() <= split_.split_lsn) {
+      const LogRecord& rec = cur.record();
+      if (rec.type == LogType::kCheckpointEnd) {
+        for (const AttEntry& e : rec.att) {
+          if (att.find(e.txn_id) == att.end()) att[e.txn_id] = e.last_lsn;
         }
-        if (rec.txn_id != kInvalidTxnId) {
-          if (rec.type == LogType::kCommit || rec.type == LogType::kAbort) {
-            att.erase(rec.txn_id);
-          } else {
-            att[rec.txn_id] = lsn;
-          }
+      } else if (rec.txn_id != kInvalidTxnId) {
+        if (rec.type == LogType::kCommit || rec.type == LogType::kAbort) {
+          att.erase(rec.txn_id);
+        } else {
+          att[rec.txn_id] = cur.lsn();
         }
-        return true;
-      }));
+      }
+      REWIND_RETURN_IF_ERROR(cur.Next());
+    }
+  }
 
   // Lock re-acquisition: walk each loser's chain and take X locks on
   // every row it touched, so queries cannot observe uncommitted
   // effects before the background undo erases them.
+  wal::Cursor chain = log->OpenCursor();
   for (const auto& [txn_id, last_lsn] : att) {
     losers_.push_back({txn_id, last_lsn});
-    Lsn cursor = last_lsn;
-    while (cursor != kInvalidLsn) {
-      auto rec = log->ReadRecord(cursor);
-      if (!rec.ok()) return rec.status();
-      LogType op = rec->type == LogType::kClr ? rec->clr_op : rec->type;
+    REWIND_RETURN_IF_ERROR(chain.SeekToChain(last_lsn));
+    while (chain.Valid()) {
+      const LogRecord& rec = chain.record();
+      LogType op = rec.type == LogType::kClr ? rec.clr_op : rec.type;
       if ((op == LogType::kInsert || op == LogType::kDelete ||
            op == LogType::kUpdate) &&
-          !rec->image.empty()) {
-        std::string key = SlottedPage::EntryKey(rec->image).ToString();
-        locks_.GrantForRecovery(txn_id, RowLockKey(rec->tree_id, key),
+          !rec.image.empty()) {
+        std::string key = SlottedPage::EntryKey(rec.image).ToString();
+        locks_.GrantForRecovery(txn_id, RowLockKey(rec.tree_id, key),
                                 LockMode::kExclusive);
         stats_.locks_reacquired++;
       }
-      if (rec->type == LogType::kBegin) break;
-      cursor = rec->type == LogType::kClr ? rec->undo_next_lsn
-                                          : rec->prev_lsn;
+      if (rec.type == LogType::kBegin) break;
+      if (rec.type == LogType::kClr) {
+        REWIND_RETURN_IF_ERROR(chain.FollowUndoNext());
+      } else {
+        REWIND_RETURN_IF_ERROR(chain.FollowPrev());
+      }
     }
   }
   stats_.split_lsn = split_.split_lsn;
@@ -216,7 +219,7 @@ Status AsOfSnapshot::Recover() {
 }
 
 void AsOfSnapshot::BackgroundUndo() {
-  LogManager* log = primary_->log();
+  wal::Cursor reader = primary_->log()->OpenCursor();
   std::unordered_map<TxnId, Lsn> cursor;
   for (const AttEntry& e : losers_) cursor[e.txn_id] = e.last_lsn;
 
@@ -231,41 +234,39 @@ void AsOfSnapshot::BackgroundUndo() {
       }
     }
     if (max_lsn == kInvalidLsn) break;
-    auto rec = log->ReadRecord(max_lsn);
-    if (!rec.ok()) {
-      status = rec.status();
-      break;
-    }
-    if (rec->type == LogType::kClr) {
-      cursor[victim] = rec->undo_next_lsn;
-    } else if (rec->type == LogType::kBegin) {
+    status = reader.SeekToChain(max_lsn);
+    if (!status.ok()) break;
+    const LogRecord& rec = reader.record();
+    if (rec.type == LogType::kClr) {
+      cursor[victim] = rec.undo_next_lsn;
+    } else if (rec.type == LogType::kBegin) {
       cursor[victim] = kInvalidLsn;
-    } else if (rec->IsPageRecord()) {
+    } else if (rec.IsPageRecord()) {
       // Undo on the snapshot's copy of the page: fetched through the
       // rewind path, modified in place, persisted to the side file --
       // never logged (the snapshot is not a database of record).
-      const bool row_op = rec->type == LogType::kInsert ||
-                          rec->type == LogType::kDelete ||
-                          rec->type == LogType::kUpdate;
-      if (row_op && !rec->is_system) {
+      const bool row_op = rec.type == LogType::kInsert ||
+                          rec.type == LogType::kDelete ||
+                          rec.type == LogType::kUpdate;
+      if (row_op && !rec.is_system) {
         // User rows may have moved under committed SMOs: undo by key.
-        status = UndoUserRowUnlogged(*rec);
+        status = UndoUserRowUnlogged(rec);
       } else {
         // System-transaction records: nothing else touched their pages
         // between the record and the split, so slot-exact undo is safe.
-        std::unique_lock<std::shared_mutex> tl(*TreeLatch(rec->tree_id));
-        auto page = buffers_->FetchPage(rec->page_id, AccessMode::kWrite);
+        std::unique_lock<std::shared_mutex> tl(*TreeLatch(rec.tree_id));
+        auto page = buffers_->FetchPage(rec.page_id, AccessMode::kWrite);
         if (!page.ok()) {
           status = page.status();
           break;
         }
-        status = ApplyUndo(page->mutable_data(), *rec);
+        status = ApplyUndo(page->mutable_data(), rec);
         if (status.ok()) page->MarkDirtyUnlogged();
       }
       if (!status.ok()) break;
-      cursor[victim] = rec->prev_lsn;
+      cursor[victim] = rec.prev_lsn;
     } else {
-      cursor[victim] = rec->prev_lsn;
+      cursor[victim] = rec.prev_lsn;
     }
     if (cursor[victim] == kInvalidLsn) {
       locks_.ReleaseAll(victim);

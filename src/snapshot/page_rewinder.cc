@@ -9,13 +9,15 @@ namespace rewinddb {
 Status PageRewinder::PreparePageAsOf(char* page, Lsn as_of_lsn) {
   Lsn curr = PageLsn(page);
   if (curr > as_of_lsn) pages_rewound_++;
+  wal::Cursor cur = wal_->OpenCursor();
   // A generous bound: a page cannot have more live chain entries than
   // bytes of log; this guards against chain corruption loops.
   for (uint64_t steps = 0; curr > as_of_lsn; steps++) {
     if (steps > (1ULL << 32)) {
       return Status::Corruption("page chain walk did not terminate");
     }
-    REWIND_ASSIGN_OR_RETURN(LogRecord rec, log_->ReadRecord(curr));
+    REWIND_RETURN_IF_ERROR(cur.SeekToChain(curr));
+    const LogRecord& rec = cur.record();
     if (rec.page_id != Header(page)->page_id &&
         Header(page)->page_id != kInvalidPageId) {
       return Status::Corruption("page chain crossed pages: expected " +
@@ -28,8 +30,8 @@ Status PageRewinder::PreparePageAsOf(char* page, Lsn as_of_lsn) {
     // and `curr` is skipped in one step.
     if (rec.prev_fpi_lsn != kInvalidLsn && rec.prev_fpi_lsn >= as_of_lsn &&
         rec.prev_fpi_lsn < curr) {
-      REWIND_ASSIGN_OR_RETURN(LogRecord fpi,
-                              log_->ReadRecord(rec.prev_fpi_lsn));
+      REWIND_RETURN_IF_ERROR(cur.FollowPrevFpi());
+      const LogRecord& fpi = cur.record();
       if (fpi.type != LogType::kPreformat ||
           fpi.image.size() != kPageSize) {
         return Status::Corruption("fpi chain does not point at an image");

@@ -15,8 +15,8 @@
 #include <cstdint>
 
 #include "common/status.h"
-#include "log/log_manager.h"
 #include "page/page.h"
+#include "wal/wal.h"
 
 namespace rewinddb {
 
@@ -24,7 +24,7 @@ namespace rewinddb {
 /// counters; safe for concurrent use.
 class PageRewinder {
  public:
-  explicit PageRewinder(LogManager* log) : log_(log) {}
+  explicit PageRewinder(wal::Wal* wal) : wal_(wal) {}
 
   /// Undo modifications to `page` (a kPageSize buffer) until its page
   /// LSN is <= `as_of_lsn`. Returns OutOfRange if the chain walks past
@@ -45,7 +45,7 @@ class PageRewinder {
   }
 
  private:
-  LogManager* log_;
+  wal::Wal* wal_;
   std::atomic<uint64_t> records_undone_{0};
   std::atomic<uint64_t> fpi_jumps_{0};
   std::atomic<uint64_t> pages_rewound_{0};

@@ -2,7 +2,7 @@
 
 namespace rewinddb {
 
-Result<SplitPoint> FindSplitPoint(LogManager* log, WallClock target,
+Result<SplitPoint> FindSplitPoint(wal::Wal* log, WallClock target,
                                   WallClock now) {
   if (target > now) {
     return Status::InvalidArgument("as-of time lies in the future");
@@ -38,20 +38,19 @@ Result<SplitPoint> FindSplitPoint(LogManager* log, WallClock target,
   Lsn split = kInvalidLsn;
   WallClock boundary = 0;
   std::vector<Lsn> ckpts_in_scan;
-  REWIND_RETURN_IF_ERROR(log->Scan(
-      scan_start, scan_end, [&](Lsn lsn, const LogRecord& rec) {
-        if (rec.type == LogType::kCommit) {
-          if (rec.wall_clock <= target) {
-            split = lsn;
-            boundary = rec.wall_clock;
-          } else {
-            return false;  // commits are (near-)monotonic: stop
-          }
-        } else if (rec.type == LogType::kCheckpointBegin) {
-          ckpts_in_scan.push_back(lsn);
-        }
-        return true;
-      }));
+  wal::Cursor cur = log->OpenCursor();
+  REWIND_RETURN_IF_ERROR(cur.SeekTo(scan_start));
+  while (cur.Valid() && cur.lsn() < scan_end) {
+    const LogRecord& rec = cur.record();
+    if (rec.type == LogType::kCommit) {
+      if (rec.wall_clock > target) break;  // commits (near-)monotonic: stop
+      split = cur.lsn();
+      boundary = rec.wall_clock;
+    } else if (rec.type == LogType::kCheckpointBegin) {
+      ckpts_in_scan.push_back(cur.lsn());
+    }
+    REWIND_RETURN_IF_ERROR(cur.Next());
+  }
   Lsn last_ckpt_seen = ckpt_before;
   for (Lsn c : ckpts_in_scan) {
     if (split != kInvalidLsn && c <= split) last_ckpt_seen = c;

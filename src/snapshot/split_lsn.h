@@ -10,7 +10,7 @@
 
 #include "common/result.h"
 #include "common/types.h"
-#include "log/log_manager.h"
+#include "wal/wal.h"
 
 namespace rewinddb {
 
@@ -28,7 +28,7 @@ struct SplitPoint {
 /// Find the split point for `target` wall-clock time.
 /// Errors: OutOfRange if `target` precedes the retained log,
 /// InvalidArgument if it lies in the future (`now`).
-Result<SplitPoint> FindSplitPoint(LogManager* log, WallClock target,
+Result<SplitPoint> FindSplitPoint(wal::Wal* log, WallClock target,
                                   WallClock now);
 
 }  // namespace rewinddb

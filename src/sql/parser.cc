@@ -107,6 +107,7 @@ class Parser {
     }
     if (Accept("ALTER")) return AlterDatabase();
     if (Accept("FLASHBACK")) return Flashback();
+    if (Accept("SET")) return SetCommitMode();
     if (Accept("DROP")) {
       if (Accept("DATABASE")) return DropNamed(SqlCommand::Kind::kDropDatabase);
       if (Accept("TABLE")) return DropNamed(SqlCommand::Kind::kDropTable);
@@ -203,6 +204,22 @@ class Parser {
       return Status::InvalidArgument("undo interval out of range");
     }
     cmd.undo_interval_micros = n * unit;
+    return cmd;
+  }
+
+  Result<SqlCommand> SetCommitMode() {
+    SqlCommand cmd;
+    cmd.kind = SqlCommand::Kind::kSetCommitMode;
+    REWIND_RETURN_IF_ERROR(Expect("COMMIT_MODE"));
+    if (!AcceptPunct('=')) {
+      return Status::InvalidArgument("expected = after COMMIT_MODE");
+    }
+    if (Cur().type != Token::Type::kWord ||
+        !ParseCommitMode(Cur().text.c_str(), &cmd.commit_mode)) {
+      return Status::InvalidArgument(
+          "expected SYNC, GROUP, ASYNC or NONE near '" + Cur().raw + "'");
+    }
+    pos_++;
     return cmd;
   }
 

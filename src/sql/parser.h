@@ -4,6 +4,7 @@
 //   ALTER DATABASE <db> SET UNDO_INTERVAL = <n> HOURS|MINUTES|SECONDS
 //   DROP DATABASE <snap>
 //   FLASHBACK TRANSACTION <txn-id>
+//   SET COMMIT_MODE = SYNC|GROUP|ASYNC|NONE
 //
 // plus convenience DDL so examples read naturally:
 //
@@ -20,6 +21,7 @@
 #include "catalog/schema.h"
 #include "common/result.h"
 #include "common/types.h"
+#include "wal/commit_mode.h"
 
 namespace rewinddb {
 
@@ -31,6 +33,7 @@ struct SqlCommand {
     kCreateTable,
     kDropTable,
     kFlashback,
+    kSetCommitMode,
   };
 
   Kind kind;
@@ -44,6 +47,8 @@ struct SqlCommand {
   uint64_t undo_interval_micros = 0;
   /// FLASHBACK TRANSACTION victim id.
   TxnId txn_id = kInvalidTxnId;
+  /// SET COMMIT_MODE value.
+  CommitMode commit_mode = CommitMode::kGroup;
   /// CREATE TABLE schema.
   Schema schema;
 };

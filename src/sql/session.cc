@@ -38,6 +38,11 @@ Result<std::string> SqlSession::Execute(const std::string& sql) {
       REWIND_RETURN_IF_ERROR(conn_->DropTable(cmd.name));
       return "Dropped table " + cmd.name;
     }
+    case SqlCommand::Kind::kSetCommitMode: {
+      conn_->SetDefaultCommitMode(cmd.commit_mode);
+      return std::string("Commit mode set to ") +
+             CommitModeName(cmd.commit_mode);
+    }
   }
   return Status::InvalidArgument("unhandled statement");
 }

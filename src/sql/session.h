@@ -6,6 +6,7 @@
 //   DROP DATABASE s                              -> DropSnapshot
 //   ALTER DATABASE db SET UNDO_INTERVAL = n U    -> SetRetention
 //   FLASHBACK TRANSACTION n                      -> Flashback
+//   SET COMMIT_MODE = SYNC|GROUP|ASYNC|NONE      -> SetDefaultCommitMode
 //   CREATE TABLE / DROP TABLE                    -> CreateTable/DropTable
 #ifndef REWINDDB_SQL_SESSION_H_
 #define REWINDDB_SQL_SESSION_H_

@@ -17,7 +17,6 @@
 #include "common/random.h"
 #include "engine/database.h"
 #include "engine/table.h"
-#include "snapshot/asof_snapshot.h"
 
 namespace rewinddb {
 
@@ -63,15 +62,11 @@ class TpccDatabase {
   Result<int> StockLevel(int w_id, int d_id, int threshold);
 
   /// The same query text against ANY ReadView -- live, live-in-txn, or
-  /// an as-of snapshot. This is the paper's point made concrete: the
+  /// an as-of snapshot (Connection::AsOf or api/read_view.h's
+  /// WrapSnapshot). This is the paper's point made concrete: the
   /// point-in-time query is the ordinary query, only the view differs.
   static Result<int> StockLevelOn(ReadView* view, int w_id, int d_id,
                                   int threshold);
-
-  /// DEPRECATED shim: stock-level against an as-of snapshot; forwards
-  /// to StockLevelOn over WrapSnapshot(snap).
-  static Result<int> StockLevelAsOf(AsOfSnapshot* snap, int w_id, int d_id,
-                                    int threshold);
 
   /// Cross-table invariants (tests): district next-order ids match the
   /// orders table; warehouse YTD equals the sum of its districts' YTD.

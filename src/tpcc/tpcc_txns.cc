@@ -262,10 +262,4 @@ Result<int> TpccDatabase::StockLevelOn(ReadView* view, int w_id, int d_id,
   return low_stock;
 }
 
-Result<int> TpccDatabase::StockLevelAsOf(AsOfSnapshot* snap, int w_id,
-                                         int d_id, int threshold) {
-  std::unique_ptr<ReadView> view = WrapSnapshot(snap);
-  return StockLevelOn(view.get(), w_id, d_id, threshold);
-}
-
 }  // namespace rewinddb

@@ -3,34 +3,58 @@
 namespace rewinddb {
 
 Transaction* TransactionManager::Begin(bool is_system) {
-  std::lock_guard<std::mutex> g(mu_);
+  std::unique_lock<std::mutex> g(mu_);
   auto txn = std::make_unique<Transaction>();
   txn->id = next_id_++;
   txn->is_system = is_system;
+  txn->commit_mode = default_commit_mode_;
+  txn->writer = wal_->MakeWriter();
   Transaction* raw = txn.get();
   active_[raw->id] = std::move(txn);
+  g.unlock();
+  // Stage (don't publish) the BEGIN record: it reaches the log in one
+  // splice with the transaction's first update.
+  LogRecord begin;
+  begin.type = LogType::kBegin;
+  begin.txn_id = raw->id;
+  begin.is_system = is_system;
+  raw->writer.Stage(begin);
   return raw;
 }
 
-void TransactionManager::OnAppended(Transaction* txn, Lsn lsn) {
-  if (txn->first_lsn == kInvalidLsn) txn->first_lsn = lsn;
+void TransactionManager::OnAppended(Transaction* txn, Lsn lsn,
+                                    Lsn publish_base) {
+  if (txn->first_lsn == kInvalidLsn) {
+    txn->first_lsn = publish_base != kInvalidLsn ? publish_base : lsn;
+  }
   txn->last_lsn = lsn;
 }
 
 Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->last_lsn == kInvalidLsn) {
+    // Read-only: nothing was published (the staged BEGIN is simply
+    // discarded with the descriptor), so there is nothing to log or
+    // make durable -- commit is lock release alone.
+    txn->state = TxnState::kCommitted;
+    locks_->ReleaseAll(txn->id);
+    Forget(txn);
+    return Status::OK();
+  }
   LogRecord rec;
   rec.type = LogType::kCommit;
   rec.txn_id = txn->id;
   rec.prev_lsn = txn->last_lsn;
   rec.wall_clock = clock_->NowMicros();
-  Lsn lsn = log_->Append(rec);
-  OnAppended(txn, lsn);
-  // Durability: user commits force the log (group commit); system
-  // transactions piggyback on the next user flush, which is safe
+  Lsn base = kInvalidLsn;
+  Lsn lsn = txn->writer.Append(rec, &base);
+  OnAppended(txn, lsn, base);
+  // Durability: user commits wait per their CommitMode (kGroup parks on
+  // the group-commit pipeline; kSync forces the log in this thread).
+  // System transactions piggyback on the next flush, which is safe
   // because their effects only matter once referencing user records
   // are durable.
   if (!txn->is_system) {
-    REWIND_RETURN_IF_ERROR(log_->FlushTo(lsn));
+    REWIND_RETURN_IF_ERROR(wal_->WaitCommit(lsn, txn->commit_mode));
   }
   txn->state = TxnState::kCommitted;
   locks_->ReleaseAll(txn->id);
@@ -38,15 +62,16 @@ Status TransactionManager::Commit(Transaction* txn) {
   return Status::OK();
 }
 
-Status RollbackChain(LogManager* log, Transaction* txn, Lsn from_lsn,
+Status RollbackChain(wal::Wal* wal, Transaction* txn, Lsn from_lsn,
                      UndoApplier* applier) {
-  Lsn cursor = from_lsn;
-  while (cursor != kInvalidLsn) {
-    REWIND_ASSIGN_OR_RETURN(LogRecord rec, log->ReadRecord(cursor));
+  wal::Cursor cur = wal->OpenCursor();
+  REWIND_RETURN_IF_ERROR(cur.SeekToChain(from_lsn));
+  while (cur.Valid()) {
+    const LogRecord& rec = cur.record();
     switch (rec.type) {
       case LogType::kClr:
         // Already-compensated region: skip to what remains.
-        cursor = rec.undo_next_lsn;
+        REWIND_RETURN_IF_ERROR(cur.FollowUndoNext());
         break;
       case LogType::kBegin:
         return Status::OK();
@@ -54,8 +79,8 @@ Status RollbackChain(LogManager* log, Transaction* txn, Lsn from_lsn,
       case LogType::kAbort:
         return Status::Corruption("rollback hit a completion record");
       default:
-        REWIND_RETURN_IF_ERROR(applier->UndoRecord(txn, cursor, rec));
-        cursor = rec.prev_lsn;
+        REWIND_RETURN_IF_ERROR(applier->UndoRecord(txn, cur.lsn(), rec));
+        REWIND_RETURN_IF_ERROR(cur.FollowPrev());
         break;
     }
   }
@@ -63,13 +88,16 @@ Status RollbackChain(LogManager* log, Transaction* txn, Lsn from_lsn,
 }
 
 Status TransactionManager::Abort(Transaction* txn, UndoApplier* applier) {
-  REWIND_RETURN_IF_ERROR(RollbackChain(log_, txn, txn->last_lsn, applier));
-  LogRecord rec;
-  rec.type = LogType::kAbort;
-  rec.txn_id = txn->id;
-  rec.prev_lsn = txn->last_lsn;
-  Lsn lsn = log_->Append(rec);
-  OnAppended(txn, lsn);
+  REWIND_RETURN_IF_ERROR(RollbackChain(wal_, txn, txn->last_lsn, applier));
+  if (txn->last_lsn != kInvalidLsn) {
+    LogRecord rec;
+    rec.type = LogType::kAbort;
+    rec.txn_id = txn->id;
+    rec.prev_lsn = txn->last_lsn;
+    Lsn base = kInvalidLsn;
+    Lsn lsn = txn->writer.Append(rec, &base);
+    OnAppended(txn, lsn, base);
+  }
   txn->state = TxnState::kAborted;
   locks_->ReleaseAll(txn->id);
   Forget(txn);
@@ -108,6 +136,8 @@ Transaction* TransactionManager::AdoptForRecovery(TxnId id, Lsn last_lsn) {
   auto txn = std::make_unique<Transaction>();
   txn->id = id;
   txn->last_lsn = last_lsn;
+  txn->writer = wal_->MakeWriter();
+  txn->commit_mode = default_commit_mode_;
   Transaction* raw = txn.get();
   active_[id] = std::move(txn);
   if (id >= next_id_) next_id_ = id + 1;

@@ -10,8 +10,10 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/types.h"
-#include "log/log_manager.h"
 #include "txn/lock_manager.h"
+#include "wal/commit_mode.h"
+#include "wal/wal.h"
+#include "wal/wal_writer.h"
 
 namespace rewinddb {
 
@@ -22,7 +24,9 @@ enum class TxnState { kActive, kCommitted, kAborted };
 struct Transaction {
   TxnId id = kInvalidTxnId;
   TxnState state = TxnState::kActive;
-  /// LSN of the BEGIN record (log-retention floor for active txns).
+  /// LSN of the first published record -- the BEGIN record, which the
+  /// writer stages at Begin and publishes together with the first
+  /// update (log-retention floor for active txns).
   Lsn first_lsn = kInvalidLsn;
   /// LSN of the most recent record (head of the prevLSN chain).
   Lsn last_lsn = kInvalidLsn;
@@ -31,6 +35,12 @@ struct Transaction {
   /// *physically* during recovery (their pages cannot have been touched
   /// by anyone else in between).
   bool is_system = false;
+  /// Durability level of this transaction's commit (set from the
+  /// engine/connection default at Begin; Txn::Commit(mode) overrides).
+  CommitMode commit_mode = CommitMode::kGroup;
+  /// Per-transaction WAL write handle: stages record encodings locally
+  /// and publishes them in batches.
+  wal::Writer writer;
 };
 
 /// Logical-undo callback implemented by the engine layer: applies the
@@ -47,24 +57,30 @@ class UndoApplier {
 /// rollback, and tracks the active transaction table (ATT).
 class TransactionManager {
  public:
-  TransactionManager(LogManager* log, LockManager* locks, Clock* clock)
-      : log_(log), locks_(locks), clock_(clock) {}
+  TransactionManager(wal::Wal* wal, LockManager* locks, Clock* clock,
+                     CommitMode default_commit_mode = CommitMode::kGroup)
+      : wal_(wal), locks_(locks), clock_(clock),
+        default_commit_mode_(default_commit_mode) {}
 
-  /// Start a transaction (logs BEGIN lazily with its first update; the
-  /// descriptor is registered in the ATT immediately).
+  /// Start a transaction. The BEGIN record is staged in the
+  /// transaction's writer and published with its first update, so a
+  /// read-only transaction costs no log space until commit.
   Transaction* Begin(bool is_system = false);
 
-  /// Commit: append COMMIT (with wall-clock for SplitLSN search), group
-  /// flush for user transactions, release locks.
+  /// Commit: append COMMIT (with wall-clock for SplitLSN search), then
+  /// wait per the transaction's CommitMode (user transactions; system
+  /// transactions piggyback on the next flush), release locks.
   Status Commit(Transaction* txn);
 
   /// Roll back every change of `txn` via logical undo + CLRs, then log
   /// ABORT and release locks.
   Status Abort(Transaction* txn, UndoApplier* applier);
 
-  /// Called by the engine after appending a record for `txn` so the
-  /// prevLSN chain and ATT stay current.
-  void OnAppended(Transaction* txn, Lsn lsn);
+  /// Called by the engine after publishing a record for `txn` so the
+  /// prevLSN chain and ATT stay current. `publish_base` is the LSN of
+  /// the first byte the publish spliced (the staged BEGIN when the
+  /// writer held one); it anchors first_lsn.
+  void OnAppended(Transaction* txn, Lsn lsn, Lsn publish_base = kInvalidLsn);
 
   /// Snapshot of the ATT for checkpoint-end records.
   std::vector<AttEntry> ActiveTransactions() const;
@@ -85,9 +101,10 @@ class TransactionManager {
   void BumpTxnId(TxnId floor);
 
  private:
-  LogManager* log_;
+  wal::Wal* wal_;
   LockManager* locks_;
   Clock* clock_;
+  const CommitMode default_commit_mode_;
 
   mutable std::mutex mu_;
   TxnId next_id_ = 1;
@@ -95,11 +112,11 @@ class TransactionManager {
 };
 
 /// Drive the rollback of one transaction chain: walks prevLSN from
-/// `from_lsn`, calling `applier` for undoable records and honouring CLR
-/// undo_next jumps. Shared by runtime abort, crash-recovery undo and
-/// snapshot background undo (which is what makes the paper's "single
-/// mechanism" point concrete).
-Status RollbackChain(LogManager* log, Transaction* txn, Lsn from_lsn,
+/// `from_lsn` with a wal::Cursor, calling `applier` for undoable
+/// records and honouring CLR undo_next jumps. Shared by runtime abort,
+/// crash-recovery undo and snapshot background undo (which is what
+/// makes the paper's "single mechanism" point concrete).
+Status RollbackChain(wal::Wal* wal, Transaction* txn, Lsn from_lsn,
                      UndoApplier* applier);
 
 }  // namespace rewinddb

@@ -1,0 +1,42 @@
+#include "wal/commit_mode.h"
+
+#include <cctype>
+#include <string>
+
+namespace rewinddb {
+
+const char* CommitModeName(CommitMode mode) {
+  switch (mode) {
+    case CommitMode::kSync:
+      return "SYNC";
+    case CommitMode::kGroup:
+      return "GROUP";
+    case CommitMode::kAsync:
+      return "ASYNC";
+    case CommitMode::kNone:
+      return "NONE";
+  }
+  return "UNKNOWN";
+}
+
+bool ParseCommitMode(const char* text, CommitMode* out) {
+  std::string upper;
+  for (const char* p = text; *p != '\0'; p++) {
+    upper.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(*p))));
+  }
+  if (upper == "SYNC") {
+    *out = CommitMode::kSync;
+  } else if (upper == "GROUP") {
+    *out = CommitMode::kGroup;
+  } else if (upper == "ASYNC") {
+    *out = CommitMode::kAsync;
+  } else if (upper == "NONE") {
+    *out = CommitMode::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rewinddb

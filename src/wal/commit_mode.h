@@ -1,0 +1,43 @@
+// Commit durability levels (the write half of the WAL surface).
+//
+// The mode decides what a successful Txn::Commit() promises about the
+// commit record's durability:
+//
+//   kSync  -- the commit record is fsync'd before Commit returns, by
+//             this thread (one fsync per commit; the strongest and the
+//             slowest mode; the pre-redesign default behaviour).
+//   kGroup -- Commit blocks until the background flusher's next batch
+//             covers the commit record (one fsync covers every commit
+//             that queued while the previous batch was being written).
+//             Same crash guarantee as kSync, amortized fsync cost.
+//   kAsync -- Commit nudges the flusher and returns immediately; the
+//             record becomes durable within one flush interval. A crash
+//             in that window loses the transaction (atomically: ARIES
+//             undo rolls back any of its page changes that did reach
+//             the disk ahead of the commit record).
+//   kNone  -- Commit returns immediately and does not schedule a
+//             flush; durability rides on backpressure, checkpoints or
+//             a later stronger commit. Crash may lose the transaction
+//             (again atomically). For bulk loads and benchmarks.
+#ifndef REWINDDB_WAL_COMMIT_MODE_H_
+#define REWINDDB_WAL_COMMIT_MODE_H_
+
+namespace rewinddb {
+
+enum class CommitMode : unsigned char {
+  kSync = 0,
+  kGroup = 1,
+  kAsync = 2,
+  kNone = 3,
+};
+
+/// "SYNC", "GROUP", "ASYNC", "NONE".
+const char* CommitModeName(CommitMode mode);
+
+/// Parse a (case-insensitive) mode name; returns false if `text` names
+/// no mode.
+bool ParseCommitMode(const char* text, CommitMode* out);
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_WAL_COMMIT_MODE_H_

@@ -1,0 +1,196 @@
+#include "wal/wal.h"
+
+#include <chrono>
+
+#include "wal/wal_writer.h"
+
+namespace rewinddb {
+namespace wal {
+
+Wal::Wal(std::unique_ptr<LogManager> core, Options opts)
+    : core_(std::move(core)), opts_(opts) {}
+
+namespace {
+LogManagerOptions CoreOptions(const WalOptions& opts) {
+  LogManagerOptions lo;
+  lo.cache_blocks = opts.cache_blocks;
+  lo.max_tail_bytes = opts.max_tail_bytes;
+  return lo;
+}
+}  // namespace
+
+Result<std::unique_ptr<Wal>> Wal::Create(const std::string& path,
+                                         DiskModel* disk, IoStats* stats,
+                                         Options opts) {
+  REWIND_ASSIGN_OR_RETURN(
+      std::unique_ptr<LogManager> core,
+      LogManager::Create(path, disk, stats, CoreOptions(opts)));
+  auto w = std::unique_ptr<Wal>(new Wal(std::move(core), opts));
+  w->StartFlusher();
+  return w;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       DiskModel* disk, IoStats* stats,
+                                       Options opts) {
+  REWIND_ASSIGN_OR_RETURN(
+      std::unique_ptr<LogManager> core,
+      LogManager::Open(path, disk, stats, CoreOptions(opts)));
+  auto w = std::unique_ptr<Wal>(new Wal(std::move(core), opts));
+  w->StartFlusher();
+  return w;
+}
+
+Wal::~Wal() {
+  {
+    std::lock_guard<std::mutex> g(pipe_mu_);
+    stop_ = true;
+  }
+  flush_request_cv_.notify_all();
+  durable_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  // A clean shutdown flushed through Database::Close/Checkpoint; after
+  // SimulateCrash the tail must be lost, so never flush here.
+}
+
+void Wal::StartFlusher() {
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+void Wal::FlusherLoop() {
+  std::unique_lock<std::mutex> g(pipe_mu_);
+  for (;;) {
+    if (stop_) return;
+    if (!flush_requested_) {
+      // Timed polling only while unflushed bytes exist (kAsync/kNone
+      // stragglers appended during a flush). A fully-flushed log parks
+      // the thread without a timer: every path that wants durability
+      // nudges (group/async commits, backpressure, FlushTo), and kNone
+      // appends deliberately schedule nothing.
+      const bool dirty = core_->flushed_lsn() < core_->next_lsn();
+      if (dirty && opts_.flush_interval_micros > 0) {
+        flush_request_cv_.wait_for(
+            g, std::chrono::microseconds(opts_.flush_interval_micros),
+            [&] { return stop_ || flush_requested_; });
+      } else {
+        flush_request_cv_.wait(g, [&] { return stop_ || flush_requested_; });
+      }
+    }
+    if (stop_) return;
+    flush_requested_ = false;
+    g.unlock();
+    // Flush the whole tail: one pwrite + one fdatasync cover every
+    // commit that queued while the previous batch was in flight.
+    Status s = Status::OK();
+    Lsn target = core_->next_lsn();
+    if (core_->flushed_lsn() < target) {
+      s = core_->FlushTo(target - 1);
+    }
+    g.lock();
+    // Not sticky: FlushLocked hands a failed batch back to the tail,
+    // so a later round can succeed and must clear the error -- one
+    // transient ENOSPC must not fail every future kGroup commit.
+    flusher_status_ = s;
+    durable_cv_.notify_all();
+  }
+}
+
+void Wal::NudgeFlusher() {
+  {
+    std::lock_guard<std::mutex> g(pipe_mu_);
+    flush_requested_ = true;
+  }
+  flush_request_cv_.notify_one();
+}
+
+Writer Wal::MakeWriter() { return Writer(this); }
+
+Lsn Wal::Append(const LogRecord& rec) {
+  bool need_flush = false;
+  Lsn lsn = core_->Append(rec, &need_flush);
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  if (need_flush) NudgeFlusher();
+  return lsn;
+}
+
+Lsn Wal::PublishEncoded(Slice encoded, size_t records) {
+  bool need_flush = false;
+  Lsn base = core_->AppendEncoded(encoded, records, &need_flush);
+  appends_.fetch_add(records, std::memory_order_relaxed);
+  if (need_flush) {
+    if (core_->tail_bytes() >= opts_.hard_tail_bytes) {
+      // The flusher is not keeping up; apply backpressure in the
+      // appending thread to bound memory.
+      Status s = core_->FlushTo(base);
+      (void)s;  // an IO error here resurfaces on the next commit wait
+    } else {
+      NudgeFlusher();
+    }
+  }
+  return base;
+}
+
+Status Wal::WaitCommit(Lsn lsn, CommitMode mode) {
+  switch (mode) {
+    case CommitMode::kSync:
+      sync_commits_.fetch_add(1, std::memory_order_relaxed);
+      return core_->FlushTo(lsn);
+    case CommitMode::kAsync:
+      async_commits_.fetch_add(1, std::memory_order_relaxed);
+      NudgeFlusher();
+      return Status::OK();
+    case CommitMode::kNone:
+      none_commits_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    case CommitMode::kGroup:
+      break;
+  }
+  group_commits_.fetch_add(1, std::memory_order_relaxed);
+  if (core_->flushed_lsn() > lsn) return Status::OK();  // already durable
+  group_commit_waits_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> g(pipe_mu_);
+  flush_requested_ = true;
+  // A stale error from an earlier round must not be returned to this
+  // commit before the retry it is requesting has run: this waiter's
+  // outcome is the NEXT round's status.
+  flusher_status_ = Status::OK();
+  flush_request_cv_.notify_one();
+  durable_cv_.wait(g, [&] {
+    return stop_ || !flusher_status_.ok() || core_->flushed_lsn() > lsn;
+  });
+  if (core_->flushed_lsn() > lsn) return Status::OK();
+  if (!flusher_status_.ok()) return flusher_status_;
+  return Status::Aborted("wal shut down before the commit became durable");
+}
+
+Status Wal::FlushTo(Lsn lsn) { return core_->FlushTo(lsn); }
+
+Status Wal::FlushAll() { return core_->FlushAll(); }
+
+WalStats Wal::stats() const {
+  LogFlushStats core = core_->flush_stats();
+  WalStats out;
+  out.fsyncs = core.fsyncs;
+  out.flushed_bytes = core.batch_bytes;
+  out.max_batch_bytes = core.max_batch_bytes;
+  out.appends = appends_.load(std::memory_order_relaxed);
+  out.group_commit_waits = group_commit_waits_.load(std::memory_order_relaxed);
+  out.sync_commits = sync_commits_.load(std::memory_order_relaxed);
+  out.group_commits = group_commits_.load(std::memory_order_relaxed);
+  out.async_commits = async_commits_.load(std::memory_order_relaxed);
+  out.none_commits = none_commits_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Wal::SimulateCrash() {
+  {
+    std::lock_guard<std::mutex> g(pipe_mu_);
+    stop_ = true;
+  }
+  flush_request_cv_.notify_all();
+  durable_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+}  // namespace wal
+}  // namespace rewinddb

@@ -1,0 +1,183 @@
+// The redesigned two-sided WAL surface (the log-side mirror of the
+// api/ ReadView unification).
+//
+// Everything the system does with the transaction log goes through one
+// of two handles:
+//
+//   * write side -- wal::Writer (one per transaction) stages encoded
+//     records locally and publishes them in batches; commits declare a
+//     CommitMode and, in the default kGroup mode, block on a
+//     flushed-LSN waiter while a background flusher turns many
+//     concurrent commits into one pwrite + one fdatasync (in the
+//     spirit of pipelined multicore group commit);
+//
+//   * read side -- wal::Cursor (wal_cursor.h) is the only record-level
+//     read API: forward scans with block prefetch, SeekTo(lsn), and
+//     FollowPrev()/FollowPrevPage()/FollowPrevFpi()/FollowUndoNext()
+//     chain navigation replace every bespoke ReadRecord loop.
+//
+// Wal itself owns the LogManager block/file/cache core and forwards
+// its metadata surface (start/next/flushed LSN, checkpoint directory,
+// truncation, cache control), so `db->log()` stays the one handle the
+// engine, snapshot, backup and benchmark layers pass around.
+#ifndef REWINDDB_WAL_WAL_H_
+#define REWINDDB_WAL_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "log/log_manager.h"
+#include "wal/commit_mode.h"
+#include "wal/wal_cursor.h"
+
+namespace rewinddb {
+namespace wal {
+
+struct WalOptions {
+  /// Log-block cache capacity in 32 KiB blocks (0 disables caching;
+  /// reads then go straight to the file and retain nothing).
+  size_t cache_blocks = 256;
+  /// Tail size at which appends nudge the background flusher.
+  size_t max_tail_bytes = 4 << 20;
+  /// Tail size at which an appender flushes synchronously (bounds
+  /// memory when the flusher cannot keep up).
+  size_t hard_tail_bytes = 32 << 20;
+  /// Straggler-polling cadence: while unflushed bytes exist the
+  /// flusher re-flushes at this interval (covers records appended
+  /// during an in-flight batch). A fully-flushed log parks the thread
+  /// with no timer until the next nudge. 0 flushes only on demand
+  /// (group waiters, backpressure, FlushTo/FlushAll); tests use 0 for
+  /// deterministic crash loss.
+  uint64_t flush_interval_micros = 2'000;
+};
+
+/// Pipeline counters: the batch-size and fsync evidence the fig6 bench
+/// reports, and what the commit-storm tests assert against.
+struct WalStats {
+  /// Flush batches written by any path (one fdatasync each).
+  uint64_t fsyncs = 0;
+  uint64_t flushed_bytes = 0;
+  uint64_t max_batch_bytes = 0;
+  /// Records published.
+  uint64_t appends = 0;
+  /// Commits that parked on the group-commit waiter.
+  uint64_t group_commit_waits = 0;
+  /// Commits by durability mode.
+  uint64_t sync_commits = 0;
+  uint64_t group_commits = 0;
+  uint64_t async_commits = 0;
+  uint64_t none_commits = 0;
+};
+
+class Writer;
+
+class Wal {
+ public:
+  using Options = WalOptions;
+
+  /// Create a fresh log at `path` and start the flusher.
+  static Result<std::unique_ptr<Wal>> Create(const std::string& path,
+                                             DiskModel* disk, IoStats* stats,
+                                             Options opts = Options());
+
+  /// Open an existing log (finds the durable end, rebuilds the
+  /// checkpoint directory) and start the flusher.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           DiskModel* disk, IoStats* stats,
+                                           Options opts = Options());
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // --------------------------- write side ----------------------------
+
+  /// Per-transaction staging handle. Cheap; embed one per transaction.
+  Writer MakeWriter();
+
+  /// One-off append outside any transaction (checkpoint records,
+  /// recovery bookkeeping). Returns the record's LSN; does not flush.
+  Lsn Append(const LogRecord& rec);
+
+  /// Make the commit record at `lsn` durable per `mode`:
+  /// kSync flushes in this thread, kGroup parks on the flusher's next
+  /// batch, kAsync nudges the flusher, kNone returns immediately.
+  Status WaitCommit(Lsn lsn, CommitMode mode);
+
+  /// Synchronous flush of everything up to and including `lsn`
+  /// (WAL-rule page evictions, log cuts).
+  Status FlushTo(Lsn lsn);
+  /// Synchronous flush of everything appended so far.
+  Status FlushAll();
+
+  // ---------------------------- read side ----------------------------
+
+  /// The record-level read API. The cursor borrows this Wal.
+  Cursor OpenCursor() { return Cursor(core_.get()); }
+
+  // ---------------------- metadata / maintenance ---------------------
+
+  Lsn flushed_lsn() const { return core_->flushed_lsn(); }
+  Lsn next_lsn() const { return core_->next_lsn(); }
+  Lsn start_lsn() const { return core_->start_lsn(); }
+  std::vector<CheckpointRef> checkpoints() const {
+    return core_->checkpoints();
+  }
+  Status TruncateBefore(Lsn lsn) { return core_->TruncateBefore(lsn); }
+  uint64_t LiveBytes() const { return core_->LiveBytes(); }
+  void DropCache() { core_->DropCache(); }
+
+  WalStats stats() const;
+
+  /// Test/benchmark hook mirroring Database::SimulateCrash: stop the
+  /// flusher WITHOUT flushing, so the unflushed tail is lost exactly as
+  /// in a real crash. The Wal only accepts destruction afterwards.
+  void SimulateCrash();
+
+ private:
+  friend class Writer;
+
+  explicit Wal(std::unique_ptr<LogManager> core, Options opts);
+
+  void StartFlusher();
+  void FlusherLoop();
+  /// Wake the flusher (it always flushes the whole tail).
+  void NudgeFlusher();
+  /// Writer publish path: splice pre-encoded bytes, handle
+  /// backpressure. Returns the LSN of the first spliced byte.
+  Lsn PublishEncoded(Slice encoded, size_t records);
+
+  std::unique_ptr<LogManager> core_;
+  const Options opts_;
+
+  std::thread flusher_;
+  std::mutex pipe_mu_;
+  std::condition_variable flush_request_cv_;  // flusher sleeps here
+  std::condition_variable durable_cv_;        // group waiters sleep here
+  bool flush_requested_ = false;
+  bool stop_ = false;
+  /// Outcome of the most recent flush round (under pipe_mu_). Not
+  /// sticky: cleared by the next success and by each new group waiter,
+  /// so an old transient error is only ever reported to the waiters of
+  /// the round that actually failed.
+  Status flusher_status_;
+
+  std::atomic<uint64_t> group_commit_waits_{0};
+  std::atomic<uint64_t> sync_commits_{0};
+  std::atomic<uint64_t> group_commits_{0};
+  std::atomic<uint64_t> async_commits_{0};
+  std::atomic<uint64_t> none_commits_{0};
+  std::atomic<uint64_t> appends_{0};
+};
+
+}  // namespace wal
+}  // namespace rewinddb
+
+#endif  // REWINDDB_WAL_WAL_H_

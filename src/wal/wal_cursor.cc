@@ -1,0 +1,66 @@
+#include "wal/wal_cursor.h"
+
+#include "log/log_manager.h"
+
+namespace rewinddb {
+namespace wal {
+
+Status Cursor::LoadAt(Lsn lsn, bool benign_corruption) {
+  valid_ = false;
+  if (lsn == kInvalidLsn) return Status::OK();  // chain end
+  size_t size = 0;
+  auto rec = core_->ReadRecord(lsn, &size);
+  if (rec.ok()) {
+    rec_ = std::move(*rec);
+    lsn_ = lsn;
+    size_ = size;
+    valid_ = true;
+    return Status::OK();
+  }
+  const Status& s = rec.status();
+  if (s.IsInvalidArgument()) {
+    // At or past the append frontier: the benign end of a forward scan.
+    return Status::OK();
+  }
+  if (s.IsCorruption() && benign_corruption) {
+    // Torn tail: the durable log simply ends here.
+    return Status::OK();
+  }
+  return s;
+}
+
+Status Cursor::SeekTo(Lsn lsn) { return LoadAt(lsn, /*benign=*/false); }
+
+Status Cursor::Follow(Lsn lsn) {
+  if (lsn == kInvalidLsn) {
+    valid_ = false;
+    return Status::OK();  // chain end
+  }
+  REWIND_RETURN_IF_ERROR(LoadAt(lsn, /*benign=*/false));
+  if (!valid_) {
+    // Unlike a forward scan reaching the frontier, a chain link that
+    // does not resolve to a record is a broken chain, never benign:
+    // silently stopping here would present a partial rollback or
+    // flashback as complete.
+    return Status::Corruption("log chain link " + std::to_string(lsn) +
+                              " points past the log end");
+  }
+  return Status::OK();
+}
+
+Status Cursor::Next() {
+  if (!valid_) {
+    return Status::InvalidArgument("Next() on an invalid wal::Cursor");
+  }
+  Lsn next = lsn_ + size_;
+  // One-block readahead: on crossing into a new block, warm the cache
+  // with the block AFTER it, so a record straddling out of the new
+  // block finds its second half already resident.
+  if ((next / LogManager::kBlockSize) != (lsn_ / LogManager::kBlockSize)) {
+    core_->PrefetchBlock(next + LogManager::kBlockSize);
+  }
+  return LoadAt(next, /*benign=*/true);
+}
+
+}  // namespace wal
+}  // namespace rewinddb

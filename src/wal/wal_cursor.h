@@ -1,0 +1,97 @@
+// wal::Cursor -- the one record-level read API over the transaction
+// log.
+//
+// Two access patterns, one handle:
+//
+//  * forward scans (recovery analysis/redo, SplitLSN search, flashback
+//    victim location): SeekTo(from) then Next() until !Valid() or the
+//    caller's bound; block prefetch keeps sequential reads one cache
+//    miss per 32 KiB block, and record sizes come from the decode so
+//    iteration never re-encodes (the seed's Scan re-encoded every
+//    record just to find the next one);
+//
+//  * chain walks (rollback, page rewind, snapshot undo): SeekTo(head)
+//    then FollowPrev()/FollowPrevPage()/FollowPrevFpi()/
+//    FollowUndoNext(), which jump straight to the LSN the current
+//    record names. A kInvalidLsn link ends the walk benignly
+//    (Valid() false, OK status).
+//
+// End-of-log and a torn tail end a forward scan benignly: Next()
+// leaves the cursor invalid with OK status, mirroring how recovery
+// treats a half-written final record. Random-access entry points
+// (SeekTo, Follow*) surface corruption instead -- a broken chain is
+// never benign.
+#ifndef REWINDDB_WAL_WAL_CURSOR_H_
+#define REWINDDB_WAL_WAL_CURSOR_H_
+
+#include "common/result.h"
+#include "common/types.h"
+#include "log/log_record.h"
+
+namespace rewinddb {
+
+class LogManager;
+
+namespace wal {
+
+class Cursor {
+ public:
+  /// True if the cursor is positioned on a decoded record.
+  bool Valid() const { return valid_; }
+
+  /// LSN of the current record. Undefined unless Valid().
+  Lsn lsn() const { return lsn_; }
+
+  /// The current record. Undefined unless Valid().
+  const LogRecord& record() const { return rec_; }
+
+  /// LSN one past the current record (the next record's position in a
+  /// forward scan; also the log-cut point after a boundary record).
+  Lsn end_lsn() const { return lsn_ + size_; }
+
+  /// Position on the record at `lsn` (forward-scan entry point).
+  /// kInvalidLsn or at/past the log end: invalid, OK (benign end).
+  /// Below the retention window: invalid, OutOfRange.
+  /// Undecodable bytes: invalid, Corruption.
+  Status SeekTo(Lsn lsn);
+
+  /// Position on the head of a chain walk: kInvalidLsn is a benign
+  /// (empty) chain, but any other `lsn` MUST resolve to a record --
+  /// at/past the log end is Corruption, same as Follow* (a broken
+  /// chain must never read as a completed walk).
+  Status SeekToChain(Lsn lsn) { return Follow(lsn); }
+
+  /// Advance to the next record in LSN order. At the log end or on a
+  /// torn tail record the cursor becomes invalid with OK status.
+  Status Next();
+
+  // Chain navigation: jump to the LSN the current record names.
+  // kInvalidLsn links invalidate benignly with OK status; any other
+  // link that does not resolve to a record is Corruption (a broken
+  // chain must never read as a completed walk).
+  Status FollowPrev() { return Follow(rec_.prev_lsn); }
+  Status FollowPrevPage() { return Follow(rec_.prev_page_lsn); }
+  Status FollowPrevFpi() { return Follow(rec_.prev_fpi_lsn); }
+  Status FollowUndoNext() { return Follow(rec_.undo_next_lsn); }
+
+ private:
+  friend class Wal;
+
+  explicit Cursor(LogManager* core) : core_(core) {}
+
+  Status Follow(Lsn lsn);
+  /// Load the record at `lsn`; `benign_corruption` maps a decode
+  /// failure to a quiet end-of-scan instead of an error.
+  Status LoadAt(Lsn lsn, bool benign_corruption);
+
+  LogManager* core_;
+  bool valid_ = false;
+  Lsn lsn_ = kInvalidLsn;
+  size_t size_ = 0;
+  LogRecord rec_;
+};
+
+}  // namespace wal
+}  // namespace rewinddb
+
+#endif  // REWINDDB_WAL_WAL_CURSOR_H_

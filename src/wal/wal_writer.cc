@@ -1,0 +1,44 @@
+#include "wal/wal_writer.h"
+
+#include <cassert>
+
+#include "wal/wal.h"
+
+namespace rewinddb {
+namespace wal {
+
+void Writer::Stage(const LogRecord& rec) {
+  assert(wal_ != nullptr);
+  assert(rec.type != LogType::kCheckpointBegin &&
+         rec.type != LogType::kCheckpointEnd);
+  rec.EncodeTo(&staged_);
+  staged_records_++;
+}
+
+Lsn Writer::Append(const LogRecord& rec, Lsn* publish_base) {
+  assert(wal_ != nullptr);
+  assert(rec.type != LogType::kCheckpointBegin &&
+         rec.type != LogType::kCheckpointEnd);
+  scratch_.clear();
+  rec.EncodeTo(&scratch_);
+  Lsn base;
+  Lsn lsn;
+  if (staged_.empty()) {
+    base = wal_->PublishEncoded(scratch_, 1);
+    lsn = base;
+  } else {
+    // One splice publishes the staged prefix (BEGIN et al.) together
+    // with this record; its LSN sits after the staged bytes.
+    size_t prefix = staged_.size();
+    staged_.append(scratch_);
+    base = wal_->PublishEncoded(staged_, staged_records_ + 1);
+    lsn = base + prefix;
+    staged_.clear();
+    staged_records_ = 0;
+  }
+  if (publish_base != nullptr) *publish_base = base;
+  return lsn;
+}
+
+}  // namespace wal
+}  // namespace rewinddb

@@ -1,0 +1,66 @@
+// wal::Writer -- the per-transaction write handle of the WAL surface.
+//
+// A Writer stages record encodings in transaction-local buffers and
+// publishes them to the shared log in single splices, so the global
+// append lock is held only for a pointer-bump and a memcpy:
+//
+//  * Stage(rec) encodes a record WITHOUT assigning an LSN. The BEGIN
+//    record of every transaction is staged: a transaction that never
+//    writes publishes nothing, and one that does publishes BEGIN
+//    together with its first update in one batch (one lock
+//    acquisition, contiguous LSNs).
+//  * Append(rec) encodes outside the lock, then publishes any staged
+//    bytes plus this record in one splice and returns the record's
+//    LSN (page headers are stamped with it immediately).
+//
+// Writers never stage checkpoint records (those go through
+// Wal::Append, which maintains the checkpoint directory).
+#ifndef REWINDDB_WAL_WAL_WRITER_H_
+#define REWINDDB_WAL_WAL_WRITER_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "log/log_record.h"
+#include "wal/commit_mode.h"
+
+namespace rewinddb {
+namespace wal {
+
+class Wal;
+
+class Writer {
+ public:
+  /// Detached handle; Append on it is a programming error.
+  Writer() = default;
+  explicit Writer(Wal* wal) : wal_(wal) {}
+
+  Writer(Writer&&) = default;
+  Writer& operator=(Writer&&) = default;
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Encode `rec` into the local staging buffer; it receives its LSN
+  /// when the next Append publishes.
+  void Stage(const LogRecord& rec);
+
+  /// Publish staged bytes + `rec` in one splice. Returns `rec`'s LSN;
+  /// `*publish_base` (if non-null) receives the LSN of the first
+  /// published byte (the staged BEGIN's LSN when one was pending) --
+  /// the transaction's true retention floor.
+  Lsn Append(const LogRecord& rec, Lsn* publish_base = nullptr);
+
+  bool attached() const { return wal_ != nullptr; }
+  Wal* wal() const { return wal_; }
+
+ private:
+  Wal* wal_ = nullptr;
+  std::string staged_;    // encoded, unpublished records
+  size_t staged_records_ = 0;
+  std::string scratch_;   // reusable encode buffer for Append
+};
+
+}  // namespace wal
+}  // namespace rewinddb
+
+#endif  // REWINDDB_WAL_WAL_WRITER_H_

@@ -205,12 +205,12 @@ TEST_F(BTreeTest, ReallocationEmitsPreformat) {
   // Count preformat records so far.
   auto count_preformats = [&]() {
     uint64_t n = 0;
-    Status s = db_->log()->Scan(db_->log()->start_lsn(),
-                                db_->log()->next_lsn(),
-                                [&](Lsn, const LogRecord& rec) {
-                                  if (rec.type == LogType::kPreformat) n++;
-                                  return true;
-                                });
+    wal::Cursor cur = db_->log()->OpenCursor();
+    Status s = cur.SeekTo(db_->log()->start_lsn());
+    while (s.ok() && cur.Valid()) {
+      if (cur.record().type == LogType::kPreformat) n++;
+      s = cur.Next();
+    }
     EXPECT_TRUE(s.ok());
     return n;
   };
@@ -237,15 +237,16 @@ TEST_F(BTreeTest, SmoDeletesCarryUndoInfo) {
   // Every DELETE record in the log -- including SMO move deletes from
   // system transactions -- must carry the deleted entry image.
   bool saw_system_delete = false;
-  Status s = db_->log()->Scan(
-      db_->log()->start_lsn(), db_->log()->next_lsn(),
-      [&](Lsn, const LogRecord& rec) {
-        if (rec.type == LogType::kDelete) {
-          EXPECT_FALSE(rec.image.empty()) << "delete without undo info";
-          saw_system_delete = true;
-        }
-        return true;
-      });
+  wal::Cursor cur = db_->log()->OpenCursor();
+  Status s = cur.SeekTo(db_->log()->start_lsn());
+  while (s.ok() && cur.Valid()) {
+    const LogRecord& rec = cur.record();
+    if (rec.type == LogType::kDelete) {
+      EXPECT_FALSE(rec.image.empty()) << "delete without undo info";
+      saw_system_delete = true;
+    }
+    s = cur.Next();
+  }
   ASSERT_TRUE(s.ok());
   EXPECT_TRUE(saw_system_delete) << "expected SMO move deletes from splits";
 }

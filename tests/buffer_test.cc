@@ -7,7 +7,7 @@
 
 #include "buffer/buffer_manager.h"
 #include "io/paged_file.h"
-#include "log/log_manager.h"
+#include "wal/wal.h"
 #include "page/slotted_page.h"
 
 namespace rewinddb {
@@ -27,7 +27,7 @@ class BufferTest : public ::testing::Test {
     auto f = PagedFile::Create(data_path_, nullptr, &stats_);
     ASSERT_TRUE(f.ok());
     file_ = std::move(*f);
-    auto lm = LogManager::Create(log_path_, nullptr, &stats_);
+    auto lm = wal::Wal::Create(log_path_, nullptr, &stats_);
     ASSERT_TRUE(lm.ok());
     log_ = std::move(*lm);
     store_ = std::make_unique<FilePageStore>(file_.get());
@@ -45,7 +45,7 @@ class BufferTest : public ::testing::Test {
   IoStats stats_;
   std::string data_path_, log_path_;
   std::unique_ptr<PagedFile> file_;
-  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<wal::Wal> log_;
   std::unique_ptr<FilePageStore> store_;
 };
 

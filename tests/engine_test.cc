@@ -372,6 +372,9 @@ TEST_F(EngineTest, RetentionTruncatesOldLog) {
   ASSERT_TRUE(db_->Checkpoint().ok());
   ASSERT_TRUE(db_->EnforceRetention().ok());
   EXPECT_GT(db_->log()->start_lsn(), old_start);
+  // The SimClock above dies with this scope; release the engine (whose
+  // close-checkpoint stamps wall clock) before it dangles.
+  db_.reset();
 }
 
 TEST_F(EngineTest, RetentionKeepsRecentLog) {
@@ -388,6 +391,9 @@ TEST_F(EngineTest, RetentionKeepsRecentLog) {
   clock.Advance(60ULL * 1'000'000);  // only a minute
   ASSERT_TRUE(db_->EnforceRetention().ok());
   EXPECT_EQ(db_->log()->start_lsn(), start);
+  // The SimClock above dies with this scope; release the engine (whose
+  // close-checkpoint stamps wall clock) before it dangles.
+  db_.reset();
 }
 
 // Property: crash at a random point; committed transactions survive,

@@ -225,7 +225,8 @@ TEST_F(IntegrationTest, BackupRestoreAndSnapshotAgreeOnTpccState) {
   auto snap = AsOfSnapshot::Create(db->get(), "agree", t);
   ASSERT_TRUE(snap.ok());
   ASSERT_TRUE((*snap)->WaitForUndo().ok());
-  auto via_snap = TpccDatabase::StockLevelAsOf(snap->get(), 1, 1, 70);
+  auto snap_view = WrapSnapshot(snap->get());
+  auto via_snap = TpccDatabase::StockLevelOn(snap_view.get(), 1, 1, 70);
   ASSERT_TRUE(via_snap.ok());
 
   // Path 2: restore.

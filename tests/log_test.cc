@@ -11,9 +11,9 @@
 #include "common/clock.h"
 #include "io/disk_model.h"
 #include "io/io_stats.h"
-#include "log/log_manager.h"
 #include "log/log_record.h"
 #include "page/page.h"
+#include "wal/wal.h"
 
 namespace rewinddb {
 namespace {
@@ -281,7 +281,16 @@ TEST(LogRecordTest, IsPageRecordClassification) {
 
 // ------------------------- log manager --------------------------------
 
-class LogManagerTest : public ::testing::Test {
+/// Read the record at `lsn` through the public cursor API.
+Result<LogRecord> ReadAt(wal::Wal* w, Lsn lsn) {
+  wal::Cursor cur = w->OpenCursor();
+  Status s = cur.SeekTo(lsn);
+  if (!s.ok()) return s;
+  if (!cur.Valid()) return Status::InvalidArgument("no record at lsn");
+  return cur.record();
+}
+
+class WalTest : public ::testing::Test {
  protected:
   void SetUp() override {
     path_ = TempPath(
@@ -294,8 +303,8 @@ class LogManagerTest : public ::testing::Test {
   IoStats stats_;
 };
 
-TEST_F(LogManagerTest, AppendAssignsMonotonicLsns) {
-  auto lm = LogManager::Create(path_, nullptr, &stats_);
+TEST_F(WalTest, AppendAssignsMonotonicLsns) {
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
   Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "a"));
   Lsn b = (*lm)->Append(MakeInsert(1, 2, 1, "b"));
@@ -303,45 +312,71 @@ TEST_F(LogManagerTest, AppendAssignsMonotonicLsns) {
   EXPECT_GT((*lm)->next_lsn(), b);
 }
 
-TEST_F(LogManagerTest, ReadFromUnflushedTail) {
-  auto lm = LogManager::Create(path_, nullptr, &stats_);
+TEST_F(WalTest, ReadFromUnflushedTail) {
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
   Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "payload"));
-  auto rec = (*lm)->ReadRecord(a);
+  auto rec = ReadAt(lm->get(), a);
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();
   EXPECT_EQ(rec->image, "payload");
   // No device IO was needed.
   EXPECT_EQ(stats_.log_read_misses.load(), 0u);
 }
 
-TEST_F(LogManagerTest, ReadAfterFlushGoesThroughCache) {
-  auto lm = LogManager::Create(path_, nullptr, &stats_);
+TEST_F(WalTest, ReadAfterFlushGoesThroughCache) {
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
   Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "payload"));
   ASSERT_TRUE((*lm)->FlushAll().ok());
-  auto rec = (*lm)->ReadRecord(a);
-  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(ReadAt(lm->get(), a).ok());
   EXPECT_EQ(stats_.log_read_misses.load(), 1u);
   // Second read hits the block cache.
-  ASSERT_TRUE((*lm)->ReadRecord(a).ok());
+  ASSERT_TRUE(ReadAt(lm->get(), a).ok());
   EXPECT_EQ(stats_.log_read_misses.load(), 1u);
   EXPECT_GE(stats_.log_read_hits.load(), 1u);
 }
 
-TEST_F(LogManagerTest, CacheDisabledAlwaysMisses) {
-  LogManagerOptions opts;
+TEST_F(WalTest, CacheDisabledReadsStraightFromFile) {
+  wal::WalOptions opts;
   opts.cache_blocks = 0;
-  auto lm = LogManager::Create(path_, nullptr, &stats_, opts);
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_, opts);
   ASSERT_TRUE(lm.ok());
   Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "payload"));
   ASSERT_TRUE((*lm)->FlushAll().ok());
-  ASSERT_TRUE((*lm)->ReadRecord(a).ok());
-  ASSERT_TRUE((*lm)->ReadRecord(a).ok());
+  ASSERT_TRUE(ReadAt(lm->get(), a).ok());
+  ASSERT_TRUE(ReadAt(lm->get(), a).ok());
+  // Regression (cache_blocks = 0): every read goes straight to the
+  // file; nothing is retained, so nothing ever hits.
   EXPECT_EQ(stats_.log_read_misses.load(), 2u);
+  EXPECT_EQ(stats_.log_read_hits.load(), 0u);
 }
 
-TEST_F(LogManagerTest, FlushToMakesRecordDurable) {
-  auto lm = LogManager::Create(path_, nullptr, &stats_);
+TEST_F(WalTest, CacheDisabledDropCacheIsSafeNoOp) {
+  wal::WalOptions opts;
+  opts.cache_blocks = 0;
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_, opts);
+  ASSERT_TRUE(lm.ok());
+  Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "payload"));
+  ASSERT_TRUE((*lm)->FlushAll().ok());
+  (*lm)->DropCache();  // must not crash or change behaviour
+  ASSERT_TRUE(ReadAt(lm->get(), a).ok());
+  (*lm)->DropCache();
+  ASSERT_TRUE(ReadAt(lm->get(), a).ok());
+  EXPECT_EQ(stats_.log_read_hits.load(), 0u);
+  // Sequential forward scans must also stay correct (their prefetch is
+  // skipped entirely without a cache to warm).
+  wal::Cursor cur = (*lm)->OpenCursor();
+  ASSERT_TRUE(cur.SeekTo((*lm)->start_lsn()).ok());
+  int seen = 0;
+  while (cur.Valid()) {
+    seen++;
+    ASSERT_TRUE(cur.Next().ok());
+  }
+  EXPECT_EQ(seen, 1);
+}
+
+TEST_F(WalTest, FlushToMakesRecordDurable) {
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
   Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "abc"));
   EXPECT_LE((*lm)->flushed_lsn(), a);
@@ -349,19 +384,45 @@ TEST_F(LogManagerTest, FlushToMakesRecordDurable) {
   EXPECT_GT((*lm)->flushed_lsn(), a);
 }
 
-TEST_F(LogManagerTest, ReopenFindsEndAndServesRecords) {
+TEST_F(WalTest, FlushCountersRecordBatches) {
+  wal::WalOptions opts;
+  opts.flush_interval_micros = 0;  // flush only on demand
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_, opts);
+  ASSERT_TRUE(lm.ok());
+  for (int i = 0; i < 10; i++) {
+    (*lm)->Append(MakeInsert(1, 2, static_cast<uint16_t>(i), "x"));
+  }
+  ASSERT_TRUE((*lm)->FlushAll().ok());
+  wal::WalStats st = (*lm)->stats();
+  EXPECT_EQ(st.appends, 10u);
+  EXPECT_GE(st.fsyncs, 1u);
+  EXPECT_GT(st.flushed_bytes, 0u);
+  EXPECT_GE(st.max_batch_bytes, st.flushed_bytes / st.fsyncs);
+}
+
+TEST_F(WalTest, GroupCommitWaitMakesLsnDurable) {
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "grouped"));
+  ASSERT_TRUE((*lm)->WaitCommit(a, CommitMode::kGroup).ok());
+  EXPECT_GT((*lm)->flushed_lsn(), a);
+  wal::WalStats st = (*lm)->stats();
+  EXPECT_EQ(st.group_commits, 1u);
+}
+
+TEST_F(WalTest, ReopenFindsEndAndServesRecords) {
   Lsn a, b;
   {
-    auto lm = LogManager::Create(path_, nullptr, &stats_);
+    auto lm = wal::Wal::Create(path_, nullptr, &stats_);
     ASSERT_TRUE(lm.ok());
     a = (*lm)->Append(MakeInsert(1, 2, 0, "first"));
     b = (*lm)->Append(MakeInsert(1, 2, 1, "second"));
     ASSERT_TRUE((*lm)->FlushAll().ok());
   }
-  auto lm = LogManager::Open(path_, nullptr, &stats_);
+  auto lm = wal::Wal::Open(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok()) << lm.status().ToString();
-  auto ra = (*lm)->ReadRecord(a);
-  auto rb = (*lm)->ReadRecord(b);
+  auto ra = ReadAt(lm->get(), a);
+  auto rb = ReadAt(lm->get(), b);
   ASSERT_TRUE(ra.ok());
   ASSERT_TRUE(rb.ok());
   EXPECT_EQ(ra->image, "first");
@@ -371,10 +432,10 @@ TEST_F(LogManagerTest, ReopenFindsEndAndServesRecords) {
   EXPECT_GT(c, b);
 }
 
-TEST_F(LogManagerTest, ReopenIgnoresTornTail) {
+TEST_F(WalTest, ReopenIgnoresTornTail) {
   Lsn a;
   {
-    auto lm = LogManager::Create(path_, nullptr, &stats_);
+    auto lm = wal::Wal::Create(path_, nullptr, &stats_);
     ASSERT_TRUE(lm.ok());
     a = (*lm)->Append(MakeInsert(1, 2, 0, "good"));
     ASSERT_TRUE((*lm)->FlushAll().ok());
@@ -387,15 +448,15 @@ TEST_F(LogManagerTest, ReopenIgnoresTornTail) {
     fwrite(garbage, 1, sizeof(garbage), f);
     fclose(f);
   }
-  auto lm = LogManager::Open(path_, nullptr, &stats_);
+  auto lm = wal::Wal::Open(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
-  auto ra = (*lm)->ReadRecord(a);
+  auto ra = ReadAt(lm->get(), a);
   ASSERT_TRUE(ra.ok());
   EXPECT_EQ(ra->image, "good");
 }
 
-TEST_F(LogManagerTest, ScanVisitsRecordsInOrder) {
-  auto lm = LogManager::Create(path_, nullptr, &stats_);
+TEST_F(WalTest, CursorVisitsRecordsInOrder) {
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
   std::vector<Lsn> lsns;
   for (int i = 0; i < 20; i++) {
@@ -404,33 +465,64 @@ TEST_F(LogManagerTest, ScanVisitsRecordsInOrder) {
   }
   ASSERT_TRUE((*lm)->FlushAll().ok());
   std::vector<Lsn> seen;
-  ASSERT_TRUE((*lm)
-                  ->Scan((*lm)->start_lsn(), (*lm)->next_lsn(),
-                         [&](Lsn lsn, const LogRecord& rec) {
-                           EXPECT_EQ(rec.type, LogType::kInsert);
-                           seen.push_back(lsn);
-                           return true;
-                         })
-                  .ok());
+  wal::Cursor cur = (*lm)->OpenCursor();
+  ASSERT_TRUE(cur.SeekTo((*lm)->start_lsn()).ok());
+  while (cur.Valid()) {
+    EXPECT_EQ(cur.record().type, LogType::kInsert);
+    seen.push_back(cur.lsn());
+    ASSERT_TRUE(cur.Next().ok());
+  }
   EXPECT_EQ(seen, lsns);
 }
 
-TEST_F(LogManagerTest, ScanStopsWhenCallbackReturnsFalse) {
-  auto lm = LogManager::Create(path_, nullptr, &stats_);
+TEST_F(WalTest, CursorSeekToMidStreamAndEndLsn) {
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
-  for (int i = 0; i < 10; i++) {
-    (*lm)->Append(MakeInsert(1, 2, 0, "x"));
-  }
-  int count = 0;
-  ASSERT_TRUE((*lm)
-                  ->Scan((*lm)->start_lsn(), (*lm)->next_lsn(),
-                         [&](Lsn, const LogRecord&) { return ++count < 3; })
-                  .ok());
-  EXPECT_EQ(count, 3);
+  Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "aaa"));
+  Lsn b = (*lm)->Append(MakeInsert(1, 2, 1, "bbb"));
+  Lsn c = (*lm)->Append(MakeInsert(1, 2, 2, "ccc"));
+  wal::Cursor cur = (*lm)->OpenCursor();
+  ASSERT_TRUE(cur.SeekTo(b).ok());
+  ASSERT_TRUE(cur.Valid());
+  EXPECT_EQ(cur.lsn(), b);
+  EXPECT_EQ(cur.record().image, "bbb");
+  EXPECT_EQ(cur.end_lsn(), c);
+  // Seeking to the append frontier is a benign end, not an error.
+  ASSERT_TRUE(cur.SeekTo((*lm)->next_lsn()).ok());
+  EXPECT_FALSE(cur.Valid());
+  (void)a;
 }
 
-TEST_F(LogManagerTest, CheckpointDirectoryTracksAppends) {
-  auto lm = LogManager::Create(path_, nullptr, &stats_);
+TEST_F(WalTest, CursorFollowsTransactionChain) {
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_);
+  ASSERT_TRUE(lm.ok());
+  LogRecord r1 = MakeInsert(7, 2, 0, "one");
+  Lsn a = (*lm)->Append(r1);
+  LogRecord r2 = MakeInsert(7, 2, 1, "two");
+  r2.prev_lsn = a;
+  Lsn b = (*lm)->Append(r2);
+  LogRecord r3 = MakeInsert(7, 2, 2, "three");
+  r3.prev_lsn = b;
+  Lsn c = (*lm)->Append(r3);
+
+  wal::Cursor cur = (*lm)->OpenCursor();
+  ASSERT_TRUE(cur.SeekTo(c).ok());
+  ASSERT_TRUE(cur.Valid());
+  EXPECT_EQ(cur.record().image, "three");
+  ASSERT_TRUE(cur.FollowPrev().ok());
+  ASSERT_TRUE(cur.Valid());
+  EXPECT_EQ(cur.lsn(), b);
+  EXPECT_EQ(cur.record().image, "two");
+  ASSERT_TRUE(cur.FollowPrev().ok());
+  ASSERT_TRUE(cur.Valid());
+  EXPECT_EQ(cur.lsn(), a);
+  // The chain ends benignly at a kInvalidLsn link.
+  ASSERT_TRUE(cur.FollowPrev().ok());
+  EXPECT_FALSE(cur.Valid());
+}
+
+TEST_F(WalTest, CheckpointDirectoryTracksAppends) {
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
   LogRecord ckpt;
   ckpt.type = LogType::kCheckpointBegin;
@@ -447,10 +539,10 @@ TEST_F(LogManagerTest, CheckpointDirectoryTracksAppends) {
   EXPECT_EQ(dir[1].wall_clock, 2000u);
 }
 
-TEST_F(LogManagerTest, CheckpointDirectorySurvivesReopen) {
+TEST_F(WalTest, CheckpointDirectorySurvivesReopen) {
   Lsn c1;
   {
-    auto lm = LogManager::Create(path_, nullptr, &stats_);
+    auto lm = wal::Wal::Create(path_, nullptr, &stats_);
     ASSERT_TRUE(lm.ok());
     LogRecord ckpt;
     ckpt.type = LogType::kCheckpointBegin;
@@ -458,7 +550,7 @@ TEST_F(LogManagerTest, CheckpointDirectorySurvivesReopen) {
     c1 = (*lm)->Append(ckpt);
     ASSERT_TRUE((*lm)->FlushAll().ok());
   }
-  auto lm = LogManager::Open(path_, nullptr, &stats_);
+  auto lm = wal::Wal::Open(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
   auto dir = (*lm)->checkpoints();
   ASSERT_EQ(dir.size(), 1u);
@@ -466,39 +558,39 @@ TEST_F(LogManagerTest, CheckpointDirectorySurvivesReopen) {
   EXPECT_EQ(dir[0].wall_clock, 777u);
 }
 
-TEST_F(LogManagerTest, TruncateEnforcesRetention) {
-  auto lm = LogManager::Create(path_, nullptr, &stats_);
+TEST_F(WalTest, TruncateEnforcesRetention) {
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
   Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "old"));
   Lsn b = (*lm)->Append(MakeInsert(1, 2, 1, "new"));
   ASSERT_TRUE((*lm)->FlushAll().ok());
   ASSERT_TRUE((*lm)->TruncateBefore(b).ok());
-  // The old record is gone -- reads report OutOfRange so the as-of
-  // machinery can surface "outside retention period" to the user.
-  EXPECT_TRUE((*lm)->ReadRecord(a).status().IsOutOfRange());
-  EXPECT_TRUE((*lm)->ReadRecord(b).ok());
+  // The old record is gone -- cursor seeks report OutOfRange so the
+  // as-of machinery can surface "outside retention period" to the user.
+  EXPECT_TRUE(ReadAt(lm->get(), a).status().IsOutOfRange());
+  EXPECT_TRUE(ReadAt(lm->get(), b).ok());
   EXPECT_EQ((*lm)->start_lsn(), b);
 }
 
-TEST_F(LogManagerTest, TruncatePersistsAcrossReopen) {
+TEST_F(WalTest, TruncatePersistsAcrossReopen) {
   Lsn a, b;
   {
-    auto lm = LogManager::Create(path_, nullptr, &stats_);
+    auto lm = wal::Wal::Create(path_, nullptr, &stats_);
     ASSERT_TRUE(lm.ok());
     a = (*lm)->Append(MakeInsert(1, 2, 0, "old"));
     b = (*lm)->Append(MakeInsert(1, 2, 1, "new"));
     ASSERT_TRUE((*lm)->FlushAll().ok());
     ASSERT_TRUE((*lm)->TruncateBefore(b).ok());
   }
-  auto lm = LogManager::Open(path_, nullptr, &stats_);
+  auto lm = wal::Wal::Open(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
   EXPECT_EQ((*lm)->start_lsn(), b);
-  EXPECT_TRUE((*lm)->ReadRecord(a).status().IsOutOfRange());
-  EXPECT_TRUE((*lm)->ReadRecord(b).ok());
+  EXPECT_TRUE(ReadAt(lm->get(), a).status().IsOutOfRange());
+  EXPECT_TRUE(ReadAt(lm->get(), b).ok());
 }
 
-TEST_F(LogManagerTest, LiveBytesShrinksOnTruncate) {
-  auto lm = LogManager::Create(path_, nullptr, &stats_);
+TEST_F(WalTest, LiveBytesShrinksOnTruncate) {
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
   (*lm)->Append(MakeInsert(1, 2, 0, std::string(1000, 'x')));
   Lsn b = (*lm)->Append(MakeInsert(1, 2, 1, "y"));
@@ -508,8 +600,8 @@ TEST_F(LogManagerTest, LiveBytesShrinksOnTruncate) {
   EXPECT_LT((*lm)->LiveBytes(), before);
 }
 
-TEST_F(LogManagerTest, LargeRecordSpanningBlocksRoundTrips) {
-  auto lm = LogManager::Create(path_, nullptr, &stats_);
+TEST_F(WalTest, LargeRecordSpanningBlocksRoundTrips) {
+  auto lm = wal::Wal::Create(path_, nullptr, &stats_);
   ASSERT_TRUE(lm.ok());
   // Fill close to a block boundary, then write a full-page preformat
   // record that must straddle it.
@@ -523,22 +615,22 @@ TEST_F(LogManagerTest, LargeRecordSpanningBlocksRoundTrips) {
   Lsn f = (*lm)->Append(fpi);
   ASSERT_TRUE((*lm)->FlushAll().ok());
   (*lm)->DropCache();
-  auto rec = (*lm)->ReadRecord(f);
+  auto rec = ReadAt(lm->get(), f);
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();
   EXPECT_EQ(rec->image.size(), kPageSize);
   EXPECT_EQ(rec->image[0], '\x77');
 }
 
-TEST_F(LogManagerTest, SimulatedLatencyChargedOnMisses) {
+TEST_F(WalTest, SimulatedLatencyChargedOnMisses) {
   SimClock clock;
   DiskModel disk(MediaProfile::Sas(), &clock, &stats_);
-  auto lm = LogManager::Create(path_, &disk, &stats_);
+  auto lm = wal::Wal::Create(path_, &disk, &stats_);
   ASSERT_TRUE(lm.ok());
   Lsn a = (*lm)->Append(MakeInsert(1, 2, 0, "x"));
   ASSERT_TRUE((*lm)->FlushAll().ok());
   (*lm)->DropCache();
   WallClock before = clock.NowMicros();
-  ASSERT_TRUE((*lm)->ReadRecord(a).ok());
+  ASSERT_TRUE(ReadAt(lm->get(), a).ok());
   // A SAS random read costs ~6.5ms of simulated time.
   EXPECT_GE(clock.NowMicros() - before, 6000u);
 }

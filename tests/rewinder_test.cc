@@ -192,14 +192,14 @@ TEST(RewinderTest, TruncatedChainReportsOutOfRange) {
   Lsn mid = (*db)->log()->next_lsn() - 100;
   // Find a record boundary by scanning.
   Lsn boundary = kInvalidLsn;
-  ASSERT_TRUE((*db)
-                  ->log()
-                  ->Scan((*db)->log()->start_lsn(), (*db)->log()->next_lsn(),
-                         [&](Lsn lsn, const LogRecord&) {
-                           if (lsn < mid) boundary = lsn;
-                           return lsn < mid;
-                         })
-                  .ok());
+  {
+    wal::Cursor cur = (*db)->log()->OpenCursor();
+    ASSERT_TRUE(cur.SeekTo((*db)->log()->start_lsn()).ok());
+    while (cur.Valid() && cur.lsn() < mid) {
+      boundary = cur.lsn();
+      ASSERT_TRUE(cur.Next().ok());
+    }
+  }
   ASSERT_NE(boundary, kInvalidLsn);
   ASSERT_TRUE((*db)->log()->TruncateBefore(boundary).ok());
 

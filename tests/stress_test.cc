@@ -117,6 +117,11 @@ TEST_F(StressTest, QueriesRaceBackgroundUndo) {
   EXPECT_EQ(violations.load(), 0);
   ASSERT_TRUE((*snap)->WaitForUndo().ok());
   ASSERT_TRUE(db_->Commit(loser).ok());
+  // The SimClock above dies with this scope; release the snapshot (it
+  // unregisters its anchor against the engine) and then the engine
+  // (whose close-checkpoint stamps wall clock) before either dangles.
+  snap->reset();
+  db_.reset();
 }
 
 TEST_F(StressTest, SnapshotWorksWithLogCacheDisabled) {
@@ -152,6 +157,11 @@ TEST_F(StressTest, SnapshotWorksWithLogCacheDisabled) {
   EXPECT_EQ((*row)[1].AsString(), "v1");
   EXPECT_GT(db_->stats()->log_read_misses.load(), misses0)
       << "with no cache, chain walks hit the device";
+  // The SimClock above dies with this scope; release the snapshot (it
+  // unregisters its anchor against the engine) and then the engine
+  // (whose close-checkpoint stamps wall clock) before either dangles.
+  snap->reset();
+  db_.reset();
 }
 
 TEST_F(StressTest, RewindThroughRecoveryClrs) {
@@ -207,6 +217,11 @@ TEST_F(StressTest, RewindThroughRecoveryClrs) {
     EXPECT_EQ((*row)[1].AsString(), "before")
         << "rewind across recovery CLRs must land on committed state";
   }
+  // The SimClock above dies with this scope; release the snapshot (it
+  // unregisters its anchor against the engine) and then the engine
+  // (whose close-checkpoint stamps wall clock) before either dangles.
+  snap->reset();
+  db_.reset();
 }
 
 TEST_F(StressTest, TinyBufferPoolsStillCorrect) {
@@ -238,6 +253,11 @@ TEST_F(StressTest, TinyBufferPoolsStillCorrect) {
   auto st = (*snap)->OpenTable("t");
   ASSERT_TRUE(st.ok());
   EXPECT_EQ(*st->Count(), 600u);
+  // The SimClock above dies with this scope; release the snapshot (it
+  // unregisters its anchor against the engine) and then the engine
+  // (whose close-checkpoint stamps wall clock) before either dangles.
+  snap->reset();
+  db_.reset();
 }
 
 TEST_F(StressTest, RepeatedDropRecreateCyclesKeepHistoryReachable) {
@@ -284,6 +304,9 @@ TEST_F(StressTest, RepeatedDropRecreateCyclesKeepHistoryReachable) {
     ASSERT_TRUE(row.ok()) << gen;
     EXPECT_EQ((*row)[1].AsString(), "gen" + std::to_string(gen));
   }
+  // The SimClock above dies with this scope; release the engine (whose
+  // close-checkpoint stamps wall clock) before it dangles.
+  db_.reset();
 }
 
 TEST_F(StressTest, GrowShrinkUpdateCyclesRewindExactly) {
@@ -336,6 +359,9 @@ TEST_F(StressTest, GrowShrinkUpdateCyclesRewindExactly) {
                     .ok());
     EXPECT_EQ(got, history[p].second) << "round " << p;
   }
+  // The SimClock above dies with this scope; release the engine (whose
+  // close-checkpoint stamps wall clock) before it dangles.
+  db_.reset();
 }
 
 }  // namespace

@@ -169,7 +169,8 @@ TEST(TpccAsOfTest, StockLevelAsOfMatchesHistoricalValue) {
   auto snap = AsOfSnapshot::Create(db->get(), "stock_asof", t);
   ASSERT_TRUE(snap.ok()) << snap.status().ToString();
   ASSERT_TRUE((*snap)->WaitForUndo().ok());
-  auto as_of = TpccDatabase::StockLevelAsOf(snap->get(), 1, 1, 60);
+  auto view = WrapSnapshot(snap->get());
+  auto as_of = TpccDatabase::StockLevelOn(view.get(), 1, 1, 60);
   ASSERT_TRUE(as_of.ok()) << as_of.status().ToString();
   EXPECT_EQ(*as_of, *truth);
 

@@ -1,0 +1,279 @@
+// The WAL redesign's contract tests: per-CommitMode crash durability
+// (kill the engine between Append and flush, reopen, check what
+// survived), the group-commit pipeline under a multi-threaded commit
+// storm (monotone flushed_lsn, no lost commits), and the Writer's
+// staged-BEGIN publish.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/table.h"
+
+namespace rewinddb {
+namespace {
+
+Schema KvSchema() {
+  return Schema({{"id", ColumnType::kInt32}, {"val", ColumnType::kString}},
+                1);
+}
+
+class WalDurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "rewinddb_wal" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name())
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    db_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  /// Create the engine with an on-demand-only flusher so nothing
+  /// becomes durable behind the test's back: what kNone loses and
+  /// kSync/kGroup keep is then deterministic.
+  void Create(CommitMode mode) {
+    DatabaseOptions opts;
+    opts.default_commit_mode = mode;
+    opts.wal_flush_interval_micros = 0;  // flush only on demand
+    auto db = Database::Create(dir_, opts);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+    Transaction* txn = db_->Begin();
+    ASSERT_TRUE(db_->CreateTable(txn, "t", KvSchema()).ok());
+    ASSERT_TRUE(db_->Commit(txn, CommitMode::kSync).ok());
+  }
+
+  /// Insert one row and commit with the engine's default mode, then
+  /// crash without any flush and reopen.
+  void CommitOneRowThenCrash(int key) {
+    auto table = db_->OpenTable("t");
+    ASSERT_TRUE(table.ok());
+    Transaction* txn = db_->Begin();
+    ASSERT_TRUE(table->Insert(txn, {key, std::string("payload")}).ok());
+    ASSERT_TRUE(db_->Commit(txn).ok());
+    db_->SimulateCrash();
+    db_.reset();
+    auto db = Database::Open(dir_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  bool RowPresent(int key) {
+    auto table = db_->OpenTable("t");
+    EXPECT_TRUE(table.ok());
+    auto row = table->Get(nullptr, {key});
+    if (row.ok()) return true;
+    EXPECT_TRUE(row.status().IsNotFound()) << row.status().ToString();
+    return false;
+  }
+
+  std::string dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(WalDurabilityTest, SyncCommitSurvivesCrash) {
+  Create(CommitMode::kSync);
+  CommitOneRowThenCrash(1);
+  EXPECT_TRUE(RowPresent(1)) << "kSync promised durability at commit";
+}
+
+TEST_F(WalDurabilityTest, GroupCommitSurvivesCrash) {
+  Create(CommitMode::kGroup);
+  CommitOneRowThenCrash(1);
+  EXPECT_TRUE(RowPresent(1)) << "kGroup promised durability at commit";
+}
+
+TEST_F(WalDurabilityTest, NoneCommitIsLostAtomically) {
+  Create(CommitMode::kNone);
+  CommitOneRowThenCrash(1);
+  // With an on-demand flusher and no flush between Append and the
+  // crash, the commit record never reached the disk: the transaction
+  // must be gone entirely (atomic loss, no partial effects).
+  EXPECT_FALSE(RowPresent(1)) << "kNone commit was never made durable";
+}
+
+TEST_F(WalDurabilityTest, NoneCommitSurvivesWhenFlushedBeforeCrash) {
+  Create(CommitMode::kNone);
+  auto table = db_->OpenTable("t");
+  ASSERT_TRUE(table.ok());
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(table->Insert(txn, {1, std::string("payload")}).ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  ASSERT_TRUE(db_->log()->FlushAll().ok());  // durability caught up
+  db_->SimulateCrash();
+  db_.reset();
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  db_ = std::move(*db);
+  EXPECT_TRUE(RowPresent(1));
+}
+
+TEST_F(WalDurabilityTest, AsyncCommitBecomesDurableWithinFlushInterval) {
+  DatabaseOptions opts;
+  opts.default_commit_mode = CommitMode::kAsync;
+  opts.wal_flush_interval_micros = 1'000;
+  auto db = Database::Create(dir_, opts);
+  ASSERT_TRUE(db.ok());
+  db_ = std::move(*db);
+  Transaction* ddl = db_->Begin();
+  ASSERT_TRUE(db_->CreateTable(ddl, "t", KvSchema()).ok());
+  ASSERT_TRUE(db_->Commit(ddl, CommitMode::kSync).ok());
+
+  auto table = db_->OpenTable("t");
+  ASSERT_TRUE(table.ok());
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(table->Insert(txn, {1, std::string("payload")}).ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());  // returns before durable
+  // The nudged background flusher catches up on its own.
+  Lsn target = db_->log()->next_lsn();
+  for (int i = 0; i < 2000 && db_->log()->flushed_lsn() < target; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(db_->log()->flushed_lsn(), target);
+}
+
+TEST_F(WalDurabilityTest, UncommittedWorkRollsBackAfterCrash) {
+  Create(CommitMode::kGroup);
+  auto table = db_->OpenTable("t");
+  ASSERT_TRUE(table.ok());
+  Transaction* committed = db_->Begin();
+  ASSERT_TRUE(table->Insert(committed, {1, std::string("keep")}).ok());
+  ASSERT_TRUE(db_->Commit(committed).ok());
+  Transaction* loser = db_->Begin();
+  ASSERT_TRUE(table->Insert(loser, {2, std::string("lose")}).ok());
+  // Force the loser's page records to disk WITHOUT its commit: ARIES
+  // undo must roll them back on reopen.
+  ASSERT_TRUE(db_->log()->FlushAll().ok());
+  db_->SimulateCrash();
+  db_.reset();
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  db_ = std::move(*db);
+  EXPECT_TRUE(RowPresent(1));
+  EXPECT_FALSE(RowPresent(2));
+}
+
+TEST_F(WalDurabilityTest, CommitStormNoLostCommitsAndMonotoneFlushedLsn) {
+  constexpr int kThreads = 8;
+  constexpr int kCommitsPerThread = 60;
+  Create(CommitMode::kGroup);
+  wal::WalStats before = db_->log()->stats();
+
+  // A watcher samples flushed_lsn concurrently: it must never move
+  // backwards while the group-commit pipeline is under fire.
+  std::atomic<bool> stop_watcher{false};
+  std::atomic<bool> monotone{true};
+  std::thread watcher([&] {
+    Lsn last = 0;
+    while (!stop_watcher.load()) {
+      Lsn now = db_->log()->flushed_lsn();
+      if (now < last) monotone.store(false);
+      last = now;
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; t++) {
+    workers.emplace_back([&, t] {
+      auto table = db_->OpenTable("t");
+      if (!table.ok()) {
+        failures++;
+        return;
+      }
+      for (int i = 0; i < kCommitsPerThread; i++) {
+        int key = t * 1000 + i;
+        Transaction* txn = db_->Begin();
+        if (!table->Insert(txn, {key, std::string("storm")}).ok()) {
+          failures++;
+          Status s = db_->Abort(txn);
+          (void)s;
+          continue;
+        }
+        // kGroup: when Commit returns, the record is durable.
+        if (!db_->Commit(txn).ok()) failures++;
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  stop_watcher.store(true);
+  watcher.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(monotone.load()) << "flushed_lsn moved backwards";
+
+  wal::WalStats stats = db_->log()->stats();
+  EXPECT_EQ(stats.group_commits - before.group_commits,
+            1u * kThreads * kCommitsPerThread);
+  // Group commit must not degenerate into MORE than one fsync per
+  // commit; with 8 threads hammering, commits queue while the previous
+  // batch is in flight, so each fsync covers at least one commit.
+  EXPECT_LE(stats.fsyncs - before.fsyncs,
+            stats.group_commits - before.group_commits);
+  EXPECT_GT(stats.max_batch_bytes, 0u);
+
+  // Every commit that returned success must survive a crash: they were
+  // durable at return time.
+  db_->SimulateCrash();
+  db_.reset();
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  db_ = std::move(*db);
+  auto table = db_->OpenTable("t");
+  ASSERT_TRUE(table.ok());
+  uint64_t expected = 1u * kThreads * kCommitsPerThread;
+  EXPECT_EQ(*table->Count(), expected) << "lost commits in kGroup mode";
+}
+
+TEST_F(WalDurabilityTest, StagedBeginPublishesNothingForReadOnlyWork) {
+  Create(CommitMode::kGroup);
+  auto table = db_->OpenTable("t");
+  ASSERT_TRUE(table.ok());
+  Lsn before = db_->log()->next_lsn();
+  uint64_t group_before = db_->log()->stats().group_commits;
+  {
+    // Begin and abort without writing: the staged BEGIN must never
+    // reach the log.
+    Transaction* txn = db_->Begin();
+    ASSERT_TRUE(db_->Abort(txn).ok());
+  }
+  {
+    // Same on the commit side: a pure read commits without logging or
+    // waiting on a flush.
+    Transaction* txn = db_->Begin();
+    auto row = table->Get(txn, {424242});
+    EXPECT_TRUE(row.status().IsNotFound());
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+  EXPECT_EQ(db_->log()->next_lsn(), before)
+      << "a read-only transaction should publish no log records";
+  EXPECT_EQ(db_->log()->stats().group_commits, group_before)
+      << "a read-only commit should not park on the group-commit pipeline";
+}
+
+TEST_F(WalDurabilityTest, PerTxnCommitModeOverridesEngineDefault) {
+  Create(CommitMode::kNone);
+  auto table = db_->OpenTable("t");
+  ASSERT_TRUE(table.ok());
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(table->Insert(txn, {7, std::string("forced")}).ok());
+  // Explicit kSync on a kNone engine: durable at return.
+  ASSERT_TRUE(db_->Commit(txn, CommitMode::kSync).ok());
+  db_->SimulateCrash();
+  db_.reset();
+  auto db = Database::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  db_ = std::move(*db);
+  EXPECT_TRUE(RowPresent(7));
+}
+
+}  // namespace
+}  // namespace rewinddb
