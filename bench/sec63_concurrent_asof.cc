@@ -7,20 +7,168 @@
 // ~30 s on average. This is a real-time experiment: throughput numbers
 // are hardware-bound; the reproduction target is the relative drop and
 // that concurrent snapshots/queries keep succeeding.
+//
+// On top of the paper's experiment, the concurrent phase runs twice:
+// once with the shared version store disabled (every snapshot repeats
+// the per-page chain walks -- the paper's behaviour) and once with it
+// enabled (snapshots at nearby times reuse each other's rewinds), so
+// the cache-on vs cache-off delta in as-of latency and undo work is
+// visible in one run.
 #include <atomic>
 #include <chrono>
 #include <thread>
 
 #include "bench_common.h"
 
-int main() {
-  using namespace rewinddb;
-  using namespace rewinddb::bench;
+namespace {
 
+using namespace rewinddb;
+using namespace rewinddb::bench;
+
+struct AsOfPhase {
+  uint64_t snapshots_ok = 0;
+  uint64_t queries_ok = 0;
+  uint64_t create_micros = 0;
+  uint64_t query_micros = 0;
+  /// Per-cycle split: the first investigator of an incident time pays
+  /// the full chain walks; with the store on, the second reuses them.
+  uint64_t first_records_undone = 0;
+  uint64_t second_records_undone = 0;
+  double tpmc = 0;
+  VersionStore::Stats vs;
+};
+
+/// Run the fixed TPC-C work probe while an as-of loop investigates
+/// incident times 2 seconds back. Each cycle mounts the SAME incident
+/// time twice -- the paper's concurrent-as-of-queries scenario is
+/// several clients inspecting one point in time, which is exactly what
+/// the shared version store exists for.
+AsOfPhase RunConcurrentPhase(Database* db, TpccDatabase* tpcc,
+                             int new_orders, uint64_t seed,
+                             const char* tag) {
+  AsOfPhase out;
+  VersionStore::Stats vs0 = db->version_store()->stats();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> snapshots_ok{0}, queries_ok{0};
+  std::atomic<uint64_t> create_micros{0}, query_micros{0};
+  std::atomic<uint64_t> undone_by_rep[2] = {};
+  std::thread asof_loop([&] {
+    int n = 0;
+    while (!stop.load()) {
+      // Pace the loop like the paper's (one create+query cycle at a
+      // time, not a tight checkpoint storm).
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (stop.load()) break;
+      WallClock target = db->clock()->NowMicros() - 2'000'000;
+      for (int rep = 0; rep < 2 && !stop.load(); rep++) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto snap = AsOfSnapshot::Create(
+            db, std::string(tag) + std::to_string(n++), target);
+        // A failed investigator aborts the cycle: letting rep 1 run
+        // after a failed rep 0 would book a cold full walk into the
+        // "second investigator" bucket.
+        if (!snap.ok()) break;
+        Status u = (*snap)->WaitForUndo();
+        auto t1 = std::chrono::steady_clock::now();
+        if (!u.ok()) break;
+        snapshots_ok.fetch_add(1);
+        create_micros.fetch_add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()));
+        uint64_t undone0 = (*snap)->rewinder()->records_undone();
+        auto q0 = std::chrono::steady_clock::now();
+        auto view = WrapSnapshot(snap->get());
+        auto low = TpccDatabase::StockLevelOn(view.get(), 1, 1, 60);
+        auto q1 = std::chrono::steady_clock::now();
+        if (!low.ok()) break;
+        queries_ok.fetch_add(1);
+        query_micros.fetch_add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(q1 - q0)
+                .count()));
+        undone_by_rep[rep].fetch_add(
+            (*snap)->rewinder()->records_undone() - undone0);
+      }
+    }
+  });
+  out.tpmc = RunFixedWork(tpcc, new_orders, seed);
+  stop.store(true);
+  asof_loop.join();
+
+  out.snapshots_ok = snapshots_ok.load();
+  out.queries_ok = queries_ok.load();
+  out.create_micros = create_micros.load();
+  out.query_micros = query_micros.load();
+  out.first_records_undone = undone_by_rep[0].load();
+  out.second_records_undone = undone_by_rep[1].load();
+  VersionStore::Stats vs1 = db->version_store()->stats();
+  out.vs.exact_hits = vs1.exact_hits - vs0.exact_hits;
+  out.vs.partial_hits = vs1.partial_hits - vs0.partial_hits;
+  out.vs.misses = vs1.misses - vs0.misses;
+  out.vs.published = vs1.published - vs0.published;
+  out.vs.evictions = vs1.evictions - vs0.evictions;
+  return out;
+}
+
+void PrintPhase(const char* name, const AsOfPhase& p) {
+  printf("%-34s %12.0f tpmC\n",
+         (std::string(name) + " throughput").c_str(), p.tpmc);
+  printf("%-34s %12llu\n", "  snapshots created",
+         static_cast<unsigned long long>(p.snapshots_ok));
+  printf("%-34s %12llu\n", "  as-of stock-level queries",
+         static_cast<unsigned long long>(p.queries_ok));
+  if (p.snapshots_ok > 0) {
+    printf("%-34s %12.1f ms\n", "  avg snapshot creation",
+           static_cast<double>(p.create_micros) / 1000.0 /
+               static_cast<double>(p.snapshots_ok));
+  }
+  if (p.queries_ok > 0) {
+    printf("%-34s %12.1f ms\n", "  avg as-of stock-level",
+           static_cast<double>(p.query_micros) / 1000.0 /
+               static_cast<double>(p.queries_ok));
+    printf("%-34s %12llu first, %llu second\n",
+           "  records undone (per investigator)",
+           static_cast<unsigned long long>(p.first_records_undone),
+           static_cast<unsigned long long>(p.second_records_undone));
+  }
+  printf("%-34s %12llu exact, %llu partial, %llu published\n",
+         "  version store",
+         static_cast<unsigned long long>(p.vs.exact_hits),
+         static_cast<unsigned long long>(p.vs.partial_hits),
+         static_cast<unsigned long long>(p.vs.published));
+}
+
+void PrintJson(const char* phase, const AsOfPhase& p) {
+  printf("JSON {\"bench\":\"sec63\",\"phase\":\"%s\",\"tpmc\":%.0f,"
+         "\"snapshots\":%llu,\"queries\":%llu,\"avg_create_ms\":%.1f,"
+         "\"avg_query_ms\":%.1f,\"first_records_undone\":%llu,"
+         "\"second_records_undone\":%llu,"
+         "\"vs_exact_hits\":%llu,\"vs_partial_hits\":%llu,"
+         "\"vs_published\":%llu,\"vs_evictions\":%llu}\n",
+         phase, p.tpmc,
+         static_cast<unsigned long long>(p.snapshots_ok),
+         static_cast<unsigned long long>(p.queries_ok),
+         p.snapshots_ok > 0 ? static_cast<double>(p.create_micros) / 1000.0 /
+                                  static_cast<double>(p.snapshots_ok)
+                            : 0.0,
+         p.queries_ok > 0 ? static_cast<double>(p.query_micros) / 1000.0 /
+                                static_cast<double>(p.queries_ok)
+                          : 0.0,
+         static_cast<unsigned long long>(p.first_records_undone),
+         static_cast<unsigned long long>(p.second_records_undone),
+         static_cast<unsigned long long>(p.vs.exact_hits),
+         static_cast<unsigned long long>(p.vs.partial_hits),
+         static_cast<unsigned long long>(p.vs.published),
+         static_cast<unsigned long long>(p.vs.evictions));
+}
+
+}  // namespace
+
+int main() {
   const std::string dir = BenchDir("sec63");
   DatabaseOptions opts;
   opts.buffer_pool_pages = 8192;
   opts.lock_timeout_micros = 300'000;
+  opts.version_store_bytes = 64ull << 20;  // toggled per phase below
   auto db = Database::Create(dir, opts);
   if (!db.ok()) {
     printf("create failed: %s\n", db.status().ToString().c_str());
@@ -40,74 +188,47 @@ int main() {
               "stock-level ~30 s");
 
   // Warm-up so "2 seconds back" exists, then the first baseline probe.
-  // A second baseline is measured AFTER the concurrent phase and the
+  // A second baseline is measured AFTER the concurrent phases and the
   // two averaged, cancelling the drift from tables growing over time.
   (void)RunFixedWork(tpcc->get(), 500, 7);
   double baseline1 = RunFixedWork(tpcc->get(), 8000, 11);
 
-  // Concurrent run: the workload continues while a loop creates as-of
-  // snapshots 2 seconds back and runs the stock-level query on them.
-  std::atomic<bool> stop{false};
-  std::atomic<uint64_t> snapshots_ok{0}, asof_queries_ok{0};
-  std::atomic<uint64_t> create_micros_total{0}, query_micros_total{0};
-  std::thread asof_loop([&] {
-    int n = 0;
-    while (!stop.load()) {
-      // Pace the loop like the paper's (one create+query cycle at a
-      // time, not a tight checkpoint storm).
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
-      if (stop.load()) break;
-      WallClock target = (*db)->clock()->NowMicros() - 2'000'000;
-      auto t0 = std::chrono::steady_clock::now();
-      auto snap = AsOfSnapshot::Create(db->get(),
-                                       "conc" + std::to_string(n++), target);
-      if (!snap.ok()) continue;
-      Status u = (*snap)->WaitForUndo();
-      auto t1 = std::chrono::steady_clock::now();
-      if (!u.ok()) continue;
-      snapshots_ok++;
-      create_micros_total += static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
-              .count());
-      auto q0 = std::chrono::steady_clock::now();
-      auto view = WrapSnapshot(snap->get());
-      auto low = TpccDatabase::StockLevelOn(view.get(), 1, 1, 60);
-      auto q1 = std::chrono::steady_clock::now();
-      if (low.ok()) {
-        asof_queries_ok++;
-        query_micros_total += static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(q1 - q0)
-                .count());
-      }
-    }
-  });
-  double concurrent = RunFixedWork(tpcc->get(), 16000, 13);
-  stop = true;
-  asof_loop.join();
-  double baseline2 = RunFixedWork(tpcc->get(), 8000, 17);
+  // Phase A -- the paper's scenario: no shared state between snapshots,
+  // every as-of query repeats the chain walks.
+  (*db)->version_store()->SetBudget(0);
+  AsOfPhase off = RunConcurrentPhase(db->get(), tpcc->get(), 12000, 13,
+                                     "off");
 
+  // Phase B -- shared version store on: concurrent snapshots at nearby
+  // times reuse each other's rewind work.
+  (*db)->version_store()->SetBudget(64ull << 20);
+  AsOfPhase on = RunConcurrentPhase(db->get(), tpcc->get(), 12000, 29,
+                                    "on");
+
+  double baseline2 = RunFixedWork(tpcc->get(), 8000, 17);
   double baseline_tpmc = (baseline1 + baseline2) / 2;
-  double ratio = baseline_tpmc > 0 ? concurrent / baseline_tpmc : 0;
+
   printf("%-34s %12.0f tpmC (before: %.0f, after: %.0f)\n",
          "baseline throughput", baseline_tpmc, baseline1, baseline2);
-  printf("%-34s %12.0f tpmC\n", "with concurrent as-of loop", concurrent);
-  printf("%-34s %12.2fx   (paper: ~0.67x)\n", "throughput ratio", ratio);
-  printf("%-34s %12llu\n", "snapshots created",
-         static_cast<unsigned long long>(snapshots_ok.load()));
-  printf("%-34s %12llu\n", "as-of stock-level queries",
-         static_cast<unsigned long long>(asof_queries_ok.load()));
-  if (snapshots_ok > 0) {
-    printf("%-34s %12.1f ms\n", "avg snapshot creation",
-           static_cast<double>(create_micros_total) / 1000.0 /
-               static_cast<double>(snapshots_ok));
-  }
-  if (asof_queries_ok > 0) {
-    printf("%-34s %12.1f ms\n", "avg as-of stock-level",
-           static_cast<double>(query_micros_total) / 1000.0 /
-               static_cast<double>(asof_queries_ok));
-  }
+  PrintPhase("store OFF, with as-of loop", off);
+  PrintPhase("store ON,  with as-of loop", on);
+  // The phases run in a fixed order against one growing database, so
+  // the on-phase works on larger tables and a longer log than the
+  // off-phase: the cross-phase tpmC/latency comparison is biased
+  // AGAINST the store. The drift-free store metric is the within-phase
+  // first-vs-second investigator split above.
+  double ratio_off = baseline_tpmc > 0 ? off.tpmc / baseline_tpmc : 0;
+  double ratio_on = baseline_tpmc > 0 ? on.tpmc / baseline_tpmc : 0;
+  printf("%-34s %12.2fx   (paper: ~0.67x)\n", "throughput ratio (store off)",
+         ratio_off);
+  printf("%-34s %12.2fx   (runs second: biased low by db growth)\n",
+         "throughput ratio (store on)", ratio_on);
+  PrintJson("store_off", off);
+  PrintJson("store_on", on);
   printf("\nexpected shape: throughput drops but stays within the same "
-         "order of magnitude while as-of queries run continuously\n");
+         "order of magnitude while as-of queries run continuously; with "
+         "the version store on, as-of queries undo fewer records per "
+         "query (exact/partial hits replace chain walks)\n");
 
   tpcc->reset();
   db->reset();

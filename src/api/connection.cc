@@ -68,6 +68,10 @@ CommitMode Connection::default_commit_mode() const {
   return commit_mode_.load(std::memory_order_relaxed);
 }
 
+VersionStore::Stats Connection::VersionStoreStats() const {
+  return db_->version_store()->stats();
+}
+
 Status Connection::RunDdl(const std::function<Status(Transaction*)>& body) {
   Transaction* txn = db_->Begin();
   // DDL honours the session's durability level too (SET COMMIT_MODE).

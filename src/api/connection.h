@@ -92,8 +92,17 @@ class Connection {
   /// The paper's CREATE DATABASE ... AS SNAPSHOT OF ... AS OF, unnamed:
   /// mounts an as-of snapshot and returns its view. The snapshot lives
   /// exactly as long as handles to it do; the last handle released
-  /// deletes the side file.
+  /// deletes the side file. All snapshots created through this
+  /// Connection (and any other surface over the same engine) share the
+  /// engine's version store, so views at nearby times reuse each
+  /// other's page rewinds.
   Result<std::shared_ptr<ReadView>> AsOf(WallClock as_of);
+
+  /// Effectiveness counters of the shared rewind cache behind AsOf /
+  /// Snapshot views: exact hits (no chain walk), partial hits (walk
+  /// covered only the gap), evictions. See DatabaseOptions::
+  /// version_store_bytes for the budget knob.
+  VersionStore::Stats VersionStoreStats() const;
 
   /// Named-snapshot lifecycle (the SQL surface binds to these).
   Status CreateSnapshot(const std::string& name, WallClock as_of);

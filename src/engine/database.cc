@@ -111,6 +111,7 @@ Status Database::InitStorage(bool create) {
     (void)s;  // best effort; rebuilt by recovery redo otherwise
   });
   catalog_ = std::make_unique<Catalog>(buffers_.get());
+  version_store_ = std::make_unique<VersionStore>(opts_.version_store_bytes);
   return Status::OK();
 }
 
@@ -547,7 +548,12 @@ Status Database::EnforceRetention() {
   }
   Lsn target = candidate < floor ? candidate : floor;
   if (target <= wal_->start_lsn()) return Status::OK();
-  return wal_->TruncateBefore(target);
+  REWIND_RETURN_IF_ERROR(wal_->TruncateBefore(target));
+  // Cached versions wholly before the truncation point can no longer
+  // serve any in-retention target; drop them so the store's budget
+  // goes to reachable history.
+  version_store_->TruncateBefore(target);
+  return Status::OK();
 }
 
 void Database::StartCheckpointer() {

@@ -28,6 +28,7 @@
 #include "engine/page_ops.h"
 #include "io/disk_model.h"
 #include "io/paged_file.h"
+#include "snapshot/version_store.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
 #include "wal/commit_mode.h"
@@ -53,6 +54,12 @@ struct DatabaseOptions {
   Clock* clock = nullptr;
   /// Log block cache capacity (32 KiB blocks).
   size_t log_cache_blocks = 256;
+  /// Byte budget for the shared version store: the cross-snapshot cache
+  /// of rewound page images (LRU-evicted; 0 disables). All as-of
+  /// snapshots of this database share one store, so concurrent
+  /// point-in-time queries at nearby times reuse instead of repeat the
+  /// per-page log-chain walks (paper sections 6.2-6.3).
+  size_t version_store_bytes = 32ull << 20;
   /// Default durability level for Commit (Txn::Commit(mode) and
   /// Connection::SetDefaultCommitMode override per call / session).
   CommitMode default_commit_mode = CommitMode::kGroup;
@@ -161,6 +168,10 @@ class Database {
   Clock* clock() { return clock_; }
   IoStats* stats() { return &stats_; }
   PagedFile* data_file() { return data_file_.get(); }
+  /// Shared cross-snapshot cache of rewound page images; every
+  /// AsOfSnapshot of this database reads through it. Never null (a
+  /// zero budget makes it an always-miss no-op).
+  VersionStore* version_store() { return version_store_.get(); }
   DiskModel* data_disk() { return &data_disk_; }
   DiskModel* log_disk() { return &log_disk_; }
   const std::string& dir() const { return dir_; }
@@ -227,6 +238,7 @@ class Database {
   std::unique_ptr<PageOps> ops_;
   std::unique_ptr<PageAllocator> allocator_;
   std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<VersionStore> version_store_;
 
   std::atomic<uint64_t> undo_interval_micros_;
   std::atomic<uint32_t> next_object_id_{1};

@@ -48,13 +48,27 @@ class SnapshotRowGate : public RowGate {
 // ---------------------------- SnapshotStore ---------------------------
 
 Status SnapshotStore::ReadPage(PageId id, char* buf) {
-  // Section 5.3 protocol: (a) side file, (b) primary + rewind, (c)
-  // cache the prepared page in the side file.
+  // Section 5.3 protocol, with the shared version store between the
+  // side file and the primary: (a) side file, (b) version store --
+  // exact hit needs no chain walk at all, a newer-than-target version
+  // seeds the rewind so the walk covers only the gap, (c) primary read
+  // + full rewind. Completed rewinds publish their pristine result for
+  // other snapshots; the prepared page is cached in the side file.
   Status s = side_->ReadPage(id, buf);
   if (s.ok()) return s;
   if (!s.IsNotFound()) return s;
-  REWIND_RETURN_IF_ERROR(primary_->ReadPage(id, buf));
-  REWIND_RETURN_IF_ERROR(rewinder_->PreparePageAsOf(buf, split_lsn_));
+
+  VersionStore::Lookup hit;
+  if (versions_ != nullptr) hit = versions_->Find(id, split_lsn_, buf);
+  if (hit.kind == VersionStore::LookupKind::kMiss) {
+    REWIND_RETURN_IF_ERROR(primary_->ReadPage(id, buf));
+  }
+  if (hit.kind != VersionStore::LookupKind::kExact) {
+    Lsn valid_until = kInvalidLsn;
+    REWIND_RETURN_IF_ERROR(
+        rewinder_->PreparePageAsOf(buf, split_lsn_, &valid_until));
+    if (versions_ != nullptr) versions_->Publish(id, buf, valid_until);
+  }
   StampPageChecksum(buf);
   return side_->WritePage(id, buf);
 }
@@ -142,7 +156,9 @@ Status AsOfSnapshot::Recover() {
       side_, SparseFile::Create(primary_->dir() + "/" + name_ + ".side",
                                 primary_->data_disk(), primary_->stats()));
   store_ = std::make_unique<SnapshotStore>(primary_->data_file(), side_.get(),
-                                           &rewinder_, split_.split_lsn);
+                                           &rewinder_,
+                                           primary_->version_store(),
+                                           split_.split_lsn);
   buffers_ = std::make_unique<BufferManager>(
       store_.get(), /*log=*/nullptr, primary_->stats(),
       primary_->options().buffer_pool_pages, /*verify_checksums=*/false);

@@ -47,28 +47,38 @@
 #include "io/sparse_file.h"
 #include "snapshot/page_rewinder.h"
 #include "snapshot/split_lsn.h"
+#include "snapshot/version_store.h"
 
 namespace rewinddb {
 
 class AsOfSnapshot;
 
-/// PageStore implementing the as-of read protocol of section 5.3.
+/// PageStore implementing the as-of read protocol of section 5.3,
+/// extended with the shared version store: side-file hit -> version
+/// store (exact hit returns immediately; a newer-than-target version
+/// becomes the rewind starting point) -> primary read + full rewind.
+/// Every completed rewind publishes its pristine result back to the
+/// store, so concurrent snapshots at nearby times share undo work.
 class SnapshotStore : public PageStore {
  public:
+  /// `versions` may be null (engine without a version store).
   SnapshotStore(PagedFile* primary, SparseFile* side, PageRewinder* rewinder,
-                Lsn split_lsn)
+                VersionStore* versions, Lsn split_lsn)
       : primary_(primary), side_(side), rewinder_(rewinder),
-        split_lsn_(split_lsn) {}
+        versions_(versions), split_lsn_(split_lsn) {}
 
   Status ReadPage(PageId id, char* buf) override;
   /// Writes (from the snapshot's buffer pool: background-undo results,
-  /// eviction of rewound pages) always land in the side file.
+  /// eviction of rewound pages) always land in the side file -- never
+  /// in the version store, which holds only physical rewind results
+  /// valid for any snapshot, not this snapshot's private loser-undo.
   Status WritePage(PageId id, const char* buf) override;
 
  private:
   PagedFile* primary_;
   SparseFile* side_;
   PageRewinder* rewinder_;
+  VersionStore* versions_;
   Lsn split_lsn_;
 };
 

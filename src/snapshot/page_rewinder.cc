@@ -6,9 +6,13 @@
 
 namespace rewinddb {
 
-Status PageRewinder::PreparePageAsOf(char* page, Lsn as_of_lsn) {
+Status PageRewinder::PreparePageAsOf(char* page, Lsn as_of_lsn,
+                                     Lsn* valid_until) {
   Lsn curr = PageLsn(page);
   if (curr > as_of_lsn) pages_rewound_++;
+  // The LSN of the earliest chain element processed so far: once the
+  // walk stops, it is the next modification after the final image.
+  Lsn boundary = kInvalidLsn;
   wal::Cursor cur = wal_->OpenCursor();
   // A generous bound: a page cannot have more live chain entries than
   // bytes of log; this guards against chain corruption loops.
@@ -39,14 +43,19 @@ Status PageRewinder::PreparePageAsOf(char* page, Lsn as_of_lsn) {
       memcpy(page, fpi.image.data(), kPageSize);
       SetPageLsn(page, fpi.prev_page_lsn);
       Header(page)->last_fpi_lsn = fpi.prev_fpi_lsn;
+      // The preformat record is the page's next modification after the
+      // image it carries.
+      boundary = cur.lsn();
       curr = fpi.prev_page_lsn;
       fpi_jumps_++;
       continue;
     }
     REWIND_RETURN_IF_ERROR(ApplyUndo(page, rec));
+    boundary = curr;
     curr = rec.prev_page_lsn;
     records_undone_++;
   }
+  if (valid_until != nullptr) *valid_until = boundary;
   return Status::OK();
 }
 

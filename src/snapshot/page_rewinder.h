@@ -29,7 +29,15 @@ class PageRewinder {
   /// Undo modifications to `page` (a kPageSize buffer) until its page
   /// LSN is <= `as_of_lsn`. Returns OutOfRange if the chain walks past
   /// the retention window (truncated log).
-  Status PreparePageAsOf(char* page, Lsn as_of_lsn);
+  ///
+  /// If `valid_until` is non-null it receives the LSN of the page's
+  /// next modification after the final image -- i.e. the last chain
+  /// element processed, making the result the image of record for every
+  /// target in [PageLsn(page), *valid_until). kInvalidLsn when the walk
+  /// performed no steps (the boundary is unknown, not infinite). This
+  /// is what VersionStore::Publish consumes.
+  Status PreparePageAsOf(char* page, Lsn as_of_lsn,
+                         Lsn* valid_until = nullptr);
 
   /// Records undone one-by-one across all calls.
   uint64_t records_undone() const { return records_undone_.load(); }
@@ -38,10 +46,14 @@ class PageRewinder {
   /// Pages that needed at least one undo step.
   uint64_t pages_rewound() const { return pages_rewound_.load(); }
 
+  /// Benches read the counters from other threads while a rewind is in
+  /// flight; explicit atomic stores keep the reset race-free (plain
+  /// assignment on std::atomic is seq_cst too, but spelling it out
+  /// keeps the intent auditable alongside the relaxed increments).
   void ResetCounters() {
-    records_undone_ = 0;
-    fpi_jumps_ = 0;
-    pages_rewound_ = 0;
+    records_undone_.store(0, std::memory_order_relaxed);
+    fpi_jumps_.store(0, std::memory_order_relaxed);
+    pages_rewound_.store(0, std::memory_order_relaxed);
   }
 
  private:

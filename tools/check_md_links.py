@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links for dangling targets.
+
+Scans the given markdown files (default: README.md, CHANGES.md,
+ROADMAP.md and everything under docs/) for inline links
+``[text](target)`` and fails if a relative target does not exist,
+or if a ``#fragment`` does not match a heading of the target file
+(GitHub anchor rules). External links (http/https/mailto) are ignored
+-- this is a repo-consistency check, not a web crawler.
+
+Usage: tools/check_md_links.py [file-or-dir ...]
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TARGETS = ["README.md", "CHANGES.md", "ROADMAP.md", "docs"]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_fences(text: str) -> str:
+    """Blank out fenced code blocks, preserving line numbers."""
+    return CODE_FENCE_RE.sub(lambda m: "\n" * m.group(0).count("\n"), text)
+
+
+def anchors_of(path: Path) -> set:
+    content = strip_fences(path.read_text(encoding="utf-8"))
+    slugs = set()
+    counts = {}
+    for match in HEADING_RE.finditer(content):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def collect_files(args):
+    targets = args if args else DEFAULT_TARGETS
+    files = []
+    for t in targets:
+        p = (REPO_ROOT / t) if not Path(t).is_absolute() else Path(t)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"warning: target {t} does not exist, skipping")
+    return files
+
+
+def main(argv):
+    errors = []
+    for md in collect_files(argv[1:]):
+        content = strip_fences(md.read_text(encoding="utf-8"))
+        for match in LINK_RE.finditer(content):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            line = content[: match.start()].count("\n") + 1
+            where = f"{md.relative_to(REPO_ROOT)}:{line}"
+            path_part, _, fragment = target.partition("#")
+            dest = md if not path_part else (md.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append(f"{where}: dangling path '{target}'")
+                continue
+            if fragment:
+                if dest.is_dir() or dest.suffix.lower() != ".md":
+                    errors.append(
+                        f"{where}: fragment on non-markdown target "
+                        f"'{target}'")
+                elif fragment not in anchors_of(dest):
+                    errors.append(
+                        f"{where}: no heading for anchor '#{fragment}' in "
+                        f"{dest.relative_to(REPO_ROOT)}")
+    if errors:
+        print(f"{len(errors)} dangling markdown link(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print("all markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
