@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "api/connection.h"
 #include "api/read_view.h"
 #include "backup/backup_manager.h"
 #include "common/random.h"
@@ -176,6 +177,13 @@ struct AsOfCost {
   /// Shared version store traffic during the query (0 when disabled).
   uint64_t vs_exact_hits = 0;
   uint64_t vs_partial_hits = 0;
+  /// Mount-phase breakdown (simulated micros): analysis scan, lock
+  /// re-acquisition (the redo-stage work) and background undo, plus
+  /// the replay worker count the undo ran with.
+  uint64_t analysis_micros = 0;
+  uint64_t redo_micros = 0;
+  uint64_t undo_micros = 0;
+  int replay_threads = 1;
   int result = 0;
 };
 
@@ -195,6 +203,10 @@ inline Result<AsOfCost> MeasureAsOf(History* h, int minutes_back,
       AsOfSnapshot::Create(h->db.get(), snap_name, target));
   REWIND_RETURN_IF_ERROR(snap->WaitForUndo());
   WallClock t1 = h->clock->NowMicros();
+  out.analysis_micros = snap->creation_stats().analysis_micros;
+  out.redo_micros = snap->creation_stats().redo_micros;
+  out.undo_micros = snap->creation_stats().undo_micros;
+  out.replay_threads = snap->creation_stats().replay_threads;
 
   uint64_t miss0 = h->db->stats()->log_read_misses.load();
   uint64_t undone0 = snap->rewinder()->records_undone();
@@ -244,6 +256,42 @@ inline Result<double> MeasureRestore(History* h, int minutes_back,
 
 inline void PrintHeader(const std::string& title,
                         const char* paper_summary);
+
+/// End-of-run engine counters through the public Connection surface:
+/// the sharded buffer pool (hits/misses/evictions summed per shard)
+/// next to the shared version store, so cache behaviour is visible in
+/// every figure run.
+inline void PrintEngineStats(Database* db) {
+  std::unique_ptr<Connection> conn = Connection::Attach(db);
+  BufferManager::Stats bs = conn->BufferStats();
+  VersionStore::Stats vs = conn->VersionStoreStats();
+  printf("\nbuffer pool: %llu hits, %llu misses, %llu evictions "
+         "(%zu shards x ~%zu frames)\n",
+         static_cast<unsigned long long>(bs.hits),
+         static_cast<unsigned long long>(bs.misses),
+         static_cast<unsigned long long>(bs.evictions), bs.shards,
+         bs.shards > 0 ? bs.pool_pages / bs.shards : bs.pool_pages);
+  printf("version store: %llu exact, %llu partial, %llu misses, "
+         "%llu published, %llu evicted\n",
+         static_cast<unsigned long long>(vs.exact_hits),
+         static_cast<unsigned long long>(vs.partial_hits),
+         static_cast<unsigned long long>(vs.misses),
+         static_cast<unsigned long long>(vs.published),
+         static_cast<unsigned long long>(vs.evictions));
+  printf("JSON {\"section\":\"engine_stats\",\"buffer_hits\":%llu,"
+         "\"buffer_misses\":%llu,\"buffer_evictions\":%llu,"
+         "\"buffer_shards\":%zu,\"vs_exact_hits\":%llu,"
+         "\"vs_partial_hits\":%llu,\"vs_misses\":%llu,"
+         "\"vs_published\":%llu,\"vs_evictions\":%llu}\n",
+         static_cast<unsigned long long>(bs.hits),
+         static_cast<unsigned long long>(bs.misses),
+         static_cast<unsigned long long>(bs.evictions), bs.shards,
+         static_cast<unsigned long long>(vs.exact_hits),
+         static_cast<unsigned long long>(vs.partial_hits),
+         static_cast<unsigned long long>(vs.misses),
+         static_cast<unsigned long long>(vs.published),
+         static_cast<unsigned long long>(vs.evictions));
+}
 
 /// Deterministic throughput probe: run the standard mix on one worker
 /// until `target_new_orders` commit; returns tpmC from the elapsed real
@@ -310,6 +358,7 @@ inline void RunAsofVsRestore(const MediaProfile& media, const char* fig,
            asof_total > 0 ? *restore / asof_total : 0.0);
     i++;
   }
+  PrintEngineStats(h->db.get());
   printf("\nexpected shape: as-of grows with minutes back; restore is "
          "~flat and much larger for recent targets\n");
 }
@@ -331,7 +380,8 @@ inline void RunCreateVsQuery(const MediaProfile& media, const char* fig,
   PrintHeader(std::string(fig) +
                   ": snapshot creation vs as-of query, media = " + media.name,
               paper_line);
-  printf("%-12s %14s %14s\n", "minutes back", "create (s)", "query (s)");
+  printf("%-12s %14s %14s %12s %10s %10s\n", "minutes back", "create (s)",
+         "query (s)", "analysis(ms)", "redo(ms)", "undo(ms)");
   const int sweeps[] = {1, 2, 5, 10, 20, 40};
   int i = 0;
   for (int t : sweeps) {
@@ -340,8 +390,21 @@ inline void RunCreateVsQuery(const MediaProfile& media, const char* fig,
       printf("as-of failed: %s\n", asof.status().ToString().c_str());
       return;
     }
-    printf("%-12d %14.3f %14.3f\n", t, asof->create_seconds,
-           asof->query_seconds);
+    printf("%-12d %14.3f %14.3f %12.1f %10.1f %10.1f\n", t,
+           asof->create_seconds, asof->query_seconds,
+           static_cast<double>(asof->analysis_micros) / 1000.0,
+           static_cast<double>(asof->redo_micros) / 1000.0,
+           static_cast<double>(asof->undo_micros) / 1000.0);
+    printf("JSON {\"bench\":\"%s\",\"section\":\"create_vs_query\","
+           "\"minutes_back\":%d,\"create_s\":%.3f,\"query_s\":%.3f,"
+           "\"analysis_ms\":%.1f,\"redo_ms\":%.1f,\"undo_ms\":%.1f,"
+           "\"replay_threads\":%d,\"records_undone\":%llu}\n",
+           fig, t, asof->create_seconds, asof->query_seconds,
+           static_cast<double>(asof->analysis_micros) / 1000.0,
+           static_cast<double>(asof->redo_micros) / 1000.0,
+           static_cast<double>(asof->undo_micros) / 1000.0,
+           asof->replay_threads,
+           static_cast<unsigned long long>(asof->records_undone));
   }
   printf("\nexpected shape: creation ~flat (bounded by log scanned from "
          "the nearest checkpoint); query grows with minutes back\n");
@@ -390,6 +453,7 @@ inline void RunCreateVsQuery(const MediaProfile& media, const char* fig,
            static_cast<unsigned long long>(vs.evictions),
            first->query_seconds, second->query_seconds);
   }
+  PrintEngineStats(h->db.get());
   printf("\nexpected shape: the second snapshot undoes >=50%% fewer "
          "records (near zero: exact hits replace entire chain walks)\n");
 }

@@ -30,6 +30,13 @@ struct AsOfPhase {
   uint64_t queries_ok = 0;
   uint64_t create_micros = 0;
   uint64_t query_micros = 0;
+  /// Mount-phase totals across all snapshots of the phase (analysis
+  /// scan / lock re-acquisition / background undo), attributing the
+  /// create+undo cost per phase.
+  uint64_t analysis_micros = 0;
+  uint64_t redo_micros = 0;
+  uint64_t undo_micros = 0;
+  int replay_threads = 1;
   /// Per-cycle split: the first investigator of an incident time pays
   /// the full chain walks; with the store on, the second reuses them.
   uint64_t first_records_undone = 0;
@@ -51,6 +58,8 @@ AsOfPhase RunConcurrentPhase(Database* db, TpccDatabase* tpcc,
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> snapshots_ok{0}, queries_ok{0};
   std::atomic<uint64_t> create_micros{0}, query_micros{0};
+  std::atomic<uint64_t> analysis_micros{0}, redo_micros{0}, undo_micros{0};
+  std::atomic<int> replay_threads{1};
   std::atomic<uint64_t> undone_by_rep[2] = {};
   std::thread asof_loop([&] {
     int n = 0;
@@ -75,6 +84,11 @@ AsOfPhase RunConcurrentPhase(Database* db, TpccDatabase* tpcc,
         create_micros.fetch_add(static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
                 .count()));
+        const auto& cs = (*snap)->creation_stats();
+        analysis_micros.fetch_add(cs.analysis_micros);
+        redo_micros.fetch_add(cs.redo_micros);
+        undo_micros.fetch_add(cs.undo_micros);
+        replay_threads.store(cs.replay_threads);
         uint64_t undone0 = (*snap)->rewinder()->records_undone();
         auto q0 = std::chrono::steady_clock::now();
         auto view = WrapSnapshot(snap->get());
@@ -98,6 +112,10 @@ AsOfPhase RunConcurrentPhase(Database* db, TpccDatabase* tpcc,
   out.queries_ok = queries_ok.load();
   out.create_micros = create_micros.load();
   out.query_micros = query_micros.load();
+  out.analysis_micros = analysis_micros.load();
+  out.redo_micros = redo_micros.load();
+  out.undo_micros = undo_micros.load();
+  out.replay_threads = replay_threads.load();
   out.first_records_undone = undone_by_rep[0].load();
   out.second_records_undone = undone_by_rep[1].load();
   VersionStore::Stats vs1 = db->version_store()->stats();
@@ -138,9 +156,14 @@ void PrintPhase(const char* name, const AsOfPhase& p) {
 }
 
 void PrintJson(const char* phase, const AsOfPhase& p) {
+  double snaps = p.snapshots_ok > 0
+                     ? static_cast<double>(p.snapshots_ok)
+                     : 1.0;
   printf("JSON {\"bench\":\"sec63\",\"phase\":\"%s\",\"tpmc\":%.0f,"
          "\"snapshots\":%llu,\"queries\":%llu,\"avg_create_ms\":%.1f,"
-         "\"avg_query_ms\":%.1f,\"first_records_undone\":%llu,"
+         "\"avg_query_ms\":%.1f,\"analysis_ms\":%.1f,\"redo_ms\":%.1f,"
+         "\"undo_ms\":%.1f,\"replay_threads\":%d,"
+         "\"first_records_undone\":%llu,"
          "\"second_records_undone\":%llu,"
          "\"vs_exact_hits\":%llu,\"vs_partial_hits\":%llu,"
          "\"vs_published\":%llu,\"vs_evictions\":%llu}\n",
@@ -153,6 +176,10 @@ void PrintJson(const char* phase, const AsOfPhase& p) {
          p.queries_ok > 0 ? static_cast<double>(p.query_micros) / 1000.0 /
                                 static_cast<double>(p.queries_ok)
                           : 0.0,
+         static_cast<double>(p.analysis_micros) / 1000.0 / snaps,
+         static_cast<double>(p.redo_micros) / 1000.0 / snaps,
+         static_cast<double>(p.undo_micros) / 1000.0 / snaps,
+         p.replay_threads,
          static_cast<unsigned long long>(p.first_records_undone),
          static_cast<unsigned long long>(p.second_records_undone),
          static_cast<unsigned long long>(p.vs.exact_hits),

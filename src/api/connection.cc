@@ -72,6 +72,10 @@ VersionStore::Stats Connection::VersionStoreStats() const {
   return db_->version_store()->stats();
 }
 
+BufferManager::Stats Connection::BufferStats() const {
+  return db_->buffers()->stats();
+}
+
 Status Connection::RunDdl(const std::function<Status(Transaction*)>& body) {
   Transaction* txn = db_->Begin();
   // DDL honours the session's durability level too (SET COMMIT_MODE).

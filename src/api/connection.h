@@ -104,6 +104,10 @@ class Connection {
   /// version_store_bytes for the budget knob.
   VersionStore::Stats VersionStoreStats() const;
 
+  /// Aggregated buffer-pool counters (per-shard hits/misses/evictions
+  /// summed across the sharded frame table) of the live engine's pool.
+  BufferManager::Stats BufferStats() const;
+
   /// Named-snapshot lifecycle (the SQL surface binds to these).
   Status CreateSnapshot(const std::string& name, WallClock as_of);
   /// Stable handle to a named snapshot: safe to hold across a drop

@@ -248,10 +248,19 @@ Status BTree::SplitLeaf(const TreeWriteContext& ctx, const Descent& d,
 }
 
 Status BTree::SplitRoot(const TreeWriteContext& ctx, Transaction* sys) {
-  REWIND_ASSIGN_OR_RETURN(PageGuard root,
-                          ctx.buffers->FetchPage(root_, AccessMode::kWrite));
-  const bool leaf_root = IsLeaf(root.data());
-  uint8_t child_level = Header(root.data())->level;
+  // Learn the root's shape with a read latch, then allocate the new
+  // children BEFORE re-latching it: the allocator must never be entered
+  // with page latches held (lock order: latches after allocation). The
+  // shape cannot change in between -- writers hold the tree's exclusive
+  // latch for the whole operation.
+  bool leaf_root;
+  uint8_t child_level;
+  {
+    REWIND_ASSIGN_OR_RETURN(PageGuard root,
+                            ctx.buffers->FetchPage(root_, AccessMode::kRead));
+    leaf_root = IsLeaf(root.data());
+    child_level = Header(root.data())->level;
+  }
   PageType child_type =
       leaf_root ? PageType::kBtreeLeaf : PageType::kBtreeInternal;
 
@@ -262,6 +271,8 @@ Status BTree::SplitRoot(const TreeWriteContext& ctx, Transaction* sys) {
       PageId right_id,
       ctx.allocator->AllocatePage(sys, child_type, child_level, root_));
 
+  REWIND_ASSIGN_OR_RETURN(PageGuard root,
+                          ctx.buffers->FetchPage(root_, AccessMode::kWrite));
   REWIND_ASSIGN_OR_RETURN(PageGuard left,
                           ctx.buffers->FetchPage(left_id, AccessMode::kWrite));
   REWIND_ASSIGN_OR_RETURN(PageGuard right,

@@ -70,15 +70,48 @@ void PageGuard::Release() {
 
 BufferManager::BufferManager(PageStore* store, wal::Wal* log,
                              IoStats* stats, size_t pool_pages,
-                             bool verify_checksums)
+                             bool verify_checksums, size_t shards)
     : store_(store), log_(log), stats_(stats),
-      verify_checksums_(verify_checksums) {
-  frames_.reserve(pool_pages);
-  for (size_t i = 0; i < pool_pages; i++) frames_.push_back(new Frame());
+      verify_checksums_(verify_checksums), pool_pages_(pool_pages) {
+  if (pool_pages == 0) pool_pages = pool_pages_ = 1;
+  if (shards == 0) shards = pool_pages / kFramesPerShardTarget;
+  if (shards > kMaxShards) shards = kMaxShards;
+  if (shards > pool_pages) shards = pool_pages;
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; i++) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Distribute frames round-robin so every shard gets its fair share
+  // (the first `pool_pages % shards` shards hold one extra frame).
+  for (size_t i = 0; i < pool_pages; i++) {
+    Shard* s = shards_[i % shards].get();
+    Frame* f = new Frame();
+    f->slot = s->frames.size();
+    s->frames.push_back(f);
+  }
 }
 
 BufferManager::~BufferManager() {
-  for (Frame* f : frames_) delete f;
+  for (auto& s : shards_) {
+    for (Frame* f : s->frames) delete f;
+  }
+}
+
+BufferManager::Shard* BufferManager::ShardOf(PageId id) {
+  return shards_[PagePartition(id, shards_.size())].get();
+}
+
+BufferManager::Stats BufferManager::stats() const {
+  Stats out;
+  out.shards = shards_.size();
+  out.pool_pages = pool_pages_;
+  for (const auto& s : shards_) {
+    out.hits += s->hits.load(std::memory_order_relaxed);
+    out.misses += s->misses.load(std::memory_order_relaxed);
+    out.evictions += s->evictions.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void BufferManager::Unpin(Frame* frame, AccessMode mode) {
@@ -87,17 +120,18 @@ void BufferManager::Unpin(Frame* frame, AccessMode mode) {
   } else {
     frame->latch.unlock_shared();
   }
-  std::lock_guard<std::mutex> g(table_mu_);
+  Shard* s = ShardOf(frame->page_id);
+  std::lock_guard<std::mutex> g(s->mu);
   frame->pin_count--;
   assert(frame->pin_count >= 0);
 }
 
-Status BufferManager::EvictVictimLocked() {
+Status BufferManager::EvictVictimLocked(Shard* s) {
   // Clock sweep: two full passes distinguish "everything referenced"
   // from "everything pinned".
-  for (size_t step = 0; step < frames_.size() * 2; step++) {
-    Frame* f = frames_[clock_hand_];
-    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+  for (size_t step = 0; step < s->frames.size() * 2; step++) {
+    Frame* f = s->frames[s->clock_hand];
+    s->clock_hand = (s->clock_hand + 1) % s->frames.size();
     if (f->page_id == kInvalidPageId) return Status::OK();  // free frame
     if (f->pin_count > 0) continue;
     if (f->ref) {
@@ -105,16 +139,25 @@ Status BufferManager::EvictVictimLocked() {
       continue;
     }
     // Victim found: flush if dirty (WAL rule), then drop the mapping.
+    // pin_count == 0 implies no latch holder (latches are held only
+    // while pinned), so reading the frame bytes here is safe.
     if (f->dirty) {
       REWIND_RETURN_IF_ERROR(WriteFrameToStore(f));
     }
-    table_.erase(f->page_id);
-    f->page_id = kInvalidPageId;
-    f->dirty = false;
-    f->rec_lsn = kInvalidLsn;
+    s->table.erase(f->page_id);
+    RetireFrameLocked(s, f);
+    s->evictions.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
-  return Status::Busy("buffer pool exhausted: every frame is pinned");
+  return Status::Busy("buffer pool shard exhausted: every frame is pinned");
+}
+
+void BufferManager::RetireFrameLocked(Shard* s, Frame* f) {
+  size_t slot = f->slot;
+  delete f;
+  Frame* fresh = new Frame();
+  fresh->slot = slot;
+  s->frames[slot] = fresh;
 }
 
 Status BufferManager::WriteFrameToStore(Frame* frame) {
@@ -139,62 +182,77 @@ Status BufferManager::WriteFrameToStore(Frame* frame) {
 
 Result<Frame*> BufferManager::PinFrame(PageId id, bool read_on_miss,
                                        bool* was_present) {
-  std::unique_lock<std::mutex> g(table_mu_);
-  auto it = table_.find(id);
-  if (it != table_.end()) {
+  Shard* s = ShardOf(id);
+  std::unique_lock<std::mutex> g(s->mu);
+  for (;;) {
+    auto it = s->table.find(id);
+    if (it == s->table.end()) break;
     Frame* f = it->second;
+    if (f->io_busy) {
+      // Another thread is filling this frame; wait for the image (or
+      // for the failed miss to retract the mapping) and re-check.
+      s->io_cv.wait(g);
+      continue;
+    }
     f->pin_count++;
     f->ref = true;
     *was_present = true;
+    s->hits.fetch_add(1, std::memory_order_relaxed);
     return f;
   }
   *was_present = false;
-  REWIND_RETURN_IF_ERROR(EvictVictimLocked());
+  s->misses.fetch_add(1, std::memory_order_relaxed);
+  REWIND_RETURN_IF_ERROR(EvictVictimLocked(s));
   // EvictVictimLocked leaves at least one free frame; find it near the
   // clock hand.
   Frame* target = nullptr;
-  for (size_t i = 0; i < frames_.size(); i++) {
-    Frame* f = frames_[(clock_hand_ + i) % frames_.size()];
+  for (size_t i = 0; i < s->frames.size(); i++) {
+    Frame* f = s->frames[(s->clock_hand + i) % s->frames.size()];
     if (f->page_id == kInvalidPageId && f->pin_count == 0) {
       target = f;
       break;
     }
   }
   if (target == nullptr) {
-    return Status::Busy("buffer pool exhausted");
+    return Status::Busy("buffer pool shard exhausted");
   }
   target->page_id = id;
   target->pin_count = 1;
   target->ref = true;
   target->dirty = false;
   target->rec_lsn = kInvalidLsn;
-  table_[id] = target;
-  // Hold the frame exclusively during the miss IO so concurrent
-  // fetchers of the same page wait for the image to arrive.
-  target->latch.lock();
-  g.unlock();
-
-  Status io = Status::OK();
-  if (read_on_miss) {
-    io = store_->ReadPage(id, target->data);
-    if (io.ok() && verify_checksums_ && !VerifyPageChecksum(target->data)) {
-      io = Status::Corruption("page " + std::to_string(id) +
-                              " failed checksum verification");
-    }
-  } else {
+  s->table[id] = target;
+  if (!read_on_miss) {
+    // Page allocation: format an empty frame; no store IO, so no
+    // io_busy window (done under the shard mutex).
     memset(target->data, 0, kPageSize);
     Header(target->data)->page_id = id;
+    return target;
   }
-  target->latch.unlock();
+  // Fill the frame outside the shard mutex. io_busy (not the frame
+  // latch) excludes concurrent fetchers, so no mutex -> latch edge.
+  target->io_busy = true;
+  g.unlock();
+
+  Status io = store_->ReadPage(id, target->data);
+  if (io.ok() && verify_checksums_ && !VerifyPageChecksum(target->data)) {
+    io = Status::Corruption("page " + std::to_string(id) +
+                            " failed checksum verification");
+  }
+
+  g.lock();
+  target->io_busy = false;
   if (!io.ok()) {
-    std::lock_guard<std::mutex> g2(table_mu_);
+    // Waiters never pin an io_busy frame, so the misser's pin is the
+    // only one: retract the mapping and let waiters retry the miss.
     target->pin_count--;
-    if (target->pin_count == 0) {
-      table_.erase(id);
-      target->page_id = kInvalidPageId;
-    }
+    assert(target->pin_count == 0);
+    s->table.erase(id);
+    target->page_id = kInvalidPageId;
+    s->io_cv.notify_all();
     return io;
   }
+  s->io_cv.notify_all();
   return target;
 }
 
@@ -225,27 +283,29 @@ Result<PageGuard> BufferManager::NewPage(PageId id) {
 }
 
 Status BufferManager::FlushPage(PageId id) {
-  std::unique_lock<std::mutex> g(table_mu_);
-  auto it = table_.find(id);
-  if (it == table_.end()) return Status::OK();
+  Shard* s = ShardOf(id);
+  std::unique_lock<std::mutex> g(s->mu);
+  auto it = s->table.find(id);
+  if (it == s->table.end()) return Status::OK();
   Frame* f = it->second;
+  if (f->io_busy) return Status::OK();  // mid-miss frames are clean
   f->pin_count++;
   g.unlock();
 
   f->latch.lock_shared();
-  Status s = f->dirty ? WriteFrameToStore(f) : Status::OK();
+  Status st = f->dirty ? WriteFrameToStore(f) : Status::OK();
   f->latch.unlock_shared();
 
-  std::lock_guard<std::mutex> g2(table_mu_);
+  std::lock_guard<std::mutex> g2(s->mu);
   f->pin_count--;
-  return s;
+  return st;
 }
 
 Status BufferManager::FlushAll() {
   std::vector<PageId> dirty;
-  {
-    std::lock_guard<std::mutex> g(table_mu_);
-    for (const auto& [id, f] : table_) {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> g(s->mu);
+    for (const auto& [id, f] : s->table) {
       if (f->dirty) dirty.push_back(id);
     }
   }
@@ -257,9 +317,10 @@ Status BufferManager::FlushAll() {
 
 Status BufferManager::FlushAndEvict(PageId id) {
   REWIND_RETURN_IF_ERROR(FlushPage(id));
-  std::lock_guard<std::mutex> g(table_mu_);
-  auto it = table_.find(id);
-  if (it == table_.end()) return Status::OK();
+  Shard* s = ShardOf(id);
+  std::lock_guard<std::mutex> g(s->mu);
+  auto it = s->table.find(id);
+  if (it == s->table.end()) return Status::OK();
   Frame* f = it->second;
   if (f->pin_count > 0) {
     return Status::Busy("cannot evict pinned page " + std::to_string(id));
@@ -269,18 +330,18 @@ Status BufferManager::FlushAndEvict(PageId id) {
     // deallocation path, but do not lose the write.
     REWIND_RETURN_IF_ERROR(WriteFrameToStore(f));
   }
-  table_.erase(it);
-  f->page_id = kInvalidPageId;
-  f->dirty = false;
-  f->rec_lsn = kInvalidLsn;
+  s->table.erase(it);
+  RetireFrameLocked(s, f);
   return Status::OK();
 }
 
 std::vector<DptEntry> BufferManager::DirtyPageTable() {
   std::vector<DptEntry> dpt;
-  std::lock_guard<std::mutex> g(table_mu_);
-  for (const auto& [id, f] : table_) {
-    if (f->dirty) dpt.push_back({id, f->rec_lsn});
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> g(s->mu);
+    for (const auto& [id, f] : s->table) {
+      if (f->dirty) dpt.push_back({id, f->rec_lsn});
+    }
   }
   return dpt;
 }

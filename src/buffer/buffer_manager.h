@@ -1,5 +1,5 @@
-// Buffer pool with shared/exclusive page latches, clock eviction, dirty
-// tracking and the WAL rule.
+// Sharded buffer pool with shared/exclusive page latches, per-shard
+// clock eviction, dirty tracking and the WAL rule.
 //
 // The pool reads and writes through the PageStore interface. The primary
 // database's store is the PagedFile; an as-of snapshot's store is the
@@ -8,10 +8,27 @@
 // Keeping that indirection *below* the buffer pool is what preserves the
 // paper's property that every component higher in the stack (B-tree,
 // catalog, queries) is oblivious to time travel (section 2.2).
+//
+// Sharding: the frame table is split into N shards (per-shard hash
+// table, mutex, frame array and clock hand), so parallel replay workers
+// and concurrent queries touching different pages do not serialize on
+// one table mutex. Per-frame shared_mutex latches are unchanged.
+//
+// Lock ordering (enforced, checked by the TSan CI job with
+// detect_deadlocks=1):
+//   frame latch -> shard mutex -> WAL mutexes
+// A thread may hold page latches while fetching another page (which
+// takes a shard mutex), and a shard mutex while flushing a victim
+// (which takes WAL mutexes), but never the reverse. Miss IO therefore
+// does NOT hold the frame latch: a frame being filled is marked
+// `io_busy` and concurrent fetchers of the same page wait on the
+// shard's condition variable, so no shard-mutex -> frame-latch edge
+// exists.
 #ifndef REWINDDB_BUFFER_BUFFER_MANAGER_H_
 #define REWINDDB_BUFFER_BUFFER_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -51,13 +68,31 @@ enum class AccessMode { kRead, kWrite };
 
 /// One pool slot. Internal to the buffer manager; exposed in the header
 /// only so PageGuard can be a cheap inline handle.
+///
+/// A Frame object lives for ONE page incarnation: eviction deletes it
+/// and puts a fresh Frame in its slot. That keeps the per-incarnation
+/// latch a distinct lock instance, so lock-order tracking (TSan
+/// detect_deadlocks=1 in CI) sees page-latch ordering per page rather
+/// than false cycles from one recycled mutex serving many pages.
 struct Frame {
   alignas(8) char data[kPageSize];
   PageId page_id = kInvalidPageId;
-  bool dirty = false;
-  Lsn rec_lsn = kInvalidLsn;  // first LSN that dirtied the page (DPT)
-  int pin_count = 0;          // guarded by BufferManager::table_mu_
+  /// Dirty flag and first-dirtier LSN (dirty page table). Atomic
+  /// because flushers clear them under a SHARED latch: two concurrent
+  /// FlushPage calls on one page (e.g. two simultaneous checkpoints)
+  /// may race clear-vs-clear, and DirtyPageTable reads race a writer's
+  /// MarkDirty. Set-vs-clear cannot race: MarkDirty requires the
+  /// exclusive latch, which excludes the flusher's shared latch.
+  std::atomic<bool> dirty{false};
+  std::atomic<Lsn> rec_lsn{kInvalidLsn};
+  int pin_count = 0;          // guarded by the owning shard's mutex
   bool ref = false;           // clock reference bit
+  /// Miss IO in flight: the misser fills `data` without the latch;
+  /// concurrent fetchers wait on the shard cv until this clears.
+  bool io_busy = false;
+  /// Index in the owning shard's frame array (so eviction can replace
+  /// this object in place).
+  size_t slot = 0;
   std::shared_mutex latch;
 };
 
@@ -104,16 +139,29 @@ class PageGuard {
   AccessMode mode_ = AccessMode::kRead;
 };
 
-/// A fixed-size pool of page frames.
+/// A fixed-size pool of page frames, sharded by page id.
 class BufferManager {
  public:
+  /// Aggregated pool counters (per-shard counters summed).
+  struct Stats {
+    uint64_t hits = 0;       // fetches served from a resident frame
+    uint64_t misses = 0;     // fetches that had to touch the store
+    uint64_t evictions = 0;  // victim frames recycled by the clock sweep
+    size_t shards = 0;
+    size_t pool_pages = 0;
+  };
+
   /// \param store    backing page store (file or snapshot store)
   /// \param log      WAL to honour before flushing dirty pages; nullptr
   ///                 for snapshot pools (their writes are unlogged)
   /// \param pool_pages number of frames
   /// \param verify_checksums verify page checksums on every miss read
+  /// \param shards   shard count; 0 picks one shard per 128 frames,
+  ///                 capped at kMaxShards (small pools degenerate to a
+  ///                 single shard, i.e. the pre-sharding behaviour)
   BufferManager(PageStore* store, wal::Wal* log, IoStats* stats,
-                size_t pool_pages, bool verify_checksums = true);
+                size_t pool_pages, bool verify_checksums = true,
+                size_t shards = 0);
   ~BufferManager();
 
   BufferManager(const BufferManager&) = delete;
@@ -140,13 +188,35 @@ class BufferManager {
   /// Dirty page table for checkpoint end records.
   std::vector<DptEntry> DirtyPageTable();
 
-  size_t pool_pages() const { return frames_.size(); }
+  size_t pool_pages() const { return pool_pages_; }
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Aggregated hit/miss/eviction counters across all shards.
+  Stats stats() const;
+
+  static constexpr size_t kMaxShards = 16;
+  static constexpr size_t kFramesPerShardTarget = 128;
 
  private:
   friend class PageGuard;
 
-  Result<Frame*> PinFrame(PageId id, bool expect_present, bool* was_present);
-  Status EvictVictimLocked();  // table_mu_ held
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable io_cv;  // miss-IO completion
+    std::unordered_map<PageId, Frame*> table;
+    std::vector<Frame*> frames;
+    size_t clock_hand = 0;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+  };
+
+  Shard* ShardOf(PageId id);
+  Result<Frame*> PinFrame(PageId id, bool read_on_miss, bool* was_present);
+  Status EvictVictimLocked(Shard* s);  // s->mu held
+  /// Retire an unpinned, unmapped frame's incarnation: delete the
+  /// object and seat a fresh Frame in its slot (s->mu held).
+  void RetireFrameLocked(Shard* s, Frame* f);
   Status WriteFrameToStore(Frame* frame);
   void Unpin(Frame* frame, AccessMode mode);
 
@@ -154,11 +224,9 @@ class BufferManager {
   wal::Wal* log_;
   IoStats* stats_;
   const bool verify_checksums_;
+  size_t pool_pages_ = 0;
 
-  std::mutex table_mu_;
-  std::unordered_map<PageId, Frame*> table_;
-  std::vector<Frame*> frames_;
-  size_t clock_hand_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace rewinddb

@@ -43,6 +43,17 @@ using TreeId = PageId;
 /// Size of every data page, log-block unit and side-file slot.
 inline constexpr size_t kPageSize = 8192;
 
+/// Partition a page id across `n` buckets. Page ids are dense small
+/// integers with stride patterns (allocation maps every
+/// kPagesPerAllocMap pages), so a Fibonacci multiplicative hash spreads
+/// them evenly. Shared by the buffer manager's shard choice and the
+/// replay dispatcher's worker choice so both layers agree on what "one
+/// page's partition" means.
+inline size_t PagePartition(PageId id, size_t n) {
+  uint64_t h = static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull;
+  return static_cast<size_t>((h >> 32) % n);
+}
+
 }  // namespace rewinddb
 
 #endif  // REWINDDB_COMMON_TYPES_H_

@@ -34,12 +34,13 @@ SuperBlock SuperBlock::ReadFrom(const char* page) {
 }
 
 Status PageAllocator::CreateFirstAllocMap(Transaction* txn) {
-  std::lock_guard<std::mutex> g(mu_);
-  REWIND_ASSIGN_OR_RETURN(PageGuard map, buffers_->NewPage(1));
-  REWIND_RETURN_IF_ERROR(
-      ops_->LogFormat(txn, map, 1, PageType::kAllocMap, 0, kInvalidPageId));
-  num_alloc_maps_ = 1;
-  if (on_new_map_) on_new_map_(num_alloc_maps_);
+  {
+    REWIND_ASSIGN_OR_RETURN(PageGuard map, buffers_->NewPage(1));
+    REWIND_RETURN_IF_ERROR(
+        ops_->LogFormat(txn, map, 1, PageType::kAllocMap, 0, kInvalidPageId));
+  }
+  num_alloc_maps_.store(1);
+  if (on_new_map_) on_new_map_(1);
   return Status::OK();
 }
 
@@ -87,28 +88,34 @@ Result<PageId> PageAllocator::TryAllocateInMap(Transaction* txn, PageId map_id,
 
 Result<PageId> PageAllocator::AllocatePage(Transaction* txn, PageType type,
                                            uint8_t level, TreeId tree) {
-  std::lock_guard<std::mutex> g(mu_);
-  for (uint32_t i = 0; i < num_alloc_maps_; i++) {
-    PageId map_id = 1 + i * kPagesPerAllocMap;
-    auto r = TryAllocateInMap(txn, map_id, type, level, tree);
-    if (r.ok()) return r;
-    if (!r.status().IsNotFound()) return r.status();
+  // Concurrent allocators racing one map page serialize on its
+  // exclusive latch inside TryAllocateInMap; each sees the bits the
+  // previous one flipped and takes the next free one.
+  for (int round = 0; round < 64; round++) {
+    uint32_t maps = num_alloc_maps_.load();
+    for (uint32_t i = 0; i < maps; i++) {
+      PageId map_id = 1 + i * kPagesPerAllocMap;
+      auto r = TryAllocateInMap(txn, map_id, type, level, tree);
+      if (r.ok()) return r;
+      if (!r.status().IsNotFound()) return r.status();
+    }
+    // Every interval is full: materialize a new allocation map page.
+    std::lock_guard<std::mutex> g(grow_mu_);
+    if (num_alloc_maps_.load() != maps) continue;  // lost the race; rescan
+    PageId new_map = 1 + maps * kPagesPerAllocMap;
+    {
+      REWIND_ASSIGN_OR_RETURN(PageGuard map, buffers_->NewPage(new_map));
+      REWIND_RETURN_IF_ERROR(ops_->LogFormat(txn, map, new_map,
+                                             PageType::kAllocMap, 0,
+                                             kInvalidPageId));
+    }
+    num_alloc_maps_.store(maps + 1);
+    if (on_new_map_) on_new_map_(maps + 1);
   }
-  // Every interval is full: materialize a new allocation map page.
-  PageId new_map = 1 + num_alloc_maps_ * kPagesPerAllocMap;
-  {
-    REWIND_ASSIGN_OR_RETURN(PageGuard map, buffers_->NewPage(new_map));
-    REWIND_RETURN_IF_ERROR(ops_->LogFormat(txn, map, new_map,
-                                           PageType::kAllocMap, 0,
-                                           kInvalidPageId));
-  }
-  num_alloc_maps_++;
-  if (on_new_map_) on_new_map_(num_alloc_maps_);
-  return TryAllocateInMap(txn, new_map, type, level, tree);
+  return Status::Busy("allocation did not converge");
 }
 
 Status PageAllocator::DeallocatePage(Transaction* txn, PageId id) {
-  std::lock_guard<std::mutex> g(mu_);
   // Flush the final image so the store holds exactly what a future
   // preformat record must capture, then drop the frame.
   REWIND_RETURN_IF_ERROR(buffers_->FlushAndEvict(id));

@@ -12,9 +12,19 @@
 // are left untouched on disk, exactly as the paper prescribes ("instead
 // of logging pro-actively during de-allocation... the cost is paid at
 // re-allocation").
+//
+// Concurrency: allocation decisions are serialized by the allocation
+// map page's exclusive latch (the find-free scan and the bit flip
+// happen under one PageGuard), NOT by an allocator-wide mutex held
+// across buffer-pool calls. The only allocator mutex (`grow_mu_`)
+// guards materializing a new map page, and no caller holds page
+// latches when entering the allocator -- together these keep the
+// engine's lock order acyclic (frame latch -> buffer shard mutex ->
+// WAL), which the TSan CI job checks with detect_deadlocks=1.
 #ifndef REWINDDB_ENGINE_ALLOCATOR_H_
 #define REWINDDB_ENGINE_ALLOCATOR_H_
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 
@@ -64,8 +74,8 @@ class PageAllocator {
   /// Number of allocated pages across all map pages (space accounting).
   Result<uint64_t> CountAllocatedPages();
 
-  void set_num_alloc_maps(uint32_t n) { num_alloc_maps_ = n; }
-  uint32_t num_alloc_maps() const { return num_alloc_maps_; }
+  void set_num_alloc_maps(uint32_t n) { num_alloc_maps_.store(n); }
+  uint32_t num_alloc_maps() const { return num_alloc_maps_.load(); }
 
   /// Hook invoked when a new allocation map page is materialized so the
   /// database can persist num_alloc_maps in the superblock.
@@ -79,8 +89,10 @@ class PageAllocator {
 
   BufferManager* buffers_;
   PageOps* ops_;
-  std::mutex mu_;  // serializes allocation decisions
-  uint32_t num_alloc_maps_ = 0;
+  /// Serializes materializing a new allocation map page (growth only;
+  /// per-map allocation is serialized by the map page latch).
+  std::mutex grow_mu_;
+  std::atomic<uint32_t> num_alloc_maps_{0};
   std::function<void(uint32_t)> on_new_map_;
 };
 

@@ -101,7 +101,8 @@ Status Database::InitStorage(bool create) {
   store_ = std::make_unique<FilePageStore>(data_file_.get());
   buffers_ = std::make_unique<BufferManager>(store_.get(), wal_.get(),
                                              &stats_, opts_.buffer_pool_pages,
-                                             opts_.verify_checksums);
+                                             opts_.verify_checksums,
+                                             opts_.buffer_shards);
   txns_ = std::make_unique<TransactionManager>(wal_.get(), &locks_, clock_,
                                                opts_.default_commit_mode);
   ops_ = std::make_unique<PageOps>(wal_.get(), txns_.get(), opts_.fpi_period);
@@ -198,7 +199,68 @@ Status Database::Close() {
 
 // ----------------------------- recovery -------------------------------
 
+namespace {
+
+/// Per-record undo routing for per-transaction recovery undo: system
+/// records physically (slot-exact -- their pages were exclusive to the
+/// SMO), user records logically (by key). Each record is applied under
+/// the exclusive latch of the tree it touches, so parallel workers
+/// honour the engine's concurrency contract ("writers hold the tree's
+/// exclusive latch"): logical undo re-traverses the tree and may split
+/// leaves; physical undo changes structure. Records without a tree
+/// (allocation map bits) share the kInvalidPageId latch.
+class TreeLatchedUndoApplier : public UndoApplier {
+ public:
+  TreeLatchedUndoApplier(Database* db, UndoApplier* physical,
+                         UndoApplier* logical)
+      : db_(db), physical_(physical), logical_(logical) {}
+  Status UndoRecord(Transaction* txn, Lsn lsn, const LogRecord& rec) override {
+    std::unique_lock<std::shared_mutex> tl(*db_->TreeLatch(rec.tree_id));
+    UndoApplier* inner = rec.is_system ? physical_ : logical_;
+    return inner->UndoRecord(txn, lsn, rec);
+  }
+
+ private:
+  Database* db_;
+  UndoApplier* physical_;
+  UndoApplier* logical_;
+};
+
+}  // namespace
+
+Status Database::RedoOne(Lsn lsn, const LogRecord& rec) {
+  auto fetched = buffers_->FetchPage(rec.page_id, AccessMode::kWrite);
+  if (!fetched.ok()) {
+    // Never flushed before the crash: materialize an empty frame;
+    // the first record to redo formats it.
+    fetched = buffers_->NewPage(rec.page_id);
+    if (!fetched.ok()) return fetched.status();
+  }
+  PageGuard page = std::move(*fetched);
+  if (PageLsn(page.data()) < lsn) {  // not yet applied
+    REWIND_RETURN_IF_ERROR(ApplyRedo(page.mutable_data(), rec, lsn));
+    page.MarkDirty(lsn);
+  }
+  return Status::OK();
+}
+
+Status Database::UndoLoser(TxnId id, Lsn last_lsn) {
+  // One loser's whole chain, CLR-logged, exactly like a runtime abort.
+  // User records are undone logically (by key -- committed SMOs may
+  // have moved the rows; paper section 4.1), system records physically.
+  Transaction* txn = txns_->AdoptForRecovery(id, last_lsn);
+  PhysicalUndoApplier physical(buffers_.get(), ops_.get());
+  LogicalUndoApplier logical(write_ctx());
+  TreeLatchedUndoApplier applier(this, &physical, &logical);
+  return txns_->Abort(txn, &applier);
+}
+
 Status Database::RunRecovery() {
+  const int threads = opts_.replay_threads < 1 ? 1 : opts_.replay_threads;
+  recovery_stats_ = RecoveryStats();
+  recovery_stats_.replay_threads = threads;
+  uint64_t t0 = clock_->NowMicros();
+
   // --- Analysis: from the master checkpoint to the end of the log. ---
   Lsn analysis_start = master_checkpoint_lsn_.load();
   if (analysis_start == kInvalidLsn ||
@@ -233,88 +295,123 @@ Status Database::RunRecovery() {
     }
     REWIND_RETURN_IF_ERROR(cur.Next());
   }
+  recovery_stats_.analysis_micros = clock_->NowMicros() - t0;
 
   const bool clean = att.empty() && dpt.empty();
   recovered_from_crash_ = !clean;
   if (clean) return Status::OK();
 
   // --- Redo: repeat history from the oldest recLSN. ---
+  // The dispatcher (this thread) scans the log once and routes each
+  // DPT-qualified record to the worker owning its page; same-page
+  // order is preserved by the partition, different pages replay
+  // concurrently over the sharded buffer pool. threads == 1 applies
+  // inline: the serial path, in the serial order.
+  t0 = clock_->NowMicros();
   Lsn redo_start = end_lsn;
   for (const auto& [pid, rec_lsn] : dpt) {
     if (rec_lsn < redo_start) redo_start = rec_lsn;
   }
   if (redo_start < wal_->start_lsn()) redo_start = wal_->start_lsn();
-  REWIND_RETURN_IF_ERROR(cur.SeekTo(redo_start));
-  while (cur.Valid() && cur.lsn() < end_lsn) {
-    const Lsn lsn = cur.lsn();
-    const LogRecord& rec = cur.record();
-    auto it = rec.IsPageRecord() ? dpt.find(rec.page_id) : dpt.end();
-    if (it != dpt.end() && lsn >= it->second) {
-      auto fetched = buffers_->FetchPage(rec.page_id, AccessMode::kWrite);
-      if (!fetched.ok()) {
-        // Never flushed before the crash: materialize an empty frame;
-        // the first record to redo formats it.
-        fetched = buffers_->NewPage(rec.page_id);
-        if (!fetched.ok()) return fetched.status();
+  {
+    replay::PagePool pool(threads,
+                          [this](size_t, Lsn lsn, const LogRecord& rec) {
+                            return RedoOne(lsn, rec);
+                          });
+    Status scan = cur.SeekTo(redo_start);
+    while (scan.ok() && cur.Valid() && cur.lsn() < end_lsn) {
+      const Lsn lsn = cur.lsn();
+      const LogRecord& rec = cur.record();
+      auto it = rec.IsPageRecord() ? dpt.find(rec.page_id) : dpt.end();
+      if (it != dpt.end() && lsn >= it->second) {
+        if (!pool.Dispatch(lsn, rec)) break;  // poisoned: stop scanning
       }
-      PageGuard page = std::move(*fetched);
-      if (PageLsn(page.data()) < lsn) {  // not yet applied
-        REWIND_RETURN_IF_ERROR(ApplyRedo(page.mutable_data(), rec, lsn));
-        page.MarkDirty(lsn);
-      }
+      scan = cur.Next();
     }
-    REWIND_RETURN_IF_ERROR(cur.Next());
+    Status applied = pool.Finish();
+    REWIND_RETURN_IF_ERROR(scan);
+    REWIND_RETURN_IF_ERROR(applied);
+    recovery_stats_.redo_records = pool.dispatched();
   }
+  recovery_stats_.redo_micros = clock_->NowMicros() - t0;
 
-  // --- Undo: roll back losers in reverse LSN order with CLRs. ---
-  // System-transaction records (SMOs, allocation) are undone physically
-  // at their recorded page/slot: their pages cannot have been touched
-  // by anyone else in between. User records are undone logically, by
-  // key, because committed structure modifications may have moved the
-  // rows since (paper section 4.1's argument for why transaction
-  // rollback is logical).
-  PhysicalUndoApplier physical_applier(buffers_.get(), ops_.get());
-  LogicalUndoApplier logical_applier(write_ctx());
-  std::unordered_map<TxnId, Transaction*> losers;
-  for (const auto& [id, last] : att) {
-    losers[id] = txns_->AdoptForRecovery(id, last);
-  }
-  std::unordered_map<TxnId, Lsn> cursor(att.begin(), att.end());
-  while (!cursor.empty()) {
-    // Pick the loser with the largest next-LSN-to-undo.
-    TxnId victim = 0;
-    Lsn max_lsn = 0;
-    for (const auto& [id, lsn] : cursor) {
-      if (lsn >= max_lsn) {
-        max_lsn = lsn;
-        victim = id;
+  // --- Undo: roll back losers with CLRs. ---
+  // Partitioned by transaction: a loser's chain walk is sequential,
+  // different losers are disjoint (user rows by two-phase locking,
+  // system-transaction pages by the SMO's tree latch). System losers
+  // go first and serially -- an in-flight SMO's structural changes
+  // must be reverted before by-key undo re-traverses that tree, and
+  // at the split every user record on the tree predates the SMO.
+  t0 = clock_->NowMicros();
+  recovery_stats_.loser_transactions = att.size();
+  if (threads == 1) {
+    // Serial degenerate case: the classic interleaved walk, undoing
+    // the globally largest next-LSN first (identical to the
+    // pre-parallel path, CLR layout included).
+    PhysicalUndoApplier physical_applier(buffers_.get(), ops_.get());
+    LogicalUndoApplier logical_applier(write_ctx());
+    std::unordered_map<TxnId, Transaction*> losers;
+    for (const auto& [id, last] : att) {
+      losers[id] = txns_->AdoptForRecovery(id, last);
+    }
+    std::unordered_map<TxnId, Lsn> cursor(att.begin(), att.end());
+    while (!cursor.empty()) {
+      TxnId victim = 0;
+      Lsn max_lsn = 0;
+      for (const auto& [id, lsn] : cursor) {
+        if (lsn >= max_lsn) {
+          max_lsn = lsn;
+          victim = id;
+        }
+      }
+      if (max_lsn == kInvalidLsn) break;
+      REWIND_RETURN_IF_ERROR(cur.SeekToChain(max_lsn));
+      const LogRecord& rec = cur.record();
+      Transaction* txn = losers[victim];
+      if (rec.type == LogType::kClr) {
+        cursor[victim] = rec.undo_next_lsn;
+      } else if (rec.type == LogType::kBegin) {
+        cursor[victim] = kInvalidLsn;
+      } else {
+        UndoApplier* applier =
+            rec.is_system ? static_cast<UndoApplier*>(&physical_applier)
+                          : static_cast<UndoApplier*>(&logical_applier);
+        REWIND_RETURN_IF_ERROR(applier->UndoRecord(txn, max_lsn, rec));
+        cursor[victim] = rec.prev_lsn;
+      }
+      if (cursor[victim] == kInvalidLsn) {
+        LogRecord abort;
+        abort.type = LogType::kAbort;
+        abort.txn_id = victim;
+        abort.prev_lsn = txn->last_lsn;
+        wal_->Append(abort);
+        txns_->Forget(txn);
+        cursor.erase(victim);
       }
     }
-    if (max_lsn == kInvalidLsn) break;
-    REWIND_RETURN_IF_ERROR(cur.SeekToChain(max_lsn));
-    const LogRecord& rec = cur.record();
-    Transaction* txn = losers[victim];
-    if (rec.type == LogType::kClr) {
-      cursor[victim] = rec.undo_next_lsn;
-    } else if (rec.type == LogType::kBegin) {
-      cursor[victim] = kInvalidLsn;
-    } else {
-      UndoApplier* applier =
-          rec.is_system ? static_cast<UndoApplier*>(&physical_applier)
-                        : static_cast<UndoApplier*>(&logical_applier);
-      REWIND_RETURN_IF_ERROR(applier->UndoRecord(txn, max_lsn, rec));
-      cursor[victim] = rec.prev_lsn;
+  } else {
+    // Classify each loser by its last record's is_system flag (every
+    // record carries it), then: system losers serially, user losers
+    // fanned out across the replay workers.
+    std::vector<AttEntry> system_losers;
+    std::vector<AttEntry> user_losers;
+    for (const auto& [id, last] : att) {
+      REWIND_RETURN_IF_ERROR(cur.SeekToChain(last));
+      if (cur.record().is_system) {
+        system_losers.push_back({id, last});
+      } else {
+        user_losers.push_back({id, last});
+      }
     }
-    if (cursor[victim] == kInvalidLsn) {
-      LogRecord abort;
-      abort.type = LogType::kAbort;
-      abort.txn_id = victim;
-      abort.prev_lsn = txn->last_lsn;
-      wal_->Append(abort);
-      txns_->Forget(txn);
-      cursor.erase(victim);
+    for (const AttEntry& e : system_losers) {
+      REWIND_RETURN_IF_ERROR(UndoLoser(e.txn_id, e.last_lsn));
     }
+    REWIND_RETURN_IF_ERROR(replay::ParallelFor(
+        threads, user_losers.size(), [&](size_t i) {
+          return UndoLoser(user_losers[i].txn_id, user_losers[i].last_lsn);
+        }));
   }
+  recovery_stats_.undo_micros = clock_->NowMicros() - t0;
   REWIND_RETURN_IF_ERROR(wal_->FlushAll());
   return Checkpoint();
 }

@@ -26,6 +26,7 @@
 #include "common/clock.h"
 #include "engine/allocator.h"
 #include "engine/page_ops.h"
+#include "engine/parallel_replay.h"
 #include "io/disk_model.h"
 #include "io/paged_file.h"
 #include "snapshot/version_store.h"
@@ -70,6 +71,30 @@ struct DatabaseOptions {
   uint64_t lock_timeout_micros = 1'000'000;
   /// Background checkpoint cadence; 0 = manual checkpoints only.
   uint64_t checkpoint_interval_micros = 0;
+  /// Worker threads for parallel replay: crash-recovery redo/undo and
+  /// snapshot background undo run a dispatcher that partitions log
+  /// records across this many workers (redo by page, undo by loser
+  /// transaction). 1 keeps the serial path as the degenerate case.
+  /// The default honours the REWINDDB_REPLAY_THREADS environment
+  /// variable (how CI runs the whole suite with workers on).
+  int replay_threads = replay::DefaultReplayThreads();
+  /// Buffer pool shard count (per-shard hash table + mutex + clock
+  /// hand); 0 = auto: one shard per 128 frames, at most 16. Small
+  /// pools degenerate to a single shard.
+  size_t buffer_shards = 0;
+};
+
+/// Phase timings of the last crash recovery, charged to the database
+/// clock (simulated micros under a SimClock). Zeroed when the shutdown
+/// was clean.
+struct RecoveryStats {
+  uint64_t analysis_micros = 0;
+  uint64_t redo_micros = 0;
+  uint64_t undo_micros = 0;
+  /// Records the redo dispatcher handed to workers (after DPT filter).
+  uint64_t redo_records = 0;
+  uint64_t loser_transactions = 0;
+  int replay_threads = 1;
 };
 
 /// Physical undo applier: compensates records at their recorded page
@@ -191,6 +216,9 @@ class Database {
   /// True if the last Open had to run crash recovery (tests).
   bool recovered_from_crash() const { return recovered_from_crash_; }
 
+  /// Phase breakdown of the last crash recovery (analysis/redo/undo).
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
   /// Test/benchmark hook: abandon all in-memory state as a real crash
   /// would -- no checkpoint, no page flush, unflushed log lost. The
   /// object may only be destroyed afterwards; reopen with Open() to
@@ -214,6 +242,13 @@ class Database {
   Status LoadSuperBlock();
   Status WriteSuperBlock();
   Status RunRecovery();
+  /// Redo worker body: fetch (or materialize) the page and repeat
+  /// history if the page LSN says the record is not yet applied.
+  Status RedoOne(Lsn lsn, const LogRecord& rec);
+  /// Undo one loser transaction's whole chain (CLR-logged), appending
+  /// its ABORT record. Thread-safe: logical undo re-latches trees per
+  /// record.
+  Status UndoLoser(TxnId id, Lsn last_lsn);
   void StartCheckpointer();
   void StopCheckpointer();
 
@@ -244,6 +279,7 @@ class Database {
   std::atomic<uint32_t> next_object_id_{1};
   std::atomic<Lsn> master_checkpoint_lsn_{kInvalidLsn};
   bool recovered_from_crash_ = false;
+  RecoveryStats recovery_stats_;
   bool closed_ = false;
 
   std::mutex tree_latches_mu_;

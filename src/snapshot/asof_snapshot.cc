@@ -161,7 +161,8 @@ Status AsOfSnapshot::Recover() {
                                            split_.split_lsn);
   buffers_ = std::make_unique<BufferManager>(
       store_.get(), /*log=*/nullptr, primary_->stats(),
-      primary_->options().buffer_pool_pages, /*verify_checksums=*/false);
+      primary_->options().buffer_pool_pages, /*verify_checksums=*/false,
+      primary_->options().buffer_shards);
   catalog_ = std::make_unique<Catalog>(buffers_.get());
 
   // Analysis (section 5.2): find transactions in flight at the
@@ -180,6 +181,8 @@ Status AsOfSnapshot::Recover() {
     if (newest > 0) analysis_start = ckpts[newest - 1].begin_lsn;
   }
 
+  Clock* clock = primary_->clock();
+  uint64_t t_analysis = clock->NowMicros();
   std::unordered_map<TxnId, Lsn> att;
   {
     wal::Cursor cur = log->OpenCursor();
@@ -200,10 +203,15 @@ Status AsOfSnapshot::Recover() {
       REWIND_RETURN_IF_ERROR(cur.Next());
     }
   }
+  stats_.analysis_micros = clock->NowMicros() - t_analysis;
 
   // Lock re-acquisition: walk each loser's chain and take X locks on
   // every row it touched, so queries cannot observe uncommitted
-  // effects before the background undo erases them.
+  // effects before the background undo erases them. This is the
+  // redo-stage work of snapshot recovery -- page redo itself needs no
+  // IO because the creation checkpoint flushed everything (section
+  // 5.2), so what remains of "redo" is rebuilding the lock table.
+  uint64_t t_redo = clock->NowMicros();
   wal::Cursor chain = log->OpenCursor();
   for (const auto& [txn_id, last_lsn] : att) {
     losers_.push_back({txn_id, last_lsn});
@@ -227,6 +235,7 @@ Status AsOfSnapshot::Recover() {
       }
     }
   }
+  stats_.redo_micros = clock->NowMicros() - t_redo;
   stats_.split_lsn = split_.split_lsn;
   stats_.boundary_time = split_.boundary_time;
   stats_.checkpoint_lsn = split_.checkpoint_lsn;
@@ -235,6 +244,57 @@ Status AsOfSnapshot::Recover() {
 }
 
 void AsOfSnapshot::BackgroundUndo() {
+  Clock* clock = primary_->clock();
+  uint64_t t0 = clock->NowMicros();
+  int threads = primary_->options().replay_threads;
+  if (threads < 1) threads = 1;
+  stats_.replay_threads = threads;
+
+  Status status;
+  if (threads == 1) {
+    status = BackgroundUndoSerial();
+  } else {
+    // Partition by loser transaction: a chain walk is sequential, but
+    // different losers' effects are disjoint (user rows by two-phase
+    // locking, an in-flight SMO's pages by the tree latch it held).
+    // System losers go first, serially: their structural changes must
+    // be reverted before by-key user undo re-traverses the tree, and
+    // every loser user record on that tree predates the SMO.
+    std::vector<AttEntry> system_losers;
+    std::vector<AttEntry> user_losers;
+    wal::Cursor classify = primary_->log()->OpenCursor();
+    for (const AttEntry& e : losers_) {
+      status = classify.SeekToChain(e.last_lsn);
+      if (!status.ok()) break;
+      if (classify.record().is_system) {
+        system_losers.push_back(e);
+      } else {
+        user_losers.push_back(e);
+      }
+    }
+    if (status.ok()) {
+      for (const AttEntry& e : system_losers) {
+        status = UndoLoserChain(e);
+        if (!status.ok()) break;
+      }
+    }
+    if (status.ok()) {
+      status = replay::ParallelFor(
+          threads, user_losers.size(),
+          [&](size_t i) { return UndoLoserChain(user_losers[i]); });
+    }
+  }
+  // Persist undone pages so later side-file reads see them even after
+  // buffer-pool eviction.
+  if (status.ok()) status = buffers_->FlushAll();
+  stats_.undo_micros = clock->NowMicros() - t0;
+  undo_status_ = status;
+  // Release any remaining locks (error path) so queries do not hang.
+  for (const AttEntry& e : losers_) locks_.ReleaseAll(e.txn_id);
+  undo_complete_.store(true);
+}
+
+Status AsOfSnapshot::BackgroundUndoSerial() {
   wal::Cursor reader = primary_->log()->OpenCursor();
   std::unordered_map<TxnId, Lsn> cursor;
   for (const AttEntry& e : losers_) cursor[e.txn_id] = e.last_lsn;
@@ -289,13 +349,41 @@ void AsOfSnapshot::BackgroundUndo() {
       cursor.erase(victim);
     }
   }
-  // Persist undone pages so later side-file reads see them even after
-  // buffer-pool eviction.
-  if (status.ok()) status = buffers_->FlushAll();
-  undo_status_ = status;
-  // Release any remaining locks (error path) so queries do not hang.
-  for (const AttEntry& e : losers_) locks_.ReleaseAll(e.txn_id);
-  undo_complete_.store(true);
+  return status;
+}
+
+Status AsOfSnapshot::UndoLoserChain(const AttEntry& loser) {
+  wal::Cursor reader = primary_->log()->OpenCursor();
+  Lsn next = loser.last_lsn;
+  while (next != kInvalidLsn) {
+    REWIND_RETURN_IF_ERROR(reader.SeekToChain(next));
+    if (!reader.Valid()) break;  // empty chain head
+    const LogRecord& rec = reader.record();
+    if (rec.type == LogType::kClr) {
+      next = rec.undo_next_lsn;
+      continue;
+    }
+    if (rec.type == LogType::kBegin) break;
+    if (rec.IsPageRecord()) {
+      const bool row_op = rec.type == LogType::kInsert ||
+                          rec.type == LogType::kDelete ||
+                          rec.type == LogType::kUpdate;
+      if (row_op && !rec.is_system) {
+        REWIND_RETURN_IF_ERROR(UndoUserRowUnlogged(rec));
+      } else {
+        std::unique_lock<std::shared_mutex> tl(*TreeLatch(rec.tree_id));
+        REWIND_ASSIGN_OR_RETURN(
+            PageGuard page,
+            buffers_->FetchPage(rec.page_id, AccessMode::kWrite));
+        REWIND_RETURN_IF_ERROR(ApplyUndo(page.mutable_data(), rec));
+        page.MarkDirtyUnlogged();
+      }
+    }
+    next = rec.prev_lsn;
+  }
+  // This loser's effects are gone: let queries through its rows now.
+  locks_.ReleaseAll(loser.txn_id);
+  return Status::OK();
 }
 
 Status AsOfSnapshot::UndoUserRowUnlogged(const LogRecord& rec) {

@@ -123,6 +123,18 @@ class AsOfSnapshot {
     /// Simulated+real microseconds spent creating the snapshot
     /// (checkpoint + SplitLSN search + analysis).
     uint64_t create_micros = 0;
+    // Mount-phase breakdown (all charged to the primary's clock, so
+    // simulated micros under a SimClock):
+    /// Analysis scan (checkpoint before the split -> SplitLSN).
+    uint64_t analysis_micros = 0;
+    /// The redo-stage work: loser lock re-acquisition (page redo needs
+    /// no IO -- the creation checkpoint already flushed everything).
+    uint64_t redo_micros = 0;
+    /// Background undo of in-flight transactions. Written by the undo
+    /// thread; read it only after WaitForUndo().
+    uint64_t undo_micros = 0;
+    /// Worker count the background undo ran with.
+    int replay_threads = 1;
   };
 
   ~AsOfSnapshot();
@@ -169,6 +181,14 @@ class AsOfSnapshot {
 
   Status Recover();
   void BackgroundUndo();
+  /// The serial (replay_threads == 1) undo walk: all losers
+  /// interleaved, globally largest next-LSN first (the pre-parallel
+  /// path, kept as the degenerate case).
+  Status BackgroundUndoSerial();
+  /// Undo one loser transaction's whole chain on the snapshot's pages,
+  /// then release its re-acquired row locks. Thread-safe: row undo and
+  /// physical undo both latch the record's tree.
+  Status UndoLoserChain(const AttEntry& loser);
   /// Unlogged logical undo of a user row record on the snapshot's
   /// pages: locate the row by key (it may have moved under committed
   /// structure modifications before the split) and apply the inverse
