@@ -89,9 +89,14 @@ int main() {
     est.pages_accessed = pages > 0 ? pages : 1;
     est.mods_per_page =
         static_cast<double>(undone) / static_cast<double>(est.pages_accessed);
+    // Both tiers count: restore replays archived history too, and with
+    // archiving on the live WAL alone would under-state the log the
+    // advisor must reason about.
+    const uint64_t retained_log =
+        h->db->log()->LiveBytes() + h->db->log()->ArchivedBytes();
     est.db_pages = h->db->data_file()->NumPages();
-    est.replay_log_bytes = h->db->log()->LiveBytes();
-    est.total_log_bytes = h->db->log()->LiveBytes();
+    est.replay_log_bytes = retained_log;
+    est.total_log_bytes = retained_log;
     RecoveryStrategy advice = advisor.Choose(est);
 
     const char* measured_winner =

@@ -265,6 +265,13 @@ Status Connection::EnforceRetention() { return db_->EnforceRetention(); }
 
 Status Connection::Checkpoint() { return db_->Checkpoint(); }
 
+Status Connection::FuzzyCheckpoint() { return db_->FuzzyCheckpoint(); }
+
+wal::ArchiveStats Connection::ArchiveStats() const {
+  wal::ArchiveManager* archive = db_->log()->archive();
+  return archive != nullptr ? archive->stats() : wal::ArchiveStats();
+}
+
 Clock* Connection::clock() const { return db_->clock(); }
 
 }  // namespace rewinddb

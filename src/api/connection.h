@@ -128,10 +128,24 @@ class Connection {
   /// ALTER DATABASE SET UNDO_INTERVAL: how far back AsOf() may reach.
   Status SetRetention(uint64_t micros);
   uint64_t retention_micros() const;
-  /// Truncate log outside the retention period (respects snapshot
-  /// anchors and active transactions).
+  /// Enforce the retention policy. Without the archive tier this
+  /// truncates log outside the retention period (respecting snapshot
+  /// anchors and active transactions); with it, old active log is
+  /// sealed-then-truncated and the horizon is enforced on archived
+  /// segments instead (see DatabaseOptions::archive_dir).
   Status EnforceRetention();
+  /// SHARP checkpoint: full dirty-page flush; drains the pool. Prefer
+  /// FuzzyCheckpoint() for routine log bounding.
   Status Checkpoint();
+  /// FUZZY checkpoint (the SQL CHECKPOINT statement): bounds crash
+  /// recovery's analysis scan without blocking writers and, with the
+  /// archive tier on, archives + trims the active log. Also taken
+  /// automatically every DatabaseOptions::checkpoint_interval_bytes of
+  /// WAL.
+  Status FuzzyCheckpoint();
+  /// Archive-tier counters (segments sealed/dropped, bytes moved,
+  /// checksum verifications); all zero when the tier is off.
+  wal::ArchiveStats ArchiveStats() const;
 
   // ----------------------------- interop -----------------------------
   Clock* clock() const;

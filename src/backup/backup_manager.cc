@@ -122,9 +122,13 @@ Result<RestoreResult> BackupManager::RestoreToTime(Database* source,
     REWIND_RETURN_IF_ERROR(s);
   }
 
-  // 2. Lay down the transaction log. The entire retained log is copied
-  //    (the unused tail is "initialized", as in the paper's baseline),
-  //    then cut at the stop point so recovery replays exactly to it.
+  // 2. Lay down the transaction log. The entire retained log -- sealed
+  //    archive segments (resolved through the archive index) followed
+  //    by the active file -- is copied (the unused tail is
+  //    "initialized", as in the paper's baseline), then cut at the stop
+  //    point so recovery replays exactly to it. Reusing the archive
+  //    index here is what keeps point-in-time restore working after the
+  //    active log reached its bounded steady state.
   {
     // Position on the boundary record so the cut lands after it.
     wal::Cursor boundary = source->log()->OpenCursor();
@@ -133,29 +137,8 @@ Result<RestoreResult> BackupManager::RestoreToTime(Database* source,
       return Status::Corruption("split point not found in the source log");
     }
     Lsn cut = boundary.end_lsn();
-
-    int src = ::open((source->dir() + "/log.rwdb").c_str(), O_RDONLY);
-    if (src < 0) return Status::IoError("open source log");
-    int dst = ::open((dest_dir + "/log.rwdb").c_str(),
-                     O_RDWR | O_CREAT | O_TRUNC, 0644);
-    if (dst < 0) {
-      ::close(src);
-      return Status::IoError("create restored log");
-    }
-    auto size = FileSize(src);
-    Status s = size.ok() ? Status::OK() : size.status();
-    if (s.ok()) {
-      // The full-file copy is the "initialization" cost; the cut then
-      // truncates to the replay boundary.
-      s = CopyBytes(src, dst, *size, source->log_disk(), source->log_disk(),
-                    &out.log_bytes_copied);
-    }
-    if (s.ok() && ::ftruncate(dst, static_cast<off_t>(cut)) != 0) {
-      s = Status::IoError("cut restored log");
-    }
-    ::close(src);
-    ::close(dst);
-    REWIND_RETURN_IF_ERROR(s);
+    REWIND_RETURN_IF_ERROR(source->log()->ExportPrefix(
+        dest_dir + "/log.rwdb", cut, &out.log_bytes_copied));
     out.stop_lsn = split.split_lsn;
   }
 

@@ -35,6 +35,15 @@ inline constexpr TxnId kInvalidTxnId = 0;
 /// translate a user-supplied wall-clock time into a SplitLSN.
 using WallClock = uint64_t;
 
+/// Reference to a checkpoint: kept in memory to narrow the SplitLSN
+/// search (section 5.1) and to pick log truncation points, persisted
+/// per archive segment so reopening the WAL's archive tier recovers
+/// the directory without decoding archived history.
+struct CheckpointRef {
+  Lsn begin_lsn;
+  WallClock wall_clock;
+};
+
 /// Identifier of a B-tree. RewindDB B-tree roots never move (root splits
 /// redistribute into fresh children), so the root page id doubles as the
 /// stable tree id carried in log records for logical undo.

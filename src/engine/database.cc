@@ -1,6 +1,8 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,6 +12,24 @@
 #include "page/slotted_page.h"
 
 namespace rewinddb {
+
+uint64_t DefaultCheckpointIntervalBytes() {
+  static const uint64_t cached = [] {
+    const char* env = std::getenv("REWINDDB_CHECKPOINT_INTERVAL_BYTES");
+    if (env == nullptr || *env == '\0') return uint64_t{0};
+    return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }();
+  return cached;
+}
+
+bool DefaultArchiveEnabled() {
+  static const bool cached = [] {
+    const char* env = std::getenv("REWINDDB_ARCHIVE");
+    return env != nullptr && *env != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }();
+  return cached;
+}
 
 // ------------------------- undo appliers ------------------------------
 
@@ -87,6 +107,8 @@ Status Database::InitStorage(bool create) {
   wal::WalOptions wo;
   wo.cache_blocks = opts_.log_cache_blocks;
   wo.flush_interval_micros = opts_.wal_flush_interval_micros;
+  wo.archive_dir = ResolveArchiveDir();
+  wo.archive_segment_bytes = opts_.archive_segment_bytes;
   if (create) {
     REWIND_ASSIGN_OR_RETURN(
         data_file_, PagedFile::Create(data_path, &data_disk_, &stats_));
@@ -193,6 +215,10 @@ Status Database::Close() {
   if (closed_) return Status::OK();
   closed_ = true;
   StopCheckpointer();
+  // A failed Create/Open can reach here with storage only partially
+  // initialized (e.g. a corrupt archive segment rejected by the WAL's
+  // archive scan); there is nothing to checkpoint then.
+  if (wal_ == nullptr || buffers_ == nullptr) return Status::OK();
   REWIND_RETURN_IF_ERROR(Checkpoint());
   return Status::OK();
 }
@@ -262,29 +288,46 @@ Status Database::RunRecovery() {
   uint64_t t0 = clock_->NowMicros();
 
   // --- Analysis: from the master checkpoint to the end of the log. ---
+  // The checkpoint may be fuzzy, so the end record's tables are merged
+  // with what the scan itself sees:
+  //  * DPT entries merge with MIN(recLSN) -- a page modified between
+  //    checkpoint begin and end is seen by the scan FIRST with a
+  //    too-late recLSN; the checkpoint's older entry must win or redo
+  //    would skip its unflushed pre-checkpoint records;
+  //  * ATT entries never resurrect a transaction whose COMMIT/ABORT the
+  //    scan already passed (a commit can land between the begin record
+  //    and the end record's capture).
   Lsn analysis_start = master_checkpoint_lsn_.load();
   if (analysis_start == kInvalidLsn ||
-      analysis_start < wal_->start_lsn()) {
-    analysis_start = wal_->start_lsn();
+      analysis_start < wal_->oldest_lsn()) {
+    analysis_start = wal_->oldest_lsn();
   }
+  recovery_stats_.analysis_start_lsn = analysis_start;
   std::unordered_map<TxnId, Lsn> att;          // loser candidates
+  std::unordered_set<TxnId> ended;             // committed/aborted in scan
   std::unordered_map<PageId, Lsn> dpt;         // page -> recLSN
   Lsn end_lsn = wal_->next_lsn();
   wal::Cursor cur = wal_->OpenCursor();
   REWIND_RETURN_IF_ERROR(cur.SeekTo(analysis_start));
   while (cur.Valid() && cur.lsn() < end_lsn) {
     const LogRecord& rec = cur.record();
+    recovery_stats_.analysis_records++;
     if (rec.type == LogType::kCheckpointEnd) {
       for (const AttEntry& e : rec.att) {
+        if (ended.count(e.txn_id) != 0) continue;
         if (att.find(e.txn_id) == att.end()) att[e.txn_id] = e.last_lsn;
       }
       for (const DptEntry& e : rec.dpt) {
-        if (dpt.find(e.page_id) == dpt.end()) dpt[e.page_id] = e.rec_lsn;
+        auto it = dpt.find(e.page_id);
+        if (it == dpt.end() || e.rec_lsn < it->second) {
+          dpt[e.page_id] = e.rec_lsn;
+        }
       }
     } else {
       if (rec.txn_id != kInvalidTxnId) {
         if (rec.type == LogType::kCommit || rec.type == LogType::kAbort) {
           att.erase(rec.txn_id);
+          ended.insert(rec.txn_id);
         } else {
           att[rec.txn_id] = cur.lsn();
         }
@@ -312,7 +355,11 @@ Status Database::RunRecovery() {
   for (const auto& [pid, rec_lsn] : dpt) {
     if (rec_lsn < redo_start) redo_start = rec_lsn;
   }
-  if (redo_start < wal_->start_lsn()) redo_start = wal_->start_lsn();
+  // Clamp to the oldest byte EITHER tier retains: with fuzzy
+  // checkpoints the min recLSN may predate the master checkpoint, and
+  // with the archive tier those records may live below the active log's
+  // start -- the cursor reads across the boundary transparently.
+  if (redo_start < wal_->oldest_lsn()) redo_start = wal_->oldest_lsn();
   {
     replay::PagePool pool(threads,
                           [this](size_t, Lsn lsn, const LogRecord& rec) {
@@ -451,6 +498,7 @@ Status Database::Commit(Transaction* txn) {
     if (!s.ok()) return s;
     REWIND_RETURN_IF_ERROR(txns_->Commit(sys));
   }
+  MaybeAutoCheckpoint();
   return Status::OK();
 }
 
@@ -579,7 +627,19 @@ Status Database::DropIndex(Transaction* txn, const std::string& index_name) {
 
 // --------------------------- maintenance ------------------------------
 
-Status Database::Checkpoint() {
+std::string Database::ResolveArchiveDir() const {
+  if (opts_.archive_dir == "auto") {
+    return DefaultArchiveEnabled() ? dir_ + "/archive" : std::string();
+  }
+  return opts_.archive_dir;
+}
+
+Status Database::Checkpoint() { return CheckpointImpl(/*fuzzy=*/false); }
+
+Status Database::FuzzyCheckpoint() { return CheckpointImpl(/*fuzzy=*/true); }
+
+Status Database::CheckpointImpl(bool fuzzy) {
+  std::lock_guard<std::mutex> g(checkpoint_serial_mu_);
   LogRecord begin;
   begin.type = LogType::kCheckpointBegin;
   begin.wall_clock = clock_->NowMicros();
@@ -589,16 +649,95 @@ Status Database::Checkpoint() {
   end.type = LogType::kCheckpointEnd;
   end.wall_clock = begin.wall_clock;
   end.att = txns_->ActiveTransactions();
-  // Flush every dirty page: snapshot recovery's redo pass then needs no
-  // page reads (section 5.2), and crash redo starts no earlier than the
-  // checkpoint.
-  REWIND_RETURN_IF_ERROR(buffers_->FlushAll());
+  if (fuzzy) {
+    // Two-checkpoint rule: only pages dirty since BEFORE the previous
+    // checkpoint are written back, so the redo floor advances one
+    // checkpoint interval per checkpoint while writers never drain.
+    // (Commits, evictions and page latching proceed concurrently; the
+    // DPT captured below is whatever remains dirty.)
+    const Lsn prev_begin = master_checkpoint_lsn_.load();
+    if (prev_begin != kInvalidLsn) {
+      for (const DptEntry& e : buffers_->DirtyPageTable()) {
+        if (e.rec_lsn < prev_begin) {
+          REWIND_RETURN_IF_ERROR(buffers_->FlushPage(e.page_id));
+        }
+      }
+    }
+  } else {
+    // Sharp: flush every dirty page. Snapshot recovery's redo pass then
+    // needs no page reads (section 5.2), and crash redo starts no
+    // earlier than the checkpoint.
+    REWIND_RETURN_IF_ERROR(buffers_->FlushAll());
+  }
   end.dpt = buffers_->DirtyPageTable();
   wal_->Append(end);
   REWIND_RETURN_IF_ERROR(wal_->FlushAll());
 
+  Lsn redo_floor = begin_lsn;
+  for (const DptEntry& e : end.dpt) {
+    redo_floor = std::min(redo_floor, e.rec_lsn);
+  }
   master_checkpoint_lsn_ = begin_lsn;
-  return WriteSuperBlock();
+  checkpoint_redo_floor_ = redo_floor;
+  checkpoint_wal_mark_ = wal_->next_lsn();
+  REWIND_RETURN_IF_ERROR(WriteSuperBlock());
+  if (fuzzy) {
+    // Bounded-log steady state: everything below the new truncation
+    // floor moves to the archive tier (no-op when the tier is off).
+    return TrimActiveWal();
+  }
+  return Status::OK();
+}
+
+void Database::MaybeAutoCheckpoint() {
+  const uint64_t interval = opts_.checkpoint_interval_bytes;
+  if (interval == 0 || closed_) return;
+  if (wal_->next_lsn() - checkpoint_wal_mark_.load(std::memory_order_relaxed) <
+      interval) {
+    return;
+  }
+  bool expected = false;
+  if (!auto_checkpoint_running_.compare_exchange_strong(expected, true)) {
+    return;  // another committer is already paying for it
+  }
+  Status s = FuzzyCheckpoint();
+  (void)s;  // best effort; surfaced by the next explicit checkpoint
+  auto_checkpoint_running_.store(false);
+}
+
+Lsn Database::TruncationFloor() {
+  Lsn floor = checkpoint_redo_floor_.load();
+  if (floor == kInvalidLsn) floor = master_checkpoint_lsn_.load();
+  if (floor == kInvalidLsn) return kInvalidLsn;
+  Lsn oldest_active = txns_->OldestActiveFirstLsn();
+  if (oldest_active != kInvalidLsn && oldest_active < floor) {
+    floor = oldest_active;
+  }
+  {
+    std::lock_guard<std::mutex> g(anchors_mu_);
+    if (!snapshot_anchors_.empty() && *snapshot_anchors_.begin() < floor) {
+      floor = *snapshot_anchors_.begin();
+    }
+  }
+  return floor;
+}
+
+Status Database::TrimActiveWal() {
+  if (wal_->archive() == nullptr) return Status::OK();
+  const Lsn floor = TruncationFloor();
+  if (floor == kInvalidLsn || floor <= wal_->start_lsn()) return Status::OK();
+  REWIND_RETURN_IF_ERROR(wal_->ArchiveUpTo(floor));
+  // Truncate only past the archive high water mark: if sealing stopped
+  // short of the floor (unflushed tail) the unsealed remainder stays
+  // active. The version store is deliberately NOT truncated here --
+  // targets below the trim point remain reachable through the archive.
+  const Lsn hw = wal_->archive()->high_water();
+  if (hw == kInvalidLsn) return Status::OK();
+  const Lsn target = std::min(floor, hw);
+  if (target > wal_->start_lsn()) {
+    REWIND_RETURN_IF_ERROR(wal_->TruncateBefore(target));
+  }
+  return Status::OK();
 }
 
 Status Database::SetUndoInterval(uint64_t micros) {
@@ -617,39 +756,67 @@ void Database::UnregisterSnapshotAnchor(Lsn anchor) {
   if (it != snapshot_anchors_.end()) snapshot_anchors_.erase(it);
 }
 
+namespace {
+
+/// Begin-LSN of the newest checkpoint at or before `cutoff` wall-clock
+/// time; kInvalidLsn if none. Everything below it is outside the
+/// corresponding retention window.
+Lsn NewestCheckpointBefore(const std::vector<CheckpointRef>& ckpts,
+                           WallClock cutoff) {
+  Lsn out = kInvalidLsn;
+  for (const CheckpointRef& c : ckpts) {
+    if (c.wall_clock <= cutoff) out = c.begin_lsn;
+  }
+  return out;
+}
+
+}  // namespace
+
 Status Database::EnforceRetention() {
-  WallClock now = clock_->NowMicros();
-  uint64_t retention = undo_interval_micros_.load();
-  if (now < retention) return Status::OK();
-  WallClock cutoff = now - retention;
+  const WallClock now = clock_->NowMicros();
+  const uint64_t retention = undo_interval_micros_.load();
 
-  // Newest checkpoint at or before the cutoff: everything older than it
-  // is outside the retention window.
-  Lsn candidate = kInvalidLsn;
-  for (const CheckpointRef& c : wal_->checkpoints()) {
-    if (c.wall_clock <= cutoff) candidate = c.begin_lsn;
-  }
-  if (candidate == kInvalidLsn) return Status::OK();
-
-  // Never truncate what crash recovery or an active transaction needs.
-  Lsn floor = master_checkpoint_lsn_.load();
-  Lsn oldest_active = txns_->OldestActiveFirstLsn();
-  if (oldest_active != kInvalidLsn && oldest_active < floor) {
-    floor = oldest_active;
-  }
-  {
-    std::lock_guard<std::mutex> g(anchors_mu_);
-    if (!snapshot_anchors_.empty() && *snapshot_anchors_.begin() < floor) {
-      floor = *snapshot_anchors_.begin();
+  if (wal_->archive() == nullptr) {
+    // No archive tier: truncation IS the horizon (seed behaviour).
+    // Never truncate what crash recovery, an active transaction or a
+    // live snapshot still needs.
+    if (now < retention) return Status::OK();
+    Lsn candidate =
+        NewestCheckpointBefore(wal_->checkpoints(), now - retention);
+    if (candidate == kInvalidLsn) return Status::OK();
+    Lsn floor = TruncationFloor();
+    Lsn target = std::min(candidate, floor);
+    if (target == kInvalidLsn || target <= wal_->start_lsn()) {
+      return Status::OK();
     }
+    REWIND_RETURN_IF_ERROR(wal_->TruncateBefore(target));
+    // Cached versions wholly before the truncation point can no longer
+    // serve any in-retention target; drop them so the store's budget
+    // goes to reachable history.
+    version_store_->TruncateBefore(target);
+    return Status::OK();
   }
-  Lsn target = candidate < floor ? candidate : floor;
-  if (target <= wal_->start_lsn()) return Status::OK();
-  REWIND_RETURN_IF_ERROR(wal_->TruncateBefore(target));
-  // Cached versions wholly before the truncation point can no longer
-  // serve any in-retention target; drop them so the store's budget
-  // goes to reachable history.
-  version_store_->TruncateBefore(target);
+
+  // Archive tier on: the active log is bounded by seal-then-truncate up
+  // to the truncation floor (the AS OF horizon is unaffected -- reads
+  // below the cut fall through to the archive)...
+  REWIND_RETURN_IF_ERROR(TrimActiveWal());
+
+  // ...and the HORIZON is enforced on the archive instead: drop sealed
+  // segments wholly older than the archive retention window, but never
+  // past a pin (TruncationFloor includes the oldest live snapshot).
+  const uint64_t archive_retention = opts_.archive_retention_micros != 0
+                                         ? opts_.archive_retention_micros
+                                         : retention;
+  if (now < archive_retention) return Status::OK();
+  Lsn drop = NewestCheckpointBefore(wal_->checkpoints(),
+                                    now - archive_retention);
+  if (drop == kInvalidLsn) return Status::OK();
+  const Lsn floor = TruncationFloor();
+  if (floor != kInvalidLsn) drop = std::min(drop, floor);
+  REWIND_RETURN_IF_ERROR(wal_->DropArchiveBefore(drop));
+  // Only now is the history below `drop` truly unreachable.
+  version_store_->TruncateBefore(drop);
   return Status::OK();
 }
 
@@ -662,7 +829,10 @@ void Database::StartCheckpointer() {
           g, std::chrono::microseconds(opts_.checkpoint_interval_micros));
       if (stop_checkpointer_) break;
       g.unlock();
-      Status s = Checkpoint();
+      // Fuzzy: the background cadence must never drain the pool or
+      // stall writers; retention (and with it active-log trimming)
+      // rides along.
+      Status s = FuzzyCheckpoint();
       (void)s;
       s = EnforceRetention();
       (void)s;

@@ -39,6 +39,15 @@ namespace rewinddb {
 
 class Table;
 
+/// Default for DatabaseOptions::checkpoint_interval_bytes: the
+/// REWINDDB_CHECKPOINT_INTERVAL_BYTES environment variable, else 0
+/// (byte-triggered checkpoints off).
+uint64_t DefaultCheckpointIntervalBytes();
+
+/// True when the REWINDDB_ARCHIVE environment variable asks for the
+/// archive tier (any non-empty value except "0").
+bool DefaultArchiveEnabled();
+
 struct DatabaseOptions {
   /// Buffer pool size in pages.
   size_t buffer_pool_pages = 2048;
@@ -69,8 +78,31 @@ struct DatabaseOptions {
   uint64_t wal_flush_interval_micros = 2'000;
   bool verify_checksums = true;
   uint64_t lock_timeout_micros = 1'000'000;
-  /// Background checkpoint cadence; 0 = manual checkpoints only.
+  /// Background checkpoint cadence; 0 = manual checkpoints only. The
+  /// background thread takes FUZZY checkpoints (writers never drained)
+  /// and runs retention enforcement after each one.
   uint64_t checkpoint_interval_micros = 0;
+  /// Fuzzy-checkpoint trigger by WAL volume: when this many log bytes
+  /// accumulate since the last checkpoint, the committing thread takes
+  /// a fuzzy checkpoint (and, with the archive tier on, archives and
+  /// trims the active log -- the bounded-log steady state). 0 disables
+  /// the byte trigger. The default honours the
+  /// REWINDDB_CHECKPOINT_INTERVAL_BYTES environment variable (how CI
+  /// forces multiple checkpoints across the whole suite).
+  uint64_t checkpoint_interval_bytes = DefaultCheckpointIntervalBytes();
+  /// WAL archive tier directory. "auto" (the default) enables the tier
+  /// at "<dir>/archive" iff the REWINDDB_ARCHIVE environment variable
+  /// is set; "" disables it explicitly (truncation then drops history,
+  /// the pre-archive behaviour); any other value is used as the archive
+  /// directory. With the tier on, retention becomes archive-then-
+  /// truncate and AS OF reaches transparently into archived history.
+  std::string archive_dir = "auto";
+  /// Target payload bytes per sealed archive segment.
+  uint64_t archive_segment_bytes = 4ull << 20;
+  /// How long ARCHIVED log is retained (the long-horizon AS OF window).
+  /// 0 = follow undo_interval_micros. Only meaningful with the archive
+  /// tier on; segments pinned by a live snapshot are never dropped.
+  uint64_t archive_retention_micros = 0;
   /// Worker threads for parallel replay: crash-recovery redo/undo and
   /// snapshot background undo run a dispatcher that partitions log
   /// records across this many workers (redo by page, undo by loser
@@ -91,6 +123,12 @@ struct RecoveryStats {
   uint64_t analysis_micros = 0;
   uint64_t redo_micros = 0;
   uint64_t undo_micros = 0;
+  /// LSN the analysis scan started at: the last completed checkpoint's
+  /// begin record (the log's oldest available byte only when no
+  /// checkpoint exists). What bounds recovery time in steady state.
+  Lsn analysis_start_lsn = kInvalidLsn;
+  /// Records the analysis scan decoded (analysis_start_lsn -> end).
+  uint64_t analysis_records = 0;
   /// Records the redo dispatcher handed to workers (after DPT filter).
   uint64_t redo_records = 0;
   uint64_t loser_transactions = 0;
@@ -168,18 +206,36 @@ class Database {
   Status DropIndex(Transaction* txn, const std::string& index_name);
 
   // ------------------------- maintenance -----------------------------
-  /// Fuzzy checkpoint: wall-clock-stamped begin/end records, dirty page
-  /// flush, master record update. Bounds both crash recovery and as-of
-  /// snapshot recovery (section 5.1's "recovery starts from the
-  /// checkpoint nearest to the SplitLSN").
+  /// SHARP checkpoint: wall-clock-stamped begin/end records, full dirty
+  /// page flush, master record update. After it the data file holds
+  /// every pre-checkpoint change -- what snapshot creation (section
+  /// 5.2's "redo needs no page reads") and backup rely on. Drains the
+  /// buffer pool's dirty set, so prefer FuzzyCheckpoint() for routine
+  /// log bounding.
   Status Checkpoint();
+
+  /// FUZZY checkpoint (taken without blocking writers): begin/end
+  /// records carrying the active-transaction table and the dirty page
+  /// table, no wholesale page flush -- only pages dirty since before
+  /// the PREVIOUS checkpoint are written back, so the redo floor keeps
+  /// advancing (the classic two-checkpoint rule) while the pool stays
+  /// warm. Crash recovery's analysis starts at the resulting master
+  /// checkpoint. With the archive tier on, also archives + trims the
+  /// active log up to the new truncation floor. Triggered by
+  /// checkpoint_interval_bytes, the SQL CHECKPOINT statement, and the
+  /// background checkpointer.
+  Status FuzzyCheckpoint();
 
   /// ALTER DATABASE SET UNDO_INTERVAL.
   Status SetUndoInterval(uint64_t micros);
   uint64_t undo_interval_micros() const { return undo_interval_micros_; }
 
-  /// Truncate log older than the retention period (keeping everything
-  /// crash recovery or active transactions still need).
+  /// Enforce the retention policy (section 4.3). Without the archive
+  /// tier: truncate log older than the retention period (keeping
+  /// everything crash recovery, active transactions or live snapshots
+  /// still need). With the archive tier: seal-then-truncate the active
+  /// log up to the truncation floor, then drop ARCHIVED segments older
+  /// than archive_retention (never past a live snapshot's pin).
   Status EnforceRetention();
 
   // ------------------------ engine internals -------------------------
@@ -249,6 +305,24 @@ class Database {
   /// its ABORT record. Thread-safe: logical undo re-latches trees per
   /// record.
   Status UndoLoser(TxnId id, Lsn last_lsn);
+  /// Shared body of Checkpoint()/FuzzyCheckpoint(); serialized on
+  /// checkpoint_serial_mu_ so begin/end pairs never interleave in the
+  /// log.
+  Status CheckpointImpl(bool fuzzy);
+  /// Byte-triggered fuzzy checkpoint (called from Commit); claims an
+  /// atomic flag so exactly one committer pays for it.
+  void MaybeAutoCheckpoint();
+  /// Oldest LSN the active log must keep: min of the last checkpoint's
+  /// redo floor, the oldest active transaction's first record and the
+  /// oldest live snapshot's pin.
+  Lsn TruncationFloor();
+  /// Archive-then-truncate the active log up to TruncationFloor()
+  /// (no-op without the archive tier -- truncation would destroy the
+  /// AS OF horizon).
+  Status TrimActiveWal();
+  /// Resolve opts_.archive_dir ("auto"/""/path) to the directory the
+  /// WAL should archive into; empty = tier off.
+  std::string ResolveArchiveDir() const;
   void StartCheckpointer();
   void StopCheckpointer();
 
@@ -278,6 +352,22 @@ class Database {
   std::atomic<uint64_t> undo_interval_micros_;
   std::atomic<uint32_t> next_object_id_{1};
   std::atomic<Lsn> master_checkpoint_lsn_{kInvalidLsn};
+  /// Min rec_lsn across the last checkpoint's DPT (== its begin LSN
+  /// when the DPT was empty): where redo would have to start, i.e. the
+  /// checkpoint's contribution to the truncation floor. kInvalidLsn
+  /// until the first checkpoint this process lifetime (TruncationFloor
+  /// then falls back to the master checkpoint, which is exact for the
+  /// sharp checkpoint a clean shutdown wrote).
+  std::atomic<Lsn> checkpoint_redo_floor_{kInvalidLsn};
+  /// wal next_lsn at the last checkpoint: the byte trigger's baseline.
+  std::atomic<Lsn> checkpoint_wal_mark_{0};
+  /// Claim flag so one committer at a time pays for the byte-triggered
+  /// checkpoint.
+  std::atomic<bool> auto_checkpoint_running_{false};
+  /// Serializes checkpoint begin/end pairs (manual, byte-triggered,
+  /// background, snapshot-creation). Ordered BEFORE every other engine
+  /// lock; nothing is held when acquiring it.
+  std::mutex checkpoint_serial_mu_;
   bool recovered_from_crash_ = false;
   RecoveryStats recovery_stats_;
   bool closed_ = false;

@@ -21,7 +21,7 @@ Lsn PageOps::AppendChained(Transaction* txn, PageGuard& page,
                            LogRecord* rec) {
   PageHeader* h = Header(page.mutable_data());
   rec->txn_id = txn != nullptr ? txn->id : kInvalidTxnId;
-  rec->prev_lsn = txn != nullptr ? txn->last_lsn : kInvalidLsn;
+  rec->prev_lsn = txn != nullptr ? txn->last_lsn.load() : kInvalidLsn;
   rec->is_system = txn != nullptr && txn->is_system;
   rec->prev_page_lsn = h->page_lsn;
   rec->prev_fpi_lsn = h->last_fpi_lsn;
@@ -114,7 +114,7 @@ Status PageOps::LogFormat(Transaction* txn, PageGuard& page, PageId id,
   rec.fmt_type = static_cast<uint8_t>(type);
   rec.fmt_level = level;
   rec.txn_id = txn != nullptr ? txn->id : kInvalidTxnId;
-  rec.prev_lsn = txn != nullptr ? txn->last_lsn : kInvalidLsn;
+  rec.prev_lsn = txn != nullptr ? txn->last_lsn.load() : kInvalidLsn;
   rec.is_system = txn != nullptr && txn->is_system;
   rec.prev_page_lsn = prev_page;
   rec.prev_fpi_lsn = prev_fpi;
@@ -138,7 +138,7 @@ Status PageOps::LogPreformat(Transaction* txn, PageGuard& page,
   rec.page_id = Header(page.data())->page_id;
   rec.tree_id = ih->tree_id;
   rec.txn_id = txn != nullptr ? txn->id : kInvalidTxnId;
-  rec.prev_lsn = txn != nullptr ? txn->last_lsn : kInvalidLsn;
+  rec.prev_lsn = txn != nullptr ? txn->last_lsn.load() : kInvalidLsn;
   rec.is_system = txn != nullptr && txn->is_system;
   // Splice the chains: the preformat's predecessor is the last record
   // of the page's previous incarnation (paper figure 2).

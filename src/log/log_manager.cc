@@ -3,10 +3,16 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#if defined(__linux__)
+#include <linux/falloc.h>
+#endif
+
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include "common/coding.h"
+#include "wal/archive.h"
 
 namespace rewinddb {
 
@@ -23,17 +29,20 @@ LogManager::~LogManager() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status LogManager::WriteHeader() {
+Status LogManager::WriteHeaderAt(int fd, Lsn start) {
   char hdr[kFirstLsn];
   memset(hdr, 0, sizeof(hdr));
   uint64_t magic = kLogMagic;
   memcpy(hdr, &magic, 8);
-  Lsn start = start_lsn_.load();
   memcpy(hdr + 8, &start, 8);
-  if (::pwrite(fd_, hdr, sizeof(hdr), 0) != static_cast<ssize_t>(sizeof(hdr))) {
+  if (::pwrite(fd, hdr, sizeof(hdr), 0) != static_cast<ssize_t>(sizeof(hdr))) {
     return Status::IoError("log header write: " + std::string(strerror(errno)));
   }
   return Status::OK();
+}
+
+Status LogManager::WriteHeader() {
+  return WriteHeaderAt(fd_, start_lsn_.load());
 }
 
 Result<std::unique_ptr<LogManager>> LogManager::Create(const std::string& path,
@@ -256,8 +265,21 @@ LogFlushStats LogManager::flush_stats() const {
   return out;
 }
 
+Lsn LogManager::oldest_available_lsn() const {
+  const Lsn start = start_lsn_.load();
+  if (archive_ == nullptr) return start;
+  const Lsn oldest = archive_->oldest_lsn();
+  const Lsn hw = archive_->high_water();
+  // The archive extends the horizon only while contiguous with the
+  // active log (archive-then-truncate keeps hw >= start; a gap would
+  // mean bytes in (hw, start) are gone for good).
+  if (oldest == kInvalidLsn || hw < start) return start;
+  return std::min(oldest, start);
+}
+
 Result<LogRecord> LogManager::ReadRecord(Lsn lsn, size_t* encoded_size) {
-  if (lsn < start_lsn_.load()) {
+  if (lsn < start_lsn_.load() &&
+      (archive_ == nullptr || !archive_->Covers(lsn))) {
     return Status::OutOfRange(
         "log record " + std::to_string(lsn) +
         " is older than the retention period (truncated)");
@@ -302,19 +324,66 @@ Result<std::shared_ptr<std::string>> LogManager::FetchBlock(uint64_t idx) {
       return it->second.block;
     }
   }
-  // Miss: read from the device. With the cache disabled this is the
-  // whole story -- straight to the file, nothing retained.
+  // Miss: materialize the block from the device. Without an archive
+  // (or for blocks wholly at/above the archive high water mark) this is
+  // one pread of the active file. A block below the high water mark is
+  // composed from up to three sources at their original offsets:
+  // the file header prefix [0, kFirstLsn) for block 0, archived bytes
+  // for the range the archive covers, and the active file for the
+  // suffix at/above the high water mark (which is never hole-punched).
+  // A front that fell off even the archive horizon stays zeroed --
+  // record reads there are rejected by ReadRecord's range guard before
+  // they can touch it.
   uint64_t gen_before = flush_gen_.load(std::memory_order_acquire);
   auto block = std::make_shared<std::string>();
-  block->resize(kBlockSize);
-  off_t offset = static_cast<off_t>(idx) * kBlockSize;
-  ssize_t n = ::pread(fd_, block->data(), kBlockSize, offset);
-  if (n < 0) {
-    return Status::IoError("log block read: " + std::string(strerror(errno)));
+  block->assign(kBlockSize, '\0');
+  const Lsn base = static_cast<Lsn>(idx) * kBlockSize;
+  const Lsn block_end = base + kBlockSize;
+  Lsn arch_oldest = kInvalidLsn;
+  Lsn arch_hw = 0;
+  if (archive_ != nullptr) {
+    arch_oldest = archive_->oldest_lsn();
+    if (arch_oldest != kInvalidLsn) arch_hw = archive_->high_water();
   }
-  block->resize(static_cast<size_t>(n));
-  if (disk_ != nullptr) disk_->Access(static_cast<uint64_t>(offset),
-                                      static_cast<uint64_t>(n));
+  size_t valid_end = 0;  // bytes [0, valid_end) of the block materialized
+  if (arch_hw > base && arch_oldest < block_end) {
+    const Lsn from = std::max(base, arch_oldest);
+    const Lsn to = std::min(block_end, arch_hw);
+    if (to > from) {
+      REWIND_RETURN_IF_ERROR(
+          archive_->ReadBytes(from, to - from, block->data() + (from - base)));
+      valid_end = to - base;
+    }
+  }
+  if (base < kFirstLsn) {
+    // The log header lives only in the active file (never archived,
+    // never punched).
+    const size_t n_hdr = std::min<Lsn>(block_end, kFirstLsn) - base;
+    if (::pread(fd_, block->data() + 0, n_hdr, static_cast<off_t>(base)) !=
+        static_cast<ssize_t>(n_hdr)) {
+      return Status::IoError("log header block read: " +
+                             std::string(strerror(errno)));
+    }
+    valid_end = std::max(valid_end, n_hdr);
+  }
+  const Lsn file_from = arch_hw > base ? std::min(block_end, arch_hw) : base;
+  if (file_from < block_end) {
+    ssize_t n = ::pread(fd_, block->data() + (file_from - base),
+                        block_end - file_from, static_cast<off_t>(file_from));
+    if (n < 0) {
+      return Status::IoError("log block read: " +
+                             std::string(strerror(errno)));
+    }
+    if (disk_ != nullptr && n > 0) {
+      disk_->Access(file_from, static_cast<uint64_t>(n));
+    }
+    if (n > 0) {
+      valid_end =
+          std::max(valid_end, static_cast<size_t>(file_from - base) +
+                                  static_cast<size_t>(n));
+    }
+  }
+  block->resize(valid_end);
   if (stats_ != nullptr) stats_->log_read_misses++;
   // A COMPLETE block of an append-only log is immutable, always safe
   // to cache. A SHORT (last) block may be extended by a concurrent
@@ -394,7 +463,7 @@ std::vector<CheckpointRef> LogManager::checkpoints() const {
   return checkpoints_;
 }
 
-Status LogManager::TruncateBefore(Lsn lsn) {
+Status LogManager::TruncateBefore(Lsn lsn, bool reclaim) {
   Lsn cur = start_lsn_.load();
   if (lsn <= cur) return Status::OK();
   {
@@ -404,13 +473,58 @@ Status LogManager::TruncateBefore(Lsn lsn) {
     }
   }
   start_lsn_.store(lsn);
-  {
-    std::lock_guard<std::mutex> g(ckpt_mu_);
-    while (!checkpoints_.empty() && checkpoints_.front().begin_lsn < lsn) {
-      checkpoints_.erase(checkpoints_.begin());
+  PruneCheckpointRefs();
+  REWIND_RETURN_IF_ERROR(WriteHeader());
+#if defined(__linux__) && defined(FALLOC_FL_PUNCH_HOLE)
+  if (reclaim) {
+    // Every truncated byte is sealed in the archive (the caller's
+    // contract), so give the file blocks back to the filesystem. The
+    // header's 4 KiB block is always kept; readers only touch the file
+    // at/above the archive high water mark, which is >= lsn here.
+    constexpr off_t kAlign = 4096;
+    const off_t from = kAlign;
+    const off_t to = static_cast<off_t>(lsn / kAlign) * kAlign;
+    if (to > from) {
+      // Best effort: filesystems without punch support keep the bytes;
+      // the logical truncation above already hides them.
+      (void)::fallocate(fd_, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                        from, to - from);
     }
   }
-  return WriteHeader();
+#else
+  (void)reclaim;
+#endif
+  return Status::OK();
+}
+
+void LogManager::PruneCheckpointRefs() {
+  // Keep refs as long as their LSN is still resolvable through EITHER
+  // tier: SplitLSN search and snapshot analysis need them for
+  // long-horizon AS OF targets whose log lives only in the archive.
+  const Lsn floor = oldest_available_lsn();
+  std::lock_guard<std::mutex> g(ckpt_mu_);
+  while (!checkpoints_.empty() && checkpoints_.front().begin_lsn < floor) {
+    checkpoints_.erase(checkpoints_.begin());
+  }
+}
+
+void LogManager::PrependCheckpoints(const std::vector<CheckpointRef>& refs) {
+  if (refs.empty()) return;
+  std::lock_guard<std::mutex> g(ckpt_mu_);
+  checkpoints_.insert(checkpoints_.begin(), refs.begin(), refs.end());
+}
+
+Status LogManager::ReadRaw(Lsn lsn, size_t n, char* dst) {
+  if (lsn < start_lsn_.load() ||
+      lsn + n > flushed_lsn_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("raw log read outside the flushed range");
+  }
+  ssize_t r = ::pread(fd_, dst, n, static_cast<off_t>(lsn));
+  if (r != static_cast<ssize_t>(n)) {
+    return Status::IoError("raw log read: " + std::string(strerror(errno)));
+  }
+  if (disk_ != nullptr) disk_->Access(lsn, n);
+  return Status::OK();
 }
 
 void LogManager::DropCache() {

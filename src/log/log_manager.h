@@ -6,6 +6,12 @@
 // paper's "each log IO is a potential stall" (section 6.2) and the
 // quantity figure 11 estimates.
 //
+// With an attached wal::ArchiveManager the same address space spans two
+// tiers: bytes at or above start_lsn live in the active file, bytes
+// below it in sealed archive segments holding the verbatim log bytes at
+// their original offsets. Block fetches compose the two transparently,
+// so every cursor consumer reads across the boundary unmodified.
+//
 // This class is NOT an application surface. Writers publish through
 // wal::Writer / wal::Wal (which owns the group-commit pipeline) and
 // readers iterate with wal::Cursor; record-level reads are private and
@@ -31,16 +37,13 @@
 namespace rewinddb {
 
 namespace wal {
+class ArchiveManager;
 class Cursor;
 class Wal;
 }  // namespace wal
 
-/// Reference to a checkpoint, kept in memory to narrow the SplitLSN
-/// search (section 5.1) and to pick log truncation points.
-struct CheckpointRef {
-  Lsn begin_lsn;
-  WallClock wall_clock;
-};
+// CheckpointRef (the checkpoint-directory entry) lives in
+// common/types.h so the archive tier can persist it per segment.
 
 /// Tuning knobs for the log core.
 struct LogManagerOptions {
@@ -112,9 +115,43 @@ class LogManager {
   /// Checkpoint directory (ascending LSN).
   std::vector<CheckpointRef> checkpoints() const;
 
-  /// Drop records below `lsn` (they become unavailable; reads fail with
-  /// OutOfRange). Used by the retention policy (section 4.3).
-  Status TruncateBefore(Lsn lsn);
+  /// Attach the archive tier: reads below start_lsn() transparently
+  /// fall back to sealed segments, so cursor walks cross the
+  /// active/archive boundary unmodified. The archive must outlive this
+  /// LogManager. Set once, before concurrent readers exist (wal::Wal
+  /// does this during Create/Open).
+  void set_archive(wal::ArchiveManager* archive) { archive_ = archive; }
+  wal::ArchiveManager* archive() const { return archive_; }
+
+  /// Oldest LSN any read can still resolve: the oldest archived byte
+  /// when the archive tier is attached and contiguous with the active
+  /// log, start_lsn() otherwise. This is the true AS OF horizon floor.
+  Lsn oldest_available_lsn() const;
+
+  /// Copy the flushed byte range [lsn, lsn + n) out of the active log
+  /// file (the archive sealer's source). The range must lie within
+  /// [start_lsn, flushed_lsn); flushed bytes are stable, so no lock is
+  /// held across the read.
+  Status ReadRaw(Lsn lsn, size_t n, char* dst);
+
+  /// Drop records below `lsn` from the ACTIVE log (they become
+  /// unavailable unless the archive tier covers them; bare reads then
+  /// fail with OutOfRange). Used by the retention policy (section 4.3).
+  /// With `reclaim` set the truncated file range is hole-punched so the
+  /// active log's disk footprint actually shrinks -- only pass it when
+  /// every truncated byte is sealed in the archive (wal::Wal does).
+  Status TruncateBefore(Lsn lsn, bool reclaim = false);
+
+  /// Re-prune the checkpoint directory down to oldest_available_lsn()
+  /// (after archive segments are dropped). Truncation with an attached
+  /// archive keeps refs into archived history so SplitLSN search still
+  /// narrows long-horizon AS OF targets.
+  void PruneCheckpointRefs();
+
+  /// Splice checkpoint refs recovered from the archive tier in front of
+  /// the directory (wal::Wal::Open's archive scan; all `refs` must
+  /// precede the existing entries).
+  void PrependCheckpoints(const std::vector<CheckpointRef>& refs);
 
   /// Bytes of live log (next_lsn - start_lsn): the space metric of
   /// figure 5.
@@ -143,6 +180,9 @@ class LogManager {
   void PrefetchBlock(Lsn lsn);
 
   Status WriteHeader();
+  /// Write a log-file header (magic + start LSN) at offset 0 of `fd`:
+  /// how Wal::ExportPrefix stamps a reconstructed standalone log.
+  static Status WriteHeaderAt(int fd, Lsn start);
   Status FlushLocked(Lsn target);
   /// Fetch the 32 KiB block with index `idx` through the cache.
   Result<std::shared_ptr<std::string>> FetchBlock(uint64_t idx);
@@ -159,6 +199,9 @@ class LogManager {
   DiskModel* disk_;
   IoStats* stats_;
   const Options opts_;
+  /// Archive tier for reads below start_lsn_; null when archiving is
+  /// off (reads below start_lsn_ then fail with OutOfRange).
+  wal::ArchiveManager* archive_ = nullptr;
 
   mutable std::mutex append_mu_;
   std::string tail_;          // unflushed bytes

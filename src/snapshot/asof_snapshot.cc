@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "btree/btree.h"
 #include "engine/read_core.h"
@@ -168,8 +169,10 @@ Status AsOfSnapshot::Recover() {
   // Analysis (section 5.2): find transactions in flight at the
   // SplitLSN. Start one checkpoint earlier than the one preceding the
   // split so a split landing inside a checkpoint window still sees the
-  // full active-transaction table.
-  Lsn analysis_start = log->start_lsn();
+  // full active-transaction table. The fallback is the oldest byte
+  // EITHER log tier retains: a long-horizon mount whose split lives in
+  // the archive scans archived history through the same cursor.
+  Lsn analysis_start = log->oldest_lsn();
   {
     std::vector<CheckpointRef> ckpts = log->checkpoints();
     int newest = -1;
@@ -184,6 +187,7 @@ Status AsOfSnapshot::Recover() {
   Clock* clock = primary_->clock();
   uint64_t t_analysis = clock->NowMicros();
   std::unordered_map<TxnId, Lsn> att;
+  std::unordered_set<TxnId> ended;
   {
     wal::Cursor cur = log->OpenCursor();
     REWIND_RETURN_IF_ERROR(cur.SeekTo(analysis_start));
@@ -191,11 +195,16 @@ Status AsOfSnapshot::Recover() {
       const LogRecord& rec = cur.record();
       if (rec.type == LogType::kCheckpointEnd) {
         for (const AttEntry& e : rec.att) {
+          // Never resurrect a transaction whose COMMIT/ABORT the scan
+          // already passed: a commit can land between the checkpoint's
+          // begin record and the end record's ATT capture.
+          if (ended.count(e.txn_id) != 0) continue;
           if (att.find(e.txn_id) == att.end()) att[e.txn_id] = e.last_lsn;
         }
       } else if (rec.txn_id != kInvalidTxnId) {
         if (rec.type == LogType::kCommit || rec.type == LogType::kAbort) {
           att.erase(rec.txn_id);
+          ended.insert(rec.txn_id);
         } else {
           att[rec.txn_id] = cur.lsn();
         }

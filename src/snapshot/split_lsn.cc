@@ -10,9 +10,12 @@ Result<SplitPoint> FindSplitPoint(wal::Wal* log, WallClock target,
 
   // Narrow with the checkpoint directory: scan from the newest
   // checkpoint at or before the target time (checkpoints carry
-  // wall-clock stamps precisely for this).
+  // wall-clock stamps precisely for this). The directory spans BOTH log
+  // tiers -- refs into archived history survive active-log truncation
+  // -- so a long-horizon target narrows just like a recent one, and the
+  // cursor below reads across the tier boundary transparently.
   const std::vector<CheckpointRef> ckpts = log->checkpoints();
-  Lsn scan_start = log->start_lsn();
+  Lsn scan_start = log->oldest_lsn();
   Lsn ckpt_before = kInvalidLsn;
   bool target_before_all_ckpts = !ckpts.empty();
   for (const CheckpointRef& c : ckpts) {
@@ -72,7 +75,7 @@ Result<SplitPoint> FindSplitPoint(wal::Wal* log, WallClock target,
   out.split_lsn = split;
   out.boundary_time = boundary;
   out.checkpoint_lsn =
-      last_ckpt_seen != kInvalidLsn ? last_ckpt_seen : log->start_lsn();
+      last_ckpt_seen != kInvalidLsn ? last_ckpt_seen : log->oldest_lsn();
   return out;
 }
 

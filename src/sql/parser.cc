@@ -108,6 +108,11 @@ class Parser {
     if (Accept("ALTER")) return AlterDatabase();
     if (Accept("FLASHBACK")) return Flashback();
     if (Accept("SET")) return SetCommitMode();
+    if (Accept("CHECKPOINT")) {
+      SqlCommand cmd;
+      cmd.kind = SqlCommand::Kind::kCheckpoint;
+      return cmd;
+    }
     if (Accept("DROP")) {
       if (Accept("DATABASE")) return DropNamed(SqlCommand::Kind::kDropDatabase);
       if (Accept("TABLE")) return DropNamed(SqlCommand::Kind::kDropTable);

@@ -5,6 +5,7 @@
 //   DROP DATABASE <snap>
 //   FLASHBACK TRANSACTION <txn-id>
 //   SET COMMIT_MODE = SYNC|GROUP|ASYNC|NONE
+//   CHECKPOINT
 //
 // plus convenience DDL so examples read naturally:
 //
@@ -34,6 +35,10 @@ struct SqlCommand {
     kDropTable,
     kFlashback,
     kSetCommitMode,
+    /// CHECKPOINT: take a fuzzy checkpoint now (bounds crash-recovery
+    /// analysis; with the archive tier on, also archives + trims the
+    /// active log).
+    kCheckpoint,
   };
 
   Kind kind;

@@ -43,6 +43,10 @@ Result<std::string> SqlSession::Execute(const std::string& sql) {
       return std::string("Commit mode set to ") +
              CommitModeName(cmd.commit_mode);
     }
+    case SqlCommand::Kind::kCheckpoint: {
+      REWIND_RETURN_IF_ERROR(conn_->FuzzyCheckpoint());
+      return std::string("Checkpoint complete");
+    }
   }
   return Status::InvalidArgument("unhandled statement");
 }

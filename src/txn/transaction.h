@@ -2,6 +2,7 @@
 #ifndef REWINDDB_TXN_TRANSACTION_H_
 #define REWINDDB_TXN_TRANSACTION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -26,10 +27,14 @@ struct Transaction {
   TxnState state = TxnState::kActive;
   /// LSN of the first published record -- the BEGIN record, which the
   /// writer stages at Begin and publishes together with the first
-  /// update (log-retention floor for active txns).
-  Lsn first_lsn = kInvalidLsn;
-  /// LSN of the most recent record (head of the prevLSN chain).
-  Lsn last_lsn = kInvalidLsn;
+  /// update (log-retention floor for active txns). Atomic: written by
+  /// the owning thread as it publishes, read cross-thread by fuzzy
+  /// checkpoints (ActiveTransactions) and the retention floor
+  /// (OldestActiveFirstLsn) while the owner keeps running.
+  std::atomic<Lsn> first_lsn{kInvalidLsn};
+  /// LSN of the most recent record (head of the prevLSN chain). Same
+  /// cross-thread read contract as first_lsn.
+  std::atomic<Lsn> last_lsn{kInvalidLsn};
   /// System transactions wrap B-tree structure modifications and page
   /// (de)allocations: short, committed within the operation, and undone
   /// *physically* during recovery (their pages cannot have been touched

@@ -1,6 +1,13 @@
 #include "wal/wal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdint>
+#include <cstring>
 
 #include "wal/wal_writer.h"
 
@@ -26,6 +33,7 @@ Result<std::unique_ptr<Wal>> Wal::Create(const std::string& path,
       std::unique_ptr<LogManager> core,
       LogManager::Create(path, disk, stats, CoreOptions(opts)));
   auto w = std::unique_ptr<Wal>(new Wal(std::move(core), opts));
+  REWIND_RETURN_IF_ERROR(w->InitArchive());
   w->StartFlusher();
   return w;
 }
@@ -37,8 +45,149 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
       std::unique_ptr<LogManager> core,
       LogManager::Open(path, disk, stats, CoreOptions(opts)));
   auto w = std::unique_ptr<Wal>(new Wal(std::move(core), opts));
+  REWIND_RETURN_IF_ERROR(w->InitArchive());
   w->StartFlusher();
   return w;
+}
+
+Status Wal::InitArchive() {
+  if (opts_.archive_dir.empty()) return Status::OK();
+  ArchiveOptions ao;
+  ao.segment_bytes = opts_.archive_segment_bytes;
+  // Archive IO is charged to the same disk/stats as the active log:
+  // segment reads are log reads from the horizon's point of view.
+  REWIND_ASSIGN_OR_RETURN(
+      archive_, ArchiveManager::Open(opts_.archive_dir, core_->disk_,
+                                     core_->stats_, ao));
+  const Lsn hw = archive_->high_water();
+  if (hw != kInvalidLsn && hw < core_->start_lsn()) {
+    // The active log was truncated while this archive was detached:
+    // bytes in (hw, start_lsn) are gone for good, so the retained run
+    // can never rejoin the log. Retire it and start fresh.
+    REWIND_RETURN_IF_ERROR(archive_->DropBefore(UINT64_MAX));
+  }
+  core_->set_archive(archive_.get());
+  // Rebuild checkpoint refs for archived history (LogManager::Open only
+  // scans the active file): SplitLSN search and snapshot analysis rely
+  // on them for AS OF targets whose log lives only in the archive. The
+  // refs come from the segment footers, so open cost is one small read
+  // per segment -- archived payloads are neither read nor decoded here
+  // (their checksums are verified lazily, by the first read that
+  // touches each segment).
+  std::vector<CheckpointRef> refs;
+  for (const CheckpointRef& r : archive_->recovered_checkpoints()) {
+    if (r.begin_lsn < core_->start_lsn()) refs.push_back(r);
+  }
+  core_->PrependCheckpoints(refs);
+  return Status::OK();
+}
+
+Status Wal::ArchiveUpTo(Lsn target) {
+  if (archive_ == nullptr) return Status::OK();
+  std::lock_guard<std::mutex> g(archive_seal_mu_);
+  Lsn from = archive_->high_water();
+  if (from == kInvalidLsn) from = core_->start_lsn();
+  const Lsn upto = std::min(target, core_->flushed_lsn());
+  if (upto <= from) return Status::OK();
+
+  // Chunk at record boundaries: walk the records once, cutting a
+  // segment whenever the next record would push the chunk past the
+  // target size (one oversized record becomes its own segment). The
+  // payload bytes themselves are copied raw -- they are flushed, so
+  // stable -- and the cursor guarantees first_lsn of every segment is a
+  // valid scan entry point. Each segment also carries the checkpoint
+  // refs of its range, so a later Open recovers the directory without
+  // decoding the segment.
+  const std::vector<CheckpointRef> all_ckpts = core_->checkpoints();
+  std::string buf;
+  auto seal = [&](Lsn a, Lsn b) -> Status {
+    buf.resize(b - a);
+    REWIND_RETURN_IF_ERROR(core_->ReadRaw(a, b - a, buf.data()));
+    std::vector<CheckpointRef> in_range;
+    for (const CheckpointRef& r : all_ckpts) {
+      if (r.begin_lsn >= a && r.begin_lsn < b) in_range.push_back(r);
+    }
+    return archive_->Seal(a, Slice(buf), in_range);
+  };
+  const uint64_t cap = archive_->segment_bytes();
+  Cursor cur(core_.get());
+  REWIND_RETURN_IF_ERROR(cur.SeekTo(from));
+  Lsn chunk_start = from;
+  Lsn chunk_end = from;
+  while (cur.Valid() && cur.lsn() < upto) {
+    const Lsn rec_end = cur.end_lsn();
+    if (rec_end > upto) break;  // never split a record across tiers
+    if (rec_end - chunk_start > cap && chunk_end > chunk_start) {
+      REWIND_RETURN_IF_ERROR(seal(chunk_start, chunk_end));
+      chunk_start = chunk_end;
+    }
+    chunk_end = rec_end;
+    REWIND_RETURN_IF_ERROR(cur.Next());
+  }
+  if (chunk_end > chunk_start) {
+    REWIND_RETURN_IF_ERROR(seal(chunk_start, chunk_end));
+  }
+  return Status::OK();
+}
+
+Status Wal::DropArchiveBefore(Lsn lsn) {
+  if (archive_ == nullptr) return Status::OK();
+  REWIND_RETURN_IF_ERROR(archive_->DropBefore(lsn));
+  core_->PruneCheckpointRefs();
+  return Status::OK();
+}
+
+Status Wal::ExportPrefix(const std::string& dest_path, Lsn cut,
+                         uint64_t* bytes_copied) {
+  const Lsn oldest = core_->oldest_available_lsn();
+  const Lsn active_start = core_->start_lsn();
+  const Lsn flushed_end = core_->flushed_lsn();
+  if (cut > flushed_end) {
+    return Status::InvalidArgument("export cut beyond the durable log");
+  }
+  int dst = ::open(dest_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (dst < 0) {
+    return Status::IoError("create exported log " + dest_path + ": " +
+                           strerror(errno));
+  }
+  Status s = LogManager::WriteHeaderAt(dst, oldest);
+  constexpr size_t kChunk = 1 << 20;
+  std::string buf;
+  buf.resize(kChunk);
+  Lsn pos = oldest;
+  while (s.ok() && pos < flushed_end) {
+    size_t want = static_cast<size_t>(
+        std::min<Lsn>(kChunk, flushed_end - pos));
+    // Chunks never straddle the tier boundary: below active_start the
+    // archive index serves the bytes, above it the active file does.
+    if (pos < active_start) {
+      want = static_cast<size_t>(
+          std::min<Lsn>(want, active_start - pos));
+      s = archive_->ReadBytes(pos, want, buf.data());
+    } else {
+      s = core_->ReadRaw(pos, want, buf.data());
+    }
+    if (!s.ok()) break;
+    if (::pwrite(dst, buf.data(), want, static_cast<off_t>(pos)) !=
+        static_cast<ssize_t>(want)) {
+      s = Status::IoError("exported log write: " +
+                          std::string(strerror(errno)));
+      break;
+    }
+    // The read side was charged by ReadBytes/ReadRaw; charge the write
+    // side too (the restore baseline pays for both directions).
+    if (core_->disk_ != nullptr) core_->disk_->Access(pos, want);
+    if (bytes_copied != nullptr) *bytes_copied += want;
+    pos += want;
+  }
+  if (s.ok() && ::ftruncate(dst, static_cast<off_t>(cut)) != 0) {
+    s = Status::IoError("cut exported log: " + std::string(strerror(errno)));
+  }
+  if (s.ok() && ::fdatasync(dst) != 0) {
+    s = Status::IoError("sync exported log: " + std::string(strerror(errno)));
+  }
+  ::close(dst);
+  return s;
 }
 
 Wal::~Wal() {

@@ -34,6 +34,7 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "log/log_manager.h"
+#include "wal/archive.h"
 #include "wal/commit_mode.h"
 #include "wal/wal_cursor.h"
 
@@ -56,6 +57,14 @@ struct WalOptions {
   /// (group waiters, backpressure, FlushTo/FlushAll); tests use 0 for
   /// deterministic crash loss.
   uint64_t flush_interval_micros = 2'000;
+  /// Directory for the archive tier. Empty disables archiving:
+  /// TruncateBefore then really drops history (the seed behaviour) and
+  /// ArchiveUpTo is a no-op. Non-empty: the Wal owns an ArchiveManager
+  /// there, reads below start_lsn() fall back to sealed segments, and
+  /// truncation hole-punches the active file once the range is sealed.
+  std::string archive_dir;
+  /// Target payload bytes per sealed archive segment.
+  uint64_t archive_segment_bytes = 4ull << 20;
 };
 
 /// Pipeline counters: the batch-size and fsync evidence the fig6 bench
@@ -126,13 +135,61 @@ class Wal {
 
   Lsn flushed_lsn() const { return core_->flushed_lsn(); }
   Lsn next_lsn() const { return core_->next_lsn(); }
+  /// Start of the ACTIVE log file (bytes below it live only in the
+  /// archive tier, if one is attached).
   Lsn start_lsn() const { return core_->start_lsn(); }
+  /// Oldest LSN any cursor can still resolve, across BOTH tiers -- the
+  /// true AS OF horizon floor (== start_lsn() without an archive).
+  Lsn oldest_lsn() const { return core_->oldest_available_lsn(); }
   std::vector<CheckpointRef> checkpoints() const {
     return core_->checkpoints();
   }
-  Status TruncateBefore(Lsn lsn) { return core_->TruncateBefore(lsn); }
+  /// Truncate the active log. When the archive tier has sealed the
+  /// whole range the truncated file bytes are also hole-punched, so the
+  /// active log's disk footprint shrinks (bounded-log steady state).
+  Status TruncateBefore(Lsn lsn) {
+    const Lsn hw =
+        archive_ != nullptr ? archive_->high_water() : kInvalidLsn;
+    const bool sealed = hw != kInvalidLsn && hw >= lsn;
+    return core_->TruncateBefore(lsn, /*reclaim=*/sealed);
+  }
+  /// Bytes in the ACTIVE log (next_lsn - start_lsn); add
+  /// ArchivedBytes() for the full history footprint (the honest fig5
+  /// space split).
   uint64_t LiveBytes() const { return core_->LiveBytes(); }
+  uint64_t ArchivedBytes() const {
+    return archive_ != nullptr ? archive_->archived_bytes() : 0;
+  }
   void DropCache() { core_->DropCache(); }
+
+  // ------------------------- archive tier ----------------------------
+
+  /// The archive tier, or nullptr when archiving is off.
+  ArchiveManager* archive() const { return archive_.get(); }
+
+  /// Seal flushed active-log bytes from the archive high water mark up
+  /// to min(target, flushed_lsn) into archive segments. Segments are
+  /// cut at record boundaries (a cursor drives the chunking), so any
+  /// segment's first_lsn is a valid forward-scan entry point. Safe to
+  /// call concurrently (internally serialized); no-op without an
+  /// archive. `target` must be a record boundary (callers pass
+  /// checkpoint LSNs or transaction first-LSNs).
+  Status ArchiveUpTo(Lsn target);
+
+  /// Archive retention: drop sealed segments wholly below `lsn` and
+  /// re-prune checkpoint refs that no tier can resolve anymore.
+  Status DropArchiveBefore(Lsn lsn);
+
+  /// Materialize a standalone log file at `dest_path` holding every
+  /// retained byte (archived segments first, via the archive index,
+  /// then the active range) with a proper header, truncated at `cut` --
+  /// the point-in-time restore log cut. The whole retained log is
+  /// copied before the truncation, matching the paper's baseline
+  /// ("initialization for the unused portion of transaction log" is
+  /// charged); `bytes_copied` reports that full volume. Flush to at
+  /// least `cut` first (RestoreToTime calls FlushAll).
+  Status ExportPrefix(const std::string& dest_path, Lsn cut,
+                      uint64_t* bytes_copied);
 
   WalStats stats() const;
 
@@ -154,8 +211,16 @@ class Wal {
   /// backpressure. Returns the LSN of the first spliced byte.
   Lsn PublishEncoded(Slice encoded, size_t records);
 
+  /// Attach (or create) the archive tier per opts_.archive_dir, rebuild
+  /// archived checkpoint refs, and retire a stale non-contiguous
+  /// archive run. Shared by Create/Open.
+  Status InitArchive();
+
   std::unique_ptr<LogManager> core_;
+  std::unique_ptr<ArchiveManager> archive_;
   const Options opts_;
+  /// Serializes sealers (ArchiveUpTo from checkpoints and retention).
+  std::mutex archive_seal_mu_;
 
   std::thread flusher_;
   std::mutex pipe_mu_;

@@ -21,6 +21,16 @@
 // treats a half-written final record. Random-access entry points
 // (SeekTo, Follow*) surface corruption instead -- a broken chain is
 // never benign.
+//
+// Tier transparency: LSNs below the active log's start_lsn resolve
+// through the WAL archive tier (sealed segments holding the same bytes
+// at the same offsets) when one is attached, so scans and chain walks
+// cross the active/archive boundary without the cursor -- or any of its
+// consumers -- knowing it exists. "Below the retention window" in the
+// contracts below means below wal::Wal::oldest_lsn(), the oldest byte
+// EITHER tier retains. A checksum-corrupt archived segment surfaces
+// Status::Corruption from the read that touches it, never a silent
+// short walk.
 #ifndef REWINDDB_WAL_WAL_CURSOR_H_
 #define REWINDDB_WAL_WAL_CURSOR_H_
 

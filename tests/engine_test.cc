@@ -382,6 +382,10 @@ TEST_F(EngineTest, RetentionKeepsRecentLog) {
   DatabaseOptions opts;
   opts.clock = &clock;
   opts.undo_interval_micros = 3600ULL * 1'000'000;  // 1 hour
+  // This asserts the truncation-is-the-horizon behaviour, so the
+  // archive tier must be off: with it on, EnforceRetention trims the
+  // active log eagerly (the horizon lives in the archive instead).
+  opts.archive_dir = "";
   Recreate(opts);
   Transaction* txn = db_->Begin();
   ASSERT_TRUE(db_->CreateTable(txn, "t", KvSchema()).ok());

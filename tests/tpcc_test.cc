@@ -3,6 +3,8 @@
 // query matching history.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <filesystem>
 
 #include "snapshot/asof_snapshot.h"
@@ -114,12 +116,22 @@ TEST_F(TpccTest, StockLevelCountsUnderThreshold) {
 }
 
 TEST_F(TpccTest, DriverRunsMixAndStaysConsistent) {
-  TpccDriver::RunStats stats =
-      TpccDriver::Run(tpcc_.get(), /*threads=*/2,
-                      /*duration_micros=*/700'000);
-  EXPECT_GT(stats.new_orders + stats.payments, 10u)
-      << "driver should make progress";
-  EXPECT_GT(stats.tpmc, 0.0);
+  // Under heavy instrumentation (TSan plus the CI variant that forces
+  // byte-triggered checkpoints + archival into every commit path) one
+  // 700 ms window can be mostly checkpoint work; widen the window
+  // instead of flaking -- the assertion is about progress, not rate.
+  uint64_t committed = 0;
+  double tpmc = 0.0;
+  for (int window = 0; window < 4; window++) {
+    TpccDriver::RunStats stats =
+        TpccDriver::Run(tpcc_.get(), /*threads=*/2,
+                        /*duration_micros=*/700'000);
+    committed += stats.new_orders + stats.payments;
+    tpmc = std::max(tpmc, stats.tpmc);
+    if (committed > 10u) break;
+  }
+  EXPECT_GT(committed, 10u) << "driver should make progress";
+  EXPECT_GT(tpmc, 0.0);
   EXPECT_TRUE(tpcc_->CheckConsistency().ok());
 }
 
