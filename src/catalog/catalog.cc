@@ -80,11 +80,9 @@ Status Catalog::Bootstrap(const TreeWriteContext& ctx, Transaction* txn) {
   return Status::OK();
 }
 
-namespace {
-std::string NameKey(const std::string& name) {
+std::string Catalog::NameKey(const std::string& name) {
   return EncodeKey({name}, 1);
 }
-}  // namespace
 
 Result<TableInfo> Catalog::GetTable(const std::string& name) const {
   BTree tree(kSysTablesRoot);

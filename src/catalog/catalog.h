@@ -47,6 +47,14 @@ class Catalog {
 
   explicit Catalog(BufferManager* buffers) : buffers_(buffers) {}
 
+  /// The B-tree key under which `name` is stored in either system
+  /// table. Exposed so DDL can take row locks on catalog entries: the
+  /// snapshot undo protocol requires catalog rows to obey the same
+  /// strict 2PL as user rows (a dropped name must stay locked until the
+  /// dropping transaction commits, or a concurrent CREATE of the same
+  /// name breaks the boundary-state invariant).
+  static std::string NameKey(const std::string& name);
+
   /// Format the system-table roots (database bootstrap; the allocator
   /// must hand out exactly pages 2 and 3).
   static Status Bootstrap(const TreeWriteContext& ctx, Transaction* txn);

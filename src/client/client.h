@@ -1,0 +1,127 @@
+// RewindDB C++ client: a blocking TCP client for the network front end
+// (src/server/), mirroring the api::Connection surface over the wire
+// protocol of src/net/wire.h.
+//
+//   auto c = *client::Client::Connect("127.0.0.1", port, "myapp");
+//   c->Execute("CREATE TABLE t (id INT64, v STRING, PRIMARY KEY (id))");
+//   c->Insert("t", {int64_t{1}, std::string("hello")});   // autocommit
+//   Row r = *c->Get("t", {int64_t{1}});
+//
+//   auto past = *c->AsOf(yesterday_micros);   // server-side handle
+//   c->Scan("t", ..., past.handle);           // read the past
+//   c->ReleaseView(past.handle);              // or just disconnect
+//
+// One Client is one server session: one socket, one request in flight.
+// It is NOT thread-safe; give each thread its own Client (that is the
+// point of a multi-user server).
+#ifndef REWINDDB_CLIENT_CLIENT_H_
+#define REWINDDB_CLIENT_CLIENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/wire.h"
+#include "wal/commit_mode.h"
+
+namespace rewinddb {
+namespace client {
+
+class Client {
+ public:
+  /// Dial the server and perform the HELLO handshake. An over-capacity
+  /// server answers with Status::kBusy, which is returned here.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port,
+      const std::string& client_name = "rewinddb-client");
+
+  /// Best-effort GOODBYE, then closes the socket. Server-side session
+  /// state (open transaction, view handles) dies with the session.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // ----------------------------- SQL ---------------------------------
+  struct ExecuteResult {
+    std::string message;
+    bool has_rowset = false;
+    net::Rowset rowset;
+  };
+  Result<ExecuteResult> Execute(const std::string& sql);
+
+  // ------------------------- transactions ----------------------------
+  /// Open the session's transaction; returns its server-side id.
+  Result<uint64_t> Begin();
+  /// Commit at the session default durability (SET COMMIT_MODE).
+  Status Commit();
+  /// Commit at an explicit durability level.
+  Status Commit(CommitMode mode);
+  Status Rollback();
+
+  // ------------------------------ DML --------------------------------
+  // Inside Begin()..Commit() these join the open transaction; outside,
+  // each call autocommits at the session default mode.
+  Status Insert(const std::string& table, const Row& row);
+  Status Update(const std::string& table, const Row& row);
+  Status Delete(const std::string& table, const Row& key_values);
+
+  // ------------------------------ reads ------------------------------
+  // `view` selects what to read: net::kLiveViewHandle (the live
+  // database, under the open transaction's locks if any) or a handle
+  // from AsOf()/OpenSnapshot().
+  Result<Row> Get(const std::string& table, const Row& key_values,
+                  uint64_t view = net::kLiveViewHandle);
+
+  struct ScanResult {
+    bool more = false;  // truncated by limit; continue past the last key
+    net::Rowset rowset;
+  };
+  /// Scan key range [lower, upper); nullopt bounds are open. limit 0
+  /// lets the server choose its response cap.
+  Result<ScanResult> Scan(const std::string& table,
+                          const std::optional<Row>& lower,
+                          const std::optional<Row>& upper,
+                          uint32_t limit = 0,
+                          uint64_t view = net::kLiveViewHandle);
+  Result<uint64_t> Count(const std::string& table,
+                         uint64_t view = net::kLiveViewHandle);
+
+  // --------------------------- time travel ---------------------------
+  struct ViewInfo {
+    uint64_t handle = 0;
+    uint64_t as_of = 0;  // snapshot boundary, microseconds
+  };
+  /// Mount an as-of snapshot server-side; the handle is session-scoped
+  /// and released by ReleaseView or session death.
+  Result<ViewInfo> AsOf(uint64_t micros);
+  /// Handle to a named snapshot (CREATE DATABASE ... AS SNAPSHOT).
+  Result<ViewInfo> OpenSnapshot(const std::string& name);
+  Status ReleaseView(uint64_t handle);
+
+  Result<net::Rowset> ListTables(uint64_t view = net::kLiveViewHandle);
+
+  Status Ping();
+
+  uint64_t session_id() const { return session_id_; }
+  const std::string& banner() const { return banner_; }
+
+ private:
+  Client(int fd) : fd_(fd) {}
+
+  /// Send one request, read one response; returns the response payload
+  /// (owned copy) on OK. IoError/Corruption poison the connection.
+  Result<std::string> RoundTrip(net::Op op, const std::string& payload);
+  Status SimpleCall(net::Op op, const std::string& payload);
+  Result<ViewInfo> ViewCall(net::Op op, const std::string& payload);
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  std::string banner_;
+  bool broken_ = false;  // a framing failure desynchronized the stream
+};
+
+}  // namespace client
+}  // namespace rewinddb
+
+#endif  // REWINDDB_CLIENT_CLIENT_H_

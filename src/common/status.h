@@ -54,6 +54,12 @@ class Status {
   static Status AlreadyExists(std::string msg = "") {
     return Status(Code::kAlreadyExists, std::move(msg));
   }
+  /// Rebuild a status from an already-validated code (wire decode,
+  /// message enrichment). A kOk code ignores the message.
+  static Status FromCode(Code code, std::string msg = "") {
+    if (code == Code::kOk) return OK();
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }

@@ -338,6 +338,20 @@ Status Database::RunRecovery() {
     }
     REWIND_RETURN_IF_ERROR(cur.Next());
   }
+  // A checkpoint ATT written by an older build can list a decided
+  // transaction whose completion record predates the analysis window
+  // (captured during its durability wait). Its chain head is then the
+  // COMMIT/ABORT record itself: drop it, or undo would walk past the
+  // completion record into committed history.
+  for (auto it = att.begin(); it != att.end();) {
+    REWIND_RETURN_IF_ERROR(cur.SeekToChain(it->second));
+    const LogType head = cur.record().type;
+    if (head == LogType::kCommit || head == LogType::kAbort) {
+      it = att.erase(it);
+    } else {
+      ++it;
+    }
+  }
   recovery_stats_.analysis_micros = clock_->NowMicros() - t0;
 
   const bool clean = att.empty() && dpt.empty();
@@ -527,6 +541,14 @@ Status Database::CreateTable(Transaction* txn, const std::string& name,
     return Status::InvalidArgument("schema needs a key prefix");
   }
   std::lock_guard<std::mutex> g(ddl_mu_);
+  // Catalog rows obey strict 2PL like user rows: without the row lock,
+  // a CREATE could re-insert a name whose DROP is still in flight,
+  // which breaks abort (the undo would collide) and the as-of snapshot
+  // boundary invariant (an in-flight delete whose key is present).
+  REWIND_RETURN_IF_ERROR(
+      locks_.Acquire(txn->id,
+                     RowLockKey(Catalog::kSysTablesRoot, Catalog::NameKey(name)),
+                     LockMode::kExclusive));
   if (catalog_->GetTable(name).ok()) {
     return Status::AlreadyExists("table '" + name + "' exists");
   }
@@ -541,6 +563,10 @@ Status Database::CreateTable(Transaction* txn, const std::string& name,
 
 Status Database::DropTable(Transaction* txn, const std::string& name) {
   std::lock_guard<std::mutex> g(ddl_mu_);
+  REWIND_RETURN_IF_ERROR(
+      locks_.Acquire(txn->id,
+                     RowLockKey(Catalog::kSysTablesRoot, Catalog::NameKey(name)),
+                     LockMode::kExclusive));
   REWIND_ASSIGN_OR_RETURN(TableInfo info, catalog_->GetTable(name));
   REWIND_ASSIGN_OR_RETURN(std::vector<IndexInfo> indexes,
                           catalog_->ListIndexesOf(info.table_id));
@@ -551,6 +577,9 @@ Status Database::DropTable(Transaction* txn, const std::string& name) {
   for (const IndexInfo& idx : indexes) {
     REWIND_RETURN_IF_ERROR(locks_.Acquire(txn->id, SchemaLockKey(idx.root),
                                           LockMode::kExclusive));
+    REWIND_RETURN_IF_ERROR(locks_.Acquire(
+        txn->id, RowLockKey(Catalog::kSysIndexesRoot, Catalog::NameKey(idx.name)),
+        LockMode::kExclusive));
   }
   // Erase catalog rows inside the user transaction (undoable, and what
   // as-of metadata queries rewind through); defer page deallocation.
@@ -569,6 +598,10 @@ Status Database::CreateIndex(Transaction* txn, const std::string& index_name,
                              const std::string& table_name,
                              const std::vector<std::string>& columns) {
   std::lock_guard<std::mutex> g(ddl_mu_);
+  REWIND_RETURN_IF_ERROR(locks_.Acquire(
+      txn->id,
+      RowLockKey(Catalog::kSysIndexesRoot, Catalog::NameKey(index_name)),
+      LockMode::kExclusive));
   if (catalog_->GetIndex(index_name).ok()) {
     return Status::AlreadyExists("index '" + index_name + "' exists");
   }
@@ -618,6 +651,10 @@ Status Database::CreateIndex(Transaction* txn, const std::string& index_name,
 
 Status Database::DropIndex(Transaction* txn, const std::string& index_name) {
   std::lock_guard<std::mutex> g(ddl_mu_);
+  REWIND_RETURN_IF_ERROR(locks_.Acquire(
+      txn->id,
+      RowLockKey(Catalog::kSysIndexesRoot, Catalog::NameKey(index_name)),
+      LockMode::kExclusive));
   REWIND_ASSIGN_OR_RETURN(IndexInfo info, catalog_->GetIndex(index_name));
   REWIND_RETURN_IF_ERROR(catalog_->EraseIndex(write_ctx(), txn, index_name));
   std::lock_guard<std::mutex> dg(deferred_mu_);
@@ -754,6 +791,11 @@ void Database::UnregisterSnapshotAnchor(Lsn anchor) {
   std::lock_guard<std::mutex> g(anchors_mu_);
   auto it = snapshot_anchors_.find(anchor);
   if (it != snapshot_anchors_.end()) snapshot_anchors_.erase(it);
+}
+
+size_t Database::SnapshotAnchorCount() {
+  std::lock_guard<std::mutex> g(anchors_mu_);
+  return snapshot_anchors_.size();
 }
 
 namespace {

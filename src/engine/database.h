@@ -287,6 +287,10 @@ class Database {
   /// enforcement never truncates past the oldest registered anchor.
   void RegisterSnapshotAnchor(Lsn anchor);
   void UnregisterSnapshotAnchor(Lsn anchor);
+  /// Number of currently registered anchors == open as-of snapshots.
+  /// The baseline signal SHOW STATS and the network tests use to prove
+  /// session teardown released every snapshot handle.
+  size_t SnapshotAnchorCount();
 
  private:
   friend class Table;

@@ -1,0 +1,280 @@
+#include "net/wire.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstring>
+
+namespace rewinddb {
+namespace net {
+
+namespace {
+/// Arity/width caps: a hostile peer must not make us reserve gigabytes
+/// from a 6-byte frame.
+constexpr uint16_t kMaxRowArity = 1024;
+constexpr uint16_t kMaxColumns = 1024;
+}  // namespace
+
+bool IsKnownOp(uint8_t op) {
+  return op >= static_cast<uint8_t>(Op::kHello) &&
+         op <= static_cast<uint8_t>(Op::kGoodbye);
+}
+
+// ------------------------- rowset codec -------------------------------
+
+void EncodeValue(const Value& v, std::string* dst) {
+  dst->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ColumnType::kInt32:
+      PutFixed32(dst, static_cast<uint32_t>(v.AsInt32()));
+      break;
+    case ColumnType::kInt64:
+      PutFixed64(dst, static_cast<uint64_t>(v.AsInt64()));
+      break;
+    case ColumnType::kDouble:
+      PutFixed64(dst, std::bit_cast<uint64_t>(v.AsDouble()));
+      break;
+    case ColumnType::kString:
+      PutLengthPrefixed(dst, Slice(v.AsString()));
+      break;
+  }
+}
+
+bool DecodeValue(Decoder* dec, Value* out) {
+  Slice tag;
+  if (!dec->GetBytes(1, &tag)) return false;
+  switch (static_cast<ColumnType>(tag.data()[0])) {
+    case ColumnType::kInt32: {
+      uint32_t v;
+      if (!dec->GetFixed32(&v)) return false;
+      *out = Value(static_cast<int32_t>(v));
+      return true;
+    }
+    case ColumnType::kInt64: {
+      uint64_t v;
+      if (!dec->GetFixed64(&v)) return false;
+      *out = Value(static_cast<int64_t>(v));
+      return true;
+    }
+    case ColumnType::kDouble: {
+      uint64_t v;
+      if (!dec->GetFixed64(&v)) return false;
+      *out = Value(std::bit_cast<double>(v));
+      return true;
+    }
+    case ColumnType::kString: {
+      Slice s;
+      if (!dec->GetLengthPrefixed(&s)) return false;
+      *out = Value(std::string(s.data(), s.size()));
+      return true;
+    }
+  }
+  return false;  // unknown tag
+}
+
+void EncodeWireRow(const Row& row, std::string* dst) {
+  PutFixed16(dst, static_cast<uint16_t>(row.size()));
+  for (const Value& v : row) EncodeValue(v, dst);
+}
+
+bool DecodeWireRow(Decoder* dec, Row* out) {
+  uint16_t n;
+  if (!dec->GetFixed16(&n)) return false;
+  if (n > kMaxRowArity) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint16_t i = 0; i < n; i++) {
+    Value v;
+    if (!DecodeValue(dec, &v)) return false;
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+void EncodeRowset(const Rowset& rs, std::string* dst) {
+  PutFixed16(dst, static_cast<uint16_t>(rs.columns.size()));
+  for (const WireColumn& c : rs.columns) {
+    PutLengthPrefixed(dst, Slice(c.name));
+    dst->push_back(static_cast<char>(c.type));
+  }
+  PutFixed32(dst, static_cast<uint32_t>(rs.rows.size()));
+  for (const Row& r : rs.rows) EncodeWireRow(r, dst);
+}
+
+bool DecodeRowset(Decoder* dec, Rowset* out) {
+  uint16_t ncols;
+  if (!dec->GetFixed16(&ncols)) return false;
+  if (ncols > kMaxColumns) return false;
+  out->columns.clear();
+  out->rows.clear();
+  for (uint16_t i = 0; i < ncols; i++) {
+    Slice name;
+    Slice tag;
+    if (!dec->GetLengthPrefixed(&name)) return false;
+    if (!dec->GetBytes(1, &tag)) return false;
+    uint8_t t = static_cast<uint8_t>(tag.data()[0]);
+    if (t < static_cast<uint8_t>(ColumnType::kInt32) ||
+        t > static_cast<uint8_t>(ColumnType::kString)) {
+      return false;
+    }
+    out->columns.push_back(
+        {std::string(name.data(), name.size()), static_cast<ColumnType>(t)});
+  }
+  uint32_t nrows;
+  if (!dec->GetFixed32(&nrows)) return false;
+  // Each row costs >= 2 bytes on the wire; a count that outruns the
+  // remaining bytes is garbage, not a huge result.
+  if (static_cast<uint64_t>(nrows) * 2 > dec->remaining()) return false;
+  out->rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; i++) {
+    Row r;
+    if (!DecodeWireRow(dec, &r)) return false;
+    out->rows.push_back(std::move(r));
+  }
+  return true;
+}
+
+// ------------------------- frame codec --------------------------------
+
+std::string EncodeRequest(Op op, uint64_t session_id,
+                          const std::string& payload) {
+  std::string body;
+  body.reserve(9 + payload.size());
+  body.push_back(static_cast<char>(op));
+  PutFixed64(&body, session_id);
+  body.append(payload);
+  std::string frame;
+  frame.reserve(4 + body.size());
+  PutFixed32(&frame, static_cast<uint32_t>(body.size()));
+  frame.append(body);
+  return frame;
+}
+
+std::string EncodeResponse(Op op, const Status& status,
+                           const std::string& payload) {
+  std::string body;
+  body.reserve(6 + status.message().size() + payload.size());
+  body.push_back(static_cast<char>(op));
+  body.push_back(static_cast<char>(status.code()));
+  PutLengthPrefixed(&body, Slice(status.message()));
+  body.append(payload);
+  std::string frame;
+  frame.reserve(4 + body.size());
+  PutFixed32(&frame, static_cast<uint32_t>(body.size()));
+  frame.append(body);
+  return frame;
+}
+
+Status ParseRequest(Slice body, Request* out, uint8_t* raw_op) {
+  if (raw_op != nullptr) *raw_op = 0;
+  Decoder dec(body);
+  Slice op_byte;
+  if (!dec.GetBytes(1, &op_byte)) {
+    return Status::InvalidArgument("truncated request: missing opcode");
+  }
+  uint8_t op = static_cast<uint8_t>(op_byte.data()[0]);
+  if (raw_op != nullptr) *raw_op = op;
+  if (!IsKnownOp(op)) {
+    return Status::NotSupported("unknown opcode " + std::to_string(op));
+  }
+  uint64_t sid;
+  if (!dec.GetFixed64(&sid)) {
+    return Status::InvalidArgument("truncated request: missing session id");
+  }
+  out->op = static_cast<Op>(op);
+  out->session_id = sid;
+  Slice rest;
+  dec.GetBytes(dec.remaining(), &rest);
+  out->payload = rest;
+  return Status::OK();
+}
+
+Status ParseResponse(Slice body, ResponseView* out) {
+  Decoder dec(body);
+  Slice op_byte, code_byte, msg;
+  if (!dec.GetBytes(1, &op_byte) || !dec.GetBytes(1, &code_byte) ||
+      !dec.GetLengthPrefixed(&msg)) {
+    return Status::Corruption("truncated response header");
+  }
+  uint8_t op = static_cast<uint8_t>(op_byte.data()[0]);
+  if (!IsKnownOp(op)) {
+    return Status::Corruption("response echoes unknown opcode " +
+                              std::to_string(op));
+  }
+  out->op = static_cast<Op>(op);
+  out->status = StatusFromWire(static_cast<uint8_t>(code_byte.data()[0]),
+                               std::string(msg.data(), msg.size()));
+  Slice rest;
+  dec.GetBytes(dec.remaining(), &rest);
+  out->payload = rest;
+  return Status::OK();
+}
+
+Status StatusFromWire(uint8_t code, const std::string& message) {
+  if (code > static_cast<uint8_t>(Status::Code::kAlreadyExists)) {
+    return Status::Corruption("unknown status code " + std::to_string(code) +
+                              ": " + message);
+  }
+  return Status::FromCode(static_cast<Status::Code>(code), message);
+}
+
+// ------------------------- socket helpers -----------------------------
+
+Status WriteFull(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as
+    // EPIPE, not kill the process. Non-socket fds (tests over pipes)
+    // fall back to write(2).
+    ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write: ") + strerror(errno));
+    }
+    if (w == 0) return Status::IoError("write: zero-byte progress");
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status ReadFull(int fd, char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t r = ::read(fd, data + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read: ") + strerror(errno));
+    }
+    if (r == 0) {
+      if (off == 0) return Status::NotFound("eof");
+      return Status::IoError("truncated frame: peer closed mid-body");
+    }
+    off += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status ReadFrame(int fd, uint32_t max_frame, std::string* body) {
+  char lenbuf[4];
+  REWIND_RETURN_IF_ERROR(ReadFull(fd, lenbuf, 4));
+  uint32_t len = DecodeFixed32(lenbuf);
+  if (len > max_frame) {
+    return Status::InvalidArgument("frame length " + std::to_string(len) +
+                                   " exceeds limit " +
+                                   std::to_string(max_frame));
+  }
+  body->resize(len);
+  if (len == 0) return Status::OK();
+  Status s = ReadFull(fd, body->data(), len);
+  if (s.IsNotFound()) {
+    // EOF exactly between prefix and body is still a truncated frame.
+    return Status::IoError("truncated frame: peer closed after prefix");
+  }
+  return s;
+}
+
+}  // namespace net
+}  // namespace rewinddb

@@ -1,0 +1,150 @@
+// Wire protocol shared by the network server (src/server/) and the
+// client library (src/client/): a small length-prefixed binary framing
+// over TCP.
+//
+//   Frame    := u32 body_len (LE) | body          body_len <= max_frame
+//   Request  := u8 opcode | u64 session_id | payload
+//   Response := u8 opcode (echo) | u8 status_code | u32 msg_len | msg
+//               | payload
+//
+// Every response carries a Status (code byte + message); op-specific
+// payloads follow. Result rowsets travel with column metadata (name +
+// type per column) and self-describing value tags, so a client can
+// render results for tables it has never seen.
+//
+// Decode helpers are defensive by construction: they consume from a
+// bounded Decoder and fail cleanly on truncated, oversized or garbage
+// input -- the server's robustness against hostile bytes rests here.
+#ifndef REWINDDB_NET_WIRE_H_
+#define REWINDDB_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace rewinddb {
+namespace net {
+
+/// Hard cap on one frame's body. Anything larger is a protocol error:
+/// the connection is unsynchronized and must close.
+constexpr uint32_t kMaxFrameBytes = 8u << 20;
+
+/// Protocol revision, exchanged in HELLO. Bump on incompatible change.
+constexpr uint32_t kProtocolVersion = 1;
+
+enum class Op : uint8_t {
+  kHello = 1,        // u32 version | LP client_name
+                     //   -> u64 session_id | LP banner
+  kExecute = 2,      // LP sql -> LP message | u8 has_rowset | [rowset]
+  kBegin = 3,        // (empty) -> u64 txn_id
+  kCommit = 4,       // u8 mode_plus1 (0 = session default) -> (empty)
+  kRollback = 5,     // (empty) -> (empty)
+  kInsert = 6,       // LP table | row -> (empty)
+  kUpdate = 7,       // LP table | row -> (empty)
+  kDelete = 8,       // LP table | key row -> (empty)
+  kGet = 9,          // u64 view | LP table | key row
+                     //   -> rowset (1 row; NotFound when absent)
+  kScan = 10,        // u64 view | LP table | opt lower | opt upper |
+                     //   u32 limit -> u8 more | rowset
+  kCount = 11,       // u64 view | LP table -> u64
+  kAsOf = 12,        // u64 micros -> u64 handle | u64 as_of
+  kOpenSnapshot = 13,  // LP name -> u64 handle | u64 as_of
+  kReleaseView = 14,   // u64 handle -> (empty)
+  kListTables = 15,    // u64 view -> rowset
+  kPing = 16,          // (empty) -> (empty)
+  kGoodbye = 17,       // (empty) -> (empty), then the server closes
+};
+
+/// True if `op` names a known opcode.
+bool IsKnownOp(uint8_t op);
+
+/// The live-database view handle: always valid, never released.
+constexpr uint64_t kLiveViewHandle = 0;
+
+// ------------------------- rowset codec -------------------------------
+
+struct WireColumn {
+  std::string name;
+  ColumnType type;
+};
+
+/// A serializable query result: column metadata + rows. The wire shape
+/// of SqlResult and of every Scan/Get/ListTables response.
+struct Rowset {
+  std::vector<WireColumn> columns;
+  std::vector<Row> rows;
+};
+
+/// Append one value as `u8 type tag | body` (int32/int64/double fixed,
+/// string length-prefixed).
+void EncodeValue(const Value& v, std::string* dst);
+/// Decode one tagged value; false on truncation or an unknown tag.
+bool DecodeValue(Decoder* dec, Value* out);
+
+/// Append `u16 n | n tagged values`.
+void EncodeWireRow(const Row& row, std::string* dst);
+/// Decode a wire row; false on malformed input. Caps arity at 1024.
+bool DecodeWireRow(Decoder* dec, Row* out);
+
+void EncodeRowset(const Rowset& rs, std::string* dst);
+bool DecodeRowset(Decoder* dec, Rowset* out);
+
+// ------------------------- frame codec --------------------------------
+
+/// Build a request frame (length prefix included).
+std::string EncodeRequest(Op op, uint64_t session_id,
+                          const std::string& payload);
+
+/// Build a response frame (length prefix included).
+std::string EncodeResponse(Op op, const Status& status,
+                           const std::string& payload = std::string());
+
+struct Request {
+  Op op;
+  uint64_t session_id = 0;
+  Slice payload;  // borrows the frame body buffer
+};
+
+struct ResponseView {
+  Op op;
+  Status status;
+  Slice payload;  // borrows the frame body buffer
+};
+
+/// Parse a request body (the bytes after the length prefix). Fails on
+/// truncation or an unknown opcode; `raw_op` (may be null) receives the
+/// opcode byte either way so the server can echo it in the error reply.
+Status ParseRequest(Slice body, Request* out, uint8_t* raw_op);
+
+/// Parse a response body.
+Status ParseResponse(Slice body, ResponseView* out);
+
+/// Rebuild a Status from its wire code byte + message. Unknown code
+/// bytes decode as Corruption (the peer speaks a different protocol).
+Status StatusFromWire(uint8_t code, const std::string& message);
+
+// ------------------------- socket helpers -----------------------------
+
+/// Loop write(2) until all n bytes are written (EINTR-safe).
+Status WriteFull(int fd, const char* data, size_t n);
+
+/// Loop read(2) until n bytes arrive. A clean EOF before the first byte
+/// returns NotFound("eof"); EOF mid-buffer returns IoError (truncated
+/// frame).
+Status ReadFull(int fd, char* data, size_t n);
+
+/// Read one frame: the u32 length prefix, validated against
+/// `max_frame`, then the body. On an oversized prefix returns
+/// InvalidArgument -- the stream is unsynchronized and the caller must
+/// close the connection.
+Status ReadFrame(int fd, uint32_t max_frame, std::string* body);
+
+}  // namespace net
+}  // namespace rewinddb
+
+#endif  // REWINDDB_NET_WIRE_H_

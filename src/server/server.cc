@@ -1,0 +1,252 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/wire.h"
+
+namespace rewinddb {
+namespace server {
+
+Server::Server(Database* db, Options opts)
+    : db_(db), opts_(std::move(opts)), registry_(Connection::Attach(db)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load()) return Status::InvalidArgument("server already running");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " + opts_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IoError(std::string("bind ") + opts_.host + ":" +
+                               std::to_string(opts_.port) + ": " +
+                               strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 128) != 0) {
+    Status s = Status::IoError(std::string("listen: ") + strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status s = Status::IoError(std::string("getsockname: ") + strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  // Unblock accept(2) first so no new session can start, then kick
+  // every live session off its socket.
+  if (int lfd = listen_fd_.exchange(-1); lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (auto& w : workers_) {
+      if (w->fd >= 0) ::shutdown(w->fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::unique_ptr<Worker>> drained;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    drained.swap(workers_);
+  }
+  for (auto& w : drained) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.accepted = accepted_.load();
+  s.rejected_busy = rejected_busy_.load();
+  s.sessions_open = sessions_open_.load();
+  s.sessions_peak = sessions_peak_.load();
+  s.frames = frames_.load();
+  s.frame_errors = frame_errors_.load();
+  s.idle_timeouts = idle_timeouts_.load();
+  return s;
+}
+
+void Server::ReapDone() {
+  std::vector<std::unique_ptr<Worker>> done;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (auto it = workers_.begin(); it != workers_.end();) {
+      if ((*it)->done) {
+        done.push_back(std::move(*it));
+        it = workers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& w : done) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stopping_.load()) return;
+      if (errno == ECONNABORTED) continue;
+      return;  // listen socket is gone
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    ReapDone();
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    uint64_t open = sessions_open_.load();
+    if (open >= opts_.max_connections) {
+      // Clean rejection: a full response frame (echoing HELLO, which
+      // is what the peer sent first) so the client can distinguish
+      // "busy" from a network failure, then close.
+      rejected_busy_.fetch_add(1);
+      std::string frame = net::EncodeResponse(
+          net::Op::kHello,
+          Status::Busy("server busy: " +
+                       std::to_string(opts_.max_connections) +
+                       " sessions already connected"));
+      net::WriteFull(fd, frame.data(), frame.size());
+      ::close(fd);
+      continue;
+    }
+
+    accepted_.fetch_add(1);
+    uint64_t now_open = sessions_open_.fetch_add(1) + 1;
+    uint64_t peak = sessions_peak_.load();
+    while (now_open > peak &&
+           !sessions_peak_.compare_exchange_weak(peak, now_open)) {
+    }
+
+    uint64_t sid = next_session_id_.fetch_add(1);
+    auto w = std::make_unique<Worker>();
+    w->fd = fd;
+    Worker* raw = w.get();
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      workers_.push_back(std::move(w));
+    }
+    raw->thread = std::thread([this, raw, sid] { ServeConnection(raw, sid); });
+  }
+}
+
+void Server::ServeConnection(Worker* w, uint64_t session_id) {
+  const int fd = w->fd;
+  {
+    // Session-scoped state lives exactly as long as this block: when
+    // the connection ends -- goodbye, EOF, idle timeout, shutdown --
+    // ~ServerSession rolls back the open transaction and releases
+    // every snapshot view handle.
+    ServerSession session(
+        session_id, db_, registry_.get(),
+        [this](std::vector<SqlSession::StatsRow>* rows) {
+          Stats s = stats();
+          rows->emplace_back("server.accepted",
+                             static_cast<int64_t>(s.accepted));
+          rows->emplace_back("server.rejected_busy",
+                             static_cast<int64_t>(s.rejected_busy));
+          rows->emplace_back("server.sessions_open",
+                             static_cast<int64_t>(s.sessions_open));
+          rows->emplace_back("server.sessions_peak",
+                             static_cast<int64_t>(s.sessions_peak));
+          rows->emplace_back("server.frames", static_cast<int64_t>(s.frames));
+          rows->emplace_back("server.frame_errors",
+                             static_cast<int64_t>(s.frame_errors));
+          rows->emplace_back("server.idle_timeouts",
+                             static_cast<int64_t>(s.idle_timeouts));
+        });
+
+    std::string body;
+    while (!stopping_.load()) {
+      if (opts_.idle_timeout_ms > 0) {
+        pollfd pfd{fd, POLLIN, 0};
+        int pr = ::poll(&pfd, 1, static_cast<int>(opts_.idle_timeout_ms));
+        if (pr == 0) {
+          idle_timeouts_.fetch_add(1);
+          break;
+        }
+        if (pr < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+      }
+      Status rs = net::ReadFrame(fd, net::kMaxFrameBytes, &body);
+      if (!rs.ok()) {
+        if (rs.IsNotFound()) break;  // clean EOF
+        frame_errors_.fetch_add(1);
+        if (rs.IsInvalidArgument()) {
+          // Oversized length prefix: the stream is unsynchronized.
+          // Tell the peer why, then close.
+          std::string frame =
+              net::EncodeResponse(net::Op::kGoodbye, rs);
+          net::WriteFull(fd, frame.data(), frame.size());
+        }
+        break;
+      }
+      frames_.fetch_add(1);
+      net::Request req;
+      uint8_t raw_op = 0;
+      Status ps = net::ParseRequest(Slice(body), &req, &raw_op);
+      std::string resp;
+      bool close = false;
+      if (!ps.ok()) {
+        // The frame itself was well-formed, so the stream is still in
+        // sync: report the bad request and keep the connection.
+        frame_errors_.fetch_add(1);
+        resp = net::EncodeResponse(static_cast<net::Op>(raw_op), ps);
+      } else {
+        resp = session.HandleRequest(req, &close);
+      }
+      if (!net::WriteFull(fd, resp.data(), resp.size()).ok()) break;
+      if (close) break;
+    }
+  }
+  sessions_open_.fetch_sub(1);
+  std::lock_guard<std::mutex> g(mu_);
+  ::close(fd);
+  w->fd = -1;
+  w->done = true;
+}
+
+}  // namespace server
+}  // namespace rewinddb

@@ -1,0 +1,120 @@
+// The RewindDB network front end: a TCP server speaking the
+// length-prefixed binary protocol of src/net/wire.h.
+//
+// Threading model: one accept loop plus one worker thread per admitted
+// connection, bounded by Options::max_connections -- the worker pool IS
+// the admission limit. A connection beyond the limit receives a clean
+// "server busy" response frame (Status::kBusy, echoing HELLO) and is
+// closed; it is never half-served. Sessions idle longer than
+// Options::idle_timeout_ms are closed and counted.
+//
+// All sessions share one engine Database; each gets its own
+// api::Connection (session-scoped commit mode, open transaction, view
+// handles), while named snapshots live on a server-wide registry
+// Connection so CREATE DATABASE ... AS SNAPSHOT in one session is
+// visible to every other.
+#ifndef REWINDDB_SERVER_SERVER_H_
+#define REWINDDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/connection.h"
+#include "server/session.h"
+
+namespace rewinddb {
+namespace server {
+
+class Server {
+ public:
+  struct Options {
+    /// Bind address. Tests and the bench fleet use loopback.
+    std::string host = "127.0.0.1";
+    /// 0 picks an ephemeral port; read it back with port().
+    uint16_t port = 0;
+    /// Admission limit: concurrent sessions beyond this are rejected
+    /// with Status::kBusy.
+    uint32_t max_connections = 64;
+    /// Close sessions with no request for this long. 0 disables.
+    uint32_t idle_timeout_ms = 0;
+  };
+
+  /// Monotonic counters; sessions_open is the only gauge.
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t rejected_busy = 0;
+    uint64_t sessions_open = 0;
+    uint64_t sessions_peak = 0;
+    uint64_t frames = 0;
+    uint64_t frame_errors = 0;
+    uint64_t idle_timeouts = 0;
+  };
+
+  /// `db` is borrowed and must outlive the server.
+  Server(Database* db, Options opts);
+  ~Server();  // calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and start the accept loop. Returns once the port is
+  /// accepting connections.
+  Status Start();
+
+  /// Stop accepting, shut down every live session (their open
+  /// transactions roll back, their snapshot handles release), join all
+  /// threads. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start(); useful with Options::port = 0).
+  uint16_t port() const { return port_; }
+
+  Stats stats() const;
+
+  Database* db() const { return db_; }
+
+ private:
+  struct Worker {
+    int fd = -1;         // -1 once the worker closed it
+    std::thread thread;
+    bool done = false;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Worker* w, uint64_t session_id);
+  /// Join workers that finished on their own (called from the accept
+  /// loop so the worker list cannot grow without bound).
+  void ReapDone();
+
+  Database* db_;
+  Options opts_;
+  std::unique_ptr<Connection> registry_;
+
+  /// Atomic: Stop() retires the fd while AcceptLoop() is blocked on it.
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex mu_;  // guards workers_ and Worker::fd/done
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_busy_{0};
+  std::atomic<uint64_t> sessions_open_{0};
+  std::atomic<uint64_t> sessions_peak_{0};
+  std::atomic<uint64_t> frames_{0};
+  std::atomic<uint64_t> frame_errors_{0};
+  std::atomic<uint64_t> idle_timeouts_{0};
+};
+
+}  // namespace server
+}  // namespace rewinddb
+
+#endif  // REWINDDB_SERVER_SERVER_H_

@@ -1,0 +1,488 @@
+#include "server/session.h"
+
+#include <cmath>
+#include <utility>
+
+namespace rewinddb {
+namespace server {
+
+namespace {
+
+/// Server-side ceiling on rows per SCAN response; the `more` flag tells
+/// the client to continue from the last key. Keeps any response frame
+/// well under net::kMaxFrameBytes.
+constexpr uint32_t kMaxScanRows = 65536;
+constexpr size_t kMaxScanBytes = 4u << 20;
+
+bool GetString(Decoder* dec, std::string* out) {
+  Slice s;
+  if (!dec->GetLengthPrefixed(&s)) return false;
+  out->assign(s.data(), s.size());
+  return true;
+}
+
+bool GetU8(Decoder* dec, uint8_t* out) {
+  Slice b;
+  if (!dec->GetBytes(1, &b)) return false;
+  *out = static_cast<uint8_t>(b.data()[0]);
+  return true;
+}
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("malformed payload: ") + what);
+}
+
+/// Rough serialized size of a row, used to bound SCAN responses.
+size_t ApproxRowBytes(const Row& row) {
+  size_t n = 2;
+  for (const Value& v : row) {
+    n += v.type() == ColumnType::kString ? 5 + v.AsString().size() : 9;
+  }
+  return n;
+}
+
+net::Rowset RowsetOf(const Schema& schema) {
+  net::Rowset rs;
+  rs.columns.reserve(schema.num_columns());
+  for (const Column& c : schema.columns()) rs.columns.push_back({c.name, c.type});
+  return rs;
+}
+
+}  // namespace
+
+Status CoerceRowToTypes(const std::vector<ColumnType>& types, Row* row) {
+  if (row->size() > types.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row->size()) + " values but the type " +
+        "list has only " + std::to_string(types.size()));
+  }
+  for (size_t i = 0; i < row->size(); i++) {
+    Value& v = (*row)[i];
+    if (v.type() == types[i]) continue;
+    switch (types[i]) {
+      case ColumnType::kInt64:
+        if (v.type() == ColumnType::kInt32) {
+          v = Value(static_cast<int64_t>(v.AsInt32()));
+          continue;
+        }
+        break;
+      case ColumnType::kInt32:
+        if (v.type() == ColumnType::kInt64) {
+          int64_t x = v.AsInt64();
+          if (x >= INT32_MIN && x <= INT32_MAX) {
+            v = Value(static_cast<int32_t>(x));
+            continue;
+          }
+          return Status::InvalidArgument(
+              "value " + std::to_string(x) + " overflows int32 column " +
+              std::to_string(i));
+        }
+        break;
+      case ColumnType::kDouble:
+        if (v.type() == ColumnType::kInt32) {
+          v = Value(static_cast<double>(v.AsInt32()));
+          continue;
+        }
+        if (v.type() == ColumnType::kInt64) {
+          // Only exact promotions: 2^53+1 silently losing a ULP is a
+          // data bug, not a convenience.
+          int64_t x = v.AsInt64();
+          double d = static_cast<double>(x);
+          if (static_cast<int64_t>(d) == x) {
+            v = Value(d);
+            continue;
+          }
+          return Status::InvalidArgument(
+              "value " + std::to_string(x) +
+              " is not exactly representable as double (column " +
+              std::to_string(i) + ")");
+        }
+        break;
+      case ColumnType::kString:
+        break;
+    }
+    return Status::InvalidArgument(
+        std::string("type mismatch at column ") + std::to_string(i) +
+        ": got " + ColumnTypeName(v.type()) + ", column is " +
+        ColumnTypeName(types[i]));
+  }
+  return Status::OK();
+}
+
+ServerSession::ServerSession(uint64_t id, Database* db, Connection* registry,
+                             SqlSession::ExtraStatsFn server_stats)
+    : id_(id),
+      conn_(Connection::Attach(db)),
+      sql_(conn_.get(), registry) {
+  if (server_stats) sql_.set_extra_stats(std::move(server_stats));
+}
+
+std::string ServerSession::HandleRequest(const net::Request& req,
+                                         bool* close) {
+  *close = false;
+  if (!hello_done_ && req.op != net::Op::kHello &&
+      req.op != net::Op::kPing && req.op != net::Op::kGoodbye) {
+    return Respond(req.op,
+                   Status::InvalidArgument("session not established: "
+                                           "send HELLO first"));
+  }
+  std::string out;
+  Status st;
+  switch (req.op) {
+    case net::Op::kHello:
+      st = DoHello(req.payload, &out);
+      break;
+    case net::Op::kExecute:
+      st = DoExecute(req.payload, &out);
+      break;
+    case net::Op::kBegin:
+      st = DoBegin(&out);
+      break;
+    case net::Op::kCommit:
+      st = DoCommit(req.payload);
+      break;
+    case net::Op::kRollback:
+      st = DoRollback();
+      break;
+    case net::Op::kInsert:
+    case net::Op::kUpdate:
+    case net::Op::kDelete:
+      st = DoDml(req.op, req.payload);
+      break;
+    case net::Op::kGet:
+      st = DoGet(req.payload, &out);
+      break;
+    case net::Op::kScan:
+      st = DoScan(req.payload, &out);
+      break;
+    case net::Op::kCount:
+      st = DoCount(req.payload, &out);
+      break;
+    case net::Op::kAsOf:
+      st = DoAsOf(req.payload, &out);
+      break;
+    case net::Op::kOpenSnapshot:
+      st = DoOpenSnapshot(req.payload, &out);
+      break;
+    case net::Op::kReleaseView:
+      st = DoReleaseView(req.payload);
+      break;
+    case net::Op::kListTables:
+      st = DoListTables(req.payload, &out);
+      break;
+    case net::Op::kPing:
+      st = Status::OK();
+      break;
+    case net::Op::kGoodbye:
+      st = Status::OK();
+      *close = true;
+      break;
+  }
+  if (!st.ok()) out.clear();
+  return Respond(req.op, st, out);
+}
+
+Status ServerSession::DoHello(Slice payload, std::string* out) {
+  if (hello_done_) return Status::InvalidArgument("HELLO already received");
+  Decoder dec(payload);
+  uint32_t version;
+  std::string client;
+  if (!dec.GetFixed32(&version) || !GetString(&dec, &client)) {
+    return Truncated("HELLO needs u32 version | LP client name");
+  }
+  if (version != net::kProtocolVersion) {
+    return Status::NotSupported(
+        "protocol version " + std::to_string(version) +
+        " not supported (server speaks " +
+        std::to_string(net::kProtocolVersion) + ")");
+  }
+  hello_done_ = true;
+  PutFixed64(out, id_);
+  PutLengthPrefixed(out, Slice("RewindDB server, protocol " +
+                               std::to_string(net::kProtocolVersion)));
+  return Status::OK();
+}
+
+Status ServerSession::DoExecute(Slice payload, std::string* out) {
+  Decoder dec(payload);
+  std::string stmt;
+  if (!GetString(&dec, &stmt)) return Truncated("EXECUTE needs LP sql");
+  REWIND_ASSIGN_OR_RETURN(SqlResult r, sql_.ExecuteStatement(stmt));
+  PutLengthPrefixed(out, Slice(r.message));
+  out->push_back(r.has_rowset ? 1 : 0);
+  if (r.has_rowset) {
+    net::Rowset rs;
+    rs.columns.reserve(r.column_names.size());
+    for (size_t i = 0; i < r.column_names.size(); i++) {
+      rs.columns.push_back({r.column_names[i], r.column_types[i]});
+    }
+    rs.rows = std::move(r.rows);
+    net::EncodeRowset(rs, out);
+  }
+  return Status::OK();
+}
+
+Status ServerSession::DoBegin(std::string* out) {
+  if (txn_.active()) {
+    return Status::InvalidArgument(
+        "transaction " + std::to_string(txn_.id()) +
+        " already open on this session");
+  }
+  txn_ = conn_->Begin();
+  PutFixed64(out, txn_.id());
+  return Status::OK();
+}
+
+Status ServerSession::DoCommit(Slice payload) {
+  Decoder dec(payload);
+  uint8_t mode_plus1;
+  if (!GetU8(&dec, &mode_plus1)) return Truncated("COMMIT needs u8 mode");
+  if (!txn_.active()) {
+    return Status::InvalidArgument("no open transaction to commit");
+  }
+  if (mode_plus1 == 0) return txn_.Commit();
+  uint8_t mode = mode_plus1 - 1;
+  if (mode > static_cast<uint8_t>(CommitMode::kNone)) {
+    return Status::InvalidArgument("unknown commit mode " +
+                                   std::to_string(mode_plus1));
+  }
+  return txn_.Commit(static_cast<CommitMode>(mode));
+}
+
+Status ServerSession::DoRollback() {
+  if (!txn_.active()) {
+    return Status::InvalidArgument("no open transaction to roll back");
+  }
+  return txn_.Abort();
+}
+
+Status ServerSession::DoDml(net::Op op, Slice payload) {
+  Decoder dec(payload);
+  std::string table;
+  Row row;
+  if (!GetString(&dec, &table) || !net::DecodeWireRow(&dec, &row)) {
+    return Truncated("DML needs LP table | row");
+  }
+  // Coerce wire values toward the schema before touching the engine:
+  // the B-tree keys rows by the memcomparable encoding of typed values,
+  // so an int64 where the schema says int32 would otherwise produce
+  // wrong key bytes, not an error.
+  std::unique_ptr<ReadView> live = conn_->Live();
+  REWIND_ASSIGN_OR_RETURN(std::unique_ptr<TableView> tv,
+                          live->OpenTable(table));
+  const Schema& schema = tv->schema();
+  if (op == net::Op::kDelete) {
+    if (row.size() != schema.num_key_columns()) {
+      return Status::InvalidArgument(
+          "DELETE key has " + std::to_string(row.size()) + " values, table " +
+          table + " has " + std::to_string(schema.num_key_columns()) +
+          " key columns");
+    }
+    REWIND_RETURN_IF_ERROR(CoerceRowToTypes(schema.key_types(), &row));
+  } else {
+    if (row.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "row has " + std::to_string(row.size()) + " values, table " +
+          table + " has " + std::to_string(schema.num_columns()) +
+          " columns");
+    }
+    REWIND_RETURN_IF_ERROR(CoerceRowToTypes(schema.types(), &row));
+  }
+
+  const bool autocommit = !txn_.active();
+  Txn local;
+  Txn& txn = autocommit ? (local = conn_->Begin(), local) : txn_;
+  Status st;
+  switch (op) {
+    case net::Op::kInsert:
+      st = conn_->Insert(txn, table, row);
+      break;
+    case net::Op::kUpdate:
+      st = conn_->Update(txn, table, row);
+      break;
+    default:
+      st = conn_->Delete(txn, table, row);
+      break;
+  }
+  if (!st.ok()) return st;  // ~local aborts the autocommit txn
+  if (autocommit) return local.Commit();
+  return Status::OK();
+}
+
+Result<ReadView*> ServerSession::ResolveView(
+    uint64_t handle, std::unique_ptr<ReadView>* live_backing) {
+  if (handle == net::kLiveViewHandle) {
+    // Reads inside an open transaction see (and lock under) it.
+    *live_backing = txn_.active() ? conn_->Live(txn_) : conn_->Live();
+    return live_backing->get();
+  }
+  auto it = views_.find(handle);
+  if (it == views_.end()) {
+    return Status::NotFound("unknown view handle " + std::to_string(handle));
+  }
+  return it->second.get();
+}
+
+Status ServerSession::DoGet(Slice payload, std::string* out) {
+  Decoder dec(payload);
+  uint64_t handle;
+  std::string table;
+  Row key;
+  if (!dec.GetFixed64(&handle) || !GetString(&dec, &table) ||
+      !net::DecodeWireRow(&dec, &key)) {
+    return Truncated("GET needs u64 view | LP table | key row");
+  }
+  std::unique_ptr<ReadView> live;
+  REWIND_ASSIGN_OR_RETURN(ReadView * view, ResolveView(handle, &live));
+  REWIND_ASSIGN_OR_RETURN(std::unique_ptr<TableView> tv,
+                          view->OpenTable(table));
+  const Schema& schema = tv->schema();
+  if (key.size() != schema.num_key_columns()) {
+    return Status::InvalidArgument(
+        "GET key has " + std::to_string(key.size()) + " values, table " +
+        table + " has " + std::to_string(schema.num_key_columns()) +
+        " key columns");
+  }
+  REWIND_RETURN_IF_ERROR(CoerceRowToTypes(schema.key_types(), &key));
+  REWIND_ASSIGN_OR_RETURN(Row row, tv->Get(key));
+  net::Rowset rs = RowsetOf(schema);
+  rs.rows.push_back(std::move(row));
+  net::EncodeRowset(rs, out);
+  return Status::OK();
+}
+
+Status ServerSession::DoScan(Slice payload, std::string* out) {
+  Decoder dec(payload);
+  uint64_t handle;
+  std::string table;
+  uint8_t has_lower, has_upper;
+  std::optional<Row> lower, upper;
+  if (!dec.GetFixed64(&handle) || !GetString(&dec, &table) ||
+      !GetU8(&dec, &has_lower)) {
+    return Truncated("SCAN needs u64 view | LP table | bounds | u32 limit");
+  }
+  if (has_lower) {
+    Row r;
+    if (!net::DecodeWireRow(&dec, &r)) return Truncated("SCAN lower bound");
+    lower = std::move(r);
+  }
+  if (!GetU8(&dec, &has_upper)) return Truncated("SCAN upper-bound flag");
+  if (has_upper) {
+    Row r;
+    if (!net::DecodeWireRow(&dec, &r)) return Truncated("SCAN upper bound");
+    upper = std::move(r);
+  }
+  uint32_t limit;
+  if (!dec.GetFixed32(&limit)) return Truncated("SCAN limit");
+  if (limit == 0 || limit > kMaxScanRows) limit = kMaxScanRows;
+
+  std::unique_ptr<ReadView> live;
+  REWIND_ASSIGN_OR_RETURN(ReadView * view, ResolveView(handle, &live));
+  REWIND_ASSIGN_OR_RETURN(std::unique_ptr<TableView> tv,
+                          view->OpenTable(table));
+  const Schema& schema = tv->schema();
+  std::vector<ColumnType> key_types = schema.key_types();
+  if (lower) REWIND_RETURN_IF_ERROR(CoerceRowToTypes(key_types, &*lower));
+  if (upper) REWIND_RETURN_IF_ERROR(CoerceRowToTypes(key_types, &*upper));
+
+  net::Rowset rs = RowsetOf(schema);
+  size_t bytes = 0;
+  bool more = false;
+  Status st = tv->Scan(lower, upper, [&](const Row& row) {
+    if (rs.rows.size() >= limit || bytes >= kMaxScanBytes) {
+      more = true;
+      return false;
+    }
+    bytes += ApproxRowBytes(row);
+    rs.rows.push_back(row);
+    return true;
+  });
+  REWIND_RETURN_IF_ERROR(st);
+  out->push_back(more ? 1 : 0);
+  net::EncodeRowset(rs, out);
+  return Status::OK();
+}
+
+Status ServerSession::DoCount(Slice payload, std::string* out) {
+  Decoder dec(payload);
+  uint64_t handle;
+  std::string table;
+  if (!dec.GetFixed64(&handle) || !GetString(&dec, &table)) {
+    return Truncated("COUNT needs u64 view | LP table");
+  }
+  std::unique_ptr<ReadView> live;
+  REWIND_ASSIGN_OR_RETURN(ReadView * view, ResolveView(handle, &live));
+  REWIND_ASSIGN_OR_RETURN(std::unique_ptr<TableView> tv,
+                          view->OpenTable(table));
+  REWIND_ASSIGN_OR_RETURN(uint64_t n, tv->Count());
+  PutFixed64(out, n);
+  return Status::OK();
+}
+
+Status ServerSession::DoAsOf(Slice payload, std::string* out) {
+  Decoder dec(payload);
+  uint64_t micros;
+  if (!dec.GetFixed64(&micros)) return Truncated("AS OF needs u64 micros");
+  REWIND_ASSIGN_OR_RETURN(std::shared_ptr<ReadView> view,
+                          conn_->AsOf(micros));
+  REWIND_RETURN_IF_ERROR(view->WaitReady());
+  uint64_t handle = next_handle_++;
+  uint64_t as_of = view->as_of();
+  views_[handle] = std::move(view);
+  PutFixed64(out, handle);
+  PutFixed64(out, as_of);
+  return Status::OK();
+}
+
+Status ServerSession::DoOpenSnapshot(Slice payload, std::string* out) {
+  Decoder dec(payload);
+  std::string name;
+  if (!GetString(&dec, &name)) return Truncated("OPEN SNAPSHOT needs LP name");
+  REWIND_ASSIGN_OR_RETURN(std::shared_ptr<ReadView> view,
+                          sql_.GetSnapshot(name));
+  REWIND_RETURN_IF_ERROR(view->WaitReady());
+  uint64_t handle = next_handle_++;
+  uint64_t as_of = view->as_of();
+  views_[handle] = std::move(view);
+  PutFixed64(out, handle);
+  PutFixed64(out, as_of);
+  return Status::OK();
+}
+
+Status ServerSession::DoReleaseView(Slice payload) {
+  Decoder dec(payload);
+  uint64_t handle;
+  if (!dec.GetFixed64(&handle)) return Truncated("RELEASE needs u64 handle");
+  if (handle == net::kLiveViewHandle) {
+    return Status::InvalidArgument("the live view cannot be released");
+  }
+  if (views_.erase(handle) == 0) {
+    return Status::NotFound("unknown view handle " + std::to_string(handle));
+  }
+  return Status::OK();
+}
+
+Status ServerSession::DoListTables(Slice payload, std::string* out) {
+  Decoder dec(payload);
+  uint64_t handle;
+  if (!dec.GetFixed64(&handle)) return Truncated("LIST needs u64 view");
+  std::unique_ptr<ReadView> live;
+  REWIND_ASSIGN_OR_RETURN(ReadView * view, ResolveView(handle, &live));
+  REWIND_ASSIGN_OR_RETURN(std::vector<TableInfo> tables, view->ListTables());
+  net::Rowset rs;
+  rs.columns = {{"name", ColumnType::kString},
+                {"table_id", ColumnType::kInt64},
+                {"columns", ColumnType::kInt64},
+                {"key_columns", ColumnType::kInt64}};
+  rs.rows.reserve(tables.size());
+  for (const TableInfo& t : tables) {
+    rs.rows.push_back({Value(t.name), Value(static_cast<int64_t>(t.table_id)),
+                       Value(static_cast<int64_t>(t.schema.num_columns())),
+                       Value(static_cast<int64_t>(t.schema.num_key_columns()))});
+  }
+  net::EncodeRowset(rs, out);
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace rewinddb

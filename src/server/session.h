@@ -1,0 +1,98 @@
+// ServerSession: the per-connection state of the network front end.
+//
+// Each accepted TCP connection gets one ServerSession layered over its
+// OWN api::Connection (attached to the shared engine Database), so
+// session-scoped settings -- default commit mode, the open transaction
+// -- are isolated, while named snapshots route through the server's
+// shared registry Connection and are visible to every session.
+//
+// AS OF and named-snapshot ReadViews are mapped to session-scoped
+// u64 handles. The handle table is the ownership root: dropping an
+// entry (RELEASE, session death, server shutdown) drops the last
+// shared_ptr and deterministically releases the snapshot (side file
+// deleted, log anchor unregistered), so an abandoned investigator
+// session can never pin retention or the version store forever.
+#ifndef REWINDDB_SERVER_SESSION_H_
+#define REWINDDB_SERVER_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "api/connection.h"
+#include "net/wire.h"
+#include "sql/session.h"
+
+namespace rewinddb {
+namespace server {
+
+class ServerSession {
+ public:
+  /// `registry` is the server-wide Connection named snapshots live on;
+  /// `server_stats` (may be empty) appends server counters to
+  /// SHOW STATS.
+  ServerSession(uint64_t id, Database* db, Connection* registry,
+                SqlSession::ExtraStatsFn server_stats);
+
+  /// Teardown is deterministic: the open transaction (if any) is
+  /// rolled back by ~Txn, every view handle is released, and the
+  /// session's Connection releases any snapshot state it minted.
+  ~ServerSession() = default;
+
+  ServerSession(const ServerSession&) = delete;
+  ServerSession& operator=(const ServerSession&) = delete;
+
+  /// Execute one request and return the encoded response frame. Sets
+  /// `*close` when the connection must end after the reply (GOODBYE).
+  /// Never throws and never leaves partial state: payloads are fully
+  /// decoded and validated before any engine call.
+  std::string HandleRequest(const net::Request& req, bool* close);
+
+  uint64_t id() const { return id_; }
+  size_t open_view_handles() const { return views_.size(); }
+
+ private:
+  std::string Respond(net::Op op, const Status& st,
+                      const std::string& payload = std::string()) const {
+    return net::EncodeResponse(op, st, payload);
+  }
+
+  // Per-op bodies: decode payload -> act -> encode response payload.
+  Status DoHello(Slice payload, std::string* out);
+  Status DoExecute(Slice payload, std::string* out);
+  Status DoBegin(std::string* out);
+  Status DoCommit(Slice payload);
+  Status DoRollback();
+  Status DoDml(net::Op op, Slice payload);
+  Status DoGet(Slice payload, std::string* out);
+  Status DoScan(Slice payload, std::string* out);
+  Status DoCount(Slice payload, std::string* out);
+  Status DoAsOf(Slice payload, std::string* out);
+  Status DoOpenSnapshot(Slice payload, std::string* out);
+  Status DoReleaseView(Slice payload);
+  Status DoListTables(Slice payload, std::string* out);
+
+  /// Resolve a view handle; kLiveViewHandle materializes a fresh live
+  /// view (owned by *live_backing).
+  Result<ReadView*> ResolveView(uint64_t handle,
+                                std::unique_ptr<ReadView>* live_backing);
+
+  uint64_t id_;
+  std::unique_ptr<Connection> conn_;
+  SqlSession sql_;
+  bool hello_done_ = false;
+  Txn txn_;  // at most one open transaction per session
+  uint64_t next_handle_ = 1;
+  std::map<uint64_t, std::shared_ptr<ReadView>> views_;
+};
+
+/// Coerce a wire row toward the given column types: integer widths
+/// widen/narrow (with range checks), integers promote to double.
+/// Anything lossy or cross-kind is InvalidArgument. `row` may be a
+/// prefix of `types` (scan bounds); extra values are InvalidArgument.
+Status CoerceRowToTypes(const std::vector<ColumnType>& types, Row* row);
+
+}  // namespace server
+}  // namespace rewinddb
+
+#endif  // REWINDDB_SERVER_SESSION_H_

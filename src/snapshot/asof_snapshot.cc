@@ -223,8 +223,16 @@ Status AsOfSnapshot::Recover() {
   uint64_t t_redo = clock->NowMicros();
   wal::Cursor chain = log->OpenCursor();
   for (const auto& [txn_id, last_lsn] : att) {
-    losers_.push_back({txn_id, last_lsn});
     REWIND_RETURN_IF_ERROR(chain.SeekToChain(last_lsn));
+    // A checkpoint ATT written by an older build can list a decided
+    // transaction whose completion record predates the analysis window
+    // (captured during its durability wait). Its chain head is then the
+    // COMMIT/ABORT record itself: not a loser, nothing to undo.
+    if (chain.Valid() && (chain.record().type == LogType::kCommit ||
+                          chain.record().type == LogType::kAbort)) {
+      continue;
+    }
+    losers_.push_back({txn_id, last_lsn});
     while (chain.Valid()) {
       const LogRecord& rec = chain.record();
       LogType op = rec.type == LogType::kClr ? rec.clr_op : rec.type;

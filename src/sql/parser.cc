@@ -103,7 +103,7 @@ class Parser {
     if (Accept("CREATE")) {
       if (Accept("DATABASE")) return CreateSnapshot();
       if (Accept("TABLE")) return CreateTable();
-      return Status::InvalidArgument("expected DATABASE or TABLE");
+      return Err("expected DATABASE or TABLE after CREATE");
     }
     if (Accept("ALTER")) return AlterDatabase();
     if (Accept("FLASHBACK")) return Flashback();
@@ -113,16 +113,31 @@ class Parser {
       cmd.kind = SqlCommand::Kind::kCheckpoint;
       return cmd;
     }
+    if (Accept("SHOW")) {
+      REWIND_RETURN_IF_ERROR(Expect("STATS"));
+      SqlCommand cmd;
+      cmd.kind = SqlCommand::Kind::kShowStats;
+      return cmd;
+    }
     if (Accept("DROP")) {
       if (Accept("DATABASE")) return DropNamed(SqlCommand::Kind::kDropDatabase);
       if (Accept("TABLE")) return DropNamed(SqlCommand::Kind::kDropTable);
-      return Status::InvalidArgument("expected DATABASE or TABLE");
+      return Err("expected DATABASE or TABLE after DROP");
     }
-    return Status::InvalidArgument("unrecognized statement");
+    return Err("unrecognized statement");
   }
 
  private:
   const Token& Cur() const { return tokens_[pos_]; }
+
+  /// Every parser diagnostic names the token it stopped at; ParseSql
+  /// appends the statement fragment on the way out.
+  Status Err(const std::string& what) const {
+    std::string at = Cur().type == Token::Type::kEnd
+                         ? std::string("end of statement")
+                         : "'" + Cur().raw + "'";
+    return Status::InvalidArgument(what + " near " + at);
+  }
 
   bool Accept(const std::string& word) {
     if (Cur().type == Token::Type::kWord && Cur().text == word) {
@@ -141,17 +156,13 @@ class Parser {
   }
 
   Status Expect(const std::string& word) {
-    if (!Accept(word)) {
-      return Status::InvalidArgument("expected " + word + " near '" +
-                                     Cur().raw + "'");
-    }
+    if (!Accept(word)) return Err("expected " + word);
     return Status::OK();
   }
 
   Result<std::string> Identifier() {
     if (Cur().type != Token::Type::kWord) {
-      return Status::InvalidArgument("expected identifier near '" +
-                                     Cur().raw + "'");
+      return Err("expected identifier");
     }
     std::string id = Cur().raw;
     pos_++;
@@ -175,7 +186,7 @@ class Parser {
       REWIND_ASSIGN_OR_RETURN(cmd.as_of, ParseU64(Cur().text));
       pos_++;
     } else {
-      return Status::InvalidArgument("expected timestamp after AS OF");
+      return Err("expected timestamp after AS OF");
     }
     return cmd;
   }
@@ -187,11 +198,9 @@ class Parser {
     REWIND_ASSIGN_OR_RETURN(cmd.name, Identifier());
     REWIND_RETURN_IF_ERROR(Expect("SET"));
     REWIND_RETURN_IF_ERROR(Expect("UNDO_INTERVAL"));
-    if (!AcceptPunct('=')) {
-      return Status::InvalidArgument("expected = after UNDO_INTERVAL");
-    }
+    if (!AcceptPunct('=')) return Err("expected = after UNDO_INTERVAL");
     if (Cur().type != Token::Type::kNumber) {
-      return Status::InvalidArgument("expected a number");
+      return Err("expected a number for UNDO_INTERVAL");
     }
     REWIND_ASSIGN_OR_RETURN(uint64_t n, ParseU64(Cur().text));
     pos_++;
@@ -203,10 +212,10 @@ class Parser {
     } else if (Accept("SECONDS") || Accept("SECOND")) {
       unit = 1'000'000;
     } else {
-      return Status::InvalidArgument("expected HOURS, MINUTES or SECONDS");
+      return Err("expected HOURS, MINUTES or SECONDS");
     }
     if (n > UINT64_MAX / unit) {
-      return Status::InvalidArgument("undo interval out of range");
+      return Err("undo interval out of range");
     }
     cmd.undo_interval_micros = n * unit;
     return cmd;
@@ -216,13 +225,10 @@ class Parser {
     SqlCommand cmd;
     cmd.kind = SqlCommand::Kind::kSetCommitMode;
     REWIND_RETURN_IF_ERROR(Expect("COMMIT_MODE"));
-    if (!AcceptPunct('=')) {
-      return Status::InvalidArgument("expected = after COMMIT_MODE");
-    }
+    if (!AcceptPunct('=')) return Err("expected = after COMMIT_MODE");
     if (Cur().type != Token::Type::kWord ||
         !ParseCommitMode(Cur().text.c_str(), &cmd.commit_mode)) {
-      return Status::InvalidArgument(
-          "expected SYNC, GROUP, ASYNC or NONE near '" + Cur().raw + "'");
+      return Err("expected SYNC, GROUP, ASYNC or NONE");
     }
     pos_++;
     return cmd;
@@ -233,7 +239,7 @@ class Parser {
     cmd.kind = SqlCommand::Kind::kFlashback;
     REWIND_RETURN_IF_ERROR(Expect("TRANSACTION"));
     if (Cur().type != Token::Type::kNumber) {
-      return Status::InvalidArgument("expected a transaction id");
+      return Err("expected a transaction id");
     }
     REWIND_ASSIGN_OR_RETURN(cmd.txn_id, ParseU64(Cur().text));
     pos_++;
@@ -261,29 +267,25 @@ class Parser {
       // Optional (n) length, ignored.
       if (AcceptPunct('(')) {
         if (Cur().type == Token::Type::kNumber) pos_++;
-        if (!AcceptPunct(')')) {
-          return Status::InvalidArgument("expected ) after length");
-        }
+        if (!AcceptPunct(')')) return Err("expected ) after length");
       }
       return ColumnType::kString;
     }
-    return Status::InvalidArgument("unknown type '" + Cur().raw + "'");
+    return Err("unknown column type");
   }
 
   Result<SqlCommand> CreateTable() {
     SqlCommand cmd;
     cmd.kind = SqlCommand::Kind::kCreateTable;
     REWIND_ASSIGN_OR_RETURN(cmd.name, Identifier());
-    if (!AcceptPunct('(')) {
-      return Status::InvalidArgument("expected ( after table name");
-    }
+    if (!AcceptPunct('(')) return Err("expected ( after table name");
     std::vector<Column> cols;
     std::vector<std::string> key_cols;
     while (true) {
       if (Accept("PRIMARY")) {
         REWIND_RETURN_IF_ERROR(Expect("KEY"));
         if (!AcceptPunct('(')) {
-          return Status::InvalidArgument("expected ( after PRIMARY KEY");
+          return Err("expected ( after PRIMARY KEY");
         }
         while (true) {
           REWIND_ASSIGN_OR_RETURN(std::string k, Identifier());
@@ -292,7 +294,7 @@ class Parser {
           break;
         }
         if (!AcceptPunct(')')) {
-          return Status::InvalidArgument("expected ) after key columns");
+          return Err("expected ) after key columns");
         }
       } else {
         REWIND_ASSIGN_OR_RETURN(std::string col, Identifier());
@@ -303,10 +305,10 @@ class Parser {
       break;
     }
     if (!AcceptPunct(')')) {
-      return Status::InvalidArgument("expected ) to close column list");
+      return Err("expected ) to close column list");
     }
     if (key_cols.empty()) {
-      return Status::InvalidArgument("PRIMARY KEY clause is required");
+      return Err("PRIMARY KEY clause is required");
     }
     // Reorder so the key columns form the prefix, in declared key order.
     std::vector<Column> ordered;
@@ -320,7 +322,7 @@ class Parser {
         }
       }
       if (!found) {
-        return Status::InvalidArgument("key column '" + k + "' not declared");
+        return Err("key column '" + k + "' not declared");
       }
     }
     for (const Column& c : cols) {
@@ -340,11 +342,39 @@ class Parser {
 
 }  // namespace
 
+std::string StatementFragment(const std::string& sql) {
+  std::string out;
+  out.reserve(64);
+  bool last_space = false;
+  for (char c : sql) {
+    bool space = isspace(static_cast<unsigned char>(c)) != 0;
+    if (space && (last_space || out.empty())) continue;
+    out.push_back(space ? ' ' : c);
+    last_space = space;
+    if (out.size() >= 60) {
+      out += "...";
+      break;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
 Result<SqlCommand> ParseSql(const std::string& sql) {
+  // Uniform diagnostic contract: every parse failure -- lexer or
+  // grammar -- carries the offending statement fragment, so a client on
+  // the other end of a wire sees which statement it sent went wrong.
+  auto wrap = [&sql](const Status& st) {
+    return Status::InvalidArgument(st.message() + " [statement: \"" +
+                                   StatementFragment(sql) + "\"]");
+  };
   Lexer lexer(sql);
-  REWIND_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
-  return parser.Parse();
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return wrap(tokens.status());
+  Parser parser(std::move(*tokens));
+  Result<SqlCommand> cmd = parser.Parse();
+  if (!cmd.ok()) return wrap(cmd.status());
+  return cmd;
 }
 
 Result<WallClock> ParseTimestamp(const std::string& text) {
@@ -358,10 +388,18 @@ Result<WallClock> ParseTimestamp(const std::string& text) {
                                    "' (want YYYY-MM-DD HH:MM:SS[.ffffff])");
   }
   if (matched == 7) {
+    // frac_buf came from %15s: it can hold ANY non-space bytes, so it
+    // must be digit-validated and parsed exception-free (std::stoul on
+    // '.abc' would throw -- a crash path for hostile wire input).
     std::string digits(frac_buf);
     while (digits.size() < 6) digits += '0';
     digits = digits.substr(0, 6);
-    frac = std::stoul(digits);
+    auto [ptr, ec] = std::from_chars(digits.data(),
+                                     digits.data() + digits.size(), frac);
+    if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+      return Status::InvalidArgument("bad fractional seconds in timestamp '" +
+                                     text + "'");
+    }
   }
   struct tm tm_utc = {};
   tm_utc.tm_year = year - 1900;

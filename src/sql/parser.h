@@ -6,6 +6,7 @@
 //   FLASHBACK TRANSACTION <txn-id>
 //   SET COMMIT_MODE = SYNC|GROUP|ASYNC|NONE
 //   CHECKPOINT
+//   SHOW STATS
 //
 // plus convenience DDL so examples read naturally:
 //
@@ -39,6 +40,9 @@ struct SqlCommand {
     /// analysis; with the archive tier on, also archives + trims the
     /// active log).
     kCheckpoint,
+    /// SHOW STATS: engine + server counters as a (metric, value)
+    /// rowset -- the operator's over-the-wire inspection surface.
+    kShowStats,
   };
 
   Kind kind;
@@ -59,8 +63,14 @@ struct SqlCommand {
 };
 
 /// Parse one statement. Keywords are case-insensitive; identifiers keep
-/// their case.
+/// their case. Every parse error names the offending token ("near
+/// '...'") and carries a fragment of the statement, so a wire client's
+/// diagnostic is self-contained.
 Result<SqlCommand> ParseSql(const std::string& sql);
+
+/// First ~60 characters of `sql`, whitespace-collapsed, "..."-elided:
+/// the fragment parse and execution errors embed.
+std::string StatementFragment(const std::string& sql);
 
 /// Parse 'YYYY-MM-DD HH:MM:SS[.ffffff]' (UTC) into epoch microseconds.
 Result<WallClock> ParseTimestamp(const std::string& text);

@@ -2,58 +2,155 @@
 
 namespace rewinddb {
 
+namespace {
+/// Append the statement fragment to an execution error, unless a parse
+/// error already embedded one: wire clients must always see which
+/// statement failed.
+Status WithStatement(const Status& st, const std::string& sql) {
+  if (st.ok()) return st;
+  if (st.message().find("[statement:") != std::string::npos) return st;
+  std::string msg = st.message() + " [statement: \"" +
+                    StatementFragment(sql) + "\"]";
+  return Status::FromCode(st.code(), std::move(msg));
+}
+}  // namespace
+
 Result<std::string> SqlSession::Execute(const std::string& sql) {
-  REWIND_ASSIGN_OR_RETURN(SqlCommand cmd, ParseSql(sql));
+  REWIND_ASSIGN_OR_RETURN(SqlResult r, ExecuteStatement(sql));
+  return r.message;
+}
+
+Result<SqlResult> SqlSession::ExecuteStatement(const std::string& sql) {
+  Result<SqlCommand> parsed = ParseSql(sql);
+  if (!parsed.ok()) return parsed.status();
+  const SqlCommand& cmd = *parsed;
+  SqlResult out;
   switch (cmd.kind) {
     case SqlCommand::Kind::kCreateSnapshot: {
-      REWIND_RETURN_IF_ERROR(conn_->CreateSnapshot(cmd.name, cmd.as_of));
-      REWIND_ASSIGN_OR_RETURN(std::shared_ptr<ReadView> view,
-                              conn_->Snapshot(cmd.name));
-      return "Created snapshot " + cmd.name + " as of " +
-             FormatTimestamp(view->as_of());
+      Status s = registry()->CreateSnapshot(cmd.name, cmd.as_of);
+      if (!s.ok()) return WithStatement(s, sql);
+      Result<std::shared_ptr<ReadView>> view = registry()->Snapshot(cmd.name);
+      if (!view.ok()) return WithStatement(view.status(), sql);
+      out.message = "Created snapshot " + cmd.name + " as of " +
+                    FormatTimestamp((*view)->as_of());
+      return out;
     }
     case SqlCommand::Kind::kAlterUndoInterval: {
-      REWIND_RETURN_IF_ERROR(conn_->SetRetention(cmd.undo_interval_micros));
-      return std::string("Undo interval set to ") +
-             std::to_string(cmd.undo_interval_micros / 1'000'000) +
-             " seconds";
+      Status s = conn_->SetRetention(cmd.undo_interval_micros);
+      if (!s.ok()) return WithStatement(s, sql);
+      out.message = std::string("Undo interval set to ") +
+                    std::to_string(cmd.undo_interval_micros / 1'000'000) +
+                    " seconds";
+      return out;
     }
     case SqlCommand::Kind::kDropDatabase: {
-      REWIND_RETURN_IF_ERROR(conn_->DropSnapshot(cmd.name));
-      return "Dropped snapshot " + cmd.name;
+      Status s = registry()->DropSnapshot(cmd.name);
+      if (!s.ok()) return WithStatement(s, sql);
+      out.message = "Dropped snapshot " + cmd.name;
+      return out;
     }
     case SqlCommand::Kind::kFlashback: {
-      REWIND_ASSIGN_OR_RETURN(FlashbackResult r,
-                              conn_->Flashback(cmd.txn_id));
-      return "Flashback of transaction " + std::to_string(cmd.txn_id) +
-             " undid " + std::to_string(r.operations_undone) +
-             " operations (compensating transaction " +
-             std::to_string(r.compensating_txn) + ")";
+      Result<FlashbackResult> r = conn_->Flashback(cmd.txn_id);
+      if (!r.ok()) return WithStatement(r.status(), sql);
+      out.message = "Flashback of transaction " + std::to_string(cmd.txn_id) +
+                    " undid " + std::to_string(r->operations_undone) +
+                    " operations (compensating transaction " +
+                    std::to_string(r->compensating_txn) + ")";
+      return out;
     }
     case SqlCommand::Kind::kCreateTable: {
-      REWIND_RETURN_IF_ERROR(conn_->CreateTable(cmd.name, cmd.schema));
-      return "Created table " + cmd.name;
+      Status s = conn_->CreateTable(cmd.name, cmd.schema);
+      if (!s.ok()) return WithStatement(s, sql);
+      out.message = "Created table " + cmd.name;
+      return out;
     }
     case SqlCommand::Kind::kDropTable: {
-      REWIND_RETURN_IF_ERROR(conn_->DropTable(cmd.name));
-      return "Dropped table " + cmd.name;
+      Status s = conn_->DropTable(cmd.name);
+      if (!s.ok()) return WithStatement(s, sql);
+      out.message = "Dropped table " + cmd.name;
+      return out;
     }
     case SqlCommand::Kind::kSetCommitMode: {
       conn_->SetDefaultCommitMode(cmd.commit_mode);
-      return std::string("Commit mode set to ") +
-             CommitModeName(cmd.commit_mode);
+      out.message = std::string("Commit mode set to ") +
+                    CommitModeName(cmd.commit_mode);
+      return out;
     }
     case SqlCommand::Kind::kCheckpoint: {
-      REWIND_RETURN_IF_ERROR(conn_->FuzzyCheckpoint());
-      return std::string("Checkpoint complete");
+      Status s = conn_->FuzzyCheckpoint();
+      if (!s.ok()) return WithStatement(s, sql);
+      out.message = "Checkpoint complete";
+      return out;
     }
+    case SqlCommand::Kind::kShowStats:
+      return ShowStats();
   }
-  return Status::InvalidArgument("unhandled statement");
+  return WithStatement(Status::InvalidArgument("unhandled statement"), sql);
+}
+
+SqlResult SqlSession::ShowStats() {
+  SqlResult out;
+  out.has_rowset = true;
+  out.column_names = {"metric", "value"};
+  out.column_types = {ColumnType::kString, ColumnType::kInt64};
+
+  std::vector<StatsRow> rows;
+  auto add = [&rows](const char* name, uint64_t v) {
+    rows.emplace_back(name, static_cast<int64_t>(v));
+  };
+
+  BufferManager::Stats bs = conn_->BufferStats();
+  add("buffer.hits", bs.hits);
+  add("buffer.misses", bs.misses);
+  add("buffer.evictions", bs.evictions);
+  add("buffer.shards", bs.shards);
+  add("buffer.pool_pages", bs.pool_pages);
+
+  VersionStore::Stats vs = conn_->VersionStoreStats();
+  add("version_store.exact_hits", vs.exact_hits);
+  add("version_store.partial_hits", vs.partial_hits);
+  add("version_store.misses", vs.misses);
+  add("version_store.published", vs.published);
+  add("version_store.evictions", vs.evictions);
+  add("version_store.cap_drops", vs.cap_drops);
+  add("version_store.truncation_drops", vs.truncation_drops);
+
+  wal::WalStats ws = conn_->engine()->log()->stats();
+  add("wal.fsyncs", ws.fsyncs);
+  add("wal.flushed_bytes", ws.flushed_bytes);
+  add("wal.max_batch_bytes", ws.max_batch_bytes);
+  add("wal.appends", ws.appends);
+  add("wal.group_commit_waits", ws.group_commit_waits);
+  add("wal.sync_commits", ws.sync_commits);
+  add("wal.group_commits", ws.group_commits);
+  add("wal.async_commits", ws.async_commits);
+  add("wal.none_commits", ws.none_commits);
+
+  wal::ArchiveStats as = conn_->ArchiveStats();
+  add("archive.segments_sealed", as.segments_sealed);
+  add("archive.segments_dropped", as.segments_dropped);
+  add("archive.bytes_sealed", as.bytes_sealed);
+  add("archive.bytes_dropped", as.bytes_dropped);
+  add("archive.bytes_read", as.bytes_read);
+  add("archive.verifications", as.verifications);
+
+  add("retention.undo_interval_micros", conn_->retention_micros());
+  add("snapshots.named", registry()->ListSnapshots().size());
+  add("snapshots.open_anchors", conn_->engine()->SnapshotAnchorCount());
+
+  if (extra_stats_) extra_stats_(&rows);
+
+  out.rows.reserve(rows.size());
+  for (const StatsRow& r : rows) {
+    out.rows.push_back({Value(r.first), Value(r.second)});
+  }
+  out.message = std::to_string(out.rows.size()) + " metrics";
+  return out;
 }
 
 Result<std::shared_ptr<ReadView>> SqlSession::GetSnapshot(
     const std::string& name) {
-  return conn_->Snapshot(name);
+  return registry()->Snapshot(name);
 }
 
 }  // namespace rewinddb

@@ -45,9 +45,19 @@ Status TransactionManager::Commit(Transaction* txn) {
   rec.txn_id = txn->id;
   rec.prev_lsn = txn->last_lsn;
   rec.wall_clock = clock_->NowMicros();
-  Lsn base = kInvalidLsn;
-  Lsn lsn = txn->writer.Append(rec, &base);
-  OnAppended(txn, lsn, base);
+  Lsn lsn;
+  {
+    // Append the COMMIT record and mark the transaction decided in one
+    // step relative to ActiveTransactions(): a fuzzy checkpoint racing
+    // the durability wait below must not capture this transaction as
+    // active once its completion record has an LSN (see
+    // Transaction::completion_logged).
+    std::lock_guard<std::mutex> g(mu_);
+    Lsn base = kInvalidLsn;
+    lsn = txn->writer.Append(rec, &base);
+    OnAppended(txn, lsn, base);
+    txn->completion_logged = true;
+  }
   // Durability: user commits wait per their CommitMode (kGroup parks on
   // the group-commit pipeline; kSync forces the log in this thread).
   // System transactions piggyback on the next flush, which is safe
@@ -94,9 +104,11 @@ Status TransactionManager::Abort(Transaction* txn, UndoApplier* applier) {
     rec.type = LogType::kAbort;
     rec.txn_id = txn->id;
     rec.prev_lsn = txn->last_lsn;
+    std::lock_guard<std::mutex> g(mu_);
     Lsn base = kInvalidLsn;
     Lsn lsn = txn->writer.Append(rec, &base);
     OnAppended(txn, lsn, base);
+    txn->completion_logged = true;
   }
   txn->state = TxnState::kAborted;
   locks_->ReleaseAll(txn->id);
@@ -109,6 +121,9 @@ std::vector<AttEntry> TransactionManager::ActiveTransactions() const {
   std::vector<AttEntry> att;
   att.reserve(active_.size());
   for (const auto& [id, txn] : active_) {
+    // Decided transactions linger in active_ through the durability
+    // wait; they are not recovery work and must not be captured.
+    if (txn->completion_logged) continue;
     if (txn->last_lsn != kInvalidLsn) att.push_back({id, txn->last_lsn});
   }
   return att;

@@ -43,6 +43,14 @@ struct Transaction {
   /// Durability level of this transaction's commit (set from the
   /// engine/connection default at Begin; Txn::Commit(mode) overrides).
   CommitMode commit_mode = CommitMode::kGroup;
+  /// True once the COMMIT/ABORT record has been appended to the log.
+  /// Guarded by TransactionManager::mu_. A decided transaction must
+  /// never appear in a fuzzy checkpoint's ATT: its descriptor lingers
+  /// in `active_` through the durability wait, and an ATT entry whose
+  /// last_lsn is a completion record would let a later analysis pass
+  /// (whose scan starts above that LSN) resurrect the transaction as a
+  /// loser and undo committed work.
+  bool completion_logged = false;
   /// Per-transaction WAL write handle: stages record encodings locally
   /// and publishes them in batches.
   wal::Writer writer;

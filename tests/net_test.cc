@@ -1,0 +1,538 @@
+// End-to-end tests of the network front end: a real Server on a
+// loopback TCP port, driven through the client library and through raw
+// sockets (for protocol-abuse cases). Covers the session lifecycle
+// (handles released at teardown), admission control, idle timeouts and
+// server survival under garbage input.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <random>
+#include <thread>
+
+#include "api/connection.h"
+#include "client/client.h"
+#include "server/server.h"
+#include "sql/parser.h"
+
+namespace rewinddb {
+namespace {
+
+constexpr uint64_t kSecond = 1'000'000;
+
+std::string TestDir() {
+  return (std::filesystem::temp_directory_path() / "rewinddb_net" /
+          ::testing::UnitTest::GetInstance()->current_test_info()->name())
+      .string();
+}
+
+class NetTest : public ::testing::Test {
+ protected:
+  void StartServer(server::Server::Options opts = {}) {
+    dir_ = TestDir();
+    std::filesystem::remove_all(dir_);
+    clock_ = std::make_unique<SimClock>(100 * kSecond);
+    DatabaseOptions dbopts;
+    dbopts.clock = clock_.get();
+    auto conn = Connection::Create(dir_, dbopts);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    conn_ = std::move(*conn);
+    srv_ = std::make_unique<server::Server>(conn_->engine(), opts);
+    ASSERT_TRUE(srv_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (srv_) srv_->Stop();
+  }
+
+  std::unique_ptr<client::Client> Dial() {
+    auto c = client::Client::Connect("127.0.0.1", srv_->port(), "net_test");
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return c.ok() ? std::move(*c) : nullptr;
+  }
+
+  /// Poll until `pred` holds or ~2s pass (session teardown runs on the
+  /// worker thread after the socket closes, so it is asynchronous from
+  /// the client's point of view).
+  static bool Eventually(const std::function<bool()>& pred) {
+    for (int i = 0; i < 400; i++) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+  }
+
+  std::string dir_;
+  std::unique_ptr<SimClock> clock_;
+  std::unique_ptr<Connection> conn_;
+  std::unique_ptr<server::Server> srv_;
+};
+
+Status CreateItems(client::Client* c) {
+  return c
+      ->Execute(
+          "CREATE TABLE items (id INT64, name STRING, score DOUBLE, "
+          "PRIMARY KEY (id))")
+      .status();
+}
+
+TEST_F(NetTest, HandshakeAndDdl) {
+  StartServer();
+  auto c = Dial();
+  ASSERT_NE(c, nullptr);
+  EXPECT_GT(c->session_id(), 0u);
+  EXPECT_NE(c->banner().find("RewindDB"), std::string::npos);
+  ASSERT_TRUE(CreateItems(c.get()).ok());
+  auto tables = c->ListTables();
+  ASSERT_TRUE(tables.ok());
+  ASSERT_EQ(tables->rows.size(), 1u);
+  EXPECT_EQ(tables->rows[0][0].AsString(), "items");
+  EXPECT_TRUE(c->Ping().ok());
+}
+
+TEST_F(NetTest, AutocommitAndTransactions) {
+  StartServer();
+  auto c = Dial();
+  ASSERT_TRUE(CreateItems(c.get()).ok());
+
+  // Autocommit: visible immediately.
+  ASSERT_TRUE(c->Insert("items", {int64_t{1}, std::string("a"), 1.0}).ok());
+  auto row = c->Get("items", {int64_t{1}});
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  EXPECT_EQ((*row)[1].AsString(), "a");
+
+  // Rolled-back transaction: invisible.
+  ASSERT_TRUE(c->Begin().ok());
+  ASSERT_TRUE(c->Insert("items", {int64_t{2}, std::string("b"), 2.0}).ok());
+  ASSERT_TRUE(c->Rollback().ok());
+  EXPECT_TRUE(c->Get("items", {int64_t{2}}).status().IsNotFound());
+
+  // Committed transaction: visible; double BEGIN rejected.
+  ASSERT_TRUE(c->Begin().ok());
+  EXPECT_FALSE(c->Begin().ok());
+  ASSERT_TRUE(c->Insert("items", {int64_t{3}, std::string("c"), 3.0}).ok());
+  ASSERT_TRUE(c->Update("items", {int64_t{1}, std::string("a2"), 1.5}).ok());
+  ASSERT_TRUE(c->Commit(CommitMode::kSync).ok());
+
+  auto count = c->Count("items");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2u);
+  ASSERT_TRUE(c->Delete("items", {int64_t{3}}).ok());
+  auto scan = c->Scan("items", std::nullopt, std::nullopt);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->rowset.rows.size(), 1u);
+  EXPECT_EQ(scan->rowset.rows[0][1].AsString(), "a2");
+  EXPECT_EQ(scan->rowset.columns[2].name, "score");
+  EXPECT_FALSE(c->Commit().ok());  // nothing open
+}
+
+TEST_F(NetTest, WireValuesCoerceTowardSchema) {
+  StartServer();
+  auto c = Dial();
+  ASSERT_TRUE(
+      c->Execute("CREATE TABLE t (id INT32, v DOUBLE, PRIMARY KEY (id))")
+          .status()
+          .ok());
+  // int64 literals coerce into int32 key and double column.
+  ASSERT_TRUE(c->Insert("t", {Value(int64_t{7}), Value(int64_t{3})}).ok());
+  auto row = c->Get("t", {Value(int64_t{7})});
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  EXPECT_EQ((*row)[0].AsInt32(), 7);
+  EXPECT_EQ((*row)[1].AsDouble(), 3.0);
+
+  // Lossy or cross-kind coercions are rejected, not mangled.
+  EXPECT_TRUE(c->Insert("t", {Value(int64_t{1} << 40), Value(0.0)})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(c->Insert("t", {Value(std::string("x")), Value(0.0)})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      c->Insert("t", {Value(int32_t{1})}).IsInvalidArgument());  // arity
+  EXPECT_TRUE(c->Get("t", {Value(int32_t{1}), Value(int32_t{2})})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(NetTest, TimeTravelOverTheWire) {
+  StartServer();
+  auto c = Dial();
+  ASSERT_TRUE(CreateItems(c.get()).ok());
+  ASSERT_TRUE(c->Insert("items", {int64_t{1}, std::string("old"), 1.0}).ok());
+  clock_->Advance(10 * kSecond);
+  uint64_t t_past = clock_->NowMicros();
+  clock_->Advance(10 * kSecond);
+  ASSERT_TRUE(
+      c->Update("items", {int64_t{1}, std::string("new"), 2.0}).ok());
+  ASSERT_TRUE(c->Insert("items", {int64_t{2}, std::string("late"), 0.0}).ok());
+
+  auto view = c->AsOf(t_past);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_GT(view->handle, net::kLiveViewHandle);
+
+  auto past_row = c->Get("items", {int64_t{1}}, view->handle);
+  ASSERT_TRUE(past_row.ok()) << past_row.status().ToString();
+  EXPECT_EQ((*past_row)[1].AsString(), "old");
+  EXPECT_TRUE(
+      c->Get("items", {int64_t{2}}, view->handle).status().IsNotFound());
+  auto past_count = c->Count("items", view->handle);
+  ASSERT_TRUE(past_count.ok());
+  EXPECT_EQ(*past_count, 1u);
+
+  // The live view still sees the present.
+  auto live_row = c->Get("items", {int64_t{1}});
+  ASSERT_TRUE(live_row.ok());
+  EXPECT_EQ((*live_row)[1].AsString(), "new");
+
+  ASSERT_TRUE(c->ReleaseView(view->handle).ok());
+  EXPECT_TRUE(c->ReleaseView(view->handle).IsNotFound());
+  EXPECT_TRUE(
+      c->Get("items", {int64_t{1}}, view->handle).status().IsNotFound());
+}
+
+TEST_F(NetTest, NamedSnapshotsAreServerGlobal) {
+  StartServer();
+  auto a = Dial();
+  ASSERT_TRUE(CreateItems(a.get()).ok());
+  ASSERT_TRUE(a->Insert("items", {int64_t{1}, std::string("x"), 1.0}).ok());
+  clock_->Advance(5 * kSecond);
+  std::string stmt =
+      "CREATE DATABASE probe AS SNAPSHOT OF db AS OF '" +
+      FormatTimestamp(clock_->NowMicros()) + "'";
+  auto created = a->Execute(stmt);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  // A different session sees it by name.
+  auto b = Dial();
+  auto view = b->OpenSnapshot("probe");
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  auto n = b->Count("items", view->handle);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+
+  // Snapshot survives its creator's session.
+  a.reset();
+  auto c2 = Dial();
+  EXPECT_TRUE(c2->OpenSnapshot("probe").ok());
+  EXPECT_TRUE(c2->Execute("DROP DATABASE probe").ok());
+  EXPECT_FALSE(c2->OpenSnapshot("probe").ok());
+}
+
+TEST_F(NetTest, SessionTeardownReleasesSnapshotHandles) {
+  StartServer();
+  Database* db = conn_->engine();
+  auto c = Dial();
+  ASSERT_TRUE(CreateItems(c.get()).ok());
+  ASSERT_TRUE(c->Insert("items", {int64_t{1}, std::string("x"), 1.0}).ok());
+  clock_->Advance(5 * kSecond);
+  const size_t baseline = db->SnapshotAnchorCount();
+
+  std::vector<uint64_t> handles;
+  for (int i = 0; i < 3; i++) {
+    clock_->Advance(kSecond);
+    auto v = c->AsOf(clock_->NowMicros() - kSecond / 2);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    handles.push_back(v->handle);
+  }
+  EXPECT_GT(db->SnapshotAnchorCount(), baseline);
+
+  // Drop the connection WITHOUT releasing: the dying session must give
+  // every anchor back.
+  c.reset();
+  EXPECT_TRUE(Eventually(
+      [&] { return db->SnapshotAnchorCount() == baseline; }))
+      << "anchors still held: " << db->SnapshotAnchorCount()
+      << " (baseline " << baseline << ")";
+}
+
+TEST_F(NetTest, BusyRejectionAtMaxConnections) {
+  server::Server::Options opts;
+  opts.max_connections = 2;
+  StartServer(opts);
+  auto a = Dial();
+  auto b = Dial();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(a->Ping().ok());
+
+  auto rejected =
+      client::Client::Connect("127.0.0.1", srv_->port(), "one too many");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsBusy()) << rejected.status().ToString();
+  EXPECT_NE(rejected.status().message().find("busy"), std::string::npos);
+  EXPECT_GE(srv_->stats().rejected_busy, 1u);
+
+  // A freed slot readmits (teardown is asynchronous: retry briefly).
+  a.reset();
+  EXPECT_TRUE(Eventually([&] {
+    return client::Client::Connect("127.0.0.1", srv_->port(), "retry").ok();
+  }));
+}
+
+TEST_F(NetTest, IdleSessionsTimeOut) {
+  server::Server::Options opts;
+  opts.idle_timeout_ms = 100;
+  StartServer(opts);
+  auto c = Dial();
+  ASSERT_TRUE(c->Ping().ok());
+  EXPECT_TRUE(Eventually([&] { return srv_->stats().idle_timeouts >= 1; }));
+  EXPECT_FALSE(c->Ping().ok());  // server hung up
+  EXPECT_TRUE(Eventually([&] { return srv_->stats().sessions_open == 0; }));
+}
+
+// Raw-socket protocol abuse: the server must answer or close, never
+// crash or wedge. After every abusive connection a well-behaved client
+// verifies the server still works.
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+  void Send(const std::string& bytes) {
+    net::WriteFull(fd_, bytes.data(), bytes.size());
+  }
+  Status ReadResponse(net::ResponseView* resp, std::string* body) {
+    REWIND_RETURN_IF_ERROR(net::ReadFrame(fd_, net::kMaxFrameBytes, body));
+    return net::ParseResponse(Slice(*body), resp);
+  }
+  Status ReadRaw(std::string* body) {
+    return net::ReadFrame(fd_, net::kMaxFrameBytes, body);
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST_F(NetTest, GarbageBytesNeverKillTheServer) {
+  StartServer();
+  std::mt19937 rng(1234);
+
+  {  // Oversized length prefix: error frame (best effort: the close
+     // may RST past it), then the connection ends.
+    RawConn raw(srv_->port());
+    ASSERT_TRUE(raw.connected());
+    std::string evil;
+    PutFixed32(&evil, 0x7FFFFFFF);
+    evil += "x";
+    raw.Send(evil);
+    net::ResponseView resp;
+    std::string body;
+    Status st = raw.ReadResponse(&resp, &body);
+    if (st.ok()) {
+      EXPECT_TRUE(resp.status.IsInvalidArgument());
+      st = raw.ReadResponse(&resp, &body);
+    }
+    EXPECT_FALSE(st.ok());  // connection ended either way
+  }
+
+  {  // Unknown opcode inside a valid frame: error reply echoing the
+     // raw opcode byte (so not ParseResponse-able), stream lives.
+    RawConn raw(srv_->port());
+    std::string body;
+    body.push_back(static_cast<char>(200));
+    PutFixed64(&body, 0);
+    std::string frame;
+    PutFixed32(&frame, static_cast<uint32_t>(body.size()));
+    frame += body;
+    raw.Send(frame);
+    std::string rbody;
+    ASSERT_TRUE(raw.ReadRaw(&rbody).ok());
+    ASSERT_GE(rbody.size(), 2u);
+    EXPECT_EQ(static_cast<uint8_t>(rbody[0]), 200);
+    EXPECT_EQ(static_cast<uint8_t>(rbody[1]),
+              static_cast<uint8_t>(Status::Code::kNotSupported));
+    net::ResponseView resp;
+    // Same connection can still handshake afterwards.
+    std::string hello;
+    PutFixed32(&hello, net::kProtocolVersion);
+    PutLengthPrefixed(&hello, Slice("post-abuse"));
+    raw.Send(net::EncodeRequest(net::Op::kHello, 0, hello));
+    ASSERT_TRUE(raw.ReadResponse(&resp, &rbody).ok());
+    EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+  }
+
+  {  // Truncated request inside a valid frame (opcode only).
+    RawConn raw(srv_->port());
+    std::string frame;
+    PutFixed32(&frame, 1);
+    frame.push_back(static_cast<char>(net::Op::kExecute));
+    raw.Send(frame);
+    net::ResponseView resp;
+    std::string rbody;
+    ASSERT_TRUE(raw.ReadResponse(&resp, &rbody).ok());
+    EXPECT_TRUE(resp.status.IsInvalidArgument());
+  }
+
+  // Random garbage volleys, abandoned mid-frame or not.
+  for (int round = 0; round < 20; round++) {
+    RawConn raw(srv_->port());
+    std::string junk;
+    size_t n = 1 + rng() % 200;
+    for (size_t i = 0; i < n; i++) {
+      junk.push_back(static_cast<char>(rng() % 256));
+    }
+    raw.Send(junk);
+  }
+
+  // Ops with hostile payloads behind a legitimate handshake.
+  {
+    auto c = Dial();
+    ASSERT_TRUE(CreateItems(c.get()).ok());
+  }
+  {
+    RawConn raw(srv_->port());
+    std::string hello;
+    PutFixed32(&hello, net::kProtocolVersion);
+    PutLengthPrefixed(&hello, Slice("fuzzer"));
+    raw.Send(net::EncodeRequest(net::Op::kHello, 0, hello));
+    net::ResponseView resp;
+    std::string rbody;
+    ASSERT_TRUE(raw.ReadResponse(&resp, &rbody).ok());
+    for (int round = 0; round < 200; round++) {
+      uint8_t op = 1 + rng() % 17;
+      std::string payload;
+      size_t n = rng() % 64;
+      for (size_t i = 0; i < n; i++) {
+        payload.push_back(static_cast<char>(rng() % 256));
+      }
+      raw.Send(net::EncodeRequest(static_cast<net::Op>(op), 0, payload));
+      Status st = raw.ReadResponse(&resp, &rbody);
+      if (!st.ok()) break;  // server chose to close; also acceptable
+      if (resp.op == net::Op::kGoodbye) break;
+    }
+  }
+
+  // After all of it, a fresh client gets normal service and the table
+  // is uncorrupted.
+  auto c = Dial();
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(c->Ping().ok());
+  auto count = c->Count("items");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+}
+
+TEST_F(NetTest, SqlErrorsCarryStatementFragment) {
+  StartServer();
+  auto c = Dial();
+  auto r = c->Execute("CREATE TABEL items (id INT64, PRIMARY KEY (id))");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("[statement:"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("CREATE TABEL"), std::string::npos);
+
+  auto r2 = c->Execute("FLASHBACK TRANSACTION 999999");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("[statement:"), std::string::npos)
+      << r2.status().ToString();
+}
+
+TEST_F(NetTest, EightClientFleetRunsClean) {
+  StartServer();
+  {
+    auto c = Dial();
+    ASSERT_TRUE(CreateItems(c.get()).ok());
+  }
+  constexpr int kClients = 8;
+  constexpr int kOpsPerClient = 60;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; t++) {
+    threads.emplace_back([&, t] {
+      auto c = client::Client::Connect("127.0.0.1", srv_->port(),
+                                       "fleet" + std::to_string(t));
+      if (!c.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::mt19937 rng(t);
+      for (int i = 0; i < kOpsPerClient; i++) {
+        int64_t id = t * 1000 + i;
+        Status st = (*c)->Insert(
+            "items", {id, "w" + std::to_string(t), 0.5 * i});
+        if (!st.ok()) failures.fetch_add(1);
+        switch (rng() % 4) {
+          case 0: {
+            if (!(*c)->Get("items", {id}).ok()) failures.fetch_add(1);
+            break;
+          }
+          case 1: {
+            if (!(*c)->Count("items").ok()) failures.fetch_add(1);
+            break;
+          }
+          case 2: {
+            if (!(*c)->Update("items", {id, std::string("u"), 1.0}).ok()) {
+              failures.fetch_add(1);
+            }
+            break;
+          }
+          default: {
+            auto v = (*c)->AsOf(clock_->NowMicros());
+            if (v.ok()) (*c)->ReleaseView(v->handle);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto c = Dial();
+  auto count = c->Count("items");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, static_cast<uint64_t>(kClients * kOpsPerClient));
+  server::Server::Stats s = srv_->stats();
+  EXPECT_GE(s.sessions_peak, 1u);
+  EXPECT_EQ(s.frame_errors, 0u);
+}
+
+TEST_F(NetTest, ShowStatsIncludesServerCounters) {
+  StartServer();
+  auto c = Dial();
+  auto r = c->Execute("SHOW STATS");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->has_rowset);
+  bool saw_sessions = false, saw_buffer = false, saw_wal = false;
+  for (const Row& row : r->rowset.rows) {
+    const std::string& metric = row[0].AsString();
+    if (metric == "server.sessions_open") {
+      saw_sessions = true;
+      EXPECT_GE(row[1].AsInt64(), 1);
+    }
+    if (metric == "buffer.pool_pages") saw_buffer = true;
+    if (metric == "wal.appends") saw_wal = true;
+  }
+  EXPECT_TRUE(saw_sessions && saw_buffer && saw_wal);
+}
+
+TEST_F(NetTest, StopWithLiveSessionsShutsDownCleanly) {
+  StartServer();
+  auto a = Dial();
+  auto b = Dial();
+  ASSERT_TRUE(CreateItems(a.get()).ok());
+  ASSERT_TRUE(a->Begin().ok());
+  ASSERT_TRUE(
+      a->Insert("items", {int64_t{1}, std::string("x"), 1.0}).ok());
+  clock_->Advance(kSecond);
+  auto v = b->AsOf(clock_->NowMicros() - kSecond / 2);
+  ASSERT_TRUE(v.ok());
+  srv_->Stop();  // joins every worker; open txn rolls back, views release
+  EXPECT_EQ(srv_->stats().sessions_open, 0u);
+  EXPECT_FALSE(a->Ping().ok());
+}
+
+}  // namespace
+}  // namespace rewinddb

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <set>
 
 #include "engine/database.h"
 #include "engine/table.h"
@@ -264,6 +265,67 @@ TEST_F(SqlSessionTest, DropTableViaSql) {
   ASSERT_TRUE(db_->OpenTable("temp").ok());
   ASSERT_TRUE(session_->Execute("DROP TABLE temp").ok());
   EXPECT_TRUE(db_->OpenTable("temp").status().IsNotFound());
+}
+
+TEST_F(SqlSessionTest, ShowStatsReturnsMetricRowset) {
+  ASSERT_TRUE(
+      session_->Execute("CREATE TABLE t (id INT, PRIMARY KEY (id))").ok());
+  auto res = session_->ExecuteStatement("SHOW STATS");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_TRUE(res->has_rowset);
+  ASSERT_EQ(res->column_names.size(), 2u);
+  EXPECT_EQ(res->column_names[0], "metric");
+  EXPECT_EQ(res->column_names[1], "value");
+  // Every subsystem must report: version store, buffer pool, WAL.
+  std::set<std::string> metrics;
+  for (const Row& row : res->rows) {
+    ASSERT_EQ(row.size(), 2u);
+    metrics.insert(row[0].AsString());
+  }
+  for (const char* expected :
+       {"version_store.exact_hits", "buffer.hits", "wal.appends",
+        "snapshots.open_anchors"}) {
+    EXPECT_TRUE(metrics.count(expected)) << "missing metric " << expected;
+  }
+}
+
+TEST_F(SqlSessionTest, ShowStatsIncludesExtraRows) {
+  session_->set_extra_stats([](std::vector<SqlSession::StatsRow>* rows) {
+    rows->push_back({"server.sessions_open", 7});
+  });
+  auto res = session_->ExecuteStatement("SHOW STATS");
+  ASSERT_TRUE(res.ok());
+  bool found = false;
+  for (const Row& row : res->rows) {
+    if (row[0].AsString() == "server.sessions_open") {
+      found = true;
+      EXPECT_EQ(row[1].AsInt64(), 7);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SqlSessionTest, ErrorsCarryStatementFragment) {
+  // Parse error: the failing statement text must be quoted back.
+  auto bad = session_->Execute("CREATE TABEL nope (id INT)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("CREATE TABEL"), std::string::npos)
+      << bad.status().ToString();
+  EXPECT_NE(bad.status().message().find("[statement:"), std::string::npos);
+
+  // Execution error (valid parse, missing table): same contract.
+  auto exec = session_->Execute("DROP TABLE does_not_exist");
+  ASSERT_FALSE(exec.ok());
+  EXPECT_NE(exec.status().message().find("does_not_exist"),
+            std::string::npos);
+
+  // Hostile junk never crashes and still reports the fragment.
+  for (const char* junk :
+       {"", "   ", ";;;", "SELECT", "CREATE TABLE", "\x01\x02\x03garbage",
+        "FLASHBACK TRANSACTION banana", "SHOW", "ALTER DATABASE"}) {
+    auto r = session_->Execute(junk);
+    EXPECT_FALSE(r.ok()) << "accepted junk: " << junk;
+  }
 }
 
 }  // namespace

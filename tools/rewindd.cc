@@ -1,0 +1,98 @@
+// rewindd: the RewindDB server daemon.
+//
+//   rewindd --dir /path/to/db [--host 127.0.0.1] [--port 54321]
+//           [--max-connections 64] [--idle-timeout-ms 0] [--create]
+//
+// Opens (or, with --create, bootstraps) the database in --dir, starts
+// the TCP front end and serves until SIGINT/SIGTERM. With --port 0 the
+// kernel picks a port, printed on stdout as "LISTENING <port>" -- which
+// is how scripted smoke tests find it.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "api/connection.h"
+#include "server/server.h"
+
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+void Usage() {
+  std::cerr
+      << "usage: rewindd --dir DIR [--host H] [--port P]\n"
+         "               [--max-connections N] [--idle-timeout-ms MS]\n"
+         "               [--create]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using rewinddb::Connection;
+  using rewinddb::Result;
+  using rewinddb::server::Server;
+
+  std::string dir;
+  Server::Options opts;
+  bool create = false;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dir") {
+      dir = next();
+    } else if (arg == "--host") {
+      opts.host = next();
+    } else if (arg == "--port") {
+      opts.port = static_cast<uint16_t>(atoi(next()));
+    } else if (arg == "--max-connections") {
+      opts.max_connections = static_cast<uint32_t>(atoi(next()));
+    } else if (arg == "--idle-timeout-ms") {
+      opts.idle_timeout_ms = static_cast<uint32_t>(atoi(next()));
+    } else if (arg == "--create") {
+      create = true;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    Usage();
+    return 2;
+  }
+
+  Result<std::unique_ptr<Connection>> conn =
+      create ? Connection::Create(dir) : Connection::Open(dir);
+  if (!conn.ok()) {
+    std::cerr << "rewindd: cannot open " << dir << ": "
+              << conn.status().ToString() << "\n";
+    return 1;
+  }
+
+  Server server((*conn)->engine(), opts);
+  rewinddb::Status st = server.Start();
+  if (!st.ok()) {
+    std::cerr << "rewindd: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "LISTENING " << server.port() << std::endl;
+
+  signal(SIGINT, OnSignal);
+  signal(SIGTERM, OnSignal);
+  signal(SIGPIPE, SIG_IGN);
+  while (!g_stop) pause();
+
+  std::cout << "rewindd: shutting down" << std::endl;
+  server.Stop();
+  return 0;
+}

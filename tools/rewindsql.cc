@@ -1,0 +1,406 @@
+// rewindsql: the interactive RewindDB shell.
+//
+//   rewindsql [--host 127.0.0.1] --port P [-c "statement"]
+//
+// Lines are SQL statements (CREATE TABLE, CHECKPOINT, SHOW STATS,
+// CREATE DATABASE ... AS SNAPSHOT, FLASHBACK TRANSACTION, ...) executed
+// over the wire, except lines starting with '.', which drive the parts
+// of the protocol SQL does not cover yet (DML, reads, time travel):
+//
+//   .begin / .commit [sync|group|async|none] / .rollback
+//   .insert TABLE v1 v2 ...        .update TABLE v1 v2 ...
+//   .delete TABLE k1 ...           .get TABLE k1 ...
+//   .scan TABLE [limit]            .count TABLE
+//   .tables                        list tables in the current view
+//   .asof MICROS|'YYYY-MM-DD ...'  open an as-of view, make it current
+//   .snapshot NAME                 open a named snapshot view
+//   .view [HANDLE]                 show or switch the current view
+//   .release HANDLE                release a view handle
+//   .live                          back to the live database
+//   .ping / .help / .quit
+//
+// Value literals: integers parse as int64, numbers with '.' as double,
+// everything else (optionally 'quoted') as string; the server coerces
+// toward the table schema.
+#include <unistd.h>
+
+#include <charconv>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "sql/parser.h"
+
+namespace {
+
+using rewinddb::ColumnTypeName;
+using rewinddb::Result;
+using rewinddb::Row;
+using rewinddb::Status;
+using rewinddb::Value;
+using rewinddb::client::Client;
+using rewinddb::net::kLiveViewHandle;
+using rewinddb::net::Rowset;
+
+Value ParseLiteral(const std::string& tok) {
+  if (tok.size() >= 2 && tok.front() == '\'' && tok.back() == '\'') {
+    return Value(tok.substr(1, tok.size() - 2));
+  }
+  int64_t i;
+  auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+  if (ec == std::errc() && p == tok.data() + tok.size()) return Value(i);
+  if (tok.find('.') != std::string::npos) {
+    try {
+      size_t pos = 0;
+      double d = std::stod(tok, &pos);
+      if (pos == tok.size()) return Value(d);
+    } catch (...) {
+    }
+  }
+  return Value(tok);
+}
+
+/// Tokenize respecting 'single quotes' (which may contain spaces).
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool quoted = false;
+  for (char ch : line) {
+    if (ch == '\'') {
+      quoted = !quoted;
+      cur.push_back(ch);
+    } else if (!quoted && isspace(static_cast<unsigned char>(ch))) {
+      if (!cur.empty()) out.push_back(std::move(cur)), cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::string ValueToString(const Value& v) {
+  switch (v.type()) {
+    case rewinddb::ColumnType::kInt32:
+      return std::to_string(v.AsInt32());
+    case rewinddb::ColumnType::kInt64:
+      return std::to_string(v.AsInt64());
+    case rewinddb::ColumnType::kDouble: {
+      std::ostringstream os;
+      os << v.AsDouble();
+      return os.str();
+    }
+    case rewinddb::ColumnType::kString:
+      return v.AsString();
+  }
+  return "?";
+}
+
+void PrintRowset(const Rowset& rs) {
+  std::vector<size_t> widths(rs.columns.size());
+  for (size_t i = 0; i < rs.columns.size(); i++) {
+    widths[i] = rs.columns[i].name.size();
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rs.rows.size());
+  for (const Row& r : rs.rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < r.size(); i++) {
+      line.push_back(ValueToString(r[i]));
+      if (i < widths.size() && line.back().size() > widths[i]) {
+        widths[i] = line.back().size();
+      }
+    }
+    cells.push_back(std::move(line));
+  }
+  auto rule = [&] {
+    for (size_t w : widths) std::cout << "+" << std::string(w + 2, '-');
+    std::cout << "+\n";
+  };
+  rule();
+  for (size_t i = 0; i < rs.columns.size(); i++) {
+    std::cout << "| " << rs.columns[i].name
+              << std::string(widths[i] - rs.columns[i].name.size() + 1, ' ');
+  }
+  std::cout << "|\n";
+  rule();
+  for (const auto& line : cells) {
+    for (size_t i = 0; i < line.size(); i++) {
+      size_t w = i < widths.size() ? widths[i] : line[i].size();
+      std::cout << "| " << line[i]
+                << std::string(w - line[i].size() + 1, ' ');
+    }
+    std::cout << "|\n";
+  }
+  rule();
+  std::cout << rs.rows.size() << " row" << (rs.rows.size() == 1 ? "" : "s")
+            << "\n";
+}
+
+void Help() {
+  std::cout <<
+      "SQL statements run as typed; dot commands:\n"
+      "  .begin | .commit [sync|group|async|none] | .rollback\n"
+      "  .insert TABLE v1 v2 ...   .update TABLE v1 v2 ...\n"
+      "  .delete TABLE k1 ...      .get TABLE k1 ...\n"
+      "  .scan TABLE [limit]       .count TABLE\n"
+      "  .tables                   .ping\n"
+      "  .asof MICROS|'YYYY-MM-DD hh:mm:ss'   .snapshot NAME\n"
+      "  .view [HANDLE] | .live | .release HANDLE\n"
+      "  .help | .quit\n";
+}
+
+struct Shell {
+  Client* c;
+  uint64_t view = kLiveViewHandle;
+  /// Sticky: any failed statement sets it. Scripted (-c) runs exit
+  /// non-zero on it, so CI can assert on shell output.
+  bool had_error = false;
+
+  /// Returns false when the shell should exit.
+  bool RunLine(const std::string& line);
+  void RunDot(const std::vector<std::string>& tok);
+};
+
+bool Shell::RunLine(const std::string& line) {
+  std::string trimmed = line;
+  while (!trimmed.empty() && isspace(static_cast<unsigned char>(
+                                 trimmed.front()))) {
+    trimmed.erase(trimmed.begin());
+  }
+  if (trimmed.empty() || trimmed[0] == '#') return true;
+  if (trimmed[0] == '.') {
+    std::vector<std::string> tok = Tokenize(trimmed);
+    if (tok[0] == ".quit" || tok[0] == ".exit") return false;
+    RunDot(tok);
+    return true;
+  }
+  Result<Client::ExecuteResult> r = c->Execute(trimmed);
+  if (!r.ok()) {
+    had_error = true;
+    std::cout << "error: " << r.status().ToString() << "\n";
+    return true;
+  }
+  if (r->has_rowset) PrintRowset(r->rowset);
+  std::cout << r->message << "\n";
+  return true;
+}
+
+void Shell::RunDot(const std::vector<std::string>& tok) {
+  const std::string& cmd = tok[0];
+  auto need = [&](size_t n) {
+    if (tok.size() >= 1 + n) return true;
+    had_error = true;
+    std::cout << "error: " << cmd << " needs " << n << " argument(s)\n";
+    return false;
+  };
+  auto rowOf = [&](size_t from) {
+    Row r;
+    for (size_t i = from; i < tok.size(); i++) {
+      r.push_back(ParseLiteral(tok[i]));
+    }
+    return r;
+  };
+  auto report = [&](const Status& st, const std::string& okmsg) {
+    if (st.ok()) {
+      std::cout << okmsg << "\n";
+    } else {
+      had_error = true;
+      std::cout << "error: " << st.ToString() << "\n";
+    }
+  };
+
+  if (cmd == ".help") {
+    Help();
+  } else if (cmd == ".ping") {
+    report(c->Ping(), "pong");
+  } else if (cmd == ".begin") {
+    Result<uint64_t> r = c->Begin();
+    if (r.ok()) {
+      std::cout << "transaction " << *r << " open\n";
+    } else {
+      report(r.status(), "");
+    }
+  } else if (cmd == ".commit") {
+    Status st;
+    if (tok.size() > 1) {
+      rewinddb::CommitMode mode;
+      if (tok[1] == "sync") {
+        mode = rewinddb::CommitMode::kSync;
+      } else if (tok[1] == "group") {
+        mode = rewinddb::CommitMode::kGroup;
+      } else if (tok[1] == "async") {
+        mode = rewinddb::CommitMode::kAsync;
+      } else if (tok[1] == "none") {
+        mode = rewinddb::CommitMode::kNone;
+      } else {
+        had_error = true;
+        std::cout << "error: unknown commit mode " << tok[1] << "\n";
+        return;
+      }
+      st = c->Commit(mode);
+    } else {
+      st = c->Commit();
+    }
+    report(st, "committed");
+  } else if (cmd == ".rollback") {
+    report(c->Rollback(), "rolled back");
+  } else if (cmd == ".insert") {
+    if (need(2)) report(c->Insert(tok[1], rowOf(2)), "1 row inserted");
+  } else if (cmd == ".update") {
+    if (need(2)) report(c->Update(tok[1], rowOf(2)), "1 row updated");
+  } else if (cmd == ".delete") {
+    if (need(2)) report(c->Delete(tok[1], rowOf(2)), "1 row deleted");
+  } else if (cmd == ".get") {
+    if (!need(2)) return;
+    Result<Row> r = c->Get(tok[1], rowOf(2), view);
+    if (!r.ok()) {
+      had_error = true;
+      std::cout << "error: " << r.status().ToString() << "\n";
+      return;
+    }
+    Rowset rs;
+    for (size_t i = 0; i < r->size(); i++) {
+      rs.columns.push_back({"c" + std::to_string(i), (*r)[i].type()});
+    }
+    rs.rows.push_back(*r);
+    PrintRowset(rs);
+  } else if (cmd == ".scan") {
+    if (!need(1)) return;
+    uint32_t limit = tok.size() > 2
+                         ? static_cast<uint32_t>(atoi(tok[2].c_str()))
+                         : 100;
+    Result<Client::ScanResult> r =
+        c->Scan(tok[1], std::nullopt, std::nullopt, limit, view);
+    if (!r.ok()) {
+      had_error = true;
+      std::cout << "error: " << r.status().ToString() << "\n";
+      return;
+    }
+    PrintRowset(r->rowset);
+    if (r->more) std::cout << "(more rows; raise the limit)\n";
+  } else if (cmd == ".count") {
+    if (!need(1)) return;
+    Result<uint64_t> r = c->Count(tok[1], view);
+    if (r.ok()) {
+      std::cout << *r << "\n";
+    } else {
+      report(r.status(), "");
+    }
+  } else if (cmd == ".tables") {
+    Result<Rowset> r = c->ListTables(view);
+    if (r.ok()) {
+      PrintRowset(*r);
+    } else {
+      report(r.status(), "");
+    }
+  } else if (cmd == ".asof" || cmd == ".snapshot") {
+    if (!need(1)) return;
+    Result<Client::ViewInfo> r = [&]() -> Result<Client::ViewInfo> {
+      if (cmd == ".snapshot") return c->OpenSnapshot(tok[1]);
+      // .asof: raw microseconds, or a quoted SQL timestamp literal.
+      uint64_t micros;
+      auto [p, ec] = std::from_chars(tok[1].data(),
+                                     tok[1].data() + tok[1].size(), micros);
+      if (ec == std::errc() && p == tok[1].data() + tok[1].size()) {
+        return c->AsOf(micros);
+      }
+      std::string lit = tok[1];
+      if (lit.size() >= 2 && lit.front() == '\'' && lit.back() == '\'') {
+        lit = lit.substr(1, lit.size() - 2);
+      }
+      Result<rewinddb::WallClock> ts = rewinddb::ParseTimestamp(lit);
+      if (!ts.ok()) return ts.status();
+      return c->AsOf(*ts);
+    }();
+    if (!r.ok()) {
+      had_error = true;
+      std::cout << "error: " << r.status().ToString() << "\n";
+      return;
+    }
+    view = r->handle;
+    std::cout << "view " << r->handle << " as of "
+              << rewinddb::FormatTimestamp(r->as_of) << " (now current)\n";
+  } else if (cmd == ".view") {
+    if (tok.size() > 1) view = strtoull(tok[1].c_str(), nullptr, 10);
+    std::cout << "current view: " << view
+              << (view == kLiveViewHandle ? " (live)" : "") << "\n";
+  } else if (cmd == ".live") {
+    view = kLiveViewHandle;
+    std::cout << "current view: live\n";
+  } else if (cmd == ".release") {
+    if (!need(1)) return;
+    uint64_t h = strtoull(tok[1].c_str(), nullptr, 10);
+    Status st = c->ReleaseView(h);
+    if (st.ok() && h == view) view = kLiveViewHandle;
+    report(st, "released");
+  } else {
+    had_error = true;
+    std::cout << "error: unknown command " << cmd << " (try .help)\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::vector<std::string> commands;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "usage: rewindsql [--host H] --port P [-c STMT]...\n";
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(atoi(next()));
+    } else if (arg == "-c") {
+      commands.push_back(next());
+    } else {
+      std::cerr << "usage: rewindsql [--host H] --port P [-c STMT]...\n";
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::cerr << "rewindsql: --port is required\n";
+    return 2;
+  }
+
+  Result<std::unique_ptr<Client>> c =
+      Client::Connect(host, port, "rewindsql");
+  if (!c.ok()) {
+    std::cerr << "rewindsql: " << c.status().ToString() << "\n";
+    return 1;
+  }
+  Shell shell{c->get()};
+
+  if (!commands.empty()) {
+    // Scripted mode: run every -c in order, exit non-zero if any
+    // failed so shell scripts and CI can assert on the outcome.
+    for (const std::string& cmd : commands) {
+      if (!shell.RunLine(cmd)) break;
+    }
+    return shell.had_error ? 1 : 0;
+  }
+
+  const bool tty = isatty(fileno(stdin));
+  if (tty) {
+    std::cout << (*c)->banner() << "\nsession " << (*c)->session_id()
+              << "; .help for commands\n";
+  }
+  std::string line;
+  while ((tty && (std::cout << "rewindsql> " << std::flush)),
+         std::getline(std::cin, line)) {
+    if (!shell.RunLine(line)) break;
+  }
+  if (tty) std::cout << "\n";
+  return 0;
+}
