@@ -1,0 +1,181 @@
+// StockLevel as SQL vs hand-coded (satellite of the executor PR).
+//
+// The paper's as-of query -- TPC-C STOCK-LEVEL -- exists in this repo
+// twice: as the hand-coded TpccDatabase::StockLevelOn (TableView calls)
+// and, since the SQL executor landed, as an ordinary join + aggregate:
+//
+//   SELECT COUNT(DISTINCT ol.ol_i_id) FROM order_line ol
+//   JOIN stock s ON s.s_w_id = ol.ol_w_id AND s.s_i_id = ol.ol_i_id
+//   WHERE ol.ol_w_id = W AND ol.ol_d_id = D
+//     AND ol.ol_o_id >= LOW AND ol.ol_o_id < NEXT
+//     AND s.s_quantity < THRESHOLD
+//
+// This bench runs both forms live and AS OF a churned-over instant,
+// asserts all four agree, and reports the executor's overhead per form.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "api/connection.h"
+#include "common/random.h"
+#include "sql/session.h"
+#include "tpcc/tpcc.h"
+
+using namespace rewinddb;
+
+namespace {
+
+constexpr int kWarehouse = 1;
+constexpr int kDistrict = 1;
+constexpr int kThreshold = 60;
+constexpr int kIters = 200;
+
+double MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+std::string StockLevelSql(int next_o_id, uint64_t as_of) {
+  int low = next_o_id - 20 < 1 ? 1 : next_o_id - 20;
+  std::string q =
+      "SELECT COUNT(DISTINCT ol.ol_i_id) FROM order_line ol "
+      "JOIN stock s ON s.s_w_id = ol.ol_w_id AND s.s_i_id = ol.ol_i_id "
+      "WHERE ol.ol_w_id = " + std::to_string(kWarehouse) +
+      " AND ol.ol_d_id = " + std::to_string(kDistrict) +
+      " AND ol.ol_o_id >= " + std::to_string(low) +
+      " AND ol.ol_o_id < " + std::to_string(next_o_id) +
+      " AND s.s_quantity < " + std::to_string(kThreshold);
+  if (as_of) q += " AS OF " + std::to_string(as_of);
+  return q;
+}
+
+/// d_next_o_id at the queried instant, fetched through SQL so the
+/// whole benchmark uses only statement text.
+int NextOrderId(SqlSession* sql, uint64_t as_of) {
+  std::string q = "SELECT d_next_o_id FROM district WHERE d_w_id = " +
+                  std::to_string(kWarehouse) +
+                  " AND d_id = " + std::to_string(kDistrict);
+  if (as_of) q += " AS OF " + std::to_string(as_of);
+  auto r = sql->ExecuteStatement(q);
+  if (!r.ok() || r->rows.size() != 1) {
+    fprintf(stderr, "district probe: %s\n", r.status().ToString().c_str());
+    exit(1);
+  }
+  return r->rows[0][0].AsInt32();
+}
+
+int64_t SqlStockLevel(SqlSession* sql, int next_o_id, uint64_t as_of) {
+  auto r = sql->ExecuteStatement(StockLevelSql(next_o_id, as_of));
+  if (!r.ok() || r->rows.size() != 1) {
+    fprintf(stderr, "sql stocklevel: %s\n", r.status().ToString().c_str());
+    exit(1);
+  }
+  return r->rows[0][0].AsInt64();
+}
+
+}  // namespace
+
+int main() {
+  const std::string dir = "/tmp/rewinddb_sql_stocklevel";
+  std::filesystem::remove_all(dir);
+
+  SimClock clock(1'000'000);
+  DatabaseOptions opts;
+  opts.clock = &clock;
+  auto conn_r = Connection::Create(dir, opts);
+  if (!conn_r.ok()) {
+    fprintf(stderr, "create: %s\n", conn_r.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Connection> conn = std::move(*conn_r);
+  SqlSession sql(conn.get());
+
+  TpccConfig cfg;
+  cfg.warehouses = 2;
+  cfg.items = 400;
+  cfg.initial_orders_per_district = 15;
+  auto tpcc_r = TpccDatabase::CreateAndLoad(conn->engine(), cfg);
+  if (!tpcc_r.ok()) {
+    fprintf(stderr, "load: %s\n", tpcc_r.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<TpccDatabase> tpcc = std::move(*tpcc_r);
+
+  // Trade against the queried district, then quiesce and mark T.
+  Random rnd(7);
+  for (int i = 0; i < 150; i++) {
+    (void)tpcc->NewOrder(&rnd, kWarehouse);
+    if (i % 3 == 0) (void)tpcc->Payment(&rnd);
+  }
+  clock.Advance(5'000'000);
+  const uint64_t t_past = clock.NowMicros();
+  clock.Advance(5'000'000);
+  // Churn past T so AS OF must actually rewind.
+  for (int i = 0; i < 150; i++) {
+    (void)tpcc->NewOrder(&rnd, kWarehouse);
+    if (i % 4 == 0) (void)tpcc->Delivery(&rnd);
+  }
+
+  struct Form {
+    const char* name;
+    uint64_t as_of;
+  };
+  const Form forms[] = {{"live", 0}, {"as-of", t_past}};
+
+  printf("%-8s %14s %14s %10s %8s\n", "view", "hand-coded us", "sql us",
+         "overhead", "count");
+  for (const Form& f : forms) {
+    // Resolve the view once per iteration for the hand-coded form,
+    // matching what one SQL statement execution does internally.
+    int next_o_id = NextOrderId(&sql, f.as_of);
+
+    int hand_count = -1;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; i++) {
+      std::unique_ptr<ReadView> live;
+      std::shared_ptr<ReadView> past;
+      ReadView* view;
+      if (f.as_of) {
+        auto v = conn->AsOf(f.as_of);
+        if (!v.ok() || !(*v)->WaitReady().ok()) return 1;
+        past = std::move(*v);
+        view = past.get();
+      } else {
+        live = conn->Live();
+        view = live.get();
+      }
+      auto r = TpccDatabase::StockLevelOn(view, kWarehouse, kDistrict,
+                                          kThreshold);
+      if (!r.ok()) {
+        fprintf(stderr, "hand-coded: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      hand_count = *r;
+    }
+    double hand_us = MicrosSince(t0) / kIters;
+
+    int64_t sql_count = -1;
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; i++) {
+      sql_count = SqlStockLevel(&sql, next_o_id, f.as_of);
+    }
+    double sql_us = MicrosSince(t0) / kIters;
+
+    if (sql_count != hand_count) {
+      fprintf(stderr, "MISMATCH (%s): hand-coded=%d sql=%lld\n", f.name,
+              hand_count, static_cast<long long>(sql_count));
+      return 1;
+    }
+    printf("%-8s %14.1f %14.1f %9.2fx %8d\n", f.name, hand_us, sql_us,
+           sql_us / hand_us, hand_count);
+  }
+  printf("counts agree across all four form/view combinations\n");
+
+  tpcc.reset();
+  conn.reset();
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -9,6 +9,7 @@ namespace rewinddb {
 
 const char* ColumnTypeName(ColumnType t) {
   switch (t) {
+    case ColumnType::kNull: return "NULL";
     case ColumnType::kInt32: return "INT32";
     case ColumnType::kInt64: return "INT64";
     case ColumnType::kDouble: return "DOUBLE";
@@ -19,6 +20,7 @@ const char* ColumnTypeName(ColumnType t) {
 
 std::string Value::ToString() const {
   switch (type()) {
+    case ColumnType::kNull: return "NULL";
     case ColumnType::kInt32: return std::to_string(AsInt32());
     case ColumnType::kInt64: return std::to_string(AsInt64());
     case ColumnType::kDouble: return std::to_string(AsDouble());
@@ -58,6 +60,9 @@ void EncodeRow(const std::vector<ColumnType>& types, const Row& row,
       case ColumnType::kString:
         PutLengthPrefixed(dst, v.AsString());
         break;
+      case ColumnType::kNull:
+        // Unreachable: Schema::CheckRow rejects NULL before storage.
+        break;
     }
   }
 }
@@ -94,6 +99,8 @@ Result<Row> DecodeRow(const std::vector<ColumnType>& types, Slice payload) {
         row.emplace_back(s.ToString());
         break;
       }
+      case ColumnType::kNull:
+        return Status::Corruption("row: NULL column type in schema");
     }
   }
   if (!dec.empty()) return Status::Corruption("row: trailing bytes");
@@ -196,6 +203,9 @@ void EncodeKeyValue(const Value& v, std::string* dst) {
     case ColumnType::kString:
       PutOrderedString(dst, v.AsString());
       break;
+    case ColumnType::kNull:
+      // Unreachable: keys come from schema-checked rows.
+      break;
   }
 }
 
@@ -240,6 +250,8 @@ Result<Row> DecodeKey(const std::vector<ColumnType>& key_types, Slice key) {
         row.emplace_back(std::move(s));
         break;
       }
+      case ColumnType::kNull:
+        return Status::Corruption("key: NULL column type in schema");
     }
   }
   if (!key.empty()) return Status::Corruption("key: trailing bytes");

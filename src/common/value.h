@@ -13,8 +13,12 @@
 
 namespace rewinddb {
 
-/// Column types supported by the row codec.
+/// Column types supported by the row codec. kNull is not a storable
+/// column type -- Schema::CheckRow rejects it -- but SQL expressions
+/// (and therefore query result rowsets) produce NULLs, e.g. SUM() over
+/// zero rows, so Value and the wire codec carry it.
 enum class ColumnType : uint8_t {
+  kNull = 0,
   kInt32 = 1,
   kInt64 = 2,
   kDouble = 3,
@@ -23,7 +27,8 @@ enum class ColumnType : uint8_t {
 
 const char* ColumnTypeName(ColumnType t);
 
-/// A single column value. The variant order matches ColumnType.
+/// A single column value. The variant order matches ColumnType for the
+/// four storable types; SQL NULL rides at the end.
 class Value {
  public:
   Value() : v_(int32_t{0}) {}
@@ -33,14 +38,24 @@ class Value {
   Value(std::string v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
   Value(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
 
+  /// The SQL NULL value (type() == ColumnType::kNull).
+  static Value Null() {
+    Value v;
+    v.v_ = std::monostate{};
+    return v;
+  }
+
   ColumnType type() const {
     switch (v_.index()) {
       case 0: return ColumnType::kInt32;
       case 1: return ColumnType::kInt64;
       case 2: return ColumnType::kDouble;
-      default: return ColumnType::kString;
+      case 3: return ColumnType::kString;
+      default: return ColumnType::kNull;
     }
   }
+
+  bool is_null() const { return type() == ColumnType::kNull; }
 
   int32_t AsInt32() const { return std::get<int32_t>(v_); }
   int64_t AsInt64() const { return std::get<int64_t>(v_); }
@@ -54,7 +69,7 @@ class Value {
   std::string ToString() const;
 
  private:
-  std::variant<int32_t, int64_t, double, std::string> v_;
+  std::variant<int32_t, int64_t, double, std::string, std::monostate> v_;
 };
 
 /// A row is an ordered tuple of values matching a table's column list.

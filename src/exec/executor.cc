@@ -1,0 +1,511 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+namespace rewinddb {
+namespace exec {
+
+namespace {
+
+/// Rows fetched per TableView::Scan call before yielding to the pull
+/// loop: bounds scan memory without paying a re-seek per row.
+constexpr size_t kScanBatchRows = 1024;
+
+std::string RowText(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); i++) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  return out + ")";
+}
+
+std::string PredText(const sql::ExprPtr& e) {
+  return e == nullptr ? std::string() : " filter=" + e->Render();
+}
+
+}  // namespace
+
+// ----------------------------- SeqScanExec ----------------------------
+
+SeqScanExec::SeqScanExec(std::unique_ptr<TableView> table, std::string display,
+                         std::optional<Row> lower, std::optional<Row> upper,
+                         sql::ExprPtr residual)
+    : table_(std::move(table)), display_(std::move(display)),
+      lower_(std::move(lower)), upper_(std::move(upper)),
+      residual_(std::move(residual)) {
+  num_keys_ = table_->schema().num_key_columns();
+}
+
+Status SeqScanExec::Open() {
+  batch_.clear();
+  pos_ = 0;
+  resume_.reset();
+  exhausted_ = false;
+  return Status::OK();
+}
+
+Status SeqScanExec::FillBatch() {
+  batch_.clear();
+  pos_ = 0;
+  const std::optional<Row>& lo = resume_ ? resume_ : lower_;
+  Status eval_error;
+  bool first = true;
+  Status s = table_->Scan(lo, upper_, [&](const Row& row) {
+    // The resume bound is inclusive; skip the row we already delivered.
+    if (first && resume_) {
+      first = false;
+      bool same = row.size() >= num_keys_;
+      for (size_t i = 0; same && i < num_keys_; i++) {
+        same = CompareForSort(row[i], (*resume_)[i]) == 0;
+      }
+      if (same) return true;
+    }
+    first = false;
+    if (residual_ != nullptr) {
+      Result<Tri> keep = EvalPredicate(*residual_, row);
+      if (!keep.ok()) {
+        eval_error = keep.status();
+        return false;
+      }
+      if (*keep != Tri::kTrue) return true;
+    }
+    batch_.push_back(row);
+    return batch_.size() < kScanBatchRows;
+  });
+  if (!eval_error.ok()) return eval_error;
+  if (!s.ok()) return s;
+  if (batch_.size() < kScanBatchRows) {
+    exhausted_ = true;  // the scan ran off the end of the range
+  } else {
+    Row key(batch_.back().begin(), batch_.back().begin() + num_keys_);
+    resume_ = std::move(key);
+  }
+  return Status::OK();
+}
+
+Result<bool> SeqScanExec::Next(Row* out) {
+  while (pos_ >= batch_.size()) {
+    if (exhausted_) return false;
+    REWIND_RETURN_IF_ERROR(FillBatch());
+    if (batch_.empty() && exhausted_) return false;
+  }
+  *out = batch_[pos_++];
+  return true;
+}
+
+std::string SeqScanExec::Describe() const {
+  std::string out = "SeqScan " + display_;
+  if (lower_ || upper_) {
+    out += " bounds=[";
+    out += lower_ ? RowText(*lower_) : "-inf";
+    out += ", ";
+    out += upper_ ? RowText(*upper_) : "+inf";
+    out += ")";
+  }
+  out += PredText(residual_);
+  return out;
+}
+
+// ---------------------------- IndexScanExec ---------------------------
+
+IndexScanExec::IndexScanExec(std::unique_ptr<TableView> table,
+                             std::string display, std::string index_name,
+                             Row prefix, sql::ExprPtr residual)
+    : table_(std::move(table)), display_(std::move(display)),
+      index_name_(std::move(index_name)), prefix_(std::move(prefix)),
+      residual_(std::move(residual)) {}
+
+Status IndexScanExec::Open() {
+  rows_.clear();
+  pos_ = 0;
+  Status eval_error;
+  Status s = table_->IndexScan(index_name_, prefix_, [&](const Row& row) {
+    if (residual_ != nullptr) {
+      Result<Tri> keep = EvalPredicate(*residual_, row);
+      if (!keep.ok()) {
+        eval_error = keep.status();
+        return false;
+      }
+      if (*keep != Tri::kTrue) return true;
+    }
+    rows_.push_back(row);
+    return true;
+  });
+  if (!eval_error.ok()) return eval_error;
+  return s;
+}
+
+Result<bool> IndexScanExec::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+std::string IndexScanExec::Describe() const {
+  return "IndexScan " + display_ + " index=" + index_name_ +
+         " prefix=" + RowText(prefix_) + PredText(residual_);
+}
+
+// ------------------------------ FilterExec ----------------------------
+
+Result<bool> FilterExec::Next(Row* out) {
+  while (true) {
+    REWIND_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    REWIND_ASSIGN_OR_RETURN(Tri keep, EvalPredicate(*pred_, *out));
+    if (keep == Tri::kTrue) return true;
+  }
+}
+
+std::string FilterExec::Describe() const {
+  return "Filter " + pred_->Render();
+}
+
+// ----------------------------- ProjectExec ----------------------------
+
+Result<bool> ProjectExec::Next(Row* out) {
+  Row in;
+  REWIND_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const sql::ExprPtr& e : exprs_) {
+    REWIND_ASSIGN_OR_RETURN(Value v, Eval(*e, in));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+std::string ProjectExec::Describe() const {
+  std::string out = display_ + " [";
+  for (size_t i = 0; i < exprs_.size(); i++) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->Render();
+  }
+  return out + "]";
+}
+
+// ------------------------------ PrefixExec ----------------------------
+
+Result<bool> PrefixExec::Next(Row* out) {
+  REWIND_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  out->resize(keep_);
+  return true;
+}
+
+std::string PrefixExec::Describe() const {
+  return "StripSortKeys keep=" + std::to_string(keep_);
+}
+
+// ------------------------- NestedLoopJoinExec -------------------------
+
+Status NestedLoopJoinExec::Open() {
+  REWIND_RETURN_IF_ERROR(left_->Open());
+  REWIND_RETURN_IF_ERROR(right_->Open());
+  right_rows_.clear();
+  have_left_ = false;
+  right_pos_ = 0;
+  Row row;
+  while (true) {
+    REWIND_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+    if (!more) break;
+    right_rows_.push_back(row);
+  }
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinExec::Next(Row* out) {
+  while (true) {
+    if (!have_left_) {
+      REWIND_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
+      if (!more) return false;
+      have_left_ = true;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      const Row& r = right_rows_[right_pos_++];
+      *out = left_row_;
+      out->insert(out->end(), r.begin(), r.end());
+      if (pred_ == nullptr) return true;
+      REWIND_ASSIGN_OR_RETURN(Tri keep, EvalPredicate(*pred_, *out));
+      if (keep == Tri::kTrue) return true;
+    }
+    have_left_ = false;
+  }
+}
+
+std::string NestedLoopJoinExec::Describe() const {
+  return std::string("NestedLoopJoin") +
+         (pred_ == nullptr ? " on=true" : " on=" + pred_->Render());
+}
+
+// ----------------------------- HashJoinExec ---------------------------
+
+Result<std::optional<std::string>> HashJoinExec::KeyOf(const Row& row,
+                                                       bool left_side) {
+  std::string key;
+  for (const Key& k : keys_) {
+    const sql::ExprPtr& e = left_side ? k.left : k.right;
+    REWIND_ASSIGN_OR_RETURN(Value v, Eval(*e, row));
+    if (v.is_null()) return std::optional<std::string>();
+    REWIND_ASSIGN_OR_RETURN(Value c, CoerceValue(v, k.type));
+    EncodeDatum(c, &key);
+  }
+  return std::optional<std::string>(std::move(key));
+}
+
+Status HashJoinExec::Open() {
+  REWIND_RETURN_IF_ERROR(left_->Open());
+  REWIND_RETURN_IF_ERROR(right_->Open());
+  build_.clear();
+  matches_ = nullptr;
+  match_pos_ = 0;
+  Row row;
+  while (true) {
+    REWIND_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+    if (!more) break;
+    REWIND_ASSIGN_OR_RETURN(std::optional<std::string> key, KeyOf(row, false));
+    if (!key) continue;  // NULL join key: can never match
+    build_[*key].push_back(row);
+  }
+  return Status::OK();
+}
+
+Result<bool> HashJoinExec::Next(Row* out) {
+  while (true) {
+    while (matches_ != nullptr && match_pos_ < matches_->size()) {
+      const Row& r = (*matches_)[match_pos_++];
+      *out = left_row_;
+      out->insert(out->end(), r.begin(), r.end());
+      if (residual_ == nullptr) return true;
+      REWIND_ASSIGN_OR_RETURN(Tri keep, EvalPredicate(*residual_, *out));
+      if (keep == Tri::kTrue) return true;
+    }
+    matches_ = nullptr;
+    REWIND_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
+    if (!more) return false;
+    REWIND_ASSIGN_OR_RETURN(std::optional<std::string> key,
+                            KeyOf(left_row_, true));
+    if (!key) continue;
+    auto it = build_.find(*key);
+    if (it == build_.end()) continue;
+    matches_ = &it->second;
+    match_pos_ = 0;
+  }
+}
+
+std::string HashJoinExec::Describe() const {
+  std::string out = "HashJoin keys=[";
+  for (size_t i = 0; i < keys_.size(); i++) {
+    if (i > 0) out += ", ";
+    out += keys_[i].left->Render() + " = " + keys_[i].right->Render();
+  }
+  out += "]";
+  if (residual_ != nullptr) out += " residual=" + residual_->Render();
+  return out;
+}
+
+// ------------------------------ HashAggExec ---------------------------
+
+Status HashAggExec::Consume(const Row& row) {
+  std::string key;
+  Row group_values;
+  group_values.reserve(group_exprs_.size());
+  for (const sql::ExprPtr& e : group_exprs_) {
+    REWIND_ASSIGN_OR_RETURN(Value v, Eval(*e, row));
+    EncodeDatum(v, &key);
+    group_values.push_back(std::move(v));
+  }
+  auto [it, inserted] = groups_.try_emplace(std::move(key));
+  Group& g = it->second;
+  if (inserted) {
+    g.values = std::move(group_values);
+    g.states.resize(aggs_.size());
+  }
+  for (size_t i = 0; i < aggs_.size(); i++) {
+    const AggSpec& spec = aggs_[i];
+    AggState& st = g.states[i];
+    if (spec.fn == sql::AggFn::kCountStar) {
+      st.count++;
+      continue;
+    }
+    REWIND_ASSIGN_OR_RETURN(Value v, Eval(*spec.arg, row));
+    if (v.is_null()) continue;  // aggregates ignore NULL inputs
+    if (spec.distinct) {
+      std::string datum;
+      EncodeDatum(v, &datum);
+      if (!st.seen.insert(std::move(datum)).second) continue;
+    }
+    st.count++;
+    switch (spec.fn) {
+      case sql::AggFn::kCount:
+        break;
+      case sql::AggFn::kSum:
+      case sql::AggFn::kAvg:
+        switch (v.type()) {
+          case ColumnType::kInt32: st.isum += v.AsInt32(); break;
+          case ColumnType::kInt64: st.isum += v.AsInt64(); break;
+          case ColumnType::kDouble: st.dsum += v.AsDouble(); break;
+          default:
+            return Status::InvalidArgument(
+                std::string(sql::AggFnName(spec.fn)) + " over a non-numeric");
+        }
+        break;
+      case sql::AggFn::kMin:
+      case sql::AggFn::kMax: {
+        if (!st.has_value) {
+          st.extreme = v;
+          st.has_value = true;
+          break;
+        }
+        REWIND_ASSIGN_OR_RETURN(int c, CompareValues(v, st.extreme));
+        if (spec.fn == sql::AggFn::kMin ? c < 0 : c > 0) st.extreme = v;
+        break;
+      }
+      case sql::AggFn::kCountStar:
+        break;
+    }
+    st.has_value = true;
+  }
+  return Status::OK();
+}
+
+Value HashAggExec::Finalize(const AggSpec& spec, const AggState& st) const {
+  switch (spec.fn) {
+    case sql::AggFn::kCount:
+    case sql::AggFn::kCountStar:
+      return Value(st.count);
+    case sql::AggFn::kSum:
+      if (!st.has_value) return Value::Null();
+      if (spec.result_type == ColumnType::kDouble) return Value(st.dsum);
+      return Value(st.isum);
+    case sql::AggFn::kAvg:
+      if (st.count == 0) return Value::Null();
+      return Value((st.dsum + static_cast<double>(st.isum)) /
+                   static_cast<double>(st.count));
+    case sql::AggFn::kMin:
+    case sql::AggFn::kMax:
+      return st.has_value ? st.extreme : Value::Null();
+  }
+  return Value::Null();
+}
+
+Status HashAggExec::Open() {
+  REWIND_RETURN_IF_ERROR(child_->Open());
+  groups_.clear();
+  Row row;
+  while (true) {
+    REWIND_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) break;
+    REWIND_RETURN_IF_ERROR(Consume(row));
+  }
+  // Global aggregation yields its one row even over empty input.
+  if (groups_.empty() && group_exprs_.empty()) {
+    Group& g = groups_[std::string()];
+    g.states.resize(aggs_.size());
+  }
+  it_ = groups_.begin();
+  opened_ = true;
+  return Status::OK();
+}
+
+Result<bool> HashAggExec::Next(Row* out) {
+  if (!opened_ || it_ == groups_.end()) return false;
+  const Group& g = it_->second;
+  *out = g.values;
+  out->reserve(g.values.size() + aggs_.size());
+  for (size_t i = 0; i < aggs_.size(); i++) {
+    out->push_back(Finalize(aggs_[i], g.states[i]));
+  }
+  ++it_;
+  return true;
+}
+
+std::string HashAggExec::Describe() const {
+  std::string out = aggs_.empty() ? "Distinct" : "HashAgg";
+  out += " group=[";
+  for (size_t i = 0; i < group_exprs_.size(); i++) {
+    if (i > 0) out += ", ";
+    out += group_exprs_[i]->Render();
+  }
+  out += "]";
+  if (!aggs_.empty()) {
+    out += " aggs=[";
+    for (size_t i = 0; i < aggs_.size(); i++) {
+      if (i > 0) out += ", ";
+      if (aggs_[i].fn == sql::AggFn::kCountStar) {
+        out += "COUNT(*)";
+      } else {
+        out += std::string(sql::AggFnName(aggs_[i].fn)) + "(" +
+               (aggs_[i].distinct ? "DISTINCT " : "") +
+               aggs_[i].arg->Render() + ")";
+      }
+    }
+    out += "]";
+  }
+  return out;
+}
+
+// ------------------------------- SortExec -----------------------------
+
+Status SortExec::Open() {
+  REWIND_RETURN_IF_ERROR(child_->Open());
+  rows_.clear();
+  pos_ = 0;
+  Row row;
+  while (true) {
+    REWIND_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) break;
+    rows_.push_back(std::move(row));
+    row.clear();
+  }
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Row& a, const Row& b) {
+    for (const SortKey& k : keys_) {
+      const Value& av = a[k.slot];
+      const Value& bv = b[k.slot];
+      // ORDER BY puts NULLs last ascending, first descending.
+      bool an = av.is_null(), bn = bv.is_null();
+      if (an != bn) return k.desc ? an : bn;
+      int c = CompareForSort(av, bv);
+      if (c != 0) return k.desc ? c > 0 : c < 0;
+    }
+    return false;
+  });
+  return Status::OK();
+}
+
+Result<bool> SortExec::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+std::string SortExec::Describe() const {
+  std::string out = "Sort keys=[";
+  for (size_t i = 0; i < keys_.size(); i++) {
+    if (i > 0) out += ", ";
+    out += "#" + std::to_string(keys_[i].slot) +
+           (keys_[i].desc ? " DESC" : " ASC");
+  }
+  return out + "]";
+}
+
+// ------------------------------ LimitExec -----------------------------
+
+Result<bool> LimitExec::Next(Row* out) {
+  if (emitted_ >= limit_) return false;
+  REWIND_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  emitted_++;
+  return true;
+}
+
+std::string LimitExec::Describe() const {
+  return "Limit " + std::to_string(limit_);
+}
+
+}  // namespace exec
+}  // namespace rewinddb

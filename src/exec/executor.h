@@ -1,0 +1,320 @@
+// Volcano-style executors: a tree of pull-based iterators (Open /
+// Next / destructor-close) evaluated over api::TableView handles.
+//
+// Executors never touch the engine directly -- every base-table access
+// goes through a TableView, so the identical plan runs against the
+// live database, an AS OF snapshot, or a named snapshot. That is the
+// paper's point-in-time promise carried up into query execution: plan
+// once, run at any time.
+//
+// TableView::Scan is push (callback) while executors are pull, so
+// SeqScanExec adapts with a bounded batch buffer: scan until the batch
+// fills, remember the last delivered primary key, and resume the next
+// batch from that key (primary keys are unique, so the resume row
+// itself is skipped). A long scan therefore never pins the whole
+// result in memory.
+#ifndef REWINDDB_EXEC_EXECUTOR_H_
+#define REWINDDB_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "api/read_view.h"
+#include "exec/expr.h"
+#include "sql/select_ast.h"
+
+namespace rewinddb {
+namespace exec {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual Status Open() = 0;
+  /// Produce the next row into *out; false = exhausted.
+  virtual Result<bool> Next(Row* out) = 0;
+
+  /// One EXPLAIN line, e.g. "SeqScan stock filter=(s_quantity < 15)".
+  virtual std::string Describe() const = 0;
+  virtual std::vector<const Executor*> Children() const { return {}; }
+};
+
+/// Full-table / key-range scan with the residual predicate pushed into
+/// the scan callback. `lower`/`upper` are optimization-only key bounds
+/// ([lower, upper), prefix rows allowed); `residual` is the COMPLETE
+/// single-table predicate, so bound derivation can never change
+/// results -- only skip irrelevant key ranges.
+class SeqScanExec : public Executor {
+ public:
+  SeqScanExec(std::unique_ptr<TableView> table, std::string display,
+              std::optional<Row> lower, std::optional<Row> upper,
+              sql::ExprPtr residual);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  Status FillBatch();
+
+  std::unique_ptr<TableView> table_;
+  std::string display_;
+  std::optional<Row> lower_, upper_;
+  sql::ExprPtr residual_;  // bound to table-local slots; may be null
+  size_t num_keys_ = 0;
+
+  std::vector<Row> batch_;
+  size_t pos_ = 0;
+  std::optional<Row> resume_;  // key of last delivered row
+  bool exhausted_ = false;
+};
+
+/// Secondary-index equality scan: rows whose index key starts with
+/// `prefix`, filtered by the complete residual predicate. Results are
+/// materialized at Open (equality prefixes select small sets).
+class IndexScanExec : public Executor {
+ public:
+  IndexScanExec(std::unique_ptr<TableView> table, std::string display,
+                std::string index_name, Row prefix, sql::ExprPtr residual);
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+
+ private:
+  std::unique_ptr<TableView> table_;
+  std::string display_, index_name_;
+  Row prefix_;
+  sql::ExprPtr residual_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class FilterExec : public Executor {
+ public:
+  FilterExec(std::unique_ptr<Executor> child, sql::ExprPtr pred)
+      : child_(std::move(child)), pred_(std::move(pred)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+  std::vector<const Executor*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  sql::ExprPtr pred_;
+};
+
+/// Computes one output value per expression. `display` names the stage
+/// for EXPLAIN ("Project" or "Project+SortKeys").
+class ProjectExec : public Executor {
+ public:
+  ProjectExec(std::unique_ptr<Executor> child, std::vector<sql::ExprPtr> exprs,
+              std::string display)
+      : child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        display_(std::move(display)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+  std::vector<const Executor*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  std::vector<sql::ExprPtr> exprs_;
+  std::string display_;
+};
+
+/// Keeps the first `keep` columns of each row: strips hidden ORDER BY
+/// sort keys after the sort.
+class PrefixExec : public Executor {
+ public:
+  PrefixExec(std::unique_ptr<Executor> child, size_t keep)
+      : child_(std::move(child)), keep_(keep) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+  std::vector<const Executor*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  size_t keep_;
+};
+
+/// Inner nested-loop join; the right input is materialized at Open.
+/// Output rows are left ++ right; `pred` (may be null = cross join)
+/// sees that combined layout.
+class NestedLoopJoinExec : public Executor {
+ public:
+  NestedLoopJoinExec(std::unique_ptr<Executor> left,
+                     std::unique_ptr<Executor> right, sql::ExprPtr pred)
+      : left_(std::move(left)), right_(std::move(right)),
+        pred_(std::move(pred)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+  std::vector<const Executor*> Children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  std::unique_ptr<Executor> left_, right_;
+  sql::ExprPtr pred_;
+  std::vector<Row> right_rows_;
+  Row left_row_;
+  bool have_left_ = false;
+  size_t right_pos_ = 0;
+};
+
+/// Inner hash equi-join: build on the right input, probe with the
+/// left. Key expressions are evaluated per side and coerced to a
+/// common type before hashing; a NULL key never matches (SQL '='
+/// semantics). `residual` (may be null) runs on the combined row.
+class HashJoinExec : public Executor {
+ public:
+  struct Key {
+    sql::ExprPtr left, right;  // bound to the respective input layouts
+    ColumnType type;           // common comparison type
+  };
+
+  HashJoinExec(std::unique_ptr<Executor> left, std::unique_ptr<Executor> right,
+               std::vector<Key> keys, sql::ExprPtr residual)
+      : left_(std::move(left)), right_(std::move(right)),
+        keys_(std::move(keys)), residual_(std::move(residual)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+  std::vector<const Executor*> Children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  /// Encoded key of `row` under one side's expressions; nullopt if any
+  /// key value is NULL.
+  Result<std::optional<std::string>> KeyOf(const Row& row, bool left_side);
+
+  std::unique_ptr<Executor> left_, right_;
+  std::vector<Key> keys_;
+  sql::ExprPtr residual_;
+  std::unordered_map<std::string, std::vector<Row>> build_;
+  Row left_row_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// Hash aggregation with grouping. Output rows are
+/// [group values..., aggregate results...]; groups stream out in
+/// group-key order (the encoding is order-preserving), which makes
+/// results deterministic. With no GROUP BY, exactly one row is
+/// produced even over empty input (COUNT = 0, SUM/MIN/MAX/AVG = NULL).
+/// With `aggs` empty this is SELECT DISTINCT.
+class HashAggExec : public Executor {
+ public:
+  struct AggSpec {
+    sql::AggFn fn;
+    sql::ExprPtr arg;      // null for COUNT(*)
+    bool distinct = false;
+    ColumnType result_type = ColumnType::kInt64;
+  };
+
+  HashAggExec(std::unique_ptr<Executor> child,
+              std::vector<sql::ExprPtr> group_exprs, std::vector<AggSpec> aggs)
+      : child_(std::move(child)), group_exprs_(std::move(group_exprs)),
+        aggs_(std::move(aggs)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+  std::vector<const Executor*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    int64_t isum = 0;
+    double dsum = 0;
+    Value extreme;  // MIN/MAX accumulator
+    bool has_value = false;
+    std::set<std::string> seen;  // DISTINCT dedup (encoded datums)
+  };
+  struct Group {
+    Row values;
+    std::vector<AggState> states;
+  };
+
+  Status Consume(const Row& row);
+  Value Finalize(const AggSpec& spec, const AggState& st) const;
+
+  std::unique_ptr<Executor> child_;
+  std::vector<sql::ExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+  std::map<std::string, Group> groups_;  // ordered by encoded group key
+  std::map<std::string, Group>::iterator it_;
+  bool opened_ = false;
+};
+
+struct SortKey {
+  int slot = -1;
+  bool desc = false;
+};
+
+/// Full materializing sort. NULLs sort last ascending, first
+/// descending. Stable, so equal keys keep child order.
+class SortExec : public Executor {
+ public:
+  SortExec(std::unique_ptr<Executor> child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+  std::vector<const Executor*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class LimitExec : public Executor {
+ public:
+  LimitExec(std::unique_ptr<Executor> child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+  std::vector<const Executor*> Children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  uint64_t limit_, emitted_ = 0;
+};
+
+}  // namespace exec
+}  // namespace rewinddb
+
+#endif  // REWINDDB_EXEC_EXECUTOR_H_

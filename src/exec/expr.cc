@@ -1,0 +1,346 @@
+#include "exec/expr.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace rewinddb {
+namespace exec {
+
+namespace {
+
+bool IsNumeric(ColumnType t) {
+  return t == ColumnType::kInt32 || t == ColumnType::kInt64 ||
+         t == ColumnType::kDouble;
+}
+
+double AsDoubleLoose(const Value& v) {
+  switch (v.type()) {
+    case ColumnType::kInt32: return static_cast<double>(v.AsInt32());
+    case ColumnType::kInt64: return static_cast<double>(v.AsInt64());
+    default: return v.AsDouble();
+  }
+}
+
+int64_t AsInt64Loose(const Value& v) {
+  return v.type() == ColumnType::kInt32 ? v.AsInt32() : v.AsInt64();
+}
+
+int Sign(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+int Sign(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+Value TriValue(bool b) { return Value(static_cast<int32_t>(b ? 1 : 0)); }
+
+Tri Not(Tri t) {
+  switch (t) {
+    case Tri::kTrue: return Tri::kFalse;
+    case Tri::kFalse: return Tri::kTrue;
+    case Tri::kNull: return Tri::kNull;
+  }
+  return Tri::kNull;
+}
+
+Result<Tri> Truth(const Value& v) {
+  switch (v.type()) {
+    case ColumnType::kNull: return Tri::kNull;
+    case ColumnType::kInt32: return v.AsInt32() != 0 ? Tri::kTrue : Tri::kFalse;
+    case ColumnType::kInt64: return v.AsInt64() != 0 ? Tri::kTrue : Tri::kFalse;
+    case ColumnType::kDouble:
+      return v.AsDouble() != 0.0 ? Tri::kTrue : Tri::kFalse;
+    case ColumnType::kString:
+      return Status::InvalidArgument("string used as a condition");
+  }
+  return Status::Corruption("internal: bad value type");
+}
+
+Result<Value> EvalArith(sql::BinOp op, const Value& a, const Value& b) {
+  if (a.type() == ColumnType::kString || b.type() == ColumnType::kString) {
+    return Status::InvalidArgument(std::string("cannot apply ") +
+                                   sql::BinOpName(op) + " to a string");
+  }
+  if (a.type() == ColumnType::kDouble || b.type() == ColumnType::kDouble) {
+    double x = AsDoubleLoose(a), y = AsDoubleLoose(b);
+    switch (op) {
+      case sql::BinOp::kAdd: return Value(x + y);
+      case sql::BinOp::kSub: return Value(x - y);
+      case sql::BinOp::kMul: return Value(x * y);
+      case sql::BinOp::kDiv:
+        if (y == 0.0) return Status::InvalidArgument("division by zero");
+        return Value(x / y);
+      case sql::BinOp::kMod:
+        return Status::InvalidArgument("% requires integer operands");
+      default: break;
+    }
+    return Status::Corruption("internal: bad arithmetic op");
+  }
+  int64_t x = AsInt64Loose(a), y = AsInt64Loose(b);
+  switch (op) {
+    case sql::BinOp::kAdd:
+      return Value(static_cast<int64_t>(static_cast<uint64_t>(x) +
+                                        static_cast<uint64_t>(y)));
+    case sql::BinOp::kSub:
+      return Value(static_cast<int64_t>(static_cast<uint64_t>(x) -
+                                        static_cast<uint64_t>(y)));
+    case sql::BinOp::kMul:
+      return Value(static_cast<int64_t>(static_cast<uint64_t>(x) *
+                                        static_cast<uint64_t>(y)));
+    case sql::BinOp::kDiv:
+      if (y == 0) return Status::InvalidArgument("division by zero");
+      if (y == -1 && x == INT64_MIN) {
+        return Status::InvalidArgument("integer overflow in division");
+      }
+      return Value(x / y);
+    case sql::BinOp::kMod:
+      if (y == 0) return Status::InvalidArgument("division by zero");
+      if (y == -1) return Value(static_cast<int64_t>(0));
+      return Value(x % y);
+    default: break;
+  }
+  return Status::Corruption("internal: bad arithmetic op");
+}
+
+}  // namespace
+
+Result<int> CompareValues(const Value& a, const Value& b) {
+  bool as = a.type() == ColumnType::kString;
+  bool bs = b.type() == ColumnType::kString;
+  if (as != bs) {
+    return Status::InvalidArgument("cannot compare a string with a number");
+  }
+  if (as) {
+    int c = a.AsString().compare(b.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.type() == ColumnType::kDouble || b.type() == ColumnType::kDouble) {
+    return Sign(AsDoubleLoose(a), AsDoubleLoose(b));
+  }
+  return Sign(AsInt64Loose(a), AsInt64Loose(b));
+}
+
+int CompareForSort(const Value& a, const Value& b) {
+  bool an = a.is_null(), bn = b.is_null();
+  if (an || bn) return an == bn ? 0 : (an ? -1 : 1);
+  Result<int> c = CompareValues(a, b);
+  if (c.ok()) return *c;
+  // Mixed string/number (statically impossible today): order by tag.
+  return static_cast<int>(a.type()) < static_cast<int>(b.type()) ? -1 : 1;
+}
+
+Result<Value> CoerceValue(const Value& v, ColumnType type) {
+  if (v.is_null() || v.type() == type) return v;
+  if (!IsNumeric(v.type()) || !IsNumeric(type)) {
+    return Status::InvalidArgument(std::string("cannot convert ") +
+                                   ColumnTypeName(v.type()) + " to " +
+                                   ColumnTypeName(type));
+  }
+  switch (type) {
+    case ColumnType::kInt64:
+      if (v.type() == ColumnType::kInt32) {
+        return Value(static_cast<int64_t>(v.AsInt32()));
+      }
+      break;  // double -> int is lossy
+    case ColumnType::kInt32:
+      if (v.type() == ColumnType::kInt64) {
+        int64_t x = v.AsInt64();
+        if (x >= INT32_MIN && x <= INT32_MAX) {
+          return Value(static_cast<int32_t>(x));
+        }
+        return Status::InvalidArgument("value out of range for INT32");
+      }
+      break;
+    case ColumnType::kDouble:
+      return Value(AsDoubleLoose(v));
+    default:
+      break;
+  }
+  return Status::InvalidArgument(std::string("cannot convert ") +
+                                 ColumnTypeName(v.type()) + " to " +
+                                 ColumnTypeName(type));
+}
+
+Result<Value> Eval(const sql::Expr& e, const Row& row) {
+  switch (e.kind) {
+    case sql::Expr::Kind::kLiteral:
+      return e.literal;
+    case sql::Expr::Kind::kColumn:
+      if (e.slot < 0 || static_cast<size_t>(e.slot) >= row.size()) {
+        return Status::Corruption("internal: unbound column '" + e.Render() + "'");
+      }
+      return row[e.slot];
+    case sql::Expr::Kind::kNeg: {
+      REWIND_ASSIGN_OR_RETURN(Value v, Eval(*e.lhs, row));
+      switch (v.type()) {
+        case ColumnType::kNull: return v;
+        case ColumnType::kInt32:
+          if (v.AsInt32() == INT32_MIN) {
+            return Status::InvalidArgument("integer overflow in negation");
+          }
+          return Value(-v.AsInt32());
+        case ColumnType::kInt64:
+          if (v.AsInt64() == INT64_MIN) {
+            return Status::InvalidArgument("integer overflow in negation");
+          }
+          return Value(-v.AsInt64());
+        case ColumnType::kDouble: return Value(-v.AsDouble());
+        case ColumnType::kString:
+          return Status::InvalidArgument("cannot negate a string");
+      }
+      return Status::Corruption("internal: bad value type");
+    }
+    case sql::Expr::Kind::kNot: {
+      REWIND_ASSIGN_OR_RETURN(Value v, Eval(*e.lhs, row));
+      REWIND_ASSIGN_OR_RETURN(Tri t, Truth(v));
+      if (t == Tri::kNull) return Value::Null();
+      return TriValue(Not(t) == Tri::kTrue);
+    }
+    case sql::Expr::Kind::kIsNull: {
+      REWIND_ASSIGN_OR_RETURN(Value v, Eval(*e.lhs, row));
+      return TriValue(v.is_null() != e.negated);
+    }
+    case sql::Expr::Kind::kAgg:
+      return Status::Corruption("internal: unresolved aggregate '" + e.Render() + "'");
+    case sql::Expr::Kind::kBinary:
+      break;
+  }
+
+  // Kleene AND/OR short-circuit around NULLs.
+  if (e.op == sql::BinOp::kAnd || e.op == sql::BinOp::kOr) {
+    REWIND_ASSIGN_OR_RETURN(Value lv, Eval(*e.lhs, row));
+    REWIND_ASSIGN_OR_RETURN(Tri lt, Truth(lv));
+    if (e.op == sql::BinOp::kAnd && lt == Tri::kFalse) return TriValue(false);
+    if (e.op == sql::BinOp::kOr && lt == Tri::kTrue) return TriValue(true);
+    REWIND_ASSIGN_OR_RETURN(Value rv, Eval(*e.rhs, row));
+    REWIND_ASSIGN_OR_RETURN(Tri rt, Truth(rv));
+    if (e.op == sql::BinOp::kAnd) {
+      if (rt == Tri::kFalse) return TriValue(false);
+      if (lt == Tri::kNull || rt == Tri::kNull) return Value::Null();
+      return TriValue(true);
+    }
+    if (rt == Tri::kTrue) return TriValue(true);
+    if (lt == Tri::kNull || rt == Tri::kNull) return Value::Null();
+    return TriValue(false);
+  }
+
+  REWIND_ASSIGN_OR_RETURN(Value lv, Eval(*e.lhs, row));
+  REWIND_ASSIGN_OR_RETURN(Value rv, Eval(*e.rhs, row));
+  switch (e.op) {
+    case sql::BinOp::kEq:
+    case sql::BinOp::kNe:
+    case sql::BinOp::kLt:
+    case sql::BinOp::kLe:
+    case sql::BinOp::kGt:
+    case sql::BinOp::kGe: {
+      if (lv.is_null() || rv.is_null()) return Value::Null();
+      REWIND_ASSIGN_OR_RETURN(int c, CompareValues(lv, rv));
+      switch (e.op) {
+        case sql::BinOp::kEq: return TriValue(c == 0);
+        case sql::BinOp::kNe: return TriValue(c != 0);
+        case sql::BinOp::kLt: return TriValue(c < 0);
+        case sql::BinOp::kLe: return TriValue(c <= 0);
+        case sql::BinOp::kGt: return TriValue(c > 0);
+        default: return TriValue(c >= 0);
+      }
+    }
+    default:
+      if (lv.is_null() || rv.is_null()) return Value::Null();
+      return EvalArith(e.op, lv, rv);
+  }
+}
+
+Result<Tri> EvalPredicate(const sql::Expr& e, const Row& row) {
+  REWIND_ASSIGN_OR_RETURN(Value v, Eval(e, row));
+  return Truth(v);
+}
+
+Result<ColumnType> InferType(const sql::Expr& e,
+                             const std::vector<ColumnType>& input_types) {
+  switch (e.kind) {
+    case sql::Expr::Kind::kLiteral:
+      return e.literal.type();
+    case sql::Expr::Kind::kColumn:
+      if (e.slot < 0 || static_cast<size_t>(e.slot) >= input_types.size()) {
+        return Status::Corruption("internal: unbound column '" + e.Render() + "'");
+      }
+      return input_types[e.slot];
+    case sql::Expr::Kind::kNeg: {
+      REWIND_ASSIGN_OR_RETURN(ColumnType t, InferType(*e.lhs, input_types));
+      if (t == ColumnType::kString) {
+        return Status::InvalidArgument("cannot negate a string");
+      }
+      return t;
+    }
+    case sql::Expr::Kind::kNot:
+    case sql::Expr::Kind::kIsNull:
+      return ColumnType::kInt32;
+    case sql::Expr::Kind::kAgg: {
+      switch (e.agg) {
+        case sql::AggFn::kCount:
+        case sql::AggFn::kCountStar:
+          return ColumnType::kInt64;
+        case sql::AggFn::kAvg:
+          return ColumnType::kDouble;
+        case sql::AggFn::kSum: {
+          REWIND_ASSIGN_OR_RETURN(ColumnType t, InferType(*e.lhs, input_types));
+          if (t == ColumnType::kString) {
+            return Status::InvalidArgument("SUM over a string column");
+          }
+          if (t == ColumnType::kNull) return ColumnType::kNull;
+          return t == ColumnType::kDouble ? ColumnType::kDouble
+                                          : ColumnType::kInt64;
+        }
+        case sql::AggFn::kMin:
+        case sql::AggFn::kMax:
+          return InferType(*e.lhs, input_types);
+      }
+      return Status::Corruption("internal: bad aggregate");
+    }
+    case sql::Expr::Kind::kBinary:
+      break;
+  }
+  REWIND_ASSIGN_OR_RETURN(ColumnType lt, InferType(*e.lhs, input_types));
+  REWIND_ASSIGN_OR_RETURN(ColumnType rt, InferType(*e.rhs, input_types));
+  switch (e.op) {
+    case sql::BinOp::kAnd:
+    case sql::BinOp::kOr:
+    case sql::BinOp::kEq:
+    case sql::BinOp::kNe:
+    case sql::BinOp::kLt:
+    case sql::BinOp::kLe:
+    case sql::BinOp::kGt:
+    case sql::BinOp::kGe: {
+      bool ls = lt == ColumnType::kString, rs = rt == ColumnType::kString;
+      bool lc = lt == ColumnType::kNull, rc = rt == ColumnType::kNull;
+      if ((ls && !rs && !rc) || (rs && !ls && !lc)) {
+        return Status::InvalidArgument("cannot compare a string with a number");
+      }
+      return ColumnType::kInt32;
+    }
+    default: {
+      if (lt == ColumnType::kString || rt == ColumnType::kString) {
+        return Status::InvalidArgument(std::string("cannot apply ") +
+                                       sql::BinOpName(e.op) + " to a string");
+      }
+      if (lt == ColumnType::kNull) return rt;
+      if (rt == ColumnType::kNull) return lt;
+      if (lt == ColumnType::kDouble || rt == ColumnType::kDouble) {
+        return ColumnType::kDouble;
+      }
+      // int op int widens to int64 (matches the evaluator).
+      return ColumnType::kInt64;
+    }
+  }
+}
+
+void EncodeDatum(const Value& v, std::string* dst) {
+  dst->push_back(static_cast<char>(v.type()));
+  if (!v.is_null()) EncodeKeyValue(v, dst);
+}
+
+bool ContainsAggregate(const sql::Expr& e) {
+  if (e.kind == sql::Expr::Kind::kAgg) return true;
+  if (e.lhs != nullptr && ContainsAggregate(*e.lhs)) return true;
+  if (e.rhs != nullptr && ContainsAggregate(*e.rhs)) return true;
+  return false;
+}
+
+}  // namespace exec
+}  // namespace rewinddb

@@ -1,0 +1,71 @@
+// Typed expression evaluation over executor rows: the runtime half of
+// the SQL expression surface (src/sql/select_ast.h is the syntax half).
+//
+// Semantics are SQL's three-valued logic:
+//
+//   * any comparison or arithmetic with a NULL operand yields NULL
+//     (except IS [NOT] NULL, which is the one NULL-proof predicate);
+//   * AND/OR are Kleene: NULL AND FALSE = FALSE, NULL OR TRUE = TRUE;
+//   * WHERE/HAVING/ON keep a row only when the predicate is TRUE --
+//     NULL rejects, same as FALSE.
+//
+// Numerics promote int32 -> int64 -> double for comparison and
+// arithmetic; strings compare only with strings. Type errors (string +
+// int) are Status errors, never crashes -- the fuzz suite leans on
+// that.
+#ifndef REWINDDB_EXEC_EXPR_H_
+#define REWINDDB_EXEC_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "sql/select_ast.h"
+
+namespace rewinddb {
+namespace exec {
+
+/// Kleene truth value: what a predicate evaluates to.
+enum class Tri : uint8_t { kFalse, kTrue, kNull };
+
+/// Total order over non-NULL values with numeric promotion: -1/0/+1.
+/// Comparing a string with a numeric is an InvalidArgument error.
+Result<int> CompareValues(const Value& a, const Value& b);
+
+/// Like CompareValues but total over NULLs too (NULL sorts before
+/// everything) and never fails: mismatched types order by type tag.
+/// For ORDER BY comparators, which must not throw mid-sort.
+int CompareForSort(const Value& a, const Value& b);
+
+/// Lossless conversion of `v` to `type` (int32 -> int64, int -> double,
+/// identity). Fails on narrowing out-of-range, double -> int, and
+/// string <-> numeric. NULL coerces to anything (stays NULL).
+Result<Value> CoerceValue(const Value& v, ColumnType type);
+
+/// Evaluate a bound expression (column slots resolved) over `row`.
+/// Comparisons and logic yield int32 0/1 or NULL.
+Result<Value> Eval(const sql::Expr& e, const Row& row);
+
+/// Evaluate `e` as a predicate: NULL result -> Tri::kNull. A non-zero
+/// numeric is TRUE; a string result is an error.
+Result<Tri> EvalPredicate(const sql::Expr& e, const Row& row);
+
+/// Static result type of a bound expression, given the types of the
+/// input row's slots. ColumnType::kNull means "statically always
+/// NULL" (e.g. SELECT NULL).
+Result<ColumnType> InferType(const sql::Expr& e,
+                             const std::vector<ColumnType>& input_types);
+
+/// Order-preserving, NULL-aware, type-tagged encoding of a value;
+/// appends to `dst`. Used for hash-join and group-by keys, where NULL
+/// must be representable and distinct values must encode distinctly.
+void EncodeDatum(const Value& v, std::string* dst);
+
+/// True if the tree contains an aggregate call.
+bool ContainsAggregate(const sql::Expr& e);
+
+}  // namespace exec
+}  // namespace rewinddb
+
+#endif  // REWINDDB_EXEC_EXPR_H_

@@ -1,0 +1,70 @@
+// Rule-based SELECT planner: binds a parsed sql::SelectStmt against a
+// ReadView's catalog and builds an executor tree.
+//
+// The plan shape is fixed and predictable (no cost model):
+//
+//   scans -> left-deep joins (FROM order) -> aggregate -> HAVING ->
+//   project -> DISTINCT -> sort -> limit
+//
+// with these rules:
+//
+//   * WHERE and ON conjuncts sink to the lowest level that can
+//     evaluate them: single-table conjuncts into that table's scan
+//     (inside the TableView::Scan callback), two-sided conjuncts into
+//     the join that first sees both sides.
+//   * Scans derive primary-key bounds from equality/range conjuncts on
+//     the key prefix -- optimization only; the complete pushed-down
+//     predicate always stays on the scan, so a missed or wrong bound
+//     can only cost time, never correctness.
+//   * A secondary index is chosen when equality conjuncts cover a
+//     longer prefix of its key columns than they cover of the primary
+//     key (CREATE INDEX makes planner decisions, not just storage).
+//   * Joins with at least one equi-conjunct become hash joins (build
+//     right, probe left); the rest nested loops.
+//
+// Because every table access goes through the ReadView, a plan built
+// against a live view and one built against an AS OF view of the same
+// schema are the same tree -- time travel is a property of the view,
+// not the plan.
+#ifndef REWINDDB_EXEC_PLANNER_H_
+#define REWINDDB_EXEC_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/read_view.h"
+#include "exec/executor.h"
+#include "sql/select_ast.h"
+
+namespace rewinddb {
+namespace exec {
+
+/// A bound, executable query: the executor tree plus result metadata.
+struct PreparedQuery {
+  std::unique_ptr<Executor> root;
+  std::vector<std::string> column_names;
+  std::vector<ColumnType> column_types;
+
+  /// The plan tree as indented lines (EXPLAIN's rowset).
+  std::vector<std::string> ExplainLines() const;
+};
+
+/// Bind and plan `stmt` over `view` (live, AS OF, or named snapshot --
+/// the planner cannot tell and must not care).
+Result<PreparedQuery> PlanSelect(ReadView* view, const sql::SelectStmt& stmt);
+
+/// The fully-evaluated result of one SELECT.
+struct SelectOutput {
+  std::vector<std::string> column_names;
+  std::vector<ColumnType> column_types;
+  std::vector<Row> rows;
+};
+
+/// Plan and run to completion.
+Result<SelectOutput> RunSelect(ReadView* view, const sql::SelectStmt& stmt);
+
+}  // namespace exec
+}  // namespace rewinddb
+
+#endif  // REWINDDB_EXEC_PLANNER_H_

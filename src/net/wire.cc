@@ -27,6 +27,8 @@ bool IsKnownOp(uint8_t op) {
 void EncodeValue(const Value& v, std::string* dst) {
   dst->push_back(static_cast<char>(v.type()));
   switch (v.type()) {
+    case ColumnType::kNull:
+      break;  // the tag alone carries SQL NULL
     case ColumnType::kInt32:
       PutFixed32(dst, static_cast<uint32_t>(v.AsInt32()));
       break;
@@ -46,6 +48,9 @@ bool DecodeValue(Decoder* dec, Value* out) {
   Slice tag;
   if (!dec->GetBytes(1, &tag)) return false;
   switch (static_cast<ColumnType>(tag.data()[0])) {
+    case ColumnType::kNull:
+      *out = Value::Null();
+      return true;
     case ColumnType::kInt32: {
       uint32_t v;
       if (!dec->GetFixed32(&v)) return false;
@@ -114,11 +119,10 @@ bool DecodeRowset(Decoder* dec, Rowset* out) {
     Slice tag;
     if (!dec->GetLengthPrefixed(&name)) return false;
     if (!dec->GetBytes(1, &tag)) return false;
+    // kNull (0) is admitted: an all-NULL result column (e.g. SUM over
+    // zero rows) has no better static type to declare.
     uint8_t t = static_cast<uint8_t>(tag.data()[0]);
-    if (t < static_cast<uint8_t>(ColumnType::kInt32) ||
-        t > static_cast<uint8_t>(ColumnType::kString)) {
-      return false;
-    }
+    if (t > static_cast<uint8_t>(ColumnType::kString)) return false;
     out->columns.push_back(
         {std::string(name.data(), name.size()), static_cast<ColumnType>(t)});
   }

@@ -99,7 +99,8 @@ Status CoerceRowToTypes(const std::vector<ColumnType>& types, Row* row) {
         }
         break;
       case ColumnType::kString:
-        break;
+      case ColumnType::kNull:
+        break;  // NULL never coerces into a storable column
     }
     return Status::InvalidArgument(
         std::string("type mismatch at column ") + std::to_string(i) +
@@ -208,6 +209,7 @@ Status ServerSession::DoExecute(Slice payload, std::string* out) {
   std::string stmt;
   if (!GetString(&dec, &stmt)) return Truncated("EXECUTE needs LP sql");
   REWIND_ASSIGN_OR_RETURN(SqlResult r, sql_.ExecuteStatement(stmt));
+  const size_t mark = out->size();
   PutLengthPrefixed(out, Slice(r.message));
   out->push_back(r.has_rowset ? 1 : 0);
   if (r.has_rowset) {
@@ -218,6 +220,18 @@ Status ServerSession::DoExecute(Slice payload, std::string* out) {
     }
     rs.rows = std::move(r.rows);
     net::EncodeRowset(rs, out);
+    // The frame codec hard-rejects oversize frames on both ends; turn
+    // that protocol violation into an actionable statement error.
+    // 256 bytes of headroom covers the response envelope (opcode,
+    // status byte, message).
+    if (out->size() - mark + 256 > net::kMaxFrameBytes) {
+      out->resize(mark);
+      return Status::OutOfRange(
+          "result set of " + std::to_string(rs.rows.size()) +
+          " rows exceeds the wire frame limit; add a LIMIT clause or a "
+          "narrower projection [statement: \"" + StatementFragment(stmt) +
+          "\"]");
+    }
   }
   return Status::OK();
 }

@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <vector>
 
@@ -59,6 +61,16 @@ class Lexer {
                isdigit(static_cast<unsigned char>(in_[j]))) {
           j++;
         }
+        // A '.' glues into the number only when digits follow, so
+        // "1.5" is one token while "t.c" stays ident '.' ident.
+        if (j + 1 < in_.size() && in_[j] == '.' &&
+            isdigit(static_cast<unsigned char>(in_[j + 1]))) {
+          j += 2;
+          while (j < in_.size() &&
+                 isdigit(static_cast<unsigned char>(in_[j]))) {
+            j++;
+          }
+        }
         std::string n = in_.substr(i, j - i);
         out.push_back({Token::Type::kNumber, n, n});
         i = j;
@@ -78,7 +90,21 @@ class Lexer {
         i = j;
         continue;
       }
-      if (c == '(' || c == ')' || c == ',' || c == '=' || c == ';') {
+      // Two-character operators first (the parser compares whole token
+      // text, so "<=" never half-matches "<").
+      if (i + 1 < in_.size()) {
+        char d = in_[i + 1];
+        if ((c == '<' && (d == '=' || d == '>')) ||
+            (c == '>' && d == '=') || (c == '!' && d == '=')) {
+          std::string op{c, d};
+          out.push_back({Token::Type::kPunct, op, op});
+          i += 2;
+          continue;
+        }
+      }
+      if (c == '(' || c == ')' || c == ',' || c == '=' || c == ';' ||
+          c == '<' || c == '>' || c == '+' || c == '-' || c == '*' ||
+          c == '/' || c == '%' || c == '.') {
         out.push_back({Token::Type::kPunct, std::string(1, c),
                        std::string(1, c)});
         i++;
@@ -100,10 +126,16 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<SqlCommand> Parse() {
+    if (Accept("SELECT")) return Select(/*explain=*/false);
+    if (Accept("EXPLAIN")) {
+      REWIND_RETURN_IF_ERROR(Expect("SELECT"));
+      return Select(/*explain=*/true);
+    }
     if (Accept("CREATE")) {
       if (Accept("DATABASE")) return CreateSnapshot();
       if (Accept("TABLE")) return CreateTable();
-      return Err("expected DATABASE or TABLE after CREATE");
+      if (Accept("INDEX")) return CreateIndex();
+      return Err("expected DATABASE, TABLE or INDEX after CREATE");
     }
     if (Accept("ALTER")) return AlterDatabase();
     if (Accept("FLASHBACK")) return Flashback();
@@ -122,7 +154,8 @@ class Parser {
     if (Accept("DROP")) {
       if (Accept("DATABASE")) return DropNamed(SqlCommand::Kind::kDropDatabase);
       if (Accept("TABLE")) return DropNamed(SqlCommand::Kind::kDropTable);
-      return Err("expected DATABASE or TABLE after DROP");
+      if (Accept("INDEX")) return DropNamed(SqlCommand::Kind::kDropIndex);
+      return Err("expected DATABASE, TABLE or INDEX after DROP");
     }
     return Err("unrecognized statement");
   }
@@ -148,11 +181,26 @@ class Parser {
   }
 
   bool AcceptPunct(char c) {
-    if (Cur().type == Token::Type::kPunct && Cur().text[0] == c) {
+    if (Cur().type == Token::Type::kPunct && Cur().text.size() == 1 &&
+        Cur().text[0] == c) {
       pos_++;
       return true;
     }
     return false;
+  }
+
+  /// Accept a (possibly multi-character) operator token.
+  bool AcceptOp(const std::string& op) {
+    if (Cur().type == Token::Type::kPunct && Cur().text == op) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  /// True if the current token is the given keyword (not consumed).
+  bool Peek(const std::string& word) const {
+    return Cur().type == Token::Type::kWord && Cur().text == word;
   }
 
   Status Expect(const std::string& word) {
@@ -250,6 +298,329 @@ class Parser {
     SqlCommand cmd;
     cmd.kind = kind;
     REWIND_ASSIGN_OR_RETURN(cmd.name, Identifier());
+    return cmd;
+  }
+
+  // ------------------------- SELECT grammar ---------------------------
+
+  /// Words that terminate an implicit (AS-less) alias position.
+  static bool IsReserved(const std::string& up) {
+    static const char* kWords[] = {
+        "SELECT", "FROM",  "WHERE",  "JOIN",     "INNER", "ON",
+        "GROUP",  "BY",    "HAVING", "ORDER",    "LIMIT", "AS",
+        "OF",     "ASC",   "DESC",   "AND",      "OR",    "NOT",
+        "NULL",   "IS",    "DISTINCT", "SNAPSHOT", "LEFT", "RIGHT",
+        "OUTER",  "CROSS", "UNION",  "EXPLAIN"};
+    for (const char* w : kWords) {
+      if (up == w) return true;
+    }
+    return false;
+  }
+
+  Result<sql::TableRef> TableRefClause() {
+    sql::TableRef ref;
+    REWIND_ASSIGN_OR_RETURN(ref.table, Identifier());
+    if (Accept("AS")) {
+      // `FROM t AS OF ...` is the time-travel clause, not an alias.
+      if (Peek("OF")) {
+        pos_--;  // give AS back; the caller owns the trailing clauses
+        return ref;
+      }
+      REWIND_ASSIGN_OR_RETURN(ref.alias, Identifier());
+      return ref;
+    }
+    if (Cur().type == Token::Type::kWord && !IsReserved(Cur().text)) {
+      ref.alias = Cur().raw;
+      pos_++;
+    }
+    return ref;
+  }
+
+  Result<Value> NumberLiteral(const std::string& text) {
+    if (text.find('.') != std::string::npos) {
+      // strtod cannot fail here: the lexer admits only digits '.' digits.
+      return Value(strtod(text.c_str(), nullptr));
+    }
+    REWIND_ASSIGN_OR_RETURN(uint64_t n, ParseU64(text));
+    if (n > static_cast<uint64_t>(INT64_MAX)) {
+      return Err("integer literal '" + text + "' out of range");
+    }
+    return Value(static_cast<int64_t>(n));
+  }
+
+  Result<sql::ExprPtr> Primary() {
+    if (Cur().type == Token::Type::kNumber) {
+      REWIND_ASSIGN_OR_RETURN(Value v, NumberLiteral(Cur().text));
+      pos_++;
+      return sql::MakeLiteral(std::move(v));
+    }
+    if (Cur().type == Token::Type::kString) {
+      sql::ExprPtr e = sql::MakeLiteral(Value(Cur().text));
+      pos_++;
+      return e;
+    }
+    if (Accept("NULL")) return sql::MakeLiteral(Value::Null());
+    if (AcceptPunct('(')) {
+      REWIND_ASSIGN_OR_RETURN(sql::ExprPtr e, Expression());
+      if (!AcceptPunct(')')) return Err("expected ) to close expression");
+      return e;
+    }
+    if (Cur().type != Token::Type::kWord) {
+      return Err("expected an expression");
+    }
+    // Aggregate function call?
+    const std::string& up = Cur().text;
+    sql::AggFn fn;
+    bool is_agg = true;
+    if (up == "COUNT") fn = sql::AggFn::kCount;
+    else if (up == "SUM") fn = sql::AggFn::kSum;
+    else if (up == "MIN") fn = sql::AggFn::kMin;
+    else if (up == "MAX") fn = sql::AggFn::kMax;
+    else if (up == "AVG") fn = sql::AggFn::kAvg;
+    else is_agg = false;
+    if (is_agg && pos_ + 1 < tokens_.size() &&
+        tokens_[pos_ + 1].type == Token::Type::kPunct &&
+        tokens_[pos_ + 1].text == "(") {
+      pos_ += 2;  // fn (
+      if (fn == sql::AggFn::kCount && AcceptPunct('*')) {
+        if (!AcceptPunct(')')) return Err("expected ) after COUNT(*");
+        return sql::MakeAgg(sql::AggFn::kCountStar, nullptr, false);
+      }
+      bool distinct = Accept("DISTINCT");
+      REWIND_ASSIGN_OR_RETURN(sql::ExprPtr arg, Expression());
+      if (!AcceptPunct(')')) return Err("expected ) to close aggregate");
+      return sql::MakeAgg(fn, std::move(arg), distinct);
+    }
+    // Column reference: ident or ident.ident.
+    REWIND_ASSIGN_OR_RETURN(std::string first, Identifier());
+    if (AcceptPunct('.')) {
+      REWIND_ASSIGN_OR_RETURN(std::string second, Identifier());
+      return sql::MakeColumn(std::move(first), std::move(second));
+    }
+    return sql::MakeColumn("", std::move(first));
+  }
+
+  Result<sql::ExprPtr> Unary() {
+    if (AcceptPunct('-')) {
+      REWIND_ASSIGN_OR_RETURN(sql::ExprPtr e, Unary());
+      // Fold -literal so key-bound derivation sees plain literals.
+      if (e->kind == sql::Expr::Kind::kLiteral) {
+        switch (e->literal.type()) {
+          case ColumnType::kInt64:
+            return sql::MakeLiteral(Value(-e->literal.AsInt64()));
+          case ColumnType::kInt32:
+            return sql::MakeLiteral(Value(-e->literal.AsInt32()));
+          case ColumnType::kDouble:
+            return sql::MakeLiteral(Value(-e->literal.AsDouble()));
+          default:
+            break;
+        }
+      }
+      return sql::MakeUnary(sql::Expr::Kind::kNeg, std::move(e));
+    }
+    return Primary();
+  }
+
+  Result<sql::ExprPtr> MulExpr() {
+    REWIND_ASSIGN_OR_RETURN(sql::ExprPtr e, Unary());
+    while (true) {
+      sql::BinOp op;
+      if (AcceptPunct('*')) op = sql::BinOp::kMul;
+      else if (AcceptPunct('/')) op = sql::BinOp::kDiv;
+      else if (AcceptPunct('%')) op = sql::BinOp::kMod;
+      else return e;
+      REWIND_ASSIGN_OR_RETURN(sql::ExprPtr rhs, Unary());
+      e = sql::MakeBinary(op, std::move(e), std::move(rhs));
+    }
+  }
+
+  Result<sql::ExprPtr> AddExpr() {
+    REWIND_ASSIGN_OR_RETURN(sql::ExprPtr e, MulExpr());
+    while (true) {
+      sql::BinOp op;
+      if (AcceptPunct('+')) op = sql::BinOp::kAdd;
+      else if (AcceptPunct('-')) op = sql::BinOp::kSub;
+      else return e;
+      REWIND_ASSIGN_OR_RETURN(sql::ExprPtr rhs, MulExpr());
+      e = sql::MakeBinary(op, std::move(e), std::move(rhs));
+    }
+  }
+
+  Result<sql::ExprPtr> Comparison() {
+    REWIND_ASSIGN_OR_RETURN(sql::ExprPtr e, AddExpr());
+    if (Accept("IS")) {
+      bool negated = Accept("NOT");
+      REWIND_RETURN_IF_ERROR(Expect("NULL"));
+      sql::ExprPtr n = sql::MakeUnary(sql::Expr::Kind::kIsNull, std::move(e));
+      n->negated = negated;
+      return n;
+    }
+    sql::BinOp op;
+    if (AcceptOp("=")) op = sql::BinOp::kEq;
+    else if (AcceptOp("<>") || AcceptOp("!=")) op = sql::BinOp::kNe;
+    else if (AcceptOp("<=")) op = sql::BinOp::kLe;
+    else if (AcceptOp("<")) op = sql::BinOp::kLt;
+    else if (AcceptOp(">=")) op = sql::BinOp::kGe;
+    else if (AcceptOp(">")) op = sql::BinOp::kGt;
+    else return e;
+    REWIND_ASSIGN_OR_RETURN(sql::ExprPtr rhs, AddExpr());
+    return sql::MakeBinary(op, std::move(e), std::move(rhs));
+  }
+
+  Result<sql::ExprPtr> NotExpr() {
+    if (Accept("NOT")) {
+      REWIND_ASSIGN_OR_RETURN(sql::ExprPtr e, NotExpr());
+      return sql::MakeUnary(sql::Expr::Kind::kNot, std::move(e));
+    }
+    return Comparison();
+  }
+
+  Result<sql::ExprPtr> AndExpr() {
+    REWIND_ASSIGN_OR_RETURN(sql::ExprPtr e, NotExpr());
+    while (Accept("AND")) {
+      REWIND_ASSIGN_OR_RETURN(sql::ExprPtr rhs, NotExpr());
+      e = sql::MakeBinary(sql::BinOp::kAnd, std::move(e), std::move(rhs));
+    }
+    return e;
+  }
+
+  Result<sql::ExprPtr> Expression() {
+    REWIND_ASSIGN_OR_RETURN(sql::ExprPtr e, AndExpr());
+    while (Accept("OR")) {
+      REWIND_ASSIGN_OR_RETURN(sql::ExprPtr rhs, AndExpr());
+      e = sql::MakeBinary(sql::BinOp::kOr, std::move(e), std::move(rhs));
+    }
+    return e;
+  }
+
+  Result<sql::SelectItem> SelectItemClause() {
+    sql::SelectItem item;
+    if (AcceptPunct('*')) {
+      item.star = true;
+      return item;
+    }
+    // `t.*`: an identifier followed by `.` `*`.
+    if (Cur().type == Token::Type::kWord && pos_ + 2 < tokens_.size() &&
+        tokens_[pos_ + 1].type == Token::Type::kPunct &&
+        tokens_[pos_ + 1].text == "." &&
+        tokens_[pos_ + 2].type == Token::Type::kPunct &&
+        tokens_[pos_ + 2].text == "*") {
+      item.star = true;
+      item.star_table = Cur().raw;
+      pos_ += 3;
+      return item;
+    }
+    REWIND_ASSIGN_OR_RETURN(item.expr, Expression());
+    if (Accept("AS")) {
+      REWIND_ASSIGN_OR_RETURN(item.alias, Identifier());
+    } else if (Cur().type == Token::Type::kWord && !IsReserved(Cur().text)) {
+      item.alias = Cur().raw;
+      pos_++;
+    }
+    return item;
+  }
+
+  Result<SqlCommand> Select(bool explain) {
+    SqlCommand cmd;
+    cmd.kind = explain ? SqlCommand::Kind::kExplain : SqlCommand::Kind::kSelect;
+    auto stmt = std::make_shared<sql::SelectStmt>();
+    stmt->distinct = Accept("DISTINCT");
+    while (true) {
+      REWIND_ASSIGN_OR_RETURN(sql::SelectItem item, SelectItemClause());
+      stmt->items.push_back(std::move(item));
+      if (!AcceptPunct(',')) break;
+    }
+    REWIND_RETURN_IF_ERROR(Expect("FROM"));
+    REWIND_ASSIGN_OR_RETURN(stmt->from, TableRefClause());
+    while (true) {
+      if (Accept("LEFT") || Accept("RIGHT") || Accept("OUTER") ||
+          Accept("CROSS") || Accept("FULL")) {
+        return Err("only [INNER] JOIN ... ON is supported");
+      }
+      bool inner = Accept("INNER");
+      if (!Accept("JOIN")) {
+        if (inner) return Err("expected JOIN after INNER");
+        break;
+      }
+      sql::JoinRef join;
+      REWIND_ASSIGN_OR_RETURN(join.ref, TableRefClause());
+      REWIND_RETURN_IF_ERROR(Expect("ON"));
+      REWIND_ASSIGN_OR_RETURN(join.on, Expression());
+      stmt->joins.push_back(std::move(join));
+    }
+    if (Accept("WHERE")) {
+      REWIND_ASSIGN_OR_RETURN(stmt->where, Expression());
+    }
+    if (Accept("GROUP")) {
+      REWIND_RETURN_IF_ERROR(Expect("BY"));
+      while (true) {
+        REWIND_ASSIGN_OR_RETURN(sql::ExprPtr e, Expression());
+        stmt->group_by.push_back(std::move(e));
+        if (!AcceptPunct(',')) break;
+      }
+    }
+    if (Accept("HAVING")) {
+      REWIND_ASSIGN_OR_RETURN(stmt->having, Expression());
+    }
+    if (Accept("ORDER")) {
+      REWIND_RETURN_IF_ERROR(Expect("BY"));
+      while (true) {
+        sql::OrderItem item;
+        REWIND_ASSIGN_OR_RETURN(item.expr, Expression());
+        if (Accept("DESC")) item.desc = true;
+        else Accept("ASC");
+        stmt->order_by.push_back(std::move(item));
+        if (!AcceptPunct(',')) break;
+      }
+    }
+    if (Accept("LIMIT")) {
+      if (Cur().type != Token::Type::kNumber ||
+          Cur().text.find('.') != std::string::npos) {
+        return Err("expected an integer after LIMIT");
+      }
+      REWIND_ASSIGN_OR_RETURN(uint64_t n, ParseU64(Cur().text));
+      pos_++;
+      stmt->limit = n;
+    }
+    // Time-travel clauses: the whole query runs against the past.
+    if (Accept("AS")) {
+      REWIND_RETURN_IF_ERROR(Expect("OF"));
+      if (Cur().type == Token::Type::kString) {
+        REWIND_ASSIGN_OR_RETURN(stmt->as_of, ParseTimestamp(Cur().text));
+        pos_++;
+      } else if (Cur().type == Token::Type::kNumber &&
+                 Cur().text.find('.') == std::string::npos) {
+        REWIND_ASSIGN_OR_RETURN(stmt->as_of, ParseU64(Cur().text));
+        pos_++;
+      } else {
+        return Err("expected timestamp after AS OF");
+      }
+      if (stmt->as_of == 0) return Err("AS OF time must be positive");
+    } else if (Accept("SNAPSHOT")) {
+      REWIND_RETURN_IF_ERROR(Expect("OF"));
+      REWIND_ASSIGN_OR_RETURN(stmt->snapshot, Identifier());
+    }
+    AcceptPunct(';');
+    if (Cur().type != Token::Type::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    cmd.select = std::move(stmt);
+    return cmd;
+  }
+
+  Result<SqlCommand> CreateIndex() {
+    SqlCommand cmd;
+    cmd.kind = SqlCommand::Kind::kCreateIndex;
+    REWIND_ASSIGN_OR_RETURN(cmd.name, Identifier());
+    REWIND_RETURN_IF_ERROR(Expect("ON"));
+    REWIND_ASSIGN_OR_RETURN(cmd.source, Identifier());
+    if (!AcceptPunct('(')) return Err("expected ( after table name");
+    while (true) {
+      REWIND_ASSIGN_OR_RETURN(std::string col, Identifier());
+      cmd.index_columns.push_back(std::move(col));
+      if (!AcceptPunct(',')) break;
+    }
+    if (!AcceptPunct(')')) return Err("expected ) to close column list");
     return cmd;
   }
 

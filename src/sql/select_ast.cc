@@ -1,0 +1,111 @@
+#include "sql/select_ast.h"
+
+namespace rewinddb {
+namespace sql {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+  }
+  return "?";
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+    case AggFn::kCountStar: return "COUNT";
+    case AggFn::kSum: return "SUM";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+    case AggFn::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+std::string Expr::Render() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kColumn:
+      if (!table.empty()) return table + "." + column;
+      if (!column.empty()) return column;
+      return "#" + std::to_string(slot);
+    case Kind::kBinary:
+      return "(" + lhs->Render() + " " + BinOpName(op) + " " +
+             rhs->Render() + ")";
+    case Kind::kNot:
+      return "(NOT " + lhs->Render() + ")";
+    case Kind::kNeg:
+      return "(- " + lhs->Render() + ")";
+    case Kind::kIsNull:
+      return "(" + lhs->Render() + (negated ? " IS NOT NULL)" : " IS NULL)");
+    case Kind::kAgg:
+      if (agg == AggFn::kCountStar) return "COUNT(*)";
+      return std::string(AggFnName(agg)) + "(" +
+             (agg_distinct ? "DISTINCT " : "") + lhs->Render() + ")";
+  }
+  return "?";
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumn(std::string table, std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kColumn;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeSlot(int slot, std::string display_name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kColumn;
+  e->column = std::move(display_name);
+  e->slot = slot;
+  return e;
+}
+
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeUnary(Expr::Kind kind, ExprPtr child) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->lhs = std::move(child);
+  return e;
+}
+
+ExprPtr MakeAgg(AggFn fn, ExprPtr arg, bool distinct) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kAgg;
+  e->agg = fn;
+  e->lhs = std::move(arg);
+  e->agg_distinct = distinct;
+  return e;
+}
+
+}  // namespace sql
+}  // namespace rewinddb

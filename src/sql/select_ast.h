@@ -1,0 +1,124 @@
+// The SELECT statement AST: what the parser produces and the planner
+// (src/exec/planner.h) consumes.
+//
+// Expressions are shared_ptr trees so a parsed statement stays cheaply
+// copyable inside SqlCommand; the binder (planner) annotates column
+// nodes with resolved input slots in place. Render() gives the
+// canonical text used by EXPLAIN, by error messages, and by the
+// planner's structural expression matching (GROUP BY item <-> SELECT
+// item correspondence).
+#ifndef REWINDDB_SQL_SELECT_AST_H_
+#define REWINDDB_SQL_SELECT_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+
+namespace rewinddb {
+namespace sql {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class BinOp : uint8_t {
+  kEq, kNe, kLt, kLe, kGt, kGe,   // comparisons (3-valued under NULL)
+  kAnd, kOr,                      // Kleene logic
+  kAdd, kSub, kMul, kDiv, kMod,   // arithmetic (NULL-propagating)
+};
+
+const char* BinOpName(BinOp op);
+
+enum class AggFn : uint8_t { kCount, kCountStar, kSum, kMin, kMax, kAvg };
+
+const char* AggFnName(AggFn fn);
+
+/// One node of an expression tree.
+struct Expr {
+  enum class Kind : uint8_t {
+    kLiteral,     // `literal` (may be Value::Null())
+    kColumn,      // [table.]column; binder fills `slot`
+    kBinary,      // lhs op rhs
+    kNot,         // NOT lhs
+    kNeg,         // - lhs
+    kIsNull,      // lhs IS [NOT] NULL (negated = IS NOT NULL)
+    kAgg,         // agg fn over lhs (null lhs = COUNT(*))
+  };
+
+  Kind kind;
+  Value literal;                 // kLiteral
+  std::string table;             // kColumn qualifier ("" = unqualified)
+  std::string column;            // kColumn
+  BinOp op = BinOp::kEq;         // kBinary
+  AggFn agg = AggFn::kCount;     // kAgg
+  bool agg_distinct = false;     // kAgg: COUNT(DISTINCT x)
+  bool negated = false;          // kIsNull: IS NOT NULL
+  ExprPtr lhs, rhs;              // children (unary ops use lhs only)
+
+  /// Filled by the binder: index into the executor's input row. For
+  /// kColumn this addresses the current scope; the planner also mints
+  /// bare-slot column nodes ("#n") to address post-aggregation rows.
+  int slot = -1;
+
+  /// Canonical rendering, e.g. "(a + 1) > b" -- stable across parses
+  /// of the same text modulo whitespace.
+  std::string Render() const;
+};
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumn(std::string table, std::string column);
+/// A column node addressing input slot `slot` directly (planner use).
+ExprPtr MakeSlot(int slot, std::string display_name);
+ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(Expr::Kind kind, ExprPtr child);
+ExprPtr MakeAgg(AggFn fn, ExprPtr arg, bool distinct);
+
+/// One SELECT-list item: an expression with an optional alias, or a
+/// star (`*` / `t.*`) expanded by the planner.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;       // "" = derive from the expression
+  bool star = false;       // `*` or `table.*`
+  std::string star_table;  // qualifier of `table.*` ("" = all tables)
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // "" = table name
+  const std::string& binding() const { return alias.empty() ? table : alias; }
+};
+
+struct JoinRef {
+  TableRef ref;
+  ExprPtr on;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+/// A full SELECT statement. `as_of`/`snapshot` carry the paper's
+/// time-travel clauses: exactly one of them may be set; both unset
+/// means the live database.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinRef> joins;
+  ExprPtr where;                    // null = none
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                   // null = none
+  std::vector<OrderItem> order_by;
+  std::optional<uint64_t> limit;
+  WallClock as_of = 0;              // SELECT ... AS OF '<ts>' (0 = live)
+  std::string snapshot;             // SELECT ... SNAPSHOT OF <name>
+};
+
+}  // namespace sql
+}  // namespace rewinddb
+
+#endif  // REWINDDB_SQL_SELECT_AST_H_

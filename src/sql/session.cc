@@ -1,5 +1,7 @@
 #include "sql/session.h"
 
+#include "exec/planner.h"
+
 namespace rewinddb {
 
 namespace {
@@ -84,6 +86,67 @@ Result<SqlResult> SqlSession::ExecuteStatement(const std::string& sql) {
     }
     case SqlCommand::Kind::kShowStats:
       return ShowStats();
+    case SqlCommand::Kind::kCreateIndex: {
+      Status s = conn_->CreateIndex(cmd.name, cmd.source, cmd.index_columns);
+      if (!s.ok()) return WithStatement(s, sql);
+      out.message = "Created index " + cmd.name + " on " + cmd.source;
+      return out;
+    }
+    case SqlCommand::Kind::kDropIndex: {
+      Status s = conn_->DropIndex(cmd.name);
+      if (!s.ok()) return WithStatement(s, sql);
+      out.message = "Dropped index " + cmd.name;
+      return out;
+    }
+    case SqlCommand::Kind::kSelect:
+    case SqlCommand::Kind::kExplain: {
+      const sql::SelectStmt& stmt = *cmd.select;
+      // Resolve the view the statement's time-travel clause names:
+      // SNAPSHOT OF -> the shared named snapshot, AS OF -> a fresh
+      // as-of view, neither -> the live database. The planner and
+      // executors see only the ReadView, never which kind it is.
+      std::shared_ptr<ReadView> shared_view;
+      std::unique_ptr<ReadView> live_view;
+      ReadView* view = nullptr;
+      if (!stmt.snapshot.empty()) {
+        Result<std::shared_ptr<ReadView>> v = registry()->Snapshot(
+            stmt.snapshot);
+        if (!v.ok()) return WithStatement(v.status(), sql);
+        shared_view = std::move(*v);
+        view = shared_view.get();
+      } else if (stmt.as_of != 0) {
+        Result<std::shared_ptr<ReadView>> v = conn_->AsOf(stmt.as_of);
+        if (!v.ok()) return WithStatement(v.status(), sql);
+        shared_view = std::move(*v);
+        view = shared_view.get();
+      } else {
+        live_view = conn_->Live();
+        view = live_view.get();
+      }
+      Status ready = view->WaitReady();
+      if (!ready.ok()) return WithStatement(ready, sql);
+      if (cmd.kind == SqlCommand::Kind::kExplain) {
+        Result<exec::PreparedQuery> q = exec::PlanSelect(view, stmt);
+        if (!q.ok()) return WithStatement(q.status(), sql);
+        out.has_rowset = true;
+        out.column_names = {"plan"};
+        out.column_types = {ColumnType::kString};
+        for (std::string& line : q->ExplainLines()) {
+          out.rows.push_back({Value(std::move(line))});
+        }
+        out.message = std::to_string(out.rows.size()) + " plan steps";
+        return out;
+      }
+      Result<exec::SelectOutput> r = exec::RunSelect(view, stmt);
+      if (!r.ok()) return WithStatement(r.status(), sql);
+      out.has_rowset = true;
+      out.column_names = std::move(r->column_names);
+      out.column_types = std::move(r->column_types);
+      out.rows = std::move(r->rows);
+      out.message = std::to_string(out.rows.size()) +
+                    (out.rows.size() == 1 ? " row" : " rows");
+      return out;
+    }
   }
   return WithStatement(Status::InvalidArgument("unhandled statement"), sql);
 }

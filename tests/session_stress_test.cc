@@ -154,6 +154,39 @@ TEST(SessionStress, HostileConcurrencyOnOneDatabase) {
     });
   }
 
+  // Analysts run full SQL queries -- joins and aggregates, live and
+  // AS OF -- through the executor while writers churn underneath.
+  constexpr int kAnalysts = 2;
+  for (int a = 0; a < kAnalysts; a++) {
+    threads.emplace_back([&, a] {
+      std::unique_ptr<Connection> conn = Connection::Attach(db);
+      SqlSession sql(conn.get(), registry.get());
+      std::mt19937 rng(3000 + a);
+      const char* queries[] = {
+          "SELECT worker, COUNT(*), SUM(amount), MAX(amount) FROM ledger "
+          "GROUP BY worker ORDER BY worker",
+          "SELECT a.id, b.worker FROM ledger a JOIN ledger b "
+          "ON a.worker = b.worker WHERE a.id < 16 LIMIT 64",
+          "SELECT COUNT(*) FROM ledger WHERE amount >= 0 AND id % 2 = 0",
+          "SELECT DISTINCT worker FROM ledger ORDER BY worker LIMIT 8",
+      };
+      for (int i = 0; i < kOpsPerThread; i++) {
+        std::string q = queries[rng() % std::size(queries)];
+        if (rng() % 2) {
+          uint64_t now = clock.NowMicros();
+          uint64_t back = kSecond + rng() % (3 * kSecond);
+          q += " AS OF " + std::to_string(now > back ? now - back : now);
+        }
+        auto r = sql.ExecuteStatement(q);
+        note(r.status(), "analyst SELECT");
+        if (rng() % 16 == 0) {
+          note(sql.ExecuteStatement("EXPLAIN " + q).status(),
+               "analyst EXPLAIN");
+        }
+      }
+    });
+  }
+
   for (int cth = 0; cth < kChaos; cth++) {
     threads.emplace_back([&, cth] {
       std::unique_ptr<Connection> conn = Connection::Attach(db);

@@ -84,6 +84,8 @@ std::vector<std::string> Tokenize(const std::string& line) {
 
 std::string ValueToString(const Value& v) {
   switch (v.type()) {
+    case rewinddb::ColumnType::kNull:
+      return "NULL";
     case rewinddb::ColumnType::kInt32:
       return std::to_string(v.AsInt32());
     case rewinddb::ColumnType::kInt64:
@@ -142,7 +144,15 @@ void PrintRowset(const Rowset& rs) {
 
 void Help() {
   std::cout <<
-      "SQL statements run as typed; dot commands:\n"
+      "SQL statements run as typed, e.g.:\n"
+      "  SELECT e.id, d.city FROM emp e JOIN dept d ON e.dept = d.dept\n"
+      "    WHERE e.score > 10 GROUP BY d.city ORDER BY d.city LIMIT 20\n"
+      "  ... AS OF 'YYYY-MM-DD hh:mm:ss' | AS OF MICROS |"
+      " SNAPSHOT OF NAME\n"
+      "  EXPLAIN SELECT ...        (plan as a rowset)\n"
+      "  CREATE INDEX idx ON t (cols) | DROP INDEX idx\n"
+      "  (full grammar: docs/SQL.md)\n"
+      "Dot commands:\n"
       "  .begin | .commit [sync|group|async|none] | .rollback\n"
       "  .insert TABLE v1 v2 ...   .update TABLE v1 v2 ...\n"
       "  .delete TABLE k1 ...      .get TABLE k1 ...\n"
