@@ -41,6 +41,10 @@ struct AsOfPhase {
   /// the full chain walks; with the store on, the second reuses them.
   uint64_t first_records_undone = 0;
   uint64_t second_records_undone = 0;
+  /// Lazy phase only: pages recovered on first access across all
+  /// snapshots (the work the eager phases front-load at create time).
+  uint64_t pages_on_demand = 0;
+  bool lazy = false;
   double tpmc = 0;
   VersionStore::Stats vs;
 };
@@ -52,13 +56,16 @@ struct AsOfPhase {
 /// the shared version store exists for.
 AsOfPhase RunConcurrentPhase(Database* db, TpccDatabase* tpcc,
                              int new_orders, uint64_t seed,
-                             const char* tag) {
+                             const char* tag,
+                             MountMode mode = MountMode::kEager) {
   AsOfPhase out;
+  out.lazy = mode == MountMode::kLazy;
   VersionStore::Stats vs0 = db->version_store()->stats();
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> snapshots_ok{0}, queries_ok{0};
   std::atomic<uint64_t> create_micros{0}, query_micros{0};
   std::atomic<uint64_t> analysis_micros{0}, redo_micros{0}, undo_micros{0};
+  std::atomic<uint64_t> pages_on_demand{0};
   std::atomic<int> replay_threads{1};
   std::atomic<uint64_t> undone_by_rep[2] = {};
   std::thread asof_loop([&] {
@@ -72,12 +79,15 @@ AsOfPhase RunConcurrentPhase(Database* db, TpccDatabase* tpcc,
       for (int rep = 0; rep < 2 && !stop.load(); rep++) {
         auto t0 = std::chrono::steady_clock::now();
         auto snap = AsOfSnapshot::Create(
-            db, std::string(tag) + std::to_string(n++), target);
+            db, std::string(tag) + std::to_string(n++), target, mode);
         // A failed investigator aborts the cycle: letting rep 1 run
         // after a failed rep 0 would book a cold full walk into the
         // "second investigator" bucket.
         if (!snap.ok()) break;
-        Status u = (*snap)->WaitForUndo();
+        // The lazy investigator queries immediately: the first query
+        // pays the on-demand recovery the eager mount front-loads.
+        Status u = mode == MountMode::kLazy ? Status::OK()
+                                            : (*snap)->WaitForUndo();
         auto t1 = std::chrono::steady_clock::now();
         if (!u.ok()) break;
         snapshots_ok.fetch_add(1);
@@ -101,6 +111,7 @@ AsOfPhase RunConcurrentPhase(Database* db, TpccDatabase* tpcc,
                 .count()));
         undone_by_rep[rep].fetch_add(
             (*snap)->rewinder()->records_undone() - undone0);
+        pages_on_demand.fetch_add((*snap)->pages_recovered_on_demand());
       }
     }
   });
@@ -118,6 +129,7 @@ AsOfPhase RunConcurrentPhase(Database* db, TpccDatabase* tpcc,
   out.replay_threads = replay_threads.load();
   out.first_records_undone = undone_by_rep[0].load();
   out.second_records_undone = undone_by_rep[1].load();
+  out.pages_on_demand = pages_on_demand.load();
   VersionStore::Stats vs1 = db->version_store()->stats();
   out.vs.exact_hits = vs1.exact_hits - vs0.exact_hits;
   out.vs.partial_hits = vs1.partial_hits - vs0.partial_hits;
@@ -148,6 +160,10 @@ void PrintPhase(const char* name, const AsOfPhase& p) {
            static_cast<unsigned long long>(p.first_records_undone),
            static_cast<unsigned long long>(p.second_records_undone));
   }
+  if (p.lazy) {
+    printf("%-34s %12llu\n", "  pages recovered on demand",
+           static_cast<unsigned long long>(p.pages_on_demand));
+  }
   printf("%-34s %12llu exact, %llu partial, %llu published\n",
          "  version store",
          static_cast<unsigned long long>(p.vs.exact_hits),
@@ -159,15 +175,17 @@ void PrintJson(const char* phase, const AsOfPhase& p) {
   double snaps = p.snapshots_ok > 0
                      ? static_cast<double>(p.snapshots_ok)
                      : 1.0;
-  printf("JSON {\"bench\":\"sec63\",\"phase\":\"%s\",\"tpmc\":%.0f,"
+  printf("JSON {\"bench\":\"sec63\",\"phase\":\"%s\",\"mount\":\"%s\","
+         "\"tpmc\":%.0f,"
          "\"snapshots\":%llu,\"queries\":%llu,\"avg_create_ms\":%.1f,"
          "\"avg_query_ms\":%.1f,\"analysis_ms\":%.1f,\"redo_ms\":%.1f,"
          "\"undo_ms\":%.1f,\"replay_threads\":%d,"
          "\"first_records_undone\":%llu,"
          "\"second_records_undone\":%llu,"
+         "\"pages_recovered_on_demand\":%llu,"
          "\"vs_exact_hits\":%llu,\"vs_partial_hits\":%llu,"
          "\"vs_published\":%llu,\"vs_evictions\":%llu}\n",
-         phase, p.tpmc,
+         phase, p.lazy ? "lazy" : "eager", p.tpmc,
          static_cast<unsigned long long>(p.snapshots_ok),
          static_cast<unsigned long long>(p.queries_ok),
          p.snapshots_ok > 0 ? static_cast<double>(p.create_micros) / 1000.0 /
@@ -182,6 +200,7 @@ void PrintJson(const char* phase, const AsOfPhase& p) {
          p.replay_threads,
          static_cast<unsigned long long>(p.first_records_undone),
          static_cast<unsigned long long>(p.second_records_undone),
+         static_cast<unsigned long long>(p.pages_on_demand),
          static_cast<unsigned long long>(p.vs.exact_hits),
          static_cast<unsigned long long>(p.vs.partial_hits),
          static_cast<unsigned long long>(p.vs.published),
@@ -232,6 +251,14 @@ int main() {
   AsOfPhase on = RunConcurrentPhase(db->get(), tpcc->get(), 12000, 29,
                                     "on");
 
+  // Phase C -- lazy investigators (store back off, matching phase A):
+  // snapshots mount in O(1) and the first query recovers only the
+  // pages it touches, so the create-time hit on the foreground
+  // workload disappears and the cost moves into the query.
+  (*db)->version_store()->SetBudget(0);
+  AsOfPhase lazy = RunConcurrentPhase(db->get(), tpcc->get(), 12000, 31,
+                                      "lz", MountMode::kLazy);
+
   double baseline2 = RunFixedWork(tpcc->get(), 8000, 17);
   double baseline_tpmc = (baseline1 + baseline2) / 2;
 
@@ -239,6 +266,7 @@ int main() {
          "baseline throughput", baseline_tpmc, baseline1, baseline2);
   PrintPhase("store OFF, with as-of loop", off);
   PrintPhase("store ON,  with as-of loop", on);
+  PrintPhase("LAZY mounts, with as-of loop", lazy);
   // The phases run in a fixed order against one growing database, so
   // the on-phase works on larger tables and a longer log than the
   // off-phase: the cross-phase tpmC/latency comparison is biased
@@ -246,16 +274,22 @@ int main() {
   // first-vs-second investigator split above.
   double ratio_off = baseline_tpmc > 0 ? off.tpmc / baseline_tpmc : 0;
   double ratio_on = baseline_tpmc > 0 ? on.tpmc / baseline_tpmc : 0;
+  double ratio_lazy = baseline_tpmc > 0 ? lazy.tpmc / baseline_tpmc : 0;
   printf("%-34s %12.2fx   (paper: ~0.67x)\n", "throughput ratio (store off)",
          ratio_off);
   printf("%-34s %12.2fx   (runs second: biased low by db growth)\n",
          "throughput ratio (store on)", ratio_on);
+  printf("%-34s %12.2fx   (runs third: biased low by db growth)\n",
+         "throughput ratio (lazy mounts)", ratio_lazy);
   PrintJson("store_off", off);
   PrintJson("store_on", on);
+  PrintJson("lazy", lazy);
   printf("\nexpected shape: throughput drops but stays within the same "
          "order of magnitude while as-of queries run continuously; with "
          "the version store on, as-of queries undo fewer records per "
-         "query (exact/partial hits replace chain walks)\n");
+         "query (exact/partial hits replace chain walks); lazy mounts "
+         "collapse avg_create_ms to ~constant and move the recovery "
+         "cost into the first query's on-demand page fetches\n");
 
   tpcc->reset();
   db->reset();

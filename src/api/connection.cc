@@ -5,7 +5,9 @@
 namespace rewinddb {
 
 Connection::Connection(Database* db)
-    : db_(db), commit_mode_(db->options().default_commit_mode) {}
+    : db_(db),
+      commit_mode_(db->options().default_commit_mode),
+      lazy_mounts_(db->options().lazy_mount) {}
 
 Connection::~Connection() {
   // Every snapshot this Connection minted -- named or anonymous -- is
@@ -66,6 +68,18 @@ void Connection::SetDefaultCommitMode(CommitMode mode) {
 
 CommitMode Connection::default_commit_mode() const {
   return commit_mode_.load(std::memory_order_relaxed);
+}
+
+void Connection::SetLazyMounts(bool lazy) {
+  lazy_mounts_.store(lazy, std::memory_order_relaxed);
+}
+
+bool Connection::lazy_mounts() const {
+  return lazy_mounts_.load(std::memory_order_relaxed);
+}
+
+LazyMountCounters Connection::LazyMountStats() const {
+  return db_->lazy_mount_counters();
 }
 
 VersionStore::Stats Connection::VersionStoreStats() const {
@@ -178,8 +192,11 @@ Result<std::shared_ptr<ReadView>> Connection::AsOf(WallClock as_of) {
   // The engine-level object-id counter makes the side-file name unique
   // across every Connection attached to this Database, not just ours.
   std::string name = "__asof" + std::to_string(db_->AllocateObjectId());
-  REWIND_ASSIGN_OR_RETURN(std::unique_ptr<AsOfSnapshot> snap,
-                          AsOfSnapshot::Create(db_, name, as_of));
+  REWIND_ASSIGN_OR_RETURN(
+      std::unique_ptr<AsOfSnapshot> snap,
+      AsOfSnapshot::Create(db_, name, as_of,
+                           lazy_mounts() ? MountMode::kLazy
+                                         : MountMode::kEager));
   auto state = api_internal::AdoptSnapshot(std::move(snap));
   {
     std::lock_guard<std::mutex> g(mu_);
@@ -207,7 +224,9 @@ Status Connection::CreateSnapshot(const std::string& name, WallClock as_of) {
     }
     creating_.insert(name);
   }
-  auto snap = AsOfSnapshot::Create(db_, name, as_of);
+  auto snap = AsOfSnapshot::Create(
+      db_, name, as_of,
+      lazy_mounts() ? MountMode::kLazy : MountMode::kEager);
   std::lock_guard<std::mutex> g(mu_);
   creating_.erase(name);
   if (!snap.ok()) return snap.status();

@@ -31,6 +31,15 @@ bool DefaultArchiveEnabled() {
   return cached;
 }
 
+bool DefaultLazyMount() {
+  static const bool cached = [] {
+    const char* env = std::getenv("REWINDDB_LAZY_MOUNT");
+    return env != nullptr && *env != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }();
+  return cached;
+}
+
 // ------------------------- undo appliers ------------------------------
 
 Status PhysicalUndoApplier::UndoRecord(Transaction* txn, Lsn /*lsn*/,

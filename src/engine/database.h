@@ -48,6 +48,11 @@ uint64_t DefaultCheckpointIntervalBytes();
 /// archive tier (any non-empty value except "0").
 bool DefaultArchiveEnabled();
 
+/// True when the REWINDDB_LAZY_MOUNT environment variable asks for
+/// lazy AS OF mounts (any non-empty value except "0"). How CI runs the
+/// whole suite with lazy mounts on.
+bool DefaultLazyMount();
+
 struct DatabaseOptions {
   /// Buffer pool size in pages.
   size_t buffer_pool_pages = 2048;
@@ -114,6 +119,35 @@ struct DatabaseOptions {
   /// hand); 0 = auto: one shard per 128 frames, at most 16. Small
   /// pools degenerate to a single shard.
   size_t buffer_shards = 0;
+  /// Lazy AS OF mounts: snapshot creation records only the SplitLSN
+  /// and defers analysis + loser undo to a background sweeper, while
+  /// pages are recovered individually on first access (per-page rewind
+  /// entered through the mount's page log index). Mount cost becomes
+  /// O(1) in log-since-backup; first-query latency becomes O(working
+  /// set). The eager path (default) stays the oracle: both produce
+  /// byte-identical page images (tests/lazy_mount_test.cc). Overridable
+  /// per session with SET MOUNT_MODE. The default honours the
+  /// REWINDDB_LAZY_MOUNT environment variable.
+  bool lazy_mount = DefaultLazyMount();
+};
+
+/// Counters behind SHOW STATS' lazy_mount.* rows: how much recovery
+/// work lazy mounts deferred and where it was eventually paid (on
+/// demand by queries vs. by the background sweeper). Plain values; the
+/// engine keeps them in relaxed atomics.
+struct LazyMountCounters {
+  uint64_t lazy_mounts = 0;
+  uint64_t eager_mounts = 0;
+  /// Pages recovered on first access by a lazily mounted snapshot.
+  uint64_t pages_recovered_on_demand = 0;
+  /// On-demand recoveries that entered the chain at an indexed
+  /// post-split page image instead of walking from the current page.
+  uint64_t fpi_index_hits = 0;
+  /// Trees whose loser undo was applied on first query touch (the
+  /// remainder were completed by the sweeper).
+  uint64_t trees_recovered_on_demand = 0;
+  /// Background sweeps that ran to completion.
+  uint64_t sweeps_completed = 0;
 };
 
 /// Phase timings of the last crash recovery, charged to the database
@@ -292,6 +326,35 @@ class Database {
   /// session teardown released every snapshot handle.
   size_t SnapshotAnchorCount();
 
+  /// Lazy-mount accounting (bumped by AsOfSnapshot, which this
+  /// Database always outlives).
+  void BumpLazyMount(bool lazy) {
+    (lazy ? lazy_mounts_ : eager_mounts_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  void BumpPagesRecoveredOnDemand(bool via_fpi_index) {
+    pages_recovered_on_demand_.fetch_add(1, std::memory_order_relaxed);
+    if (via_fpi_index) fpi_index_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void BumpTreesRecoveredOnDemand(uint64_t n) {
+    trees_recovered_on_demand_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void BumpSweepsCompleted() {
+    sweeps_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  LazyMountCounters lazy_mount_counters() const {
+    LazyMountCounters c;
+    c.lazy_mounts = lazy_mounts_.load(std::memory_order_relaxed);
+    c.eager_mounts = eager_mounts_.load(std::memory_order_relaxed);
+    c.pages_recovered_on_demand =
+        pages_recovered_on_demand_.load(std::memory_order_relaxed);
+    c.fpi_index_hits = fpi_index_hits_.load(std::memory_order_relaxed);
+    c.trees_recovered_on_demand =
+        trees_recovered_on_demand_.load(std::memory_order_relaxed);
+    c.sweeps_completed = sweeps_completed_.load(std::memory_order_relaxed);
+    return c;
+  }
+
  private:
   friend class Table;
 
@@ -384,6 +447,13 @@ class Database {
 
   std::mutex anchors_mu_;
   std::multiset<Lsn> snapshot_anchors_;
+
+  std::atomic<uint64_t> lazy_mounts_{0};
+  std::atomic<uint64_t> eager_mounts_{0};
+  std::atomic<uint64_t> pages_recovered_on_demand_{0};
+  std::atomic<uint64_t> fpi_index_hits_{0};
+  std::atomic<uint64_t> trees_recovered_on_demand_{0};
+  std::atomic<uint64_t> sweeps_completed_{0};
 
   std::thread checkpointer_;
   std::mutex ckpt_mu_;

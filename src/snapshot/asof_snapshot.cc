@@ -15,6 +15,11 @@ namespace {
 
 /// As-of read gate: a row held by a transaction that was in flight at
 /// the SplitLSN is invisible until the background undo erases it.
+///
+/// Lazy mounts never need the per-row machinery: a tree's whole loser
+/// undo is applied by EnsureTreeRecovered BEFORE the query surface
+/// reads the tree, so every row the B-tree can deliver is already
+/// visible and the gate degenerates to latches + buffers.
 class SnapshotRowGate : public RowGate {
  public:
   explicit SnapshotRowGate(AsOfSnapshot* snap) : snap_(snap) {}
@@ -24,9 +29,12 @@ class SnapshotRowGate : public RowGate {
     return snap_->TreeLatch(tree);
   }
   Status BeforePointRead(TreeId tree, const std::string& pk) override {
+    if (snap_->lazy()) return Status::OK();
     return snap_->WaitRowVisible(tree, pk);
   }
-  bool ScanNeedsRowCheck() override { return !snap_->undo_complete(); }
+  bool ScanNeedsRowCheck() override {
+    return !snap_->lazy() && !snap_->undo_complete();
+  }
   Result<Check> CheckScanRow(TreeId tree, const std::string& key) override {
     if (!snap_->undo_complete() && snap_->RowBusy(tree, key)) {
       return Check::kYield;
@@ -37,7 +45,7 @@ class SnapshotRowGate : public RowGate {
     return snap_->WaitRowVisible(tree, key);
   }
   bool CountNeedsVisibilityScan() override {
-    return !snap_->undo_complete();
+    return !snap_->lazy() && !snap_->undo_complete();
   }
 
  private:
@@ -52,26 +60,86 @@ Status SnapshotStore::ReadPage(PageId id, char* buf) {
   // Section 5.3 protocol, with the shared version store between the
   // side file and the primary: (a) side file, (b) version store --
   // exact hit needs no chain walk at all, a newer-than-target version
-  // seeds the rewind so the walk covers only the gap, (c) primary read
-  // + full rewind. Completed rewinds publish their pristine result for
-  // other snapshots; the prepared page is cached in the side file.
+  // seeds the rewind so the walk covers only the gap, (c) a fresh
+  // image + rewind (RecoverPage; the image source and entry point
+  // depend on the mount mode). Completed rewinds publish their
+  // pristine result for other snapshots; the prepared page is cached
+  // in the side file. A recovery failure caches NOTHING -- neither
+  // tier sees a partial page, so a later read simply retries.
   Status s = side_->ReadPage(id, buf);
   if (s.ok()) return s;
   if (!s.IsNotFound()) return s;
 
-  VersionStore::Lookup hit;
-  if (versions_ != nullptr) hit = versions_->Find(id, split_lsn_, buf);
-  if (hit.kind == VersionStore::LookupKind::kMiss) {
-    REWIND_RETURN_IF_ERROR(primary_->ReadPage(id, buf));
-  }
-  if (hit.kind != VersionStore::LookupKind::kExact) {
-    Lsn valid_until = kInvalidLsn;
-    REWIND_RETURN_IF_ERROR(
-        rewinder_->PreparePageAsOf(buf, split_lsn_, &valid_until));
-    if (versions_ != nullptr) versions_->Publish(id, buf, valid_until);
-  }
+  REWIND_RETURN_IF_ERROR(RecoverPage(id, buf));
   StampPageChecksum(buf);
   return side_->WritePage(id, buf);
+}
+
+Status SnapshotStore::RecoverPage(PageId id, char* buf) {
+  VersionStore::Lookup hit;
+  if (versions_ != nullptr) hit = versions_->Find(id, split_lsn_, buf);
+  if (hit.kind == VersionStore::LookupKind::kExact) return Status::OK();
+
+  const bool lazy = owner_ != nullptr && owner_->lazy();
+  bool have_seed = hit.kind == VersionStore::LookupKind::kPartial;
+  bool via_fpi = false;
+  bool walk_done = false;
+  Lsn valid_until = kInvalidLsn;
+
+  if (!have_seed && lazy) {
+    REWIND_RETURN_IF_ERROR(
+        owner_->CheckRecoveryFault(RecoveryFaultPoint::kIndexLookup, id));
+    std::optional<PageLogIndex::Entry> e;
+    if (owner_->page_log_index() != nullptr) {
+      e = owner_->page_log_index()->Lookup(id);
+    }
+    if (e.has_value() && e->fpi_lsn != kInvalidLsn) {
+      // Enter the chain at the indexed post-split image. Its payload is
+      // the page as of fpi.prev_page_lsn, so the walk (if any) covers
+      // only (split, fpi.prev_page_lsn] -- the post-split churn between
+      // the image and "now" is never scanned.
+      wal::Cursor cur = owner_->primary()->log()->OpenCursor();
+      REWIND_RETURN_IF_ERROR(cur.SeekTo(e->fpi_lsn));
+      const LogRecord& fpi = cur.record();
+      if (fpi.type != LogType::kPreformat || fpi.image.size() != kPageSize) {
+        return Status::Corruption(
+            "page log index does not point at a page image");
+      }
+      memcpy(buf, fpi.image.data(), kPageSize);
+      SetPageLsn(buf, fpi.prev_page_lsn);
+      Header(buf)->last_fpi_lsn = fpi.prev_fpi_lsn;
+      via_fpi = true;
+      have_seed = true;
+      if (PageLsn(buf) <= split_lsn_) {
+        // The image IS the split-time page: valid until the preformat
+        // record that captured it.
+        valid_until = e->fpi_lsn;
+        walk_done = true;
+      }
+    } else {
+      // No indexed entry point: rewind from the CURRENT image, read
+      // through the primary's buffer pool so unflushed changes (no
+      // creation checkpoint under lazy!) are included.
+      REWIND_ASSIGN_OR_RETURN(
+          PageGuard live,
+          owner_->primary()->buffers()->FetchPage(id, AccessMode::kRead));
+      memcpy(buf, live.data(), kPageSize);
+      have_seed = true;
+    }
+  } else if (!have_seed) {
+    REWIND_RETURN_IF_ERROR(primary_->ReadPage(id, buf));
+  }
+  if (!walk_done) {
+    if (lazy) {
+      REWIND_RETURN_IF_ERROR(
+          owner_->CheckRecoveryFault(RecoveryFaultPoint::kRewindRead, id));
+    }
+    REWIND_RETURN_IF_ERROR(
+        rewinder_->PreparePageAsOf(buf, split_lsn_, &valid_until));
+  }
+  if (versions_ != nullptr) versions_->Publish(id, buf, valid_until);
+  if (lazy) owner_->NotePageRecovered(via_fpi);
+  return Status::OK();
 }
 
 Status SnapshotStore::WritePage(PageId id, const char* buf) {
@@ -87,7 +155,13 @@ SnapshotTable::SnapshotTable(AsOfSnapshot* snap, TableInfo info,
       indexes_(std::move(indexes)),
       types_(info_.schema.types()) {}
 
+// Every read first makes sure the tree(s) it will traverse are free of
+// loser effects (a no-op under eager mounts, where per-row locks gate
+// instead). This is the lazy mount's query-side recovery trigger: the
+// FIRST touch of a tree pays its loser undo, later touches are free.
+
 Result<Row> SnapshotTable::Get(const Row& key_values) {
+  REWIND_RETURN_IF_ERROR(snap_->EnsureTreeRecovered(info_.root));
   SnapshotRowGate gate(snap_);
   return ReadCoreGet(&gate, info_, types_, key_values);
 }
@@ -95,6 +169,7 @@ Result<Row> SnapshotTable::Get(const Row& key_values) {
 Status SnapshotTable::Scan(const std::optional<Row>& lower,
                            const std::optional<Row>& upper,
                            const std::function<bool(const Row&)>& cb) {
+  REWIND_RETURN_IF_ERROR(snap_->EnsureTreeRecovered(info_.root));
   SnapshotRowGate gate(snap_);
   return ReadCoreScan(&gate, info_, types_, lower, upper, cb);
 }
@@ -102,12 +177,19 @@ Status SnapshotTable::Scan(const std::optional<Row>& lower,
 Status SnapshotTable::IndexScan(const std::string& index_name,
                                 const Row& prefix_values,
                                 const std::function<bool(const Row&)>& cb) {
+  REWIND_RETURN_IF_ERROR(snap_->EnsureTreeRecovered(info_.root));
+  for (const IndexInfo& ix : indexes_) {
+    if (ix.name == index_name) {
+      REWIND_RETURN_IF_ERROR(snap_->EnsureTreeRecovered(ix.root));
+    }
+  }
   SnapshotRowGate gate(snap_);
   return ReadCoreIndexScan(&gate, info_, indexes_, types_, index_name,
                            prefix_values, cb);
 }
 
 Result<uint64_t> SnapshotTable::Count() {
+  REWIND_RETURN_IF_ERROR(snap_->EnsureTreeRecovered(info_.root));
   SnapshotRowGate gate(snap_);
   return ReadCoreCount(&gate, info_, types_);
 }
@@ -115,56 +197,92 @@ Result<uint64_t> SnapshotTable::Count() {
 // ----------------------------- AsOfSnapshot ---------------------------
 
 AsOfSnapshot::AsOfSnapshot(Database* primary, std::string name,
-                           SplitPoint split)
+                           SplitPoint split, MountMode mode)
     : primary_(primary),
       name_(std::move(name)),
       split_(split),
+      mode_(mode),
       rewinder_(primary->log()),
       locks_(/*timeout_micros=*/30'000'000) {}
 
 Result<std::unique_ptr<AsOfSnapshot>> AsOfSnapshot::Create(
     Database* primary, const std::string& name, WallClock as_of) {
+  return Create(primary, name, as_of,
+                primary->options().lazy_mount ? MountMode::kLazy
+                                              : MountMode::kEager);
+}
+
+Result<std::unique_ptr<AsOfSnapshot>> AsOfSnapshot::Create(
+    Database* primary, const std::string& name, WallClock as_of,
+    MountMode mode) {
   Clock* clock = primary->clock();
   WallClock t0 = clock->NowMicros();
 
-  // Creation checkpoint (section 5.1): every page with LSN <= SplitLSN
-  // becomes durable in the primary file, so (a) snapshot reads of the
-  // primary never miss pre-split changes and (b) the redo pass needs no
-  // page IO at all.
-  REWIND_RETURN_IF_ERROR(primary->Checkpoint());
+  if (mode == MountMode::kEager) {
+    // Creation checkpoint (section 5.1): every page with LSN <=
+    // SplitLSN becomes durable in the primary file, so (a) snapshot
+    // reads of the primary never miss pre-split changes and (b) the
+    // redo pass needs no page IO at all. A lazy mount skips it: reads
+    // go through the primary's buffer pool instead, so the current
+    // image is always visible without forcing IO at mount time.
+    REWIND_RETURN_IF_ERROR(primary->Checkpoint());
+  }
 
   REWIND_ASSIGN_OR_RETURN(
       SplitPoint split,
       FindSplitPoint(primary->log(), as_of, clock->NowMicros()));
 
   std::unique_ptr<AsOfSnapshot> snap(
-      new AsOfSnapshot(primary, name, split));
-  REWIND_RETURN_IF_ERROR(snap->Recover());
+      new AsOfSnapshot(primary, name, split, mode));
+  if (mode == MountMode::kEager) {
+    REWIND_RETURN_IF_ERROR(snap->Recover());
+  } else {
+    // The whole lazy mount: split search (above, waypoint-narrowed) +
+    // store setup. Analysis, the page log index and loser undo belong
+    // to the sweeper; queries recover what they touch meanwhile.
+    snap->mount_end_lsn_ = primary->log()->next_lsn();
+    snap->page_index_ = std::make_unique<PageLogIndex>(split.split_lsn);
+    REWIND_RETURN_IF_ERROR(snap->SetupStorage());
+    snap->stats_.split_lsn = split.split_lsn;
+    snap->stats_.boundary_time = split.boundary_time;
+    snap->stats_.checkpoint_lsn = split.checkpoint_lsn;
+    snap->stats_.lazy = true;
+  }
   primary->RegisterSnapshotAnchor(snap->split_.checkpoint_lsn);
+  primary->BumpLazyMount(mode == MountMode::kLazy);
   snap->stats_.create_micros = clock->NowMicros() - t0;
 
   // Open for queries now; undo the in-flight transactions' effects in
-  // the background (section 5.2).
-  snap->undo_thread_ = std::thread([s = snap.get()] { s->BackgroundUndo(); });
+  // the background (section 5.2) -- eagerly for the whole snapshot, or
+  // tree-by-tree behind the sweeper.
+  snap->undo_thread_ = std::thread([s = snap.get()] {
+    if (s->lazy()) {
+      s->SweeperMain();
+    } else {
+      s->BackgroundUndo();
+    }
+  });
   return snap;
 }
 
-Status AsOfSnapshot::Recover() {
-  wal::Wal* log = primary_->log();
-
-  // Side file + store + buffer pool + catalog.
+Status AsOfSnapshot::SetupStorage() {
   REWIND_ASSIGN_OR_RETURN(
       side_, SparseFile::Create(primary_->dir() + "/" + name_ + ".side",
                                 primary_->data_disk(), primary_->stats()));
   store_ = std::make_unique<SnapshotStore>(primary_->data_file(), side_.get(),
                                            &rewinder_,
                                            primary_->version_store(),
-                                           split_.split_lsn);
+                                           split_.split_lsn, this);
   buffers_ = std::make_unique<BufferManager>(
       store_.get(), /*log=*/nullptr, primary_->stats(),
       primary_->options().buffer_pool_pages, /*verify_checksums=*/false,
       primary_->options().buffer_shards);
   catalog_ = std::make_unique<Catalog>(buffers_.get());
+  return Status::OK();
+}
+
+Status AsOfSnapshot::ScanAnalysis(std::unordered_map<TxnId, Lsn>* att) {
+  wal::Wal* log = primary_->log();
 
   // Analysis (section 5.2): find transactions in flight at the
   // SplitLSN. Start one checkpoint earlier than the one preceding the
@@ -184,34 +302,40 @@ Status AsOfSnapshot::Recover() {
     if (newest > 0) analysis_start = ckpts[newest - 1].begin_lsn;
   }
 
+  std::unordered_set<TxnId> ended;
+  wal::Cursor cur = log->OpenCursor();
+  REWIND_RETURN_IF_ERROR(cur.SeekTo(analysis_start));
+  while (cur.Valid() && cur.lsn() <= split_.split_lsn) {
+    const LogRecord& rec = cur.record();
+    if (rec.type == LogType::kCheckpointEnd) {
+      for (const AttEntry& e : rec.att) {
+        // Never resurrect a transaction whose COMMIT/ABORT the scan
+        // already passed: a commit can land between the checkpoint's
+        // begin record and the end record's ATT capture.
+        if (ended.count(e.txn_id) != 0) continue;
+        if (att->find(e.txn_id) == att->end()) (*att)[e.txn_id] = e.last_lsn;
+      }
+    } else if (rec.txn_id != kInvalidTxnId) {
+      if (rec.type == LogType::kCommit || rec.type == LogType::kAbort) {
+        att->erase(rec.txn_id);
+        ended.insert(rec.txn_id);
+      } else {
+        (*att)[rec.txn_id] = cur.lsn();
+      }
+    }
+    REWIND_RETURN_IF_ERROR(cur.Next());
+  }
+  return Status::OK();
+}
+
+Status AsOfSnapshot::Recover() {
+  wal::Wal* log = primary_->log();
+  REWIND_RETURN_IF_ERROR(SetupStorage());
+
   Clock* clock = primary_->clock();
   uint64_t t_analysis = clock->NowMicros();
   std::unordered_map<TxnId, Lsn> att;
-  std::unordered_set<TxnId> ended;
-  {
-    wal::Cursor cur = log->OpenCursor();
-    REWIND_RETURN_IF_ERROR(cur.SeekTo(analysis_start));
-    while (cur.Valid() && cur.lsn() <= split_.split_lsn) {
-      const LogRecord& rec = cur.record();
-      if (rec.type == LogType::kCheckpointEnd) {
-        for (const AttEntry& e : rec.att) {
-          // Never resurrect a transaction whose COMMIT/ABORT the scan
-          // already passed: a commit can land between the checkpoint's
-          // begin record and the end record's ATT capture.
-          if (ended.count(e.txn_id) != 0) continue;
-          if (att.find(e.txn_id) == att.end()) att[e.txn_id] = e.last_lsn;
-        }
-      } else if (rec.txn_id != kInvalidTxnId) {
-        if (rec.type == LogType::kCommit || rec.type == LogType::kAbort) {
-          att.erase(rec.txn_id);
-          ended.insert(rec.txn_id);
-        } else {
-          att[rec.txn_id] = cur.lsn();
-        }
-      }
-      REWIND_RETURN_IF_ERROR(cur.Next());
-    }
-  }
+  REWIND_RETURN_IF_ERROR(ScanAnalysis(&att));
   stats_.analysis_micros = clock->NowMicros() - t_analysis;
 
   // Lock re-acquisition: walk each loser's chain and take X locks on
@@ -304,7 +428,10 @@ void AsOfSnapshot::BackgroundUndo() {
   // Persist undone pages so later side-file reads see them even after
   // buffer-pool eviction.
   if (status.ok()) status = buffers_->FlushAll();
-  stats_.undo_micros = clock->NowMicros() - t0;
+  {
+    std::lock_guard<std::mutex> sg(stats_mu_);
+    stats_.undo_micros = clock->NowMicros() - t0;
+  }
   undo_status_ = status;
   // Release any remaining locks (error path) so queries do not hang.
   for (const AttEntry& e : losers_) locks_.ReleaseAll(e.txn_id);
@@ -367,6 +494,200 @@ Status AsOfSnapshot::BackgroundUndoSerial() {
     }
   }
   return status;
+}
+
+// ------------------------- lazy-mount sweeper --------------------------
+
+void AsOfSnapshot::SweeperMain() {
+  Clock* clock = primary_->clock();
+  uint64_t t0 = clock->NowMicros();
+
+  uint64_t t_analysis = clock->NowMicros();
+  Status s = SweeperAnalysis();
+  {
+    std::lock_guard<std::mutex> sg(stats_mu_);
+    stats_.analysis_micros = clock->NowMicros() - t_analysis;
+  }
+  {
+    std::lock_guard<std::mutex> lk(trees_mu_);
+    analysis_ready_ = true;
+    analysis_status_ = s;
+  }
+  trees_cv_.notify_all();
+
+  if (s.ok()) {
+    // Per-page chain index over (split, mount_end]. A failed build is
+    // tolerated: the index only ever serves positive hits, so a partial
+    // index is sound and readers fall back to current-image rewinds.
+    uint64_t t_index = clock->NowMicros();
+    Status bs = page_index_->Build(primary_->log(), mount_end_lsn_, clock);
+    (void)bs;
+    std::lock_guard<std::mutex> sg(stats_mu_);
+    stats_.index_build_micros = clock->NowMicros() - t_index;
+  }
+
+  if (s.ok()) {
+    // Complete every tree's loser undo so a long-lived mount converges
+    // to the eager end state even for trees no query ever touches.
+    // A tree that fails stays kPending (progress kept) and does not
+    // stop the sweep of the others.
+    std::vector<TreeId> trees;
+    {
+      std::lock_guard<std::mutex> lk(trees_mu_);
+      for (const auto& [tree, tr] : tree_work_) trees.push_back(tree);
+    }
+    for (TreeId tree : trees) {
+      Status ts = EnsureTreeRecoveredImpl(tree, /*on_demand=*/false);
+      if (!ts.ok() && s.ok()) s = ts;
+    }
+  }
+  // Persist undone pages so later side-file reads see them even after
+  // buffer-pool eviction.
+  if (s.ok()) s = buffers_->FlushAll();
+  {
+    std::lock_guard<std::mutex> sg(stats_mu_);
+    stats_.undo_micros = clock->NowMicros() - t0;
+  }
+  undo_status_ = s;
+  undo_complete_.store(true);
+  if (s.ok()) primary_->BumpSweepsCompleted();
+}
+
+Status AsOfSnapshot::SweeperAnalysis() {
+  std::unordered_map<TxnId, Lsn> att;
+  REWIND_RETURN_IF_ERROR(ScanAnalysis(&att));
+
+  // Per-tree worklists: each loser chain's page records bucketed by
+  // tree, applied later in descending-LSN order -- the serial eager
+  // undo order restricted to the tree, which is what makes lazy pages
+  // byte-identical to eager ones. No lock reacquisition here: a tree's
+  // first query waits on EnsureTreeRecovered instead of on row locks.
+  // CLRs are followed through undo_next (their compensated region is
+  // already undone in the log, exactly as eager undo skips it); decided
+  // chain heads from old-build checkpoint ATTs are dropped.
+  std::map<TreeId, TreeRecovery> work;
+  wal::Cursor chain = primary_->log()->OpenCursor();
+  size_t losers = 0;
+  for (const auto& [txn_id, last_lsn] : att) {
+    (void)txn_id;
+    REWIND_RETURN_IF_ERROR(chain.SeekToChain(last_lsn));
+    if (chain.Valid() && (chain.record().type == LogType::kCommit ||
+                          chain.record().type == LogType::kAbort)) {
+      continue;
+    }
+    losers++;
+    Lsn next = last_lsn;
+    while (next != kInvalidLsn) {
+      REWIND_RETURN_IF_ERROR(chain.SeekToChain(next));
+      if (!chain.Valid()) break;
+      const LogRecord& rec = chain.record();
+      if (rec.type == LogType::kClr) {
+        next = rec.undo_next_lsn;
+        continue;
+      }
+      if (rec.type == LogType::kBegin) break;
+      if (rec.IsPageRecord()) work[rec.tree_id].work.push_back(next);
+      next = rec.prev_lsn;
+    }
+  }
+  for (auto& [tree, tr] : work) {
+    (void)tree;
+    std::sort(tr.work.begin(), tr.work.end(), std::greater<Lsn>());
+  }
+  {
+    std::lock_guard<std::mutex> sg(stats_mu_);
+    stats_.loser_transactions = losers;
+  }
+  {
+    std::lock_guard<std::mutex> lk(trees_mu_);
+    tree_work_ = std::move(work);
+  }
+  return Status::OK();
+}
+
+Status AsOfSnapshot::EnsureTreeRecovered(TreeId tree) {
+  if (!lazy()) return Status::OK();
+  return EnsureTreeRecoveredImpl(tree, /*on_demand=*/true);
+}
+
+Status AsOfSnapshot::EnsureTreeRecoveredImpl(TreeId tree, bool on_demand) {
+  std::unique_lock<std::mutex> lk(trees_mu_);
+  // No latches are held across these waits (the query surface calls in
+  // BEFORE taking tree latches), so a waiting reader cannot block the
+  // worklist owner.
+  trees_cv_.wait(lk, [&] { return analysis_ready_; });
+  REWIND_RETURN_IF_ERROR(analysis_status_);
+  auto it = tree_work_.find(tree);
+  if (it == tree_work_.end()) return Status::OK();  // no loser touched it
+  TreeRecovery* tr = &it->second;
+  for (;;) {
+    if (tr->state == TreeRecovery::State::kDone) return Status::OK();
+    if (tr->state == TreeRecovery::State::kPending) break;
+    trees_cv_.wait(lk);  // another thread is applying: wait it out
+  }
+  tr->state = TreeRecovery::State::kRunning;
+  lk.unlock();
+  Status s = ApplyTreeWork(tree, tr);
+  lk.lock();
+  if (s.ok()) {
+    tr->state = TreeRecovery::State::kDone;
+    tr->work.clear();
+    tr->work.shrink_to_fit();
+    if (on_demand) primary_->BumpTreesRecoveredOnDemand(1);
+  } else {
+    // Back to kPending with tr->applied preserved: a later call resumes
+    // exactly where this one failed, never double-applying a record.
+    tr->state = TreeRecovery::State::kPending;
+  }
+  trees_cv_.notify_all();
+  return s;
+}
+
+Status AsOfSnapshot::ApplyTreeWork(TreeId tree, TreeRecovery* tr) {
+  wal::Cursor reader = primary_->log()->OpenCursor();
+  while (tr->applied < tr->work.size()) {
+    REWIND_RETURN_IF_ERROR(
+        CheckRecoveryFault(RecoveryFaultPoint::kUndoApply, tree));
+    REWIND_RETURN_IF_ERROR(reader.SeekToChain(tr->work[tr->applied]));
+    const LogRecord& rec = reader.record();
+    const bool row_op = rec.type == LogType::kInsert ||
+                        rec.type == LogType::kDelete ||
+                        rec.type == LogType::kUpdate;
+    if (row_op && !rec.is_system) {
+      // User rows may have moved under committed SMOs: undo by key.
+      REWIND_RETURN_IF_ERROR(UndoUserRowUnlogged(rec));
+    } else {
+      std::unique_lock<std::shared_mutex> tl(*TreeLatch(rec.tree_id));
+      REWIND_ASSIGN_OR_RETURN(
+          PageGuard page,
+          buffers_->FetchPage(rec.page_id, AccessMode::kWrite));
+      REWIND_RETURN_IF_ERROR(ApplyUndo(page.mutable_data(), rec));
+      page.MarkDirtyUnlogged();
+    }
+    tr->applied++;
+  }
+  return Status::OK();
+}
+
+void AsOfSnapshot::SetRecoveryFaultHook(RecoveryFaultHook hook) {
+  std::lock_guard<std::mutex> g(fault_mu_);
+  fault_hook_ = std::move(hook);
+}
+
+Status AsOfSnapshot::CheckRecoveryFault(RecoveryFaultPoint point,
+                                        uint64_t id) {
+  RecoveryFaultHook hook;
+  {
+    std::lock_guard<std::mutex> g(fault_mu_);
+    hook = fault_hook_;
+  }
+  if (!hook) return Status::OK();
+  return hook(point, id);
+}
+
+void AsOfSnapshot::NotePageRecovered(bool via_fpi_index) {
+  pages_recovered_.fetch_add(1, std::memory_order_relaxed);
+  primary_->BumpPagesRecoveredOnDemand(via_fpi_index);
 }
 
 Status AsOfSnapshot::UndoLoserChain(const AttEntry& loser) {
@@ -616,6 +937,10 @@ Status AsOfSnapshot::WaitRowVisible(TreeId tree, const std::string& key) {
 }
 
 Result<SnapshotTable> AsOfSnapshot::OpenTable(const std::string& name) {
+  // The catalog trees are ordinary B-trees and get loser undo like any
+  // other (a mount can straddle an in-flight CREATE TABLE).
+  REWIND_RETURN_IF_ERROR(EnsureTreeRecovered(Catalog::kSysTablesRoot));
+  REWIND_RETURN_IF_ERROR(EnsureTreeRecovered(Catalog::kSysIndexesRoot));
   REWIND_ASSIGN_OR_RETURN(TableInfo info, catalog_->GetTable(name));
   REWIND_ASSIGN_OR_RETURN(std::vector<IndexInfo> indexes,
                           catalog_->ListIndexesOf(info.table_id));
@@ -623,6 +948,7 @@ Result<SnapshotTable> AsOfSnapshot::OpenTable(const std::string& name) {
 }
 
 Result<std::vector<TableInfo>> AsOfSnapshot::ListTables() {
+  REWIND_RETURN_IF_ERROR(EnsureTreeRecovered(Catalog::kSysTablesRoot));
   return catalog_->ListTables();
 }
 

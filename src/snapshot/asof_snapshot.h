@@ -34,17 +34,22 @@
 #define REWINDDB_SNAPSHOT_ASOF_SNAPSHOT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "buffer/buffer_manager.h"
 #include "catalog/catalog.h"
 #include "engine/database.h"
 #include "io/sparse_file.h"
+#include "snapshot/page_log_index.h"
 #include "snapshot/page_rewinder.h"
 #include "snapshot/split_lsn.h"
 #include "snapshot/version_store.h"
@@ -52,6 +57,29 @@
 namespace rewinddb {
 
 class AsOfSnapshot;
+
+/// How a snapshot is brought up (DatabaseOptions::lazy_mount picks the
+/// default; SET MOUNT_MODE overrides per session).
+///
+///  * kEager -- the section 5.1/5.2 pipeline: creation checkpoint,
+///    inline analysis + loser-lock reacquisition, background undo of
+///    every loser. Create cost grows with log-since-checkpoint.
+///  * kLazy -- create records only the SplitLSN (waypoint-narrowed
+///    search) and returns; a background sweeper runs analysis, builds
+///    the per-page log index and completes loser undo, while queries
+///    recover exactly what they touch: each page is rewound on first
+///    access and each TREE's loser records are undone before its first
+///    query (by key, below -- per-page loser undo would be unsound
+///    because committed structure modifications move in-flight rows
+///    between pages). Both modes produce byte-identical pages.
+enum class MountMode { kEager, kLazy };
+
+/// Test-only fault injection into the lazy page-recovery path. The
+/// argument is the page id (kIndexLookup / kRewindRead) or the tree id
+/// (kUndoApply). Returning !ok() makes the recovery step fail exactly
+/// as a real IO error there would.
+enum class RecoveryFaultPoint { kIndexLookup, kRewindRead, kUndoApply };
+using RecoveryFaultHook = std::function<Status(RecoveryFaultPoint, uint64_t)>;
 
 /// PageStore implementing the as-of read protocol of section 5.3,
 /// extended with the shared version store: side-file hit -> version
@@ -61,11 +89,20 @@ class AsOfSnapshot;
 /// store, so concurrent snapshots at nearby times share undo work.
 class SnapshotStore : public PageStore {
  public:
-  /// `versions` may be null (engine without a version store).
+  /// `versions` may be null (engine without a version store). `owner`
+  /// may be null (tests building a bare store); without it the store
+  /// always takes the eager path: primary FILE read + full rewind. With
+  /// a lazily mounted owner, a miss instead reads the CURRENT page
+  /// image through the primary's buffer pool (sound: page LSNs are
+  /// stamped only after the record is published, and the WAL tail is
+  /// cursor-readable, so the rewinder can always walk back from the
+  /// live image) -- or enters the chain directly at an indexed
+  /// post-split page image, skipping the post-split churn entirely.
   SnapshotStore(PagedFile* primary, SparseFile* side, PageRewinder* rewinder,
-                VersionStore* versions, Lsn split_lsn)
+                VersionStore* versions, Lsn split_lsn,
+                AsOfSnapshot* owner = nullptr)
       : primary_(primary), side_(side), rewinder_(rewinder),
-        versions_(versions), split_lsn_(split_lsn) {}
+        versions_(versions), split_lsn_(split_lsn), owner_(owner) {}
 
   Status ReadPage(PageId id, char* buf) override;
   /// Writes (from the snapshot's buffer pool: background-undo results,
@@ -75,11 +112,18 @@ class SnapshotStore : public PageStore {
   Status WritePage(PageId id, const char* buf) override;
 
  private:
+  /// Produce the split-time image of `id` into `buf` on a side-file
+  /// miss (everything between the version-store probe and the side-file
+  /// fill). Split out so the fault-injection tests can fail it without
+  /// the side file ever seeing a partial page.
+  Status RecoverPage(PageId id, char* buf);
+
   PagedFile* primary_;
   SparseFile* side_;
   PageRewinder* rewinder_;
   VersionStore* versions_;
   Lsn split_lsn_;
+  AsOfSnapshot* owner_;
 };
 
 /// Read-only table handle over a snapshot.
@@ -135,6 +179,14 @@ class AsOfSnapshot {
     uint64_t undo_micros = 0;
     /// Worker count the background undo ran with.
     int replay_threads = 1;
+    /// Mount mode this snapshot was created with. Under kLazy,
+    /// analysis_micros and undo_micros are the SWEEPER's background
+    /// cost (read after WaitForUndo); create_micros covers only the
+    /// split search + store setup -- the O(1) mount claim fig9
+    /// measures.
+    bool lazy = false;
+    /// Per-page log index build time (lazy only; background).
+    uint64_t index_build_micros = 0;
   };
 
   ~AsOfSnapshot();
@@ -142,11 +194,19 @@ class AsOfSnapshot {
   AsOfSnapshot& operator=(const AsOfSnapshot&) = delete;
 
   /// CREATE DATABASE <name> AS SNAPSHOT OF <primary> AS OF <as_of>.
-  /// Opens for queries as soon as analysis/redo complete; the undo of
-  /// in-flight transactions proceeds in the background.
+  /// Eager: opens for queries as soon as analysis/redo complete; the
+  /// undo of in-flight transactions proceeds in the background. Lazy:
+  /// opens immediately after the split search; analysis, the page log
+  /// index and loser undo proceed in the background, and queries
+  /// recover what they touch. Mode defaults to the primary's
+  /// DatabaseOptions::lazy_mount.
   static Result<std::unique_ptr<AsOfSnapshot>> Create(Database* primary,
                                                       const std::string& name,
                                                       WallClock as_of);
+  static Result<std::unique_ptr<AsOfSnapshot>> Create(Database* primary,
+                                                      const std::string& name,
+                                                      WallClock as_of,
+                                                      MountMode mode);
 
   /// Query-surface: tables and metadata resolve through the snapshot's
   /// own (rewound) catalog pages.
@@ -165,7 +225,13 @@ class AsOfSnapshot {
   Status WaitRowVisible(TreeId tree, const std::string& key);
   bool RowBusy(TreeId tree, const std::string& key);
 
-  const CreationStats& creation_stats() const { return stats_; }
+  /// Returns a consistent copy. Timing/loser fields filled by the
+  /// background undo thread (eager) or sweeper (lazy) settle only
+  /// after WaitForUndo(); reading earlier is safe but may see zeros.
+  CreationStats creation_stats() const {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    return stats_;
+  }
   const std::string& name() const { return name_; }
   Lsn split_lsn() const { return split_.split_lsn; }
   BufferManager* buffers() { return buffers_.get(); }
@@ -173,14 +239,59 @@ class AsOfSnapshot {
   SparseFile* side_file() { return side_.get(); }
   Database* primary() { return primary_; }
 
+  // ------------------------- lazy-mount surface ----------------------
+  bool lazy() const { return mode_ == MountMode::kLazy; }
+  /// The mount's per-page chain index (lazy only; null under kEager).
+  PageLogIndex* page_log_index() { return page_index_.get(); }
+  /// Block until this tree's loser records are undone on the
+  /// snapshot's pages (no-op under kEager, and for trees no loser
+  /// touched). Called by the query surface before it reads a tree;
+  /// also driven tree-by-tree by the background sweeper. Idempotent,
+  /// safe from many threads; on failure the tree stays pending and a
+  /// later call RESUMES where the failed one stopped, so an injected
+  /// fault never poisons the tree.
+  Status EnsureTreeRecovered(TreeId tree);
+  /// Pages this snapshot recovered on first access (lazy).
+  uint64_t pages_recovered_on_demand() const {
+    return pages_recovered_.load(std::memory_order_relaxed);
+  }
+  /// Test-only: install (or clear, with nullptr) the recovery fault
+  /// hook. Takes effect for subsequent page recoveries / undo steps.
+  void SetRecoveryFaultHook(RecoveryFaultHook hook);
+  /// Internal: consult the fault hook at `point` (OK when unset).
+  Status CheckRecoveryFault(RecoveryFaultPoint point, uint64_t id);
+  /// Internal (store callback): one page was recovered on demand.
+  void NotePageRecovered(bool via_fpi_index);
+
   /// Delete the side file (done automatically on destruction).
   Status Drop();
 
  private:
-  AsOfSnapshot(Database* primary, std::string name, SplitPoint split);
+  AsOfSnapshot(Database* primary, std::string name, SplitPoint split,
+               MountMode mode);
 
+  /// Side file + store + buffer pool + catalog (both modes).
+  Status SetupStorage();
+  /// Analysis: scan [checkpoint before the ckpt preceding the split ->
+  /// split] and return the in-flight transactions (ATT) at the split.
+  Status ScanAnalysis(std::unordered_map<TxnId, Lsn>* att);
   Status Recover();
   void BackgroundUndo();
+  /// Lazy-mount background thread: analysis -> per-tree loser
+  /// worklists -> page log index build -> per-tree undo completion.
+  void SweeperMain();
+  /// Analysis + loser chain walks building tree_work_ (lazy; no lock
+  /// reacquisition -- a tree's first query waits on EnsureTreeRecovered
+  /// instead of on row locks).
+  Status SweeperAnalysis();
+  struct TreeRecovery;
+  /// Apply tree-restricted loser undo in descending-LSN order,
+  /// resuming at tr->applied. Caller holds the kRunning claim.
+  Status ApplyTreeWork(TreeId tree, TreeRecovery* tr);
+  /// Shared claim/wait state machine behind EnsureTreeRecovered;
+  /// `on_demand` marks query-triggered (vs sweeper-driven) completion
+  /// for the stats counters.
+  Status EnsureTreeRecoveredImpl(TreeId tree, bool on_demand);
   /// The serial (replay_threads == 1) undo walk: all losers
   /// interleaved, globally largest next-LSN first (the pre-parallel
   /// path, kept as the degenerate case).
@@ -200,7 +311,13 @@ class AsOfSnapshot {
   Database* primary_;
   std::string name_;
   SplitPoint split_;
+  const MountMode mode_;
+  /// Log end at mount time: upper bound of the page log index's build
+  /// scan (records past it belong to the primary's future, which the
+  /// per-page rewind handles without the index).
+  Lsn mount_end_lsn_ = kInvalidLsn;
   PageRewinder rewinder_;
+  std::unique_ptr<PageLogIndex> page_index_;
 
   std::unique_ptr<SparseFile> side_;
   std::unique_ptr<SnapshotStore> store_;
@@ -223,6 +340,36 @@ class AsOfSnapshot {
   std::mutex tree_latches_mu_;
   std::map<TreeId, std::unique_ptr<std::shared_mutex>> tree_latches_;
 
+  // Lazy per-tree recovery state. trees_mu_ guards the map shape and
+  // every TreeRecovery's state field; a tree's worklist and progress
+  // cursor are touched only by the thread holding its kRunning claim
+  // (publication happens-before via trees_mu_).
+  struct TreeRecovery {
+    enum class State { kPending, kRunning, kDone };
+    State state = State::kPending;
+    /// This tree's loser page-record LSNs, descending (the serial
+    /// eager undo order restricted to the tree -- what makes lazy
+    /// pages byte-identical to eager ones).
+    std::vector<Lsn> work;
+    /// Progress cursor: records [0, applied) are already undone, so a
+    /// retry after a failure resumes instead of double-applying.
+    size_t applied = 0;
+  };
+  std::mutex trees_mu_;
+  std::condition_variable trees_cv_;
+  bool analysis_ready_ = false;  // also true under kEager (vacuously)
+  Status analysis_status_;
+  std::map<TreeId, TreeRecovery> tree_work_;
+
+  std::mutex fault_mu_;
+  RecoveryFaultHook fault_hook_;
+  std::atomic<uint64_t> pages_recovered_{0};
+
+  /// Leaf mutex: the sweeper / background undo thread updates stats_
+  /// while the mount is already visible to readers, so every write
+  /// from those threads and every read through creation_stats() takes
+  /// it. Never held across any other lock.
+  mutable std::mutex stats_mu_;
   CreationStats stats_;
 };
 

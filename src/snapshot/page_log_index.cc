@@ -1,0 +1,83 @@
+#include "snapshot/page_log_index.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "wal/archive.h"
+#include "wal/wal_cursor.h"
+
+namespace rewinddb {
+
+Status PageLogIndex::Build(wal::Wal* log, Lsn upto, Clock* clock) {
+  const uint64_t t0 = clock != nullptr ? clock->NowMicros() : 0;
+
+  // Segment boundaries from the archive tier (if the window reaches
+  // into sealed history): purely bookkeeping here -- the cursor reads
+  // across the tier boundary transparently -- but counting crossings
+  // proves long-horizon builds really ran over archive metadata.
+  std::vector<Lsn> seg_bounds;
+  if (log->archive() != nullptr) {
+    for (const wal::ArchiveSegment& s : log->archive()->segments()) {
+      if (s.first_lsn > split_lsn_ && s.first_lsn <= upto) {
+        seg_bounds.push_back(s.first_lsn);
+      }
+    }
+    std::sort(seg_bounds.begin(), seg_bounds.end());
+  }
+  size_t next_bound = 0;
+
+  wal::Cursor cur = log->OpenCursor();
+  REWIND_RETURN_IF_ERROR(cur.SeekTo(split_lsn_));
+  if (cur.Valid() && cur.lsn() <= split_lsn_) {
+    REWIND_RETURN_IF_ERROR(cur.Next());
+  }
+  uint64_t records = 0;
+  uint64_t crossed = 0;
+  while (cur.Valid() && cur.lsn() <= upto) {
+    const Lsn lsn = cur.lsn();
+    while (next_bound < seg_bounds.size() && seg_bounds[next_bound] <= lsn) {
+      next_bound++;
+      crossed++;
+    }
+    const LogRecord& rec = cur.record();
+    records++;
+    if (rec.IsPageRecord()) {
+      std::unique_lock<std::shared_mutex> lk(mu_);
+      Entry& e = entries_[rec.page_id];
+      if (e.first_post_split_lsn == kInvalidLsn) {
+        e.first_post_split_lsn = lsn;
+        e.page_lsn_at_split = rec.prev_page_lsn;
+        stats_.pages_indexed++;
+      }
+      if (rec.type == LogType::kPreformat && e.fpi_lsn == kInvalidLsn) {
+        e.fpi_lsn = lsn;
+        e.fpi_prev_page_lsn = rec.prev_page_lsn;
+        e.fpi_prev_fpi_lsn = rec.prev_fpi_lsn;
+        stats_.fpi_entries++;
+      }
+    }
+    REWIND_RETURN_IF_ERROR(cur.Next());
+  }
+  {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    stats_.records_scanned = records;
+    stats_.archive_segments_crossed = crossed;
+    stats_.build_micros = clock != nullptr ? clock->NowMicros() - t0 : 0;
+  }
+  complete_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+std::optional<PageLogIndex::Entry> PageLogIndex::Lookup(PageId id) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+PageLogIndex::Stats PageLogIndex::stats() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace rewinddb

@@ -38,9 +38,27 @@ Result<SplitPoint> FindSplitPoint(wal::Wal* log, WallClock target,
     }
   }
 
+  // Second narrowing stage: commit waypoints. Checkpoints bound the
+  // scan to one checkpoint interval, which can still be most of the log
+  // when checkpoints are rare (a mount soon after a long checkpoint-free
+  // run). Waypoints are sampled every few hundred KiB of commits, so
+  // jumping to the newest waypoint at or before the target bounds the
+  // commit scan by the sampling spacing instead -- what keeps the
+  // lazy-mount create O(1) in log-since-backup. A waypoint's record IS
+  // a commit with wall_clock <= target, so a waypoint-started scan
+  // always finds a split and never weakens the no-commit fallback
+  // below.
+  bool waypoint_started = false;
+  for (const wal::CommitWaypoint& w : log->commit_waypoints()) {
+    if (w.wall_clock > target) break;
+    if (w.lsn > scan_start && w.lsn < scan_end) {
+      scan_start = w.lsn;
+      waypoint_started = true;
+    }
+  }
+
   Lsn split = kInvalidLsn;
   WallClock boundary = 0;
-  std::vector<Lsn> ckpts_in_scan;
   wal::Cursor cur = log->OpenCursor();
   REWIND_RETURN_IF_ERROR(cur.SeekTo(scan_start));
   while (cur.Valid() && cur.lsn() < scan_end) {
@@ -49,16 +67,26 @@ Result<SplitPoint> FindSplitPoint(wal::Wal* log, WallClock target,
       if (rec.wall_clock > target) break;  // commits (near-)monotonic: stop
       split = cur.lsn();
       boundary = rec.wall_clock;
-    } else if (rec.type == LogType::kCheckpointBegin) {
-      ckpts_in_scan.push_back(cur.lsn());
     }
     REWIND_RETURN_IF_ERROR(cur.Next());
   }
+  // The analysis anchor: newest checkpoint at or before the split. Read
+  // it off the directory rather than the (now waypoint-shortened) scan.
   Lsn last_ckpt_seen = ckpt_before;
-  for (Lsn c : ckpts_in_scan) {
-    if (split != kInvalidLsn && c <= split) last_ckpt_seen = c;
+  if (split != kInvalidLsn) {
+    for (const CheckpointRef& c : ckpts) {
+      if (c.begin_lsn <= split && c.begin_lsn > (last_ckpt_seen == kInvalidLsn
+                                                     ? 0
+                                                     : last_ckpt_seen)) {
+        last_ckpt_seen = c.begin_lsn;
+      }
+    }
   }
 
+  if (split == kInvalidLsn && waypoint_started) {
+    return Status::Corruption(
+        "split search: waypoint-started scan found no commit");
+  }
   if (split == kInvalidLsn) {
     if (target_before_all_ckpts || ckpt_before == kInvalidLsn) {
       return Status::OutOfRange(

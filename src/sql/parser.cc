@@ -139,7 +139,7 @@ class Parser {
     }
     if (Accept("ALTER")) return AlterDatabase();
     if (Accept("FLASHBACK")) return Flashback();
-    if (Accept("SET")) return SetCommitMode();
+    if (Accept("SET")) return SetOption();
     if (Accept("CHECKPOINT")) {
       SqlCommand cmd;
       cmd.kind = SqlCommand::Kind::kCheckpoint;
@@ -269,7 +269,20 @@ class Parser {
     return cmd;
   }
 
-  Result<SqlCommand> SetCommitMode() {
+  Result<SqlCommand> SetOption() {
+    if (Accept("MOUNT_MODE")) {
+      SqlCommand cmd;
+      cmd.kind = SqlCommand::Kind::kSetMountMode;
+      if (!AcceptPunct('=')) return Err("expected = after MOUNT_MODE");
+      if (Accept("LAZY")) {
+        cmd.lazy_mount = true;
+      } else if (Accept("EAGER")) {
+        cmd.lazy_mount = false;
+      } else {
+        return Err("expected LAZY or EAGER");
+      }
+      return cmd;
+    }
     SqlCommand cmd;
     cmd.kind = SqlCommand::Kind::kSetCommitMode;
     REWIND_RETURN_IF_ERROR(Expect("COMMIT_MODE"));

@@ -78,6 +78,12 @@ Result<SqlResult> SqlSession::ExecuteStatement(const std::string& sql) {
                     CommitModeName(cmd.commit_mode);
       return out;
     }
+    case SqlCommand::Kind::kSetMountMode: {
+      conn_->SetLazyMounts(cmd.lazy_mount);
+      out.message = std::string("Mount mode set to ") +
+                    (cmd.lazy_mount ? "LAZY" : "EAGER");
+      return out;
+    }
     case SqlCommand::Kind::kCheckpoint: {
       Status s = conn_->FuzzyCheckpoint();
       if (!s.ok()) return WithStatement(s, sql);
@@ -196,6 +202,14 @@ SqlResult SqlSession::ShowStats() {
   add("archive.bytes_dropped", as.bytes_dropped);
   add("archive.bytes_read", as.bytes_read);
   add("archive.verifications", as.verifications);
+
+  LazyMountCounters lm = conn_->LazyMountStats();
+  add("lazy_mount.lazy_mounts", lm.lazy_mounts);
+  add("lazy_mount.eager_mounts", lm.eager_mounts);
+  add("lazy_mount.pages_recovered_on_demand", lm.pages_recovered_on_demand);
+  add("lazy_mount.fpi_index_hits", lm.fpi_index_hits);
+  add("lazy_mount.trees_recovered_on_demand", lm.trees_recovered_on_demand);
+  add("lazy_mount.sweeps_completed", lm.sweeps_completed);
 
   add("retention.undo_interval_micros", conn_->retention_micros());
   add("snapshots.named", registry()->ListSnapshots().size());

@@ -121,6 +121,12 @@ Status Wal::ArchiveUpTo(Lsn target) {
       REWIND_RETURN_IF_ERROR(seal(chunk_start, chunk_end));
       chunk_start = chunk_end;
     }
+    // The sealing cursor decodes every record anyway: feed the split
+    // search's waypoint table, repopulating it for history appended
+    // before this process started.
+    if (cur.record().type == LogType::kCommit) {
+      NoteCommitWaypoint(cur.lsn(), cur.record().wall_clock);
+    }
     chunk_end = rec_end;
     REWIND_RETURN_IF_ERROR(cur.Next());
   }
@@ -128,6 +134,33 @@ Status Wal::ArchiveUpTo(Lsn target) {
     REWIND_RETURN_IF_ERROR(seal(chunk_start, chunk_end));
   }
   return Status::OK();
+}
+
+void Wal::NoteCommitWaypoint(Lsn lsn, WallClock wall_clock) {
+  // Contention-free early-out for the commit hot path: most commits
+  // fall inside the spacing window of the last kept sample.
+  if (lsn < waypoint_gate_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> g(waypoints_mu_);
+  if (!waypoints_.empty()) {
+    const CommitWaypoint& last = waypoints_.back();
+    if (lsn < last.lsn + kWaypointSpacingBytes) return;
+    if (wall_clock < last.wall_clock) return;  // clock regressed: skip
+  }
+  // Drop samples no cursor can resolve anymore (keep one below the
+  // horizon as the scan's entry point for the oldest reachable time).
+  const Lsn floor = core_->oldest_available_lsn();
+  size_t keep = 0;
+  while (keep + 1 < waypoints_.size() && waypoints_[keep + 1].lsn <= floor) {
+    keep++;
+  }
+  if (keep > 0) waypoints_.erase(waypoints_.begin(), waypoints_.begin() + keep);
+  waypoints_.push_back({lsn, wall_clock});
+  waypoint_gate_.store(lsn + kWaypointSpacingBytes, std::memory_order_relaxed);
+}
+
+std::vector<CommitWaypoint> Wal::commit_waypoints() const {
+  std::lock_guard<std::mutex> g(waypoints_mu_);
+  return waypoints_;
 }
 
 Status Wal::DropArchiveBefore(Lsn lsn) {

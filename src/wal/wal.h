@@ -87,6 +87,18 @@ struct WalStats {
 
 class Writer;
 
+/// Sparse (wall_clock, lsn) marker fed from commit records: the
+/// SplitLSN search narrows its commit scan with these, so translating
+/// an AS OF time into an LSN stays O(waypoint spacing) even when
+/// checkpoints are rare (the lazy-mount O(1) create path depends on
+/// this). In-memory only: after a restart the table repopulates from
+/// new commits and from archive sealing; until then the search falls
+/// back to checkpoint narrowing, which is correct but coarser.
+struct CommitWaypoint {
+  Lsn lsn = kInvalidLsn;
+  WallClock wall_clock = 0;
+};
+
 class Wal {
  public:
   using Options = WalOptions;
@@ -144,6 +156,19 @@ class Wal {
   std::vector<CheckpointRef> checkpoints() const {
     return core_->checkpoints();
   }
+  /// Record a commit's (lsn, wall_clock) as a split-search waypoint.
+  /// Sampled: kept only every kWaypointSpacingBytes of log and only
+  /// when the wall clock did not run backwards (commit clocks are
+  /// near-monotonic; a regressed sample would break the search's
+  /// stop-at-first-later-commit rule). Fed by Writer::Append for every
+  /// commit and by ArchiveUpTo's sealing cursor (which re-decodes old
+  /// records anyway, repopulating the table for pre-restart history as
+  /// it gets sealed).
+  void NoteCommitWaypoint(Lsn lsn, WallClock wall_clock);
+  /// Ascending by lsn AND wall_clock; entries below oldest_lsn() may
+  /// linger briefly (pruned on insert).
+  std::vector<CommitWaypoint> commit_waypoints() const;
+  static constexpr Lsn kWaypointSpacingBytes = 256 * 1024;
   /// Truncate the active log. When the archive tier has sealed the
   /// whole range the truncated file bytes are also hole-punched, so the
   /// active log's disk footprint shrinks (bounded-log steady state).
@@ -221,6 +246,14 @@ class Wal {
   const Options opts_;
   /// Serializes sealers (ArchiveUpTo from checkpoints and retention).
   std::mutex archive_seal_mu_;
+
+  mutable std::mutex waypoints_mu_;
+  std::vector<CommitWaypoint> waypoints_;
+  /// LSN below which NoteCommitWaypoint skips without locking (last
+  /// kept sample + spacing). ArchiveUpTo's backfill of OLD lsns is
+  /// filtered by the same gate, which is exactly right: once live
+  /// commits seeded the table, archived history adds nothing.
+  std::atomic<Lsn> waypoint_gate_{0};
 
   std::thread flusher_;
   std::mutex pipe_mu_;

@@ -37,6 +37,9 @@ Lsn Writer::Append(const LogRecord& rec, Lsn* publish_base) {
     staged_records_ = 0;
   }
   if (publish_base != nullptr) *publish_base = base;
+  if (rec.type == LogType::kCommit) {
+    wal_->NoteCommitWaypoint(lsn, rec.wall_clock);
+  }
   return lsn;
 }
 

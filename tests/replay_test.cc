@@ -351,9 +351,15 @@ TEST_F(ReplayEquivalenceTest, SnapshotMountEquivalentAcrossThreadCounts) {
     auto snap = AsOfSnapshot::Create(db->get(),
                                      "eq" + std::to_string(threads), mark);
     ASSERT_TRUE(snap.ok()) << snap.status().ToString();
-    EXPECT_EQ((*snap)->creation_stats().loser_transactions, 4u);
     ASSERT_TRUE((*snap)->WaitForUndo().ok());
-    EXPECT_EQ((*snap)->creation_stats().replay_threads, threads);
+    // Loser count is stable only after WaitForUndo (lazy mounts run
+    // analysis in the background sweeper); the replay worker count
+    // applies to the eager parallel-undo pipeline only -- the lazy
+    // sweeper undoes per tree, not per worker.
+    EXPECT_EQ((*snap)->creation_stats().loser_transactions, 4u);
+    if (!(*snap)->lazy()) {
+      EXPECT_EQ((*snap)->creation_stats().replay_threads, threads);
+    }
 
     auto t = (*snap)->OpenTable("t");
     ASSERT_TRUE(t.ok());

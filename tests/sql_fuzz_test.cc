@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "api/connection.h"
+#include "common/clock.h"
 #include "sql/parser.h"
 #include "sql/session.h"
 
@@ -157,6 +158,122 @@ TEST(SqlFuzzTest, ExecutorNeverCrashesAndErrorsKeepContract) {
   // Sanity: the fuzz actually exercised both paths.
   EXPECT_GT(failures, 100);
   EXPECT_LT(failures, 4000);
+
+  conn.reset();
+  std::filesystem::remove_all(dir);
+}
+
+// Time-travel fuzz against LAZILY mounted views: random AS OF /
+// SNAPSHOT OF statements (valid times, out-of-range times, missing
+// snapshot names, create/drop races of named snapshots) interleaved
+// with SET MOUNT_MODE flips, across two sessions sharing one
+// connection. Must never crash, every error must keep the
+// [statement: ...] contract, and the two sessions must never confuse
+// each other's view handles -- a named snapshot reads identically from
+// both regardless of which session (and which mount mode) created it.
+TEST(SqlFuzzTest, LazyTimeTravelFuzz) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "rewinddb_sql_fuzz_lazy")
+          .string();
+  std::filesystem::remove_all(dir);
+  SimClock clock(10'000'000);
+  DatabaseOptions opts;
+  opts.clock = &clock;
+  auto conn_r = Connection::Create(dir, opts);
+  ASSERT_TRUE(conn_r.ok()) << conn_r.status().ToString();
+  std::unique_ptr<Connection> conn = std::move(*conn_r);
+  ASSERT_TRUE(conn->CreateTable("items",
+                                Schema({{"id", ColumnType::kInt64},
+                                        {"name", ColumnType::kString}},
+                                       1))
+                  .ok());
+  // A few committed epochs so historical targets resolve to different
+  // states, then churn so lazy mounts have real recovery work.
+  std::vector<WallClock> epochs;
+  for (int e = 0; e < 5; e++) {
+    clock.Advance(2'000'000);
+    Txn txn = conn->Begin();
+    for (int64_t i = e * 10; i < e * 10 + 10; i++) {
+      ASSERT_TRUE(
+          conn->Insert(txn, "items", {i, "e" + std::to_string(e)}).ok());
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+    clock.Advance(1);
+    epochs.push_back(clock.NowMicros());
+  }
+  clock.Advance(2'000'000);
+
+  SqlSession a(conn.get());
+  SqlSession b(conn.get());
+  ASSERT_TRUE(a.Execute("SET MOUNT_MODE = LAZY").ok());
+
+  const char* kSnapNames[] = {"s0", "s1", "nosuch"};
+  Lcg rng(0xabad1dea);
+  int failures = 0;
+  for (int i = 0; i < 1500; i++) {
+    SqlSession& sess = rng.Below(2) ? a : b;
+    std::string stmt;
+    switch (rng.Below(8)) {
+      case 0: {  // AS OF a valid epoch
+        stmt = "SELECT COUNT(*) FROM items AS OF " +
+               std::to_string(epochs[rng.Below(epochs.size())]);
+        break;
+      }
+      case 1:  // AS OF garbage times: far past / future / zero
+        stmt = "SELECT id FROM items AS OF " +
+               std::to_string(rng.Below(3) * 7'777'777'777ULL);
+        break;
+      case 2:
+        stmt = std::string("SELECT name FROM items SNAPSHOT OF ") +
+               kSnapNames[rng.Below(std::size(kSnapNames))];
+        break;
+      case 3:
+        stmt = std::string("CREATE DATABASE ") +
+               kSnapNames[rng.Below(2)] + " AS SNAPSHOT OF db AS OF " +
+               std::to_string(epochs[rng.Below(epochs.size())]);
+        break;
+      case 4:
+        stmt = std::string("DROP DATABASE ") +
+               kSnapNames[rng.Below(std::size(kSnapNames))];
+        break;
+      case 5:
+        stmt = rng.Below(2) ? "SET MOUNT_MODE = LAZY"
+                            : "SET MOUNT_MODE = EAGER";
+        break;
+      case 6:  // malformed time-travel tails
+        stmt = std::string("SELECT id FROM items ") +
+               (rng.Below(2) ? "AS OF" : "SNAPSHOT OF 123 45");
+        break;
+      default: {  // mutated time-travel statement
+        stmt = "SELECT id, name FROM items AS OF " +
+               std::to_string(epochs.back());
+        stmt = Mutate(stmt, rng);
+        break;
+      }
+    }
+    Result<SqlResult> r = sess.ExecuteStatement(stmt);
+    if (!r.ok()) {
+      failures++;
+      EXPECT_NE(r.status().message().find("[statement:"), std::string::npos)
+          << "input: " << stmt << " -> " << r.status().message();
+    }
+  }
+  EXPECT_GT(failures, 50);    // out-of-range + garbage really failed
+  EXPECT_LT(failures, 1500);  // and plenty succeeded
+
+  // No cross-session handle confusion: a lazily created named snapshot
+  // serves the same rows to both sessions.
+  (void)a.Execute("DROP DATABASE probe");
+  ASSERT_TRUE(a.Execute("SET MOUNT_MODE = LAZY").ok());
+  auto created = a.Execute("CREATE DATABASE probe AS SNAPSHOT OF db AS OF " +
+                           std::to_string(epochs[2]));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto ra = a.ExecuteStatement("SELECT COUNT(*) FROM items SNAPSHOT OF probe");
+  auto rb = b.ExecuteStatement("SELECT COUNT(*) FROM items SNAPSHOT OF probe");
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  ASSERT_EQ(ra->rows.size(), 1u);
+  EXPECT_EQ(ra->rows[0][0].AsInt64(), 30);  // epochs[2] = after 3 epochs
+  EXPECT_EQ(rb->rows[0][0].AsInt64(), 30);
 
   conn.reset();
   std::filesystem::remove_all(dir);
