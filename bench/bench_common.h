@@ -321,11 +321,24 @@ inline void PrintEngineStats(Database* db) {
          static_cast<unsigned long long>(vs.misses),
          static_cast<unsigned long long>(vs.published),
          static_cast<unsigned long long>(vs.evictions));
+  wal::WalStats ws = db->log()->stats();
+  if (ws.frames_written > 0 || ws.fpi_delta_hits > 0) {
+    printf("wal diet: %llu frames (%llu -> %llu bytes), "
+           "%llu delta FPIs / %llu full\n",
+           static_cast<unsigned long long>(ws.frames_written),
+           static_cast<unsigned long long>(ws.frame_logical_bytes),
+           static_cast<unsigned long long>(ws.frame_physical_bytes),
+           static_cast<unsigned long long>(ws.fpi_delta_hits),
+           static_cast<unsigned long long>(ws.fpi_delta_fallbacks));
+  }
   printf("JSON {\"section\":\"engine_stats\",\"buffer_hits\":%llu,"
          "\"buffer_misses\":%llu,\"buffer_evictions\":%llu,"
          "\"buffer_shards\":%zu,\"vs_exact_hits\":%llu,"
          "\"vs_partial_hits\":%llu,\"vs_misses\":%llu,"
-         "\"vs_published\":%llu,\"vs_evictions\":%llu}\n",
+         "\"vs_published\":%llu,\"vs_evictions\":%llu,"
+         "\"wal_frames_written\":%llu,\"wal_frame_logical_bytes\":%llu,"
+         "\"wal_frame_physical_bytes\":%llu,\"wal_fpi_delta_hits\":%llu,"
+         "\"wal_fpi_delta_fallbacks\":%llu}\n",
          static_cast<unsigned long long>(bs.hits),
          static_cast<unsigned long long>(bs.misses),
          static_cast<unsigned long long>(bs.evictions), bs.shards,
@@ -333,7 +346,12 @@ inline void PrintEngineStats(Database* db) {
          static_cast<unsigned long long>(vs.partial_hits),
          static_cast<unsigned long long>(vs.misses),
          static_cast<unsigned long long>(vs.published),
-         static_cast<unsigned long long>(vs.evictions));
+         static_cast<unsigned long long>(vs.evictions),
+         static_cast<unsigned long long>(ws.frames_written),
+         static_cast<unsigned long long>(ws.frame_logical_bytes),
+         static_cast<unsigned long long>(ws.frame_physical_bytes),
+         static_cast<unsigned long long>(ws.fpi_delta_hits),
+         static_cast<unsigned long long>(ws.fpi_delta_fallbacks));
 }
 
 /// Deterministic throughput probe: run the standard mix on one worker

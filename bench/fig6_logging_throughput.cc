@@ -197,6 +197,44 @@ void Run() {
   }
   printf("\nexpected shape: ratios stay near 1.0 across the N sweep\n");
 
+  // WAL diet throughput check: the space win must not cost throughput.
+  // Same fixed-work probe at the FPI-heavy N=16 point, diet off vs on.
+  printf("\n--- wal diet overhead (N=16) ---\n");
+  printf("%-8s %12s %10s\n", "diet", "tpmC", "vs off");
+  double diet_baseline = 0;
+  for (int diet = 0; diet <= 1; diet++) {
+    DatabaseOptions opts;
+    opts.fpi_period = 16;
+    opts.buffer_pool_pages = 4096;
+    opts.lock_timeout_micros = 300'000;
+    opts.wal_compression = diet != 0;
+    opts.fpi_delta_window_bytes = diet != 0 ? (1ull << 20) : 0;
+    std::string dir = BenchDir(diet ? "fig6_diet_on" : "fig6_diet_off");
+    auto db = Database::Create(dir, opts);
+    if (!db.ok()) return;
+    TpccConfig tc;
+    tc.warehouses = 2;
+    tc.items = 200;
+    auto tpcc = TpccDatabase::CreateAndLoad(db->get(), tc);
+    if (!tpcc.ok()) return;
+    (void)RunFixedWork(tpcc->get(), 100, 7);  // warm-up
+    std::vector<double> runs;
+    for (int r = 0; r < 3; r++) {
+      runs.push_back(RunFixedWork(tpcc->get(), 600, 99 + r));
+    }
+    std::sort(runs.begin(), runs.end());
+    double tpmc = runs[1];
+    if (diet_baseline == 0) diet_baseline = tpmc;
+    printf("%-8s %12.0f %9.2fx\n", diet ? "on" : "off", tpmc,
+           diet_baseline > 0 ? tpmc / diet_baseline : 0.0);
+    printf("JSON {\"section\":\"fig6_wal_diet\",\"diet\":%d,\"tpmc\":%.0f}\n",
+           diet, tpmc);
+    if (diet != 0) PrintEngineStats(db->get());
+    db->reset();
+    std::filesystem::remove_all(dir);
+  }
+  printf("expected: diet tpmC within ~5%% of off\n");
+
   RunCommitPipelineSweep();
 }
 

@@ -1,10 +1,18 @@
 // Microbenchmarks for the log layer: record encode/decode, append
 // throughput through the wal surface (the paper's observation that
 // record COUNT, not size, limits throughput hinges on the per-append
-// synchronization this measures), random cursor reads, and sequential
-// cursor scans.
+// synchronization this measures), random cursor reads, sequential
+// cursor scans, and the WAL-diet compressed flush path.
+//
+// `micro_log --smoke` skips the benchmarks and runs only the CI gate:
+// an FPI-heavy workload through a compressed Wal must shrink on disk
+// by more than 1.2x, else the process exits nonzero.
 #include <benchmark/benchmark.h>
 
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include "log/log_record.h"
@@ -172,7 +180,115 @@ void BM_CursorSequentialScan(benchmark::State& state) {
 }
 BENCHMARK(BM_CursorSequentialScan);
 
+/// A slotted-page-shaped image: row-sized runs with headers, the
+/// repetitive layout real FPIs have (all-'x' would flatter the codec).
+std::string FpiHeavyImage(uint32_t seed) {
+  std::string img(kPageSize, '\0');
+  for (size_t off = 64; off + 80 <= kPageSize; off += 80) {
+    std::memcpy(&img[off], &seed, sizeof(seed));
+    std::memcpy(&img[off + 4], &off, sizeof(uint32_t));
+    std::memset(&img[off + 8], 'r', 64);
+    img[off + 8 + seed % 64] = static_cast<char>(seed * 31 + off);
+  }
+  return img;
+}
+
+void BM_WalFpiFlush(benchmark::State& state) {
+  // Append-and-flush of FPI-heavy batches, compression off (arg 0) vs
+  // on (arg 1): the diet's write-path cost next to its space win.
+  auto dir = std::filesystem::temp_directory_path() / "rewinddb_microbench";
+  std::filesystem::create_directories(dir);
+  auto path = (dir / "fpi_flush.log").string();
+  LogRecord fpi;
+  fpi.type = LogType::kPreformat;
+  fpi.page_id = 7;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove(path);
+    wal::WalOptions opts;
+    opts.compression = state.range(0) != 0;
+    auto lm = wal::Wal::Create(path, nullptr, nullptr, opts);
+    if (!lm.ok()) {
+      state.SkipWithError("log create failed");
+      return;
+    }
+    state.ResumeTiming();
+    for (uint32_t i = 0; i < 64; i++) {
+      fpi.image = FpiHeavyImage(i);
+      (*lm)->Append(fpi);
+      bytes += static_cast<int64_t>(fpi.image.size());
+    }
+    Status s = (*lm)->FlushAll();
+    if (!s.ok()) {
+      state.SkipWithError("flush failed");
+      return;
+    }
+    state.PauseTiming();
+    lm->reset();
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(bytes);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_WalFpiFlush)->Arg(0)->Arg(1);
+
+/// The CI smoke gate: logical bytes flushed vs blocks actually
+/// allocated on disk for an FPI-heavy compressed log.
+int SmokeCompressionRatio() {
+  auto dir = std::filesystem::temp_directory_path() / "rewinddb_microbench";
+  std::filesystem::create_directories(dir);
+  auto path = (dir / "smoke.log").string();
+  std::filesystem::remove(path);
+  wal::WalOptions opts;
+  opts.compression = true;
+  auto lm = wal::Wal::Create(path, nullptr, nullptr, opts);
+  if (!lm.ok()) {
+    std::fprintf(stderr, "smoke: create failed: %s\n",
+                 lm.status().ToString().c_str());
+    return 1;
+  }
+  LogRecord fpi;
+  fpi.type = LogType::kPreformat;
+  fpi.page_id = 7;
+  for (uint32_t i = 0; i < 256; i++) {
+    fpi.image = FpiHeavyImage(i);
+    (*lm)->Append(fpi);
+  }
+  Status s = (*lm)->FlushAll();
+  if (!s.ok()) {
+    std::fprintf(stderr, "smoke: flush failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const uint64_t logical = (*lm)->flushed_lsn();
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    std::perror("smoke: stat");
+    return 1;
+  }
+  const uint64_t disk = static_cast<uint64_t>(st.st_blocks) * 512;
+  lm->reset();
+  std::filesystem::remove(path);
+  const double ratio =
+      disk > 0 ? static_cast<double>(logical) / static_cast<double>(disk) : 0;
+  std::printf("smoke: logical=%llu disk=%llu ratio=%.2fx (gate: >1.20x)\n",
+              static_cast<unsigned long long>(logical),
+              static_cast<unsigned long long>(disk), ratio);
+  return ratio > 1.2 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace rewinddb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return rewinddb::SmokeCompressionRatio();
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

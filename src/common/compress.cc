@@ -1,0 +1,226 @@
+#include "common/compress.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace rewinddb {
+
+namespace {
+
+constexpr size_t kMinInput = 16;      // below this, never compress
+constexpr size_t kHashBits = 13;      // 8K-entry match table
+constexpr size_t kMinMatch = 4;
+// The matcher stops this far from the end so the 4-byte probe loads
+// and the greedy match extension never read past the input.
+constexpr size_t kTailGuard = 12;
+
+inline uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Hash32(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Write a token-nibble length: `base` is the value already packed in
+/// the nibble; every 255 thereafter continues, terminated by the final
+/// remainder byte.
+inline char* PutExtLength(char* op, size_t len) {
+  while (len >= 255) {
+    *op++ = static_cast<char>(0xFF);
+    len -= 255;
+  }
+  *op++ = static_cast<char>(len);
+  return op;
+}
+
+}  // namespace
+
+size_t CompressBound(size_t n) {
+  // One token per 15-literal run in the worst case, plus slack for the
+  // trailing sequence and the extension bytes.
+  return n + n / 15 + 32;
+}
+
+size_t Compress(const char* src, size_t n, char* dst, size_t cap) {
+  if (n < kMinInput || n > (1ull << 31)) return 0;
+  int32_t table[1u << kHashBits];
+  std::memset(table, -1, sizeof(table));
+
+  const char* const src_end = src + n;
+  const char* const mflimit = src_end - kTailGuard;
+  const char* ip = src;
+  const char* anchor = src;
+  char* op = dst;
+  char* const op_end = dst + cap;
+  // Literal-skip acceleration: after repeated probe misses the stride
+  // grows, so poorly-matching regions are crossed in big steps instead
+  // of byte by byte (a slightly worse ratio there buys a bounded scan).
+  uint32_t miss_run = 1u << 6;
+
+  while (ip < mflimit) {
+    // Probe for a 4-byte match through the hash table.
+    const uint32_t h = Hash32(Load32(ip));
+    const int32_t cand = table[h];
+    table[h] = static_cast<int32_t>(ip - src);
+    const char* match = src + cand;
+    if (cand < 0 || ip - match > 65535 ||
+        Load32(match) != Load32(ip)) {
+      ip += (miss_run++) >> 6;
+      continue;
+    }
+    miss_run = 1u << 6;
+
+    // Extend the match forward, word-wise (guarded so every load stays
+    // in range; this is the matcher's hot loop on compressible input).
+    const char* const ext_limit = src_end - 5;
+    const char* p = ip + kMinMatch;
+    const char* q = match + kMinMatch;
+    while (p + 8 <= ext_limit) {
+      uint64_t x, y;
+      std::memcpy(&x, p, 8);
+      std::memcpy(&y, q, 8);
+      if (x != y) {
+        p += static_cast<size_t>(__builtin_ctzll(x ^ y)) >> 3;
+        q = nullptr;  // diff found; stop both loops
+        break;
+      }
+      p += 8;
+      q += 8;
+    }
+    if (q != nullptr) {
+      while (p < ext_limit && *q == *p) {
+        p++;
+        q++;
+      }
+    }
+    const size_t mlen = static_cast<size_t>(p - ip);
+
+    const size_t lit = static_cast<size_t>(ip - anchor);
+    // Worst-case bytes for this sequence: token + literal extension +
+    // literals + offset + match extension.
+    if (op + 1 + lit / 255 + 1 + lit + 2 + mlen / 255 + 1 > op_end) {
+      return 0;
+    }
+
+    char* token = op++;
+    if (lit >= 15) {
+      *token = static_cast<char>(0xF0);
+      op = PutExtLength(op, lit - 15);
+    } else {
+      *token = static_cast<char>(lit << 4);
+    }
+    std::memcpy(op, anchor, lit);
+    op += lit;
+
+    const uint16_t offset = static_cast<uint16_t>(ip - match);
+    *op++ = static_cast<char>(offset & 0xFF);
+    *op++ = static_cast<char>(offset >> 8);
+
+    const size_t mcode = mlen - kMinMatch;
+    if (mcode >= 15) {
+      *token = static_cast<char>(*token | 0x0F);
+      op = PutExtLength(op, mcode - 15);
+    } else {
+      *token = static_cast<char>(*token | mcode);
+    }
+
+    ip += mlen;
+    anchor = ip;
+    // No table insert here: the next loop iteration probes-and-inserts
+    // this position itself. Inserting now would make that probe find
+    // the entry just written -- a zero-offset self-match.
+  }
+
+  // Trailing literals-only sequence.
+  const size_t lit = static_cast<size_t>(src_end - anchor);
+  if (op + 1 + lit / 255 + 1 + lit > op_end) return 0;
+  char* token = op++;
+  if (lit >= 15) {
+    *token = static_cast<char>(0xF0);
+    op = PutExtLength(op, lit - 15);
+  } else {
+    *token = static_cast<char>(lit << 4);
+  }
+  std::memcpy(op, anchor, lit);
+  op += lit;
+  return static_cast<size_t>(op - dst);
+}
+
+Status Decompress(const char* src, size_t n, char* dst, size_t dst_size) {
+  const uint8_t* ip = reinterpret_cast<const uint8_t*>(src);
+  const uint8_t* const ip_end = ip + n;
+  char* op = dst;
+  char* const op_end = dst + dst_size;
+
+  while (ip < ip_end) {
+    const uint8_t token = *ip++;
+
+    // Literals.
+    size_t lit = token >> 4;
+    if (lit == 15) {
+      uint8_t b;
+      do {
+        if (ip >= ip_end) return Status::Corruption("compress: truncated");
+        b = *ip++;
+        lit += b;
+      } while (b == 255);
+    }
+    if (static_cast<size_t>(ip_end - ip) < lit ||
+        static_cast<size_t>(op_end - op) < lit) {
+      return Status::Corruption("compress: literal overruns buffer");
+    }
+    std::memcpy(op, ip, lit);
+    ip += lit;
+    op += lit;
+    if (ip == ip_end) break;  // final literals-only sequence
+
+    // Match.
+    if (ip_end - ip < 2) return Status::Corruption("compress: truncated");
+    const size_t offset = static_cast<size_t>(ip[0]) |
+                          (static_cast<size_t>(ip[1]) << 8);
+    ip += 2;
+    if (offset == 0 || offset > static_cast<size_t>(op - dst)) {
+      return Status::Corruption("compress: match offset out of range");
+    }
+    size_t mlen = (token & 0x0F) + kMinMatch;
+    if ((token & 0x0F) == 15) {
+      uint8_t b;
+      do {
+        if (ip >= ip_end) return Status::Corruption("compress: truncated");
+        b = *ip++;
+        mlen += b;
+      } while (b == 255);
+    }
+    if (static_cast<size_t>(op_end - op) < mlen) {
+      return Status::Corruption("compress: match overruns buffer");
+    }
+    // Matches may overlap their own output (RLE). With the source at
+    // least 8 behind, 8-byte blocks never read what this copy wrote,
+    // so the hot path is word-wise; short offsets fall back to bytes.
+    const char* from = op - offset;
+    if (offset >= 8) {
+      size_t rem = mlen;
+      while (rem >= 8) {
+        std::memcpy(op, from, 8);
+        op += 8;
+        from += 8;
+        rem -= 8;
+      }
+      for (size_t i = 0; i < rem; i++) op[i] = from[i];
+      op += rem;
+    } else {
+      for (size_t i = 0; i < mlen; i++) op[i] = from[i];
+      op += mlen;
+    }
+  }
+
+  if (op != op_end) {
+    return Status::Corruption("compress: output size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,47 @@
+// Byte-oriented fast compression for WAL flush batches (and anything
+// else that wants an in-tree LZ77 with zero dependencies).
+//
+// The format is LZ4-shaped: a stream of sequences, each a token byte
+// (high nibble = literal length, low nibble = match length - 4, value
+// 15 extends with 255-saturated continuation bytes), the literals, and
+// a 2-byte little-endian match offset into the already-produced
+// output. The final sequence carries literals only. Log records are
+// full of repeated page ids, tree ids and -- above all -- full page
+// images whose slotted layouts repeat, so even this greedy
+// single-probe matcher routinely halves FPI-heavy batches.
+//
+// Compress() is allowed to give up: it returns 0 when the input is
+// incompressible (or too small to bother), and callers keep the raw
+// bytes. Decompress() is fully bounds-checked and never reads or
+// writes outside the given buffers: compressed WAL frames cross a
+// crash boundary, so a torn or bit-flipped payload must come back as
+// Status::Corruption, not a wild pointer.
+#ifndef REWINDDB_COMMON_COMPRESS_H_
+#define REWINDDB_COMMON_COMPRESS_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace rewinddb {
+
+/// Worst-case compressed size for `n` input bytes (raw expansion plus
+/// per-sequence token overhead). Size a destination buffer with this
+/// when you cannot tolerate Compress() giving up for lack of room.
+size_t CompressBound(size_t n);
+
+/// Greedy single-probe LZ77 compression of src[0, n) into dst[0, cap).
+/// Returns the compressed size, or 0 when the output would not fit in
+/// `cap` (pass CompressBound(n) to make that case mean "expanded") or
+/// the input is too small to be worth encoding.
+size_t Compress(const char* src, size_t n, char* dst, size_t cap);
+
+/// Inverse of Compress. `dst_size` must be the exact original size
+/// (callers store it next to the compressed bytes); anything
+/// malformed -- truncated stream, offset pointing before the output
+/// start, output not landing exactly on dst_size -- is Corruption.
+Status Decompress(const char* src, size_t n, char* dst, size_t dst_size);
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_COMMON_COMPRESS_H_

@@ -1,0 +1,88 @@
+#include "common/page_delta.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace rewinddb {
+
+namespace {
+/// Equal-byte runs shorter than this between two changed runs are
+/// cheaper to resend than to frame as separate extents.
+constexpr size_t kGapMerge = 8;
+
+/// First position in [i, n) where the buffers differ, or n. Word-wise:
+/// this runs over every unchanged byte of the page on the FPI write
+/// path, so it is the encoder's hot loop.
+inline size_t SkipEqual(const char* a, const char* b, size_t i, size_t n) {
+  while (i + 8 <= n) {
+    uint64_t x, y;
+    std::memcpy(&x, a + i, 8);
+    std::memcpy(&y, b + i, 8);
+    if (x != y) {
+      return i + (static_cast<size_t>(__builtin_ctzll(x ^ y)) >> 3);
+    }
+    i += 8;
+  }
+  while (i < n && a[i] == b[i]) i++;
+  return i;
+}
+}  // namespace
+
+std::string EncodePageDelta(const char* base, const char* next, size_t n) {
+  assert(n <= 65535);
+  std::string out;
+  PutFixed16(&out, 0);  // extent count, patched below
+  uint16_t count = 0;
+  size_t i = SkipEqual(base, next, 0, n);
+  while (i < n) {
+    const size_t start = i;
+    size_t end = i + 1;
+    // Extend across short equal gaps: an extent only closes at an
+    // unchanged run of >= kGapMerge bytes (or the page end).
+    while (end < n) {
+      const size_t eq_end = SkipEqual(base, next, end, n);
+      if (eq_end >= n || eq_end - end >= kGapMerge) break;
+      end = eq_end + 1;
+    }
+    PutFixed16(&out, static_cast<uint16_t>(start));
+    PutFixed16(&out, static_cast<uint16_t>(end - start));
+    out.append(next + start, end - start);
+    count++;
+    i = SkipEqual(base, next, end, n);
+  }
+  char* hdr = out.data();
+  hdr[0] = static_cast<char>(count & 0xFF);
+  hdr[1] = static_cast<char>(count >> 8);
+  return out;
+}
+
+Status ApplyPageDelta(char* page, size_t n, Slice delta) {
+  Decoder dec(delta);
+  uint16_t count = 0;
+  if (!dec.GetFixed16(&count)) {
+    return Status::Corruption("page delta: truncated header");
+  }
+  for (uint16_t e = 0; e < count; e++) {
+    uint16_t off = 0;
+    uint16_t len = 0;
+    if (!dec.GetFixed16(&off) || !dec.GetFixed16(&len)) {
+      return Status::Corruption("page delta: truncated extent header");
+    }
+    if (static_cast<size_t>(off) + len > n) {
+      return Status::Corruption("page delta: extent past page end");
+    }
+    Slice bytes;
+    if (!dec.GetBytes(len, &bytes)) {
+      return Status::Corruption("page delta: truncated extent bytes");
+    }
+    std::memcpy(page + off, bytes.data(), len);
+  }
+  if (!dec.empty()) {
+    return Status::Corruption("page delta: trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace rewinddb

@@ -1,0 +1,37 @@
+// Byte-range delta encoding between two versions of one page, used by
+// the WAL's FPI-delta records (LogType::kFpiDelta): when a page was
+// FPI'd recently, the next periodic FPI logs only the extents that
+// changed since, and readers re-materialize the full image by applying
+// the delta chain oldest-first on top of the last full image.
+//
+// Format: u16 extent count, then per extent {u16 offset, u16 length,
+// `length` raw replacement bytes}. Raw bytes rather than XOR: applying
+// is a plain memcpy, and the batch-compression layer squeezes the
+// repetition out either way. Nearby changed runs separated by fewer
+// than kGapMerge equal bytes are merged into one extent -- two u16s of
+// framing cost more than re-sending a short equal run.
+#ifndef REWINDDB_COMMON_PAGE_DELTA_H_
+#define REWINDDB_COMMON_PAGE_DELTA_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace rewinddb {
+
+/// Encode the byte ranges where next[0, n) differs from base[0, n).
+/// `n` must fit u16 offsets (pages are 8 KiB, well within range).
+std::string EncodePageDelta(const char* base, const char* next, size_t n);
+
+/// Apply a delta produced by EncodePageDelta in place: page[0, n) must
+/// hold the base image and becomes the next image. Bounds-checked;
+/// malformed input (truncated, extent past `n`) is Corruption and may
+/// leave the page partially patched -- callers re-materialize from
+/// scratch on error.
+Status ApplyPageDelta(char* page, size_t n, Slice delta);
+
+}  // namespace rewinddb
+
+#endif  // REWINDDB_COMMON_PAGE_DELTA_H_

@@ -40,6 +40,38 @@ bool DefaultLazyMount() {
   return cached;
 }
 
+namespace {
+bool EnvFlagSet(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && *env != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+}  // namespace
+
+bool DefaultWalCompression() {
+  // REWINDDB_WAL_DIET=1 is the one-switch diet (compression + delta
+  // FPIs); REWINDDB_WAL_COMPRESSION toggles this half alone.
+  static const bool cached = [] {
+    return EnvFlagSet("REWINDDB_WAL_COMPRESSION") ||
+           EnvFlagSet("REWINDDB_WAL_DIET");
+  }();
+  return cached;
+}
+
+uint64_t DefaultFpiDeltaWindowBytes() {
+  static const uint64_t cached = [] {
+    const char* env = std::getenv("REWINDDB_FPI_DELTA_WINDOW_BYTES");
+    if (env != nullptr && *env != '\0') {
+      return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+    }
+    // The diet switch turns delta FPIs on at a window that comfortably
+    // spans a few checkpoint intervals of the test workloads.
+    if (EnvFlagSet("REWINDDB_WAL_DIET")) return uint64_t{1} << 20;
+    return uint64_t{0};
+  }();
+  return cached;
+}
+
 // ------------------------- undo appliers ------------------------------
 
 Status PhysicalUndoApplier::UndoRecord(Transaction* txn, Lsn /*lsn*/,
@@ -118,6 +150,7 @@ Status Database::InitStorage(bool create) {
   wo.flush_interval_micros = opts_.wal_flush_interval_micros;
   wo.archive_dir = ResolveArchiveDir();
   wo.archive_segment_bytes = opts_.archive_segment_bytes;
+  wo.compression = opts_.wal_compression;
   if (create) {
     REWIND_ASSIGN_OR_RETURN(
         data_file_, PagedFile::Create(data_path, &data_disk_, &stats_));
@@ -136,7 +169,8 @@ Status Database::InitStorage(bool create) {
                                              opts_.buffer_shards);
   txns_ = std::make_unique<TransactionManager>(wal_.get(), &locks_, clock_,
                                                opts_.default_commit_mode);
-  ops_ = std::make_unique<PageOps>(wal_.get(), txns_.get(), opts_.fpi_period);
+  ops_ = std::make_unique<PageOps>(wal_.get(), txns_.get(), opts_.fpi_period,
+                                   opts_.fpi_delta_window_bytes);
   allocator_ = std::make_unique<PageAllocator>(buffers_.get(), ops_.get());
   allocator_->set_on_new_map([this](uint32_t) {
     Status s = WriteSuperBlock();
@@ -294,6 +328,7 @@ Status Database::RunRecovery() {
   const int threads = opts_.replay_threads < 1 ? 1 : opts_.replay_threads;
   recovery_stats_ = RecoveryStats();
   recovery_stats_.replay_threads = threads;
+  recovery_stats_.durable_end_lsn = wal_->flushed_lsn();
   uint64_t t0 = clock_->NowMicros();
 
   // --- Analysis: from the master checkpoint to the end of the log. ---

@@ -53,12 +53,29 @@ bool DefaultArchiveEnabled();
 /// whole suite with lazy mounts on.
 bool DefaultLazyMount();
 
+/// True when REWINDDB_WAL_COMPRESSION or REWINDDB_WAL_DIET asks for
+/// group-commit batch compression (any non-empty value except "0").
+bool DefaultWalCompression();
+
+/// The REWINDDB_FPI_DELTA_WINDOW_BYTES environment variable, else
+/// 1 MiB when REWINDDB_WAL_DIET is set, else 0 (delta FPIs off).
+uint64_t DefaultFpiDeltaWindowBytes();
+
 struct DatabaseOptions {
   /// Buffer pool size in pages.
   size_t buffer_pool_pages = 2048;
   /// Emit a full page image every N modifications of a page (paper
   /// section 6.1); 0 disables periodic images.
   uint32_t fpi_period = 0;
+  /// Delta-encode periodic FPIs against the page's previous FPI when
+  /// that FPI lies within this many bytes of log (the WAL-diet FPI
+  /// half; 0 = always log full images). The default honours
+  /// REWINDDB_FPI_DELTA_WINDOW_BYTES / REWINDDB_WAL_DIET.
+  uint64_t fpi_delta_window_bytes = DefaultFpiDeltaWindowBytes();
+  /// Compress group-commit flush batches into frames (the WAL-diet
+  /// space half; readers handle framed logs unconditionally). The
+  /// default honours REWINDDB_WAL_COMPRESSION / REWINDDB_WAL_DIET.
+  bool wal_compression = DefaultWalCompression();
   /// Retention period for as-of queries (ALTER DATABASE SET
   /// UNDO_INTERVAL, section 4.3). Default: 24 hours.
   uint64_t undo_interval_micros = 24ULL * 3600 * 1'000'000;
@@ -163,6 +180,10 @@ struct RecoveryStats {
   Lsn analysis_start_lsn = kInvalidLsn;
   /// Records the analysis scan decoded (analysis_start_lsn -> end).
   uint64_t analysis_records = 0;
+  /// Where the durable log ended when recovery STARTED -- before undo
+  /// CLRs and the post-recovery checkpoint appended past it. After a
+  /// crash this is the boundary between kept and lost history.
+  Lsn durable_end_lsn = kInvalidLsn;
   /// Records the redo dispatcher handed to workers (after DPT filter).
   uint64_t redo_records = 0;
   uint64_t loser_transactions = 0;

@@ -1,7 +1,9 @@
 #include "engine/page_ops.h"
 
 #include <cstring>
+#include <utility>
 
+#include "common/page_delta.h"
 #include "page/alloc_page.h"
 #include "page/slotted_page.h"
 
@@ -39,16 +41,63 @@ void PageOps::MaybeEmitFpi(Transaction* /*txn*/, PageGuard& page) {
   // LSN is exactly `image`". Logged outside any transaction chain; the
   // per-page and per-FPI chains are what the rewinder follows.
   LogRecord fpi;
-  fpi.type = LogType::kPreformat;
   fpi.page_id = h->page_id;
   fpi.tree_id = h->tree_id;
   fpi.prev_page_lsn = h->page_lsn;
   fpi.prev_fpi_lsn = h->last_fpi_lsn;
-  fpi.image.assign(page.data(), kPageSize);
+
+  // WAL-diet delta path: when the page's previous FPI is recent (still
+  // inside the configured log window) and its composed image is still
+  // cached, log only the byte ranges that changed since. Any miss --
+  // window exceeded, cache evicted, chain already at max depth, or a
+  // patch that would barely undercut the full image -- falls back to a
+  // full kPreformat, which also restarts the chain.
+  uint32_t depth = 0;
+  bool delta = false;
+  if (fpi_delta_window_ > 0 && h->last_fpi_lsn != kInvalidLsn &&
+      wal_->next_lsn() - h->last_fpi_lsn <= fpi_delta_window_) {
+    std::lock_guard<std::mutex> g(delta_mu_);
+    auto it = delta_cache_.find(h->page_id);
+    if (it != delta_cache_.end() && it->second.lsn == h->last_fpi_lsn &&
+        it->second.depth < kMaxFpiDeltaChain) {
+      std::string patch =
+          EncodePageDelta(it->second.image.data(), page.data(), kPageSize);
+      if (patch.size() + 64 < kPageSize) {
+        fpi.type = LogType::kFpiDelta;
+        fpi.image = std::move(patch);
+        depth = it->second.depth + 1;
+        delta = true;
+      }
+    }
+  }
+  if (!delta) {
+    fpi.type = LogType::kPreformat;
+    fpi.image.assign(page.data(), kPageSize);
+  }
+  if (fpi_delta_window_ > 0) wal_->NoteFpiDelta(delta);
   Lsn lsn = wal_->Append(fpi);
+  // Cache the CURRENT content (the image this FPI stands for, composed)
+  // as the base for the page's next delta.
+  CacheFpiImage(h->page_id, lsn, depth, page.data());
   h->last_fpi_lsn = lsn;
   h->mod_count = 0;
   page.MarkDirty(lsn);
+}
+
+void PageOps::CacheFpiImage(PageId id, Lsn lsn, uint32_t depth,
+                            const char* image) {
+  if (fpi_delta_window_ == 0) return;
+  std::lock_guard<std::mutex> g(delta_mu_);
+  if (delta_cache_.size() >= kFpiDeltaCacheEntries &&
+      delta_cache_.find(id) == delta_cache_.end()) {
+    // Evict an arbitrary entry: the cache is an optimization, and any
+    // smarter policy would need bookkeeping on the mutation hot path.
+    delta_cache_.erase(delta_cache_.begin());
+  }
+  FpiBase& e = delta_cache_[id];
+  e.lsn = lsn;
+  e.depth = depth;
+  e.image.assign(image, kPageSize);
 }
 
 Status PageOps::LogInsert(Transaction* txn, PageGuard& page, uint16_t slot,
@@ -146,6 +195,8 @@ Status PageOps::LogPreformat(Transaction* txn, PageGuard& page,
   rec.prev_fpi_lsn = ih->last_fpi_lsn;
   rec.image.assign(image, kPageSize);
   Lsn lsn = Publish(txn, rec);
+  // A full image restarts the page's delta chain at depth 0.
+  CacheFpiImage(Header(page.data())->page_id, lsn, 0, image);
 
   // The frame now carries the preformat LSN in both chain anchors so
   // the following LogFormat links to it.

@@ -10,7 +10,9 @@
 #ifndef REWINDDB_ENGINE_PAGE_OPS_H_
 #define REWINDDB_ENGINE_PAGE_OPS_H_
 
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "buffer/buffer_manager.h"
 #include "common/status.h"
@@ -24,11 +26,26 @@ class PageOps {
   /// \param fpi_period_n emit a full page image after every N
   ///        modifications of a page; 0 disables periodic images (the
   ///        paper's baseline configuration).
-  PageOps(wal::Wal* wal, TransactionManager* txns, uint32_t fpi_period_n)
-      : wal_(wal), txns_(txns), fpi_period_(fpi_period_n) {}
+  /// \param fpi_delta_window_bytes when a page's previous FPI lies
+  ///        within this many bytes of log, emit the periodic image as a
+  ///        kFpiDelta (byte-range patch against that FPI) instead of a
+  ///        full kPreformat; 0 disables delta encoding (every FPI is a
+  ///        full image, the pre-diet behaviour).
+  PageOps(wal::Wal* wal, TransactionManager* txns, uint32_t fpi_period_n,
+          uint64_t fpi_delta_window_bytes = 0)
+      : wal_(wal),
+        txns_(txns),
+        fpi_period_(fpi_period_n),
+        fpi_delta_window_(fpi_delta_window_bytes) {}
 
   uint32_t fpi_period() const { return fpi_period_; }
+  uint64_t fpi_delta_window() const { return fpi_delta_window_; }
   wal::Wal* log() const { return wal_; }
+
+  /// Longest kFpiDelta chain the writer will grow before emitting a
+  /// full image again (bounds FPI-jump materialization cost; the read
+  /// side tolerates more, so older logs stay valid if this shrinks).
+  static constexpr uint32_t kMaxFpiDeltaChain = 8;
 
   /// Insert `entry` at `slot` of the guarded page.
   Status LogInsert(Transaction* txn, PageGuard& page, uint16_t slot,
@@ -86,10 +103,27 @@ class PageOps {
   /// and return the record's LSN.
   Lsn AppendChained(Transaction* txn, PageGuard& page, LogRecord* rec);
   void MaybeEmitFpi(Transaction* txn, PageGuard& page);
+  /// Remember the full image the FPI at `lsn` stands for, so the next
+  /// periodic FPI of the page can be delta-encoded against it.
+  void CacheFpiImage(PageId id, Lsn lsn, uint32_t depth, const char* image);
 
   wal::Wal* wal_;
   TransactionManager* txns_;
   uint32_t fpi_period_;
+  const uint64_t fpi_delta_window_;
+
+  /// Delta-encoding base cache: page -> the composed full image of the
+  /// page's newest FPI record (and that record's LSN + chain depth).
+  /// Purely an emission-side optimization -- a miss or stale entry just
+  /// means the next FPI is a full image. Bounded FIFO-ish eviction.
+  struct FpiBase {
+    Lsn lsn = kInvalidLsn;
+    uint32_t depth = 0;
+    std::string image;
+  };
+  static constexpr size_t kFpiDeltaCacheEntries = 512;
+  std::mutex delta_mu_;
+  std::unordered_map<PageId, FpiBase> delta_cache_;
 };
 
 }  // namespace rewinddb

@@ -95,6 +95,11 @@ Status ApplyRedo(char* page, const LogRecord& rec, Lsn rec_lsn) {
       memcpy(page, rec.image.data(), kPageSize);
       Header(page)->last_fpi_lsn = rec.prev_fpi_lsn;
       break;
+    case LogType::kFpiDelta:
+      // Content no-op: the delta describes the content the page
+      // already has (FPIs never change a page going forward). Only the
+      // chain anchors advance, below.
+      break;
     case LogType::kAllocBits:
       RedoAllocBits(page, rec);
       break;
@@ -105,7 +110,7 @@ Status ApplyRedo(char* page, const LogRecord& rec, Lsn rec_lsn) {
       return Status::Corruption("redo: not a page record");
   }
   SetPageLsn(page, rec_lsn);
-  if (rec.type == LogType::kPreformat) {
+  if (rec.type == LogType::kPreformat || rec.type == LogType::kFpiDelta) {
     Header(page)->last_fpi_lsn = rec_lsn;
   }
   return Status::OK();
@@ -155,6 +160,12 @@ Status ApplyUndo(char* page, const LogRecord& rec) {
       // content at this LSN is `image`"; stepping backwards over the
       // record restores that image, from which older records unwind.
       memcpy(page, rec.image.data(), kPageSize);
+      break;
+    case LogType::kFpiDelta:
+      // Content no-op both ways: a backward walk arriving here already
+      // holds the content the delta describes, so only the chain
+      // anchors rewind (below). Walks that want the image as a seed
+      // jump via MaterializeFpiImage instead of stepping over.
       break;
     case LogType::kAllocBits:
       UndoAllocBits(page, rec);

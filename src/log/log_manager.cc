@@ -10,15 +10,61 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <deque>
+#include <limits>
 
 #include "common/coding.h"
+#include "common/compress.h"
 #include "wal/archive.h"
 
 namespace rewinddb {
 
 namespace {
 constexpr uint64_t kLogMagic = 0x52574C4F47763101ULL;  // "RWLOGv1" + 0x01
+
+/// Encode a frame header for `ulen` logical bytes compressed into
+/// `payload[0, clen)`.
+void EncodeFrameHeader(char* hdr, uint32_t ulen, uint32_t clen,
+                       const char* payload) {
+  uint32_t v = LogManager::kFrameMagic;
+  memcpy(hdr, &v, 4);
+  hdr[4] = static_cast<char>(LogManager::kFrameVersion);
+  hdr[5] = hdr[6] = hdr[7] = 0;
+  memcpy(hdr + 8, &ulen, 4);
+  memcpy(hdr + 12, &clen, 4);
+  uint32_t psum = Checksum32(payload, clen);
+  memcpy(hdr + 16, &psum, 4);
+  uint32_t hsum = Checksum32(hdr, 20);
+  memcpy(hdr + 20, &hsum, 4);
 }
+
+/// Parse + validate a frame header. Returns false when the bytes are
+/// not a well-formed current-or-past frame header (torn tail); a
+/// well-formed header with a FUTURE version sets *future instead, so
+/// the caller can fail loudly rather than treat new-format log as a
+/// torn end.
+bool ParseFrameHeader(const char* hdr, uint32_t* ulen, uint32_t* clen,
+                      uint32_t* psum, bool* future) {
+  *future = false;
+  uint32_t magic;
+  memcpy(&magic, hdr, 4);
+  if (magic != LogManager::kFrameMagic) return false;
+  uint32_t hsum;
+  memcpy(&hsum, hdr + 20, 4);
+  if (Checksum32(hdr, 20) != hsum) return false;
+  if (static_cast<uint8_t>(hdr[4]) > LogManager::kFrameVersion) {
+    *future = true;
+    return false;
+  }
+  memcpy(ulen, hdr + 8, 4);
+  memcpy(clen, hdr + 12, 4);
+  memcpy(psum, hdr + 16, 4);
+  if (*ulen == 0 || *ulen > (64u << 20) || *clen == 0 || *clen >= *ulen) {
+    return false;
+  }
+  return true;
+}
+}  // namespace
 
 LogManager::LogManager(std::string path, int fd, DiskModel* disk,
                        IoStats* stats, Options opts)
@@ -86,17 +132,77 @@ Result<std::unique_ptr<LogManager>> LogManager::Open(const std::string& path,
   lm->start_lsn_.store(start < kFirstLsn ? kFirstLsn : start);
 
   // Scan forward from the start to find the durable end of the log and
-  // rebuild the checkpoint directory. Stops at the first record whose
-  // length or checksum is invalid (torn tail after a crash).
+  // rebuild the checkpoint and frame directories. The scan is
+  // PHYSICAL: each boundary holds either a compression frame (magic +
+  // self-checksummed header) or a raw record (length prefix + record
+  // checksum), and the frame magic can never be mistaken for a record
+  // length (it exceeds the 64 MiB length ceiling). A torn unit ends
+  // the scan (crash tail); a unit that checksums clean but does not
+  // parse -- an unknown future record type or a well-formed frame
+  // header with a future version -- is a hard Corruption error, never
+  // a silent end-of-log.
   Lsn cursor = lm->start_lsn_.load();
+  std::string ubuf;
   while (true) {
-    size_t size = 0;
-    auto rec = lm->ReadFromFile(cursor, &size);
-    if (!rec.ok()) break;
+    char fh[kFrameHeaderSize];
+    ssize_t got = ::pread(fd, fh, sizeof(fh), static_cast<off_t>(cursor));
+    if (got < static_cast<ssize_t>(kLogLengthPrefix)) break;
+    uint32_t first;
+    memcpy(&first, fh, 4);
+    if (first == kFrameMagic) {
+      uint32_t ulen = 0, clen = 0, psum = 0;
+      bool future = false;
+      if (got < static_cast<ssize_t>(kFrameHeaderSize) ||
+          !ParseFrameHeader(fh, &ulen, &clen, &psum, &future)) {
+        if (future) {
+          return Status::Corruption(
+              "log: compression frame from a future format version");
+        }
+        break;  // torn frame header
+      }
+      std::string cbuf(clen, '\0');
+      if (::pread(fd, cbuf.data(), clen,
+                  static_cast<off_t>(cursor + kFrameHeaderSize)) !=
+          static_cast<ssize_t>(clen)) {
+        break;  // torn payload
+      }
+      if (Checksum32(cbuf.data(), clen) != psum) break;
+      ubuf.assign(ulen, '\0');
+      if (!Decompress(cbuf.data(), clen, ubuf.data(), ulen).ok()) break;
+      // The frame checksummed clean, so its records must parse; a
+      // failure here is real corruption, not a torn tail.
+      size_t off = 0;
+      while (off < ulen) {
+        size_t consumed = 0;
+        auto rec = LogRecord::Decode(Slice(ubuf.data() + off, ulen - off),
+                                     &consumed);
+        if (!rec.ok()) return rec.status();
+        if (rec->type == LogType::kCheckpointBegin) {
+          lm->checkpoints_.push_back({cursor + off, rec->wall_clock});
+        }
+        off += consumed;
+      }
+      lm->frames_.push_back({cursor, ulen, clen});
+      cursor += ulen;
+      continue;
+    }
+    // Raw record: length prefix, whole-record read, checksum.
+    if (first < 8 || first > (64u << 20)) break;
+    std::string rbuf(first, '\0');
+    if (::pread(fd, rbuf.data(), first, static_cast<off_t>(cursor)) !=
+        static_cast<ssize_t>(first)) {
+      break;
+    }
+    uint32_t stored_sum;
+    memcpy(&stored_sum, rbuf.data() + 4, 4);
+    if (Checksum32(rbuf.data() + 8, first - 8) != stored_sum) break;
+    size_t consumed = 0;
+    auto rec = LogRecord::Decode(Slice(rbuf), &consumed);
+    if (!rec.ok()) return rec.status();  // checksummed but unparseable
     if (rec->type == LogType::kCheckpointBegin) {
       lm->checkpoints_.push_back({cursor, rec->wall_clock});
     }
-    cursor += size;
+    cursor += consumed;
   }
   lm->next_lsn_ = cursor;
   lm->tail_start_ = cursor;
@@ -177,12 +283,90 @@ Status LogManager::FlushLocked(Lsn target) {
   }
   if (!flushing_.empty()) {
     Status io;
-    ssize_t n = ::pwrite(fd_, flushing_.data(), flushing_.size(),
-                         static_cast<off_t>(batch_start));
-    if (n != static_cast<ssize_t>(flushing_.size())) {
-      io = Status::IoError("log write failed: " +
-                           std::string(strerror(errno)));
-    } else if (::fdatasync(fd_) != 0) {
+    // Build the physical write plan. Uncompressed: the whole batch at
+    // its logical offset (one extent). Compressed: the batch is cut at
+    // record boundaries into ~kFrameTargetBytes chunks; each chunk
+    // that compresses well becomes a frame written at the chunk's
+    // logical offset (the logical remainder stays an unwritten hole),
+    // the rest stay raw. Chunking is a pure function of the record
+    // lengths, so a failed flush that hands the batch back retries
+    // with byte-identical physical prefixes.
+    struct WriteExt {
+      Lsn off;
+      const char* data;
+      size_t n;
+    };
+    std::vector<WriteExt> writes;
+    std::vector<LogFrame> new_frames;
+    std::deque<std::string> frame_bufs;  // stable storage for frame bytes
+    if (!opts_.compression) {
+      writes.push_back({batch_start, flushing_.data(), flushing_.size()});
+    } else {
+      // Raw chunks are contiguous in flushing_, so coalescing adjacent
+      // ones just widens the previous extent.
+      auto add_raw = [&writes](Lsn off, const char* p, size_t n) {
+        if (!writes.empty() && writes.back().off + writes.back().n == off &&
+            writes.back().data + writes.back().n == p) {
+          writes.back().n += n;
+        } else {
+          writes.push_back({off, p, n});
+        }
+      };
+      std::string cbuf;
+      size_t pos = 0;
+      while (pos < flushing_.size()) {
+        size_t cend = pos;
+        bool well_formed = true;
+        while (cend < flushing_.size() && cend - pos < kFrameTargetBytes) {
+          uint32_t rl = LogRecord::PeekLength(
+              Slice(flushing_.data() + cend, flushing_.size() - cend));
+          if (rl < kLogLengthPrefix || rl > flushing_.size() - cend) {
+            well_formed = false;  // cannot happen for our own encodes
+            break;
+          }
+          cend += rl;
+        }
+        if (!well_formed) {
+          add_raw(batch_start + pos, flushing_.data() + pos,
+                  flushing_.size() - pos);
+          break;
+        }
+        const size_t ulen = cend - pos;
+        bool framed = false;
+        if (ulen > kFrameHeaderSize + kFrameMinSaving) {
+          const size_t cap = ulen - kFrameHeaderSize - kFrameMinSaving;
+          cbuf.resize(cap);
+          size_t clen =
+              Compress(flushing_.data() + pos, ulen, cbuf.data(), cap);
+          if (clen > 0) {
+            std::string fb(kFrameHeaderSize, '\0');
+            EncodeFrameHeader(fb.data(), static_cast<uint32_t>(ulen),
+                              static_cast<uint32_t>(clen), cbuf.data());
+            fb.append(cbuf.data(), clen);
+            frame_bufs.push_back(std::move(fb));
+            writes.push_back({batch_start + pos, frame_bufs.back().data(),
+                              frame_bufs.back().size()});
+            new_frames.push_back({batch_start + pos,
+                                  static_cast<uint32_t>(ulen),
+                                  static_cast<uint32_t>(clen)});
+            framed = true;
+          }
+        }
+        if (!framed) add_raw(batch_start + pos, flushing_.data() + pos, ulen);
+        pos = cend;
+      }
+    }
+    uint64_t phys_bytes = 0;
+    for (const WriteExt& w : writes) {
+      ssize_t n = ::pwrite(fd_, w.data, w.n, static_cast<off_t>(w.off));
+      if (n != static_cast<ssize_t>(w.n)) {
+        io = Status::IoError("log write failed: " +
+                             std::string(strerror(errno)));
+        break;
+      }
+      phys_bytes += w.n;
+    }
+    if (io.ok() && ::fdatasync(fd_) != 0) {
       io = Status::IoError("log sync failed: " +
                            std::string(strerror(errno)));
     }
@@ -199,6 +383,21 @@ Status LogManager::FlushLocked(Lsn target) {
       return io;
     }
     const size_t batch_bytes = flushing_.size();
+    // Publish the batch's frames BEFORE any block over this range can
+    // be (re)built from the file: once the cache invalidation below
+    // runs, fetches must compose these frames to see the records.
+    if (!new_frames.empty()) {
+      uint64_t frame_ulen = 0;
+      uint64_t frame_phys = 0;
+      for (const LogFrame& f : new_frames) {
+        frame_ulen += f.ulen;
+        frame_phys += kFrameHeaderSize + f.clen;
+      }
+      AddFrames(new_frames);
+      frames_written_.fetch_add(new_frames.size(), std::memory_order_relaxed);
+      frame_logical_bytes_.fetch_add(frame_ulen, std::memory_order_relaxed);
+      frame_physical_bytes_.fetch_add(frame_phys, std::memory_order_relaxed);
+    }
     // Close the short-block caching window: readers that overlap
     // [write, invalidate) must not insert a pre-flush copy of the
     // last block (odd flush_gen_ = flush in progress).
@@ -210,8 +409,8 @@ Status LogManager::FlushLocked(Lsn target) {
            !max_batch_bytes_.compare_exchange_weak(
                prev_max, batch_bytes, std::memory_order_relaxed)) {
     }
-    if (disk_ != nullptr) disk_->Access(batch_start, batch_bytes);
-    if (stats_ != nullptr) stats_->log_bytes_written += batch_bytes;
+    if (disk_ != nullptr) disk_->Access(batch_start, phys_bytes);
+    if (stats_ != nullptr) stats_->log_bytes_written += phys_bytes;
     // Invalidate cached blocks the write touched: the previously-last
     // block may have been cached short and would shadow new records.
     if (opts_.cache_blocks > 0) {
@@ -262,7 +461,137 @@ LogFlushStats LogManager::flush_stats() const {
   out.fsyncs = fsyncs_.load(std::memory_order_relaxed);
   out.batch_bytes = flush_batch_bytes_.load(std::memory_order_relaxed);
   out.max_batch_bytes = max_batch_bytes_.load(std::memory_order_relaxed);
+  out.frames_written = frames_written_.load(std::memory_order_relaxed);
+  out.frame_logical_bytes =
+      frame_logical_bytes_.load(std::memory_order_relaxed);
+  out.frame_physical_bytes =
+      frame_physical_bytes_.load(std::memory_order_relaxed);
   return out;
+}
+
+std::vector<LogFrame> LogManager::frames() const {
+  std::lock_guard<std::mutex> g(frames_mu_);
+  return frames_;
+}
+
+std::vector<LogFrame> LogManager::FramesOverlapping(Lsn lo, Lsn hi) const {
+  std::vector<LogFrame> out;
+  std::lock_guard<std::mutex> g(frames_mu_);
+  auto it = std::upper_bound(
+      frames_.begin(), frames_.end(), lo,
+      [](Lsn v, const LogFrame& f) { return v < f.lsn; });
+  // The frame before the first one starting after `lo` may still
+  // reach into the range.
+  if (it != frames_.begin()) --it;
+  for (; it != frames_.end() && it->lsn < hi; ++it) {
+    if (it->lsn + it->ulen > lo) out.push_back(*it);
+  }
+  return out;
+}
+
+bool LogManager::IsFrameInterior(Lsn lsn) const {
+  return FrameFloor(lsn) != lsn;
+}
+
+Lsn LogManager::FrameFloor(Lsn lsn) const {
+  std::lock_guard<std::mutex> g(frames_mu_);
+  auto it = std::upper_bound(
+      frames_.begin(), frames_.end(), lsn,
+      [](Lsn v, const LogFrame& f) { return v < f.lsn; });
+  if (it == frames_.begin()) return lsn;
+  --it;
+  if (lsn > it->lsn && lsn < it->lsn + it->ulen) return it->lsn;
+  return lsn;
+}
+
+void LogManager::AddFrames(const std::vector<LogFrame>& frames) {
+  std::lock_guard<std::mutex> g(frames_mu_);
+  frames_.insert(frames_.end(), frames.begin(), frames.end());
+}
+
+void LogManager::PrependFrames(const std::vector<LogFrame>& frames) {
+  if (!frames.empty()) {
+    std::lock_guard<std::mutex> g(frames_mu_);
+    // Archive footers can overlap what the active-file scan already
+    // registered (the range above start_lsn is in both tiers until it
+    // is punched); keep the active log's own entries authoritative.
+    const Lsn first_known =
+        frames_.empty() ? std::numeric_limits<Lsn>::max() : frames_[0].lsn;
+    std::vector<LogFrame> merged;
+    for (const LogFrame& f : frames) {
+      if (f.lsn < first_known) merged.push_back(f);
+    }
+    frames_.insert(frames_.begin(), merged.begin(), merged.end());
+  }
+  // Cached blocks built before these frames were known lack their
+  // content.
+  DropCache();
+}
+
+void LogManager::PruneFrames(Lsn floor) {
+  std::lock_guard<std::mutex> g(frames_mu_);
+  auto it = frames_.begin();
+  while (it != frames_.end() && it->lsn + it->ulen <= floor) ++it;
+  frames_.erase(frames_.begin(), it);
+}
+
+Status LogManager::MaterializeFrame(const LogFrame& f, char* dst) {
+  const size_t phys = kFrameHeaderSize + f.clen;
+  std::string fbuf(phys, '\0');
+  // The frame's physical bytes live in whichever tier owns its logical
+  // range: sealed segments hold them verbatim at their original
+  // offsets (archive cuts never split a frame), the active file
+  // otherwise.
+  bool from_archive = false;
+  if (archive_ != nullptr) {
+    const Lsn arch_oldest = archive_->oldest_lsn();
+    from_archive = arch_oldest != kInvalidLsn && f.lsn >= arch_oldest &&
+                   f.lsn + f.ulen <= archive_->high_water();
+  }
+  if (from_archive) {
+    REWIND_RETURN_IF_ERROR(archive_->ReadBytes(f.lsn, phys, fbuf.data()));
+  } else {
+    if (::pread(fd_, fbuf.data(), phys, static_cast<off_t>(f.lsn)) !=
+        static_cast<ssize_t>(phys)) {
+      return Status::IoError("log frame read: " +
+                             std::string(strerror(errno)));
+    }
+    if (disk_ != nullptr) disk_->Access(f.lsn, phys);
+  }
+  uint32_t ulen = 0, clen = 0, psum = 0;
+  bool future = false;
+  if (!ParseFrameHeader(fbuf.data(), &ulen, &clen, &psum, &future) ||
+      ulen != f.ulen || clen != f.clen) {
+    return Status::Corruption(
+        future ? "log frame from a future format version"
+               : "log frame header does not match the frame directory");
+  }
+  if (Checksum32(fbuf.data() + kFrameHeaderSize, clen) != psum) {
+    return Status::Corruption("log frame payload checksum mismatch");
+  }
+  return Decompress(fbuf.data() + kFrameHeaderSize, clen, dst, ulen);
+}
+
+Status LogManager::ReadLogical(Lsn lsn, size_t n, char* dst) {
+  if (lsn < oldest_available_lsn() ||
+      lsn + n > flushed_lsn_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument(
+        "logical log read outside the flushed range");
+  }
+  size_t done = 0;
+  while (done < n) {
+    const Lsn at = lsn + done;
+    REWIND_ASSIGN_OR_RETURN(std::shared_ptr<std::string> block,
+                            FetchBlock(at / kBlockSize));
+    const size_t off = at % kBlockSize;
+    if (block->size() <= off) {
+      return Status::Corruption("logical log read past materialized end");
+    }
+    const size_t take = std::min(n - done, block->size() - off);
+    memcpy(dst + done, block->data() + off, take);
+    done += take;
+  }
+  return Status::OK();
 }
 
 Lsn LogManager::oldest_available_lsn() const {
@@ -335,6 +664,7 @@ Result<std::shared_ptr<std::string>> LogManager::FetchBlock(uint64_t idx) {
   // record reads there are rejected by ReadRecord's range guard before
   // they can touch it.
   uint64_t gen_before = flush_gen_.load(std::memory_order_acquire);
+  const Lsn flushed_before = flushed_lsn_.load(std::memory_order_acquire);
   auto block = std::make_shared<std::string>();
   block->assign(kBlockSize, '\0');
   const Lsn base = static_cast<Lsn>(idx) * kBlockSize;
@@ -383,6 +713,21 @@ Result<std::shared_ptr<std::string>> LogManager::FetchBlock(uint64_t idx) {
                                   static_cast<size_t>(n));
     }
   }
+  // Compression-frame overlay: the raw composite above holds frame
+  // headers + compressed payloads (and holes) where framed logical
+  // bytes should be. Materialize every durable frame that overlaps the
+  // block and splice its logical bytes over the raw image. Frames
+  // still being written by an in-flight flush are skipped -- reads in
+  // that range are served from flushing_ memory, never from here.
+  for (const LogFrame& f : FramesOverlapping(base, block_end)) {
+    if (f.lsn + f.ulen > flushed_before) continue;
+    std::string ubuf(f.ulen, '\0');
+    REWIND_RETURN_IF_ERROR(MaterializeFrame(f, ubuf.data()));
+    const Lsn lo = std::max<Lsn>(base, f.lsn);
+    const Lsn hi = std::min<Lsn>(block_end, f.lsn + f.ulen);
+    memcpy(block->data() + (lo - base), ubuf.data() + (lo - f.lsn), hi - lo);
+    valid_end = std::max(valid_end, static_cast<size_t>(hi - base));
+  }
   block->resize(valid_end);
   if (stats_ != nullptr) stats_->log_read_misses++;
   // A COMPLETE block of an append-only log is immutable, always safe
@@ -399,8 +744,13 @@ Result<std::shared_ptr<std::string>> LogManager::FetchBlock(uint64_t idx) {
     const bool short_block_safe =
         gen_before % 2 == 0 &&
         flush_gen_.load(std::memory_order_acquire) == gen_before;
-    if ((block->size() == kBlockSize || short_block_safe) &&
-        cache_.find(idx) == cache_.end()) {
+    // A block wholly below the pre-read flush frontier is immutable
+    // (its frames were published before the frontier moved); a block
+    // reaching past it may have raced a concurrent flush's write and
+    // is only cached when no flush ran across the read.
+    const bool stable =
+        block->size() == kBlockSize && block_end <= flushed_before;
+    if ((stable || short_block_safe) && cache_.find(idx) == cache_.end()) {
       lru_.push_front(idx);
       cache_[idx] = {block, lru_.begin()};
       while (cache_.size() > opts_.cache_blocks) {
@@ -464,6 +814,11 @@ std::vector<CheckpointRef> LogManager::checkpoints() const {
 }
 
 Status LogManager::TruncateBefore(Lsn lsn, bool reclaim) {
+  // Never leave the log starting inside a compression frame: the
+  // restart scan reads physical bytes from start_lsn, and a mid-frame
+  // start would put it in the middle of a compressed payload. Keeping
+  // the few extra records down to the frame boundary is always safe.
+  lsn = FrameFloor(lsn);
   Lsn cur = start_lsn_.load();
   if (lsn <= cur) return Status::OK();
   {
@@ -502,6 +857,7 @@ void LogManager::PruneCheckpointRefs() {
   // tier: SplitLSN search and snapshot analysis need them for
   // long-horizon AS OF targets whose log lives only in the archive.
   const Lsn floor = oldest_available_lsn();
+  PruneFrames(floor);
   std::lock_guard<std::mutex> g(ckpt_mu_);
   while (!checkpoints_.empty() && checkpoints_.front().begin_lsn < floor) {
     checkpoints_.erase(checkpoints_.begin());
@@ -519,8 +875,13 @@ Status LogManager::ReadRaw(Lsn lsn, size_t n, char* dst) {
       lsn + n > flushed_lsn_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("raw log read outside the flushed range");
   }
+  // Compressed frames leave their logical remainder unwritten, so the
+  // physical file can legitimately end (or hole) inside the flushed
+  // range: zero-fill and accept a short read, exactly what the sparse
+  // bytes mean.
+  memset(dst, 0, n);
   ssize_t r = ::pread(fd_, dst, n, static_cast<off_t>(lsn));
-  if (r != static_cast<ssize_t>(n)) {
+  if (r < 0) {
     return Status::IoError("raw log read: " + std::string(strerror(errno)));
   }
   if (disk_ != nullptr) disk_->Access(lsn, n);

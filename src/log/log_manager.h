@@ -53,6 +53,25 @@ struct LogManagerOptions {
   size_t cache_blocks = 256;
   /// Tail size at which appends ask for a flush (backpressure).
   size_t max_tail_bytes = 4 << 20;
+  /// Compress flush batches into frames (see LogFrame). Write-side
+  /// only: readers handle framed logs unconditionally, so a log
+  /// written with compression on reopens fine with it off and vice
+  /// versa.
+  bool compression = false;
+};
+
+/// One compressed frame in the active log. The LOGICAL byte range
+/// [lsn, lsn + ulen) still addresses the uncompressed record bytes --
+/// LSNs stay byte offsets into the conceptual uncompressed log -- but
+/// the file stores only [lsn, lsn + kFrameHeaderSize + clen): a
+/// self-describing header plus the compressed payload. The rest of
+/// the logical range is never written (a filesystem hole), which is
+/// where the disk saving comes from. Frames start and end on record
+/// boundaries.
+struct LogFrame {
+  Lsn lsn = kInvalidLsn;
+  uint32_t ulen = 0;  // logical (uncompressed) length
+  uint32_t clen = 0;  // compressed payload length on disk
 };
 
 /// Counters for the flush pipeline (evidence for the fig6 bench JSON).
@@ -64,6 +83,12 @@ struct LogFlushStats {
   uint64_t batch_bytes = 0;
   /// Largest single batch.
   uint64_t max_batch_bytes = 0;
+  /// Compression-frame evidence (zero with compression off): logical
+  /// bytes framed vs physical bytes (header + payload) written for
+  /// them. logical/physical is the live compression ratio.
+  uint64_t frames_written = 0;
+  uint64_t frame_logical_bytes = 0;
+  uint64_t frame_physical_bytes = 0;
 };
 
 class LogManager {
@@ -129,10 +154,41 @@ class LogManager {
   Lsn oldest_available_lsn() const;
 
   /// Copy the flushed byte range [lsn, lsn + n) out of the active log
-  /// file (the archive sealer's source). The range must lie within
-  /// [start_lsn, flushed_lsn); flushed bytes are stable, so no lock is
-  /// held across the read.
+  /// file (the archive sealer's source), PHYSICAL bytes: compressed
+  /// frames come back verbatim and their unwritten logical remainder
+  /// (and any hole-punched range) reads as zeros. The range must lie
+  /// within [start_lsn, flushed_lsn); flushed bytes are stable, so no
+  /// lock is held across the read.
   Status ReadRaw(Lsn lsn, size_t n, char* dst);
+
+  /// Copy the LOGICAL byte range [lsn, lsn + n): record bytes with
+  /// every compression frame expanded, composed across both tiers.
+  /// The range must be flushed and at/above oldest_available_lsn().
+  /// Wal::ExportPrefix uses this so exported logs are plain record
+  /// streams regardless of how the source was stored.
+  Status ReadLogical(Lsn lsn, size_t n, char* dst);
+
+  // ------------------------ compression frames -----------------------
+
+  /// Frame directory snapshot, ascending by lsn (introspection for
+  /// tests, benches and the crash-matrix harness).
+  std::vector<LogFrame> frames() const;
+
+  /// True when `lsn` lies strictly inside some frame's logical range.
+  /// Archive cuts and truncation floors must avoid such points: the
+  /// physical bytes there belong to a frame that only materializes as
+  /// a whole.
+  bool IsFrameInterior(Lsn lsn) const;
+
+  /// `lsn` rounded down to the enclosing frame's start when frame-
+  /// interior, else `lsn` itself: the largest safe boundary <= lsn.
+  Lsn FrameFloor(Lsn lsn) const;
+
+  /// Splice frames recovered from archive segment footers in front of
+  /// the directory (wal::Wal::InitArchive; all entries must precede
+  /// the active log's own frames). Drops the block cache: cached
+  /// blocks built without these frames would shadow their content.
+  void PrependFrames(const std::vector<LogFrame>& frames);
 
   /// Drop records below `lsn` from the ACTIVE log (they become
   /// unavailable unless the archive tier covers them; bare reads then
@@ -140,6 +196,9 @@ class LogManager {
   /// With `reclaim` set the truncated file range is hole-punched so the
   /// active log's disk footprint actually shrinks -- only pass it when
   /// every truncated byte is sealed in the archive (wal::Wal does).
+  /// `lsn` is rounded DOWN to FrameFloor(lsn): the log never starts
+  /// inside a compression frame (keeping a few extra records is always
+  /// safe; starting mid-frame would make the restart scan unreadable).
   Status TruncateBefore(Lsn lsn, bool reclaim = false);
 
   /// Re-prune the checkpoint directory down to oldest_available_lsn()
@@ -184,6 +243,16 @@ class LogManager {
   /// how Wal::ExportPrefix stamps a reconstructed standalone log.
   static Status WriteHeaderAt(int fd, Lsn start);
   Status FlushLocked(Lsn target);
+  /// Frames intersecting the logical range [lo, hi), ascending.
+  std::vector<LogFrame> FramesOverlapping(Lsn lo, Lsn hi) const;
+  /// Publish frames written by a successful flush (ascending, all
+  /// above existing entries).
+  void AddFrames(const std::vector<LogFrame>& frames);
+  /// Drop frames whose logical range ends at or below `floor`.
+  void PruneFrames(Lsn floor);
+  /// Read + verify + decompress the frame's logical bytes into `dst`
+  /// (f.ulen bytes), choosing the owning tier by the frame's range.
+  Status MaterializeFrame(const LogFrame& f, char* dst);
   /// Fetch the 32 KiB block with index `idx` through the cache.
   Result<std::shared_ptr<std::string>> FetchBlock(uint64_t idx);
   Result<LogRecord> ReadFromFile(Lsn lsn, size_t* encoded_size);
@@ -193,6 +262,27 @@ class LogManager {
 
   static constexpr size_t kBlockSize = 32 * 1024;
   static constexpr Lsn kFirstLsn = 64;  // log header occupies [0, 64)
+
+ public:
+  // Frame format constants (public: the archive tier and tests share
+  // them).
+  /// First 4 bytes of a frame. Chosen far above the 64 MiB record
+  /// length ceiling ReadFromFile enforces, so a physical scan can
+  /// always tell a frame header from a record length prefix.
+  static constexpr uint32_t kFrameMagic = 0xF7D1E7A5u;
+  static constexpr uint8_t kFrameVersion = 1;
+  /// magic(4) + version(1) + reserved(3) + ulen(4) + clen(4) +
+  /// payload checksum(4) + header checksum(4).
+  static constexpr size_t kFrameHeaderSize = 24;
+  /// Target logical bytes per frame (flush batches are chunked into
+  /// frames of about this size, always on record boundaries).
+  static constexpr size_t kFrameTargetBytes = kBlockSize;
+  /// A frame is only emitted when it saves at least this many bytes
+  /// over the raw chunk; marginal wins are not worth the decompression
+  /// on every read.
+  static constexpr size_t kFrameMinSaving = 64;
+
+ private:
 
   const std::string path_;
   int fd_;
@@ -224,6 +314,15 @@ class LogManager {
   std::atomic<uint64_t> fsyncs_{0};
   std::atomic<uint64_t> flush_batch_bytes_{0};
   std::atomic<uint64_t> max_batch_bytes_{0};
+  std::atomic<uint64_t> frames_written_{0};
+  std::atomic<uint64_t> frame_logical_bytes_{0};
+  std::atomic<uint64_t> frame_physical_bytes_{0};
+
+  /// Frame directory, ascending by lsn. Grows at the back on flush,
+  /// shrinks at the front on truncation/retention; archive recovery
+  /// prepends. Readers snapshot under the mutex.
+  mutable std::mutex frames_mu_;
+  std::vector<LogFrame> frames_;
 
   mutable std::mutex cache_mu_;
   std::list<uint64_t> lru_;   // most recent at front

@@ -20,6 +20,7 @@ const char* LogTypeName(LogType t) {
     case LogType::kSetSibling: return "SET_SIBLING";
     case LogType::kCheckpointBegin: return "CKPT_BEGIN";
     case LogType::kCheckpointEnd: return "CKPT_END";
+    case LogType::kFpiDelta: return "FPI_DELTA";
   }
   return "?";
 }
@@ -32,6 +33,7 @@ bool LogRecord::IsPageRecord() const {
     case LogType::kClr:
     case LogType::kFormat:
     case LogType::kPreformat:
+    case LogType::kFpiDelta:
     case LogType::kAllocBits:
     case LogType::kSetSibling:
       return true;
@@ -100,6 +102,7 @@ void LogRecord::EncodeTo(std::string* dst) const {
       dst->push_back(static_cast<char>(fmt_level));
       break;
     case LogType::kPreformat:
+    case LogType::kFpiDelta:
       PutLengthPrefixed(dst, image);
       break;
     case LogType::kAllocBits:
@@ -255,7 +258,8 @@ Result<LogRecord> LogRecord::Decode(Slice data, size_t* consumed) {
       rec.fmt_level = static_cast<uint8_t>(bb[1]);
       break;
     }
-    case LogType::kPreformat: {
+    case LogType::kPreformat:
+    case LogType::kFpiDelta: {
       Slice img;
       if (!dec.GetLengthPrefixed(&img)) return Status::Corruption("log: fpi");
       rec.image = img.ToString();
@@ -294,6 +298,11 @@ Result<LogRecord> LogRecord::Decode(Slice data, size_t* consumed) {
     }
     case LogType::kInvalid:
       return Status::Corruption("log: invalid type");
+    default:
+      // A type this build does not know (a future format) must fail
+      // loudly: falling through would hand back a half-parsed record.
+      return Status::Corruption("log: unknown record type " +
+                                std::to_string(static_cast<int>(rec.type)));
   }
 
   *consumed = len;

@@ -53,6 +53,14 @@ enum class LogType : uint8_t {
   // Checkpoints (carry wall-clock time for SplitLSN search).
   kCheckpointBegin = 12,
   kCheckpointEnd = 13,
+  // Delta form of kPreformat: `image` holds an EncodePageDelta patch
+  // against the page image at prev_fpi_lsn (itself possibly another
+  // delta; chains terminate at a kPreformat). Like the periodic
+  // kPreformat it is emitted outside any transaction and changes no
+  // page content -- redo and undo treat it as a content no-op -- but
+  // FPI-jump readers materialize "the page content at this LSN" by
+  // composing the chain oldest-first.
+  kFpiDelta = 14,
 };
 
 const char* LogTypeName(LogType t);

@@ -101,11 +101,17 @@ Status SnapshotStore::RecoverPage(PageId id, char* buf) {
       wal::Cursor cur = owner_->primary()->log()->OpenCursor();
       REWIND_RETURN_IF_ERROR(cur.SeekTo(e->fpi_lsn));
       const LogRecord& fpi = cur.record();
-      if (fpi.type != LogType::kPreformat || fpi.image.size() != kPageSize) {
+      if (fpi.type != LogType::kPreformat &&
+          fpi.type != LogType::kFpiDelta) {
         return Status::Corruption(
             "page log index does not point at a page image");
       }
-      memcpy(buf, fpi.image.data(), kPageSize);
+      // Delta-encoded FPIs stand for the same full image; compose the
+      // chain (lazy/eager parity: both paths go through the same
+      // materialization, so the seeded bytes are identical).
+      std::string img;
+      REWIND_RETURN_IF_ERROR(wal::MaterializeFpiImage(cur, &img));
+      memcpy(buf, img.data(), kPageSize);
       SetPageLsn(buf, fpi.prev_page_lsn);
       Header(buf)->last_fpi_lsn = fpi.prev_fpi_lsn;
       via_fpi = true;

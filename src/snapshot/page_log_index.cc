@@ -49,7 +49,9 @@ Status PageLogIndex::Build(wal::Wal* log, Lsn upto, Clock* clock) {
         e.page_lsn_at_split = rec.prev_page_lsn;
         stats_.pages_indexed++;
       }
-      if (rec.type == LogType::kPreformat && e.fpi_lsn == kInvalidLsn) {
+      if ((rec.type == LogType::kPreformat ||
+           rec.type == LogType::kFpiDelta) &&
+          e.fpi_lsn == kInvalidLsn) {
         e.fpi_lsn = lsn;
         e.fpi_prev_page_lsn = rec.prev_page_lsn;
         e.fpi_prev_fpi_lsn = rec.prev_fpi_lsn;

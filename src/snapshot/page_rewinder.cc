@@ -36,11 +36,15 @@ Status PageRewinder::PreparePageAsOf(char* page, Lsn as_of_lsn,
         rec.prev_fpi_lsn < curr) {
       REWIND_RETURN_IF_ERROR(cur.FollowPrevFpi());
       const LogRecord& fpi = cur.record();
-      if (fpi.type != LogType::kPreformat ||
-          fpi.image.size() != kPageSize) {
+      if (fpi.type != LogType::kPreformat &&
+          fpi.type != LogType::kFpiDelta) {
         return Status::Corruption("fpi chain does not point at an image");
       }
-      memcpy(page, fpi.image.data(), kPageSize);
+      // A kFpiDelta stands for the same full image, delta-encoded
+      // against older FPIs; MaterializeFpiImage composes the chain.
+      std::string img;
+      REWIND_RETURN_IF_ERROR(wal::MaterializeFpiImage(cur, &img));
+      memcpy(page, img.data(), kPageSize);
       SetPageLsn(page, fpi.prev_page_lsn);
       Header(page)->last_fpi_lsn = fpi.prev_fpi_lsn;
       // The preformat record is the page's next modification after the

@@ -194,6 +194,21 @@ SqlResult SqlSession::ShowStats() {
   add("wal.group_commits", ws.group_commits);
   add("wal.async_commits", ws.async_commits);
   add("wal.none_commits", ws.none_commits);
+  // WAL-diet evidence: per-kind record bytes (nonzero kinds only), FPI
+  // delta effectiveness, and flush-batch compression frames.
+  for (size_t i = 0; i < wal::WalStats::kTypeSlots; i++) {
+    if (ws.record_counts[i] == 0) continue;
+    const std::string kind = LogTypeName(static_cast<LogType>(i));
+    rows.emplace_back("wal.record_counts." + kind,
+                      static_cast<int64_t>(ws.record_counts[i]));
+    rows.emplace_back("wal.record_bytes." + kind,
+                      static_cast<int64_t>(ws.record_bytes[i]));
+  }
+  add("wal.fpi_delta_hits", ws.fpi_delta_hits);
+  add("wal.fpi_delta_fallbacks", ws.fpi_delta_fallbacks);
+  add("wal.frames_written", ws.frames_written);
+  add("wal.frame_logical_bytes", ws.frame_logical_bytes);
+  add("wal.frame_physical_bytes", ws.frame_physical_bytes);
 
   wal::ArchiveStats as = conn_->ArchiveStats();
   add("archive.segments_sealed", as.segments_sealed);

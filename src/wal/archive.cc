@@ -17,16 +17,21 @@ namespace wal {
 
 namespace {
 
-// Segment file layout: 64-byte header, the payload (verbatim log
-// bytes), then a footer of ckpt_count CheckpointRef entries (16 bytes
-// each, own checksum) -- the checkpoint-directory slice for the
-// segment's range, so Open recovers the directory from one small read
-// per segment instead of decoding archived history. The LSN range is
-// stored both in the file name (operator-visible, sortable) and the
-// header (authoritative); Open rejects files where the two disagree.
+// Segment file layout: 64-byte header, the payload (verbatim PHYSICAL
+// log bytes; compression-frame gaps are file holes), then a footer of
+// ckpt_count CheckpointRef entries followed by frame_count LogFrame
+// entries (16 bytes each, one checksum over the whole footer) -- the
+// checkpoint- and frame-directory slices for the segment's range, so
+// Open recovers both from one small read per segment instead of
+// decoding archived history. frame_count sits in previously-zeroed
+// header padding: segments sealed before compression existed read as
+// frame_count == 0 and parse unchanged. The LSN range is stored both
+// in the file name (operator-visible, sortable) and the header
+// (authoritative); Open rejects files where the two disagree.
 constexpr uint64_t kSegmentMagic = 0x5257415243763101ULL;  // "RWARCv1"+01
 constexpr size_t kSegmentHeaderSize = 64;
 constexpr size_t kCheckpointRefSize = 16;
+constexpr size_t kFrameRefSize = 16;
 
 struct SegmentHeader {
   uint64_t magic;
@@ -35,6 +40,7 @@ struct SegmentHeader {
   uint32_t payload_checksum;
   uint32_t ckpt_count;
   uint32_t footer_checksum;
+  uint32_t frame_count;
 
   void WriteTo(char* buf) const {
     memset(buf, 0, kSegmentHeaderSize);
@@ -44,6 +50,7 @@ struct SegmentHeader {
     memcpy(buf + 24, &payload_checksum, 4);
     memcpy(buf + 28, &ckpt_count, 4);
     memcpy(buf + 32, &footer_checksum, 4);
+    memcpy(buf + 36, &frame_count, 4);
   }
   static SegmentHeader ReadFrom(const char* buf) {
     SegmentHeader h;
@@ -53,17 +60,26 @@ struct SegmentHeader {
     memcpy(&h.payload_checksum, buf + 24, 4);
     memcpy(&h.ckpt_count, buf + 28, 4);
     memcpy(&h.footer_checksum, buf + 32, 4);
+    memcpy(&h.frame_count, buf + 36, 4);
     return h;
   }
 };
 
-std::string EncodeFooter(const std::vector<CheckpointRef>& refs) {
+std::string EncodeFooter(const std::vector<CheckpointRef>& refs,
+                         const std::vector<LogFrame>& frames) {
   std::string out;
-  out.reserve(refs.size() * kCheckpointRefSize);
+  out.reserve(refs.size() * kCheckpointRefSize + frames.size() * kFrameRefSize);
   for (const CheckpointRef& r : refs) {
     char buf[kCheckpointRefSize];
     memcpy(buf, &r.begin_lsn, 8);
     memcpy(buf + 8, &r.wall_clock, 8);
+    out.append(buf, sizeof(buf));
+  }
+  for (const LogFrame& f : frames) {
+    char buf[kFrameRefSize];
+    memcpy(buf, &f.lsn, 8);
+    memcpy(buf + 8, &f.ulen, 4);
+    memcpy(buf + 12, &f.clen, 4);
     out.append(buf, sizeof(buf));
   }
   return out;
@@ -142,6 +158,7 @@ Result<std::unique_ptr<ArchiveManager>> ArchiveManager::Open(
   struct Found {
     Segment seg;
     std::vector<CheckpointRef> ckpts;
+    std::vector<LogFrame> frames;
   };
   std::vector<Found> found;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
@@ -163,12 +180,15 @@ Result<std::unique_ptr<ArchiveManager>> ArchiveManager::Open(
                  h.magic == kSegmentMagic && h.first_lsn == first &&
                  h.last_lsn == last && last > first;
     std::vector<CheckpointRef> ckpts;
-    if (valid && h.ckpt_count > 0) {
-      const size_t footer_bytes = h.ckpt_count * kCheckpointRefSize;
+    std::vector<LogFrame> frames;
+    if (valid && (h.ckpt_count > 0 || h.frame_count > 0)) {
+      const size_t ckpt_bytes = h.ckpt_count * kCheckpointRefSize;
+      const size_t footer_bytes = ckpt_bytes + h.frame_count * kFrameRefSize;
       std::string footer;
       footer.resize(footer_bytes);
       off_t at = static_cast<off_t>(kSegmentHeaderSize + (last - first));
-      valid = h.ckpt_count <= (last - first) &&  // sanity bound
+      valid = h.ckpt_count <= (last - first) &&  // sanity bounds
+              h.frame_count <= (last - first) &&
               ::pread(fd, footer.data(), footer_bytes, at) ==
                   static_cast<ssize_t>(footer_bytes) &&
               Checksum32(footer.data(), footer.size()) == h.footer_checksum;
@@ -178,11 +198,20 @@ Result<std::unique_ptr<ArchiveManager>> ArchiveManager::Open(
         memcpy(&r.wall_clock, footer.data() + i * kCheckpointRefSize + 8, 8);
         ckpts.push_back(r);
       }
+      for (uint32_t i = 0; valid && i < h.frame_count; i++) {
+        const char* p = footer.data() + ckpt_bytes + i * kFrameRefSize;
+        LogFrame f;
+        memcpy(&f.lsn, p, 8);
+        memcpy(&f.ulen, p + 8, 4);
+        memcpy(&f.clen, p + 12, 4);
+        frames.push_back(f);
+      }
     }
     ::close(fd);
     if (!valid) continue;
-    found.push_back(
-        {{first, last, entry.path().string(), false}, std::move(ckpts)});
+    found.push_back({{first, last, entry.path().string(), false},
+                     std::move(ckpts),
+                     std::move(frames)});
   }
   if (ec) {
     return Status::IoError("scan archive dir " + dir + ": " + ec.message());
@@ -204,16 +233,26 @@ Result<std::unique_ptr<ArchiveManager>> ArchiveManager::Open(
     am->recovered_checkpoints_.insert(am->recovered_checkpoints_.end(),
                                       found[i].ckpts.begin(),
                                       found[i].ckpts.end());
+    am->recovered_frames_.insert(am->recovered_frames_.end(),
+                                 found[i].frames.begin(),
+                                 found[i].frames.end());
   }
   return am;
 }
 
 Status ArchiveManager::Seal(Lsn first_lsn, Slice payload,
-                            const std::vector<CheckpointRef>& checkpoints) {
+                            const std::vector<CheckpointRef>& checkpoints,
+                            const std::vector<LogFrame>& frames) {
   if (payload.empty()) {
     return Status::InvalidArgument("empty archive segment");
   }
   const Lsn last_lsn = first_lsn + payload.size();
+  for (const LogFrame& f : frames) {
+    if (f.lsn < first_lsn || f.lsn + f.ulen > last_lsn ||
+        f.clen + LogManager::kFrameHeaderSize >= f.ulen) {
+      return Status::InvalidArgument("archive frame outside segment range");
+    }
+  }
   {
     std::lock_guard<std::mutex> g(mu_);
     if (!segments_.empty() && first_lsn != segments_.back().last_lsn) {
@@ -224,13 +263,14 @@ Status ArchiveManager::Seal(Lsn first_lsn, Slice payload,
     }
   }
 
-  const std::string footer = EncodeFooter(checkpoints);
+  const std::string footer = EncodeFooter(checkpoints, frames);
   SegmentHeader h;
   h.magic = kSegmentMagic;
   h.first_lsn = first_lsn;
   h.last_lsn = last_lsn;
   h.payload_checksum = Checksum32(payload.data(), payload.size());
   h.ckpt_count = static_cast<uint32_t>(checkpoints.size());
+  h.frame_count = static_cast<uint32_t>(frames.size());
   h.footer_checksum = Checksum32(footer.data(), footer.size());
   char hdr[kSegmentHeaderSize];
   h.WriteTo(hdr);
@@ -248,10 +288,38 @@ Status ArchiveManager::Seal(Lsn first_lsn, Slice payload,
     return CloseAndReport(fd, Status::IoError("archive header write: " +
                                               std::string(strerror(errno))));
   }
-  if (::pwrite(fd, payload.data(), payload.size(), kSegmentHeaderSize) !=
-      static_cast<ssize_t>(payload.size())) {
-    return CloseAndReport(fd, Status::IoError("archive payload write: " +
-                                              std::string(strerror(errno))));
+  // Write the payload sparsely: a compression frame occupies only
+  // header + compressed bytes of its logical range, so the remainder
+  // [frame + 24 + clen, frame + ulen) is all zeros -- skip it and let
+  // the filesystem keep a hole. The payload checksum above was computed
+  // over the full zero-filled image, so VerifySegment (which reads the
+  // whole logical size; holes read back as zeros) is unaffected.
+  {
+    uint64_t cursor = 0;  // payload-relative
+    auto write_run = [&](uint64_t off, uint64_t n) -> Status {
+      if (n == 0) return Status::OK();
+      if (::pwrite(fd, payload.data() + off, n,
+                   static_cast<off_t>(kSegmentHeaderSize + off)) !=
+          static_cast<ssize_t>(n)) {
+        return Status::IoError("archive payload write: " +
+                               std::string(strerror(errno)));
+      }
+      return Status::OK();
+    };
+    for (const LogFrame& f : frames) {
+      const uint64_t data_end =
+          (f.lsn - first_lsn) + LogManager::kFrameHeaderSize + f.clen;
+      const uint64_t hole_end = (f.lsn - first_lsn) + f.ulen;
+      Status s = write_run(cursor, data_end - cursor);
+      if (!s.ok()) return CloseAndReport(fd, s);
+      cursor = hole_end;
+    }
+    Status s = write_run(cursor, payload.size() - cursor);
+    if (!s.ok()) return CloseAndReport(fd, s);
+    // Ensure the file extends through any trailing hole so the footer
+    // lands at the right offset even if the last frame ends the
+    // payload (pwrite of the footer below does this implicitly; this
+    // comment records the dependency).
   }
   if (!footer.empty() &&
       ::pwrite(fd, footer.data(), footer.size(),

@@ -47,6 +47,7 @@
 #include "common/types.h"
 #include "io/disk_model.h"
 #include "io/io_stats.h"
+#include "log/log_manager.h"
 
 namespace rewinddb {
 namespace wal {
@@ -115,18 +116,24 @@ class ArchiveManager {
   ArchiveManager(const ArchiveManager&) = delete;
   ArchiveManager& operator=(const ArchiveManager&) = delete;
 
-  /// Seal `payload` (the verbatim log bytes of [first_lsn,
-  /// first_lsn + payload.size())) as one segment, with `checkpoints`
-  /// (the checkpoint-directory entries whose begin LSN falls inside
-  /// the range) persisted in a checksummed footer so Open() recovers
-  /// the directory without decoding archived history. Must append at
-  /// the high water mark: `first_lsn` == high_water() (any value when
-  /// the archive is empty). Written to a temp file, fsynced, renamed,
-  /// then the DIRECTORY is fsynced: once Seal returns, the segment
-  /// survives power loss -- the guarantee Wal::TruncateBefore's
-  /// hole-punch relies on.
+  /// Seal `payload` (the verbatim PHYSICAL log bytes of [first_lsn,
+  /// first_lsn + payload.size()), compression frames included and
+  /// frame gaps zeroed) as one segment, with `checkpoints` (the
+  /// checkpoint-directory entries whose begin LSN falls inside the
+  /// range) and `frames` (the compression frames the range contains,
+  /// wholly inside it -- the sealer never cuts mid-frame) persisted in
+  /// a checksummed footer so Open() recovers both directories without
+  /// decoding archived history. Frame gaps are not written (sparse
+  /// file), so sealed segments inherit the active log's disk savings;
+  /// the payload checksum still covers the full zero-filled image.
+  /// Must append at the high water mark: `first_lsn` == high_water()
+  /// (any value when the archive is empty). Written to a temp file,
+  /// fsynced, renamed, then the DIRECTORY is fsynced: once Seal
+  /// returns, the segment survives power loss -- the guarantee
+  /// Wal::TruncateBefore's hole-punch relies on.
   Status Seal(Lsn first_lsn, Slice payload,
-              const std::vector<CheckpointRef>& checkpoints = {});
+              const std::vector<CheckpointRef>& checkpoints = {},
+              const std::vector<LogFrame>& frames = {});
 
   /// Copy archived bytes of [lsn, lsn + n) into `dst`, crossing segment
   /// boundaries as needed. The whole range must be covered (callers
@@ -164,6 +171,13 @@ class ArchiveManager {
     return recovered_checkpoints_;
   }
 
+  /// Compression frames recovered from segment footers at Open
+  /// (ascending; wal::Wal splices them into the log's frame directory
+  /// so archived compressed history stays readable after a restart).
+  const std::vector<LogFrame>& recovered_frames() const {
+    return recovered_frames_;
+  }
+
   uint64_t segment_bytes() const { return opts_.segment_bytes; }
 
  private:
@@ -193,6 +207,7 @@ class ArchiveManager {
   mutable std::mutex mu_;  // leaf lock: guards segments_ + counters
   std::vector<Segment> segments_;  // ascending, contiguous
   std::vector<CheckpointRef> recovered_checkpoints_;  // set once, at Open
+  std::vector<LogFrame> recovered_frames_;            // set once, at Open
 
   std::atomic<uint64_t> segments_sealed_{0};
   std::atomic<uint64_t> segments_dropped_{0};

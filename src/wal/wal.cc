@@ -22,6 +22,7 @@ LogManagerOptions CoreOptions(const WalOptions& opts) {
   LogManagerOptions lo;
   lo.cache_blocks = opts.cache_blocks;
   lo.max_tail_bytes = opts.max_tail_bytes;
+  lo.compression = opts.compression;
   return lo;
 }
 }  // namespace
@@ -79,6 +80,10 @@ Status Wal::InitArchive() {
     if (r.begin_lsn < core_->start_lsn()) refs.push_back(r);
   }
   core_->PrependCheckpoints(refs);
+  // Same for compression frames: archived compressed history is only
+  // readable if the frame directory covers it, and LogManager::Open
+  // scanned the active file alone.
+  core_->PrependFrames(archive_->recovered_frames());
   return Status::OK();
 }
 
@@ -107,7 +112,11 @@ Status Wal::ArchiveUpTo(Lsn target) {
     for (const CheckpointRef& r : all_ckpts) {
       if (r.begin_lsn >= a && r.begin_lsn < b) in_range.push_back(r);
     }
-    return archive_->Seal(a, Slice(buf), in_range);
+    // Cut points are never frame-interior (the walk below only
+    // advances chunk_end at safe boundaries), so every overlapping
+    // frame is wholly inside [a, b).
+    return archive_->Seal(a, Slice(buf), in_range,
+                          core_->FramesOverlapping(a, b));
   };
   const uint64_t cap = archive_->segment_bytes();
   Cursor cur(core_.get());
@@ -127,7 +136,12 @@ Status Wal::ArchiveUpTo(Lsn target) {
     if (cur.record().type == LogType::kCommit) {
       NoteCommitWaypoint(cur.lsn(), cur.record().wall_clock);
     }
-    chunk_end = rec_end;
+    // A record boundary inside a compression frame is not a valid
+    // segment cut: a frame only materializes whole, so it must live in
+    // exactly one tier. Only advance the cut point at safe boundaries
+    // (the sealer may stop short of `upto`; TruncateBefore clamps to
+    // the high water mark, so nothing is lost).
+    if (!core_->IsFrameInterior(rec_end)) chunk_end = rec_end;
     REWIND_RETURN_IF_ERROR(cur.Next());
   }
   if (chunk_end > chunk_start) {
@@ -173,7 +187,6 @@ Status Wal::DropArchiveBefore(Lsn lsn) {
 Status Wal::ExportPrefix(const std::string& dest_path, Lsn cut,
                          uint64_t* bytes_copied) {
   const Lsn oldest = core_->oldest_available_lsn();
-  const Lsn active_start = core_->start_lsn();
   const Lsn flushed_end = core_->flushed_lsn();
   if (cut > flushed_end) {
     return Status::InvalidArgument("export cut beyond the durable log");
@@ -191,15 +204,10 @@ Status Wal::ExportPrefix(const std::string& dest_path, Lsn cut,
   while (s.ok() && pos < flushed_end) {
     size_t want = static_cast<size_t>(
         std::min<Lsn>(kChunk, flushed_end - pos));
-    // Chunks never straddle the tier boundary: below active_start the
-    // archive index serves the bytes, above it the active file does.
-    if (pos < active_start) {
-      want = static_cast<size_t>(
-          std::min<Lsn>(want, active_start - pos));
-      s = archive_->ReadBytes(pos, want, buf.data());
-    } else {
-      s = core_->ReadRaw(pos, want, buf.data());
-    }
+    // Logical bytes, both tiers: compression frames are expanded, so
+    // the exported file is a plain uncompressed record stream that any
+    // version of the engine (and the crash-matrix oracle) can Open.
+    s = core_->ReadLogical(pos, want, buf.data());
     if (!s.ok()) break;
     if (::pwrite(dst, buf.data(), want, static_cast<off_t>(pos)) !=
         static_cast<ssize_t>(want)) {
@@ -291,6 +299,7 @@ Lsn Wal::Append(const LogRecord& rec) {
   bool need_flush = false;
   Lsn lsn = core_->Append(rec, &need_flush);
   appends_.fetch_add(1, std::memory_order_relaxed);
+  NoteRecord(rec.type, rec.EncodedSize());
   if (need_flush) NudgeFlusher();
   return lsn;
 }
@@ -361,6 +370,16 @@ WalStats Wal::stats() const {
   out.group_commits = group_commits_.load(std::memory_order_relaxed);
   out.async_commits = async_commits_.load(std::memory_order_relaxed);
   out.none_commits = none_commits_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < WalStats::kTypeSlots; i++) {
+    out.record_counts[i] = record_counts_[i].load(std::memory_order_relaxed);
+    out.record_bytes[i] = record_bytes_[i].load(std::memory_order_relaxed);
+  }
+  out.fpi_delta_hits = fpi_delta_hits_.load(std::memory_order_relaxed);
+  out.fpi_delta_fallbacks =
+      fpi_delta_fallbacks_.load(std::memory_order_relaxed);
+  out.frames_written = core.frames_written;
+  out.frame_logical_bytes = core.frame_logical_bytes;
+  out.frame_physical_bytes = core.frame_physical_bytes;
   return out;
 }
 

@@ -23,6 +23,7 @@
 #ifndef REWINDDB_WAL_WAL_H_
 #define REWINDDB_WAL_WAL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <memory>
@@ -57,6 +58,11 @@ struct WalOptions {
   /// (group waiters, backpressure, FlushTo/FlushAll); tests use 0 for
   /// deterministic crash loss.
   uint64_t flush_interval_micros = 2'000;
+  /// Compress group-commit flush batches into self-describing frames
+  /// (the WAL-diet write side; see LogManagerOptions::compression).
+  /// Read-side support is unconditional, so flipping this between
+  /// restarts is always safe.
+  bool compression = false;
   /// Directory for the archive tier. Empty disables archiving:
   /// TruncateBefore then really drops history (the seed behaviour) and
   /// ArchiveUpTo is a no-op. Non-empty: the Wal owns an ArchiveManager
@@ -83,6 +89,25 @@ struct WalStats {
   uint64_t group_commits = 0;
   uint64_t async_commits = 0;
   uint64_t none_commits = 0;
+
+  /// Per-record-kind histogram (indexed by LogType; the WAL-diet
+  /// evidence for "where do the log bytes go"). Bytes are encoded
+  /// (pre-compression, logical) sizes.
+  static constexpr size_t kTypeSlots = 16;
+  uint64_t record_counts[kTypeSlots] = {};
+  uint64_t record_bytes[kTypeSlots] = {};
+
+  /// FPI delta-encoding effectiveness: emits that rode the delta path
+  /// vs full-image fallbacks (cache miss, chain too deep, window
+  /// exceeded, or delta no smaller than the image).
+  uint64_t fpi_delta_hits = 0;
+  uint64_t fpi_delta_fallbacks = 0;
+
+  /// Flush-batch compression evidence (mirrors LogFlushStats):
+  /// frame_logical_bytes / frame_physical_bytes is the live ratio.
+  uint64_t frames_written = 0;
+  uint64_t frame_logical_bytes = 0;
+  uint64_t frame_physical_bytes = 0;
 };
 
 class Writer;
@@ -169,14 +194,20 @@ class Wal {
   /// linger briefly (pruned on insert).
   std::vector<CommitWaypoint> commit_waypoints() const;
   static constexpr Lsn kWaypointSpacingBytes = 256 * 1024;
-  /// Truncate the active log. When the archive tier has sealed the
-  /// whole range the truncated file bytes are also hole-punched, so the
-  /// active log's disk footprint shrinks (bounded-log steady state).
+  /// Truncate the active log. With an archive tier attached the cut is
+  /// clamped to the archive high water mark -- truncating LESS is
+  /// always safe, and clamping means the retained active range is
+  /// always fully sealed, so the truncated file bytes can be
+  /// hole-punched every time (bounded-log steady state). Without the
+  /// clamp a sealer that stopped an epsilon short of `lsn` (it never
+  /// cuts inside a compression frame) would disable reclaim forever.
   Status TruncateBefore(Lsn lsn) {
     const Lsn hw =
         archive_ != nullptr ? archive_->high_water() : kInvalidLsn;
-    const bool sealed = hw != kInvalidLsn && hw >= lsn;
-    return core_->TruncateBefore(lsn, /*reclaim=*/sealed);
+    if (hw != kInvalidLsn) {
+      return core_->TruncateBefore(std::min(lsn, hw), /*reclaim=*/true);
+    }
+    return core_->TruncateBefore(lsn, /*reclaim=*/false);
   }
   /// Bytes in the ACTIVE log (next_lsn - start_lsn); add
   /// ArchivedBytes() for the full history footprint (the honest fig5
@@ -217,6 +248,23 @@ class Wal {
                       uint64_t* bytes_copied);
 
   WalStats stats() const;
+
+  /// Feed the per-kind record histogram (called by every append path:
+  /// Writer::Stage/Append and Wal::Append). `bytes` is the encoded
+  /// logical size of the record.
+  void NoteRecord(LogType type, size_t bytes) {
+    const size_t slot =
+        std::min<size_t>(static_cast<size_t>(type), WalStats::kTypeSlots - 1);
+    record_counts_[slot].fetch_add(1, std::memory_order_relaxed);
+    record_bytes_[slot].fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Record an FPI emission's path: delta (hit) or full image
+  /// (fallback). Called by PageOps::MaybeEmitFpi.
+  void NoteFpiDelta(bool hit) {
+    (hit ? fpi_delta_hits_ : fpi_delta_fallbacks_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Test/benchmark hook mirroring Database::SimulateCrash: stop the
   /// flusher WITHOUT flushing, so the unflushed tail is lost exactly as
@@ -273,6 +321,10 @@ class Wal {
   std::atomic<uint64_t> async_commits_{0};
   std::atomic<uint64_t> none_commits_{0};
   std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> record_counts_[WalStats::kTypeSlots] = {};
+  std::atomic<uint64_t> record_bytes_[WalStats::kTypeSlots] = {};
+  std::atomic<uint64_t> fpi_delta_hits_{0};
+  std::atomic<uint64_t> fpi_delta_fallbacks_{0};
 };
 
 }  // namespace wal

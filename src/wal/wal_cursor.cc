@@ -1,5 +1,8 @@
 #include "wal/wal_cursor.h"
 
+#include <vector>
+
+#include "common/page_delta.h"
 #include "log/log_manager.h"
 
 namespace rewinddb {
@@ -60,6 +63,60 @@ Status Cursor::Next() {
     core_->PrefetchBlock(next + LogManager::kBlockSize);
   }
   return LoadAt(next, /*benign=*/true);
+}
+
+Status MaterializeFpiImage(const Cursor& at, std::string* image) {
+  if (!at.Valid()) {
+    return Status::InvalidArgument("MaterializeFpiImage on invalid cursor");
+  }
+  if (at.record().type == LogType::kPreformat) {
+    if (at.record().image.size() != kPageSize) {
+      return Status::Corruption("FPI at " + std::to_string(at.lsn()) +
+                                " has wrong image size");
+    }
+    *image = at.record().image;
+    return Status::OK();
+  }
+  if (at.record().type != LogType::kFpiDelta) {
+    return Status::InvalidArgument("MaterializeFpiImage on non-FPI record");
+  }
+  // Walk the delta chain back to its kPreformat base, collecting the
+  // patches newest-first. The writer bounds chains (PageOps gives up
+  // and emits a full image past kMaxFpiDeltaChain), so a longer walk
+  // here means a broken chain, not a deep one.
+  constexpr size_t kChainCap = 64;
+  std::vector<std::string> patches;  // newest-first
+  Cursor cur = at;  // the caller's cursor never moves
+  patches.push_back(cur.record().image);
+  while (true) {
+    if (patches.size() > kChainCap) {
+      return Status::Corruption("FPI delta chain at " +
+                                std::to_string(at.lsn()) +
+                                " exceeds the chain cap");
+    }
+    REWIND_RETURN_IF_ERROR(cur.FollowPrevFpi());
+    if (!cur.Valid()) {
+      return Status::Corruption("FPI delta chain at " +
+                                std::to_string(at.lsn()) +
+                                " has no full-image base");
+    }
+    if (cur.record().type == LogType::kPreformat) break;
+    if (cur.record().type != LogType::kFpiDelta) {
+      return Status::Corruption("FPI chain at " + std::to_string(at.lsn()) +
+                                " links a non-FPI record");
+    }
+    patches.push_back(cur.record().image);
+  }
+  if (cur.record().image.size() != kPageSize) {
+    return Status::Corruption("FPI base at " + std::to_string(cur.lsn()) +
+                              " has wrong image size");
+  }
+  *image = cur.record().image;
+  for (size_t i = patches.size(); i-- > 0;) {  // oldest-first
+    REWIND_RETURN_IF_ERROR(
+        ApplyPageDelta(image->data(), image->size(), Slice(patches[i])));
+  }
+  return Status::OK();
 }
 
 }  // namespace wal

@@ -101,6 +101,16 @@ class Cursor {
   LogRecord rec_;
 };
 
+/// Materialize the full page image the FPI record under `at` stands
+/// for: a kPreformat's image directly, or a kFpiDelta's chain composed
+/// by walking prev_fpi_lsn back to the terminating kPreformat base and
+/// applying the deltas oldest-first. `at` must be Valid() and on a
+/// kPreformat or kFpiDelta; the cursor itself is not moved (the walk
+/// runs on a copy). Every failure mode -- missing base, over-long
+/// chain, non-FPI link, malformed delta, wrong image size -- surfaces
+/// Corruption: an FPI jump must never compose a wrong page silently.
+Status MaterializeFpiImage(const Cursor& at, std::string* image);
+
 }  // namespace wal
 }  // namespace rewinddb
 

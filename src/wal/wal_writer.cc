@@ -11,8 +11,10 @@ void Writer::Stage(const LogRecord& rec) {
   assert(wal_ != nullptr);
   assert(rec.type != LogType::kCheckpointBegin &&
          rec.type != LogType::kCheckpointEnd);
+  const size_t before = staged_.size();
   rec.EncodeTo(&staged_);
   staged_records_++;
+  wal_->NoteRecord(rec.type, staged_.size() - before);
 }
 
 Lsn Writer::Append(const LogRecord& rec, Lsn* publish_base) {
@@ -21,6 +23,7 @@ Lsn Writer::Append(const LogRecord& rec, Lsn* publish_base) {
          rec.type != LogType::kCheckpointEnd);
   scratch_.clear();
   rec.EncodeTo(&scratch_);
+  wal_->NoteRecord(rec.type, scratch_.size());
   Lsn base;
   Lsn lsn;
   if (staged_.empty()) {

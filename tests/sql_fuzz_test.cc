@@ -279,5 +279,127 @@ TEST(SqlFuzzTest, LazyTimeTravelFuzz) {
   std::filesystem::remove_all(dir);
 }
 
+// WAL-diet fuzz: a random DML workload (inserts/updates/deletes, some
+// transactions aborted) committed under randomly flipped SET
+// COMMIT_MODE levels with BOTH diet halves on -- flush-batch
+// compression and delta FPIs -- mirrored into a plain C++ model per
+// committed epoch. Then AS OF queries at random past epochs must match
+// the model exactly, and must read identically through lazy and eager
+// mounts: the diet changes how history is stored, never what any
+// reader sees.
+TEST(SqlFuzzTest, WalDietFuzz) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "rewinddb_sql_fuzz_diet")
+          .string();
+  std::filesystem::remove_all(dir);
+  SimClock clock(10'000'000);
+  DatabaseOptions opts;
+  opts.clock = &clock;
+  opts.wal_compression = true;
+  opts.fpi_delta_window_bytes = 1 << 20;
+  opts.fpi_period = 4;  // frequent FPIs so delta chains really form
+  opts.archive_dir = "";
+  opts.lazy_mount = false;
+  auto conn_r = Connection::Create(dir, opts);
+  ASSERT_TRUE(conn_r.ok()) << conn_r.status().ToString();
+  std::unique_ptr<Connection> conn = std::move(*conn_r);
+  ASSERT_TRUE(conn->CreateTable("items",
+                                Schema({{"id", ColumnType::kInt64},
+                                        {"name", ColumnType::kString}},
+                                       1))
+                  .ok());
+  SqlSession session(conn.get());
+
+  const char* kModes[] = {"SYNC", "GROUP", "ASYNC", "NONE"};
+  Lcg rng(0x0d1e70001);
+  std::map<int64_t, std::string> model;
+  std::vector<std::pair<WallClock, std::map<int64_t, std::string>>> epochs;
+  int64_t next_key = 0;
+  for (int e = 0; e < 14; e++) {
+    ASSERT_TRUE(
+        session.Execute(std::string("SET COMMIT_MODE = ") + kModes[rng.Below(4)])
+            .ok());
+    clock.Advance(1'000'000);
+    const bool abort = rng.Below(5) == 0;
+    std::map<int64_t, std::string> scratch = model;
+    Txn txn = conn->Begin();
+    const int ops = 5 + static_cast<int>(rng.Below(20));
+    for (int i = 0; i < ops; i++) {
+      std::string val = "v" + std::to_string(e) + "." + std::to_string(i) +
+                        std::string(40 + rng.Below(60), 'p');
+      switch (scratch.empty() ? 0 : rng.Below(3)) {
+        case 0: {
+          int64_t k = next_key++;
+          ASSERT_TRUE(conn->Insert(txn, "items", {k, val}).ok());
+          scratch[k] = val;
+          break;
+        }
+        case 1: {
+          auto it = scratch.begin();
+          std::advance(it, rng.Below(scratch.size()));
+          ASSERT_TRUE(conn->Update(txn, "items", {it->first, val}).ok());
+          it->second = val;
+          break;
+        }
+        default: {
+          auto it = scratch.begin();
+          std::advance(it, rng.Below(scratch.size()));
+          ASSERT_TRUE(conn->Delete(txn, "items", {it->first}).ok());
+          scratch.erase(it);
+          break;
+        }
+      }
+    }
+    if (abort) {
+      ASSERT_TRUE(txn.Abort().ok());
+    } else {
+      ASSERT_TRUE(txn.Commit().ok());
+      model = std::move(scratch);
+    }
+    clock.Advance(1);
+    epochs.push_back({clock.NowMicros(), model});
+  }
+  ASSERT_TRUE(conn->engine()->log()->FlushAll().ok());
+
+  // The diet really engaged: flush batches became frames and at least
+  // one periodic FPI rode the delta path.
+  wal::WalStats ws = conn->engine()->log()->stats();
+  EXPECT_GT(ws.frames_written, 0u);
+  EXPECT_GT(ws.frame_logical_bytes, ws.frame_physical_bytes);
+  EXPECT_GT(ws.fpi_delta_hits, 0u);
+
+  auto read_as_of = [&](SqlSession& s, WallClock t) {
+    auto r = s.ExecuteStatement(
+        "SELECT id, name FROM items ORDER BY id AS OF " + std::to_string(t));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    std::map<int64_t, std::string> rows;
+    if (r.ok()) {
+      for (const Row& row : r->rows) {
+        rows[row[0].AsInt64()] = row[1].AsString();
+      }
+    }
+    return rows;
+  };
+
+  SqlSession lazy(conn.get());
+  SqlSession eager(conn.get());
+  ASSERT_TRUE(lazy.Execute("SET MOUNT_MODE = LAZY").ok());
+  ASSERT_TRUE(eager.Execute("SET MOUNT_MODE = EAGER").ok());
+  for (int i = 0; i < 10; i++) {
+    const size_t e = rng.Below(epochs.size());
+    SCOPED_TRACE("epoch " + std::to_string(e));
+    std::map<int64_t, std::string> via_lazy =
+        read_as_of(lazy, epochs[e].first);
+    std::map<int64_t, std::string> via_eager =
+        read_as_of(eager, epochs[e].first);
+    EXPECT_EQ(via_lazy, epochs[e].second) << "lazy AS OF diverged";
+    EXPECT_EQ(via_eager, epochs[e].second) << "eager AS OF diverged";
+    EXPECT_EQ(via_lazy, via_eager);
+  }
+
+  conn.reset();
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace rewinddb

@@ -1,0 +1,66 @@
+// Generates the checked-in pre-diet log fixture used by the
+// backward-compatibility test (WalDietCompat.PreDietFixtureStillOpens
+// AndScans in tests/wal_diet_test.cc): a plain, frame-free v1 log laid
+// down exactly as every engine before the WAL diet wrote it.
+//
+//   gen_legacy_log [out_dir]    (default tests/testdata/legacy_v1)
+//
+// The content is fully deterministic -- fixed record payloads, a fixed
+// commit wall clock -- so regenerating the fixture after a format-
+// compatible change produces byte-identical output and a diff in the
+// checked-in file means the on-disk format actually moved.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "io/io_stats.h"
+#include "log/log_record.h"
+#include "wal/wal.h"
+
+int main(int argc, char** argv) {
+  using namespace rewinddb;
+  const std::string out_dir =
+      argc > 1 ? argv[1] : "tests/testdata/legacy_v1";
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string path = out_dir + "/log.rwdb";
+  std::filesystem::remove(path, ec);
+
+  IoStats stats;
+  wal::WalOptions opts;
+  opts.compression = false;  // the pre-diet format: no frames, ever
+  opts.flush_interval_micros = 0;
+  auto w = wal::Wal::Create(path, nullptr, &stats, opts);
+  if (!w.ok()) {
+    std::fprintf(stderr, "create %s: %s\n", path.c_str(),
+                 w.status().ToString().c_str());
+    return 1;
+  }
+
+  for (int i = 0; i < 32; i++) {
+    LogRecord r;
+    r.type = LogType::kInsert;
+    r.txn_id = 1;
+    r.page_id = static_cast<PageId>(2 + i % 4);
+    r.tree_id = 7;
+    r.slot = static_cast<uint16_t>(i);
+    for (int j = 0; j <= i % 8; j++) {
+      r.image += "legacy-" + std::to_string(i);
+    }
+    (*w)->Append(r);
+  }
+  LogRecord c;
+  c.type = LogType::kCommit;
+  c.txn_id = 1;
+  c.wall_clock = 1700000000000000ull;
+  (*w)->Append(c);
+
+  Status s = (*w)->FlushAll();
+  if (!s.ok()) {
+    std::fprintf(stderr, "flush: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%llu bytes)\n", path.c_str(),
+              static_cast<unsigned long long>((*w)->flushed_lsn()));
+  return 0;
+}
